@@ -1,0 +1,501 @@
+//! Activities: the application entry points of the platform, with the
+//! lifecycle and NFC intent dispatch that the MORENA paper's "tight
+//! coupling with the activity-based architecture" drawback refers to.
+//!
+//! An [`Activity`] receives every NFC event through callbacks on the main
+//! thread — exactly the programming model the raw Android NFC API imposes,
+//! and the one the handcrafted baseline application is written against.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::RecvTimeoutError;
+use morena_nfc_sim::controller::NfcHandle;
+use morena_nfc_sim::tag::TagUid;
+use morena_nfc_sim::world::{NfcEvent, PhoneId, World};
+
+use crate::intent::Intent;
+use crate::looper::{Handler, MainThread};
+use crate::ui::ToastLog;
+
+/// How many times the platform retries the discovery pre-read while the
+/// tag remains in the field (real stacks retry a couple of times before
+/// giving up and dispatching `TAG_DISCOVERED`).
+const PREREAD_ATTEMPTS: usize = 3;
+
+/// Which NFC intents reach an activity — the analog of the intent
+/// filters an Android app declares in its manifest (or arms via
+/// foreground dispatch).
+#[derive(Debug, Clone)]
+pub struct IntentFilter {
+    /// MIME types of `NDEF_DISCOVERED` intents to deliver; empty means
+    /// *all* (including blank tags and non-MIME first records).
+    pub mime_types: Vec<String>,
+    /// Whether to deliver `TAG_DISCOVERED` fallbacks (unreadable tags).
+    pub tag_discovered: bool,
+    /// Whether to deliver messages received over Beam.
+    pub beam: bool,
+}
+
+impl IntentFilter {
+    /// Accepts everything (the default of [`ActivityHost::launch`]).
+    pub fn accept_all() -> IntentFilter {
+        IntentFilter { mime_types: Vec::new(), tag_discovered: true, beam: true }
+    }
+
+    /// Accepts only NDEF intents of one MIME type (plus beams of it).
+    pub fn mime(mime: &str) -> IntentFilter {
+        IntentFilter {
+            mime_types: vec![mime.to_owned()],
+            tag_discovered: false,
+            beam: true,
+        }
+    }
+
+    /// Whether `intent` passes this filter.
+    pub fn matches(&self, intent: &Intent) -> bool {
+        match intent.action() {
+            crate::intent::IntentAction::TagDiscovered => self.tag_discovered,
+            crate::intent::IntentAction::NdefDiscovered => {
+                let is_beam =
+                    matches!(intent.source(), crate::intent::IntentSource::Beam { .. });
+                if is_beam && !self.beam {
+                    return false;
+                }
+                if self.mime_types.is_empty() {
+                    return true;
+                }
+                intent
+                    .mime_type()
+                    .map(|m| self.mime_types.iter().any(|f| f == m))
+                    .unwrap_or(false)
+            }
+        }
+    }
+}
+
+/// An application component receiving lifecycle and NFC callbacks.
+///
+/// All callbacks run on the activity's main thread. Implementations use
+/// interior mutability (the host shares the activity across threads).
+pub trait Activity: Send + Sync + 'static {
+    /// The activity is being created (before any NFC dispatch).
+    fn on_create(&self, ctx: &ActivityContext) {
+        let _ = ctx;
+    }
+
+    /// The activity came to the foreground and will receive NFC intents.
+    fn on_resume(&self, ctx: &ActivityContext) {
+        let _ = ctx;
+    }
+
+    /// An NFC intent arrived (tag discovered / NDEF discovered / beam).
+    fn on_new_intent(&self, ctx: &ActivityContext, intent: Intent) {
+        let _ = (ctx, intent);
+    }
+
+    /// A tag left the field.
+    ///
+    /// *Platform note:* stock Android surfaces tag loss only as I/O
+    /// failures; this explicit callback models the controller-level field
+    /// detection that NFC hardware performs, and is what MORENA's
+    /// connectivity tracking builds on.
+    fn on_tag_lost(&self, ctx: &ActivityContext, uid: TagUid) {
+        let _ = (ctx, uid);
+    }
+
+    /// The activity is leaving the foreground.
+    fn on_pause(&self, ctx: &ActivityContext) {
+        let _ = ctx;
+    }
+
+    /// The activity is being destroyed.
+    fn on_destroy(&self, ctx: &ActivityContext) {
+        let _ = ctx;
+    }
+}
+
+/// Everything an activity can reach while handling a callback: its NFC
+/// controller, the main-thread handler, and the toast UI.
+#[derive(Debug, Clone)]
+pub struct ActivityContext {
+    name: String,
+    nfc: NfcHandle,
+    handler: Handler,
+    toasts: ToastLog,
+}
+
+impl ActivityContext {
+    /// The activity's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The phone this activity runs on.
+    pub fn phone(&self) -> PhoneId {
+        self.nfc.phone()
+    }
+
+    /// The phone's NFC controller handle.
+    pub fn nfc(&self) -> &NfcHandle {
+        &self.nfc
+    }
+
+    /// A handler posting to this activity's main thread.
+    pub fn handler(&self) -> Handler {
+        self.handler.clone()
+    }
+
+    /// Shows a toast notification.
+    pub fn toast(&self, message: impl Into<String>) {
+        self.toasts.show(message);
+    }
+
+    /// The toast log (for assertions).
+    pub fn toasts(&self) -> ToastLog {
+        self.toasts.clone()
+    }
+}
+
+/// Hosts one activity: owns its main thread, pumps NFC dispatch to it,
+/// and drives its lifecycle. Dropping the host destroys the activity.
+pub struct ActivityHost {
+    ctx: ActivityContext,
+    main: MainThread,
+    activity: Arc<dyn Activity>,
+    stop: Arc<AtomicBool>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ActivityHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActivityHost").field("name", &self.ctx.name).finish()
+    }
+}
+
+impl ActivityHost {
+    /// Launches `activity` on `phone` with an accept-all intent filter:
+    /// spawns its main thread, calls `on_create` and `on_resume`, and
+    /// starts NFC intent dispatch.
+    pub fn launch(world: &World, phone: PhoneId, name: &str, activity: Arc<dyn Activity>) -> ActivityHost {
+        ActivityHost::launch_filtered(world, phone, name, activity, IntentFilter::accept_all())
+    }
+
+    /// [`launch`](ActivityHost::launch) with an explicit [`IntentFilter`]
+    /// deciding which NFC intents the activity receives.
+    pub fn launch_filtered(
+        world: &World,
+        phone: PhoneId,
+        name: &str,
+        activity: Arc<dyn Activity>,
+        filter: IntentFilter,
+    ) -> ActivityHost {
+        let nfc = NfcHandle::new(world.clone(), phone);
+        let main = MainThread::spawn();
+        let ctx = ActivityContext {
+            name: name.to_owned(),
+            nfc: nfc.clone(),
+            handler: main.handler(),
+            toasts: ToastLog::new(),
+        };
+
+        {
+            let activity = Arc::clone(&activity);
+            let ctx = ctx.clone();
+            main.run_sync(move || {
+                activity.on_create(&ctx);
+                activity.on_resume(&ctx);
+            });
+        }
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let dispatcher = {
+            let events = nfc.events();
+            let stop = Arc::clone(&stop);
+            let activity = Arc::clone(&activity);
+            let ctx = ctx.clone();
+            std::thread::Builder::new()
+                .name(format!("nfc-dispatch-{name}"))
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        match events.recv_timeout(Duration::from_millis(20)) {
+                            Ok(event) => dispatch(&nfc, &activity, &ctx, &filter, event),
+                            Err(RecvTimeoutError::Timeout) => continue,
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
+                    }
+                })
+                .expect("spawn NFC dispatcher")
+        };
+
+        ActivityHost { ctx, main, activity, stop, dispatcher: Some(dispatcher) }
+    }
+
+    /// The activity's context.
+    pub fn context(&self) -> &ActivityContext {
+        &self.ctx
+    }
+
+    /// The toast log.
+    pub fn toasts(&self) -> ToastLog {
+        self.ctx.toasts()
+    }
+
+    /// Runs `f` on the activity's main thread and waits for it — a
+    /// barrier that guarantees earlier posted callbacks have run.
+    pub fn run_sync<R: Send + 'static>(&self, f: impl FnOnce() -> R + Send + 'static) -> R {
+        self.main.run_sync(f)
+    }
+
+    /// The hosted activity.
+    pub fn activity(&self) -> &Arc<dyn Activity> {
+        &self.activity
+    }
+}
+
+impl Drop for ActivityHost {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.dispatcher.take() {
+            let _ = join.join();
+        }
+        let activity = Arc::clone(&self.activity);
+        let ctx = self.ctx.clone();
+        self.main.run_sync(move || {
+            activity.on_pause(&ctx);
+            activity.on_destroy(&ctx);
+        });
+    }
+}
+
+/// Translates one controller event into activity callbacks, performing
+/// the platform's NDEF pre-read for discovered tags.
+fn dispatch(
+    nfc: &NfcHandle,
+    activity: &Arc<dyn Activity>,
+    ctx: &ActivityContext,
+    filter: &IntentFilter,
+    event: NfcEvent,
+) {
+    match event {
+        NfcEvent::TagEntered { uid, tech } => {
+            let mut intent = Intent::tag_only(uid, tech);
+            for _ in 0..PREREAD_ATTEMPTS {
+                match nfc.ndef_read(uid) {
+                    Ok(bytes) => {
+                        intent = Intent::ndef_from_tag(uid, tech, bytes);
+                        break;
+                    }
+                    Err(e) if e.is_transient() && nfc.tag_in_range(uid) => continue,
+                    Err(_) => break,
+                }
+            }
+            if filter.matches(&intent) {
+                post_intent(activity, ctx, intent);
+            }
+        }
+        NfcEvent::TagLeft { uid } => {
+            let activity = Arc::clone(activity);
+            let ctx = ctx.clone();
+            ctx.handler().post(move || activity.on_tag_lost(&ctx, uid));
+        }
+        NfcEvent::BeamReceived { from, bytes } => {
+            let intent = Intent::ndef_from_beam(from, bytes);
+            if filter.matches(&intent) {
+                post_intent(activity, ctx, intent);
+            }
+        }
+        // Peer proximity is not part of the Android activity contract;
+        // middleware layers subscribe to the controller directly.
+        NfcEvent::PeerEntered { .. } | NfcEvent::PeerLeft { .. } => {}
+    }
+}
+
+fn post_intent(activity: &Arc<dyn Activity>, ctx: &ActivityContext, intent: Intent) {
+    let activity = Arc::clone(activity);
+    let ctx = ctx.clone();
+    ctx.handler().post(move || activity.on_new_intent(&ctx, intent));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intent::IntentAction;
+    use morena_nfc_sim::clock::VirtualClock;
+    use morena_nfc_sim::link::LinkModel;
+    use morena_nfc_sim::tag::{TagTech, Type2Tag};
+    use parking_lot::Mutex;
+
+    #[derive(Default)]
+    struct Recorder {
+        intents: Mutex<Vec<Intent>>,
+        lost: Mutex<Vec<TagUid>>,
+        lifecycle: Mutex<Vec<&'static str>>,
+    }
+
+    impl Activity for Recorder {
+        fn on_create(&self, _ctx: &ActivityContext) {
+            self.lifecycle.lock().push("create");
+        }
+        fn on_resume(&self, _ctx: &ActivityContext) {
+            self.lifecycle.lock().push("resume");
+        }
+        fn on_new_intent(&self, ctx: &ActivityContext, intent: Intent) {
+            ctx.toast("intent!");
+            self.intents.lock().push(intent);
+        }
+        fn on_tag_lost(&self, _ctx: &ActivityContext, uid: TagUid) {
+            self.lost.lock().push(uid);
+        }
+        fn on_pause(&self, _ctx: &ActivityContext) {
+            self.lifecycle.lock().push("pause");
+        }
+        fn on_destroy(&self, _ctx: &ActivityContext) {
+            self.lifecycle.lock().push("destroy");
+        }
+    }
+
+    fn wait_until(cond: impl Fn() -> bool) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while std::time::Instant::now() < deadline && !cond() {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(cond(), "condition not reached in time");
+    }
+
+    fn world() -> World {
+        World::with_link(VirtualClock::shared(), LinkModel::instant(), 0)
+    }
+
+    #[test]
+    fn tap_dispatches_ndef_discovered_with_preread() {
+        let w = world();
+        let phone = w.add_phone("alice");
+        let uid = w.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
+        // Pre-load content.
+        let nfc = NfcHandle::new(w.clone(), phone);
+        w.tap_tag(uid, phone);
+        nfc.ndef_write(uid, b"\xd2\x03\x04a/bdata").unwrap(); // raw mime record bytes
+        w.remove_tag_from_field(uid);
+
+        let recorder = Arc::new(Recorder::default());
+        let host = ActivityHost::launch(&w, phone, "test", recorder.clone());
+        w.tap_tag(uid, phone);
+        wait_until(|| !recorder.intents.lock().is_empty());
+        host.run_sync(|| {});
+        let intents = recorder.intents.lock();
+        assert_eq!(intents[0].action(), IntentAction::NdefDiscovered);
+        assert_eq!(intents[0].tag(), Some((uid, TagTech::Type2)));
+        assert_eq!(intents[0].mime_type(), Some("a/b"));
+        assert!(host.toasts().contains("intent!"));
+    }
+
+    #[test]
+    fn unreadable_tag_dispatches_tag_discovered() {
+        let w = world();
+        let phone = w.add_phone("alice");
+        let mut t2 = Type2Tag::ntag213(TagUid::from_seed(2));
+        t2.unformat();
+        let uid = w.add_tag(Box::new(t2));
+        let recorder = Arc::new(Recorder::default());
+        let _host = ActivityHost::launch(&w, phone, "test", recorder.clone());
+        w.tap_tag(uid, phone);
+        wait_until(|| !recorder.intents.lock().is_empty());
+        assert_eq!(recorder.intents.lock()[0].action(), IntentAction::TagDiscovered);
+    }
+
+    #[test]
+    fn tag_loss_reaches_the_activity() {
+        let w = world();
+        let phone = w.add_phone("alice");
+        let uid = w.add_tag(Box::new(Type2Tag::ntag213(TagUid::from_seed(3))));
+        let recorder = Arc::new(Recorder::default());
+        let _host = ActivityHost::launch(&w, phone, "test", recorder.clone());
+        w.tap_tag(uid, phone);
+        wait_until(|| !recorder.intents.lock().is_empty());
+        w.remove_tag_from_field(uid);
+        wait_until(|| !recorder.lost.lock().is_empty());
+        assert_eq!(recorder.lost.lock()[0], uid);
+    }
+
+    #[test]
+    fn beam_is_dispatched_as_ndef_intent() {
+        let w = world();
+        let alice = w.add_phone("alice");
+        let bob = w.add_phone("bob");
+        let recorder = Arc::new(Recorder::default());
+        let _host = ActivityHost::launch(&w, bob, "bob-app", recorder.clone());
+        w.bring_phones_together(alice, bob);
+        let nfc_alice = NfcHandle::new(w.clone(), alice);
+        nfc_alice.beam(b"\xd2\x03\x02a/bhi").unwrap();
+        wait_until(|| !recorder.intents.lock().is_empty());
+        let intents = recorder.intents.lock();
+        assert_eq!(intents[0].action(), IntentAction::NdefDiscovered);
+        assert!(matches!(intents[0].source(), crate::intent::IntentSource::Beam { .. }));
+    }
+
+    #[test]
+    fn intent_filter_matching_rules() {
+        use crate::intent::IntentSource;
+        let mime_msg = |m: &str| {
+            morena_ndef::NdefMessage::single(
+                morena_ndef::NdefRecord::mime(m, b"x".to_vec()).unwrap(),
+            )
+            .to_bytes()
+        };
+        let uid = TagUid::from_seed(9);
+        let ours = Intent::ndef_from_tag(uid, TagTech::Type2, mime_msg("a/b"));
+        let theirs = Intent::ndef_from_tag(uid, TagTech::Type2, mime_msg("c/d"));
+        let fallback = Intent::tag_only(uid, TagTech::Type2);
+        let beam = Intent::ndef_from_beam(morena_nfc_sim::world::PhoneId::from_u64(1), mime_msg("a/b"));
+
+        let all = IntentFilter::accept_all();
+        assert!(all.matches(&ours) && all.matches(&theirs) && all.matches(&fallback) && all.matches(&beam));
+
+        let ab = IntentFilter::mime("a/b");
+        assert!(ab.matches(&ours));
+        assert!(!ab.matches(&theirs));
+        assert!(!ab.matches(&fallback)); // tag_discovered off
+        assert!(ab.matches(&beam));
+
+        let no_beam = IntentFilter { beam: false, ..IntentFilter::mime("a/b") };
+        assert!(!no_beam.matches(&beam));
+        assert!(no_beam.matches(&ours));
+        assert!(matches!(beam.source(), IntentSource::Beam { .. }));
+    }
+
+    #[test]
+    fn filtered_activity_ignores_foreign_mime() {
+        let w = world();
+        let phone = w.add_phone("alice");
+        let uid = w.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(20))));
+        let nfc = NfcHandle::new(w.clone(), phone);
+        w.tap_tag(uid, phone);
+        nfc.ndef_write(uid, b"\xd2\x03\x04c/ddata").unwrap(); // mime c/d
+        w.remove_tag_from_field(uid);
+
+        let recorder = Arc::new(Recorder::default());
+        let _host = ActivityHost::launch_filtered(
+            &w,
+            phone,
+            "filtered",
+            recorder.clone(),
+            IntentFilter::mime("a/b"),
+        );
+        w.tap_tag(uid, phone);
+        std::thread::sleep(Duration::from_millis(150));
+        assert!(recorder.intents.lock().is_empty(), "foreign mime must be filtered out");
+    }
+
+    #[test]
+    fn lifecycle_runs_in_order() {
+        let w = world();
+        let phone = w.add_phone("alice");
+        let recorder = Arc::new(Recorder::default());
+        let host = ActivityHost::launch(&w, phone, "test", recorder.clone());
+        drop(host);
+        assert_eq!(*recorder.lifecycle.lock(), vec!["create", "resume", "pause", "destroy"]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Intents: the typed events through which the platform tells an
+//! application about NFC activity, mirroring Android's
+//! `ACTION_NDEF_DISCOVERED` / `ACTION_TAG_DISCOVERED` dispatch.
+//!
+//! As on Android, the platform *pre-reads* a discovered tag's NDEF
+//! message: when the read succeeds the application receives
+//! [`IntentAction::NdefDiscovered`] carrying the message bytes and the
+//! MIME type of the first record (used for filtering); when the tag is
+//! not NDEF-formatted or the pre-read keeps failing it receives
+//! [`IntentAction::TagDiscovered`] with only the tag identity.
+
+use morena_nfc_sim::tag::{TagTech, TagUid};
+use morena_nfc_sim::world::PhoneId;
+use morena_ndef::{NdefMessage, Tnf};
+
+/// The dispatch category of an [`Intent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntentAction {
+    /// A tag with a readable NDEF message entered the field (also used
+    /// for messages received over Beam, exactly as Android does).
+    NdefDiscovered,
+    /// A tag entered the field but no NDEF message could be read.
+    TagDiscovered,
+}
+
+/// Where the NDEF payload physically came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntentSource {
+    /// Read from a tag in the field.
+    Tag,
+    /// Pushed by a peer phone over Beam.
+    Beam {
+        /// The sending phone.
+        from: PhoneId,
+    },
+}
+
+/// An NFC dispatch event delivered to the foreground activity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Intent {
+    action: IntentAction,
+    source: IntentSource,
+    tag: Option<(TagUid, TagTech)>,
+    ndef_bytes: Option<Vec<u8>>,
+    mime_type: Option<String>,
+}
+
+impl Intent {
+    /// Builds the intent for a successfully pre-read tag.
+    pub fn ndef_from_tag(uid: TagUid, tech: TagTech, ndef_bytes: Vec<u8>) -> Intent {
+        let mime_type = sniff_mime(&ndef_bytes);
+        Intent {
+            action: IntentAction::NdefDiscovered,
+            source: IntentSource::Tag,
+            tag: Some((uid, tech)),
+            ndef_bytes: Some(ndef_bytes),
+            mime_type,
+        }
+    }
+
+    /// Builds the intent for a tag whose NDEF message was unreadable.
+    pub fn tag_only(uid: TagUid, tech: TagTech) -> Intent {
+        Intent {
+            action: IntentAction::TagDiscovered,
+            source: IntentSource::Tag,
+            tag: Some((uid, tech)),
+            ndef_bytes: None,
+            mime_type: None,
+        }
+    }
+
+    /// Builds the intent for a message pushed over Beam.
+    pub fn ndef_from_beam(from: PhoneId, ndef_bytes: Vec<u8>) -> Intent {
+        let mime_type = sniff_mime(&ndef_bytes);
+        Intent {
+            action: IntentAction::NdefDiscovered,
+            source: IntentSource::Beam { from },
+            tag: None,
+            ndef_bytes: Some(ndef_bytes),
+            mime_type,
+        }
+    }
+
+    /// The dispatch category.
+    pub fn action(&self) -> IntentAction {
+        self.action
+    }
+
+    /// Where the payload came from.
+    pub fn source(&self) -> IntentSource {
+        self.source
+    }
+
+    /// The tag identity, when the intent came from a tag.
+    pub fn tag(&self) -> Option<(TagUid, TagTech)> {
+        self.tag
+    }
+
+    /// The raw NDEF message bytes, when readable.
+    pub fn ndef_bytes(&self) -> Option<&[u8]> {
+        self.ndef_bytes.as_deref()
+    }
+
+    /// The pre-read NDEF message, parsed. `None` when absent, blank, or
+    /// unparseable.
+    pub fn ndef_message(&self) -> Option<NdefMessage> {
+        let bytes = self.ndef_bytes.as_deref()?;
+        if bytes.is_empty() {
+            return None;
+        }
+        NdefMessage::parse(bytes).ok()
+    }
+
+    /// The MIME type of the first record, when it has one — the value
+    /// Android matches intent filters against.
+    pub fn mime_type(&self) -> Option<&str> {
+        self.mime_type.as_deref()
+    }
+
+    /// Whether this intent matches a MIME intent filter.
+    pub fn matches_mime(&self, mime: &str) -> bool {
+        self.mime_type.as_deref() == Some(mime)
+    }
+}
+
+/// Extracts the filterable MIME type of a message's first record:
+/// the record type for `Tnf::MimeMedia`, none otherwise (well-known and
+/// external types filter by other mechanisms we don't need here).
+fn sniff_mime(bytes: &[u8]) -> Option<String> {
+    let message = NdefMessage::parse(bytes).ok()?;
+    let first = message.first();
+    if first.tnf() == Tnf::MimeMedia {
+        first.record_type_str().map(str::to_owned)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morena_ndef::NdefRecord;
+
+    fn mime_message(mime: &str, payload: &[u8]) -> Vec<u8> {
+        NdefMessage::single(NdefRecord::mime(mime, payload.to_vec()).unwrap()).to_bytes()
+    }
+
+    #[test]
+    fn ndef_from_tag_sniffs_mime_and_parses() {
+        let uid = TagUid::from_seed(1);
+        let bytes = mime_message("application/x-demo", b"p");
+        let intent = Intent::ndef_from_tag(uid, TagTech::Type2, bytes);
+        assert_eq!(intent.action(), IntentAction::NdefDiscovered);
+        assert_eq!(intent.mime_type(), Some("application/x-demo"));
+        assert!(intent.matches_mime("application/x-demo"));
+        assert!(!intent.matches_mime("application/other"));
+        assert_eq!(intent.tag(), Some((uid, TagTech::Type2)));
+        assert_eq!(intent.ndef_message().unwrap().records().len(), 1);
+    }
+
+    #[test]
+    fn tag_only_has_no_payload() {
+        let intent = Intent::tag_only(TagUid::from_seed(2), TagTech::Type4);
+        assert_eq!(intent.action(), IntentAction::TagDiscovered);
+        assert_eq!(intent.ndef_bytes(), None);
+        assert!(intent.ndef_message().is_none());
+        assert_eq!(intent.mime_type(), None);
+        assert!(!intent.matches_mime("a/b"));
+    }
+
+    #[test]
+    fn beam_intent_carries_sender() {
+        let from = PhoneId::from_u64(3);
+        let intent = Intent::ndef_from_beam(from, mime_message("a/b", b"x"));
+        assert_eq!(intent.source(), IntentSource::Beam { from });
+        assert_eq!(intent.tag(), None);
+        assert_eq!(intent.mime_type(), Some("a/b"));
+    }
+
+    #[test]
+    fn blank_or_garbage_payloads_yield_no_message() {
+        let intent = Intent::ndef_from_tag(TagUid::from_seed(4), TagTech::Type2, Vec::new());
+        assert!(intent.ndef_message().is_none());
+        assert_eq!(intent.mime_type(), None);
+        let intent =
+            Intent::ndef_from_tag(TagUid::from_seed(5), TagTech::Type2, vec![0xFF, 0x01]);
+        assert!(intent.ndef_message().is_none());
+    }
+
+    #[test]
+    fn non_mime_first_record_has_no_mime_filter_value() {
+        let bytes = NdefMessage::single(
+            morena_ndef::rtd::TextRecord::new("en", "hi").to_record(),
+        )
+        .to_bytes();
+        let intent = Intent::ndef_from_tag(TagUid::from_seed(6), TagTech::Type2, bytes);
+        assert_eq!(intent.mime_type(), None);
+    }
+}

@@ -1,0 +1,57 @@
+//! # morena-android-sim
+//!
+//! A headless stand-in for the slice of the Android platform that
+//! NFC-enabled applications touch: activities with a lifecycle, NFC
+//! intent dispatch (`ACTION_NDEF_DISCOVERED` / `ACTION_TAG_DISCOVERED`),
+//! the single-threaded main looper, and toast notifications.
+//!
+//! The MORENA paper's critique targets this programming model: all NFC
+//! events arrive as intents on the foreground activity, tag I/O blocks
+//! and must be moved to hand-managed threads, and data conversion is the
+//! application's problem. This crate reproduces the model faithfully so
+//! both the handcrafted baseline and the MORENA middleware have the real
+//! substrate to build on:
+//!
+//! * [`looper`] — the main-thread message queue ([`looper::MainThread`],
+//!   [`looper::Handler`]).
+//! * [`intent`] — typed NFC dispatch events with platform-side NDEF
+//!   pre-reading and MIME sniffing.
+//! * [`activity`] — the [`activity::Activity`] trait,
+//!   [`activity::ActivityContext`], and [`activity::ActivityHost`] that
+//!   pumps controller events into main-thread callbacks.
+//! * [`ui`] — toasts and text fields for the example applications.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use morena_android_sim::activity::{Activity, ActivityContext, ActivityHost};
+//! use morena_android_sim::intent::Intent;
+//! use morena_nfc_sim::clock::VirtualClock;
+//! use morena_nfc_sim::world::World;
+//!
+//! struct Greeter;
+//! impl Activity for Greeter {
+//!     fn on_new_intent(&self, ctx: &ActivityContext, _intent: Intent) {
+//!         ctx.toast("tag!");
+//!     }
+//! }
+//!
+//! let world = World::new(VirtualClock::shared());
+//! let phone = world.add_phone("alice");
+//! let host = ActivityHost::launch(&world, phone, "greeter", Arc::new(Greeter));
+//! assert!(host.toasts().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod intent;
+pub mod looper;
+pub mod ui;
+
+pub use activity::{Activity, ActivityContext, ActivityHost};
+pub use intent::{Intent, IntentAction, IntentSource};
+pub use looper::{Handler, Looper, MainThread};
+pub use ui::{TextField, ToastLog};

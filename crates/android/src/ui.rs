@@ -1,0 +1,146 @@
+//! Tiny headless stand-ins for the UI widgets the paper's example
+//! applications touch: toasts (transient user notifications) and text
+//! fields. Tests and experiments assert on their contents.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A captured stream of toast notifications, in display order.
+///
+/// # Examples
+///
+/// ```
+/// use morena_android_sim::ui::ToastLog;
+///
+/// let toasts = ToastLog::new();
+/// toasts.show("WiFi joiner created!");
+/// assert_eq!(toasts.messages(), vec!["WiFi joiner created!".to_string()]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ToastLog {
+    messages: Arc<Mutex<Vec<String>>>,
+}
+
+impl ToastLog {
+    /// An empty toast log.
+    pub fn new() -> ToastLog {
+        ToastLog::default()
+    }
+
+    /// Shows (records) a toast.
+    pub fn show(&self, message: impl Into<String>) {
+        self.messages.lock().push(message.into());
+    }
+
+    /// All toasts shown so far, oldest first.
+    pub fn messages(&self) -> Vec<String> {
+        self.messages.lock().clone()
+    }
+
+    /// The most recent toast, if any.
+    pub fn last(&self) -> Option<String> {
+        self.messages.lock().last().cloned()
+    }
+
+    /// Number of toasts shown.
+    pub fn len(&self) -> usize {
+        self.messages.lock().len()
+    }
+
+    /// Whether no toast has been shown.
+    pub fn is_empty(&self) -> bool {
+        self.messages.lock().is_empty()
+    }
+
+    /// Whether any toast contains `needle`.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.messages.lock().iter().any(|m| m.contains(needle))
+    }
+
+    /// Blocks (polling) until a toast containing `needle` appears or
+    /// `timeout` real time passes. Returns whether it appeared.
+    pub fn wait_for(&self, needle: &str, timeout: std::time::Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while std::time::Instant::now() < deadline {
+            if self.contains(needle) {
+                return true;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        self.contains(needle)
+    }
+}
+
+/// A shared, thread-safe text field (the `EditText` of the paper's simple
+/// read/write application).
+#[derive(Debug, Clone, Default)]
+pub struct TextField {
+    text: Arc<Mutex<String>>,
+}
+
+impl TextField {
+    /// An empty text field.
+    pub fn new() -> TextField {
+        TextField::default()
+    }
+
+    /// Replaces the field's content.
+    pub fn set_text(&self, text: impl Into<String>) {
+        *self.text.lock() = text.into();
+    }
+
+    /// The field's current content.
+    pub fn text(&self) -> String {
+        self.text.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toast_log_records_in_order() {
+        let log = ToastLog::new();
+        assert!(log.is_empty());
+        log.show("one");
+        log.show(String::from("two"));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.messages(), vec!["one", "two"]);
+        assert_eq!(log.last().as_deref(), Some("two"));
+        assert!(log.contains("ne"));
+        assert!(!log.contains("three"));
+    }
+
+    #[test]
+    fn toast_log_clones_share_state() {
+        let log = ToastLog::new();
+        let view = log.clone();
+        log.show("shared");
+        assert_eq!(view.last().as_deref(), Some("shared"));
+    }
+
+    #[test]
+    fn wait_for_sees_toast_from_another_thread() {
+        let log = ToastLog::new();
+        let writer = log.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            writer.show("late toast");
+        });
+        assert!(log.wait_for("late", std::time::Duration::from_secs(5)));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn text_field_round_trips() {
+        let field = TextField::new();
+        assert_eq!(field.text(), "");
+        field.set_text("hello");
+        assert_eq!(field.text(), "hello");
+        let view = field.clone();
+        view.set_text("shared");
+        assert_eq!(field.text(), "shared");
+    }
+}

@@ -1,0 +1,314 @@
+//! An extension application beyond the paper's demo: tracking a fleet of
+//! RFID-tagged assets (the "tracking of personal belongings" scenario
+//! the paper's related work cites as motivation).
+//!
+//! Exercises the parts of the middleware the WiFi app does not:
+//! connectivity tracking across many simultaneous references, leased
+//! (exclusive) updates, and per-reference statistics.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use morena_core::context::MorenaContext;
+use morena_core::discovery::{DiscoveryListener, TagDiscoverer};
+use morena_core::lease::{LeaseError, LeaseManager};
+use morena_core::tagref::TagReference;
+use morena_core::thing::Thing;
+use morena_core::convert::JsonConverter;
+use morena_nfc_sim::tag::TagUid;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// A tracked asset's record, stored on its tag.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AssetRecord {
+    /// Human-readable asset name.
+    pub name: String,
+    /// Who checked it out last (empty = checked in).
+    pub custodian: String,
+    /// How many times it changed hands.
+    pub handovers: u32,
+}
+
+impl AssetRecord {
+    /// A fresh, checked-in asset.
+    pub fn new(name: &str) -> AssetRecord {
+        AssetRecord { name: name.to_owned(), custodian: String::new(), handovers: 0 }
+    }
+}
+
+impl Thing for AssetRecord {
+    const TYPE_NAME: &'static str = "asset-record";
+}
+
+/// What the tracker currently knows about one asset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssetStatus {
+    /// The asset's record as last read.
+    pub record: AssetRecord,
+    /// Whether its tag is in range right now.
+    pub in_range: bool,
+    /// How often the tag has been sighted.
+    pub sightings: u32,
+}
+
+struct TrackerListener {
+    assets: Arc<Mutex<BTreeMap<TagUid, AssetStatus>>>,
+}
+
+impl DiscoveryListener<JsonConverter<AssetRecord>> for TrackerListener {
+    fn on_tag_detected(&self, reference: TagReference<JsonConverter<AssetRecord>>) {
+        self.record_sighting(reference);
+    }
+
+    fn on_tag_redetected(&self, reference: TagReference<JsonConverter<AssetRecord>>) {
+        self.record_sighting(reference);
+    }
+}
+
+impl TrackerListener {
+    fn record_sighting(&self, reference: TagReference<JsonConverter<AssetRecord>>) {
+        let Some(record) = reference.cached() else { return };
+        let mut assets = self.assets.lock();
+        let entry = assets.entry(reference.uid()).or_insert(AssetStatus {
+            record: record.clone(),
+            in_range: true,
+            sightings: 0,
+        });
+        entry.record = record;
+        entry.in_range = true;
+        entry.sightings += 1;
+    }
+}
+
+/// Tracks every asset tag that passes the phone, and performs leased
+/// custody handovers.
+pub struct AssetTracker {
+    ctx: MorenaContext,
+    discoverer: TagDiscoverer<JsonConverter<AssetRecord>>,
+    leases: LeaseManager,
+    assets: Arc<Mutex<BTreeMap<TagUid, AssetStatus>>>,
+}
+
+impl std::fmt::Debug for AssetTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AssetTracker").field("known", &self.assets.lock().len()).finish()
+    }
+}
+
+impl AssetTracker {
+    /// Launches the tracker on `ctx`'s phone.
+    pub fn launch(ctx: &MorenaContext) -> AssetTracker {
+        let assets = Arc::new(Mutex::new(BTreeMap::new()));
+        let discoverer = TagDiscoverer::new(
+            ctx,
+            Arc::new(AssetRecord::converter()),
+            Arc::new(TrackerListener { assets: Arc::clone(&assets) }),
+        );
+        AssetTracker {
+            ctx: ctx.clone(),
+            discoverer,
+            leases: LeaseManager::new(ctx),
+            assets,
+        }
+    }
+
+    /// Everything the tracker has seen, keyed by tag UID, with live
+    /// connectivity.
+    pub fn inventory(&self) -> BTreeMap<TagUid, AssetStatus> {
+        let mut inventory = self.assets.lock().clone();
+        for (uid, status) in inventory.iter_mut() {
+            status.in_range = self.ctx.nfc().tag_in_range(*uid);
+        }
+        inventory
+    }
+
+    /// Number of distinct assets ever sighted.
+    pub fn known_assets(&self) -> usize {
+        self.assets.lock().len()
+    }
+
+    /// Performs a custody handover under a lease: acquires exclusive
+    /// access to the asset's tag, rewrites the record with the new
+    /// custodian, and releases. Blocking; returns the updated record.
+    ///
+    /// # Errors
+    ///
+    /// [`LeaseError`] when the tag is unreachable, leased by another
+    /// device, or the race was lost.
+    pub fn handover(
+        &self,
+        uid: TagUid,
+        new_custodian: &str,
+        lease_ttl: Duration,
+    ) -> Result<AssetRecord, LeaseError> {
+        let reference = self
+            .discoverer
+            .reference_for(uid)
+            .ok_or(LeaseError::Nfc(morena_nfc_sim::error::NfcOpError::NotNdef))?;
+        self.leases.with_lease_held(uid, lease_ttl, |_lease| {
+            // Read under the lease: nobody else may write concurrently.
+            let bytes = self
+                .ctx
+                .nfc()
+                .ndef_read(uid)
+                .map_err(LeaseError::Nfc)?;
+            let message = morena_ndef::NdefMessage::parse(&bytes)
+                .map_err(|_| LeaseError::Nfc(morena_nfc_sim::error::NfcOpError::Protocol("bad NDEF")))?;
+            let content = morena_core::lease::strip_lease(&message);
+            let converter = AssetRecord::converter();
+            use morena_core::convert::TagDataConverter;
+            let mut record = converter
+                .from_message(&content)
+                .map_err(|_| LeaseError::Nfc(morena_nfc_sim::error::NfcOpError::Protocol("not an asset record")))?;
+            record.custodian = new_custodian.to_owned();
+            record.handovers += 1;
+            // Write back *with the lease still in place*.
+            let new_content = converter
+                .to_message(&record)
+                .map_err(|_| LeaseError::Nfc(morena_nfc_sim::error::NfcOpError::Protocol("unserializable record")))?;
+            let lease_record = morena_core::lease::LeaseRecord::find_in(&message)
+                .expect("lease we hold is on the tag");
+            let locked = morena_core::lease::with_lease(&new_content, lease_record);
+            self.ctx
+                .nfc()
+                .ndef_write(uid, &locked.to_bytes())
+                .map_err(LeaseError::Nfc)?;
+            // Refresh the local cache.
+            reference.set_cached(Some(record.clone()));
+            if let Some(status) = self.assets.lock().get_mut(&uid) {
+                status.record = record.clone();
+            }
+            Ok(record)
+        })
+    }
+
+    /// The lease manager (for experiments).
+    pub fn leases(&self) -> &LeaseManager {
+        &self.leases
+    }
+
+    /// The discoverer (for tests).
+    pub fn discoverer(&self) -> &TagDiscoverer<JsonConverter<AssetRecord>> {
+        &self.discoverer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morena_core::convert::TagDataConverter;
+    use morena_nfc_sim::clock::VirtualClock;
+    use morena_nfc_sim::link::LinkModel;
+    use morena_nfc_sim::tag::Type2Tag;
+    use morena_nfc_sim::world::World;
+
+    fn wait_for(cond: impl Fn() -> bool) -> bool {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while std::time::Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        cond()
+    }
+
+    fn setup_with_assets(n: u32) -> (World, MorenaContext, AssetTracker, Vec<TagUid>) {
+        let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 61);
+        let phone = world.add_phone("warehouse");
+        let ctx = MorenaContext::headless(&world, phone);
+        let converter = AssetRecord::converter();
+        let uids: Vec<TagUid> = (0..n)
+            .map(|i| {
+                let uid = world.add_tag(Box::new(Type2Tag::ntag216(TagUid::from_seed(100 + i))));
+                world.tap_tag(uid, phone);
+                let record = AssetRecord::new(&format!("asset-{i}"));
+                ctx.nfc()
+                    .ndef_write(uid, &converter.to_message(&record).unwrap().to_bytes())
+                    .unwrap();
+                world.remove_tag_from_field(uid);
+                uid
+            })
+            .collect();
+        let tracker = AssetTracker::launch(&ctx);
+        (world, ctx, tracker, uids)
+    }
+
+    #[test]
+    fn sightings_build_the_inventory() {
+        let (world, ctx, tracker, uids) = setup_with_assets(3);
+        for (i, uid) in uids.iter().enumerate() {
+            // Each tag dwells in the field long enough to be sighted
+            // before the next one is presented.
+            world.tap_tag(*uid, ctx.phone());
+            assert!(wait_for(|| tracker.known_assets() == i + 1));
+            world.remove_tag_from_field(*uid);
+        }
+        let inventory = tracker.inventory();
+        assert_eq!(inventory.len(), 3);
+        for status in inventory.values() {
+            assert!(!status.in_range); // all removed again
+            assert_eq!(status.sightings, 1);
+            assert!(status.record.name.starts_with("asset-"));
+        }
+        // Re-sighting bumps the counter.
+        world.tap_tag(uids[0], ctx.phone());
+        assert!(wait_for(|| tracker.inventory()[&uids[0]].sightings == 2));
+        assert!(tracker.inventory()[&uids[0]].in_range);
+    }
+
+    #[test]
+    fn leased_handover_updates_the_record() {
+        let (world, ctx, tracker, uids) = setup_with_assets(1);
+        world.tap_tag(uids[0], ctx.phone());
+        assert!(wait_for(|| tracker.known_assets() == 1));
+        let updated =
+            tracker.handover(uids[0], "alice", Duration::from_secs(5)).unwrap();
+        assert_eq!(updated.custodian, "alice");
+        assert_eq!(updated.handovers, 1);
+        // The lease is released afterwards and the content is clean.
+        assert_eq!(tracker.leases().inspect(uids[0]).unwrap(), None);
+        let bytes = ctx.nfc().ndef_read(uids[0]).unwrap();
+        let message = morena_ndef::NdefMessage::parse(&bytes).unwrap();
+        let record = AssetRecord::converter().from_message(&message).unwrap();
+        assert_eq!(record.custodian, "alice");
+        // A second handover increments again.
+        let updated = tracker.handover(uids[0], "bob", Duration::from_secs(5)).unwrap();
+        assert_eq!(updated.handovers, 2);
+        assert_eq!(tracker.inventory()[&uids[0]].record.custodian, "bob");
+    }
+
+    #[test]
+    fn handover_fails_while_leased_elsewhere() {
+        let (world, ctx, tracker, uids) = setup_with_assets(1);
+        world.tap_tag(uids[0], ctx.phone());
+        assert!(wait_for(|| tracker.known_assets() == 1));
+
+        // A second phone takes the lease first.
+        let rival_phone = world.add_phone("rival");
+        world.set_phone_position(
+            rival_phone,
+            morena_nfc_sim::geometry::Point::new(1000.0, 0.0), // same as phone 0
+        );
+        let rival_ctx = MorenaContext::headless(&world, rival_phone);
+        let rival = LeaseManager::new(&rival_ctx);
+        let lease = rival.acquire(uids[0], Duration::from_secs(60)).unwrap();
+
+        match tracker.handover(uids[0], "mallory", Duration::from_secs(5)) {
+            Err(LeaseError::Held { holder, .. }) => assert_eq!(holder, rival.device()),
+            other => panic!("expected Held, got {other:?}"),
+        }
+        rival.release(&lease).unwrap();
+        assert!(tracker.handover(uids[0], "alice", Duration::from_secs(5)).is_ok());
+    }
+
+    #[test]
+    fn handover_of_unknown_asset_errors() {
+        let (_world, _ctx, tracker, _uids) = setup_with_assets(1);
+        assert!(tracker
+            .handover(TagUid::from_seed(999), "x", Duration::from_secs(1))
+            .is_err());
+    }
+}

@@ -1,0 +1,380 @@
+//! A second full application beyond the paper's demo: **door access
+//! control** with NFC badges.
+//!
+//! * A *badge office* issues badges onto blank tags — under a tag lease,
+//!   so two office terminals can never double-issue the same tag — and
+//!   revokes them by overwriting the access level.
+//! * A *door* watches for badges with its `ThingSpace`, applies its
+//!   policy in a §3.4-style condition, and logs every decision.
+//!
+//! Exercises the layers the WiFi app does not combine: things +
+//! leasing + multi-phone contention over one tag.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use morena_core::context::MorenaContext;
+use morena_core::lease::{LeaseError, LeaseManager, LeaseRecord};
+use morena_core::thing::{BoundThing, EmptyThingSlot, Thing, ThingObserver, ThingSpace};
+use morena_nfc_sim::tag::TagUid;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// A credential stored on a badge tag.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Badge {
+    /// Whose badge this is.
+    pub holder: String,
+    /// Access level; 0 means revoked.
+    pub level: u8,
+    /// Issue timestamp (simulation nanos), for audit.
+    pub issued_at_nanos: u64,
+}
+
+impl Thing for Badge {
+    const TYPE_NAME: &'static str = "door-badge";
+}
+
+/// One door decision, for the audit log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessDecision {
+    /// The badge tag.
+    pub uid: TagUid,
+    /// The badge holder (empty for unreadable badges).
+    pub holder: String,
+    /// Whether the door opened.
+    pub granted: bool,
+}
+
+struct DoorObserver {
+    required_level: u8,
+    log: Arc<Mutex<Vec<AccessDecision>>>,
+}
+
+impl ThingObserver<Badge> for DoorObserver {
+    fn when_discovered(&self, thing: BoundThing<Badge>) {
+        let badge = thing.value();
+        let granted = badge.level >= self.required_level;
+        self.log.lock().push(AccessDecision {
+            uid: thing.uid(),
+            holder: badge.holder,
+            granted,
+        });
+    }
+
+    fn when_discovered_empty(&self, _slot: EmptyThingSlot<Badge>) {
+        // A blank tag is not a badge; the door ignores it.
+    }
+}
+
+/// A door that opens for badges at or above its required level.
+pub struct Door {
+    _space: ThingSpace<Badge>,
+    log: Arc<Mutex<Vec<AccessDecision>>>,
+}
+
+impl std::fmt::Debug for Door {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Door").field("decisions", &self.log.lock().len()).finish()
+    }
+}
+
+impl Door {
+    /// Installs a door on `ctx`'s phone requiring `required_level`.
+    pub fn install(ctx: &MorenaContext, required_level: u8) -> Door {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let space = ThingSpace::new(
+            ctx,
+            Arc::new(DoorObserver { required_level, log: Arc::clone(&log) }),
+        );
+        Door { _space: space, log }
+    }
+
+    /// Every decision taken so far, oldest first.
+    pub fn audit_log(&self) -> Vec<AccessDecision> {
+        self.log.lock().clone()
+    }
+
+    /// Decisions for one badge tag.
+    pub fn decisions_for(&self, uid: TagUid) -> Vec<AccessDecision> {
+        self.log.lock().iter().filter(|d| d.uid == uid).cloned().collect()
+    }
+}
+
+/// Errors of badge office operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IssueError {
+    /// Another office terminal holds the tag (or won the race).
+    Contended(LeaseError),
+    /// The tag could not be read or written.
+    Nfc(String),
+    /// The tag already carries a badge; use `revoke`/re-issue.
+    AlreadyIssued {
+        /// The existing holder.
+        holder: String,
+    },
+    /// The tag carries no badge to revoke.
+    NoBadge,
+}
+
+impl std::fmt::Display for IssueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IssueError::Contended(e) => write!(f, "office contention: {e}"),
+            IssueError::Nfc(e) => write!(f, "badge tag I/O failed: {e}"),
+            IssueError::AlreadyIssued { holder } => {
+                write!(f, "tag already carries a badge for {holder}")
+            }
+            IssueError::NoBadge => write!(f, "tag carries no badge"),
+        }
+    }
+}
+
+impl std::error::Error for IssueError {}
+
+/// An office terminal that issues and revokes badges, lease-protected.
+pub struct BadgeOffice {
+    ctx: MorenaContext,
+    leases: LeaseManager,
+}
+
+impl std::fmt::Debug for BadgeOffice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BadgeOffice").field("device", &self.leases.device()).finish()
+    }
+}
+
+impl BadgeOffice {
+    /// Opens an office terminal on `ctx`'s phone.
+    pub fn open(ctx: &MorenaContext) -> BadgeOffice {
+        BadgeOffice { ctx: ctx.clone(), leases: LeaseManager::new(ctx) }
+    }
+
+    fn read_badge(&self, uid: TagUid) -> Result<Option<Badge>, IssueError> {
+        use morena_core::convert::TagDataConverter;
+        let bytes =
+            self.ctx.nfc().ndef_read(uid).map_err(|e| IssueError::Nfc(e.to_string()))?;
+        if bytes.is_empty() {
+            return Ok(None);
+        }
+        let message = morena_ndef::NdefMessage::parse(&bytes)
+            .map_err(|e| IssueError::Nfc(e.to_string()))?;
+        if message.is_blank() {
+            return Ok(None);
+        }
+        let content = morena_core::lease::strip_lease(&message);
+        Ok(Badge::converter().from_message(&content).ok())
+    }
+
+    fn write_badge_locked(
+        &self,
+        uid: TagUid,
+        badge: &Badge,
+        lease: &morena_core::lease::Lease,
+    ) -> Result<(), IssueError> {
+        use morena_core::convert::TagDataConverter;
+        let message = Badge::converter()
+            .to_message(badge)
+            .map_err(|e| IssueError::Nfc(e.to_string()))?;
+        let locked = morena_core::lease::with_lease(
+            &message,
+            LeaseRecord { holder: lease.holder, expires_at: lease.expires_at },
+        );
+        self.ctx
+            .nfc()
+            .ndef_write(uid, &locked.to_bytes())
+            .map_err(|e| IssueError::Nfc(e.to_string()))
+    }
+
+    /// Issues a badge onto a blank tag, exclusively (lease + verify).
+    ///
+    /// # Errors
+    ///
+    /// [`IssueError::AlreadyIssued`] when the tag carries a badge,
+    /// [`IssueError::Contended`] when another terminal holds the tag,
+    /// [`IssueError::Nfc`] on I/O failure.
+    pub fn issue(&self, uid: TagUid, holder: &str, level: u8) -> Result<Badge, IssueError> {
+        let badge = Badge {
+            holder: holder.to_owned(),
+            level,
+            issued_at_nanos: self.ctx.clock().now().as_nanos(),
+        };
+        let lease = self.acquire(uid)?;
+        let result = (|| {
+            // Under the lease: re-check the tag is still blank.
+            if let Some(existing) = self.read_badge(uid)? {
+                return Err(IssueError::AlreadyIssued { holder: existing.holder });
+            }
+            self.write_badge_locked(uid, &badge, &lease)
+        })();
+        let _ = self.leases.release(&lease);
+        result.map(|()| badge)
+    }
+
+    /// Revokes the badge on `uid` (sets its level to 0), exclusively.
+    ///
+    /// # Errors
+    ///
+    /// [`IssueError::NoBadge`] when the tag carries none; contention and
+    /// I/O errors as for [`issue`](BadgeOffice::issue).
+    pub fn revoke(&self, uid: TagUid) -> Result<Badge, IssueError> {
+        let lease = self.acquire(uid)?;
+        let result = (|| {
+            let existing = self.read_badge(uid)?.ok_or(IssueError::NoBadge)?;
+            let revoked = Badge { level: 0, ..existing };
+            self.write_badge_locked(uid, &revoked, &lease)?;
+            Ok(revoked)
+        })();
+        let _ = self.leases.release(&lease);
+        result
+    }
+
+    fn acquire(&self, uid: TagUid) -> Result<morena_core::lease::Lease, IssueError> {
+        self.leases.acquire(uid, Duration::from_secs(5)).map_err(|e| match e {
+            LeaseError::Held { .. } | LeaseError::LostRace { .. } => IssueError::Contended(e),
+            other => IssueError::Nfc(other.to_string()),
+        })
+    }
+
+    /// The badge currently on `uid`, if any.
+    ///
+    /// # Errors
+    ///
+    /// [`IssueError::Nfc`] on I/O failure.
+    pub fn inspect(&self, uid: TagUid) -> Result<Option<Badge>, IssueError> {
+        self.read_badge(uid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morena_nfc_sim::clock::VirtualClock;
+    use morena_nfc_sim::geometry::Point;
+    use morena_nfc_sim::link::LinkModel;
+    use morena_nfc_sim::tag::Type2Tag;
+    use morena_nfc_sim::world::World;
+
+    fn wait_for(cond: impl Fn() -> bool) -> bool {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while std::time::Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        cond()
+    }
+
+    fn setup() -> (World, MorenaContext, MorenaContext, TagUid) {
+        let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 91);
+        let office_phone = world.add_phone("office");
+        let door_phone = world.add_phone("door");
+        let office_ctx = MorenaContext::headless(&world, office_phone);
+        let door_ctx = MorenaContext::headless(&world, door_phone);
+        let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
+        (world, office_ctx, door_ctx, uid)
+    }
+
+    #[test]
+    fn issue_then_door_grants_then_revoke_denies() {
+        let (world, office_ctx, door_ctx, uid) = setup();
+        let office = BadgeOffice::open(&office_ctx);
+        let door = Door::install(&door_ctx, 2);
+
+        // Issue a level-3 badge at the office.
+        world.tap_tag(uid, office_ctx.phone());
+        let badge = office.issue(uid, "alice", 3).unwrap();
+        assert_eq!(badge.holder, "alice");
+        assert_eq!(office.inspect(uid).unwrap().unwrap().level, 3);
+        world.remove_tag_from_field(uid);
+
+        // Present at the door: granted.
+        world.tap_tag(uid, door_ctx.phone());
+        assert!(wait_for(|| !door.decisions_for(uid).is_empty()));
+        let decision = door.decisions_for(uid)[0].clone();
+        assert!(decision.granted);
+        assert_eq!(decision.holder, "alice");
+        world.remove_tag_from_field(uid);
+
+        // Revoke, present again: denied.
+        world.tap_tag(uid, office_ctx.phone());
+        let revoked = office.revoke(uid).unwrap();
+        assert_eq!(revoked.level, 0);
+        world.remove_tag_from_field(uid);
+        world.tap_tag(uid, door_ctx.phone());
+        assert!(wait_for(|| door.decisions_for(uid).len() >= 2));
+        assert!(!door.decisions_for(uid)[1].granted);
+    }
+
+    #[test]
+    fn low_level_badge_is_denied() {
+        let (world, office_ctx, door_ctx, uid) = setup();
+        let office = BadgeOffice::open(&office_ctx);
+        let door = Door::install(&door_ctx, 5);
+        world.tap_tag(uid, office_ctx.phone());
+        office.issue(uid, "bob", 1).unwrap();
+        world.remove_tag_from_field(uid);
+        world.tap_tag(uid, door_ctx.phone());
+        assert!(wait_for(|| !door.decisions_for(uid).is_empty()));
+        assert!(!door.decisions_for(uid)[0].granted);
+        assert!(format!("{door:?}").contains("Door"));
+    }
+
+    #[test]
+    fn double_issue_is_rejected() {
+        let (world, office_ctx, _door_ctx, uid) = setup();
+        let office = BadgeOffice::open(&office_ctx);
+        world.tap_tag(uid, office_ctx.phone());
+        office.issue(uid, "alice", 2).unwrap();
+        match office.issue(uid, "mallory", 9) {
+            Err(IssueError::AlreadyIssued { holder }) => assert_eq!(holder, "alice"),
+            other => panic!("expected AlreadyIssued, got {other:?}"),
+        }
+        // The original badge is untouched.
+        assert_eq!(office.inspect(uid).unwrap().unwrap().holder, "alice");
+    }
+
+    #[test]
+    fn contending_office_terminal_is_refused() {
+        let (world, office_ctx, _door_ctx, uid) = setup();
+        let office_a = BadgeOffice::open(&office_ctx);
+        // A second terminal co-located with the first.
+        let terminal_b_phone = world.add_phone("office-b");
+        world.set_phone_position(terminal_b_phone, Point::new(1000.0, 0.0));
+        let office_b = BadgeOffice::open(&MorenaContext::headless(&world, terminal_b_phone));
+
+        world.tap_tag(uid, office_ctx.phone());
+        // Terminal A holds a lease while B tries to issue.
+        let lease = office_a.leases.acquire(uid, Duration::from_secs(60)).unwrap();
+        match office_b.issue(uid, "carol", 2) {
+            Err(IssueError::Contended(_)) => {}
+            other => panic!("expected contention, got {other:?}"),
+        }
+        office_a.leases.release(&lease).unwrap();
+        assert!(office_b.issue(uid, "carol", 2).is_ok());
+        assert!(format!("{office_b:?}").contains("BadgeOffice"));
+    }
+
+    #[test]
+    fn revoking_a_blank_tag_errors() {
+        let (world, office_ctx, _door_ctx, uid) = setup();
+        let office = BadgeOffice::open(&office_ctx);
+        world.tap_tag(uid, office_ctx.phone());
+        assert_eq!(office.revoke(uid).unwrap_err(), IssueError::NoBadge);
+        assert_eq!(office.inspect(uid).unwrap(), None);
+    }
+
+    #[test]
+    fn error_displays_are_nonempty() {
+        for e in [
+            IssueError::Contended(LeaseError::NotHolder),
+            IssueError::Nfc("x".into()),
+            IssueError::AlreadyIssued { holder: "h".into() },
+            IssueError::NoBadge,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

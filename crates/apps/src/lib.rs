@@ -1,0 +1,38 @@
+//! # morena-apps
+//!
+//! The evaluation applications of the MORENA reproduction:
+//!
+//! * [`wifi`] — the WiFi-sharing domain of the paper's running example
+//!   (§2): `WifiConfig` credentials and a recording `WifiManager`.
+//! * [`wifi_morena`] — the application built **on MORENA** (things,
+//!   asynchronous operations, Beam), annotated for line counting.
+//! * [`wifi_handcrafted`] — the same application built **directly on the
+//!   raw platform API** (intents, blocking `Ndef`, `AsyncTask`, manual
+//!   conversion and retries), equally annotated.
+//! * [`loc`] — the Figure 2 harness: parses the annotations and produces
+//!   per-subproblem line counts for both implementations.
+//! * [`text_tool`] — §3's simple read/write-a-string tool on the tag
+//!   reference level.
+//! * [`asset_tracker`] — an extension app exercising multi-tag
+//!   connectivity tracking and leased updates.
+//! * [`door_access`] — a second full application: badge issuance under
+//!   leases, doors with policy checks, revocation.
+//! * [`wifi_handover`] — a standards-based on-tag encoding (NFC Forum
+//!   Connection Handover + WiFi Simple Configuration) for the same
+//!   `WifiConfig`, swappable for the JSON thing encoding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asset_tracker;
+pub mod door_access;
+pub mod loc;
+pub mod text_tool;
+pub mod wifi;
+pub mod wifi_handcrafted;
+pub mod wifi_handover;
+pub mod wifi_morena;
+
+pub use wifi::{WifiConfig, WifiManager};
+pub use wifi_handcrafted::HandcraftedWifiApp;
+pub use wifi_morena::MorenaWifiApp;

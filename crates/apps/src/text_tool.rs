@@ -1,0 +1,220 @@
+//! The simple read/write-a-string application of §3 of the paper: shows
+//! the **tag reference level** of MORENA (one step below things), with a
+//! custom `TagDiscoverer`, string converters, and explicit asynchronous
+//! reads and writes updating a text field.
+
+use std::sync::Arc;
+
+use morena_android_sim::ui::{TextField, ToastLog};
+use morena_core::context::MorenaContext;
+use morena_core::convert::StringConverter;
+use morena_core::discovery::{DiscoveryListener, TagDiscoverer};
+use morena_core::tagref::TagReference;
+use morena_nfc_sim::tag::TagUid;
+use parking_lot::Mutex;
+
+/// The MIME type the tool reads and writes.
+pub const TEXT_TYPE: &str = "text/plain";
+
+struct ToolListener {
+    display: TextField,
+    toasts: ToastLog,
+    last_seen: Arc<Mutex<Option<TagReference<StringConverter>>>>,
+}
+
+impl ToolListener {
+    /// §3.2's `readTagAndUpdateUI`: asynchronously read the tag and show
+    /// its contents; on failure, tell the user.
+    fn read_tag_and_update_ui(&self, reference: TagReference<StringConverter>) {
+        *self.last_seen.lock() = Some(reference.clone());
+        let display = self.display.clone();
+        let toasts = self.toasts.clone();
+        reference.read(
+            move |r| display.set_text(r.cached().unwrap_or_default()),
+            move |_, failure| toasts.show(format!("Reading tag failed: {failure}")),
+        );
+    }
+}
+
+impl DiscoveryListener<StringConverter> for ToolListener {
+    fn on_tag_detected(&self, reference: TagReference<StringConverter>) {
+        self.read_tag_and_update_ui(reference);
+    }
+
+    fn on_tag_redetected(&self, reference: TagReference<StringConverter>) {
+        self.read_tag_and_update_ui(reference);
+    }
+
+    fn on_empty_tag(&self, reference: TagReference<StringConverter>) {
+        // A blank tag displays as the empty string and can be written.
+        *self.last_seen.lock() = Some(reference);
+        self.display.set_text("");
+    }
+}
+
+/// The text tool: displays the contents of the last scanned text tag and
+/// writes user input back to it.
+pub struct TextTool {
+    discoverer: TagDiscoverer<StringConverter>,
+    input: TextField,
+    display: TextField,
+    toasts: ToastLog,
+    last_seen: Arc<Mutex<Option<TagReference<StringConverter>>>>,
+}
+
+impl std::fmt::Debug for TextTool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TextTool").field("display", &self.display.text()).finish()
+    }
+}
+
+impl TextTool {
+    /// Launches the tool on `ctx`'s phone.
+    pub fn launch(ctx: &MorenaContext) -> TextTool {
+        let display = TextField::new();
+        let toasts = ToastLog::new();
+        let last_seen = Arc::new(Mutex::new(None));
+        let listener = Arc::new(ToolListener {
+            display: display.clone(),
+            toasts: toasts.clone(),
+            last_seen: Arc::clone(&last_seen),
+        });
+        let discoverer =
+            TagDiscoverer::new(ctx, Arc::new(StringConverter::new(TEXT_TYPE)), listener);
+        TextTool {
+            discoverer,
+            input: TextField::new(),
+            display,
+            toasts,
+            last_seen,
+        }
+    }
+
+    /// The field the user types new tag content into.
+    pub fn input(&self) -> &TextField {
+        &self.input
+    }
+
+    /// The field showing the last scanned tag's content.
+    pub fn display(&self) -> &TextField {
+        &self.display
+    }
+
+    /// The tool's toast log.
+    pub fn toasts(&self) -> ToastLog {
+        self.toasts.clone()
+    }
+
+    /// The tag currently "selected" (last scanned), if any.
+    pub fn last_seen(&self) -> Option<TagUid> {
+        self.last_seen.lock().as_ref().map(|r| r.uid())
+    }
+
+    /// §3.2's save-button handler: write the input field's text to the
+    /// last seen tag, asynchronously, updating the display on success.
+    pub fn save_clicked(&self) {
+        let Some(reference) = self.last_seen.lock().clone() else {
+            self.toasts.show("No tag scanned yet.");
+            return;
+        };
+        let to_write = self.input.text();
+        let display = self.display.clone();
+        let toasts = self.toasts.clone();
+        reference.write(
+            to_write,
+            move |r| display.set_text(r.cached().unwrap_or_default()),
+            move |_, failure| toasts.show(format!("Writing tag failed: {failure}")),
+        );
+    }
+
+    /// The discoverer, for tests.
+    pub fn discoverer(&self) -> &TagDiscoverer<StringConverter> {
+        &self.discoverer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morena_core::convert::TagDataConverter;
+    use morena_nfc_sim::clock::VirtualClock;
+    use morena_nfc_sim::link::LinkModel;
+    use morena_nfc_sim::tag::{TagUid, Type2Tag};
+    use morena_nfc_sim::world::World;
+    use std::time::Duration;
+
+    fn wait_for(cond: impl Fn() -> bool) -> bool {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while std::time::Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        cond()
+    }
+
+    fn setup() -> (World, MorenaContext, TextTool, TagUid) {
+        let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 51);
+        let phone = world.add_phone("user");
+        let ctx = MorenaContext::headless(&world, phone);
+        let tool = TextTool::launch(&ctx);
+        let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
+        (world, ctx, tool, uid)
+    }
+
+    #[test]
+    fn scanning_a_text_tag_updates_the_display() {
+        let (world, ctx, tool, uid) = setup();
+        world.tap_tag(uid, ctx.phone());
+        let msg = StringConverter::new(TEXT_TYPE).to_message(&"hello tool".to_string()).unwrap();
+        ctx.nfc().ndef_write(uid, &msg.to_bytes()).unwrap();
+        world.remove_tag_from_field(uid);
+        world.tap_tag(uid, ctx.phone());
+        assert!(wait_for(|| tool.display().text() == "hello tool"));
+        assert_eq!(tool.last_seen(), Some(uid));
+    }
+
+    #[test]
+    fn save_writes_input_to_last_seen_tag() {
+        let (world, ctx, tool, uid) = setup();
+        world.tap_tag(uid, ctx.phone());
+        assert!(wait_for(|| tool.last_seen() == Some(uid)));
+        tool.input().set_text("written by the tool");
+        tool.save_clicked();
+        assert!(wait_for(|| tool.display().text() == "written by the tool"));
+        // Verify over the air.
+        let bytes = ctx.nfc().ndef_read(uid).unwrap();
+        let msg = morena_ndef::NdefMessage::parse(&bytes).unwrap();
+        assert_eq!(
+            StringConverter::new(TEXT_TYPE).from_message(&msg).unwrap(),
+            "written by the tool"
+        );
+    }
+
+    #[test]
+    fn save_without_a_tag_toasts() {
+        let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 52);
+        let phone = world.add_phone("user");
+        let ctx = MorenaContext::headless(&world, phone);
+        let tool = TextTool::launch(&ctx);
+        tool.save_clicked();
+        assert!(tool.toasts().contains("No tag scanned yet."));
+    }
+
+    #[test]
+    fn save_queues_while_tag_is_away_and_flushes_on_return() {
+        let (world, ctx, tool, uid) = setup();
+        world.tap_tag(uid, ctx.phone());
+        assert!(wait_for(|| tool.last_seen() == Some(uid)));
+        world.remove_tag_from_field(uid);
+        tool.input().set_text("delayed write");
+        tool.save_clicked();
+        // Nothing happens while the tag is away…
+        std::thread::sleep(Duration::from_millis(50));
+        assert_ne!(tool.display().text(), "delayed write");
+        // …the write flushes when the tag returns (decoupling in time).
+        world.tap_tag(uid, ctx.phone());
+        assert!(wait_for(|| tool.display().text() == "delayed write"));
+    }
+}

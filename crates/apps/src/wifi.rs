@@ -1,0 +1,103 @@
+//! The WiFi-sharing domain of the paper's running example (§2): a
+//! credentials value and the device's WiFi manager.
+//!
+//! These types are *application logic*, shared verbatim by the MORENA
+//! and handcrafted implementations — they carry no RFID-related code and
+//! are therefore outside the Figure 2 line counts.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Credentials for joining one WiFi network (the paper's `WifiConfig`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WifiConfig {
+    /// Network name.
+    pub ssid: String,
+    /// Network password.
+    pub key: String,
+}
+
+impl WifiConfig {
+    /// Creates a config.
+    pub fn new(ssid: &str, key: &str) -> WifiConfig {
+        WifiConfig { ssid: ssid.to_owned(), key: key.to_owned() }
+    }
+
+    /// Connects the device to this network (the paper's
+    /// `connect(WifiManager)` method).
+    pub fn connect(&self, wifi_manager: &WifiManager) -> bool {
+        wifi_manager.connect(&self.ssid, &self.key)
+    }
+}
+
+/// A recording stand-in for Android's `WifiManager`: connection attempts
+/// are logged so tests and experiments can assert on them.
+#[derive(Debug, Clone, Default)]
+pub struct WifiManager {
+    connections: Arc<Mutex<Vec<WifiConfig>>>,
+}
+
+impl WifiManager {
+    /// A manager with an empty connection log.
+    pub fn new() -> WifiManager {
+        WifiManager::default()
+    }
+
+    /// Records a connection attempt; always "succeeds".
+    pub fn connect(&self, ssid: &str, key: &str) -> bool {
+        self.connections.lock().push(WifiConfig::new(ssid, key));
+        true
+    }
+
+    /// Every connection made, in order.
+    pub fn connections(&self) -> Vec<WifiConfig> {
+        self.connections.lock().clone()
+    }
+
+    /// The network currently joined (the most recent connection).
+    pub fn current_network(&self) -> Option<String> {
+        self.connections.lock().last().map(|c| c.ssid.clone())
+    }
+
+    /// Number of connection attempts.
+    pub fn connection_count(&self) -> usize {
+        self.connections.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_records_in_order() {
+        let wm = WifiManager::new();
+        assert_eq!(wm.current_network(), None);
+        assert!(WifiConfig::new("a", "1").connect(&wm));
+        assert!(WifiConfig::new("b", "2").connect(&wm));
+        assert_eq!(wm.connection_count(), 2);
+        assert_eq!(wm.current_network().as_deref(), Some("b"));
+        assert_eq!(
+            wm.connections(),
+            vec![WifiConfig::new("a", "1"), WifiConfig::new("b", "2")]
+        );
+    }
+
+    #[test]
+    fn clones_share_the_log() {
+        let wm = WifiManager::new();
+        let view = wm.clone();
+        wm.connect("net", "pw");
+        assert_eq!(view.connection_count(), 1);
+    }
+
+    #[test]
+    fn config_serializes_to_json() {
+        let cfg = WifiConfig::new("lab", "s3cret");
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: WifiConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

@@ -1,0 +1,126 @@
+//! A standards-based alternative to the JSON thing encoding: WiFi
+//! credentials stored as an NFC Forum **Connection Handover Select**
+//! message with a WiFi Simple Configuration carrier — the format real
+//! Android phones write when sharing a network over NFC.
+//!
+//! Because it is just another [`TagDataConverter`], the entire middleware
+//! (references, discoverers, beam) runs over it unchanged: swapping the
+//! on-tag representation is a one-line change at construction time, which
+//! is exactly the decoupling §3.2 promises.
+
+use morena_core::convert::{ConvertError, TagDataConverter};
+use morena_ndef::rtd::{CarrierPowerState, HandoverSelect, WifiCredential};
+use morena_ndef::NdefMessage;
+
+use crate::wifi::WifiConfig;
+
+/// Converts [`WifiConfig`] values to/from Connection Handover messages
+/// with a WSC WiFi carrier.
+#[derive(Debug, Clone, Default)]
+pub struct WifiHandoverConverter;
+
+impl WifiHandoverConverter {
+    /// Creates the converter.
+    pub fn new() -> WifiHandoverConverter {
+        WifiHandoverConverter
+    }
+}
+
+impl TagDataConverter for WifiHandoverConverter {
+    type Value = WifiConfig;
+
+    fn mime_type(&self) -> &str {
+        // Discovery filters on the carrier configuration's MIME type.
+        morena_ndef::rtd::WSC_MIME
+    }
+
+    fn to_message(&self, value: &WifiConfig) -> Result<NdefMessage, ConvertError> {
+        let credential = WifiCredential::new(&value.ssid, &value.key);
+        let record = credential
+            .to_record(b"w0")
+            .map_err(ConvertError::Ndef)?;
+        HandoverSelect::new()
+            .with_carrier(CarrierPowerState::Active, b"w0", record)
+            .to_message()
+            .map_err(ConvertError::Ndef)
+    }
+
+    fn from_message(&self, message: &NdefMessage) -> Result<WifiConfig, ConvertError> {
+        let select = HandoverSelect::from_message(message).map_err(|_| {
+            ConvertError::WrongShape { expected: "a handover select message".into() }
+        })?;
+        let credential = select.wifi_credential(message).ok_or_else(|| {
+            ConvertError::WrongShape { expected: "a WiFi carrier in the handover".into() }
+        })?;
+        Ok(WifiConfig::new(credential.ssid(), credential.network_key()))
+    }
+
+    fn accepts(&self, message: &NdefMessage) -> bool {
+        HandoverSelect::from_message(message).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morena_core::context::MorenaContext;
+    use morena_core::tagref::TagReference;
+    use morena_nfc_sim::clock::VirtualClock;
+    use morena_nfc_sim::link::LinkModel;
+    use morena_nfc_sim::tag::{TagTech, TagUid, Type2Tag};
+    use morena_nfc_sim::world::World;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn converter_round_trips() {
+        let conv = WifiHandoverConverter::new();
+        let config = WifiConfig::new("handover-net", "hkey");
+        let message = conv.to_message(&config).unwrap();
+        assert!(conv.accepts(&message));
+        assert_eq!(conv.from_message(&message).unwrap(), config);
+        // The JSON thing converter does NOT accept handover messages and
+        // vice versa: the two encodings coexist without confusion.
+        use morena_core::thing::Thing;
+        let json_conv = WifiConfig::converter();
+        assert!(!json_conv.accepts(&message));
+        let json_message = json_conv.to_message(&config).unwrap();
+        assert!(!conv.accepts(&json_message));
+    }
+
+    #[test]
+    fn handover_messages_survive_real_tag_memory_via_the_middleware() {
+        let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 95);
+        let phone = world.add_phone("sharer");
+        let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
+        world.tap_tag(uid, phone);
+        let ctx = MorenaContext::headless(&world, phone);
+        let reference =
+            TagReference::new(&ctx, uid, TagTech::Type2, Arc::new(WifiHandoverConverter::new()));
+        let config = WifiConfig::new("venue", "pass");
+        reference.write_sync(config.clone(), Duration::from_secs(10)).unwrap();
+        reference.set_cached(None);
+        assert_eq!(
+            reference.read_sync(Duration::from_secs(10)).unwrap(),
+            Some(config)
+        );
+        // The bytes on the tag really are a standards-shaped handover.
+        let bytes = ctx.nfc().ndef_read(uid).unwrap();
+        let message = NdefMessage::parse(&bytes).unwrap();
+        assert_eq!(message.first().record_type(), b"Hs");
+        reference.close();
+    }
+
+    #[test]
+    fn rejects_foreign_messages() {
+        let conv = WifiHandoverConverter::new();
+        let foreign = NdefMessage::single(
+            morena_ndef::NdefRecord::mime("a/b", b"x".to_vec()).unwrap(),
+        );
+        assert!(!conv.accepts(&foreign));
+        assert!(matches!(
+            conv.from_message(&foreign),
+            Err(ConvertError::WrongShape { .. })
+        ));
+    }
+}

@@ -1,0 +1,79 @@
+//! The `AsyncTask` analog: Android's pre-coroutine recipe for "do the
+//! blocking work off the main thread, post the result back".
+//!
+//! This is the concurrency-management machinery the Android NFC
+//! documentation *"strongly recommends"* for tag I/O, and whose manual
+//! use MORENA eliminates. The handcrafted evaluation application pays
+//! for every call site of this module in its concurrency-management
+//! line count.
+
+use morena_android_sim::looper::Handler;
+
+/// Runs `background` on a fresh worker thread, then posts
+/// `on_post_execute(result)` to `handler` (the main thread) — the shape
+/// of `AsyncTask.doInBackground` / `onPostExecute`.
+///
+/// # Examples
+///
+/// ```
+/// use morena_android_sim::looper::MainThread;
+/// use morena_baseline::async_task::execute;
+///
+/// let main = MainThread::spawn();
+/// let (tx, rx) = crossbeam::channel::unbounded();
+/// execute(main.handler(), || 6 * 7, move |answer| {
+///     tx.send(answer).unwrap();
+/// });
+/// assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap(), 42);
+/// ```
+pub fn execute<T, B, P>(handler: Handler, background: B, on_post_execute: P)
+where
+    T: Send + 'static,
+    B: FnOnce() -> T + Send + 'static,
+    P: FnOnce(T) + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name("async-task".into())
+        .spawn(move || {
+            let result = background();
+            handler.post(move || on_post_execute(result));
+        })
+        .expect("spawn async task");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morena_android_sim::looper::MainThread;
+    use std::time::Duration;
+
+    #[test]
+    fn background_runs_off_main_and_posts_back_on_main() {
+        let main = MainThread::spawn();
+        let main_id = main.thread_id();
+        let (tx, rx) = crossbeam::channel::unbounded();
+        execute(
+            main.handler(),
+            move || std::thread::current().id(),
+            move |bg_thread| {
+                tx.send((bg_thread, std::thread::current().id())).unwrap();
+            },
+        );
+        let (bg, post) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_ne!(bg, main_id, "background must not run on the main thread");
+        assert_eq!(post, main_id, "onPostExecute must run on the main thread");
+    }
+
+    #[test]
+    fn tasks_can_overlap() {
+        let main = MainThread::spawn();
+        let (tx, rx) = crossbeam::channel::unbounded();
+        for i in 0..8 {
+            let tx = tx.clone();
+            execute(main.handler(), move || i, move |v| tx.send(v).unwrap());
+        }
+        let mut seen: Vec<i32> = (0..8).map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+    }
+}

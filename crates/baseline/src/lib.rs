@@ -1,0 +1,21 @@
+//! # morena-baseline
+//!
+//! The **handcrafted** programming model of the MORENA evaluation (§4):
+//! a faithful analog of the raw Android NFC SDK surface that the paper's
+//! baseline application is written against.
+//!
+//! It deliberately preserves every drawback the paper lists — blocking
+//! tag I/O that throws per call ([`ndef_tech::Ndef`]), manual
+//! concurrency management ([`async_task::execute`]), and no help at all
+//! with data conversion or retrying. Applications built on this crate
+//! (see `morena-apps`' handcrafted WiFi app) bear those costs in their
+//! own line counts, which is exactly what Figure 2 of the paper
+//! measures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod async_task;
+pub mod ndef_tech;
+
+pub use ndef_tech::{Ndef, TagIoError};

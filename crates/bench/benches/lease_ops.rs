@@ -1,0 +1,50 @@
+//! µ-bench: lease acquire/release cost over the air (instant link) and
+//! the pure lock-record codec.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morena_core::context::MorenaContext;
+use morena_core::lease::{DeviceId, LeaseManager, LeaseRecord};
+use morena_nfc_sim::clock::{SimInstant, SystemClock};
+use morena_nfc_sim::link::LinkModel;
+use morena_nfc_sim::tag::{TagUid, Type2Tag};
+use morena_nfc_sim::world::World;
+use std::hint::black_box;
+
+fn bench_lease_cycle(c: &mut Criterion) {
+    let world = World::with_link(Arc::new(SystemClock::new()), LinkModel::instant(), 0);
+    let phone = world.add_phone("bench");
+    let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
+    world.tap_tag(uid, phone);
+    let ctx = MorenaContext::headless(&world, phone);
+    let manager = LeaseManager::new(&ctx);
+
+    c.bench_function("lease_acquire_release_cycle", |b| {
+        b.iter(|| {
+            let lease = manager.acquire(uid, Duration::from_secs(5)).expect("acquire");
+            manager.release(&lease).expect("release");
+        });
+    });
+
+    c.bench_function("lease_inspect", |b| {
+        b.iter(|| black_box(manager.inspect(uid).expect("inspect")));
+    });
+}
+
+fn bench_lease_codec(c: &mut Criterion) {
+    let lease = LeaseRecord {
+        holder: DeviceId(42),
+        expires_at: SimInstant::from_nanos(123_456_789_000),
+    };
+    c.bench_function("lease_record_encode_decode", |b| {
+        b.iter(|| {
+            let record = lease.to_record();
+            black_box(LeaseRecord::from_record(&record).expect("decode"))
+        });
+    });
+}
+
+criterion_group!(benches, bench_lease_cycle, bench_lease_codec);
+criterion_main!(benches);

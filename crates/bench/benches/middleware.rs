@@ -1,0 +1,165 @@
+//! µ-bench: MORENA middleware overhead — end-to-end latency of an
+//! asynchronous operation through the event loop (submit → attempt →
+//! main-thread listener) on an instant, loss-free link, thing-layer JSON
+//! conversion, and world proximity-event dispatch.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crossbeam::channel::unbounded;
+use morena_core::context::MorenaContext;
+use morena_core::convert::{JsonConverter, StringConverter, TagDataConverter};
+use morena_core::eventloop::LoopConfig;
+use morena_core::tagref::TagReference;
+use morena_nfc_sim::clock::SystemClock;
+use morena_nfc_sim::link::LinkModel;
+use morena_nfc_sim::tag::{TagTech, TagUid, Type2Tag};
+use morena_nfc_sim::world::World;
+use serde::{Deserialize, Serialize};
+use std::hint::black_box;
+
+fn bench_async_ops(c: &mut Criterion) {
+    let world = World::with_link(Arc::new(SystemClock::new()), LinkModel::instant(), 0);
+    let phone = world.add_phone("bench");
+    let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
+    world.tap_tag(uid, phone);
+    let ctx = MorenaContext::headless(&world, phone);
+    let reference = TagReference::with_config(
+        &ctx,
+        uid,
+        TagTech::Type2,
+        Arc::new(StringConverter::plain_text()),
+        LoopConfig { retry_backoff: Duration::from_micros(100), ..LoopConfig::default() },
+    );
+
+    c.bench_function("tagref_async_write_round_trip", |b| {
+        b.iter(|| {
+            let (tx, rx) = unbounded();
+            reference.write(
+                "bench-payload".to_string(),
+                move |_| {
+                    let _ = tx.send(());
+                },
+                |_, f| panic!("{f}"),
+            );
+            rx.recv_timeout(Duration::from_secs(10)).expect("completion");
+        });
+    });
+
+    c.bench_function("tagref_async_read_round_trip", |b| {
+        b.iter(|| {
+            let (tx, rx) = unbounded();
+            reference.read(
+                move |r| {
+                    let _ = tx.send(r.cached());
+                },
+                |_, f| panic!("{f}"),
+            );
+            black_box(rx.recv_timeout(Duration::from_secs(10)).expect("completion"));
+        });
+    });
+    reference.close();
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchThing {
+    name: String,
+    counters: Vec<u32>,
+    flag: bool,
+}
+
+fn bench_thing_conversion(c: &mut Criterion) {
+    let converter: JsonConverter<BenchThing> = JsonConverter::new("application/vnd.bench+json");
+    let value = BenchThing {
+        name: "bench".into(),
+        counters: (0..32).collect(),
+        flag: true,
+    };
+    c.bench_function("thing_json_to_message", |b| {
+        b.iter(|| black_box(converter.to_message(&value).expect("convert")));
+    });
+    let message = converter.to_message(&value).expect("convert");
+    c.bench_function("thing_json_from_message", |b| {
+        b.iter(|| black_box(converter.from_message(&message).expect("convert")));
+    });
+}
+
+fn bench_world_events(c: &mut Criterion) {
+    let world = World::with_link(Arc::new(SystemClock::new()), LinkModel::instant(), 0);
+    let phone = world.add_phone("bench");
+    let uid = world.add_tag(Box::new(Type2Tag::ntag213(TagUid::from_seed(9))));
+    let events = world.subscribe(phone);
+    c.bench_function("world_tap_event_dispatch", |b| {
+        b.iter(|| {
+            world.tap_tag(uid, phone);
+            world.remove_tag_from_field(uid);
+            // Drain the two proximity events produced above.
+            black_box(events.recv().expect("enter"));
+            black_box(events.recv().expect("leave"));
+        });
+    });
+}
+
+fn bench_keyed_converter(c: &mut Criterion) {
+    use morena_core::keyed::{KeyedConverter, MemoryStore};
+    let store = Arc::new(MemoryStore::<String>::new());
+    let converter = KeyedConverter::new("application/vnd.bench.key", store);
+    let object = "backend object ".repeat(64);
+    c.bench_function("keyed_converter_round_trip", |b| {
+        b.iter(|| {
+            let message = converter.to_message(&object).expect("store");
+            black_box(converter.from_message(&message).expect("resolve"))
+        });
+    });
+}
+
+fn bench_peer_delivery(c: &mut Criterion) {
+    use morena_core::peer::{PeerInbox, PeerListener, PeerReference};
+    use morena_nfc_sim::world::PhoneId;
+
+    struct Ack {
+        tx: crossbeam::channel::Sender<()>,
+    }
+    impl PeerListener<StringConverter> for Ack {
+        fn on_message(&self, _from: PhoneId, _value: String) {
+            let _ = self.tx.send(());
+        }
+    }
+
+    let world = World::with_link(Arc::new(SystemClock::new()), LinkModel::instant(), 0);
+    let alice = world.add_phone("alice");
+    let bob = world.add_phone("bob");
+    let alice_ctx = MorenaContext::headless(&world, alice);
+    let bob_ctx = MorenaContext::headless(&world, bob);
+    let (tx, rx) = unbounded();
+    let _inbox = PeerInbox::new(
+        &bob_ctx,
+        Arc::new(StringConverter::plain_text()),
+        Arc::new(Ack { tx }),
+    );
+    world.bring_phones_together(alice, bob);
+    let reference = PeerReference::with_config(
+        &alice_ctx,
+        bob,
+        Arc::new(StringConverter::plain_text()),
+        LoopConfig { retry_backoff: Duration::from_micros(100), ..LoopConfig::default() },
+    );
+    c.bench_function("peer_send_end_to_end", |b| {
+        b.iter(|| {
+            reference.send_ok("benchmark message".into());
+            rx.recv_timeout(Duration::from_secs(10)).expect("delivered");
+        });
+    });
+    reference.close();
+}
+
+criterion_group!(
+    benches,
+    bench_async_ops,
+    bench_thing_conversion,
+    bench_world_events,
+    bench_keyed_converter,
+    bench_peer_delivery
+);
+criterion_main!(benches);

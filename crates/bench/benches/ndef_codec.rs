@@ -1,0 +1,101 @@
+//! µ-bench: NDEF wire-format encode/decode throughput across message
+//! sizes and shapes, plus chunked-encoding reassembly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use morena_ndef::rtd::{
+    CarrierPowerState, HandoverSelect, SmartPoster, TextRecord, UriRecord, WifiCredential,
+};
+use morena_ndef::{NdefMessage, NdefRecord};
+use std::hint::black_box;
+
+fn payload_message(size: usize) -> NdefMessage {
+    NdefMessage::single(
+        NdefRecord::mime("application/octet-stream", vec![0xA5; size]).expect("record"),
+    )
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ndef_encode");
+    for size in [16usize, 128, 1024, 8192] {
+        let message = payload_message(size);
+        group.throughput(Throughput::Bytes(message.encoded_len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &message, |b, m| {
+            b.iter(|| black_box(m.to_bytes()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ndef_decode");
+    for size in [16usize, 128, 1024, 8192] {
+        let bytes = payload_message(size).to_bytes();
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &bytes, |b, bytes| {
+            b.iter(|| black_box(NdefMessage::parse(bytes).expect("valid")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_chunked_round_trip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ndef_chunked_round_trip");
+    let message = payload_message(4096);
+    for chunk in [64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
+            b.iter(|| {
+                let bytes = message.to_bytes_chunked(chunk);
+                black_box(NdefMessage::parse(&bytes).expect("valid"))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rtd(c: &mut Criterion) {
+    c.bench_function("rtd_text_round_trip", |b| {
+        let text = TextRecord::new("en", "the quick brown fox jumps over the lazy dog");
+        b.iter(|| {
+            let record = text.to_record();
+            black_box(TextRecord::from_record(&record).expect("valid"))
+        });
+    });
+    c.bench_function("rtd_uri_round_trip", |b| {
+        let uri = UriRecord::new("https://www.example.com/menu/of/the/day");
+        b.iter(|| {
+            let record = uri.to_record();
+            black_box(UriRecord::from_record(&record).expect("valid"))
+        });
+    });
+    c.bench_function("rtd_smart_poster_round_trip", |b| {
+        let poster = SmartPoster::new("https://example.com")
+            .with_title("en", "Title")
+            .with_title("nl", "Titel");
+        b.iter(|| {
+            let record = poster.to_record();
+            black_box(SmartPoster::from_record(&record).expect("valid"))
+        });
+    });
+}
+
+fn bench_handover(c: &mut Criterion) {
+    c.bench_function("handover_select_round_trip", |b| {
+        let wifi = WifiCredential::new("venue-guest", "w1f1-pass");
+        b.iter(|| {
+            let message = HandoverSelect::new()
+                .with_carrier(
+                    CarrierPowerState::Active,
+                    b"w0",
+                    wifi.to_record(b"w0").expect("record"),
+                )
+                .to_message()
+                .expect("message");
+            let parsed = morena_ndef::NdefMessage::parse(&message.to_bytes()).expect("wire");
+            let select = HandoverSelect::from_message(&parsed).expect("select");
+            black_box(select.wifi_credential(&parsed).expect("credential"))
+        });
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_chunked_round_trip, bench_rtd, bench_handover);
+criterion_main!(benches);

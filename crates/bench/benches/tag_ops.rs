@@ -1,0 +1,78 @@
+//! µ-bench: tag-emulator command processing and complete reader-side
+//! NDEF procedures (Type 2 vs Type 4) over a direct, loss-free link.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use morena_nfc_sim::proto::{self, DirectLink};
+use morena_nfc_sim::tag::{TagEmulator, TagTech, TagUid, Type2Tag, Type4Tag};
+use std::hint::black_box;
+
+fn bench_raw_commands(c: &mut Criterion) {
+    c.bench_function("type2_read_command", |b| {
+        let mut tag = Type2Tag::ntag215(TagUid::from_seed(1));
+        b.iter(|| black_box(tag.transceive(&[0x30, 4]).expect("read")));
+    });
+    c.bench_function("type2_write_command", |b| {
+        let mut tag = Type2Tag::ntag215(TagUid::from_seed(1));
+        b.iter(|| black_box(tag.transceive(&[0xA2, 5, 1, 2, 3, 4]).expect("write")));
+    });
+    c.bench_function("type4_select_app_apdu", |b| {
+        let mut tag = Type4Tag::new(TagUid::from_seed(2), 1024);
+        let apdu = proto::t4_select_app_apdu();
+        b.iter(|| black_box(tag.transceive(&apdu).expect("select")));
+    });
+}
+
+fn bench_ndef_procedures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ndef_write_procedure");
+    for size in [32usize, 256, 800] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("type2", size), &size, |b, &size| {
+            let mut tag = Type2Tag::ntag216(TagUid::from_seed(3));
+            let payload = vec![0x42; size];
+            b.iter(|| {
+                proto::write_ndef(&mut DirectLink::new(&mut tag), TagTech::Type2, &payload)
+                    .expect("write");
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("type4", size), &size, |b, &size| {
+            let mut tag = Type4Tag::new(TagUid::from_seed(4), 2048);
+            let payload = vec![0x42; size];
+            b.iter(|| {
+                proto::write_ndef(&mut DirectLink::new(&mut tag), TagTech::Type4, &payload)
+                    .expect("write");
+            });
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ndef_read_procedure");
+    for size in [32usize, 256, 800] {
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("type2", size), &size, |b, &size| {
+            let mut tag = Type2Tag::ntag216(TagUid::from_seed(5));
+            proto::write_ndef(&mut DirectLink::new(&mut tag), TagTech::Type2, &vec![7; size])
+                .expect("preload");
+            b.iter(|| {
+                black_box(
+                    proto::read_ndef(&mut DirectLink::new(&mut tag), TagTech::Type2)
+                        .expect("read"),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("type4", size), &size, |b, &size| {
+            let mut tag = Type4Tag::new(TagUid::from_seed(6), 2048);
+            proto::write_ndef(&mut DirectLink::new(&mut tag), TagTech::Type4, &vec![7; size])
+                .expect("preload");
+            b.iter(|| {
+                black_box(
+                    proto::read_ndef(&mut DirectLink::new(&mut tag), TagTech::Type4)
+                        .expect("read"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_raw_commands, bench_ndef_procedures);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! # morena-bench
+//!
+//! The experiment harness of the MORENA reproduction. One binary per
+//! evaluation artifact (see `EXPERIMENTS.md` at the repository root):
+//!
+//! | Binary | Artifact |
+//! |---|---|
+//! | `fig2_loc` | Figure 2, both panels: LoC per RFID subproblem, handcrafted vs MORENA |
+//! | `ext_retry` | EXT-RETRY: automatic retry vs manual reattempt under intermittent connectivity |
+//! | `ext_batch` | EXT-BATCH: write batching across disconnection (taps needed to flush N writes) |
+//! | `ext_lease` | EXT-LEASE: lease contention, exclusivity, and race statistics |
+//!
+//! Criterion micro-benchmarks live under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+/// Renders a fixed-width text table: a header row and data rows, each
+/// cell already formatted. Used by every experiment binary so output is
+/// uniform and diffable.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{cell:>width$}", width = widths[i]));
+        }
+        out
+    };
+    println!("{}", line(header.iter().map(|s| s.to_string()).collect()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    for row in rows {
+        println!("{}", line(row.clone()));
+    }
+}
+
+/// Formats a cell.
+pub fn cell(value: impl Display) -> String {
+    value.to_string()
+}
+
+/// Median of a (will-be-sorted) sample; 0-equivalent when empty.
+pub fn median(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Whether quick mode is on (`MORENA_QUICK=1`): fewer trials so CI runs
+/// fast; the full runs are the defaults.
+pub fn quick_mode() -> bool {
+    std::env::var("MORENA_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_handles_edges() {
+        assert_eq!(median(&mut []), 0.0);
+        assert_eq!(median(&mut [3.0]), 3.0);
+        assert_eq!(median(&mut [5.0, 1.0, 3.0]), 3.0);
+    }
+
+    #[test]
+    fn table_prints_without_panicking() {
+        print_table(
+            "demo",
+            &["a", "bbbb"],
+            &[vec![cell(1), cell("x")], vec![cell(22), cell("yy")]],
+        );
+    }
+}

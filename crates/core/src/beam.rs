@@ -1,0 +1,454 @@
+//! Beam: asynchronous phone-to-phone NFC push (§2.5 and §3.3 of the
+//! paper).
+//!
+//! Android's Beam API shares all the drawbacks of its tag API —
+//! synchronous, coupled in time, manual conversion, activity-bound.
+//! MORENA wraps it in the same machinery as tag references:
+//!
+//! * a [`Beamer`] queues outgoing pushes in its own event loop and
+//!   delivers them when (and only when) a peer phone is in proximity —
+//!   *"beaming is an undirected operation that broadcasts a message to
+//!   any device willing to accept the beamed data"*;
+//! * a [`BeamReceiver`] converts incoming pushes with its read converter
+//!   and invokes a typed [`BeamListener`] on the main thread, with the
+//!   §3.4 `check_condition` predicate applied first.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::RecvTimeoutError;
+use morena_ndef::NdefMessage;
+use morena_nfc_sim::controller::NfcHandle;
+use morena_nfc_sim::error::NfcOpError;
+use morena_nfc_sim::world::NfcEvent;
+
+use crate::context::MorenaContext;
+use crate::convert::TagDataConverter;
+use crate::eventloop::{
+    EventLoop, LoopConfig, OpExecutor, OpFailure, OpRequest, OpResponse, OpStats,
+};
+
+struct BeamExecutor {
+    nfc: NfcHandle,
+}
+
+impl OpExecutor for BeamExecutor {
+    fn connected(&self) -> bool {
+        !self.nfc.peers_in_range().is_empty()
+    }
+
+    fn execute(&self, request: &OpRequest) -> Result<OpResponse, NfcOpError> {
+        match request {
+            OpRequest::Push(bytes) => {
+                self.nfc.beam(bytes).map(|_| OpResponse::Done).map_err(NfcOpError::Link)
+            }
+            _ => Err(NfcOpError::Protocol("beamer only pushes")),
+        }
+    }
+}
+
+struct BeamerInner<C: TagDataConverter> {
+    ctx: MorenaContext,
+    converter: Arc<C>,
+    event_loop: EventLoop,
+    router_stop: Arc<AtomicBool>,
+}
+
+impl<C: TagDataConverter> Drop for BeamerInner<C> {
+    fn drop(&mut self) {
+        self.router_stop.store(true, Ordering::Release);
+        self.event_loop.stop();
+    }
+}
+
+/// Queues values to be pushed to whatever peer phone comes into
+/// proximity, with success/failure listeners and timeouts — the paper's
+/// `Beamer` object.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use morena_core::beam::Beamer;
+/// use morena_core::context::MorenaContext;
+/// use morena_core::convert::StringConverter;
+/// use morena_nfc_sim::clock::VirtualClock;
+/// use morena_nfc_sim::link::LinkModel;
+/// use morena_nfc_sim::world::World;
+///
+/// let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 0);
+/// let alice = world.add_phone("alice");
+/// let ctx = MorenaContext::headless(&world, alice);
+/// let beamer = Beamer::new(&ctx, Arc::new(StringConverter::plain_text()));
+/// // Queue a push now; it is delivered when a peer phone shows up.
+/// beamer.beam("shared secret".to_string(), || {}, |_| {});
+/// assert_eq!(beamer.queue_len(), 1);
+/// ```
+pub struct Beamer<C: TagDataConverter> {
+    inner: Arc<BeamerInner<C>>,
+}
+
+impl<C: TagDataConverter> Clone for Beamer<C> {
+    fn clone(&self) -> Beamer<C> {
+        Beamer { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<C: TagDataConverter> std::fmt::Debug for Beamer<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Beamer")
+            .field("mime", &self.inner.converter.mime_type())
+            .field("queued", &self.queue_len())
+            .finish()
+    }
+}
+
+impl<C: TagDataConverter> Beamer<C> {
+    /// Creates a beamer with default tuning.
+    pub fn new(ctx: &MorenaContext, converter: Arc<C>) -> Beamer<C> {
+        Beamer::with_config(ctx, converter, LoopConfig::default())
+    }
+
+    /// Creates a beamer with explicit event-loop tuning.
+    pub fn with_config(ctx: &MorenaContext, converter: Arc<C>, config: LoopConfig) -> Beamer<C> {
+        let event_loop = EventLoop::spawn(
+            "beamer",
+            Arc::clone(ctx.clock()),
+            ctx.handler(),
+            config,
+            BeamExecutor { nfc: ctx.nfc().clone() },
+        );
+        let router_stop = Arc::new(AtomicBool::new(false));
+        spawn_peer_router(ctx.nfc().clone(), event_loop.clone(), Arc::clone(&router_stop));
+        Beamer {
+            inner: Arc::new(BeamerInner {
+                ctx: ctx.clone(),
+                converter,
+                event_loop,
+                router_stop,
+            }),
+        }
+    }
+
+    /// Whether a peer phone is in beam range right now.
+    pub fn peer_in_range(&self) -> bool {
+        !self.inner.ctx.nfc().peers_in_range().is_empty()
+    }
+
+    /// Number of queued pushes.
+    pub fn queue_len(&self) -> usize {
+        self.inner.event_loop.queue_len()
+    }
+
+    /// Lifetime push statistics.
+    pub fn stats(&self) -> Arc<OpStats> {
+        self.inner.event_loop.stats()
+    }
+
+    /// Queues an asynchronous push of `value` with the default timeout.
+    ///
+    /// `on_success` / `on_failure` run on the main thread, mirroring the
+    /// paper's `BeamSuccessListener` / `BeamFailedListener`.
+    pub fn beam<F, G>(&self, value: C::Value, on_success: F, on_failure: G)
+    where
+        F: FnOnce() + Send + 'static,
+        G: FnOnce(OpFailure) + Send + 'static,
+    {
+        self.beam_impl(value, None, on_success, on_failure);
+    }
+
+    /// [`beam`](Beamer::beam) with an explicit timeout.
+    pub fn beam_with_timeout<F, G>(
+        &self,
+        value: C::Value,
+        timeout: Duration,
+        on_success: F,
+        on_failure: G,
+    ) where
+        F: FnOnce() + Send + 'static,
+        G: FnOnce(OpFailure) + Send + 'static,
+    {
+        self.beam_impl(value, Some(timeout), on_success, on_failure);
+    }
+
+    /// [`beam`](Beamer::beam) without listeners (fire and forget).
+    pub fn beam_ok(&self, value: C::Value) {
+        self.beam_impl(value, None, || {}, |_| {});
+    }
+
+    fn beam_impl<F, G>(&self, value: C::Value, timeout: Option<Duration>, on_success: F, on_failure: G)
+    where
+        F: FnOnce() + Send + 'static,
+        G: FnOnce(OpFailure) + Send + 'static,
+    {
+        let bytes = match self.inner.converter.to_message(&value) {
+            Ok(message) => message.to_bytes(),
+            Err(e) => {
+                self.inner.ctx.handler().post(move || on_failure(OpFailure::InvalidData(e)));
+                return;
+            }
+        };
+        self.inner.event_loop.submit(
+            OpRequest::Push(bytes),
+            timeout,
+            Box::new(move |_| on_success()),
+            Box::new(on_failure),
+        );
+    }
+
+    /// Stops the beamer; queued pushes fail with [`OpFailure::Cancelled`].
+    pub fn close(&self) {
+        self.inner.router_stop.store(true, Ordering::Release);
+        self.inner.event_loop.stop();
+    }
+}
+
+fn spawn_peer_router(nfc: NfcHandle, event_loop: EventLoop, stop: Arc<AtomicBool>) {
+    let events = nfc.events();
+    std::thread::Builder::new()
+        .name("morena-beam-router".into())
+        .spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                match events.recv_timeout(Duration::from_millis(20)) {
+                    Ok(NfcEvent::PeerEntered { .. }) | Ok(NfcEvent::PeerLeft { .. }) => {
+                        event_loop.wake();
+                    }
+                    Ok(_) => {}
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        })
+        .expect("spawn beam router");
+}
+
+/// Typed reception callbacks for beamed values. Methods run on the main
+/// thread.
+pub trait BeamListener<C: TagDataConverter>: Send + Sync + 'static {
+    /// A value of this receiver's type arrived over Beam.
+    fn on_beam_received(&self, value: C::Value);
+
+    /// Fine-grained filter (§3.4) applied before
+    /// [`on_beam_received`](BeamListener::on_beam_received).
+    fn check_condition(&self, value: &C::Value) -> bool {
+        let _ = value;
+        true
+    }
+}
+
+struct ReceiverInner<C: TagDataConverter> {
+    converter: Arc<C>,
+    stop: AtomicBool,
+    // Keeps the delivery main thread alive for the receiver's lifetime
+    // (a headless context owns its main thread).
+    _ctx: MorenaContext,
+}
+
+impl<C: TagDataConverter> Drop for ReceiverInner<C> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+    }
+}
+
+/// Listens for incoming beamed messages of one data type — the paper's
+/// `BeamReceivedListener`, decoupled from the activity.
+pub struct BeamReceiver<C: TagDataConverter> {
+    inner: Arc<ReceiverInner<C>>,
+}
+
+impl<C: TagDataConverter> std::fmt::Debug for BeamReceiver<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BeamReceiver")
+            .field("mime", &self.inner.converter.mime_type())
+            .finish()
+    }
+}
+
+impl<C: TagDataConverter> BeamReceiver<C> {
+    /// Starts receiving; messages that match the converter (and pass
+    /// `check_condition`) are delivered to `listener` on the main thread.
+    pub fn new(
+        ctx: &MorenaContext,
+        converter: Arc<C>,
+        listener: Arc<dyn BeamListener<C>>,
+    ) -> BeamReceiver<C> {
+        let inner = Arc::new(ReceiverInner {
+            converter: Arc::clone(&converter),
+            stop: AtomicBool::new(false),
+            _ctx: ctx.clone(),
+        });
+        let events = ctx.nfc().events();
+        let handler = ctx.handler();
+        {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("morena-beam-receiver".into())
+                .spawn(move || {
+                    while !inner.stop.load(Ordering::Acquire) {
+                        match events.recv_timeout(Duration::from_millis(20)) {
+                            Ok(NfcEvent::BeamReceived { bytes, .. }) => {
+                                let Ok(message) = NdefMessage::parse(&bytes) else { continue };
+                                if !converter.accepts(&message) {
+                                    continue;
+                                }
+                                let Ok(value) = converter.from_message(&message) else {
+                                    continue;
+                                };
+                                if !listener.check_condition(&value) {
+                                    continue;
+                                }
+                                let listener = Arc::clone(&listener);
+                                handler.post(move || listener.on_beam_received(value));
+                            }
+                            Ok(_) => {}
+                            Err(RecvTimeoutError::Timeout) => {}
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
+                    }
+                })
+                .expect("spawn beam receiver");
+        }
+        BeamReceiver { inner }
+    }
+
+    /// Stops receiving.
+    pub fn stop(&self) {
+        self.inner.stop.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::StringConverter;
+    use crossbeam::channel::{unbounded, Sender};
+    use morena_nfc_sim::clock::VirtualClock;
+    use morena_nfc_sim::link::LinkModel;
+    use morena_nfc_sim::world::World;
+
+    struct Collect {
+        tx: Sender<String>,
+        condition: Box<dyn Fn(&String) -> bool + Send + Sync>,
+    }
+
+    impl BeamListener<StringConverter> for Collect {
+        fn on_beam_received(&self, value: String) {
+            self.tx.send(value).unwrap();
+        }
+        fn check_condition(&self, value: &String) -> bool {
+            (self.condition)(value)
+        }
+    }
+
+    fn setup() -> (World, MorenaContext, MorenaContext) {
+        let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 11);
+        let alice = world.add_phone("alice");
+        let bob = world.add_phone("bob");
+        let actx = MorenaContext::headless(&world, alice);
+        let bctx = MorenaContext::headless(&world, bob);
+        (world, actx, bctx)
+    }
+
+    #[test]
+    fn beam_reaches_typed_receiver() {
+        let (world, actx, bctx) = setup();
+        let (tx, rx) = unbounded();
+        let _receiver = BeamReceiver::new(
+            &bctx,
+            Arc::new(StringConverter::plain_text()),
+            Arc::new(Collect { tx, condition: Box::new(|_| true) }),
+        );
+        let beamer = Beamer::new(&actx, Arc::new(StringConverter::plain_text()));
+        world.bring_phones_together(actx.phone(), bctx.phone());
+
+        let (ok_tx, ok_rx) = unbounded();
+        beamer.beam(
+            "beamed!".to_string(),
+            move || ok_tx.send(()).unwrap(),
+            |f| panic!("beam failed: {f}"),
+        );
+        ok_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), "beamed!");
+    }
+
+    #[test]
+    fn beams_queue_until_a_peer_arrives() {
+        let (world, actx, bctx) = setup();
+        let beamer = Beamer::new(&actx, Arc::new(StringConverter::plain_text()));
+        assert!(!beamer.peer_in_range());
+
+        let (ok_tx, ok_rx) = unbounded();
+        for i in 0..3 {
+            let ok_tx = ok_tx.clone();
+            beamer.beam(format!("m{i}"), move || ok_tx.send(i).unwrap(), |f| panic!("{f}"));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(beamer.queue_len(), 3, "pushes must wait for a peer");
+
+        let (tx, rx) = unbounded();
+        let _receiver = BeamReceiver::new(
+            &bctx,
+            Arc::new(StringConverter::plain_text()),
+            Arc::new(Collect { tx, condition: Box::new(|_| true) }),
+        );
+        world.bring_phones_together(actx.phone(), bctx.phone());
+        let received: Vec<String> =
+            (0..3).map(|_| rx.recv_timeout(Duration::from_secs(10)).unwrap()).collect();
+        assert_eq!(received, vec!["m0", "m1", "m2"]);
+        assert_eq!(ok_rx.iter().take(3).count(), 3);
+    }
+
+    #[test]
+    fn receiver_filters_by_mime_and_condition() {
+        let (world, actx, bctx) = setup();
+        let (tx, rx) = unbounded();
+        let _receiver = BeamReceiver::new(
+            &bctx,
+            Arc::new(StringConverter::plain_text()),
+            Arc::new(Collect { tx, condition: Box::new(|v| v.starts_with("keep")) }),
+        );
+        world.bring_phones_together(actx.phone(), bctx.phone());
+
+        // Wrong MIME type: silently ignored by this receiver.
+        let other = Beamer::new(&actx, Arc::new(StringConverter::new("application/other")));
+        other.beam_ok("keep but wrong type".into());
+        // Right type, fails the condition.
+        let beamer = Beamer::new(&actx, Arc::new(StringConverter::plain_text()));
+        beamer.beam_ok("drop this".into());
+        // Right type, passes.
+        beamer.beam_ok("keep this".into());
+
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), "keep this");
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn stopped_receiver_hears_nothing() {
+        let (world, actx, bctx) = setup();
+        let (tx, rx) = unbounded();
+        let receiver = BeamReceiver::new(
+            &bctx,
+            Arc::new(StringConverter::plain_text()),
+            Arc::new(Collect { tx, condition: Box::new(|_| true) }),
+        );
+        receiver.stop();
+        std::thread::sleep(Duration::from_millis(60));
+        world.bring_phones_together(actx.phone(), bctx.phone());
+        let beamer = Beamer::new(&actx, Arc::new(StringConverter::plain_text()));
+        beamer.beam_ok("into the void".into());
+        assert!(rx.recv_timeout(Duration::from_millis(200)).is_err());
+        assert!(format!("{receiver:?}").contains("BeamReceiver"));
+    }
+
+    #[test]
+    fn close_cancels_queued_beams() {
+        let (_world, actx, _bctx) = setup();
+        let beamer = Beamer::new(&actx, Arc::new(StringConverter::plain_text()));
+        let (tx, rx) = unbounded();
+        beamer.beam("never".into(), || panic!("no"), move |f| tx.send(f).unwrap());
+        beamer.close();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), OpFailure::Cancelled);
+        assert!(format!("{beamer:?}").contains("Beamer"));
+    }
+}

@@ -1,0 +1,109 @@
+//! The middleware's attachment point: everything MORENA needs from the
+//! platform, decoupled from any particular activity.
+//!
+//! One of the paper's drawbacks of the raw API is its *"tight coupling
+//! with the activity-based architecture"*: every NFC interaction must be
+//! routed through the foreground activity. [`MorenaContext`] breaks that
+//! coupling — it can be built *from* an activity (listeners then run on
+//! that activity's main thread) or fully headless (the middleware pumps
+//! its own main thread), letting RFID logic live outside the UI.
+
+use std::sync::Arc;
+
+use morena_android_sim::activity::ActivityContext;
+use morena_android_sim::looper::{Handler, MainThread};
+use morena_nfc_sim::clock::Clock;
+use morena_nfc_sim::controller::NfcHandle;
+use morena_nfc_sim::world::{PhoneId, World};
+
+/// The platform services MORENA runs against: an NFC controller, a
+/// main-thread handler for listener delivery, and a clock for timeouts.
+///
+/// Cheap to clone; all clones share the same main thread.
+#[derive(Debug, Clone)]
+pub struct MorenaContext {
+    nfc: NfcHandle,
+    handler: Handler,
+    clock: Arc<dyn Clock>,
+    // Keeps a headless main thread alive for as long as any clone lives.
+    _own_main: Option<Arc<MainThread>>,
+}
+
+impl MorenaContext {
+    /// Attaches MORENA to an activity: listeners will be delivered on the
+    /// activity's main thread.
+    pub fn from_activity(ctx: &ActivityContext) -> MorenaContext {
+        MorenaContext {
+            nfc: ctx.nfc().clone(),
+            handler: ctx.handler(),
+            clock: Arc::clone(ctx.nfc().world().clock()),
+            _own_main: None,
+        }
+    }
+
+    /// Runs MORENA without any activity (e.g. a background service): the
+    /// context owns a private main thread for listener delivery.
+    pub fn headless(world: &World, phone: PhoneId) -> MorenaContext {
+        let main = Arc::new(MainThread::spawn());
+        MorenaContext {
+            nfc: NfcHandle::new(world.clone(), phone),
+            handler: main.handler(),
+            clock: Arc::clone(world.clock()),
+            _own_main: Some(main),
+        }
+    }
+
+    /// The phone's NFC controller.
+    pub fn nfc(&self) -> &NfcHandle {
+        &self.nfc
+    }
+
+    /// The phone this context operates.
+    pub fn phone(&self) -> PhoneId {
+        self.nfc.phone()
+    }
+
+    /// The handler listeners are posted to.
+    pub fn handler(&self) -> Handler {
+        self.handler.clone()
+    }
+
+    /// The clock used for timeouts and lease arithmetic.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morena_nfc_sim::clock::VirtualClock;
+    use morena_nfc_sim::link::LinkModel;
+
+    #[test]
+    fn headless_context_delivers_on_private_main_thread() {
+        let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 0);
+        let phone = world.add_phone("svc");
+        let ctx = MorenaContext::headless(&world, phone);
+        let (tx, rx) = crossbeam::channel::unbounded();
+        ctx.handler().post(move || {
+            tx.send(std::thread::current().name().map(str::to_owned)).unwrap();
+        });
+        let name = rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        assert_eq!(name.as_deref(), Some("main-thread"));
+        assert_eq!(ctx.phone(), phone);
+    }
+
+    #[test]
+    fn clones_share_the_main_thread() {
+        let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 0);
+        let phone = world.add_phone("svc");
+        let ctx = MorenaContext::headless(&world, phone);
+        let clone = ctx.clone();
+        drop(ctx);
+        // The clone keeps the main thread alive.
+        let (tx, rx) = crossbeam::channel::unbounded();
+        clone.handler().post(move || tx.send(42).unwrap());
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap(), 42);
+    }
+}

@@ -1,0 +1,321 @@
+//! Data converters: the objects that encapsulate how application values
+//! are marshalled to and from NDEF messages (§3.2 of the paper,
+//! `ObjectToNdefMessageConverter` / `NdefMessageToObjectConverter`).
+//!
+//! In the raw Android API, conversion code is scattered through the
+//! application; MORENA attaches a converter to each tag reference,
+//! discoverer, and beamer so that *"given such a tag reference, the
+//! programmer must no longer worry about it"*. The [`TagDataConverter`]
+//! trait is the Rust shape of that idea: one type implementing both
+//! directions for a specific value type.
+
+use std::marker::PhantomData;
+
+use morena_ndef::{NdefError, NdefMessage, NdefRecord};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Failures converting between application values and NDEF messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConvertError {
+    /// The message's structure is not what this converter produces
+    /// (wrong record type, missing records, …).
+    WrongShape {
+        /// What the converter expected to find.
+        expected: String,
+    },
+    /// NDEF-level encoding or decoding failed.
+    Ndef(NdefError),
+    /// JSON (de)serialization failed.
+    Json(String),
+}
+
+impl std::fmt::Display for ConvertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConvertError::WrongShape { expected } => {
+                write!(f, "message does not match converter, expected {expected}")
+            }
+            ConvertError::Ndef(e) => write!(f, "ndef error: {e}"),
+            ConvertError::Json(e) => write!(f, "json error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConvertError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConvertError::Ndef(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NdefError> for ConvertError {
+    fn from(e: NdefError) -> ConvertError {
+        ConvertError::Ndef(e)
+    }
+}
+
+/// Two-way conversion between an application value type and NDEF
+/// messages, attached to tag references, discoverers, and beamers.
+///
+/// Implementations must be cheap to call and stateless (they are shared
+/// behind `Arc` across the middleware's threads).
+pub trait TagDataConverter: Send + Sync + 'static {
+    /// The application value type this converter handles.
+    type Value: Clone + Send + 'static;
+
+    /// The MIME type of the messages this converter produces — used by
+    /// discoverers and beam listeners to filter relevant tags/messages.
+    fn mime_type(&self) -> &str;
+
+    /// Converts a value into the NDEF message to store or beam.
+    ///
+    /// # Errors
+    ///
+    /// [`ConvertError`] when the value cannot be represented.
+    fn to_message(&self, value: &Self::Value) -> Result<NdefMessage, ConvertError>;
+
+    /// Converts a read or received NDEF message back into a value.
+    ///
+    /// # Errors
+    ///
+    /// [`ConvertError`] when the message does not match this converter.
+    // Named for the paper's `NdefMessageToObjectConverter`; it is a
+    // conversion *of the message*, not of self.
+    #[allow(clippy::wrong_self_convention)]
+    fn from_message(&self, message: &NdefMessage) -> Result<Self::Value, ConvertError>;
+
+    /// Whether `message` looks like something this converter can decode
+    /// (default: first record is a MIME record of [`mime_type`]).
+    ///
+    /// [`mime_type`]: TagDataConverter::mime_type
+    fn accepts(&self, message: &NdefMessage) -> bool {
+        message.first().is_mime(self.mime_type())
+    }
+}
+
+/// Converts `String`s to single-record MIME messages — the converter of
+/// the paper's simple read/write-a-string application (§3.2).
+///
+/// # Examples
+///
+/// ```
+/// use morena_core::convert::{StringConverter, TagDataConverter};
+///
+/// # fn main() -> Result<(), morena_core::convert::ConvertError> {
+/// let conv = StringConverter::plain_text();
+/// let msg = conv.to_message(&"hello".to_string())?;
+/// assert_eq!(conv.from_message(&msg)?, "hello");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StringConverter {
+    mime: String,
+}
+
+impl StringConverter {
+    /// A converter using a custom MIME type.
+    pub fn new(mime: &str) -> StringConverter {
+        StringConverter { mime: mime.to_owned() }
+    }
+
+    /// The conventional `text/plain` converter.
+    pub fn plain_text() -> StringConverter {
+        StringConverter::new("text/plain")
+    }
+}
+
+impl TagDataConverter for StringConverter {
+    type Value = String;
+
+    fn mime_type(&self) -> &str {
+        &self.mime
+    }
+
+    fn to_message(&self, value: &String) -> Result<NdefMessage, ConvertError> {
+        let record = NdefRecord::mime(&self.mime, value.as_bytes().to_vec())?;
+        Ok(NdefMessage::single(record))
+    }
+
+    fn from_message(&self, message: &NdefMessage) -> Result<String, ConvertError> {
+        let record = message.first();
+        if !record.is_mime(&self.mime) {
+            return Err(ConvertError::WrongShape { expected: format!("mime {}", self.mime) });
+        }
+        String::from_utf8(record.payload().to_vec())
+            .map_err(|_| ConvertError::WrongShape { expected: "utf-8 text payload".into() })
+    }
+}
+
+/// Converts raw byte vectors to single-record MIME messages — the
+/// lowest-level custom strategy (e.g. storing only a key on the tag and
+/// the object in an external database, as §3's intro suggests).
+#[derive(Debug, Clone)]
+pub struct BytesConverter {
+    mime: String,
+}
+
+impl BytesConverter {
+    /// A converter using a custom MIME type.
+    pub fn new(mime: &str) -> BytesConverter {
+        BytesConverter { mime: mime.to_owned() }
+    }
+}
+
+impl TagDataConverter for BytesConverter {
+    type Value = Vec<u8>;
+
+    fn mime_type(&self) -> &str {
+        &self.mime
+    }
+
+    fn to_message(&self, value: &Vec<u8>) -> Result<NdefMessage, ConvertError> {
+        Ok(NdefMessage::single(NdefRecord::mime(&self.mime, value.clone())?))
+    }
+
+    fn from_message(&self, message: &NdefMessage) -> Result<Vec<u8>, ConvertError> {
+        let record = message.first();
+        if !record.is_mime(&self.mime) {
+            return Err(ConvertError::WrongShape { expected: format!("mime {}", self.mime) });
+        }
+        Ok(record.payload().to_vec())
+    }
+}
+
+/// Converts any `serde` value to a JSON payload in a single MIME record —
+/// the GSON-based deep serialization that the paper's *things* layer (§2)
+/// is built on.
+pub struct JsonConverter<T> {
+    mime: String,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> std::fmt::Debug for JsonConverter<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonConverter").field("mime", &self.mime).finish()
+    }
+}
+
+impl<T> Clone for JsonConverter<T> {
+    fn clone(&self) -> JsonConverter<T> {
+        JsonConverter { mime: self.mime.clone(), _marker: PhantomData }
+    }
+}
+
+impl<T> JsonConverter<T> {
+    /// A JSON converter using `mime` as the record type.
+    pub fn new(mime: &str) -> JsonConverter<T> {
+        JsonConverter { mime: mime.to_owned(), _marker: PhantomData }
+    }
+}
+
+impl<T> TagDataConverter for JsonConverter<T>
+where
+    T: Serialize + DeserializeOwned + Clone + Send + 'static,
+{
+    type Value = T;
+
+    fn mime_type(&self) -> &str {
+        &self.mime
+    }
+
+    fn to_message(&self, value: &T) -> Result<NdefMessage, ConvertError> {
+        let json = serde_json::to_vec(value).map_err(|e| ConvertError::Json(e.to_string()))?;
+        Ok(NdefMessage::single(NdefRecord::mime(&self.mime, json)?))
+    }
+
+    fn from_message(&self, message: &NdefMessage) -> Result<T, ConvertError> {
+        let record = message.first();
+        if !record.is_mime(&self.mime) {
+            return Err(ConvertError::WrongShape { expected: format!("mime {}", self.mime) });
+        }
+        serde_json::from_slice(record.payload()).map_err(|e| ConvertError::Json(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Deserialize;
+
+    #[test]
+    fn string_converter_round_trips() {
+        let conv = StringConverter::plain_text();
+        assert_eq!(conv.mime_type(), "text/plain");
+        let msg = conv.to_message(&"héllo ✓".to_string()).unwrap();
+        assert!(conv.accepts(&msg));
+        assert_eq!(conv.from_message(&msg).unwrap(), "héllo ✓");
+    }
+
+    #[test]
+    fn string_converter_rejects_other_mime() {
+        let a = StringConverter::new("text/a");
+        let b = StringConverter::new("text/b");
+        let msg = a.to_message(&"x".to_string()).unwrap();
+        assert!(!b.accepts(&msg));
+        assert!(matches!(b.from_message(&msg), Err(ConvertError::WrongShape { .. })));
+    }
+
+    #[test]
+    fn string_converter_rejects_invalid_utf8() {
+        let conv = StringConverter::plain_text();
+        let msg = NdefMessage::single(
+            NdefRecord::mime("text/plain", vec![0xFF, 0xFE]).unwrap(),
+        );
+        assert!(matches!(conv.from_message(&msg), Err(ConvertError::WrongShape { .. })));
+    }
+
+    #[test]
+    fn bytes_converter_round_trips() {
+        let conv = BytesConverter::new("application/octet-stream");
+        let payload = vec![0u8, 1, 2, 255];
+        let msg = conv.to_message(&payload).unwrap();
+        assert_eq!(conv.from_message(&msg).unwrap(), payload);
+    }
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Config {
+        ssid: String,
+        key: String,
+        channel: u8,
+    }
+
+    #[test]
+    fn json_converter_round_trips_structs() {
+        let conv: JsonConverter<Config> = JsonConverter::new("application/vnd.test+json");
+        let value = Config { ssid: "lab".into(), key: "s3cret".into(), channel: 6 };
+        let msg = conv.to_message(&value).unwrap();
+        assert!(conv.accepts(&msg));
+        assert_eq!(conv.from_message(&msg).unwrap(), value);
+    }
+
+    #[test]
+    fn json_converter_reports_garbage() {
+        let conv: JsonConverter<Config> = JsonConverter::new("application/vnd.test+json");
+        let msg = NdefMessage::single(
+            NdefRecord::mime("application/vnd.test+json", b"{not json".to_vec()).unwrap(),
+        );
+        assert!(matches!(conv.from_message(&msg), Err(ConvertError::Json(_))));
+    }
+
+    #[test]
+    fn errors_display_and_chain() {
+        let e = ConvertError::from(NdefError::InvalidUtf8);
+        assert!(!e.to_string().is_empty());
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&ConvertError::Json("x".into())).is_none());
+        assert!(!ConvertError::WrongShape { expected: "y".into() }.to_string().is_empty());
+    }
+
+    #[test]
+    fn json_converter_is_cloneable_and_debuggable() {
+        let conv: JsonConverter<Config> = JsonConverter::new("a/b");
+        let clone = conv.clone();
+        assert_eq!(clone.mime_type(), "a/b");
+        assert!(!format!("{conv:?}").is_empty());
+    }
+}

@@ -1,0 +1,446 @@
+//! Tag discovery (§3.1 of the paper): turning low-level NFC events into
+//! typed detections of *relevant* tags, delivered as first-class tag
+//! references.
+//!
+//! A [`TagDiscoverer`] filters the stream of tags entering the phone's
+//! field down to those carrying its converter's MIME type (plus blank
+//! tags, for initialization flows), maintains the **one reference per
+//! tag** identity map the paper requires, and invokes the application's
+//! [`DiscoveryListener`] on the main thread:
+//!
+//! * [`DiscoveryListener::on_tag_detected`] — first sighting of a tag;
+//! * [`DiscoveryListener::on_tag_redetected`] — a known tag came back;
+//! * [`DiscoveryListener::on_empty_tag`] — a formatted but blank tag
+//!   (the paper's `EmptyRecord` flow);
+//! * [`DiscoveryListener::check_condition`] — the §3.4 fine-grained
+//!   filter predicate, evaluated against the reference (typically its
+//!   freshly cached value) before any callback fires.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::RecvTimeoutError;
+use morena_ndef::NdefMessage;
+use morena_nfc_sim::tag::{TagTech, TagUid};
+use morena_nfc_sim::world::NfcEvent;
+use parking_lot::Mutex;
+
+use crate::context::MorenaContext;
+use crate::convert::TagDataConverter;
+use crate::eventloop::LoopConfig;
+use crate::tagref::TagReference;
+
+/// How many times discovery retries the initial content read while the
+/// tag stays in range (mirrors the platform pre-read).
+const DISCOVERY_READ_ATTEMPTS: usize = 3;
+
+/// Application callbacks for tag discovery. All methods run on the main
+/// thread.
+pub trait DiscoveryListener<C: TagDataConverter>: Send + Sync + 'static {
+    /// A tag of this discoverer's type was seen for the very first time.
+    fn on_tag_detected(&self, reference: TagReference<C>);
+
+    /// A previously seen tag came back into range.
+    fn on_tag_redetected(&self, reference: TagReference<C>);
+
+    /// A formatted but blank tag was seen (candidate for initialization).
+    fn on_empty_tag(&self, reference: TagReference<C>) {
+        let _ = reference;
+    }
+
+    /// Fine-grained filter (§3.4): when this returns `false` the
+    /// detection callbacks are suppressed for this sighting. The default
+    /// accepts everything.
+    fn check_condition(&self, reference: &TagReference<C>) -> bool {
+        let _ = reference;
+        true
+    }
+}
+
+struct DiscovererInner<C: TagDataConverter> {
+    ctx: MorenaContext,
+    converter: Arc<C>,
+    listener: Arc<dyn DiscoveryListener<C>>,
+    config: LoopConfig,
+    references: Mutex<HashMap<TagUid, TagReference<C>>>,
+    stop: AtomicBool,
+}
+
+impl<C: TagDataConverter> Drop for DiscovererInner<C> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+    }
+}
+
+/// Watches the phone's field for tags carrying this discoverer's data
+/// type and hands out unique [`TagReference`]s for them.
+///
+/// Dropping the discoverer stops discovery; references it created keep
+/// working until [`TagReference::close`] (reclaiming references is the
+/// application's responsibility, §3.2).
+pub struct TagDiscoverer<C: TagDataConverter> {
+    inner: Arc<DiscovererInner<C>>,
+}
+
+impl<C: TagDataConverter> Clone for TagDiscoverer<C> {
+    fn clone(&self) -> TagDiscoverer<C> {
+        TagDiscoverer { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<C: TagDataConverter> std::fmt::Debug for TagDiscoverer<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TagDiscoverer")
+            .field("mime", &self.inner.converter.mime_type())
+            .field("known_tags", &self.inner.references.lock().len())
+            .finish()
+    }
+}
+
+impl<C: TagDataConverter> TagDiscoverer<C> {
+    /// Starts discovery with default event-loop tuning for the references
+    /// it creates.
+    pub fn new(
+        ctx: &MorenaContext,
+        converter: Arc<C>,
+        listener: Arc<dyn DiscoveryListener<C>>,
+    ) -> TagDiscoverer<C> {
+        TagDiscoverer::with_config(ctx, converter, listener, LoopConfig::default())
+    }
+
+    /// Starts discovery with explicit [`LoopConfig`] for created
+    /// references.
+    pub fn with_config(
+        ctx: &MorenaContext,
+        converter: Arc<C>,
+        listener: Arc<dyn DiscoveryListener<C>>,
+        config: LoopConfig,
+    ) -> TagDiscoverer<C> {
+        let inner = Arc::new(DiscovererInner {
+            ctx: ctx.clone(),
+            converter,
+            listener,
+            config,
+            references: Mutex::new(HashMap::new()),
+            stop: AtomicBool::new(false),
+        });
+        spawn_discovery_thread(Arc::clone(&inner));
+        TagDiscoverer { inner }
+    }
+
+    /// The MIME type this discoverer filters on.
+    pub fn mime_type(&self) -> &str {
+        self.inner.converter.mime_type()
+    }
+
+    /// The unique reference for `uid`, if this discoverer has seen it.
+    pub fn reference_for(&self, uid: TagUid) -> Option<TagReference<C>> {
+        self.inner.references.lock().get(&uid).cloned()
+    }
+
+    /// All references this discoverer has handed out so far.
+    pub fn references(&self) -> Vec<TagReference<C>> {
+        self.inner.references.lock().values().cloned().collect()
+    }
+
+    /// Closes and forgets the reference for `uid` (the application-driven
+    /// garbage collection the paper prescribes). Returns whether a
+    /// reference existed.
+    pub fn forget(&self, uid: TagUid) -> bool {
+        match self.inner.references.lock().remove(&uid) {
+            Some(reference) => {
+                reference.close();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Stops the discovery thread (references stay alive).
+    pub fn stop(&self) {
+        self.inner.stop.store(true, Ordering::Release);
+    }
+}
+
+fn spawn_discovery_thread<C: TagDataConverter>(inner: Arc<DiscovererInner<C>>) {
+    let events = inner.ctx.nfc().events();
+    std::thread::Builder::new()
+        .name(format!("morena-discovery-{}", inner.converter.mime_type()))
+        .spawn(move || {
+            while !inner.stop.load(Ordering::Acquire) {
+                match events.recv_timeout(Duration::from_millis(20)) {
+                    Ok(NfcEvent::TagEntered { uid, tech }) => handle_entered(&inner, uid, tech),
+                    // Tag loss is handled by each reference's own
+                    // connectivity router; discovery has nothing to do.
+                    Ok(_) => {}
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        })
+        .expect("spawn discovery thread");
+}
+
+fn handle_entered<C: TagDataConverter>(inner: &Arc<DiscovererInner<C>>, uid: TagUid, tech: TagTech) {
+    // Discovery pre-read: learn what is on the tag (with a couple of
+    // retries — arrival is the moment the link is weakest).
+    let nfc = inner.ctx.nfc();
+    let mut bytes = None;
+    for _ in 0..DISCOVERY_READ_ATTEMPTS {
+        match nfc.ndef_read(uid) {
+            Ok(b) => {
+                bytes = Some(b);
+                break;
+            }
+            Err(e) if e.is_transient() && nfc.tag_in_range(uid) => continue,
+            Err(_) => break,
+        }
+    }
+    let Some(bytes) = bytes else { return };
+
+    enum Sighting<V> {
+        Blank,
+        Value(V),
+    }
+
+    let sighting = if bytes.is_empty() {
+        Sighting::Blank
+    } else {
+        match NdefMessage::parse(&bytes) {
+            Ok(message) if message.is_blank() => Sighting::Blank,
+            Ok(message) if inner.converter.accepts(&message) => {
+                match inner.converter.from_message(&message) {
+                    Ok(value) => Sighting::Value(value),
+                    Err(_) => return, // corrupt payload of our type: disregard
+                }
+            }
+            // Other data types are disregarded (§3.1).
+            _ => return,
+        }
+    };
+
+    let (reference, known) = {
+        let mut references = inner.references.lock();
+        match references.get(&uid) {
+            Some(existing) => (existing.clone(), true),
+            None => {
+                let created = TagReference::with_config(
+                    &inner.ctx,
+                    uid,
+                    tech,
+                    Arc::clone(&inner.converter),
+                    inner.config.clone(),
+                );
+                references.insert(uid, created.clone());
+                (created, false)
+            }
+        }
+    };
+
+    match sighting {
+        Sighting::Blank => {
+            reference.set_cached(None);
+            if !inner.listener.check_condition(&reference) {
+                return;
+            }
+            let listener = Arc::clone(&inner.listener);
+            inner.ctx.handler().post(move || listener.on_empty_tag(reference));
+        }
+        Sighting::Value(value) => {
+            reference.set_cached(Some(value));
+            if !inner.listener.check_condition(&reference) {
+                return;
+            }
+            let listener = Arc::clone(&inner.listener);
+            inner.ctx.handler().post(move || {
+                if known {
+                    listener.on_tag_redetected(reference);
+                } else {
+                    listener.on_tag_detected(reference);
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::StringConverter;
+    use crossbeam::channel::{unbounded, Sender};
+    use morena_nfc_sim::clock::VirtualClock;
+    use morena_nfc_sim::link::LinkModel;
+    use morena_nfc_sim::tag::Type2Tag;
+    use morena_nfc_sim::world::World;
+
+    enum Event {
+        Detected(TagUid, Option<String>),
+        Redetected(TagUid),
+        Empty(TagUid),
+    }
+
+    type Condition = Box<dyn Fn(&TagReference<StringConverter>) -> bool + Send + Sync>;
+
+    struct Recording {
+        tx: Sender<Event>,
+        condition: Condition,
+    }
+
+    impl DiscoveryListener<StringConverter> for Recording {
+        fn on_tag_detected(&self, reference: TagReference<StringConverter>) {
+            self.tx.send(Event::Detected(reference.uid(), reference.cached())).unwrap();
+        }
+        fn on_tag_redetected(&self, reference: TagReference<StringConverter>) {
+            self.tx.send(Event::Redetected(reference.uid())).unwrap();
+        }
+        fn on_empty_tag(&self, reference: TagReference<StringConverter>) {
+            self.tx.send(Event::Empty(reference.uid())).unwrap();
+        }
+        fn check_condition(&self, reference: &TagReference<StringConverter>) -> bool {
+            (self.condition)(reference)
+        }
+    }
+
+    fn setup() -> (World, MorenaContext) {
+        let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 9);
+        let phone = world.add_phone("alice");
+        let ctx = MorenaContext::headless(&world, phone);
+        (world, ctx)
+    }
+
+    fn tag_with(world: &World, ctx: &MorenaContext, seed: u32, content: Option<&str>) -> TagUid {
+        let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(seed))));
+        if let Some(text) = content {
+            world.tap_tag(uid, ctx.phone());
+            let msg = StringConverter::plain_text()
+                .to_message(&text.to_string())
+                .unwrap();
+            ctx.nfc().ndef_write(uid, &msg.to_bytes()).unwrap();
+            world.remove_tag_from_field(uid);
+        }
+        uid
+    }
+
+    fn discoverer(
+        ctx: &MorenaContext,
+        tx: Sender<Event>,
+    ) -> TagDiscoverer<StringConverter> {
+        TagDiscoverer::new(
+            ctx,
+            Arc::new(StringConverter::plain_text()),
+            Arc::new(Recording { tx, condition: Box::new(|_| true) }),
+        )
+    }
+
+    #[test]
+    fn detects_then_redetects_with_unique_reference() {
+        let (world, ctx) = setup();
+        let uid = tag_with(&world, &ctx, 1, Some("hello"));
+        let (tx, rx) = unbounded();
+        let disco = discoverer(&ctx, tx);
+
+        world.tap_tag(uid, ctx.phone());
+        match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
+            Event::Detected(u, cached) => {
+                assert_eq!(u, uid);
+                assert_eq!(cached.as_deref(), Some("hello"));
+            }
+            _ => panic!("expected detection"),
+        }
+        let first_ref = disco.reference_for(uid).unwrap();
+
+        world.remove_tag_from_field(uid);
+        world.tap_tag(uid, ctx.phone());
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+            Event::Redetected(u) if u == uid
+        ));
+        // Identity: still the same shared reference.
+        let second_ref = disco.reference_for(uid).unwrap();
+        assert!(Arc::ptr_eq(&first_ref.stats(), &second_ref.stats()));
+        assert_eq!(disco.references().len(), 1);
+    }
+
+    #[test]
+    fn blank_tags_surface_as_empty() {
+        let (world, ctx) = setup();
+        let uid = tag_with(&world, &ctx, 2, None);
+        let (tx, rx) = unbounded();
+        let _disco = discoverer(&ctx, tx);
+        world.tap_tag(uid, ctx.phone());
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+            Event::Empty(u) if u == uid
+        ));
+    }
+
+    #[test]
+    fn foreign_mime_types_are_disregarded() {
+        let (world, ctx) = setup();
+        let uid = tag_with(&world, &ctx, 3, None);
+        world.tap_tag(uid, ctx.phone());
+        let other = StringConverter::new("application/other")
+            .to_message(&"not ours".to_string())
+            .unwrap();
+        ctx.nfc().ndef_write(uid, &other.to_bytes()).unwrap();
+        world.remove_tag_from_field(uid);
+
+        let (tx, rx) = unbounded();
+        let disco = discoverer(&ctx, tx);
+        world.tap_tag(uid, ctx.phone());
+        assert!(rx.recv_timeout(Duration::from_millis(200)).is_err());
+        assert!(disco.reference_for(uid).is_none());
+    }
+
+    #[test]
+    fn check_condition_filters_sightings() {
+        let (world, ctx) = setup();
+        let yes = tag_with(&world, &ctx, 4, Some("keep"));
+        let no = tag_with(&world, &ctx, 5, Some("drop"));
+        let (tx, rx) = unbounded();
+        let _disco = TagDiscoverer::new(
+            &ctx,
+            Arc::new(StringConverter::plain_text()),
+            Arc::new(Recording {
+                tx,
+                condition: Box::new(|r| r.cached().as_deref() == Some("keep")),
+            }),
+        );
+        world.tap_tag(no, ctx.phone());
+        world.remove_tag_from_field(no);
+        world.tap_tag(yes, ctx.phone());
+        match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
+            Event::Detected(u, _) => assert_eq!(u, yes),
+            _ => panic!("expected detection of the kept tag"),
+        }
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn forget_closes_and_removes_the_reference() {
+        let (world, ctx) = setup();
+        let uid = tag_with(&world, &ctx, 6, Some("x"));
+        let (tx, rx) = unbounded();
+        let disco = discoverer(&ctx, tx);
+        world.tap_tag(uid, ctx.phone());
+        rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(disco.forget(uid));
+        assert!(!disco.forget(uid));
+        assert!(disco.reference_for(uid).is_none());
+        assert!(format!("{disco:?}").contains("text/plain"));
+    }
+
+    #[test]
+    fn stopped_discoverer_reports_nothing() {
+        let (world, ctx) = setup();
+        let uid = tag_with(&world, &ctx, 7, Some("x"));
+        let (tx, rx) = unbounded();
+        let disco = discoverer(&ctx, tx);
+        disco.stop();
+        std::thread::sleep(Duration::from_millis(60));
+        world.tap_tag(uid, ctx.phone());
+        assert!(rx.recv_timeout(Duration::from_millis(200)).is_err());
+    }
+}

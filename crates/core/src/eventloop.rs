@@ -1,0 +1,723 @@
+//! The far-reference event loop (§3.2 of the paper).
+//!
+//! Every tag reference (and beamer) *"encapsulates a private event loop
+//! that uses its own thread of control to sequentially check if the first
+//! message in the queue can be processed. If it fails, it just remains in
+//! the queue. […] It is guaranteed that a message is never processed
+//! before previously scheduled messages are processed first."*
+//!
+//! This module implements exactly that machine, generically over an
+//! internal executor trait so the same loop drives tag I/O and beam
+//! pushes:
+//!
+//! * strict FIFO processing — the head operation blocks the queue;
+//! * automatic retry of transiently failed operations (decoupling in
+//!   time) with a short backoff, re-armed immediately on connectivity
+//!   changes;
+//! * per-operation deadlines — an expired head operation is dropped and
+//!   its failure listener fired;
+//! * listener delivery on the application's main thread, in completion
+//!   order.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use morena_android_sim::looper::Handler;
+use morena_nfc_sim::clock::{Clock, SimInstant, WaitSignal};
+use morena_nfc_sim::error::NfcOpError;
+use parking_lot::Mutex;
+
+use crate::convert::ConvertError;
+
+/// A deadline far enough away to mean "no deadline".
+const FAR_FUTURE: SimInstant = SimInstant::from_nanos(u64::MAX);
+
+/// Why an asynchronous MORENA operation did not succeed, delivered to the
+/// operation's failure listener.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OpFailure {
+    /// The operation stayed queued past its timeout. Transient faults
+    /// (tag out of range, noise) surface this way after retries.
+    TimedOut,
+    /// The operation failed for a reason retrying cannot fix (tag is
+    /// read-only, message too large, not NDEF-formatted, …).
+    Failed(NfcOpError),
+    /// The data on the tag could not be converted to the reference's
+    /// value type.
+    InvalidData(ConvertError),
+    /// The reference/beamer was shut down with the operation still
+    /// queued.
+    Cancelled,
+}
+
+impl std::fmt::Display for OpFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OpFailure::TimedOut => write!(f, "operation timed out"),
+            OpFailure::Failed(e) => write!(f, "operation failed permanently: {e}"),
+            OpFailure::InvalidData(e) => write!(f, "operation produced unconvertible data: {e}"),
+            OpFailure::Cancelled => write!(f, "operation cancelled by shutdown"),
+        }
+    }
+}
+
+impl std::error::Error for OpFailure {}
+
+/// A queued physical operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum OpRequest {
+    /// Read the full NDEF message.
+    Read,
+    /// Replace the NDEF message with these bytes.
+    Write(Vec<u8>),
+    /// Permanently write-protect the tag.
+    MakeReadOnly,
+    /// Push these bytes to any peer in proximity.
+    Push(Vec<u8>),
+}
+
+/// What a successful operation yields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum OpResponse {
+    /// Bytes read from the tag (empty = blank tag).
+    Bytes(Vec<u8>),
+    /// The operation completed with nothing to return.
+    Done,
+}
+
+/// The physical half of the loop: connectivity probing and the blocking
+/// execution of one operation attempt.
+pub(crate) trait OpExecutor: Send + 'static {
+    /// Whether the remote party is reachable right now.
+    fn connected(&self) -> bool;
+
+    /// Attempts `request` once, blocking for its full link latency.
+    fn execute(&self, request: &OpRequest) -> Result<OpResponse, NfcOpError>;
+}
+
+/// Monotone counters describing a loop's lifetime activity — the raw
+/// material of the EXT-RETRY / EXT-BATCH experiments.
+#[derive(Debug, Default)]
+pub struct OpStats {
+    submitted: AtomicU64,
+    attempts: AtomicU64,
+    transient_failures: AtomicU64,
+    succeeded: AtomicU64,
+    timed_out: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    attempt_nanos_total: AtomicU64,
+    attempt_nanos_max: AtomicU64,
+    completion_nanos_total: AtomicU64,
+}
+
+impl OpStats {
+    fn record_attempt(&self, nanos: u64) {
+        self.attempt_nanos_total.fetch_add(nanos, Ordering::Relaxed);
+        self.attempt_nanos_max.fetch_max(nanos, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`OpStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpStatsSnapshot {
+    /// Operations ever submitted.
+    pub submitted: u64,
+    /// Physical attempts (submissions × retries).
+    pub attempts: u64,
+    /// Attempts that failed transiently and stayed queued.
+    pub transient_failures: u64,
+    /// Operations that completed successfully.
+    pub succeeded: u64,
+    /// Operations dropped at their deadline.
+    pub timed_out: u64,
+    /// Operations that failed permanently.
+    pub failed: u64,
+    /// Operations cancelled by shutdown.
+    pub cancelled: u64,
+    /// Total clock time spent inside physical attempts, in nanoseconds.
+    pub attempt_nanos_total: u64,
+    /// The single longest physical attempt, in nanoseconds.
+    pub attempt_nanos_max: u64,
+    /// Total queue-to-completion latency over succeeded operations, in
+    /// nanoseconds.
+    pub completion_nanos_total: u64,
+}
+
+impl OpStatsSnapshot {
+    /// Mean duration of one physical attempt, when any were made.
+    pub fn mean_attempt(&self) -> Option<Duration> {
+        (self.attempts > 0)
+            .then(|| Duration::from_nanos(self.attempt_nanos_total / self.attempts))
+    }
+
+    /// Mean submit-to-success latency, when any operation succeeded.
+    pub fn mean_completion(&self) -> Option<Duration> {
+        (self.succeeded > 0)
+            .then(|| Duration::from_nanos(self.completion_nanos_total / self.succeeded))
+    }
+}
+
+impl OpStats {
+    /// Takes a snapshot of all counters.
+    pub fn snapshot(&self) -> OpStatsSnapshot {
+        OpStatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            attempts: self.attempts.load(Ordering::Relaxed),
+            transient_failures: self.transient_failures.load(Ordering::Relaxed),
+            succeeded: self.succeeded.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            attempt_nanos_total: self.attempt_nanos_total.load(Ordering::Relaxed),
+            attempt_nanos_max: self.attempt_nanos_max.load(Ordering::Relaxed),
+            completion_nanos_total: self.completion_nanos_total.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A handle to one queued operation, usable to cancel it before it
+/// completes (the §3.2 queue made manageable: a user backing out of a
+/// pending write can withdraw it instead of waiting for the timeout).
+///
+/// Cancelling is idempotent; once the operation has completed (or timed
+/// out) cancellation has no effect.
+#[derive(Debug, Clone)]
+pub struct OpTicket {
+    cancelled: Arc<AtomicBool>,
+    signal: Arc<WaitSignal>,
+}
+
+impl OpTicket {
+    /// Requests cancellation. Returns whether this call flipped the flag
+    /// (false = already cancelled earlier).
+    ///
+    /// The operation's failure listener fires with
+    /// [`OpFailure::Cancelled`] when the loop drops it — unless it
+    /// already completed, in which case nothing happens.
+    pub fn cancel(&self) -> bool {
+        let flipped = !self.cancelled.swap(true, Ordering::AcqRel);
+        if flipped {
+            self.signal.notify();
+        }
+        flipped
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+/// Tuning knobs of an event loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopConfig {
+    /// Deadline applied when the caller does not specify one.
+    pub default_timeout: Duration,
+    /// Pause between retry attempts while the party stays reachable but
+    /// exchanges keep failing (a connectivity change re-arms instantly).
+    pub retry_backoff: Duration,
+}
+
+impl Default for LoopConfig {
+    fn default() -> LoopConfig {
+        LoopConfig {
+            default_timeout: Duration::from_secs(10),
+            retry_backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+struct PendingOp {
+    request: OpRequest,
+    deadline: SimInstant,
+    enqueued_at: SimInstant,
+    cancelled: Arc<AtomicBool>,
+    on_success: Box<dyn FnOnce(OpResponse) + Send>,
+    on_failure: Box<dyn FnOnce(OpFailure) + Send>,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<PendingOp>>,
+    signal: Arc<WaitSignal>,
+    stopped: AtomicBool,
+    clock: Arc<dyn Clock>,
+    handler: Handler,
+    stats: Arc<OpStats>,
+    config: LoopConfig,
+}
+
+impl Shared {
+    fn deliver_success(&self, op: PendingOp, response: OpResponse) {
+        let callback = op.on_success;
+        drop(op.on_failure);
+        self.handler.post(move || callback(response));
+    }
+
+    fn deliver_failure(&self, op: PendingOp, failure: OpFailure) {
+        let callback = op.on_failure;
+        drop(op.on_success);
+        self.handler.post(move || callback(failure));
+    }
+}
+
+/// Handle to a running event loop. Cloning shares the loop; the loop
+/// stops when [`EventLoop::stop`] is called or every handle is dropped.
+#[derive(Clone)]
+pub(crate) struct EventLoop {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for EventLoop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLoop").field("queued", &self.queue_len()).finish()
+    }
+}
+
+impl EventLoop {
+    /// Spawns the loop thread.
+    pub(crate) fn spawn(
+        name: &str,
+        clock: Arc<dyn Clock>,
+        handler: Handler,
+        config: LoopConfig,
+        executor: impl OpExecutor,
+    ) -> EventLoop {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            signal: Arc::new(WaitSignal::new()),
+            stopped: AtomicBool::new(false),
+            clock,
+            handler,
+            stats: Arc::new(OpStats::default()),
+            config,
+        });
+        {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("morena-loop-{name}"))
+                .spawn(move || run(&shared, &executor))
+                .expect("spawn event loop");
+        }
+        EventLoop { shared }
+    }
+
+    /// Enqueues an operation with an explicit timeout.
+    ///
+    /// If the loop has been stopped the failure listener fires (on the
+    /// main thread) with [`OpFailure::Cancelled`].
+    pub(crate) fn submit(
+        &self,
+        request: OpRequest,
+        timeout: Option<Duration>,
+        on_success: Box<dyn FnOnce(OpResponse) + Send>,
+        on_failure: Box<dyn FnOnce(OpFailure) + Send>,
+    ) -> OpTicket {
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let ticket =
+            OpTicket { cancelled: Arc::clone(&cancelled), signal: Arc::clone(&self.shared.signal) };
+        if self.shared.stopped.load(Ordering::Acquire) {
+            self.shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            self.shared.handler.post(move || on_failure(OpFailure::Cancelled));
+            return ticket;
+        }
+        let timeout = timeout.unwrap_or(self.shared.config.default_timeout);
+        let now = self.shared.clock.now();
+        let deadline = now + timeout;
+        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.queue.lock().push_back(PendingOp {
+            request,
+            deadline,
+            enqueued_at: now,
+            cancelled,
+            on_success,
+            on_failure,
+        });
+        self.shared.signal.notify();
+        ticket
+    }
+
+    /// Wakes the loop so it re-examines connectivity — called by the
+    /// owner when discovery events arrive for this reference.
+    pub(crate) fn wake(&self) {
+        self.shared.signal.notify();
+    }
+
+    /// A ticket for an operation that never entered the queue (e.g. it
+    /// failed conversion); cancelling it is a no-op.
+    pub(crate) fn dead_ticket(&self) -> OpTicket {
+        OpTicket {
+            cancelled: Arc::new(AtomicBool::new(true)),
+            signal: Arc::clone(&self.shared.signal),
+        }
+    }
+
+    /// Number of operations still queued (including the one currently
+    /// being attempted).
+    pub(crate) fn queue_len(&self) -> usize {
+        self.shared.queue.lock().len()
+    }
+
+    /// Lifetime statistics.
+    pub(crate) fn stats(&self) -> Arc<OpStats> {
+        Arc::clone(&self.shared.stats)
+    }
+
+    /// Stops the loop: queued operations fail with
+    /// [`OpFailure::Cancelled`]; the thread exits.
+    pub(crate) fn stop(&self) {
+        self.shared.stopped.store(true, Ordering::Release);
+        self.shared.signal.notify();
+    }
+}
+
+fn run(shared: &Arc<Shared>, executor: &dyn OpExecutor) {
+    enum Step {
+        WaitForever,
+        WaitUntil(SimInstant),
+        Timeout(PendingOp),
+        Cancelled(PendingOp),
+        Attempt(OpRequest, SimInstant),
+    }
+
+    loop {
+        // Read the generation *before* inspecting state so a notification
+        // racing with the inspection wakes the wait immediately.
+        let generation = shared.signal.generation();
+        if shared.stopped.load(Ordering::Acquire) {
+            let drained: Vec<PendingOp> = shared.queue.lock().drain(..).collect();
+            for op in drained {
+                shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                shared.deliver_failure(op, OpFailure::Cancelled);
+            }
+            return;
+        }
+        let now = shared.clock.now();
+        let step = {
+            let mut queue = shared.queue.lock();
+            match queue.front() {
+                None => Step::WaitForever,
+                Some(op) if op.cancelled.load(Ordering::Acquire) => {
+                    Step::Cancelled(queue.pop_front().expect("checked front"))
+                }
+                Some(op) if now >= op.deadline => {
+                    Step::Timeout(queue.pop_front().expect("checked front"))
+                }
+                Some(op) => {
+                    if executor.connected() {
+                        Step::Attempt(op.request.clone(), op.deadline)
+                    } else {
+                        Step::WaitUntil(op.deadline)
+                    }
+                }
+            }
+        };
+        match step {
+            Step::WaitForever => {
+                shared.clock.wait_until(&shared.signal, generation, FAR_FUTURE);
+            }
+            Step::WaitUntil(deadline) => {
+                shared.clock.wait_until(&shared.signal, generation, deadline);
+            }
+            Step::Timeout(op) => {
+                shared.stats.timed_out.fetch_add(1, Ordering::Relaxed);
+                shared.deliver_failure(op, OpFailure::TimedOut);
+            }
+            Step::Cancelled(op) => {
+                shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                shared.deliver_failure(op, OpFailure::Cancelled);
+            }
+            Step::Attempt(request, deadline) => {
+                shared.stats.attempts.fetch_add(1, Ordering::Relaxed);
+                let attempt_started = shared.clock.now();
+                let outcome = executor.execute(&request);
+                let finished = shared.clock.now();
+                shared
+                    .stats
+                    .record_attempt(finished.saturating_since(attempt_started).as_nanos() as u64);
+                match outcome {
+                    Ok(response) => {
+                        let op = shared
+                            .queue
+                            .lock()
+                            .pop_front()
+                            .expect("only the loop thread pops");
+                        shared.stats.succeeded.fetch_add(1, Ordering::Relaxed);
+                        shared.stats.completion_nanos_total.fetch_add(
+                            finished.saturating_since(op.enqueued_at).as_nanos() as u64,
+                            Ordering::Relaxed,
+                        );
+                        shared.deliver_success(op, response);
+                    }
+                    Err(e) if e.is_transient() => {
+                        // Decoupling in time: the operation stays queued.
+                        // Back off briefly; a connectivity notification
+                        // re-arms the attempt immediately.
+                        shared.stats.transient_failures.fetch_add(1, Ordering::Relaxed);
+                        let backoff =
+                            shared.clock.now() + shared.config.retry_backoff;
+                        shared.clock.wait_until(
+                            &shared.signal,
+                            generation,
+                            backoff.min(deadline),
+                        );
+                    }
+                    Err(e) => {
+                        let op = shared
+                            .queue
+                            .lock()
+                            .pop_front()
+                            .expect("only the loop thread pops");
+                        shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                        shared.deliver_failure(op, OpFailure::Failed(e));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morena_android_sim::looper::MainThread;
+    use morena_nfc_sim::clock::{SystemClock, VirtualClock};
+    use morena_nfc_sim::error::LinkError;
+    use crossbeam::channel::{unbounded, Receiver, Sender};
+
+    /// An executor scripted from the test: pops canned results.
+    struct Scripted {
+        connected: Arc<AtomicBool>,
+        results: Arc<Mutex<VecDeque<Result<OpResponse, NfcOpError>>>>,
+        executed: Sender<OpRequest>,
+    }
+
+    impl OpExecutor for Scripted {
+        fn connected(&self) -> bool {
+            self.connected.load(Ordering::SeqCst)
+        }
+        fn execute(&self, request: &OpRequest) -> Result<OpResponse, NfcOpError> {
+            let _ = self.executed.send(request.clone());
+            self.results.lock().pop_front().unwrap_or(Ok(OpResponse::Done))
+        }
+    }
+
+    struct Fixture {
+        main: MainThread,
+        event_loop: EventLoop,
+        connected: Arc<AtomicBool>,
+        results: Arc<Mutex<VecDeque<Result<OpResponse, NfcOpError>>>>,
+        executed: Receiver<OpRequest>,
+        outcomes: Receiver<Result<OpResponse, OpFailure>>,
+        outcome_tx: Sender<Result<OpResponse, OpFailure>>,
+    }
+
+    impl Fixture {
+        fn new(clock: Arc<dyn Clock>, config: LoopConfig) -> Fixture {
+            let main = MainThread::spawn();
+            let connected = Arc::new(AtomicBool::new(true));
+            let results = Arc::new(Mutex::new(VecDeque::new()));
+            let (exec_tx, executed) = unbounded();
+            let (outcome_tx, outcomes) = unbounded();
+            let event_loop = EventLoop::spawn(
+                "test",
+                clock,
+                main.handler(),
+                config,
+                Scripted {
+                    connected: Arc::clone(&connected),
+                    results: Arc::clone(&results),
+                    executed: exec_tx,
+                },
+            );
+            Fixture { main, event_loop, connected, results, executed, outcomes, outcome_tx }
+        }
+
+        fn submit(&self, request: OpRequest, timeout: Option<Duration>) {
+            let ok = self.outcome_tx.clone();
+            let err = self.outcome_tx.clone();
+            self.event_loop.submit(
+                request,
+                timeout,
+                Box::new(move |r| {
+                    ok.send(Ok(r)).unwrap();
+                }),
+                Box::new(move |f| {
+                    err.send(Err(f)).unwrap();
+                }),
+            );
+        }
+
+        fn next_outcome(&self) -> Result<OpResponse, OpFailure> {
+            self.outcomes.recv_timeout(Duration::from_secs(10)).expect("outcome in time")
+        }
+    }
+
+    #[test]
+    fn ops_complete_in_fifo_order() {
+        let f = Fixture::new(Arc::new(SystemClock::new()), LoopConfig::default());
+        for i in 0..5u8 {
+            f.results.lock().push_back(Ok(OpResponse::Bytes(vec![i])));
+            f.submit(OpRequest::Read, None);
+        }
+        for i in 0..5u8 {
+            assert_eq!(f.next_outcome().unwrap(), OpResponse::Bytes(vec![i]));
+        }
+        let stats = f.event_loop.stats().snapshot();
+        assert_eq!(stats.submitted, 5);
+        assert_eq!(stats.succeeded, 5);
+        assert_eq!(stats.attempts, 5);
+        // Keep the main thread alive until outcomes delivered.
+        f.main.run_sync(|| {});
+    }
+
+    #[test]
+    fn transient_failures_are_retried_until_success() {
+        let f = Fixture::new(
+            Arc::new(SystemClock::new()),
+            LoopConfig { retry_backoff: Duration::from_millis(1), ..LoopConfig::default() },
+        );
+        {
+            let mut results = f.results.lock();
+            results.push_back(Err(NfcOpError::Link(LinkError::TransmissionError)));
+            results.push_back(Err(NfcOpError::Link(LinkError::TransmissionError)));
+            results.push_back(Ok(OpResponse::Done));
+        }
+        f.submit(OpRequest::Write(vec![1]), None);
+        assert_eq!(f.next_outcome().unwrap(), OpResponse::Done);
+        let stats = f.event_loop.stats().snapshot();
+        assert_eq!(stats.attempts, 3);
+        assert_eq!(stats.transient_failures, 2);
+        assert_eq!(stats.succeeded, 1);
+    }
+
+    #[test]
+    fn permanent_failures_fire_failure_listener_immediately() {
+        let f = Fixture::new(Arc::new(SystemClock::new()), LoopConfig::default());
+        f.results.lock().push_back(Err(NfcOpError::ReadOnly));
+        f.submit(OpRequest::Write(vec![1]), None);
+        assert_eq!(f.next_outcome().unwrap_err(), OpFailure::Failed(NfcOpError::ReadOnly));
+        let stats = f.event_loop.stats().snapshot();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.attempts, 1);
+    }
+
+    #[test]
+    fn disconnected_ops_wait_and_flush_on_reconnect() {
+        let f = Fixture::new(Arc::new(SystemClock::new()), LoopConfig::default());
+        f.connected.store(false, Ordering::SeqCst);
+        for _ in 0..3 {
+            f.submit(OpRequest::Write(vec![7]), None);
+        }
+        // Nothing executes while disconnected.
+        assert!(f.executed.recv_timeout(Duration::from_millis(50)).is_err());
+        assert_eq!(f.event_loop.queue_len(), 3);
+        // Reconnect: the whole batch flushes (EXT-BATCH behaviour).
+        f.connected.store(true, Ordering::SeqCst);
+        f.event_loop.wake();
+        for _ in 0..3 {
+            assert!(f.next_outcome().is_ok());
+        }
+        assert_eq!(f.event_loop.queue_len(), 0);
+    }
+
+    #[test]
+    fn head_op_times_out_while_disconnected_then_next_proceeds() {
+        let clock = Arc::new(VirtualClock::with_auto_advance(false));
+        let f = Fixture::new(clock.clone() as Arc<dyn Clock>, LoopConfig::default());
+        f.connected.store(false, Ordering::SeqCst);
+        f.submit(OpRequest::Read, Some(Duration::from_secs(1)));
+        f.submit(OpRequest::Read, Some(Duration::from_secs(60)));
+        // Let the loop block on the head deadline, then pass it.
+        std::thread::sleep(Duration::from_millis(30));
+        clock.advance(Duration::from_secs(2));
+        assert_eq!(f.next_outcome().unwrap_err(), OpFailure::TimedOut);
+        // Second op is now head and still pending; reconnect completes it.
+        f.connected.store(true, Ordering::SeqCst);
+        f.event_loop.wake();
+        assert!(f.next_outcome().is_ok());
+        let stats = f.event_loop.stats().snapshot();
+        assert_eq!(stats.timed_out, 1);
+        assert_eq!(stats.succeeded, 1);
+    }
+
+    #[test]
+    fn stop_cancels_queued_ops() {
+        let f = Fixture::new(Arc::new(SystemClock::new()), LoopConfig::default());
+        f.connected.store(false, Ordering::SeqCst);
+        f.submit(OpRequest::Read, None);
+        f.submit(OpRequest::Read, None);
+        f.event_loop.stop();
+        assert_eq!(f.next_outcome().unwrap_err(), OpFailure::Cancelled);
+        assert_eq!(f.next_outcome().unwrap_err(), OpFailure::Cancelled);
+        // Submissions after stop are cancelled immediately.
+        f.submit(OpRequest::Read, None);
+        assert_eq!(f.next_outcome().unwrap_err(), OpFailure::Cancelled);
+        assert_eq!(f.event_loop.stats().snapshot().cancelled, 3);
+    }
+
+    #[test]
+    fn listeners_run_on_the_main_thread() {
+        let main = MainThread::spawn();
+        let main_id = main.thread_id();
+        let (tx, rx) = unbounded();
+        let event_loop = EventLoop::spawn(
+            "thread-check",
+            Arc::new(SystemClock::new()),
+            main.handler(),
+            LoopConfig::default(),
+            Scripted {
+                connected: Arc::new(AtomicBool::new(true)),
+                results: Arc::new(Mutex::new(VecDeque::new())),
+                executed: unbounded().0,
+            },
+        );
+        event_loop.submit(
+            OpRequest::Read,
+            None,
+            Box::new(move |_| {
+                tx.send(std::thread::current().id()).unwrap();
+            }),
+            Box::new(|_| {}),
+        );
+        let ran_on = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(ran_on, main_id);
+    }
+
+    #[test]
+    fn latency_aggregates_accumulate() {
+        let f = Fixture::new(Arc::new(SystemClock::new()), LoopConfig::default());
+        for _ in 0..3 {
+            f.results.lock().push_back(Ok(OpResponse::Done));
+            f.submit(OpRequest::Read, None);
+            assert!(f.next_outcome().is_ok());
+        }
+        let stats = f.event_loop.stats().snapshot();
+        assert_eq!(stats.succeeded, 3);
+        // Completion latency includes queueing; attempts were instant but
+        // the clock is real, so totals are monotone and means exist.
+        assert!(stats.mean_attempt().is_some());
+        assert!(stats.mean_completion().is_some());
+        assert!(stats.completion_nanos_total >= stats.attempt_nanos_total || stats.attempt_nanos_total < 1_000_000);
+        assert!(stats.attempt_nanos_max <= stats.attempt_nanos_total.max(stats.attempt_nanos_max));
+        // Empty stats have no means.
+        let empty = OpStatsSnapshot::default();
+        assert_eq!(empty.mean_attempt(), None);
+        assert_eq!(empty.mean_completion(), None);
+    }
+
+    #[test]
+    fn failure_display_is_nonempty() {
+        for f in [
+            OpFailure::TimedOut,
+            OpFailure::Failed(NfcOpError::NotNdef),
+            OpFailure::InvalidData(ConvertError::Json("e".into())),
+            OpFailure::Cancelled,
+        ] {
+            assert!(!f.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! # morena-core
+//!
+//! A Rust reproduction of **MORENA** (MObile RFID-ENabled Android
+//! middleware, Middleware 2012): programming NFC-enabled applications as
+//! *distributed object-oriented programs*, with RFID tags represented as
+//! intermittently connected remote objects.
+//!
+//! The middleware removes the four drawbacks the paper identifies in the
+//! raw platform NFC API:
+//!
+//! | Drawback | MORENA answer | Module |
+//! |---|---|---|
+//! | Synchronous communication | every tag/beam operation is asynchronous, processed by a private per-reference event loop | [`eventloop`], [`tagref`] |
+//! | Coupling in time | operations queue across disconnections and are retried automatically until their timeout | [`eventloop`] |
+//! | Manual data conversion | converters attached to references, discoverers, and beamers | [`convert`] |
+//! | Activity coupling | the middleware attaches to an activity *or* runs headless | [`context`], [`discovery`] |
+//!
+//! Layers, top to bottom:
+//!
+//! * [`thing`] — §2: typed objects causally connected to tags
+//!   ([`thing::ThingSpace`], [`thing::BoundThing`],
+//!   [`thing::EmptyThingSlot`]), JSON-serialized like the paper's
+//!   GSON-based things.
+//! * [`tagref`] / [`discovery`] — §3: first-class far references to tags
+//!   with asynchronous, fault-tolerant reads/writes, and discoverers
+//!   with MIME plus `check_condition` filtering.
+//! * [`beam`] — §2.5/§3.3: asynchronous phone-to-phone push.
+//! * [`peer`] — far references to *phones* (the §1.2 model generalized):
+//!   per-addressee message queues over the connection-oriented push.
+//! * [`keyed`] — §3's "key on the tag, object in a database" custom
+//!   conversion strategy.
+//! * [`lease`] — §6 (future work, implemented): time-bounded exclusive
+//!   access via a lock record on the tag.
+//!
+//! # Examples
+//!
+//! The paper's flagship scenario — queue a write while the tag is away,
+//! have it flushed automatically on the next tap:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use morena_core::context::MorenaContext;
+//! use morena_core::convert::StringConverter;
+//! use morena_core::tagref::TagReference;
+//! use morena_nfc_sim::clock::VirtualClock;
+//! use morena_nfc_sim::link::LinkModel;
+//! use morena_nfc_sim::tag::{TagTech, TagUid, Type2Tag};
+//! use morena_nfc_sim::world::World;
+//!
+//! let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 0);
+//! let phone = world.add_phone("alice");
+//! let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
+//! let ctx = MorenaContext::headless(&world, phone);
+//!
+//! let tag = TagReference::new(&ctx, uid, TagTech::Type2,
+//!                             Arc::new(StringConverter::plain_text()));
+//! let (tx, rx) = crossbeam::channel::unbounded();
+//! tag.write("queued while away".to_string(),
+//!           move |r| { tx.send(r.cached()).unwrap(); },
+//!           |_, failure| panic!("{failure}"));
+//!
+//! world.tap_tag(uid, phone); // the user finally taps the tag
+//! let written = rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+//! assert_eq!(written.as_deref(), Some("queued while away"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beam;
+pub mod context;
+pub mod convert;
+pub mod discovery;
+pub mod eventloop;
+pub mod keyed;
+pub mod lease;
+pub mod peer;
+pub mod tagref;
+pub mod thing;
+
+pub use beam::{BeamListener, BeamReceiver, Beamer};
+pub use context::MorenaContext;
+pub use convert::{BytesConverter, ConvertError, JsonConverter, StringConverter, TagDataConverter};
+pub use discovery::{DiscoveryListener, TagDiscoverer};
+pub use keyed::{KeyedConverter, MemoryStore, ObjectKey, ObjectStore};
+pub use eventloop::{LoopConfig, OpFailure, OpStats, OpStatsSnapshot, OpTicket};
+pub use lease::{DeviceId, Lease, LeaseError, LeaseManager, LeaseRecord};
+pub use peer::{PeerInbox, PeerListener, PeerReference};
+pub use tagref::TagReference;
+pub use thing::{BoundThing, EmptyThingSlot, Thing, ThingObserver, ThingSpace};

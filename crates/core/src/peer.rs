@@ -1,0 +1,510 @@
+//! Far references to **phones**: the general ambient-oriented case.
+//!
+//! §1.2 of the paper describes the far-reference model for *"remote
+//! services and RFID tags"* alike — a first-class reference that stores
+//! messages while the party is unreachable and forwards them, in order,
+//! when connectivity returns. [`TagReference`](crate::tagref::TagReference)
+//! is that model for tags; [`PeerReference`] is the same machine pointed
+//! at a specific peer phone, carried over the connection-oriented
+//! (LLCP-style) NFC push transport.
+//!
+//! Unlike the undirected [`Beamer`](crate::beam::Beamer) — which pushes
+//! to *whoever* is in proximity — a peer reference addresses one known
+//! phone: messages queue until *that* phone is nearby, survive noise
+//! through automatic retry, and expire at their timeout. [`PeerInbox`]
+//! is the typed receiving side, delivering `(sender, value)` pairs on
+//! the main thread.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::RecvTimeoutError;
+use morena_ndef::NdefMessage;
+use morena_nfc_sim::controller::NfcHandle;
+use morena_nfc_sim::error::NfcOpError;
+use morena_nfc_sim::world::{NfcEvent, PhoneId};
+
+use crate::context::MorenaContext;
+use crate::convert::TagDataConverter;
+use crate::eventloop::{
+    EventLoop, LoopConfig, OpExecutor, OpFailure, OpRequest, OpResponse, OpStats,
+};
+
+struct PeerExecutor {
+    nfc: NfcHandle,
+    peer: PhoneId,
+}
+
+impl OpExecutor for PeerExecutor {
+    fn connected(&self) -> bool {
+        self.nfc.peers_in_range().contains(&self.peer)
+    }
+
+    fn execute(&self, request: &OpRequest) -> Result<OpResponse, NfcOpError> {
+        match request {
+            OpRequest::Push(bytes) => self
+                .nfc
+                .beam_to(self.peer, bytes)
+                .map(|()| OpResponse::Done)
+                .map_err(NfcOpError::Link),
+            _ => Err(NfcOpError::Protocol("peer references only push")),
+        }
+    }
+}
+
+struct PeerRefInner<C: TagDataConverter> {
+    ctx: MorenaContext,
+    peer: PhoneId,
+    converter: Arc<C>,
+    event_loop: EventLoop,
+    router_stop: Arc<AtomicBool>,
+}
+
+impl<C: TagDataConverter> Drop for PeerRefInner<C> {
+    fn drop(&mut self) {
+        self.router_stop.store(true, Ordering::Release);
+        self.event_loop.stop();
+    }
+}
+
+/// A first-class far reference to one peer phone.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use morena_core::context::MorenaContext;
+/// use morena_core::convert::StringConverter;
+/// use morena_core::peer::PeerReference;
+/// use morena_nfc_sim::clock::VirtualClock;
+/// use morena_nfc_sim::link::LinkModel;
+/// use morena_nfc_sim::world::World;
+///
+/// let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 0);
+/// let alice = world.add_phone("alice");
+/// let bob = world.add_phone("bob");
+/// let ctx = MorenaContext::headless(&world, alice);
+///
+/// let to_bob = PeerReference::new(&ctx, bob, Arc::new(StringConverter::plain_text()));
+/// // Queue a message for bob while he is across town.
+/// to_bob.send("see you at the meetup".to_string(), || {}, |_| {});
+/// assert_eq!(to_bob.queue_len(), 1);
+/// ```
+pub struct PeerReference<C: TagDataConverter> {
+    inner: Arc<PeerRefInner<C>>,
+}
+
+impl<C: TagDataConverter> Clone for PeerReference<C> {
+    fn clone(&self) -> PeerReference<C> {
+        PeerReference { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<C: TagDataConverter> std::fmt::Debug for PeerReference<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeerReference")
+            .field("peer", &self.inner.peer.to_string())
+            .field("queued", &self.queue_len())
+            .field("connected", &self.is_connected())
+            .finish()
+    }
+}
+
+impl<C: TagDataConverter> PeerReference<C> {
+    /// Creates a reference to `peer` with default tuning.
+    pub fn new(ctx: &MorenaContext, peer: PhoneId, converter: Arc<C>) -> PeerReference<C> {
+        PeerReference::with_config(ctx, peer, converter, LoopConfig::default())
+    }
+
+    /// Creates a reference to `peer` with explicit event-loop tuning.
+    pub fn with_config(
+        ctx: &MorenaContext,
+        peer: PhoneId,
+        converter: Arc<C>,
+        config: LoopConfig,
+    ) -> PeerReference<C> {
+        let event_loop = EventLoop::spawn(
+            &format!("peer-{peer}"),
+            Arc::clone(ctx.clock()),
+            ctx.handler(),
+            config,
+            PeerExecutor { nfc: ctx.nfc().clone(), peer },
+        );
+        let router_stop = Arc::new(AtomicBool::new(false));
+        spawn_peer_router(ctx.nfc().clone(), peer, event_loop.clone(), Arc::clone(&router_stop));
+        PeerReference {
+            inner: Arc::new(PeerRefInner {
+                ctx: ctx.clone(),
+                peer,
+                converter,
+                event_loop,
+                router_stop,
+            }),
+        }
+    }
+
+    /// The peer this reference points at.
+    pub fn peer(&self) -> PhoneId {
+        self.inner.peer
+    }
+
+    /// Whether the peer is in proximity right now.
+    pub fn is_connected(&self) -> bool {
+        self.inner.ctx.nfc().peers_in_range().contains(&self.inner.peer)
+    }
+
+    /// Messages still queued for the peer.
+    pub fn queue_len(&self) -> usize {
+        self.inner.event_loop.queue_len()
+    }
+
+    /// Lifetime delivery statistics.
+    pub fn stats(&self) -> Arc<OpStats> {
+        self.inner.event_loop.stats()
+    }
+
+    /// Queues `value` for delivery to the peer with the default timeout;
+    /// listeners run on the main thread.
+    pub fn send<F, G>(&self, value: C::Value, on_delivered: F, on_failure: G)
+    where
+        F: FnOnce() + Send + 'static,
+        G: FnOnce(OpFailure) + Send + 'static,
+    {
+        self.send_impl(value, None, on_delivered, on_failure);
+    }
+
+    /// [`send`](PeerReference::send) with an explicit timeout.
+    pub fn send_with_timeout<F, G>(
+        &self,
+        value: C::Value,
+        timeout: Duration,
+        on_delivered: F,
+        on_failure: G,
+    ) where
+        F: FnOnce() + Send + 'static,
+        G: FnOnce(OpFailure) + Send + 'static,
+    {
+        self.send_impl(value, Some(timeout), on_delivered, on_failure);
+    }
+
+    /// [`send`](PeerReference::send) without listeners.
+    pub fn send_ok(&self, value: C::Value) {
+        self.send_impl(value, None, || {}, |_| {});
+    }
+
+    fn send_impl<F, G>(
+        &self,
+        value: C::Value,
+        timeout: Option<Duration>,
+        on_delivered: F,
+        on_failure: G,
+    ) where
+        F: FnOnce() + Send + 'static,
+        G: FnOnce(OpFailure) + Send + 'static,
+    {
+        let bytes = match self.inner.converter.to_message(&value) {
+            Ok(message) => message.to_bytes(),
+            Err(e) => {
+                self.inner.ctx.handler().post(move || on_failure(OpFailure::InvalidData(e)));
+                return;
+            }
+        };
+        self.inner.event_loop.submit(
+            OpRequest::Push(bytes),
+            timeout,
+            Box::new(move |_| on_delivered()),
+            Box::new(on_failure),
+        );
+    }
+
+    /// Stops the reference; queued messages fail with
+    /// [`OpFailure::Cancelled`].
+    pub fn close(&self) {
+        self.inner.router_stop.store(true, Ordering::Release);
+        self.inner.event_loop.stop();
+    }
+}
+
+fn spawn_peer_router(
+    nfc: NfcHandle,
+    peer: PhoneId,
+    event_loop: EventLoop,
+    stop: Arc<AtomicBool>,
+) {
+    let events = nfc.events();
+    std::thread::Builder::new()
+        .name(format!("morena-peer-router-{peer}"))
+        .spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                match events.recv_timeout(Duration::from_millis(20)) {
+                    Ok(NfcEvent::PeerEntered { peer: p }) | Ok(NfcEvent::PeerLeft { peer: p })
+                        if p == peer =>
+                    {
+                        event_loop.wake();
+                    }
+                    Ok(_) => {}
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        })
+        .expect("spawn peer router");
+}
+
+/// Typed reception of directed messages; methods run on the main thread.
+pub trait PeerListener<C: TagDataConverter>: Send + Sync + 'static {
+    /// A value arrived from `from`.
+    fn on_message(&self, from: PhoneId, value: C::Value);
+
+    /// Fine-grained filter applied before
+    /// [`on_message`](PeerListener::on_message).
+    fn check_condition(&self, from: PhoneId, value: &C::Value) -> bool {
+        let _ = (from, value);
+        true
+    }
+}
+
+struct InboxInner {
+    stop: AtomicBool,
+    _ctx: MorenaContext,
+}
+
+impl Drop for InboxInner {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+    }
+}
+
+/// Receives directed (and broadcast) pushes of one data type, delivering
+/// `(sender, value)` to a [`PeerListener`].
+pub struct PeerInbox<C: TagDataConverter> {
+    inner: Arc<InboxInner>,
+    _marker: std::marker::PhantomData<fn() -> C>,
+}
+
+impl<C: TagDataConverter> std::fmt::Debug for PeerInbox<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeerInbox").finish_non_exhaustive()
+    }
+}
+
+impl<C: TagDataConverter> PeerInbox<C> {
+    /// Starts receiving; matching messages reach `listener` on the main
+    /// thread.
+    pub fn new(
+        ctx: &MorenaContext,
+        converter: Arc<C>,
+        listener: Arc<dyn PeerListener<C>>,
+    ) -> PeerInbox<C> {
+        let inner = Arc::new(InboxInner { stop: AtomicBool::new(false), _ctx: ctx.clone() });
+        let events = ctx.nfc().events();
+        let handler = ctx.handler();
+        {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("morena-peer-inbox".into())
+                .spawn(move || {
+                    while !inner.stop.load(Ordering::Acquire) {
+                        match events.recv_timeout(Duration::from_millis(20)) {
+                            Ok(NfcEvent::BeamReceived { from, bytes }) => {
+                                let Ok(message) = NdefMessage::parse(&bytes) else { continue };
+                                if !converter.accepts(&message) {
+                                    continue;
+                                }
+                                let Ok(value) = converter.from_message(&message) else {
+                                    continue;
+                                };
+                                if !listener.check_condition(from, &value) {
+                                    continue;
+                                }
+                                let listener = Arc::clone(&listener);
+                                handler.post(move || listener.on_message(from, value));
+                            }
+                            Ok(_) => {}
+                            Err(RecvTimeoutError::Timeout) => {}
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
+                    }
+                })
+                .expect("spawn peer inbox");
+        }
+        PeerInbox { inner, _marker: std::marker::PhantomData }
+    }
+
+    /// Stops receiving.
+    pub fn stop(&self) {
+        self.inner.stop.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::StringConverter;
+    use crossbeam::channel::{unbounded, Sender};
+    use morena_nfc_sim::clock::VirtualClock;
+    use morena_nfc_sim::link::LinkModel;
+    use morena_nfc_sim::world::World;
+
+    struct Collect {
+        tx: Sender<(PhoneId, String)>,
+    }
+
+    impl PeerListener<StringConverter> for Collect {
+        fn on_message(&self, from: PhoneId, value: String) {
+            self.tx.send((from, value)).unwrap();
+        }
+    }
+
+    fn setup() -> (World, MorenaContext, MorenaContext, MorenaContext) {
+        let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 81);
+        let a = world.add_phone("alice");
+        let b = world.add_phone("bob");
+        let c = world.add_phone("carol");
+        (
+            world.clone(),
+            MorenaContext::headless(&world, a),
+            MorenaContext::headless(&world, b),
+            MorenaContext::headless(&world, c),
+        )
+    }
+
+    #[test]
+    fn messages_queue_until_the_specific_peer_arrives() {
+        let (world, actx, bctx, cctx) = setup();
+        let conv = Arc::new(StringConverter::plain_text());
+        let to_bob = PeerReference::new(&actx, bctx.phone(), Arc::clone(&conv));
+
+        let (b_tx, b_rx) = unbounded();
+        let _bob_inbox = PeerInbox::new(&bctx, Arc::clone(&conv), Arc::new(Collect { tx: b_tx }));
+        let (c_tx, c_rx) = unbounded();
+        let _carol_inbox = PeerInbox::new(&cctx, Arc::clone(&conv), Arc::new(Collect { tx: c_tx }));
+
+        let (ok_tx, ok_rx) = unbounded();
+        for i in 0..3 {
+            let ok_tx = ok_tx.clone();
+            to_bob.send(format!("m{i}"), move || ok_tx.send(i).unwrap(), |f| panic!("{f}"));
+        }
+        assert_eq!(to_bob.queue_len(), 3);
+        assert!(!to_bob.is_connected());
+
+        // Carol showing up does NOT trigger delivery — the reference is
+        // to bob specifically.
+        world.bring_phones_together(actx.phone(), cctx.phone());
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(to_bob.queue_len(), 3);
+        assert!(c_rx.try_recv().is_err());
+
+        // Bob arrives: the whole queue flushes to him, in order.
+        world.bring_phones_together(actx.phone(), bctx.phone());
+        let received: Vec<(PhoneId, String)> =
+            (0..3).map(|_| b_rx.recv_timeout(Duration::from_secs(10)).unwrap()).collect();
+        assert_eq!(
+            received,
+            vec![
+                (actx.phone(), "m0".to_string()),
+                (actx.phone(), "m1".to_string()),
+                (actx.phone(), "m2".to_string()),
+            ]
+        );
+        assert_eq!(ok_rx.iter().take(3).count(), 3);
+        // Carol, though equally close, received nothing.
+        assert!(c_rx.try_recv().is_err());
+        to_bob.close();
+    }
+
+    #[test]
+    fn send_times_out_if_the_peer_never_comes() {
+        let (world, actx, bctx, _cctx) = setup();
+        let clock = {
+            // Recover the virtual clock through the world for advancing.
+            world.clock().clone()
+        };
+        let to_bob = PeerReference::new(
+            &actx,
+            bctx.phone(),
+            Arc::new(StringConverter::plain_text()),
+        );
+        let (tx, rx) = unbounded();
+        to_bob.send_with_timeout(
+            "never".into(),
+            Duration::from_secs(3),
+            || panic!("bob never arrives"),
+            move |f| tx.send(f).unwrap(),
+        );
+        // Drive virtual time past the deadline.
+        clock.sleep(Duration::from_secs(4));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), OpFailure::TimedOut);
+        to_bob.close();
+    }
+
+    #[test]
+    fn inbox_condition_filters_by_sender() {
+        let (world, actx, bctx, cctx) = setup();
+        let conv = Arc::new(StringConverter::plain_text());
+
+        struct OnlyFrom {
+            wanted: PhoneId,
+            tx: Sender<(PhoneId, String)>,
+        }
+        impl PeerListener<StringConverter> for OnlyFrom {
+            fn on_message(&self, from: PhoneId, value: String) {
+                self.tx.send((from, value)).unwrap();
+            }
+            fn check_condition(&self, from: PhoneId, _value: &String) -> bool {
+                from == self.wanted
+            }
+        }
+
+        let (tx, rx) = unbounded();
+        let _inbox = PeerInbox::new(
+            &cctx,
+            Arc::clone(&conv),
+            Arc::new(OnlyFrom { wanted: actx.phone(), tx }),
+        );
+        world.bring_phones_together(cctx.phone(), actx.phone());
+        world.bring_phones_together(cctx.phone(), bctx.phone());
+
+        let from_bob = PeerReference::new(&bctx, cctx.phone(), Arc::clone(&conv));
+        from_bob.send_ok("ignored".into());
+        let from_alice = PeerReference::new(&actx, cctx.phone(), Arc::clone(&conv));
+        from_alice.send_ok("accepted".into());
+
+        let (from, value) = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(from, actx.phone());
+        assert_eq!(value, "accepted");
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn stopped_inbox_hears_nothing() {
+        let (world, actx, bctx, _cctx) = setup();
+        let conv = Arc::new(StringConverter::plain_text());
+        let (tx, rx) = unbounded();
+        let inbox = PeerInbox::new(&bctx, Arc::clone(&conv), Arc::new(Collect { tx }));
+        inbox.stop();
+        std::thread::sleep(Duration::from_millis(60));
+        world.bring_phones_together(actx.phone(), bctx.phone());
+        let to_bob = PeerReference::new(&actx, bctx.phone(), Arc::clone(&conv));
+        to_bob.send_ok("unheard".into());
+        assert!(rx.recv_timeout(Duration::from_millis(200)).is_err());
+        assert!(format!("{inbox:?}").contains("PeerInbox"));
+        to_bob.close();
+    }
+
+    #[test]
+    fn close_cancels_queued_messages() {
+        let (_world, actx, bctx, _cctx) = setup();
+        let to_bob = PeerReference::new(
+            &actx,
+            bctx.phone(),
+            Arc::new(StringConverter::plain_text()),
+        );
+        let (tx, rx) = unbounded();
+        to_bob.send("never".into(), || panic!("no"), move |f| tx.send(f).unwrap());
+        to_bob.close();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), OpFailure::Cancelled);
+        assert!(format!("{to_bob:?}").contains("PeerReference"));
+    }
+}

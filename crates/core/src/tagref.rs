@@ -1,0 +1,799 @@
+//! The tag reference abstraction (§3.2 of the paper): a **first-class far
+//! reference** to an RFID tag.
+//!
+//! A [`TagReference`] encapsulates:
+//!
+//! * the identity of one physical tag (its UID);
+//! * a private event loop with its own thread, processing queued
+//!   asynchronous read/write operations strictly in order;
+//! * automatic retry of operations while the tag is out of range
+//!   (decoupling in time), bounded by per-operation timeouts;
+//! * a data converter, so application values — not byte buffers — flow
+//!   through the API;
+//! * a cache of the last value seen on the tag, for synchronous access
+//!   (with the paper's caveat: another device may have changed the tag
+//!   since; use an asynchronous read when it matters).
+//!
+//! Listeners fire on the application's main thread, so no user code needs
+//! manual concurrency management.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::RecvTimeoutError;
+use morena_ndef::NdefMessage;
+use morena_nfc_sim::controller::NfcHandle;
+use morena_nfc_sim::error::NfcOpError;
+use morena_nfc_sim::tag::{TagTech, TagUid};
+use morena_nfc_sim::world::NfcEvent;
+use parking_lot::Mutex;
+
+use crate::context::MorenaContext;
+use crate::convert::TagDataConverter;
+use crate::eventloop::{
+    EventLoop, LoopConfig, OpExecutor, OpFailure, OpRequest, OpResponse, OpStats, OpTicket,
+};
+
+/// The physical executor behind a tag reference: blocking NDEF operations
+/// against one tag over the lossy link.
+struct TagExecutor {
+    nfc: NfcHandle,
+    uid: TagUid,
+}
+
+impl OpExecutor for TagExecutor {
+    fn connected(&self) -> bool {
+        self.nfc.tag_in_range(self.uid)
+    }
+
+    fn execute(&self, request: &OpRequest) -> Result<OpResponse, NfcOpError> {
+        match request {
+            OpRequest::Read => self.nfc.ndef_read(self.uid).map(OpResponse::Bytes),
+            OpRequest::Write(bytes) => {
+                self.nfc.ndef_write(self.uid, bytes).map(|()| OpResponse::Done)
+            }
+            OpRequest::MakeReadOnly => {
+                self.nfc.ndef_make_read_only(self.uid).map(|()| OpResponse::Done)
+            }
+            OpRequest::Push(_) => Err(NfcOpError::Protocol("push is not a tag operation")),
+        }
+    }
+}
+
+/// A connectivity observer: called with the reference and the new
+/// reachability every time the tag enters or leaves the field.
+type ConnectivityObserver<C> = Box<dyn Fn(TagReference<C>, bool) + Send + Sync>;
+
+struct RefInner<C: TagDataConverter> {
+    uid: TagUid,
+    tech: TagTech,
+    ctx: MorenaContext,
+    converter: Arc<C>,
+    event_loop: EventLoop,
+    cache: Mutex<Option<C::Value>>,
+    router_stop: Arc<AtomicBool>,
+    observers: Mutex<Vec<Arc<ConnectivityObserver<C>>>>,
+}
+
+impl<C: TagDataConverter> Drop for RefInner<C> {
+    fn drop(&mut self) {
+        // Non-blocking teardown (C-DTOR-BLOCK): flag the threads down and
+        // let them exit on their own; `close()` is the synchronous path.
+        self.router_stop.store(true, Ordering::Release);
+        self.event_loop.stop();
+    }
+}
+
+/// A first-class remote reference to one RFID tag.
+///
+/// Cheap to clone; all clones share the queue, cache, and event loop.
+/// Within one [`TagDiscoverer`](crate::discovery::TagDiscoverer) there is
+/// exactly one reference per tag (the paper's uniqueness guarantee).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use morena_core::context::MorenaContext;
+/// use morena_core::convert::StringConverter;
+/// use morena_core::tagref::TagReference;
+/// use morena_nfc_sim::clock::VirtualClock;
+/// use morena_nfc_sim::link::LinkModel;
+/// use morena_nfc_sim::tag::{TagTech, TagUid, Type2Tag};
+/// use morena_nfc_sim::world::World;
+///
+/// let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 0);
+/// let phone = world.add_phone("alice");
+/// let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
+/// let ctx = MorenaContext::headless(&world, phone);
+///
+/// let reference = TagReference::new(
+///     &ctx, uid, TagTech::Type2, Arc::new(StringConverter::plain_text()),
+/// );
+/// // Queue a write while the tag is nowhere near the phone: it will be
+/// // flushed automatically once the tag is tapped.
+/// reference.write("hello".to_string(), |_| {}, |_, _| {});
+/// assert_eq!(reference.queue_len(), 1);
+/// ```
+pub struct TagReference<C: TagDataConverter> {
+    inner: Arc<RefInner<C>>,
+}
+
+impl<C: TagDataConverter> Clone for TagReference<C> {
+    fn clone(&self) -> TagReference<C> {
+        TagReference { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<C: TagDataConverter> std::fmt::Debug for TagReference<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TagReference")
+            .field("uid", &self.inner.uid.to_string())
+            .field("tech", &self.inner.tech)
+            .field("queued", &self.queue_len())
+            .field("connected", &self.is_connected())
+            .finish()
+    }
+}
+
+impl<C: TagDataConverter> TagReference<C> {
+    /// Creates a reference with the default [`LoopConfig`].
+    pub fn new(
+        ctx: &MorenaContext,
+        uid: TagUid,
+        tech: TagTech,
+        converter: Arc<C>,
+    ) -> TagReference<C> {
+        TagReference::with_config(ctx, uid, tech, converter, LoopConfig::default())
+    }
+
+    /// Creates a reference with explicit event-loop tuning.
+    pub fn with_config(
+        ctx: &MorenaContext,
+        uid: TagUid,
+        tech: TagTech,
+        converter: Arc<C>,
+        config: LoopConfig,
+    ) -> TagReference<C> {
+        let event_loop = EventLoop::spawn(
+            &format!("tag-{uid}"),
+            Arc::clone(ctx.clock()),
+            ctx.handler(),
+            config,
+            TagExecutor { nfc: ctx.nfc().clone(), uid },
+        );
+        let router_stop = Arc::new(AtomicBool::new(false));
+        let reference = TagReference {
+            inner: Arc::new(RefInner {
+                uid,
+                tech,
+                ctx: ctx.clone(),
+                converter,
+                event_loop: event_loop.clone(),
+                cache: Mutex::new(None),
+                router_stop: Arc::clone(&router_stop),
+                observers: Mutex::new(Vec::new()),
+            }),
+        };
+        spawn_router(
+            ctx.nfc().clone(),
+            uid,
+            event_loop,
+            router_stop,
+            Arc::downgrade(&reference.inner),
+        );
+        reference
+    }
+
+    /// The referenced tag's UID.
+    pub fn uid(&self) -> TagUid {
+        self.inner.uid
+    }
+
+    /// The referenced tag's platform.
+    pub fn tech(&self) -> TagTech {
+        self.inner.tech
+    }
+
+    /// The reference's data converter.
+    pub fn converter(&self) -> &Arc<C> {
+        &self.inner.converter
+    }
+
+    /// The context this reference delivers listeners through.
+    pub fn context(&self) -> &MorenaContext {
+        &self.inner.ctx
+    }
+
+    /// Whether the tag is in communication range *right now* (tracking of
+    /// connectivity; may change at any instant).
+    pub fn is_connected(&self) -> bool {
+        self.inner.ctx.nfc().tag_in_range(self.inner.uid)
+    }
+
+    /// Number of operations queued (including the one being attempted).
+    pub fn queue_len(&self) -> usize {
+        self.inner.event_loop.queue_len()
+    }
+
+    /// Lifetime operation statistics of this reference's event loop.
+    pub fn stats(&self) -> Arc<OpStats> {
+        self.inner.event_loop.stats()
+    }
+
+    /// The cached value from the last successful read or write, if any.
+    ///
+    /// Synchronous and instant — but possibly stale: *"if a tag is not
+    /// seen for some time, its contents might have changed and an
+    /// asynchronous read is a better option"* (§3.2).
+    pub fn cached(&self) -> Option<C::Value> {
+        self.inner.cache.lock().clone()
+    }
+
+    /// Replaces the cached value locally (no tag I/O). Used by discovery
+    /// pre-reads and by the things layer when the application mutates a
+    /// thing before saving it.
+    pub fn set_cached(&self, value: Option<C::Value>) {
+        *self.inner.cache.lock() = value;
+    }
+
+    /// Queues an asynchronous read with the default timeout.
+    ///
+    /// On success the cache is refreshed and `on_success` runs on the
+    /// main thread with this reference; all failures (timeout, permanent
+    /// fault, unconvertible data) go to `on_failure`.
+    pub fn read<F, G>(&self, on_success: F, on_failure: G) -> OpTicket
+    where
+        F: FnOnce(TagReference<C>) + Send + 'static,
+        G: FnOnce(TagReference<C>, OpFailure) + Send + 'static,
+    {
+        self.read_impl(None, on_success, on_failure)
+    }
+
+    /// [`read`](TagReference::read) with an explicit timeout.
+    pub fn read_with_timeout<F, G>(&self, timeout: Duration, on_success: F, on_failure: G) -> OpTicket
+    where
+        F: FnOnce(TagReference<C>) + Send + 'static,
+        G: FnOnce(TagReference<C>, OpFailure) + Send + 'static,
+    {
+        self.read_impl(Some(timeout), on_success, on_failure)
+    }
+
+    /// [`read`](TagReference::read) without a failure listener (the
+    /// paper's listener-omitting overload).
+    pub fn read_ok<F>(&self, on_success: F) -> OpTicket
+    where
+        F: FnOnce(TagReference<C>) + Send + 'static,
+    {
+        self.read_impl(None, on_success, |_, _| {})
+    }
+
+    fn read_impl<F, G>(&self, timeout: Option<Duration>, on_success: F, on_failure: G) -> OpTicket
+    where
+        F: FnOnce(TagReference<C>) + Send + 'static,
+        G: FnOnce(TagReference<C>, OpFailure) + Send + 'static,
+    {
+        let this = self.clone();
+        let fail_slot = Arc::new(Mutex::new(Some(on_failure)));
+        let fail_for_success_path = Arc::clone(&fail_slot);
+        let this_err = self.clone();
+        self.inner.event_loop.submit(
+            OpRequest::Read,
+            timeout,
+            Box::new(move |response| {
+                let OpResponse::Bytes(bytes) = response else {
+                    return; // Read always yields bytes.
+                };
+                if bytes.is_empty() {
+                    // Formatted but blank tag: an empty value.
+                    this.set_cached(None);
+                    on_success(this);
+                    return;
+                }
+                let converted = NdefMessage::parse(&bytes)
+                    .map_err(crate::convert::ConvertError::from)
+                    .and_then(|m| this.inner.converter.from_message(&m));
+                match converted {
+                    Ok(value) => {
+                        this.set_cached(Some(value));
+                        on_success(this);
+                    }
+                    Err(e) => {
+                        if let Some(fail) = fail_for_success_path.lock().take() {
+                            fail(this, OpFailure::InvalidData(e));
+                        }
+                    }
+                }
+            }),
+            Box::new(move |failure| {
+                if let Some(fail) = fail_slot.lock().take() {
+                    fail(this_err, failure);
+                }
+            }),
+        )
+    }
+
+    /// Queues an asynchronous write of `value` with the default timeout.
+    ///
+    /// The value is converted immediately; on success the cache holds
+    /// `value` and `on_success` runs on the main thread.
+    pub fn write<F, G>(&self, value: C::Value, on_success: F, on_failure: G) -> OpTicket
+    where
+        F: FnOnce(TagReference<C>) + Send + 'static,
+        G: FnOnce(TagReference<C>, OpFailure) + Send + 'static,
+    {
+        self.write_impl(value, None, on_success, on_failure)
+    }
+
+    /// [`write`](TagReference::write) with an explicit timeout.
+    pub fn write_with_timeout<F, G>(
+        &self,
+        value: C::Value,
+        timeout: Duration,
+        on_success: F,
+        on_failure: G,
+    ) -> OpTicket
+    where
+        F: FnOnce(TagReference<C>) + Send + 'static,
+        G: FnOnce(TagReference<C>, OpFailure) + Send + 'static,
+    {
+        self.write_impl(value, Some(timeout), on_success, on_failure)
+    }
+
+    /// [`write`](TagReference::write) without a failure listener.
+    pub fn write_ok<F>(&self, value: C::Value, on_success: F) -> OpTicket
+    where
+        F: FnOnce(TagReference<C>) + Send + 'static,
+    {
+        self.write_impl(value, None, on_success, |_, _| {})
+    }
+
+    fn write_impl<F, G>(
+        &self,
+        value: C::Value,
+        timeout: Option<Duration>,
+        on_success: F,
+        on_failure: G,
+    ) -> OpTicket
+    where
+        F: FnOnce(TagReference<C>) + Send + 'static,
+        G: FnOnce(TagReference<C>, OpFailure) + Send + 'static,
+    {
+        let bytes = match self.inner.converter.to_message(&value) {
+            Ok(message) => message.to_bytes(),
+            Err(e) => {
+                // Conversion failures surface asynchronously like any
+                // other failure, keeping call sites uniform.
+                let this = self.clone();
+                self.inner.ctx.handler().post(move || {
+                    on_failure(this, OpFailure::InvalidData(e));
+                });
+                return self.inner.event_loop.dead_ticket();
+            }
+        };
+        let this = self.clone();
+        let this_err = self.clone();
+        self.inner.event_loop.submit(
+            OpRequest::Write(bytes),
+            timeout,
+            Box::new(move |_| {
+                this.set_cached(Some(value));
+                on_success(this);
+            }),
+            Box::new(move |failure| on_failure(this_err, failure)),
+        )
+    }
+
+    /// Queues an asynchronous, **irreversible** write-protection of the
+    /// tag (the far-reference shape of `Ndef.makeReadOnly()`), with the
+    /// default timeout. Like every queued operation it survives
+    /// disconnection and retries transient faults.
+    pub fn make_read_only<F, G>(&self, on_success: F, on_failure: G) -> OpTicket
+    where
+        F: FnOnce(TagReference<C>) + Send + 'static,
+        G: FnOnce(TagReference<C>, OpFailure) + Send + 'static,
+    {
+        let this = self.clone();
+        let this_err = self.clone();
+        self.inner.event_loop.submit(
+            OpRequest::MakeReadOnly,
+            None,
+            Box::new(move |_| on_success(this)),
+            Box::new(move |failure| on_failure(this_err, failure)),
+        )
+    }
+
+    /// Registers a connectivity observer (§1.2: far references let the
+    /// programmer *"register observers on it to be notified of
+    /// connectivity changes"*). The observer runs on the main thread
+    /// with this reference and the new reachability every time the tag
+    /// enters (`true`) or leaves (`false`) the field.
+    pub fn on_connectivity(
+        &self,
+        observer: impl Fn(TagReference<C>, bool) + Send + Sync + 'static,
+    ) {
+        self.inner.observers.lock().push(Arc::new(Box::new(observer)));
+    }
+
+    /// Blocking convenience: queues a read and waits for its outcome.
+    /// Returns the freshly cached value (`None` for a blank tag).
+    ///
+    /// Must not be called from the main thread (the listener could never
+    /// run and the call would deadlock). With a
+    /// [`VirtualClock`](morena_nfc_sim::clock::VirtualClock), some other
+    /// thread must advance time for the timeout to ever fire.
+    ///
+    /// # Errors
+    ///
+    /// The [`OpFailure`] the asynchronous read would have delivered.
+    pub fn read_sync(&self, timeout: Duration) -> Result<Option<C::Value>, OpFailure> {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        let err_tx = tx.clone();
+        self.read_with_timeout(
+            timeout,
+            move |r| {
+                let _ = tx.send(Ok(r.cached()));
+            },
+            move |_, f| {
+                let _ = err_tx.send(Err(f));
+            },
+        );
+        rx.recv().unwrap_or(Err(OpFailure::Cancelled))
+    }
+
+    /// Blocking convenience: queues a write and waits for its outcome.
+    /// Same caveats as [`read_sync`](TagReference::read_sync).
+    ///
+    /// # Errors
+    ///
+    /// The [`OpFailure`] the asynchronous write would have delivered.
+    pub fn write_sync(&self, value: C::Value, timeout: Duration) -> Result<(), OpFailure> {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        let err_tx = tx.clone();
+        self.write_with_timeout(
+            value,
+            timeout,
+            move |_| {
+                let _ = tx.send(Ok(()));
+            },
+            move |_, f| {
+                let _ = err_tx.send(Err(f));
+            },
+        );
+        rx.recv().unwrap_or(Err(OpFailure::Cancelled))
+    }
+
+    /// Stops the private event loop: queued operations fail with
+    /// [`OpFailure::Cancelled`] and no further operations are accepted.
+    ///
+    /// Reclaiming references is the application's responsibility (§3.2);
+    /// this is the lever.
+    pub fn close(&self) {
+        self.inner.router_stop.store(true, Ordering::Release);
+        self.inner.event_loop.stop();
+    }
+}
+
+/// Watches the controller's event feed, pokes the event loop whenever
+/// connectivity to this reference's tag may have changed, and fans the
+/// change out to registered connectivity observers (on the main thread).
+fn spawn_router<C: TagDataConverter>(
+    nfc: NfcHandle,
+    uid: TagUid,
+    event_loop: EventLoop,
+    stop: Arc<AtomicBool>,
+    inner: std::sync::Weak<RefInner<C>>,
+) {
+    let events = nfc.events();
+    std::thread::Builder::new()
+        .name(format!("morena-router-{uid}"))
+        .spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                let connected = match events.recv_timeout(Duration::from_millis(20)) {
+                    Ok(NfcEvent::TagEntered { uid: u, .. }) if u == uid => true,
+                    Ok(NfcEvent::TagLeft { uid: u }) if u == uid => false,
+                    Ok(_) | Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                };
+                event_loop.wake();
+                let Some(inner) = inner.upgrade() else { break };
+                let observers: Vec<_> = inner.observers.lock().clone();
+                for observer in observers {
+                    let reference = TagReference { inner: Arc::clone(&inner) };
+                    inner.ctx.handler().post(move || observer(reference, connected));
+                }
+            }
+        })
+        .expect("spawn connectivity router");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::StringConverter;
+    use crossbeam::channel::unbounded;
+    use morena_nfc_sim::clock::VirtualClock;
+    use morena_nfc_sim::link::LinkModel;
+    use morena_nfc_sim::tag::Type2Tag;
+    use morena_nfc_sim::world::World;
+
+    fn setup() -> (World, MorenaContext, TagUid) {
+        let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 5);
+        let phone = world.add_phone("alice");
+        let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
+        let ctx = MorenaContext::headless(&world, phone);
+        (world, ctx, uid)
+    }
+
+    fn string_ref(ctx: &MorenaContext, uid: TagUid) -> TagReference<StringConverter> {
+        TagReference::new(ctx, uid, TagTech::Type2, Arc::new(StringConverter::plain_text()))
+    }
+
+    #[test]
+    fn write_then_read_round_trips_and_updates_cache() {
+        let (world, ctx, uid) = setup();
+        let reference = string_ref(&ctx, uid);
+        world.tap_tag(uid, ctx.phone());
+
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        reference.write(
+            "stored".to_string(),
+            move |r| tx.send(r.cached()).unwrap(),
+            |_, f| panic!("write failed: {f}"),
+        );
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+            Some("stored".to_string())
+        );
+
+        // Clear the cache, read it back over the air.
+        reference.set_cached(None);
+        reference.read(move |r| tx2.send(r.cached()).unwrap(), |_, f| panic!("read failed: {f}"));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+            Some("stored".to_string())
+        );
+        assert_eq!(reference.uid(), uid);
+        assert_eq!(reference.tech(), TagTech::Type2);
+    }
+
+    #[test]
+    fn reading_a_blank_tag_yields_empty_cache() {
+        let (world, ctx, uid) = setup();
+        let reference = string_ref(&ctx, uid);
+        world.tap_tag(uid, ctx.phone());
+        let (tx, rx) = unbounded();
+        reference.read(move |r| tx.send(r.cached()).unwrap(), |_, f| panic!("{f}"));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), None);
+    }
+
+    #[test]
+    fn ops_queued_while_disconnected_flush_on_tap() {
+        let (world, ctx, uid) = setup();
+        let reference = string_ref(&ctx, uid);
+        assert!(!reference.is_connected());
+
+        let (tx, rx) = unbounded();
+        for i in 0..4 {
+            let tx = tx.clone();
+            reference.write(format!("msg-{i}"), move |_| tx.send(i).unwrap(), |_, f| panic!("{f}"));
+        }
+        assert_eq!(reference.queue_len(), 4);
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(reference.queue_len(), 4, "nothing may flush while out of range");
+
+        world.tap_tag(uid, ctx.phone());
+        // The whole batch flushes in FIFO order on one tap.
+        let order: Vec<i32> = (0..4)
+            .map(|_| rx.recv_timeout(Duration::from_secs(10)).unwrap())
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        assert_eq!(reference.cached(), Some("msg-3".to_string()));
+    }
+
+    #[test]
+    fn in_order_delivery_is_guaranteed_across_interruptions() {
+        let (world, ctx, uid) = setup();
+        let reference = string_ref(&ctx, uid);
+        let (tx, rx) = unbounded();
+        // First write queued while connected…
+        world.tap_tag(uid, ctx.phone());
+        for i in 0..2 {
+            let tx = tx.clone();
+            reference.write(format!("a-{i}"), move |_| tx.send(format!("a-{i}")).unwrap(), |_, f| panic!("{f}"));
+        }
+        // …then the tag disappears and more writes pile up.
+        world.remove_tag_from_field(uid);
+        for i in 0..2 {
+            let tx = tx.clone();
+            reference.write(format!("b-{i}"), move |_| tx.send(format!("b-{i}")).unwrap(), |_, f| panic!("{f}"));
+        }
+        world.tap_tag(uid, ctx.phone());
+        let mut seen = Vec::new();
+        for _ in 0..4 {
+            seen.push(rx.recv_timeout(Duration::from_secs(10)).unwrap());
+        }
+        assert_eq!(seen, vec!["a-0", "a-1", "b-0", "b-1"]);
+    }
+
+    #[test]
+    fn permanent_failures_reach_the_failure_listener() {
+        let (world, ctx, uid) = setup();
+        let reference = string_ref(&ctx, uid);
+        world.with_tag(uid, |t| {
+            t.as_any_mut().downcast_mut::<Type2Tag>().expect("type 2").set_read_only(true);
+        });
+        world.tap_tag(uid, ctx.phone());
+
+        let (tx, rx) = unbounded();
+        reference.write(
+            "x".to_string(),
+            |_| panic!("must not succeed"),
+            move |_, f| tx.send(f).unwrap(),
+        );
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+            OpFailure::Failed(NfcOpError::ReadOnly)
+        );
+    }
+
+    #[test]
+    fn unconvertible_tag_data_is_invalid_data() {
+        let (world, ctx, uid) = setup();
+        world.tap_tag(uid, ctx.phone());
+        // Store a different MIME type than the reference expects.
+        let nfc = ctx.nfc();
+        let other = morena_ndef::NdefMessage::single(
+            morena_ndef::NdefRecord::mime("application/other", b"x".to_vec()).unwrap(),
+        );
+        nfc.ndef_write(uid, &other.to_bytes()).unwrap();
+
+        let reference = string_ref(&ctx, uid);
+        let (tx, rx) = unbounded();
+        reference.read(|_| panic!("must not convert"), move |_, f| tx.send(f).unwrap());
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+            OpFailure::InvalidData(_)
+        ));
+    }
+
+    #[test]
+    fn close_cancels_pending_ops() {
+        let (_world, ctx, uid) = setup();
+        let reference = string_ref(&ctx, uid);
+        let (tx, rx) = unbounded();
+        reference.write("never".into(), |_| panic!("no"), move |_, f| tx.send(f).unwrap());
+        reference.close();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), OpFailure::Cancelled);
+    }
+
+    #[test]
+    fn make_read_only_queues_like_any_far_reference_operation() {
+        let (world, ctx, uid) = setup();
+        let reference = string_ref(&ctx, uid);
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        // Queue: write, then protect — both against an absent tag.
+        reference.write("final words".into(), move |_| tx.send("write").unwrap(), |_, f| panic!("{f}"));
+        reference.make_read_only(move |_| tx2.send("locked").unwrap(), |_, f| panic!("{f}"));
+        world.tap_tag(uid, ctx.phone());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), "write");
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), "locked");
+        // A later write fails permanently.
+        let (err_tx, err_rx) = unbounded();
+        reference.write("too late".into(), |_| panic!("locked"), move |_, f| err_tx.send(f).unwrap());
+        assert!(matches!(
+            err_rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+            OpFailure::Failed(NfcOpError::ReadOnly)
+        ));
+        // The content written before the lock is still there.
+        assert_eq!(
+            reference.read_sync(Duration::from_secs(10)).unwrap().as_deref(),
+            Some("final words")
+        );
+        reference.close();
+    }
+
+    #[test]
+    fn queued_ops_can_be_cancelled_before_the_tag_appears() {
+        let (world, ctx, uid) = setup();
+        let reference = string_ref(&ctx, uid);
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        // Two writes queued against the absent tag; cancel the first.
+        let ticket = reference.write(
+            "withdrawn".to_string(),
+            |_| panic!("cancelled op must not succeed"),
+            move |_, f| tx.send(("first", f)).unwrap(),
+        );
+        reference.write(
+            "kept".to_string(),
+            move |r| tx2.send(("second", OpFailure::Cancelled)).map(|_| { let _ = r; }).unwrap(),
+            |_, f| panic!("second op failed: {f}"),
+        );
+        assert!(ticket.cancel());
+        assert!(!ticket.cancel(), "cancel is idempotent");
+        assert!(ticket.is_cancelled());
+        let (which, failure) = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(which, "first");
+        assert_eq!(failure, OpFailure::Cancelled);
+        // The remaining op proceeds normally once the tag appears.
+        world.tap_tag(uid, ctx.phone());
+        let (which, _) = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(which, "second");
+        assert_eq!(reference.cached().as_deref(), Some("kept"));
+        assert_eq!(reference.stats().snapshot().cancelled, 1);
+    }
+
+    #[test]
+    fn cancelling_a_completed_op_is_a_noop() {
+        let (world, ctx, uid) = setup();
+        let reference = string_ref(&ctx, uid);
+        world.tap_tag(uid, ctx.phone());
+        let (tx, rx) = unbounded();
+        let ticket = reference.write("done".to_string(), move |_| tx.send(()).unwrap(), |_, f| panic!("{f}"));
+        rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        // The op already completed; cancelling must not produce a failure.
+        ticket.cancel();
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(reference.stats().snapshot().cancelled, 0);
+        assert_eq!(reference.cached().as_deref(), Some("done"));
+    }
+
+    #[test]
+    fn connectivity_observers_fire_on_enter_and_leave() {
+        let (world, ctx, uid) = setup();
+        let reference = string_ref(&ctx, uid);
+        let (tx, rx) = unbounded();
+        reference.on_connectivity(move |r, connected| {
+            tx.send((r.uid(), connected)).unwrap();
+        });
+        world.tap_tag(uid, ctx.phone());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), (uid, true));
+        world.remove_tag_from_field(uid);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), (uid, false));
+        // Multiple observers all fire.
+        let (tx2, rx2) = unbounded();
+        reference.on_connectivity(move |_, connected| tx2.send(connected).unwrap());
+        world.tap_tag(uid, ctx.phone());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), (uid, true));
+        assert!(rx2.recv_timeout(Duration::from_secs(10)).unwrap());
+    }
+
+    #[test]
+    fn sync_adapters_round_trip() {
+        let (world, ctx, uid) = setup();
+        let reference = string_ref(&ctx, uid);
+        world.tap_tag(uid, ctx.phone());
+        reference.write_sync("synchronous".into(), Duration::from_secs(10)).unwrap();
+        assert_eq!(
+            reference.read_sync(Duration::from_secs(10)).unwrap().as_deref(),
+            Some("synchronous")
+        );
+    }
+
+    #[test]
+    fn sync_adapters_surface_failures() {
+        let (_world, ctx, uid) = setup();
+        let reference = string_ref(&ctx, uid);
+        reference.close();
+        assert_eq!(
+            reference.write_sync("x".into(), Duration::from_secs(1)).unwrap_err(),
+            OpFailure::Cancelled
+        );
+    }
+
+    #[test]
+    fn clones_share_queue_and_cache() {
+        let (_world, ctx, uid) = setup();
+        let reference = string_ref(&ctx, uid);
+        let clone = reference.clone();
+        clone.set_cached(Some("shared".into()));
+        assert_eq!(reference.cached(), Some("shared".into()));
+        reference.write("queued".into(), |_| {}, |_, _| {});
+        assert_eq!(clone.queue_len(), 1);
+        assert!(format!("{reference:?}").contains("TagReference"));
+    }
+}

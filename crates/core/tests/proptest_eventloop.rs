@@ -1,0 +1,124 @@
+//! Property tests of the far-reference machinery through the public
+//! API: for arbitrary interleavings of queued operations, connectivity
+//! flips, and link noise, the middleware must (1) complete every
+//! operation exactly once, (2) in FIFO order, and (3) leave the tag
+//! holding the last written value.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::unbounded;
+use morena_core::context::MorenaContext;
+use morena_core::convert::StringConverter;
+use morena_core::eventloop::LoopConfig;
+use morena_core::tagref::TagReference;
+use morena_nfc_sim::clock::SystemClock;
+use morena_nfc_sim::link::LinkModel;
+use morena_nfc_sim::tag::{TagTech, TagUid, Type2Tag};
+use morena_nfc_sim::world::World;
+use proptest::prelude::*;
+
+/// One scripted step of the workload.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Queue a write of the given small payload id.
+    Write(u8),
+    /// Queue a read.
+    Read,
+    /// Pull the tag out of the field for a moment.
+    Disconnect,
+    /// Put the tag back into the field.
+    Connect,
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => any::<u8>().prop_map(Step::Write),
+            2 => Just(Step::Read),
+            1 => Just(Step::Disconnect),
+            2 => Just(Step::Connect),
+        ],
+        1..14,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_op_completes_once_in_fifo_order(steps in arb_steps(), seed in 0u64..1000, noise in 0.0f64..0.25) {
+        let link = LinkModel {
+            setup_latency: Duration::from_micros(50),
+            per_byte_latency: Duration::from_micros(1),
+            base_failure_prob: noise,
+            edge_failure_prob: noise,
+            ..LinkModel::realistic()
+        };
+        let world = World::with_link(Arc::new(SystemClock::new()), link, seed);
+        let phone = world.add_phone("prop");
+        let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
+        world.tap_tag(uid, phone);
+        let ctx = MorenaContext::headless(&world, phone);
+        let reference = TagReference::with_config(
+            &ctx,
+            uid,
+            TagTech::Type2,
+            Arc::new(StringConverter::plain_text()),
+            LoopConfig {
+                default_timeout: Duration::from_secs(60),
+                retry_backoff: Duration::from_micros(200),
+            },
+        );
+
+        let (tx, rx) = unbounded();
+        let mut submitted = 0usize;
+        let mut last_written: Option<String> = None;
+        for step in &steps {
+            match step {
+                Step::Write(id) => {
+                    let payload = format!("payload-{id}");
+                    last_written = Some(payload.clone());
+                    let tx = tx.clone();
+                    let seq = submitted;
+                    submitted += 1;
+                    reference.write(payload, move |_| tx.send(seq).unwrap(), |_, f| panic!("{f}"));
+                }
+                Step::Read => {
+                    let tx = tx.clone();
+                    let seq = submitted;
+                    submitted += 1;
+                    reference.read(move |_| tx.send(seq).unwrap(), |_, f| panic!("{f}"));
+                }
+                Step::Disconnect => world.remove_tag_from_field(uid),
+                Step::Connect => world.tap_tag(uid, phone),
+            }
+        }
+        // End connected so the queue can drain.
+        world.tap_tag(uid, phone);
+
+        let completions: Vec<usize> = (0..submitted)
+            .map(|_| rx.recv_timeout(Duration::from_secs(60)).expect("op completes"))
+            .collect();
+        // (1) exactly once + (2) FIFO: completions are 0..n in order.
+        prop_assert_eq!(completions, (0..submitted).collect::<Vec<_>>());
+        prop_assert!(rx.try_recv().is_err(), "no extra completions");
+
+        // (3) the tag ends up holding the last write, when there was one.
+        if let Some(expected) = last_written {
+            let value = reference
+                .read_sync(Duration::from_secs(60))
+                .expect("final read succeeds");
+            prop_assert_eq!(value.as_deref(), Some(expected.as_str()));
+        }
+        let stats = reference.stats().snapshot();
+        prop_assert_eq!(stats.succeeded as usize, submitted + last_written_reads(&steps));
+        reference.close();
+    }
+}
+
+/// The verification read at the end counts toward `succeeded` only when
+/// it actually ran (i.e. there was at least one write).
+fn last_written_reads(steps: &[Step]) -> usize {
+    usize::from(steps.iter().any(|s| matches!(s, Step::Write(_))))
+}

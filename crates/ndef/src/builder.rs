@@ -1,0 +1,165 @@
+use crate::message::NdefMessage;
+use crate::record::NdefRecord;
+use crate::rtd::{AndroidApplicationRecord, SmartPoster, TextRecord, UriRecord};
+use crate::NdefError;
+
+/// A fluent builder assembling multi-record [`NdefMessage`]s — the
+/// common shapes (payload + text label + AAR) without manual record
+/// plumbing.
+///
+/// # Examples
+///
+/// ```
+/// use morena_ndef::NdefMessageBuilder;
+///
+/// # fn main() -> Result<(), morena_ndef::NdefError> {
+/// let message = NdefMessageBuilder::new()
+///     .mime("application/vnd.app+json", br#"{"v":1}"#.to_vec())?
+///     .text("en", "Config card")
+///     .uri("https://example.com/help")
+///     .android_app("com.example.app")
+///     .build();
+/// assert_eq!(message.records().len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NdefMessageBuilder {
+    records: Vec<NdefRecord>,
+}
+
+impl NdefMessageBuilder {
+    /// An empty builder.
+    pub fn new() -> NdefMessageBuilder {
+        NdefMessageBuilder::default()
+    }
+
+    /// Appends an already-built record.
+    pub fn record(mut self, record: NdefRecord) -> NdefMessageBuilder {
+        self.records.push(record);
+        self
+    }
+
+    /// Appends a MIME record.
+    ///
+    /// # Errors
+    ///
+    /// [`NdefError`] when the type or payload exceeds record limits.
+    pub fn mime(mut self, mime_type: &str, payload: Vec<u8>) -> Result<NdefMessageBuilder, NdefError> {
+        self.records.push(NdefRecord::mime(mime_type, payload)?);
+        Ok(self)
+    }
+
+    /// Appends an RTD Text record.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid language code, like [`TextRecord::new`].
+    pub fn text(mut self, language: &str, text: &str) -> NdefMessageBuilder {
+        self.records.push(TextRecord::new(language, text).to_record());
+        self
+    }
+
+    /// Appends an RTD URI record.
+    pub fn uri(mut self, uri: &str) -> NdefMessageBuilder {
+        self.records.push(UriRecord::new(uri).to_record());
+        self
+    }
+
+    /// Appends a smart poster.
+    pub fn smart_poster(mut self, poster: &SmartPoster) -> NdefMessageBuilder {
+        self.records.push(poster.to_record());
+        self
+    }
+
+    /// Appends an Android Application Record pinning `package`.
+    pub fn android_app(mut self, package: &str) -> NdefMessageBuilder {
+        self.records.push(AndroidApplicationRecord::new(package).to_record());
+        self
+    }
+
+    /// Appends an NFC Forum external-type record.
+    ///
+    /// # Errors
+    ///
+    /// [`NdefError`] when the type or payload exceeds record limits.
+    pub fn external(mut self, domain_type: &str, payload: Vec<u8>) -> Result<NdefMessageBuilder, NdefError> {
+        self.records.push(NdefRecord::external(domain_type, payload)?);
+        Ok(self)
+    }
+
+    /// Number of records queued so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no record has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Builds the message (an empty builder yields the canonical blank
+    /// message, as [`NdefMessage::new`] documents).
+    pub fn build(self) -> NdefMessage {
+        NdefMessage::new(self.records)
+    }
+}
+
+impl From<NdefMessageBuilder> for NdefMessage {
+    fn from(builder: NdefMessageBuilder) -> NdefMessage {
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtd::PosterAction;
+    use crate::Tnf;
+
+    #[test]
+    fn builds_multi_record_messages_in_order() {
+        let message = NdefMessageBuilder::new()
+            .mime("a/b", vec![1, 2])
+            .unwrap()
+            .text("en", "label")
+            .uri("tel:+123")
+            .android_app("com.app")
+            .external("ex.com:t", vec![9])
+            .unwrap()
+            .build();
+        let tnfs: Vec<Tnf> = message.iter().map(|r| r.tnf()).collect();
+        assert_eq!(
+            tnfs,
+            vec![Tnf::MimeMedia, Tnf::WellKnown, Tnf::WellKnown, Tnf::External, Tnf::External]
+        );
+        // Round trips like any message.
+        assert_eq!(NdefMessage::parse(&message.to_bytes()).unwrap(), message);
+    }
+
+    #[test]
+    fn empty_builder_yields_blank_message() {
+        let builder = NdefMessageBuilder::new();
+        assert!(builder.is_empty());
+        assert_eq!(builder.len(), 0);
+        assert!(builder.build().is_blank());
+    }
+
+    #[test]
+    fn smart_poster_and_raw_records_compose() {
+        let poster = SmartPoster::new("https://e.com").with_action(PosterAction::Execute);
+        let message: NdefMessage = NdefMessageBuilder::new()
+            .smart_poster(&poster)
+            .record(NdefRecord::absolute_uri("https://raw.example").unwrap())
+            .into();
+        assert_eq!(message.records().len(), 2);
+        assert_eq!(SmartPoster::from_record(message.first()).unwrap(), poster);
+    }
+
+    #[test]
+    fn builder_errors_propagate() {
+        let long_type = "x".repeat(300);
+        assert!(NdefMessageBuilder::new().mime(&long_type, vec![]).is_err());
+        assert!(NdefMessageBuilder::new().external(&long_type, vec![]).is_err());
+    }
+}

@@ -1,0 +1,167 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing, encoding, or decoding NDEF data.
+///
+/// Every variant pinpoints the structural rule of the NDEF specification
+/// that was violated, so callers (and tests) can assert on the precise
+/// failure mode instead of a generic "parse error".
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NdefError {
+    /// The input ended before a complete record could be read.
+    ///
+    /// Carries the number of additional bytes that were needed at the point
+    /// of failure (a lower bound; more may be required after those).
+    UnexpectedEof {
+        /// How many more bytes were needed, at minimum.
+        needed: usize,
+    },
+    /// The reserved TNF value `0x07` was encountered.
+    ReservedTnf,
+    /// A record with TNF `Empty` carried a non-empty type, id, or payload.
+    NonEmptyEmptyRecord,
+    /// A record with TNF `Unknown` carried a non-empty type field.
+    UnknownWithType,
+    /// A record with TNF `Unchanged` appeared outside a chunk sequence.
+    UnexpectedUnchanged,
+    /// A chunk sequence was started (CF=1) but not terminated before the
+    /// message ended or another record began.
+    UnterminatedChunk,
+    /// A middle or terminating chunk carried a type or id, which only the
+    /// initial chunk may do.
+    ChunkWithType,
+    /// The first record did not have the Message Begin flag set.
+    MissingMessageBegin,
+    /// A record after the first had the Message Begin flag set.
+    DuplicateMessageBegin,
+    /// The final record did not have the Message End flag set.
+    MissingMessageEnd,
+    /// Data followed a record with the Message End flag set.
+    TrailingData {
+        /// Number of unconsumed bytes after the message end.
+        trailing: usize,
+    },
+    /// A length field exceeded [`crate::MAX_PAYLOAD_LEN`].
+    PayloadTooLarge {
+        /// The declared length.
+        declared: usize,
+    },
+    /// A type field longer than 255 bytes was supplied at build time.
+    TypeTooLong {
+        /// The supplied length.
+        len: usize,
+    },
+    /// An id field longer than 255 bytes was supplied at build time.
+    IdTooLong {
+        /// The supplied length.
+        len: usize,
+    },
+    /// An empty message (zero records) was asked to encode itself.
+    ///
+    /// The NDEF specification requires at least one record; encode an
+    /// explicit empty record (TNF `Empty`) to represent "nothing".
+    EmptyMessage,
+    /// A well-known record (RTD) payload failed structural validation.
+    MalformedRtd {
+        /// Human-readable description of the violation.
+        detail: &'static str,
+    },
+    /// A language code outside `[1, 63]` bytes was supplied to a text
+    /// record, which cannot be represented in the status byte.
+    BadLanguageCode,
+    /// Payload bytes that should have been UTF-8 were not.
+    InvalidUtf8,
+}
+
+impl fmt::Display for NdefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NdefError::UnexpectedEof { needed } => {
+                write!(f, "unexpected end of NDEF data, {needed} more byte(s) needed")
+            }
+            NdefError::ReservedTnf => write!(f, "reserved TNF value 0x07"),
+            NdefError::NonEmptyEmptyRecord => {
+                write!(f, "TNF Empty record must have empty type, id, and payload")
+            }
+            NdefError::UnknownWithType => {
+                write!(f, "TNF Unknown record must have an empty type field")
+            }
+            NdefError::UnexpectedUnchanged => {
+                write!(f, "TNF Unchanged record outside a chunk sequence")
+            }
+            NdefError::UnterminatedChunk => write!(f, "chunk sequence was never terminated"),
+            NdefError::ChunkWithType => {
+                write!(f, "non-initial chunk carries a type or id field")
+            }
+            NdefError::MissingMessageBegin => {
+                write!(f, "first record lacks the message-begin flag")
+            }
+            NdefError::DuplicateMessageBegin => {
+                write!(f, "message-begin flag repeated inside the message")
+            }
+            NdefError::MissingMessageEnd => {
+                write!(f, "last record lacks the message-end flag")
+            }
+            NdefError::TrailingData { trailing } => {
+                write!(f, "{trailing} byte(s) of trailing data after message end")
+            }
+            NdefError::PayloadTooLarge { declared } => {
+                write!(f, "declared payload length {declared} exceeds the decoder limit")
+            }
+            NdefError::TypeTooLong { len } => {
+                write!(f, "record type of {len} bytes exceeds the 255-byte limit")
+            }
+            NdefError::IdTooLong { len } => {
+                write!(f, "record id of {len} bytes exceeds the 255-byte limit")
+            }
+            NdefError::EmptyMessage => write!(f, "an NDEF message must contain at least one record"),
+            NdefError::MalformedRtd { detail } => write!(f, "malformed well-known record: {detail}"),
+            NdefError::BadLanguageCode => {
+                write!(f, "text record language code must be 1..=63 bytes")
+            }
+            NdefError::InvalidUtf8 => write!(f, "payload is not valid UTF-8"),
+        }
+    }
+}
+
+impl Error for NdefError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_every_variant() {
+        let variants = [
+            NdefError::UnexpectedEof { needed: 3 },
+            NdefError::ReservedTnf,
+            NdefError::NonEmptyEmptyRecord,
+            NdefError::UnknownWithType,
+            NdefError::UnexpectedUnchanged,
+            NdefError::UnterminatedChunk,
+            NdefError::ChunkWithType,
+            NdefError::MissingMessageBegin,
+            NdefError::DuplicateMessageBegin,
+            NdefError::MissingMessageEnd,
+            NdefError::TrailingData { trailing: 1 },
+            NdefError::PayloadTooLarge { declared: 9 },
+            NdefError::TypeTooLong { len: 300 },
+            NdefError::IdTooLong { len: 300 },
+            NdefError::EmptyMessage,
+            NdefError::MalformedRtd { detail: "x" },
+            NdefError::BadLanguageCode,
+            NdefError::InvalidUtf8,
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+            assert!(!format!("{v:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NdefError>();
+    }
+}

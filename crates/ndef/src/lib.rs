@@ -1,0 +1,60 @@
+//! # morena-ndef
+//!
+//! A standalone implementation of the **NFC Data Exchange Format (NDEF)**
+//! wire format, as standardized by the NFC Forum and used by the Android
+//! NFC stack that the MORENA middleware (Middleware 2012) is built on.
+//!
+//! The crate provides:
+//!
+//! * [`NdefRecord`] — a single NDEF record with its type name format
+//!   ([`Tnf`]), type, optional id, and payload.
+//! * [`NdefMessage`] — an ordered sequence of records with binary
+//!   encoding/decoding, including support for *chunked* records
+//!   (`CF`/`TNF_UNCHANGED` reassembly).
+//! * [`rtd`] — the NFC Forum *Record Type Definitions* most applications
+//!   use: [`rtd::TextRecord`], [`rtd::UriRecord`] (with the standard URI
+//!   abbreviation table), [`rtd::SmartPoster`], plus MIME and external
+//!   types.
+//!
+//! The encoder and decoder are strict: a message that round-trips through
+//! [`NdefMessage::to_bytes`] and [`NdefMessage::parse`] is guaranteed to be
+//! structurally identical, and malformed input is rejected with a precise
+//! [`NdefError`].
+//!
+//! # Examples
+//!
+//! ```
+//! use morena_ndef::{NdefMessage, rtd::TextRecord};
+//!
+//! # fn main() -> Result<(), morena_ndef::NdefError> {
+//! let text = TextRecord::new("en", "hello world");
+//! let message = NdefMessage::new(vec![text.to_record()]);
+//! let bytes = message.to_bytes();
+//! let parsed = NdefMessage::parse(&bytes)?;
+//! assert_eq!(parsed, message);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod message;
+mod record;
+
+pub mod rtd;
+
+pub use builder::NdefMessageBuilder;
+pub use error::NdefError;
+pub use message::NdefMessage;
+pub use record::{NdefRecord, NdefRecordBuilder, Tnf};
+
+/// Maximum payload size this implementation accepts for a single record.
+///
+/// The NDEF specification allows payloads up to `u32::MAX` bytes; real NFC
+/// tags top out in the kilobyte range. We cap at 1 MiB to keep the decoder
+/// resistant to hostile length fields while remaining far above anything a
+/// tag can store.
+pub const MAX_PAYLOAD_LEN: usize = 1 << 20;

@@ -1,0 +1,409 @@
+use crate::NdefError;
+
+/// The *Type Name Format* of an NDEF record: how the `type` field is to be
+/// interpreted.
+///
+/// Values mirror the 3-bit TNF field of the record header defined by the
+/// NFC Forum NDEF specification (and exposed verbatim by Android's
+/// `NdefRecord.TNF_*` constants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Tnf {
+    /// `0x00` — record is empty; type, id, and payload must be empty too.
+    Empty = 0x00,
+    /// `0x01` — type is an NFC Forum well-known type (RTD), e.g. `T`, `U`.
+    WellKnown = 0x01,
+    /// `0x02` — type is a MIME media type (RFC 2046), e.g. `text/plain`.
+    MimeMedia = 0x02,
+    /// `0x03` — type is an absolute URI (RFC 3986).
+    AbsoluteUri = 0x03,
+    /// `0x04` — type is an NFC Forum external type, e.g. `example.com:mytype`.
+    External = 0x04,
+    /// `0x05` — payload type is unknown; type field must be empty.
+    Unknown = 0x05,
+    /// `0x06` — middle or terminating chunk of a chunked record.
+    ///
+    /// Never present on records of a fully decoded [`crate::NdefMessage`];
+    /// the decoder reassembles chunk sequences into a single logical record.
+    Unchanged = 0x06,
+}
+
+impl Tnf {
+    /// Decodes a raw 3-bit TNF value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NdefError::ReservedTnf`] for the reserved value `0x07`
+    /// (and any value above it, which cannot appear in a 3-bit field but is
+    /// rejected defensively).
+    pub fn from_bits(bits: u8) -> Result<Tnf, NdefError> {
+        match bits {
+            0x00 => Ok(Tnf::Empty),
+            0x01 => Ok(Tnf::WellKnown),
+            0x02 => Ok(Tnf::MimeMedia),
+            0x03 => Ok(Tnf::AbsoluteUri),
+            0x04 => Ok(Tnf::External),
+            0x05 => Ok(Tnf::Unknown),
+            0x06 => Ok(Tnf::Unchanged),
+            _ => Err(NdefError::ReservedTnf),
+        }
+    }
+
+    /// Returns the raw 3-bit value of this TNF as stored in the header byte.
+    pub fn bits(self) -> u8 {
+        self as u8
+    }
+}
+
+/// A single NDEF record: the unit of typed data inside an [`NdefMessage`].
+///
+/// A record is a passive value; reading and writing records on (simulated)
+/// tags is the business of the higher layers. Records are constructed
+/// through [`NdefRecord::new`], the convenience constructors, or an
+/// [`NdefRecordBuilder`].
+///
+/// [`NdefMessage`]: crate::NdefMessage
+///
+/// # Examples
+///
+/// ```
+/// use morena_ndef::{NdefRecord, Tnf};
+///
+/// # fn main() -> Result<(), morena_ndef::NdefError> {
+/// let record = NdefRecord::mime("text/plain", b"hello".to_vec())?;
+/// assert_eq!(record.tnf(), Tnf::MimeMedia);
+/// assert_eq!(record.record_type(), b"text/plain");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NdefRecord {
+    tnf: Tnf,
+    record_type: Vec<u8>,
+    id: Vec<u8>,
+    payload: Vec<u8>,
+}
+
+impl NdefRecord {
+    /// Creates a record after validating the structural rules for `tnf`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NdefError::NonEmptyEmptyRecord`] — `Tnf::Empty` with data.
+    /// * [`NdefError::UnknownWithType`] — `Tnf::Unknown` with a type.
+    /// * [`NdefError::UnexpectedUnchanged`] — `Tnf::Unchanged`, which is a
+    ///   wire-level artifact and cannot be built directly.
+    /// * [`NdefError::TypeTooLong`] / [`NdefError::IdTooLong`] — field
+    ///   exceeds the 255-byte wire limit.
+    /// * [`NdefError::PayloadTooLarge`] — payload exceeds
+    ///   [`crate::MAX_PAYLOAD_LEN`].
+    pub fn new(
+        tnf: Tnf,
+        record_type: Vec<u8>,
+        id: Vec<u8>,
+        payload: Vec<u8>,
+    ) -> Result<NdefRecord, NdefError> {
+        if record_type.len() > 255 {
+            return Err(NdefError::TypeTooLong { len: record_type.len() });
+        }
+        if id.len() > 255 {
+            return Err(NdefError::IdTooLong { len: id.len() });
+        }
+        if payload.len() > crate::MAX_PAYLOAD_LEN {
+            return Err(NdefError::PayloadTooLarge { declared: payload.len() });
+        }
+        match tnf {
+            Tnf::Empty
+                if !record_type.is_empty() || !id.is_empty() || !payload.is_empty() =>
+            {
+                return Err(NdefError::NonEmptyEmptyRecord);
+            }
+            Tnf::Unknown if !record_type.is_empty() => {
+                return Err(NdefError::UnknownWithType);
+            }
+            Tnf::Unchanged => return Err(NdefError::UnexpectedUnchanged),
+            _ => {}
+        }
+        Ok(NdefRecord { tnf, record_type, id, payload })
+    }
+
+    /// Creates the canonical empty record (`Tnf::Empty`, all fields empty).
+    ///
+    /// An NDEF message holding exactly one empty record is the standard
+    /// representation of a formatted-but-blank tag.
+    pub fn empty() -> NdefRecord {
+        NdefRecord { tnf: Tnf::Empty, record_type: Vec::new(), id: Vec::new(), payload: Vec::new() }
+    }
+
+    /// Creates a MIME-media record (`Tnf::MimeMedia`).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`NdefRecord::new`].
+    pub fn mime(mime_type: &str, payload: Vec<u8>) -> Result<NdefRecord, NdefError> {
+        NdefRecord::new(Tnf::MimeMedia, mime_type.as_bytes().to_vec(), Vec::new(), payload)
+    }
+
+    /// Creates a well-known record (`Tnf::WellKnown`) such as RTD Text.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`NdefRecord::new`].
+    pub fn well_known(rtd_type: &[u8], payload: Vec<u8>) -> Result<NdefRecord, NdefError> {
+        NdefRecord::new(Tnf::WellKnown, rtd_type.to_vec(), Vec::new(), payload)
+    }
+
+    /// Creates an NFC Forum external-type record (`Tnf::External`).
+    ///
+    /// The conventional shape of `domain_type` is `domain:type`, e.g.
+    /// `morena.example:wifi-config`.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`NdefRecord::new`].
+    pub fn external(domain_type: &str, payload: Vec<u8>) -> Result<NdefRecord, NdefError> {
+        NdefRecord::new(Tnf::External, domain_type.as_bytes().to_vec(), Vec::new(), payload)
+    }
+
+    /// Creates a record carrying an absolute URI in its *type* field
+    /// (`Tnf::AbsoluteUri`), per the specification's odd-but-standard
+    /// layout where the URI is the type and the payload is empty.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`NdefRecord::new`].
+    pub fn absolute_uri(uri: &str) -> Result<NdefRecord, NdefError> {
+        NdefRecord::new(Tnf::AbsoluteUri, uri.as_bytes().to_vec(), Vec::new(), Vec::new())
+    }
+
+    /// The record's type name format.
+    pub fn tnf(&self) -> Tnf {
+        self.tnf
+    }
+
+    /// The record's type field (interpretation depends on [`Tnf`]).
+    pub fn record_type(&self) -> &[u8] {
+        &self.record_type
+    }
+
+    /// The record's type field decoded as UTF-8, when it is.
+    pub fn record_type_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.record_type).ok()
+    }
+
+    /// The record's optional id field (empty when absent).
+    pub fn id(&self) -> &[u8] {
+        &self.id
+    }
+
+    /// The record's payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Consumes the record and returns its payload, avoiding a copy.
+    pub fn into_payload(self) -> Vec<u8> {
+        self.payload
+    }
+
+    /// Returns `true` when this is the canonical empty record.
+    pub fn is_empty_record(&self) -> bool {
+        self.tnf == Tnf::Empty
+    }
+
+    /// Returns `true` when the record is a MIME record of exactly
+    /// `mime_type`.
+    pub fn is_mime(&self, mime_type: &str) -> bool {
+        self.tnf == Tnf::MimeMedia && self.record_type == mime_type.as_bytes()
+    }
+
+    /// The number of bytes this record occupies when encoded as part of a
+    /// message (excluding chunking; header flags do not change the size).
+    pub fn encoded_len(&self) -> usize {
+        let short = self.payload.len() <= u8::MAX as usize;
+        1 // header
+            + 1 // type length
+            + if short { 1 } else { 4 } // payload length
+            + if self.id.is_empty() { 0 } else { 1 } // id length
+            + self.record_type.len()
+            + self.id.len()
+            + self.payload.len()
+    }
+}
+
+impl Default for NdefRecord {
+    fn default() -> NdefRecord {
+        NdefRecord::empty()
+    }
+}
+
+/// Builder for [`NdefRecord`] values with many optional fields.
+///
+/// # Examples
+///
+/// ```
+/// use morena_ndef::{NdefRecordBuilder, Tnf};
+///
+/// # fn main() -> Result<(), morena_ndef::NdefError> {
+/// let record = NdefRecordBuilder::new(Tnf::MimeMedia)
+///     .record_type(b"application/json")
+///     .id(b"cfg-1")
+///     .payload(br#"{"ssid":"lab"}"#.to_vec())
+///     .build()?;
+/// assert_eq!(record.id(), b"cfg-1");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NdefRecordBuilder {
+    tnf: Tnf,
+    record_type: Vec<u8>,
+    id: Vec<u8>,
+    payload: Vec<u8>,
+}
+
+impl NdefRecordBuilder {
+    /// Starts a builder for a record of the given TNF.
+    pub fn new(tnf: Tnf) -> NdefRecordBuilder {
+        NdefRecordBuilder { tnf, record_type: Vec::new(), id: Vec::new(), payload: Vec::new() }
+    }
+
+    /// Sets the type field.
+    pub fn record_type(mut self, record_type: &[u8]) -> NdefRecordBuilder {
+        self.record_type = record_type.to_vec();
+        self
+    }
+
+    /// Sets the id field.
+    pub fn id(mut self, id: &[u8]) -> NdefRecordBuilder {
+        self.id = id.to_vec();
+        self
+    }
+
+    /// Sets the payload.
+    pub fn payload(mut self, payload: Vec<u8>) -> NdefRecordBuilder {
+        self.payload = payload;
+        self
+    }
+
+    /// Validates and builds the record.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`NdefRecord::new`].
+    pub fn build(self) -> Result<NdefRecord, NdefError> {
+        NdefRecord::new(self.tnf, self.record_type, self.id, self.payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tnf_round_trips_all_valid_bits() {
+        for bits in 0u8..=6 {
+            let tnf = Tnf::from_bits(bits).expect("valid tnf");
+            assert_eq!(tnf.bits(), bits);
+        }
+    }
+
+    #[test]
+    fn tnf_rejects_reserved() {
+        assert_eq!(Tnf::from_bits(7), Err(NdefError::ReservedTnf));
+        assert_eq!(Tnf::from_bits(200), Err(NdefError::ReservedTnf));
+    }
+
+    #[test]
+    fn empty_record_must_be_empty() {
+        let err = NdefRecord::new(Tnf::Empty, vec![1], vec![], vec![]).unwrap_err();
+        assert_eq!(err, NdefError::NonEmptyEmptyRecord);
+        let err = NdefRecord::new(Tnf::Empty, vec![], vec![], vec![1]).unwrap_err();
+        assert_eq!(err, NdefError::NonEmptyEmptyRecord);
+        assert!(NdefRecord::new(Tnf::Empty, vec![], vec![], vec![]).is_ok());
+    }
+
+    #[test]
+    fn unknown_rejects_type() {
+        let err = NdefRecord::new(Tnf::Unknown, vec![b'T'], vec![], vec![]).unwrap_err();
+        assert_eq!(err, NdefError::UnknownWithType);
+        assert!(NdefRecord::new(Tnf::Unknown, vec![], vec![], vec![1, 2]).is_ok());
+    }
+
+    #[test]
+    fn unchanged_cannot_be_built() {
+        let err = NdefRecord::new(Tnf::Unchanged, vec![], vec![], vec![]).unwrap_err();
+        assert_eq!(err, NdefError::UnexpectedUnchanged);
+    }
+
+    #[test]
+    fn oversized_fields_are_rejected() {
+        let long = vec![0u8; 256];
+        assert_eq!(
+            NdefRecord::new(Tnf::MimeMedia, long.clone(), vec![], vec![]),
+            Err(NdefError::TypeTooLong { len: 256 })
+        );
+        assert_eq!(
+            NdefRecord::new(Tnf::MimeMedia, vec![b'a'], long, vec![]),
+            Err(NdefError::IdTooLong { len: 256 })
+        );
+        let huge = vec![0u8; crate::MAX_PAYLOAD_LEN + 1];
+        assert!(matches!(
+            NdefRecord::new(Tnf::MimeMedia, vec![b'a'], vec![], huge),
+            Err(NdefError::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn default_is_empty_record() {
+        assert!(NdefRecord::default().is_empty_record());
+        assert_eq!(NdefRecord::default(), NdefRecord::empty());
+    }
+
+    #[test]
+    fn mime_predicate_matches_type() {
+        let r = NdefRecord::mime("text/plain", b"x".to_vec()).unwrap();
+        assert!(r.is_mime("text/plain"));
+        assert!(!r.is_mime("text/html"));
+        assert_eq!(r.record_type_str(), Some("text/plain"));
+    }
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let r = NdefRecordBuilder::new(Tnf::External)
+            .record_type(b"ex.com:t")
+            .id(b"id9")
+            .payload(vec![9, 9])
+            .build()
+            .unwrap();
+        assert_eq!(r.tnf(), Tnf::External);
+        assert_eq!(r.record_type(), b"ex.com:t");
+        assert_eq!(r.id(), b"id9");
+        assert_eq!(r.payload(), &[9, 9]);
+        assert_eq!(r.clone().into_payload(), vec![9, 9]);
+    }
+
+    #[test]
+    fn encoded_len_accounts_for_long_payload_and_id() {
+        let short = NdefRecord::mime("a/b", vec![0; 255]).unwrap();
+        // 1 hdr + 1 tl + 1 pl + 3 type + 255 payload
+        assert_eq!(short.encoded_len(), 1 + 1 + 1 + 3 + 255);
+        let long = NdefRecord::mime("a/b", vec![0; 256]).unwrap();
+        assert_eq!(long.encoded_len(), 1 + 1 + 4 + 3 + 256);
+        let with_id = NdefRecordBuilder::new(Tnf::MimeMedia)
+            .record_type(b"a/b")
+            .id(b"x")
+            .payload(vec![0; 4])
+            .build()
+            .unwrap();
+        assert_eq!(with_id.encoded_len(), 1 + 1 + 1 + 1 + 3 + 1 + 4);
+    }
+
+    #[test]
+    fn absolute_uri_lives_in_type_field() {
+        let r = NdefRecord::absolute_uri("https://example.com/x").unwrap();
+        assert_eq!(r.tnf(), Tnf::AbsoluteUri);
+        assert_eq!(r.record_type_str(), Some("https://example.com/x"));
+        assert!(r.payload().is_empty());
+    }
+}

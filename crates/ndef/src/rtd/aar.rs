@@ -1,0 +1,116 @@
+use crate::record::{NdefRecord, Tnf};
+use crate::NdefError;
+
+/// An **Android Application Record** (AAR): the external-type record
+/// (`android.com:pkg`) Android uses to route a scanned tag to a specific
+/// application, bypassing intent filters.
+///
+/// Appending an AAR to a message is how deployed NFC stickers pin
+/// themselves to one app; the MORENA evaluation applications use it in
+/// tests to assert cross-record coexistence.
+///
+/// # Examples
+///
+/// ```
+/// use morena_ndef::rtd::AndroidApplicationRecord;
+///
+/// # fn main() -> Result<(), morena_ndef::NdefError> {
+/// let aar = AndroidApplicationRecord::new("com.example.wifijoiner");
+/// let record = aar.to_record();
+/// let back = AndroidApplicationRecord::from_record(&record)?;
+/// assert_eq!(back.package(), "com.example.wifijoiner");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AndroidApplicationRecord {
+    package: String,
+}
+
+impl AndroidApplicationRecord {
+    /// The external record type of AARs.
+    pub const TYPE: &'static str = "android.com:pkg";
+
+    /// Creates an AAR for `package`.
+    pub fn new(package: &str) -> AndroidApplicationRecord {
+        AndroidApplicationRecord { package: package.to_owned() }
+    }
+
+    /// The target package name.
+    pub fn package(&self) -> &str {
+        &self.package
+    }
+
+    /// Encodes as an external-type [`NdefRecord`].
+    pub fn to_record(&self) -> NdefRecord {
+        NdefRecord::external(AndroidApplicationRecord::TYPE, self.package.as_bytes().to_vec())
+            .expect("package name within limits")
+    }
+
+    /// Decodes from an external-type [`NdefRecord`].
+    ///
+    /// # Errors
+    ///
+    /// [`NdefError::MalformedRtd`] for a record of any other kind;
+    /// [`NdefError::InvalidUtf8`] for a non-UTF-8 package payload.
+    pub fn from_record(record: &NdefRecord) -> Result<AndroidApplicationRecord, NdefError> {
+        if record.tnf() != Tnf::External
+            || record.record_type() != AndroidApplicationRecord::TYPE.as_bytes()
+        {
+            return Err(NdefError::MalformedRtd { detail: "not an Android Application Record" });
+        }
+        let package = std::str::from_utf8(record.payload())
+            .map_err(|_| NdefError::InvalidUtf8)?
+            .to_owned();
+        Ok(AndroidApplicationRecord { package })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let aar = AndroidApplicationRecord::new("be.vub.soft.morena");
+        let back = AndroidApplicationRecord::from_record(&aar.to_record()).unwrap();
+        assert_eq!(back, aar);
+        assert_eq!(back.package(), "be.vub.soft.morena");
+    }
+
+    #[test]
+    fn rejects_other_records() {
+        let other = NdefRecord::mime("a/b", b"x".to_vec()).unwrap();
+        assert!(matches!(
+            AndroidApplicationRecord::from_record(&other).unwrap_err(),
+            NdefError::MalformedRtd { .. }
+        ));
+        let wrong_type = NdefRecord::external("other.com:x", b"p".to_vec()).unwrap();
+        assert!(AndroidApplicationRecord::from_record(&wrong_type).is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_utf8() {
+        let bad =
+            NdefRecord::external(AndroidApplicationRecord::TYPE, vec![0xFF, 0xFE]).unwrap();
+        assert_eq!(
+            AndroidApplicationRecord::from_record(&bad).unwrap_err(),
+            NdefError::InvalidUtf8
+        );
+    }
+
+    #[test]
+    fn coexists_with_payload_records_in_a_message() {
+        use crate::NdefMessage;
+        let message = NdefMessage::new(vec![
+            NdefRecord::mime("application/vnd.app+json", br#"{"x":1}"#.to_vec()).unwrap(),
+            AndroidApplicationRecord::new("com.example.app").to_record(),
+        ]);
+        let parsed = NdefMessage::parse(&message.to_bytes()).unwrap();
+        let aar = parsed
+            .iter()
+            .find_map(|r| AndroidApplicationRecord::from_record(r).ok())
+            .unwrap();
+        assert_eq!(aar.package(), "com.example.app");
+    }
+}

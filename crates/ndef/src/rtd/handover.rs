@@ -1,0 +1,438 @@
+use crate::message::NdefMessage;
+use crate::record::{NdefRecord, NdefRecordBuilder, Tnf};
+use crate::NdefError;
+
+/// The Connection Handover specification version this codec speaks
+/// (1.3, encoded major.minor in one byte).
+pub const HANDOVER_VERSION: u8 = 0x13;
+
+/// Carrier Power State of an alternative carrier (2-bit field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum CarrierPowerState {
+    /// The carrier is currently off.
+    Inactive = 0,
+    /// The carrier is on and ready.
+    Active = 1,
+    /// The carrier is being switched on.
+    Activating = 2,
+    /// The sender cannot tell.
+    Unknown = 3,
+}
+
+impl CarrierPowerState {
+    fn from_bits(bits: u8) -> CarrierPowerState {
+        match bits & 0b11 {
+            0 => CarrierPowerState::Inactive,
+            1 => CarrierPowerState::Active,
+            2 => CarrierPowerState::Activating,
+            _ => CarrierPowerState::Unknown,
+        }
+    }
+}
+
+/// One alternative carrier inside a handover record: a power state and
+/// the id of the carrier-configuration record it points at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlternativeCarrier {
+    /// Power state of the carrier.
+    pub power_state: CarrierPowerState,
+    /// The `id` of the carrier configuration record in the same message.
+    pub carrier_ref: Vec<u8>,
+}
+
+impl AlternativeCarrier {
+    fn to_record(&self) -> Result<NdefRecord, NdefError> {
+        let mut payload = Vec::with_capacity(3 + self.carrier_ref.len());
+        payload.push(self.power_state as u8);
+        payload.push(self.carrier_ref.len() as u8);
+        payload.extend_from_slice(&self.carrier_ref);
+        payload.push(0); // auxiliary data reference count: none
+        NdefRecord::well_known(b"ac", payload)
+    }
+
+    fn from_record(record: &NdefRecord) -> Result<AlternativeCarrier, NdefError> {
+        if record.tnf() != Tnf::WellKnown || record.record_type() != b"ac" {
+            return Err(NdefError::MalformedRtd { detail: "not an alternative carrier record" });
+        }
+        let payload = record.payload();
+        let [cps, ref_len, rest @ ..] = payload else {
+            return Err(NdefError::MalformedRtd { detail: "ac record too short" });
+        };
+        let ref_len = *ref_len as usize;
+        if rest.len() < ref_len + 1 {
+            return Err(NdefError::MalformedRtd { detail: "ac carrier reference truncated" });
+        }
+        Ok(AlternativeCarrier {
+            power_state: CarrierPowerState::from_bits(*cps),
+            carrier_ref: rest[..ref_len].to_vec(),
+        })
+    }
+}
+
+/// An NFC Forum **Handover Select** record (`"Hs"`): how a device offers
+/// one or more out-of-band carriers (WiFi, Bluetooth, …) to a peer that
+/// just tapped it — the standards-based version of the paper's WiFi
+/// sharing scenario.
+///
+/// The payload is a version byte followed by a nested NDEF message of
+/// alternative-carrier records; the carrier *configuration* records
+/// travel next to the `Hs` record in the same top-level message,
+/// addressed by record id.
+///
+/// # Examples
+///
+/// ```
+/// use morena_ndef::rtd::{CarrierPowerState, HandoverSelect, WifiCredential};
+/// use morena_ndef::NdefMessage;
+///
+/// # fn main() -> Result<(), morena_ndef::NdefError> {
+/// let wifi = WifiCredential::new("venue-guest", "w1f1-pass");
+/// let message = HandoverSelect::new()
+///     .with_carrier(CarrierPowerState::Active, b"w0", wifi.to_record(b"w0")?)
+///     .to_message()?;
+/// let parsed = HandoverSelect::from_message(&message)?;
+/// assert_eq!(parsed.carriers().len(), 1);
+/// let credential = parsed.wifi_credential(&message).expect("wifi carrier");
+/// assert_eq!(credential.ssid(), "venue-guest");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HandoverSelect {
+    carriers: Vec<AlternativeCarrier>,
+    carrier_records: Vec<NdefRecord>,
+}
+
+impl HandoverSelect {
+    /// The RTD type name of handover select records.
+    pub const TYPE: &'static [u8] = b"Hs";
+
+    /// An empty offer.
+    pub fn new() -> HandoverSelect {
+        HandoverSelect::default()
+    }
+
+    /// Adds a carrier: its power state, the record id linking the two,
+    /// and the configuration record itself (its id is overwritten with
+    /// `carrier_ref`).
+    pub fn with_carrier(
+        mut self,
+        power_state: CarrierPowerState,
+        carrier_ref: &[u8],
+        configuration: NdefRecord,
+    ) -> HandoverSelect {
+        self.carriers.push(AlternativeCarrier {
+            power_state,
+            carrier_ref: carrier_ref.to_vec(),
+        });
+        // Rebuild the configuration record with the linking id.
+        let rebuilt = NdefRecordBuilder::new(configuration.tnf())
+            .record_type(configuration.record_type())
+            .id(carrier_ref)
+            .payload(configuration.payload().to_vec())
+            .build()
+            .expect("existing record stays valid with a new id");
+        self.carrier_records.push(rebuilt);
+        self
+    }
+
+    /// The offered carriers.
+    pub fn carriers(&self) -> &[AlternativeCarrier] {
+        &self.carriers
+    }
+
+    /// Encodes the complete top-level message: the `Hs` record followed
+    /// by every carrier configuration record.
+    ///
+    /// # Errors
+    ///
+    /// [`NdefError`] when a record exceeds wire limits.
+    pub fn to_message(&self) -> Result<NdefMessage, NdefError> {
+        let mut nested = Vec::with_capacity(self.carriers.len());
+        for carrier in &self.carriers {
+            nested.push(carrier.to_record()?);
+        }
+        let mut payload = vec![HANDOVER_VERSION];
+        payload.extend_from_slice(&NdefMessage::new(nested).to_bytes());
+        let mut records = vec![NdefRecord::well_known(HandoverSelect::TYPE, payload)?];
+        records.extend(self.carrier_records.iter().cloned());
+        Ok(NdefMessage::new(records))
+    }
+
+    /// Decodes a handover select offer from a top-level message whose
+    /// first record is `Hs`.
+    ///
+    /// # Errors
+    ///
+    /// [`NdefError::MalformedRtd`] on structural violations. Versions
+    /// other than 1.x are rejected (the specification demands major-
+    /// version agreement).
+    pub fn from_message(message: &NdefMessage) -> Result<HandoverSelect, NdefError> {
+        let record = message.first();
+        if record.tnf() != Tnf::WellKnown || record.record_type() != HandoverSelect::TYPE {
+            return Err(NdefError::MalformedRtd { detail: "not a handover select record" });
+        }
+        let payload = record.payload();
+        let Some((&version, nested_bytes)) = payload.split_first() else {
+            return Err(NdefError::MalformedRtd { detail: "handover payload missing version" });
+        };
+        if version >> 4 != HANDOVER_VERSION >> 4 {
+            return Err(NdefError::MalformedRtd { detail: "unsupported handover major version" });
+        }
+        let nested = NdefMessage::parse(nested_bytes)
+            .map_err(|_| NdefError::MalformedRtd { detail: "nested handover message unparseable" })?;
+        let mut carriers = Vec::new();
+        for sub in nested.records() {
+            if sub.tnf() == Tnf::WellKnown && sub.record_type() == b"ac" {
+                carriers.push(AlternativeCarrier::from_record(sub)?);
+            }
+            // Other nested records (collision resolution, errors) are
+            // ignored by a selector-side reader.
+        }
+        let carrier_records = message.records()[1..].to_vec();
+        Ok(HandoverSelect { carriers, carrier_records })
+    }
+
+    /// Resolves a carrier reference to its configuration record in the
+    /// top-level `message`.
+    pub fn configuration_for<'m>(
+        &self,
+        message: &'m NdefMessage,
+        carrier_ref: &[u8],
+    ) -> Option<&'m NdefRecord> {
+        message.iter().find(|r| r.id() == carrier_ref)
+    }
+
+    /// Convenience: the first WiFi credential offered, if any.
+    pub fn wifi_credential(&self, message: &NdefMessage) -> Option<WifiCredential> {
+        self.carriers.iter().find_map(|carrier| {
+            let record = self.configuration_for(message, &carrier.carrier_ref)?;
+            WifiCredential::from_record(record).ok()
+        })
+    }
+}
+
+/// WiFi Simple Configuration attribute: SSID.
+const WSC_ATTR_SSID: u16 = 0x1045;
+/// WiFi Simple Configuration attribute: network key.
+const WSC_ATTR_NETWORK_KEY: u16 = 0x1027;
+/// The MIME type of WiFi Simple Configuration carrier records.
+pub const WSC_MIME: &str = "application/vnd.wfa.wsc";
+
+/// A WiFi credential in (simplified) **WiFi Simple Configuration** TLV
+/// form — the carrier configuration payload Android actually writes when
+/// sharing a network over NFC.
+///
+/// Only the SSID and network-key attributes are modeled; unknown
+/// attributes are skipped on decode, as the WSC spec requires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WifiCredential {
+    ssid: String,
+    network_key: String,
+}
+
+impl WifiCredential {
+    /// Creates a credential.
+    pub fn new(ssid: &str, network_key: &str) -> WifiCredential {
+        WifiCredential { ssid: ssid.to_owned(), network_key: network_key.to_owned() }
+    }
+
+    /// The network name.
+    pub fn ssid(&self) -> &str {
+        &self.ssid
+    }
+
+    /// The network key.
+    pub fn network_key(&self) -> &str {
+        &self.network_key
+    }
+
+    fn push_attr(out: &mut Vec<u8>, attr: u16, value: &[u8]) {
+        out.extend_from_slice(&attr.to_be_bytes());
+        out.extend_from_slice(&(value.len() as u16).to_be_bytes());
+        out.extend_from_slice(value);
+    }
+
+    /// Encodes as a WSC MIME record carrying `id` (the handover linking
+    /// id).
+    ///
+    /// # Errors
+    ///
+    /// [`NdefError`] when the credential exceeds record limits.
+    pub fn to_record(&self, id: &[u8]) -> Result<NdefRecord, NdefError> {
+        let mut payload = Vec::new();
+        WifiCredential::push_attr(&mut payload, WSC_ATTR_SSID, self.ssid.as_bytes());
+        WifiCredential::push_attr(&mut payload, WSC_ATTR_NETWORK_KEY, self.network_key.as_bytes());
+        NdefRecordBuilder::new(Tnf::MimeMedia)
+            .record_type(WSC_MIME.as_bytes())
+            .id(id)
+            .payload(payload)
+            .build()
+    }
+
+    /// Decodes from a WSC MIME record, skipping unknown attributes.
+    ///
+    /// # Errors
+    ///
+    /// [`NdefError::MalformedRtd`] on wrong record kind, truncated TLVs,
+    /// or a missing SSID; [`NdefError::InvalidUtf8`] on non-UTF-8 values.
+    pub fn from_record(record: &NdefRecord) -> Result<WifiCredential, NdefError> {
+        if !record.is_mime(WSC_MIME) {
+            return Err(NdefError::MalformedRtd { detail: "not a WSC carrier record" });
+        }
+        let payload = record.payload();
+        let mut ssid = None;
+        let mut network_key = String::new();
+        let mut i = 0usize;
+        while i < payload.len() {
+            if i + 4 > payload.len() {
+                return Err(NdefError::MalformedRtd { detail: "truncated WSC attribute header" });
+            }
+            let attr = u16::from_be_bytes([payload[i], payload[i + 1]]);
+            let len = u16::from_be_bytes([payload[i + 2], payload[i + 3]]) as usize;
+            let start = i + 4;
+            let end = start + len;
+            if end > payload.len() {
+                return Err(NdefError::MalformedRtd { detail: "truncated WSC attribute value" });
+            }
+            let value = &payload[start..end];
+            match attr {
+                WSC_ATTR_SSID => {
+                    ssid = Some(
+                        std::str::from_utf8(value).map_err(|_| NdefError::InvalidUtf8)?.to_owned(),
+                    );
+                }
+                WSC_ATTR_NETWORK_KEY => {
+                    network_key =
+                        std::str::from_utf8(value).map_err(|_| NdefError::InvalidUtf8)?.to_owned();
+                }
+                _ => {} // unknown attribute: skip
+            }
+            i = end;
+        }
+        let ssid = ssid.ok_or(NdefError::MalformedRtd { detail: "WSC payload missing SSID" })?;
+        Ok(WifiCredential { ssid, network_key })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_wifi_carrier_round_trips() {
+        let wifi = WifiCredential::new("lab-net", "hunter2");
+        let message = HandoverSelect::new()
+            .with_carrier(CarrierPowerState::Active, b"w0", wifi.to_record(b"w0").unwrap())
+            .to_message()
+            .unwrap();
+        // Survives the wire format.
+        let wire = message.to_bytes();
+        let parsed_message = NdefMessage::parse(&wire).unwrap();
+        let select = HandoverSelect::from_message(&parsed_message).unwrap();
+        assert_eq!(select.carriers().len(), 1);
+        assert_eq!(select.carriers()[0].power_state, CarrierPowerState::Active);
+        assert_eq!(select.wifi_credential(&parsed_message).unwrap(), wifi);
+    }
+
+    #[test]
+    fn multiple_carriers_resolve_by_reference() {
+        let wifi_a = WifiCredential::new("net-a", "ka");
+        let wifi_b = WifiCredential::new("net-b", "kb");
+        let message = HandoverSelect::new()
+            .with_carrier(CarrierPowerState::Activating, b"a", wifi_a.to_record(b"a").unwrap())
+            .with_carrier(CarrierPowerState::Active, b"b", wifi_b.to_record(b"b").unwrap())
+            .to_message()
+            .unwrap();
+        let select = HandoverSelect::from_message(&message).unwrap();
+        assert_eq!(select.carriers().len(), 2);
+        let config_b = select.configuration_for(&message, b"b").unwrap();
+        assert_eq!(WifiCredential::from_record(config_b).unwrap(), wifi_b);
+        // First WiFi credential is the first listed carrier.
+        assert_eq!(select.wifi_credential(&message).unwrap(), wifi_a);
+    }
+
+    #[test]
+    fn power_states_round_trip() {
+        for cps in [
+            CarrierPowerState::Inactive,
+            CarrierPowerState::Active,
+            CarrierPowerState::Activating,
+            CarrierPowerState::Unknown,
+        ] {
+            let ac = AlternativeCarrier { power_state: cps, carrier_ref: b"x".to_vec() };
+            let back = AlternativeCarrier::from_record(&ac.to_record().unwrap()).unwrap();
+            assert_eq!(back, ac);
+        }
+    }
+
+    #[test]
+    fn wrong_major_version_is_rejected() {
+        let mut payload = vec![0x21]; // version 2.1
+        payload.extend_from_slice(&NdefMessage::empty_tag().to_bytes());
+        let message =
+            NdefMessage::single(NdefRecord::well_known(b"Hs", payload).unwrap());
+        assert!(matches!(
+            HandoverSelect::from_message(&message).unwrap_err(),
+            NdefError::MalformedRtd { .. }
+        ));
+        // Same major, different minor: accepted.
+        let mut payload = vec![0x12]; // version 1.2
+        payload.extend_from_slice(&NdefMessage::empty_tag().to_bytes());
+        let message =
+            NdefMessage::single(NdefRecord::well_known(b"Hs", payload).unwrap());
+        assert!(HandoverSelect::from_message(&message).is_ok());
+    }
+
+    #[test]
+    fn malformed_structures_are_rejected() {
+        // Not an Hs record at all.
+        let message = NdefMessage::single(NdefRecord::mime("a/b", vec![]).unwrap());
+        assert!(HandoverSelect::from_message(&message).is_err());
+        // Empty payload.
+        let message = NdefMessage::single(NdefRecord::well_known(b"Hs", vec![]).unwrap());
+        assert!(HandoverSelect::from_message(&message).is_err());
+        // Truncated ac record.
+        assert!(AlternativeCarrier::from_record(
+            &NdefRecord::well_known(b"ac", vec![0x01]).unwrap()
+        )
+        .is_err());
+        assert!(AlternativeCarrier::from_record(
+            &NdefRecord::well_known(b"ac", vec![0x01, 0x05, b'x']).unwrap()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn wsc_skips_unknown_attributes_and_validates() {
+        // Unknown attribute (0x1003) before the SSID.
+        let mut payload = Vec::new();
+        WifiCredential::push_attr(&mut payload, 0x1003, &[1, 2, 3]);
+        WifiCredential::push_attr(&mut payload, WSC_ATTR_SSID, b"net");
+        let record = NdefRecordBuilder::new(Tnf::MimeMedia)
+            .record_type(WSC_MIME.as_bytes())
+            .payload(payload)
+            .build()
+            .unwrap();
+        let credential = WifiCredential::from_record(&record).unwrap();
+        assert_eq!(credential.ssid(), "net");
+        assert_eq!(credential.network_key(), "");
+
+        // Missing SSID.
+        let mut payload = Vec::new();
+        WifiCredential::push_attr(&mut payload, WSC_ATTR_NETWORK_KEY, b"k");
+        let record = NdefRecord::mime(WSC_MIME, payload).unwrap();
+        assert!(WifiCredential::from_record(&record).is_err());
+
+        // Truncated header / value.
+        let record = NdefRecord::mime(WSC_MIME, vec![0x10]).unwrap();
+        assert!(WifiCredential::from_record(&record).is_err());
+        let record = NdefRecord::mime(WSC_MIME, vec![0x10, 0x45, 0x00, 0x09, b'x']).unwrap();
+        assert!(WifiCredential::from_record(&record).is_err());
+
+        // Wrong mime.
+        let record = NdefRecord::mime("a/b", vec![]).unwrap();
+        assert!(WifiCredential::from_record(&record).is_err());
+    }
+}

@@ -1,0 +1,25 @@
+//! NFC Forum *Record Type Definitions* (RTDs).
+//!
+//! These are the well-known record types (`Tnf::WellKnown`) that mainstream
+//! NFC applications actually store on tags: human-readable text
+//! ([`TextRecord`]), URIs with the standard abbreviation table
+//! ([`UriRecord`]), and composite smart posters ([`SmartPoster`]).
+//!
+//! Each RTD offers `to_record` / `from_record` conversions so applications
+//! and the MORENA converter layer can move between typed values and raw
+//! [`crate::NdefRecord`]s.
+
+mod aar;
+mod handover;
+mod smart_poster;
+mod text;
+mod uri;
+
+pub use aar::AndroidApplicationRecord;
+pub use handover::{
+    AlternativeCarrier, CarrierPowerState, HandoverSelect, WifiCredential, HANDOVER_VERSION,
+    WSC_MIME,
+};
+pub use smart_poster::{PosterAction, SmartPoster};
+pub use text::{TextEncoding, TextRecord};
+pub use uri::UriRecord;

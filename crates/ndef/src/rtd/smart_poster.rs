@@ -1,0 +1,259 @@
+use crate::message::NdefMessage;
+use crate::record::{NdefRecord, Tnf};
+use crate::rtd::{TextRecord, UriRecord};
+use crate::NdefError;
+
+/// The recommended action of a smart poster (`"act"` sub-record).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum PosterAction {
+    /// `0x00` — perform the action immediately (open the URI, dial, …).
+    #[default]
+    Execute = 0x00,
+    /// `0x01` — save the content for later.
+    Save = 0x01,
+    /// `0x02` — open the content for editing.
+    Edit = 0x02,
+}
+
+impl PosterAction {
+    fn from_byte(byte: u8) -> Result<PosterAction, NdefError> {
+        match byte {
+            0x00 => Ok(PosterAction::Execute),
+            0x01 => Ok(PosterAction::Save),
+            0x02 => Ok(PosterAction::Edit),
+            _ => Err(NdefError::MalformedRtd { detail: "unknown smart poster action" }),
+        }
+    }
+}
+
+/// An NFC Forum RTD Smart Poster (`"Sp"`): a URI bundled with optional
+/// titles and a recommended action, encoded as a nested NDEF message.
+///
+/// # Examples
+///
+/// ```
+/// use morena_ndef::rtd::{PosterAction, SmartPoster};
+///
+/// # fn main() -> Result<(), morena_ndef::NdefError> {
+/// let poster = SmartPoster::new("https://example.com/menu")
+///     .with_title("en", "Today's menu")
+///     .with_action(PosterAction::Execute);
+/// let record = poster.to_record();
+/// let back = SmartPoster::from_record(&record)?;
+/// assert_eq!(back.uri(), "https://example.com/menu");
+/// assert_eq!(back.title_for("en"), Some("Today's menu"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmartPoster {
+    uri: UriRecord,
+    titles: Vec<TextRecord>,
+    action: Option<PosterAction>,
+}
+
+impl SmartPoster {
+    /// The RTD type name for smart posters.
+    pub const TYPE: &'static [u8] = b"Sp";
+
+    /// Creates a smart poster around `uri` with no titles and no action.
+    pub fn new(uri: &str) -> SmartPoster {
+        SmartPoster { uri: UriRecord::new(uri), titles: Vec::new(), action: None }
+    }
+
+    /// Adds a language-tagged title (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid language code, like [`TextRecord::new`].
+    pub fn with_title(mut self, language: &str, title: &str) -> SmartPoster {
+        self.titles.push(TextRecord::new(language, title));
+        self
+    }
+
+    /// Sets the recommended action (builder style).
+    pub fn with_action(mut self, action: PosterAction) -> SmartPoster {
+        self.action = Some(action);
+        self
+    }
+
+    /// The poster's URI.
+    pub fn uri(&self) -> &str {
+        self.uri.uri()
+    }
+
+    /// All titles, in insertion order.
+    pub fn titles(&self) -> &[TextRecord] {
+        &self.titles
+    }
+
+    /// The title for an exact language code, when present.
+    pub fn title_for(&self, language: &str) -> Option<&str> {
+        self.titles.iter().find(|t| t.language() == language).map(TextRecord::text)
+    }
+
+    /// The recommended action, when present.
+    pub fn action(&self) -> Option<PosterAction> {
+        self.action
+    }
+
+    /// Encodes as an [`NdefRecord`] of well-known type `"Sp"` whose payload
+    /// is a nested NDEF message.
+    pub fn to_record(&self) -> NdefRecord {
+        let mut records = Vec::with_capacity(2 + self.titles.len());
+        records.push(self.uri.to_record());
+        for title in &self.titles {
+            records.push(title.to_record());
+        }
+        if let Some(action) = self.action {
+            records.push(
+                NdefRecord::well_known(b"act", vec![action as u8])
+                    .expect("action payload within limits"),
+            );
+        }
+        let nested = NdefMessage::new(records);
+        NdefRecord::well_known(SmartPoster::TYPE, nested.to_bytes())
+            .expect("poster payload within limits")
+    }
+
+    /// Decodes from a well-known `"Sp"` [`NdefRecord`].
+    ///
+    /// Unknown sub-records (e.g. icons, `"s"` size hints) are ignored, as
+    /// the specification instructs readers to do.
+    ///
+    /// # Errors
+    ///
+    /// [`NdefError::MalformedRtd`] when the record is not a smart poster,
+    /// its nested message does not parse, or it lacks the mandatory URI
+    /// sub-record.
+    pub fn from_record(record: &NdefRecord) -> Result<SmartPoster, NdefError> {
+        if record.tnf() != Tnf::WellKnown || record.record_type() != SmartPoster::TYPE {
+            return Err(NdefError::MalformedRtd { detail: "not an RTD Smart Poster record" });
+        }
+        let nested = NdefMessage::parse(record.payload())
+            .map_err(|_| NdefError::MalformedRtd { detail: "nested poster message unparseable" })?;
+        let mut uri = None;
+        let mut titles = Vec::new();
+        let mut action = None;
+        for sub in nested.records() {
+            if sub.tnf() != Tnf::WellKnown {
+                continue;
+            }
+            match sub.record_type() {
+                b"U" => {
+                    if uri.is_none() {
+                        uri = Some(UriRecord::from_record(sub)?);
+                    } else {
+                        return Err(NdefError::MalformedRtd {
+                            detail: "smart poster with multiple URI sub-records",
+                        });
+                    }
+                }
+                b"T" => titles.push(TextRecord::from_record(sub)?),
+                b"act" => {
+                    let byte = *sub.payload().first().ok_or(NdefError::MalformedRtd {
+                        detail: "empty smart poster action payload",
+                    })?;
+                    action = Some(PosterAction::from_byte(byte)?);
+                }
+                _ => {}
+            }
+        }
+        let uri = uri.ok_or(NdefError::MalformedRtd { detail: "smart poster missing URI" })?;
+        Ok(SmartPoster { uri, titles, action })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_poster_round_trips() {
+        let poster = SmartPoster::new("https://example.com");
+        let back = SmartPoster::from_record(&poster.to_record()).unwrap();
+        assert_eq!(back, poster);
+        assert_eq!(back.action(), None);
+        assert!(back.titles().is_empty());
+    }
+
+    #[test]
+    fn full_poster_round_trips() {
+        let poster = SmartPoster::new("tel:+3225551234")
+            .with_title("en", "Call us")
+            .with_title("nl", "Bel ons")
+            .with_action(PosterAction::Save);
+        let back = SmartPoster::from_record(&poster.to_record()).unwrap();
+        assert_eq!(back, poster);
+        assert_eq!(back.title_for("nl"), Some("Bel ons"));
+        assert_eq!(back.title_for("fr"), None);
+        assert_eq!(back.action(), Some(PosterAction::Save));
+    }
+
+    #[test]
+    fn unknown_sub_records_are_ignored() {
+        let nested = NdefMessage::new(vec![
+            UriRecord::new("https://e.com").to_record(),
+            NdefRecord::well_known(b"s", vec![0, 0, 1, 0]).unwrap(),
+            NdefRecord::mime("image/png", vec![1, 2, 3]).unwrap(),
+        ]);
+        let record = NdefRecord::well_known(b"Sp", nested.to_bytes()).unwrap();
+        let poster = SmartPoster::from_record(&record).unwrap();
+        assert_eq!(poster.uri(), "https://e.com");
+    }
+
+    #[test]
+    fn missing_uri_is_rejected() {
+        let nested = NdefMessage::new(vec![TextRecord::new("en", "no uri").to_record()]);
+        let record = NdefRecord::well_known(b"Sp", nested.to_bytes()).unwrap();
+        assert!(matches!(
+            SmartPoster::from_record(&record).unwrap_err(),
+            NdefError::MalformedRtd { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_uri_is_rejected() {
+        let nested = NdefMessage::new(vec![
+            UriRecord::new("https://a.com").to_record(),
+            UriRecord::new("https://b.com").to_record(),
+        ]);
+        let record = NdefRecord::well_known(b"Sp", nested.to_bytes()).unwrap();
+        assert!(matches!(
+            SmartPoster::from_record(&record).unwrap_err(),
+            NdefError::MalformedRtd { .. }
+        ));
+    }
+
+    #[test]
+    fn bad_nested_payload_is_rejected() {
+        let record = NdefRecord::well_known(b"Sp", vec![0xFF, 0x00]).unwrap();
+        assert!(matches!(
+            SmartPoster::from_record(&record).unwrap_err(),
+            NdefError::MalformedRtd { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_action_byte_is_rejected() {
+        let nested = NdefMessage::new(vec![
+            UriRecord::new("https://e.com").to_record(),
+            NdefRecord::well_known(b"act", vec![0x09]).unwrap(),
+        ]);
+        let record = NdefRecord::well_known(b"Sp", nested.to_bytes()).unwrap();
+        assert!(matches!(
+            SmartPoster::from_record(&record).unwrap_err(),
+            NdefError::MalformedRtd { .. }
+        ));
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let r = NdefRecord::mime("a/b", vec![]).unwrap();
+        assert!(matches!(
+            SmartPoster::from_record(&r).unwrap_err(),
+            NdefError::MalformedRtd { .. }
+        ));
+    }
+}

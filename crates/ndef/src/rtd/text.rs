@@ -1,0 +1,276 @@
+use crate::record::{NdefRecord, Tnf};
+use crate::NdefError;
+
+/// Character encoding of an RTD Text record, stored in bit 7 of the status
+/// byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TextEncoding {
+    /// UTF-8 (status bit clear) — the overwhelmingly common case.
+    #[default]
+    Utf8,
+    /// UTF-16 with byte-order mark (status bit set).
+    ///
+    /// This implementation stores and reads UTF-16 payloads as big-endian
+    /// when no BOM is present, matching the specification's default.
+    Utf16,
+}
+
+/// An NFC Forum RTD Text record (`"T"`): a language-tagged string.
+///
+/// Wire layout: one status byte (bit 7 = UTF-16 flag, bits 5..0 = language
+/// code length), the IANA language code, then the text.
+///
+/// # Examples
+///
+/// ```
+/// use morena_ndef::rtd::TextRecord;
+///
+/// # fn main() -> Result<(), morena_ndef::NdefError> {
+/// let record = TextRecord::new("en", "Hello").to_record();
+/// let back = TextRecord::from_record(&record)?;
+/// assert_eq!(back.text(), "Hello");
+/// assert_eq!(back.language(), "en");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TextRecord {
+    language: String,
+    text: String,
+    encoding: TextEncoding,
+}
+
+impl TextRecord {
+    /// The RTD type name for text records.
+    pub const TYPE: &'static [u8] = b"T";
+
+    /// Creates a UTF-8 text record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `language` is empty or longer than 63 bytes (the status
+    /// byte cannot represent it). Use [`TextRecord::try_new`] to handle the
+    /// error instead.
+    pub fn new(language: &str, text: &str) -> TextRecord {
+        TextRecord::try_new(language, text, TextEncoding::Utf8)
+            .expect("language code must be 1..=63 bytes")
+    }
+
+    /// Creates a text record, validating the language code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NdefError::BadLanguageCode`] when `language` is empty or
+    /// longer than 63 bytes.
+    pub fn try_new(
+        language: &str,
+        text: &str,
+        encoding: TextEncoding,
+    ) -> Result<TextRecord, NdefError> {
+        if language.is_empty() || language.len() > 63 {
+            return Err(NdefError::BadLanguageCode);
+        }
+        Ok(TextRecord {
+            language: language.to_owned(),
+            text: text.to_owned(),
+            encoding,
+        })
+    }
+
+    /// The IANA language code, e.g. `"en"` or `"nl-BE"`.
+    pub fn language(&self) -> &str {
+        &self.language
+    }
+
+    /// The text content.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The character encoding used on the wire.
+    pub fn encoding(&self) -> TextEncoding {
+        self.encoding
+    }
+
+    /// Encodes this text as an [`NdefRecord`] of well-known type `"T"`.
+    pub fn to_record(&self) -> NdefRecord {
+        let mut payload = Vec::with_capacity(1 + self.language.len() + self.text.len());
+        let mut status = self.language.len() as u8;
+        if self.encoding == TextEncoding::Utf16 {
+            status |= 0x80;
+        }
+        payload.push(status);
+        payload.extend_from_slice(self.language.as_bytes());
+        match self.encoding {
+            TextEncoding::Utf8 => payload.extend_from_slice(self.text.as_bytes()),
+            TextEncoding::Utf16 => {
+                // Emit an explicit big-endian BOM (the specification's
+                // recommendation). Without it a text beginning with U+FEFF
+                // would be indistinguishable from a BOM on decode.
+                payload.extend_from_slice(&[0xFE, 0xFF]);
+                for unit in self.text.encode_utf16() {
+                    payload.extend_from_slice(&unit.to_be_bytes());
+                }
+            }
+        }
+        NdefRecord::well_known(TextRecord::TYPE, payload)
+            .expect("text payload within limits")
+    }
+
+    /// Decodes a text record from a well-known `"T"` [`NdefRecord`].
+    ///
+    /// # Errors
+    ///
+    /// * [`NdefError::MalformedRtd`] — wrong TNF/type, truncated payload,
+    ///   or a language length exceeding the payload.
+    /// * [`NdefError::InvalidUtf8`] — text bytes that do not decode.
+    pub fn from_record(record: &NdefRecord) -> Result<TextRecord, NdefError> {
+        if record.tnf() != Tnf::WellKnown || record.record_type() != TextRecord::TYPE {
+            return Err(NdefError::MalformedRtd { detail: "not an RTD Text record" });
+        }
+        let payload = record.payload();
+        let status = *payload
+            .first()
+            .ok_or(NdefError::MalformedRtd { detail: "text payload missing status byte" })?;
+        let lang_len = (status & 0x3F) as usize;
+        if lang_len == 0 {
+            return Err(NdefError::BadLanguageCode);
+        }
+        if payload.len() < 1 + lang_len {
+            return Err(NdefError::MalformedRtd { detail: "language code truncated" });
+        }
+        let language = std::str::from_utf8(&payload[1..1 + lang_len])
+            .map_err(|_| NdefError::InvalidUtf8)?
+            .to_owned();
+        let body = &payload[1 + lang_len..];
+        let (text, encoding) = if status & 0x80 != 0 {
+            (decode_utf16_be(body)?, TextEncoding::Utf16)
+        } else {
+            (
+                std::str::from_utf8(body).map_err(|_| NdefError::InvalidUtf8)?.to_owned(),
+                TextEncoding::Utf8,
+            )
+        };
+        Ok(TextRecord { language, text, encoding })
+    }
+}
+
+fn decode_utf16_be(body: &[u8]) -> Result<String, NdefError> {
+    if !body.len().is_multiple_of(2) {
+        return Err(NdefError::MalformedRtd { detail: "odd UTF-16 payload length" });
+    }
+    // Honor a byte-order mark when present; default to big-endian.
+    let (units, little) = match body {
+        [0xFE, 0xFF, rest @ ..] => (rest, false),
+        [0xFF, 0xFE, rest @ ..] => (rest, true),
+        rest => (rest, false),
+    };
+    let decoded: Vec<u16> = units
+        .chunks_exact(2)
+        .map(|pair| {
+            if little {
+                u16::from_le_bytes([pair[0], pair[1]])
+            } else {
+                u16::from_be_bytes([pair[0], pair[1]])
+            }
+        })
+        .collect();
+    String::from_utf16(&decoded).map_err(|_| NdefError::InvalidUtf8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utf8_round_trip() {
+        let t = TextRecord::new("en", "hello, wörld ✓");
+        let back = TextRecord::from_record(&t.to_record()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn utf16_round_trip() {
+        let t = TextRecord::try_new("nl-BE", "smiley \u{1F600}", TextEncoding::Utf16).unwrap();
+        let back = TextRecord::from_record(&t.to_record()).unwrap();
+        assert_eq!(back.text(), t.text());
+        assert_eq!(back.encoding(), TextEncoding::Utf16);
+    }
+
+    #[test]
+    fn utf16_bom_variants_decode() {
+        // "hi" in UTF-16BE with BOM.
+        let mut payload = vec![0x82, b'e', b'n'];
+        payload.extend_from_slice(&[0xFE, 0xFF, 0x00, b'h', 0x00, b'i']);
+        let r = NdefRecord::well_known(b"T", payload).unwrap();
+        assert_eq!(TextRecord::from_record(&r).unwrap().text(), "hi");
+        // Little-endian BOM.
+        let mut payload = vec![0x82, b'e', b'n'];
+        payload.extend_from_slice(&[0xFF, 0xFE, b'h', 0x00, b'i', 0x00]);
+        let r = NdefRecord::well_known(b"T", payload).unwrap();
+        assert_eq!(TextRecord::from_record(&r).unwrap().text(), "hi");
+    }
+
+    #[test]
+    fn bad_language_codes_rejected() {
+        assert_eq!(
+            TextRecord::try_new("", "x", TextEncoding::Utf8).unwrap_err(),
+            NdefError::BadLanguageCode
+        );
+        let long = "a".repeat(64);
+        assert_eq!(
+            TextRecord::try_new(&long, "x", TextEncoding::Utf8).unwrap_err(),
+            NdefError::BadLanguageCode
+        );
+        assert!(TextRecord::try_new(&"a".repeat(63), "x", TextEncoding::Utf8).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "language code")]
+    fn new_panics_on_bad_language() {
+        TextRecord::new("", "x");
+    }
+
+    #[test]
+    fn from_record_rejects_wrong_type() {
+        let r = NdefRecord::mime("text/plain", b"x".to_vec()).unwrap();
+        assert!(matches!(
+            TextRecord::from_record(&r).unwrap_err(),
+            NdefError::MalformedRtd { .. }
+        ));
+    }
+
+    #[test]
+    fn from_record_rejects_truncated_payloads() {
+        let empty = NdefRecord::well_known(b"T", vec![]).unwrap();
+        assert!(TextRecord::from_record(&empty).is_err());
+        // Status claims a 5-byte language but only 2 bytes follow.
+        let short = NdefRecord::well_known(b"T", vec![0x05, b'e', b'n']).unwrap();
+        assert!(matches!(
+            TextRecord::from_record(&short).unwrap_err(),
+            NdefError::MalformedRtd { .. }
+        ));
+    }
+
+    #[test]
+    fn from_record_rejects_invalid_utf8_text() {
+        let r = NdefRecord::well_known(b"T", vec![0x02, b'e', b'n', 0xFF, 0xFE, 0xFD]).unwrap();
+        // 0xFF 0xFE 0xFD is not valid UTF-8.
+        assert_eq!(TextRecord::from_record(&r).unwrap_err(), NdefError::InvalidUtf8);
+    }
+
+    #[test]
+    fn odd_utf16_length_rejected() {
+        let r = NdefRecord::well_known(b"T", vec![0x82, b'e', b'n', 0x00]).unwrap();
+        assert!(matches!(
+            TextRecord::from_record(&r).unwrap_err(),
+            NdefError::MalformedRtd { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_text_is_fine() {
+        let t = TextRecord::new("en", "");
+        assert_eq!(TextRecord::from_record(&t.to_record()).unwrap().text(), "");
+    }
+}

@@ -1,0 +1,212 @@
+use crate::record::{NdefRecord, Tnf};
+use crate::NdefError;
+
+/// The NFC Forum URI abbreviation table: index = identifier code byte.
+///
+/// Code `0x00` means "no abbreviation"; codes above the table are reserved
+/// and decoded as if they were `0x00`, per the specification's guidance.
+const URI_PREFIXES: [&str; 36] = [
+    "",
+    "http://www.",
+    "https://www.",
+    "http://",
+    "https://",
+    "tel:",
+    "mailto:",
+    "ftp://anonymous:anonymous@",
+    "ftp://ftp.",
+    "ftps://",
+    "sftp://",
+    "smb://",
+    "nfs://",
+    "ftp://",
+    "dav://",
+    "news:",
+    "telnet://",
+    "imap:",
+    "rtsp://",
+    "urn:",
+    "pop:",
+    "sip:",
+    "sips:",
+    "tftp:",
+    "btspp://",
+    "btl2cap://",
+    "btgoep://",
+    "tcpobex://",
+    "irdaobex://",
+    "file://",
+    "urn:epc:id:",
+    "urn:epc:tag:",
+    "urn:epc:pat:",
+    "urn:epc:raw:",
+    "urn:epc:",
+    "urn:nfc:",
+];
+
+/// An NFC Forum RTD URI record (`"U"`): a URI compressed with the standard
+/// prefix abbreviation table.
+///
+/// # Examples
+///
+/// ```
+/// use morena_ndef::rtd::UriRecord;
+///
+/// # fn main() -> Result<(), morena_ndef::NdefError> {
+/// let uri = UriRecord::new("https://www.example.com/menu");
+/// let record = uri.to_record();
+/// // "https://www." is stored as the single identifier byte 0x02.
+/// assert_eq!(record.payload()[0], 0x02);
+/// assert_eq!(UriRecord::from_record(&record)?.uri(), "https://www.example.com/menu");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct UriRecord {
+    uri: String,
+}
+
+impl UriRecord {
+    /// The RTD type name for URI records.
+    pub const TYPE: &'static [u8] = b"U";
+
+    /// Creates a URI record. The abbreviation table is applied at encode
+    /// time; the full URI is kept here.
+    pub fn new(uri: &str) -> UriRecord {
+        UriRecord { uri: uri.to_owned() }
+    }
+
+    /// The full, unabbreviated URI.
+    pub fn uri(&self) -> &str {
+        &self.uri
+    }
+
+    /// Returns the `(identifier_code, remainder)` this URI abbreviates to.
+    ///
+    /// The longest matching prefix wins, mirroring every deployed encoder.
+    pub fn abbreviate(&self) -> (u8, &str) {
+        let mut best = (0u8, self.uri.as_str());
+        for (code, prefix) in URI_PREFIXES.iter().enumerate().skip(1) {
+            if let Some(rest) = self.uri.strip_prefix(prefix) {
+                if prefix.len() > URI_PREFIXES[best.0 as usize].len() {
+                    best = (code as u8, rest);
+                }
+            }
+        }
+        best
+    }
+
+    /// Encodes as an [`NdefRecord`] of well-known type `"U"`.
+    pub fn to_record(&self) -> NdefRecord {
+        let (code, rest) = self.abbreviate();
+        let mut payload = Vec::with_capacity(1 + rest.len());
+        payload.push(code);
+        payload.extend_from_slice(rest.as_bytes());
+        NdefRecord::well_known(UriRecord::TYPE, payload).expect("uri payload within limits")
+    }
+
+    /// Decodes from a well-known `"U"` [`NdefRecord`].
+    ///
+    /// Reserved identifier codes (>= `0x24`) are treated as `0x00`
+    /// ("no prefix"), per the specification.
+    ///
+    /// # Errors
+    ///
+    /// * [`NdefError::MalformedRtd`] — wrong TNF/type or empty payload.
+    /// * [`NdefError::InvalidUtf8`] — remainder bytes that do not decode.
+    pub fn from_record(record: &NdefRecord) -> Result<UriRecord, NdefError> {
+        if record.tnf() != Tnf::WellKnown || record.record_type() != UriRecord::TYPE {
+            return Err(NdefError::MalformedRtd { detail: "not an RTD URI record" });
+        }
+        let payload = record.payload();
+        let code = *payload
+            .first()
+            .ok_or(NdefError::MalformedRtd { detail: "uri payload missing identifier byte" })?;
+        let prefix = URI_PREFIXES.get(code as usize).copied().unwrap_or("");
+        let rest =
+            std::str::from_utf8(&payload[1..]).map_err(|_| NdefError::InvalidUtf8)?;
+        Ok(UriRecord { uri: format!("{prefix}{rest}") })
+    }
+}
+
+impl std::fmt::Display for UriRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.uri)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_prefix_round_trips() {
+        for (code, prefix) in URI_PREFIXES.iter().enumerate().skip(1) {
+            let uri = format!("{prefix}path/{code}");
+            let record = UriRecord::new(&uri).to_record();
+            assert_eq!(
+                UriRecord::from_record(&record).unwrap().uri(),
+                uri,
+                "prefix {prefix:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        // "https://www." (0x02) must beat "https://" (0x04).
+        let uri = UriRecord::new("https://www.example.com");
+        let (code, rest) = uri.abbreviate();
+        assert_eq!(code, 0x02);
+        assert_eq!(rest, "example.com");
+        // "urn:epc:id:" (0x1E) must beat "urn:" (0x13) and "urn:epc:" (0x22).
+        let uri = UriRecord::new("urn:epc:id:sgtin:1");
+        let (code, rest) = uri.abbreviate();
+        assert_eq!(code, 0x1E);
+        assert_eq!(rest, "sgtin:1");
+    }
+
+    #[test]
+    fn unknown_scheme_uses_code_zero() {
+        let uri = UriRecord::new("geo:50.85,4.35");
+        let (code, rest) = uri.abbreviate();
+        assert_eq!(code, 0);
+        assert_eq!(rest, "geo:50.85,4.35");
+        let record = UriRecord::new("geo:50.85,4.35").to_record();
+        assert_eq!(UriRecord::from_record(&record).unwrap().uri(), "geo:50.85,4.35");
+    }
+
+    #[test]
+    fn reserved_codes_decode_as_no_prefix() {
+        let r = NdefRecord::well_known(b"U", vec![0x7F, b'x', b'y']).unwrap();
+        assert_eq!(UriRecord::from_record(&r).unwrap().uri(), "xy");
+    }
+
+    #[test]
+    fn rejects_wrong_record_kind() {
+        let r = NdefRecord::mime("text/plain", vec![0, b'a']).unwrap();
+        assert!(matches!(UriRecord::from_record(&r).unwrap_err(), NdefError::MalformedRtd { .. }));
+        let empty = NdefRecord::well_known(b"U", vec![]).unwrap();
+        assert!(matches!(
+            UriRecord::from_record(&empty).unwrap_err(),
+            NdefError::MalformedRtd { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_utf8_remainder() {
+        let r = NdefRecord::well_known(b"U", vec![0x01, 0xFF]).unwrap();
+        assert_eq!(UriRecord::from_record(&r).unwrap_err(), NdefError::InvalidUtf8);
+    }
+
+    #[test]
+    fn display_shows_full_uri() {
+        assert_eq!(UriRecord::new("tel:+3225551234").to_string(), "tel:+3225551234");
+    }
+
+    #[test]
+    fn empty_uri_round_trips() {
+        let record = UriRecord::new("").to_record();
+        assert_eq!(UriRecord::from_record(&record).unwrap().uri(), "");
+    }
+}

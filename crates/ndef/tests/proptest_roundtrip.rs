@@ -1,0 +1,133 @@
+//! Property-based tests for the NDEF codec: arbitrary well-formed messages
+//! must survive encode/decode (plain and chunked), and the decoder must
+//! never panic on arbitrary byte soup.
+
+use morena_ndef::rtd::{PosterAction, SmartPoster, TextEncoding, TextRecord, UriRecord};
+use morena_ndef::{NdefMessage, NdefRecord, NdefRecordBuilder, Tnf};
+use proptest::prelude::*;
+
+fn arb_tnf() -> impl Strategy<Value = Tnf> {
+    prop_oneof![
+        Just(Tnf::WellKnown),
+        Just(Tnf::MimeMedia),
+        Just(Tnf::AbsoluteUri),
+        Just(Tnf::External),
+        Just(Tnf::Unknown),
+        Just(Tnf::Empty),
+    ]
+}
+
+prop_compose! {
+    fn arb_record()(
+        tnf in arb_tnf(),
+        record_type in proptest::collection::vec(any::<u8>(), 0..40),
+        id in proptest::collection::vec(any::<u8>(), 0..20),
+        payload in proptest::collection::vec(any::<u8>(), 0..600),
+    ) -> NdefRecord {
+        // Normalize fields to satisfy the TNF structural rules rather than
+        // discarding candidates, so the space stays dense.
+        let (record_type, id, payload) = match tnf {
+            Tnf::Empty => (Vec::new(), Vec::new(), Vec::new()),
+            Tnf::Unknown => (Vec::new(), id, payload),
+            _ => (record_type, id, payload),
+        };
+        NdefRecord::new(tnf, record_type, id, payload).expect("normalized record is valid")
+    }
+}
+
+fn arb_message() -> impl Strategy<Value = NdefMessage> {
+    proptest::collection::vec(arb_record(), 1..6).prop_map(NdefMessage::new)
+}
+
+proptest! {
+    #[test]
+    fn encode_parse_round_trip(msg in arb_message()) {
+        let bytes = msg.to_bytes();
+        prop_assert_eq!(NdefMessage::parse(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn chunked_encode_parse_round_trip(msg in arb_message(), chunk in 1usize..700) {
+        let bytes = msg.to_bytes_chunked(chunk);
+        prop_assert_eq!(NdefMessage::parse(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn encoded_len_is_exact(msg in arb_message()) {
+        prop_assert_eq!(msg.encoded_len(), msg.to_bytes().len());
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Outcome may be Ok or Err; it must simply not panic.
+        let _ = NdefMessage::parse(&bytes);
+    }
+
+    #[test]
+    fn decoder_rejects_every_strict_prefix(msg in arb_message()) {
+        let bytes = msg.to_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert!(NdefMessage::parse(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn text_record_round_trip(
+        lang in "[a-z]{1,8}",
+        text in ".{0,120}",
+        utf16 in any::<bool>(),
+    ) {
+        let encoding = if utf16 { TextEncoding::Utf16 } else { TextEncoding::Utf8 };
+        let record = TextRecord::try_new(&lang, &text, encoding).unwrap();
+        let back = TextRecord::from_record(&record.to_record()).unwrap();
+        prop_assert_eq!(back.language(), lang.as_str());
+        prop_assert_eq!(back.text(), text.as_str());
+        prop_assert_eq!(back.encoding(), encoding);
+    }
+
+    #[test]
+    fn uri_record_round_trip(uri in "[ -~]{0,120}") {
+        let record = UriRecord::new(&uri).to_record();
+        let back = UriRecord::from_record(&record).unwrap();
+        prop_assert_eq!(back.uri(), uri.as_str());
+    }
+
+    #[test]
+    fn smart_poster_round_trip(
+        uri in "[ -~]{1,60}",
+        titles in proptest::collection::vec(("[a-z]{1,5}", ".{0,30}"), 0..3),
+        action in prop_oneof![
+            Just(None),
+            Just(Some(PosterAction::Execute)),
+            Just(Some(PosterAction::Save)),
+            Just(Some(PosterAction::Edit)),
+        ],
+    ) {
+        let mut poster = SmartPoster::new(&uri);
+        for (lang, title) in &titles {
+            poster = poster.with_title(lang, title);
+        }
+        if let Some(a) = action {
+            poster = poster.with_action(a);
+        }
+        let back = SmartPoster::from_record(&poster.to_record()).unwrap();
+        prop_assert_eq!(back, poster);
+    }
+
+    #[test]
+    fn builder_agrees_with_new(
+        record_type in proptest::collection::vec(any::<u8>(), 0..40),
+        id in proptest::collection::vec(any::<u8>(), 0..20),
+        payload in proptest::collection::vec(any::<u8>(), 0..100),
+    ) {
+        let via_builder = NdefRecordBuilder::new(Tnf::MimeMedia)
+            .record_type(&record_type)
+            .id(&id)
+            .payload(payload.clone())
+            .build()
+            .unwrap();
+        let via_new =
+            NdefRecord::new(Tnf::MimeMedia, record_type, id, payload).unwrap();
+        prop_assert_eq!(via_builder, via_new);
+    }
+}

@@ -1,0 +1,489 @@
+//! Time sources for the simulation and the middleware.
+//!
+//! Every component that sleeps, times out, or timestamps goes through the
+//! [`Clock`] trait so that tests can substitute a [`VirtualClock`] and make
+//! timeout behaviour deterministic, while examples and benchmarks run on
+//! the [`SystemClock`].
+
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A point on the simulation timeline, measured as nanoseconds since the
+/// clock's epoch (process start for [`SystemClock`], zero for
+/// [`VirtualClock`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimInstant {
+    nanos: u64,
+}
+
+impl SimInstant {
+    /// The zero instant (the clock epoch).
+    pub const EPOCH: SimInstant = SimInstant { nanos: 0 };
+
+    /// Builds an instant from nanoseconds since the epoch.
+    pub const fn from_nanos(nanos: u64) -> SimInstant {
+        SimInstant { nanos }
+    }
+
+    /// Nanoseconds since the epoch.
+    pub fn as_nanos(self) -> u64 {
+        self.nanos
+    }
+
+    /// The instant `d` later than `self`, saturating on overflow.
+    pub fn saturating_add(self, d: Duration) -> SimInstant {
+        SimInstant { nanos: self.nanos.saturating_add(d.as_nanos() as u64) }
+    }
+
+    /// The duration elapsed since `earlier`, or zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimInstant) -> Duration {
+        Duration::from_nanos(self.nanos.saturating_sub(earlier.nanos))
+    }
+}
+
+impl std::ops::Add<Duration> for SimInstant {
+    type Output = SimInstant;
+
+    fn add(self, d: Duration) -> SimInstant {
+        self.saturating_add(d)
+    }
+}
+
+impl fmt::Display for SimInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let millis = self.nanos / 1_000_000;
+        write!(f, "t+{}.{:03}s", millis / 1000, millis % 1000)
+    }
+}
+
+/// A notification target that [`Clock::wait_until`] can block on.
+///
+/// Conceptually a condition variable whose wakeups are counted, so a wakeup
+/// that races ahead of the waiter is never lost.
+#[derive(Debug, Default)]
+pub struct WaitSignal {
+    generation: Mutex<u64>,
+    condvar: Condvar,
+}
+
+impl WaitSignal {
+    /// Creates a fresh signal.
+    pub fn new() -> WaitSignal {
+        WaitSignal::default()
+    }
+
+    /// Wakes all current and future waiters of the current generation.
+    pub fn notify(&self) {
+        let mut generation = self.generation.lock();
+        *generation += 1;
+        self.condvar.notify_all();
+    }
+
+    /// The current generation counter (increases on every `notify`).
+    pub fn generation(&self) -> u64 {
+        *self.generation.lock()
+    }
+}
+
+/// The outcome of a [`Clock::wait_until`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitOutcome {
+    /// The signal was notified before the deadline.
+    Notified,
+    /// The deadline passed first.
+    TimedOut,
+}
+
+/// An abstract time source.
+///
+/// Implementations must be thread-safe; they are shared across the
+/// simulated world, per-tag event loops, and application threads.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// The current instant.
+    fn now(&self) -> SimInstant;
+
+    /// Blocks the calling thread for `d` (of this clock's time).
+    ///
+    /// On a [`VirtualClock`] in auto-advance mode this advances virtual
+    /// time instead of blocking.
+    fn sleep(&self, d: Duration);
+
+    /// Blocks until `signal` is notified or `deadline` passes, whichever
+    /// comes first.
+    ///
+    /// A notification that happened after the caller last observed the
+    /// signal's generation (passed as `seen_generation`) counts
+    /// immediately, closing the check-then-wait race.
+    fn wait_until(
+        &self,
+        signal: &Arc<WaitSignal>,
+        seen_generation: u64,
+        deadline: SimInstant,
+    ) -> WaitOutcome;
+}
+
+/// Wall-clock time; sleeps really sleep.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: std::time::Instant,
+}
+
+impl SystemClock {
+    /// Creates a system clock with its epoch at construction time.
+    pub fn new() -> SystemClock {
+        SystemClock { origin: std::time::Instant::now() }
+    }
+
+    /// Convenience: a reference-counted system clock.
+    pub fn shared() -> Arc<dyn Clock> {
+        Arc::new(SystemClock::new())
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> SystemClock {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> SimInstant {
+        SimInstant::from_nanos(self.origin.elapsed().as_nanos() as u64)
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+
+    fn wait_until(
+        &self,
+        signal: &Arc<WaitSignal>,
+        seen_generation: u64,
+        deadline: SimInstant,
+    ) -> WaitOutcome {
+        let mut generation = signal.generation.lock();
+        loop {
+            // Deadline takes priority so that a wakeup caused by the
+            // deadline itself is never misreported as a notification.
+            let now = self.now();
+            if now >= deadline {
+                return WaitOutcome::TimedOut;
+            }
+            if *generation != seen_generation {
+                return WaitOutcome::Notified;
+            }
+            let remaining = deadline.saturating_since(now);
+            if signal.condvar.wait_for(&mut generation, remaining).timed_out()
+                && *generation == seen_generation
+            {
+                return WaitOutcome::TimedOut;
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Sleeper {
+    deadline: SimInstant,
+    signal: Arc<WaitSignal>,
+}
+
+impl PartialEq for Sleeper {
+    fn eq(&self, other: &Sleeper) -> bool {
+        self.deadline == other.deadline
+    }
+}
+impl Eq for Sleeper {}
+impl PartialOrd for Sleeper {
+    fn partial_cmp(&self, other: &Sleeper) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Sleeper {
+    fn cmp(&self, other: &Sleeper) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the earliest deadline.
+        other.deadline.cmp(&self.deadline)
+    }
+}
+
+#[derive(Debug)]
+struct VirtualState {
+    now: SimInstant,
+    sleepers: BinaryHeap<Sleeper>,
+}
+
+/// Manually driven time for deterministic tests.
+///
+/// Two modes:
+///
+/// * **auto-advance** (default): [`Clock::sleep`] advances virtual time by
+///   the requested duration instead of blocking, so single-threaded flows
+///   and simulation latencies run instantly.
+/// * **manual**: `sleep` blocks until another thread calls
+///   [`VirtualClock::advance`] far enough. Use for tests that interleave
+///   threads around a controlled timeline.
+///
+/// [`Clock::wait_until`] always blocks until notified or until `advance`
+/// moves time past the deadline (auto-advance only applies to `sleep`).
+#[derive(Debug)]
+pub struct VirtualClock {
+    state: Mutex<VirtualState>,
+    tick: Condvar,
+    auto_advance: bool,
+}
+
+impl VirtualClock {
+    /// Creates a virtual clock in auto-advance mode at the epoch.
+    pub fn new() -> VirtualClock {
+        VirtualClock::with_auto_advance(true)
+    }
+
+    /// Creates a virtual clock, choosing the `sleep` behaviour.
+    pub fn with_auto_advance(auto_advance: bool) -> VirtualClock {
+        VirtualClock {
+            state: Mutex::new(VirtualState { now: SimInstant::EPOCH, sleepers: BinaryHeap::new() }),
+            tick: Condvar::new(),
+            auto_advance,
+        }
+    }
+
+    /// Convenience: a reference-counted auto-advance virtual clock.
+    pub fn shared() -> Arc<VirtualClock> {
+        Arc::new(VirtualClock::new())
+    }
+
+    /// Moves virtual time forward by `d`, waking every sleeper and
+    /// signal-waiter whose deadline has been reached.
+    pub fn advance(&self, d: Duration) {
+        let woken = {
+            let mut state = self.state.lock();
+            state.now = state.now.saturating_add(d);
+            let mut woken = Vec::new();
+            while state.sleepers.peek().is_some_and(|s| s.deadline <= state.now) {
+                woken.push(state.sleepers.pop().expect("peeked").signal);
+            }
+            woken
+        };
+        self.tick.notify_all();
+        for signal in woken {
+            signal.notify();
+        }
+    }
+
+    fn advance_to(&self, deadline: SimInstant) {
+        let woken = {
+            let mut state = self.state.lock();
+            if deadline > state.now {
+                state.now = deadline;
+            }
+            let mut woken = Vec::new();
+            while state.sleepers.peek().is_some_and(|s| s.deadline <= state.now) {
+                woken.push(state.sleepers.pop().expect("peeked").signal);
+            }
+            woken
+        };
+        self.tick.notify_all();
+        for signal in woken {
+            signal.notify();
+        }
+    }
+}
+
+impl Default for VirtualClock {
+    fn default() -> VirtualClock {
+        VirtualClock::new()
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> SimInstant {
+        self.state.lock().now
+    }
+
+    fn sleep(&self, d: Duration) {
+        if d.is_zero() {
+            return;
+        }
+        if self.auto_advance {
+            let deadline = self.state.lock().now.saturating_add(d);
+            self.advance_to(deadline);
+            return;
+        }
+        let deadline = {
+            let state = self.state.lock();
+            state.now.saturating_add(d)
+        };
+        let mut state = self.state.lock();
+        while state.now < deadline {
+            self.tick.wait(&mut state);
+        }
+    }
+
+    fn wait_until(
+        &self,
+        signal: &Arc<WaitSignal>,
+        seen_generation: u64,
+        deadline: SimInstant,
+    ) -> WaitOutcome {
+        // Register a wakeup for the deadline so `advance` reaches us.
+        {
+            let mut state = self.state.lock();
+            if state.now >= deadline {
+                return WaitOutcome::TimedOut;
+            }
+            state.sleepers.push(Sleeper { deadline, signal: Arc::clone(signal) });
+        }
+        let mut generation = signal.generation.lock();
+        loop {
+            // Deadline takes priority: the clock wakes timed-out waiters by
+            // notifying their signal, which must not read as a notification.
+            if self.state.lock().now >= deadline {
+                return WaitOutcome::TimedOut;
+            }
+            if *generation != seen_generation {
+                return WaitOutcome::Notified;
+            }
+            signal.condvar.wait(&mut generation);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn system_clock_advances() {
+        let clock = SystemClock::new();
+        let a = clock.now();
+        clock.sleep(Duration::from_millis(5));
+        let b = clock.now();
+        assert!(b > a);
+        assert!(b.saturating_since(a) >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn system_wait_until_times_out() {
+        let clock = SystemClock::new();
+        let signal = Arc::new(WaitSignal::new());
+        let deadline = clock.now() + Duration::from_millis(10);
+        let outcome = clock.wait_until(&signal, signal.generation(), deadline);
+        assert_eq!(outcome, WaitOutcome::TimedOut);
+        assert!(clock.now() >= deadline);
+    }
+
+    #[test]
+    fn system_wait_until_sees_notification() {
+        let clock = Arc::new(SystemClock::new());
+        let signal = Arc::new(WaitSignal::new());
+        let seen = signal.generation();
+        let s2 = Arc::clone(&signal);
+        let handle = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(5));
+            s2.notify();
+        });
+        let deadline = clock.now() + Duration::from_secs(10);
+        assert_eq!(clock.wait_until(&signal, seen, deadline), WaitOutcome::Notified);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn notification_before_wait_is_not_lost() {
+        let clock = SystemClock::new();
+        let signal = Arc::new(WaitSignal::new());
+        let seen = signal.generation();
+        signal.notify(); // happens "concurrently" before the wait
+        let deadline = clock.now() + Duration::from_secs(10);
+        assert_eq!(clock.wait_until(&signal, seen, deadline), WaitOutcome::Notified);
+    }
+
+    #[test]
+    fn virtual_clock_auto_advance_sleep() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now(), SimInstant::EPOCH);
+        clock.sleep(Duration::from_secs(3));
+        assert_eq!(clock.now(), SimInstant::EPOCH + Duration::from_secs(3));
+    }
+
+    #[test]
+    fn virtual_clock_manual_sleep_blocks_until_advanced() {
+        let clock = Arc::new(VirtualClock::with_auto_advance(false));
+        let c2 = Arc::clone(&clock);
+        let handle = thread::spawn(move || {
+            c2.sleep(Duration::from_secs(5));
+            c2.now()
+        });
+        // Give the sleeper a moment to block, then advance in two steps.
+        thread::sleep(Duration::from_millis(10));
+        clock.advance(Duration::from_secs(2));
+        thread::sleep(Duration::from_millis(10));
+        assert!(!handle.is_finished());
+        clock.advance(Duration::from_secs(3));
+        let woke_at = handle.join().unwrap();
+        assert_eq!(woke_at, SimInstant::EPOCH + Duration::from_secs(5));
+    }
+
+    #[test]
+    fn virtual_wait_until_timeout_via_advance() {
+        let clock = Arc::new(VirtualClock::new());
+        let signal = Arc::new(WaitSignal::new());
+        let seen = signal.generation();
+        let c2 = Arc::clone(&clock);
+        let s2 = Arc::clone(&signal);
+        let handle = thread::spawn(move || {
+            c2.wait_until(&s2, seen, SimInstant::EPOCH + Duration::from_secs(1))
+        });
+        thread::sleep(Duration::from_millis(10));
+        assert!(!handle.is_finished());
+        clock.advance(Duration::from_secs(1));
+        assert_eq!(handle.join().unwrap(), WaitOutcome::TimedOut);
+    }
+
+    #[test]
+    fn virtual_wait_until_notified() {
+        let clock = Arc::new(VirtualClock::new());
+        let signal = Arc::new(WaitSignal::new());
+        let seen = signal.generation();
+        let c2 = Arc::clone(&clock);
+        let s2 = Arc::clone(&signal);
+        let handle =
+            thread::spawn(move || c2.wait_until(&s2, seen, SimInstant::EPOCH + Duration::from_secs(60)));
+        thread::sleep(Duration::from_millis(10));
+        signal.notify();
+        assert_eq!(handle.join().unwrap(), WaitOutcome::Notified);
+    }
+
+    #[test]
+    fn virtual_wait_until_past_deadline_returns_immediately() {
+        let clock = VirtualClock::new();
+        clock.advance(Duration::from_secs(10));
+        let signal = Arc::new(WaitSignal::new());
+        let outcome = clock.wait_until(&signal, signal.generation(), SimInstant::EPOCH + Duration::from_secs(5));
+        assert_eq!(outcome, WaitOutcome::TimedOut);
+    }
+
+    #[test]
+    fn sim_instant_arithmetic() {
+        let t = SimInstant::from_nanos(1_500_000_000);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        assert_eq!(t + Duration::from_millis(500), SimInstant::from_nanos(2_000_000_000));
+        assert_eq!(
+            (t + Duration::from_secs(1)).saturating_since(t),
+            Duration::from_secs(1)
+        );
+        assert_eq!(t.saturating_since(t + Duration::from_secs(1)), Duration::ZERO);
+        assert_eq!(format!("{t}"), "t+1.500s");
+    }
+
+    #[test]
+    fn zero_sleep_is_noop() {
+        let clock = VirtualClock::with_auto_advance(false);
+        clock.sleep(Duration::ZERO); // must not block
+        assert_eq!(clock.now(), SimInstant::EPOCH);
+    }
+}

@@ -1,0 +1,250 @@
+//! The per-phone NFC controller handle: the facade a phone's software
+//! stack (the Android layer, the MORENA middleware, or a handcrafted app)
+//! uses to talk to its own NFC chip.
+//!
+//! [`NfcHandle`] bundles a [`World`] with a [`PhoneId`] and exposes
+//! events, raw transceive, complete NDEF operations (built on
+//! [`crate::proto`]), and beam push.
+
+use crossbeam::channel::Receiver;
+
+use crate::error::{LinkError, NfcOpError};
+use crate::proto::{self, NdefTagInfo, Transceive};
+use crate::tag::{TagTech, TagUid};
+use crate::world::{NfcEvent, PhoneId, World};
+
+/// A phone's handle to its own NFC controller. Cheap to clone.
+///
+/// # Examples
+///
+/// ```
+/// use morena_nfc_sim::clock::VirtualClock;
+/// use morena_nfc_sim::controller::NfcHandle;
+/// use morena_nfc_sim::link::LinkModel;
+/// use morena_nfc_sim::tag::{TagUid, Type2Tag};
+/// use morena_nfc_sim::world::World;
+///
+/// # fn main() -> Result<(), morena_nfc_sim::error::NfcOpError> {
+/// let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 0);
+/// let phone = world.add_phone("alice");
+/// let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
+/// world.tap_tag(uid, phone);
+///
+/// let nfc = NfcHandle::new(world, phone);
+/// nfc.ndef_write(uid, b"stored over the air")?;
+/// assert_eq!(nfc.ndef_read(uid)?, b"stored over the air");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NfcHandle {
+    world: World,
+    phone: PhoneId,
+}
+
+impl NfcHandle {
+    /// Creates a handle for `phone` in `world`.
+    pub fn new(world: World, phone: PhoneId) -> NfcHandle {
+        NfcHandle { world, phone }
+    }
+
+    /// The phone this handle belongs to.
+    pub fn phone(&self) -> PhoneId {
+        self.phone
+    }
+
+    /// The underlying world (for scenario orchestration and clock access).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Subscribes to this phone's NFC event feed.
+    pub fn events(&self) -> Receiver<NfcEvent> {
+        self.world.subscribe(self.phone)
+    }
+
+    /// Tags currently in this phone's field.
+    pub fn tags_in_range(&self) -> Vec<(TagUid, TagTech)> {
+        self.world.tags_in_range(self.phone)
+    }
+
+    /// Whether a specific tag is currently in the field.
+    pub fn tag_in_range(&self, uid: TagUid) -> bool {
+        self.world.tag_in_range(self.phone, uid)
+    }
+
+    /// Peer phones currently in beam range.
+    pub fn peers_in_range(&self) -> Vec<PhoneId> {
+        self.world.peers_in_range(self.phone)
+    }
+
+    /// One raw command/response exchange with a tag.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError`] on radio-level failure.
+    pub fn transceive(&self, uid: TagUid, command: &[u8]) -> Result<Vec<u8>, LinkError> {
+        self.world.transceive(self.phone, uid, command)
+    }
+
+    /// A [`Transceive`] implementation bound to one tag, for driving the
+    /// [`crate::proto`] procedures manually.
+    pub fn link_to(&self, uid: TagUid) -> TagLink {
+        TagLink { handle: self.clone(), uid }
+    }
+
+    fn tech_of(&self, uid: TagUid) -> Result<TagTech, NfcOpError> {
+        self.tags_in_range()
+            .iter()
+            .find(|(u, _)| *u == uid)
+            .map(|(_, tech)| *tech)
+            .ok_or(NfcOpError::Link(LinkError::OutOfRange))
+    }
+
+    /// Runs NDEF detection against a tag in the field.
+    ///
+    /// # Errors
+    ///
+    /// See [`proto::detect`]; additionally [`LinkError::OutOfRange`] when
+    /// the tag is not in the field at all.
+    pub fn ndef_detect(&self, uid: TagUid) -> Result<NdefTagInfo, NfcOpError> {
+        let tech = self.tech_of(uid)?;
+        proto::detect(&mut self.link_to(uid), tech)
+    }
+
+    /// Reads the complete NDEF message bytes from a tag in the field.
+    /// This is a **blocking, fallible** operation — exactly what the raw
+    /// Android API exposes and what MORENA wraps asynchronously.
+    ///
+    /// # Errors
+    ///
+    /// See [`proto::read_ndef`].
+    pub fn ndef_read(&self, uid: TagUid) -> Result<Vec<u8>, NfcOpError> {
+        let tech = self.tech_of(uid)?;
+        proto::read_ndef(&mut self.link_to(uid), tech)
+    }
+
+    /// Writes NDEF message bytes to a tag in the field (blocking,
+    /// fallible; a mid-operation field loss leaves a torn tag).
+    ///
+    /// # Errors
+    ///
+    /// See [`proto::write_ndef`].
+    pub fn ndef_write(&self, uid: TagUid, message: &[u8]) -> Result<(), NfcOpError> {
+        let tech = self.tech_of(uid)?;
+        proto::write_ndef(&mut self.link_to(uid), tech, message)
+    }
+
+    /// Permanently write-protects a tag in the field (blocking), the
+    /// analog of `Ndef.makeReadOnly()`.
+    ///
+    /// # Errors
+    ///
+    /// See [`proto::make_read_only`].
+    pub fn ndef_make_read_only(&self, uid: TagUid) -> Result<(), NfcOpError> {
+        let tech = self.tech_of(uid)?;
+        proto::make_read_only(&mut self.link_to(uid), tech)
+    }
+
+    /// Pushes raw NDEF bytes to whatever peer phones are in range.
+    ///
+    /// # Errors
+    ///
+    /// See [`World::beam`].
+    pub fn beam(&self, bytes: &[u8]) -> Result<usize, LinkError> {
+        self.world.beam(self.phone, bytes)
+    }
+
+    /// Pushes raw NDEF bytes to one specific peer (connection-oriented).
+    ///
+    /// # Errors
+    ///
+    /// See [`World::beam_to`].
+    pub fn beam_to(&self, to: PhoneId, bytes: &[u8]) -> Result<(), LinkError> {
+        self.world.beam_to(self.phone, to, bytes)
+    }
+}
+
+/// A [`Transceive`] bound to `(phone, tag)` over the world's lossy link.
+#[derive(Debug)]
+pub struct TagLink {
+    handle: NfcHandle,
+    uid: TagUid,
+}
+
+impl Transceive for TagLink {
+    fn transceive(&mut self, command: &[u8]) -> Result<Vec<u8>, LinkError> {
+        self.handle.transceive(self.uid, command)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use crate::link::LinkModel;
+    use crate::tag::{Type2Tag, Type4Tag};
+
+    fn setup() -> (World, NfcHandle, TagUid) {
+        let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 3);
+        let phone = world.add_phone("alice");
+        let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
+        let handle = NfcHandle::new(world.clone(), phone);
+        (world, handle, uid)
+    }
+
+    #[test]
+    fn ndef_ops_round_trip_over_the_air() {
+        let (world, nfc, uid) = setup();
+        world.tap_tag(uid, nfc.phone());
+        nfc.ndef_write(uid, b"payload").unwrap();
+        assert_eq!(nfc.ndef_read(uid).unwrap(), b"payload");
+        let info = nfc.ndef_detect(uid).unwrap();
+        assert_eq!(info.tech, TagTech::Type2);
+        assert!(info.writable);
+    }
+
+    #[test]
+    fn out_of_range_tag_is_rejected_before_any_exchange() {
+        let (_world, nfc, uid) = setup();
+        assert_eq!(
+            nfc.ndef_read(uid).unwrap_err(),
+            NfcOpError::Link(LinkError::OutOfRange)
+        );
+    }
+
+    #[test]
+    fn type4_tags_work_through_the_handle() {
+        let (world, nfc, _t2) = setup();
+        let uid = world.add_tag(Box::new(Type4Tag::new(TagUid::from_seed(2), 512)));
+        world.tap_tag(uid, nfc.phone());
+        nfc.ndef_write(uid, &vec![0xEE; 300]).unwrap();
+        assert_eq!(nfc.ndef_read(uid).unwrap(), vec![0xEE; 300]);
+    }
+
+    #[test]
+    fn events_flow_through_the_handle() {
+        let (world, nfc, uid) = setup();
+        let rx = nfc.events();
+        world.tap_tag(uid, nfc.phone());
+        assert!(matches!(rx.try_recv().unwrap(), NfcEvent::TagEntered { .. }));
+        assert_eq!(nfc.tags_in_range().len(), 1);
+        assert!(nfc.tag_in_range(uid));
+    }
+
+    #[test]
+    fn beam_between_handles() {
+        let (world, alice, _uid) = setup();
+        let bob_id = world.add_phone("bob");
+        let bob = NfcHandle::new(world.clone(), bob_id);
+        let rx = bob.events();
+        world.bring_phones_together(alice.phone(), bob_id);
+        assert_eq!(alice.peers_in_range(), vec![bob_id]);
+        alice.beam(b"ndef-bytes").unwrap();
+        let events: Vec<NfcEvent> = rx.try_iter().collect();
+        assert!(events.contains(&NfcEvent::BeamReceived {
+            from: alice.phone(),
+            bytes: b"ndef-bytes".to_vec()
+        }));
+    }
+}

@@ -1,0 +1,165 @@
+//! Error types of the simulated NFC stack, layered like the hardware:
+//! [`LinkError`] (radio), [`TagError`] (tag silicon), and [`NfcOpError`]
+//! (complete NDEF operations).
+
+use std::error::Error;
+use std::fmt;
+
+/// Failures at the radio-link level: the reader attempted an exchange with
+/// a tag (or peer) and the physical layer did not deliver it.
+///
+/// These are the "failure is the rule instead of the exception" faults the
+/// MORENA paper is about: the higher layers must retry or surface them
+/// asynchronously.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinkError {
+    /// The target was not in the reader's field when the exchange started.
+    OutOfRange,
+    /// The field was lost while the exchange was in flight (tag moved away
+    /// mid-operation). The tag may have applied a prefix of the operation.
+    FieldLost,
+    /// The exchange was corrupted by noise and got no usable response.
+    TransmissionError,
+    /// No device with this identity exists in the world.
+    UnknownDevice,
+    /// A beam was attempted with no peer phone in proximity.
+    NoPeerInRange,
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::OutOfRange => write!(f, "target is out of the reader field"),
+            LinkError::FieldLost => write!(f, "field lost during the exchange"),
+            LinkError::TransmissionError => write!(f, "transmission error, no usable response"),
+            LinkError::UnknownDevice => write!(f, "unknown device identity"),
+            LinkError::NoPeerInRange => write!(f, "no peer phone in proximity"),
+        }
+    }
+}
+
+impl Error for LinkError {}
+
+/// Failures raised by a tag emulator processing a command that did reach
+/// it over the air.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TagError {
+    /// The tag did not recognize the command and stayed mute.
+    NoResponse,
+}
+
+impl fmt::Display for TagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TagError::NoResponse => write!(f, "tag gave no response to the command"),
+        }
+    }
+}
+
+impl Error for TagError {}
+
+/// Failures of a complete NDEF-level operation (detect, read, or write a
+/// whole NDEF message), combining link faults with protocol-level faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NfcOpError {
+    /// The underlying link failed; the operation may be retried later.
+    Link(LinkError),
+    /// The tag is not NDEF-formatted (no capability container / NDEF file).
+    NotNdef,
+    /// The message does not fit in the tag's data area.
+    CapacityExceeded {
+        /// Bytes the encoded message needs.
+        needed: usize,
+        /// Bytes the tag can store.
+        capacity: usize,
+    },
+    /// The tag is write-protected.
+    ReadOnly,
+    /// The tag answered, but with bytes that violate the tag-type protocol.
+    Protocol(&'static str),
+}
+
+impl NfcOpError {
+    /// Whether retrying the same operation later can plausibly succeed
+    /// (i.e. the failure was transient connectivity, not a protocol or
+    /// capacity fact about the tag).
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            NfcOpError::Link(
+                LinkError::OutOfRange
+                    | LinkError::FieldLost
+                    | LinkError::TransmissionError
+                    | LinkError::NoPeerInRange
+            )
+        )
+    }
+}
+
+impl fmt::Display for NfcOpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NfcOpError::Link(e) => write!(f, "link failure: {e}"),
+            NfcOpError::NotNdef => write!(f, "tag is not NDEF formatted"),
+            NfcOpError::CapacityExceeded { needed, capacity } => {
+                write!(f, "message of {needed} bytes exceeds tag capacity of {capacity} bytes")
+            }
+            NfcOpError::ReadOnly => write!(f, "tag is write-protected"),
+            NfcOpError::Protocol(detail) => write!(f, "tag protocol violation: {detail}"),
+        }
+    }
+}
+
+impl Error for NfcOpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NfcOpError::Link(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinkError> for NfcOpError {
+    fn from(e: LinkError) -> NfcOpError {
+        NfcOpError::Link(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_classification() {
+        assert!(NfcOpError::Link(LinkError::OutOfRange).is_transient());
+        assert!(NfcOpError::Link(LinkError::FieldLost).is_transient());
+        assert!(NfcOpError::Link(LinkError::TransmissionError).is_transient());
+        assert!(NfcOpError::Link(LinkError::NoPeerInRange).is_transient());
+        assert!(!NfcOpError::Link(LinkError::UnknownDevice).is_transient());
+        assert!(!NfcOpError::NotNdef.is_transient());
+        assert!(!NfcOpError::CapacityExceeded { needed: 10, capacity: 5 }.is_transient());
+        assert!(!NfcOpError::ReadOnly.is_transient());
+        assert!(!NfcOpError::Protocol("x").is_transient());
+    }
+
+    #[test]
+    fn displays_are_nonempty_and_source_chains() {
+        let e = NfcOpError::Link(LinkError::FieldLost);
+        assert!(!e.to_string().is_empty());
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&NfcOpError::NotNdef).is_none());
+        for l in [
+            LinkError::OutOfRange,
+            LinkError::FieldLost,
+            LinkError::TransmissionError,
+            LinkError::UnknownDevice,
+            LinkError::NoPeerInRange,
+        ] {
+            assert!(!l.to_string().is_empty());
+        }
+        assert!(!TagError::NoResponse.to_string().is_empty());
+    }
+}

@@ -1,0 +1,72 @@
+//! Minimal 2D geometry for the physical world: phones and tags have
+//! positions in meters; NFC coupling happens within a few centimeters.
+
+/// A position in the simulated room, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate in meters.
+    pub x: f64,
+    /// Vertical coordinate in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// The origin.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Point {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`, in meters.
+    pub fn distance_to(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// A point guaranteed to be outside any NFC field: "in the user's
+    /// pocket on the other side of the room".
+    pub fn far_away() -> Point {
+        Point { x: 1.0e6, y: 1.0e6 }
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.3}m, {:.3}m)", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Point {
+        Point { x, y }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance_to(b), 5.0);
+        assert_eq!(b.distance_to(a), 5.0);
+        assert_eq!(a.distance_to(a), 0.0);
+    }
+
+    #[test]
+    fn far_away_is_far() {
+        assert!(Point::ORIGIN.distance_to(Point::far_away()) > 1.0e5);
+    }
+
+    #[test]
+    fn display_and_from_tuple() {
+        let p: Point = (1.25, 0.5).into();
+        assert_eq!(p, Point::new(1.25, 0.5));
+        assert_eq!(p.to_string(), "(1.250m, 0.500m)");
+    }
+}

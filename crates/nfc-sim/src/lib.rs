@@ -1,0 +1,68 @@
+//! # morena-nfc-sim
+//!
+//! A discrete-event simulation of the NFC hardware stack that the MORENA
+//! middleware (Middleware 2012) runs on: RFID tags with byte-accurate
+//! memory models, the short-range lossy radio link, per-phone NFC
+//! controllers, a peer-to-peer push channel ("Beam"), and scripted
+//! physical scenarios.
+//!
+//! The paper's whole premise is that NFC communication is *slow and
+//! failure-prone* — tags slide out of the 4 cm field mid-operation, reads
+//! and writes take tens of milliseconds, and every exchange can be lost to
+//! noise. This crate reproduces exactly those failure modes so the
+//! middleware layers above have something real to be robust against:
+//!
+//! * [`clock`] — pluggable time: [`clock::SystemClock`] for examples and
+//!   benchmarks, [`clock::VirtualClock`] for deterministic tests.
+//! * [`tag`] — Type 2 (NTAG-style page memory) and Type 4 (APDU/file)
+//!   tag emulators.
+//! * [`proto`] — the reader-side NDEF detect/read/write procedures, built
+//!   from individual tag commands so faults can strike mid-operation.
+//! * [`link`] — latency and failure model of the radio link.
+//! * [`world`] — phones and tags in 2D space; proximity events; beam.
+//! * [`controller`] — the per-phone [`controller::NfcHandle`] facade the
+//!   software stack uses.
+//! * [`scenario`] — scripted timelines of taps and movements.
+//!
+//! # Examples
+//!
+//! ```
+//! use morena_nfc_sim::clock::VirtualClock;
+//! use morena_nfc_sim::controller::NfcHandle;
+//! use morena_nfc_sim::link::LinkModel;
+//! use morena_nfc_sim::tag::{TagUid, Type2Tag};
+//! use morena_nfc_sim::world::World;
+//!
+//! # fn main() -> Result<(), morena_nfc_sim::error::NfcOpError> {
+//! let world = World::with_link(VirtualClock::shared(), LinkModel::reliable(), 0);
+//! let phone = world.add_phone("alice");
+//! let uid = world.add_tag(Box::new(Type2Tag::ntag213(TagUid::from_seed(1))));
+//!
+//! let nfc = NfcHandle::new(world.clone(), phone);
+//! world.tap_tag(uid, phone);
+//! nfc.ndef_write(uid, b"hello over the air")?;
+//! assert_eq!(nfc.ndef_read(uid)?, b"hello over the air");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod controller;
+pub mod error;
+pub mod geometry;
+pub mod link;
+pub mod proto;
+pub mod scenario;
+pub mod tag;
+pub mod trace;
+pub mod world;
+
+pub use clock::{Clock, SimInstant, SystemClock, VirtualClock};
+pub use controller::NfcHandle;
+pub use error::{LinkError, NfcOpError, TagError};
+pub use link::LinkModel;
+pub use tag::{TagEmulator, TagTech, TagUid, Type2Tag, Type4Tag};
+pub use world::{NfcEvent, PhoneId, World};

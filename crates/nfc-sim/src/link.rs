@@ -1,0 +1,175 @@
+//! The radio-link reliability and timing model.
+//!
+//! NFC is slow (kilobytes per second) and fragile (tiny coupling volume):
+//! the MORENA paper's premise is that *"failure is the rule instead of the
+//! exception"*. This module quantifies that: every command/response
+//! exchange gets a latency proportional to its size and a failure
+//! probability that grows toward the edge of the field.
+
+use std::time::Duration;
+
+use rand::Rng;
+
+/// Parameters of the simulated radio link.
+///
+/// The defaults approximate ISO 14443-A at 106 kbit/s with protocol
+/// overhead: ~5 ms exchange setup plus ~100 µs per payload byte, a 1%
+/// noise-failure floor at perfect coupling rising to 40% at the field
+/// edge, and a 4 cm field radius.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkModel {
+    /// Radius of the reader field for tag operations, in meters.
+    pub nfc_range_m: f64,
+    /// Radius within which two phones can beam, in meters.
+    pub p2p_range_m: f64,
+    /// Fixed cost of one command/response exchange.
+    pub setup_latency: Duration,
+    /// Additional cost per payload byte (command + response).
+    pub per_byte_latency: Duration,
+    /// Probability an exchange fails at distance zero.
+    pub base_failure_prob: f64,
+    /// Probability an exchange fails at the very edge of the field.
+    pub edge_failure_prob: f64,
+}
+
+impl LinkModel {
+    /// The default, realistically flaky NFC link.
+    pub fn realistic() -> LinkModel {
+        LinkModel {
+            nfc_range_m: 0.04,
+            p2p_range_m: 0.05,
+            setup_latency: Duration::from_millis(5),
+            per_byte_latency: Duration::from_micros(100),
+            base_failure_prob: 0.01,
+            edge_failure_prob: 0.40,
+        }
+    }
+
+    /// A perfectly reliable link with the realistic timing — for tests
+    /// that want deterministic success and true latencies.
+    pub fn reliable() -> LinkModel {
+        LinkModel { base_failure_prob: 0.0, edge_failure_prob: 0.0, ..LinkModel::realistic() }
+    }
+
+    /// A reliable, zero-latency link — for tests that only care about
+    /// ordering and state.
+    pub fn instant() -> LinkModel {
+        LinkModel {
+            setup_latency: Duration::ZERO,
+            per_byte_latency: Duration::ZERO,
+            ..LinkModel::reliable()
+        }
+    }
+
+    /// A link with a uniform failure probability regardless of distance.
+    pub fn with_failure_prob(p: f64) -> LinkModel {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        LinkModel { base_failure_prob: p, edge_failure_prob: p, ..LinkModel::realistic() }
+    }
+
+    /// Failure probability of one exchange at `distance` meters.
+    ///
+    /// Interpolates quadratically from `base_failure_prob` at contact to
+    /// `edge_failure_prob` at `nfc_range_m` (coupling strength falls off
+    /// superlinearly with distance). Beyond the range it is 1.0.
+    pub fn failure_prob(&self, distance: f64) -> f64 {
+        if distance >= self.nfc_range_m {
+            return 1.0;
+        }
+        let x = (distance / self.nfc_range_m).clamp(0.0, 1.0);
+        self.base_failure_prob + (self.edge_failure_prob - self.base_failure_prob) * x * x
+    }
+
+    /// Wall/virtual time one exchange of `bytes` payload bytes takes.
+    pub fn exchange_latency(&self, bytes: usize) -> Duration {
+        self.setup_latency + self.per_byte_latency.saturating_mul(bytes as u32)
+    }
+
+    /// Samples whether an exchange at `distance` fails, using `rng`.
+    pub fn sample_failure<R: Rng + ?Sized>(&self, distance: f64, rng: &mut R) -> bool {
+        let p = self.failure_prob(distance);
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            rng.random_bool(p)
+        }
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> LinkModel {
+        LinkModel::realistic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn failure_prob_interpolates_and_saturates() {
+        let m = LinkModel::realistic();
+        assert_eq!(m.failure_prob(0.0), m.base_failure_prob);
+        assert_eq!(m.failure_prob(1.0), 1.0);
+        let mid = m.failure_prob(m.nfc_range_m / 2.0);
+        assert!(mid > m.base_failure_prob && mid < m.edge_failure_prob);
+        // Monotone in distance.
+        let mut last = 0.0;
+        for i in 0..=10 {
+            let p = m.failure_prob(m.nfc_range_m * i as f64 / 10.0);
+            assert!(p >= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn latency_scales_with_bytes() {
+        let m = LinkModel::realistic();
+        let small = m.exchange_latency(2);
+        let big = m.exchange_latency(1000);
+        assert!(big > small);
+        assert_eq!(
+            big - small,
+            Duration::from_micros(100).saturating_mul(998)
+        );
+    }
+
+    #[test]
+    fn instant_model_is_free_and_safe() {
+        let m = LinkModel::instant();
+        assert_eq!(m.exchange_latency(10_000), Duration::ZERO);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(!m.sample_failure(0.02, &mut rng));
+        }
+    }
+
+    #[test]
+    fn uniform_failure_model() {
+        let m = LinkModel::with_failure_prob(1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(m.sample_failure(0.0, &mut rng));
+        let m = LinkModel::with_failure_prob(0.0);
+        assert!(!m.sample_failure(0.039, &mut rng));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn bad_probability_panics() {
+        LinkModel::with_failure_prob(1.5);
+    }
+
+    #[test]
+    fn sampled_rate_tracks_probability() {
+        let m = LinkModel::with_failure_prob(0.3);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 10_000;
+        let failures = (0..n).filter(|_| m.sample_failure(0.0, &mut rng)).count();
+        let rate = failures as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.03, "rate {rate}");
+    }
+}

@@ -1,0 +1,672 @@
+//! Reader-side NDEF procedures: the command sequences a phone's NFC stack
+//! executes against a tag to detect the NDEF application, read the stored
+//! message, and write a new one.
+//!
+//! The procedures are written against the [`Transceive`] trait so the same
+//! code drives a directly-connected emulator (unit tests), the simulated
+//! radio link (which injects loss and latency between commands), or any
+//! future transport. Because a write is *many* commands, a mid-operation
+//! field loss leaves the tag in a realistic torn state.
+
+use crate::error::{LinkError, NfcOpError, TagError};
+use crate::tag::{type2, type4, TagEmulator, TagTech};
+
+/// A single command/response exchange with a tag.
+///
+/// Generic reader/writer-style functions in this module take
+/// `&mut impl Transceive`; a `&mut T` where `T: Transceive` works too.
+pub trait Transceive {
+    /// Sends `command` and returns the tag's response.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError`] when the exchange did not complete at the radio level.
+    fn transceive(&mut self, command: &[u8]) -> Result<Vec<u8>, LinkError>;
+}
+
+impl<T: Transceive + ?Sized> Transceive for &mut T {
+    fn transceive(&mut self, command: &[u8]) -> Result<Vec<u8>, LinkError> {
+        (**self).transceive(command)
+    }
+}
+
+/// A zero-latency, loss-free link straight to an emulator: the transport
+/// used by unit tests and by in-process tooling.
+#[derive(Debug)]
+pub struct DirectLink<'a> {
+    tag: &'a mut dyn TagEmulator,
+}
+
+impl<'a> DirectLink<'a> {
+    /// Wraps an emulator.
+    pub fn new(tag: &'a mut dyn TagEmulator) -> DirectLink<'a> {
+        DirectLink { tag }
+    }
+}
+
+impl Transceive for DirectLink<'_> {
+    fn transceive(&mut self, command: &[u8]) -> Result<Vec<u8>, LinkError> {
+        match self.tag.transceive(command) {
+            Ok(resp) => Ok(resp),
+            // A mute tag manifests to the reader as a response timeout.
+            Err(TagError::NoResponse) => Err(LinkError::TransmissionError),
+        }
+    }
+}
+
+/// What NDEF detection learns about a tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NdefTagInfo {
+    /// The tag platform.
+    pub tech: TagTech,
+    /// Usable NDEF message capacity in bytes.
+    pub capacity: usize,
+    /// Whether the data area accepts writes.
+    pub writable: bool,
+}
+
+/// Runs the NDEF detection procedure for `tech`.
+///
+/// # Errors
+///
+/// * [`NfcOpError::Link`] — the link failed mid-procedure (transient).
+/// * [`NfcOpError::NotNdef`] — no capability container / NDEF application.
+/// * [`NfcOpError::Protocol`] — the tag answered with malformed data.
+pub fn detect(link: &mut impl Transceive, tech: TagTech) -> Result<NdefTagInfo, NfcOpError> {
+    match tech {
+        TagTech::Type2 => t2_detect(link),
+        TagTech::Type4 => t4_detect(link).map(|s| s.info),
+    }
+}
+
+/// Reads the complete NDEF message bytes from the tag.
+///
+/// An empty vector means the tag is formatted but blank (NDEF TLV / NLEN
+/// of length zero).
+///
+/// # Errors
+///
+/// Same classes as [`detect`].
+pub fn read_ndef(link: &mut impl Transceive, tech: TagTech) -> Result<Vec<u8>, NfcOpError> {
+    match tech {
+        TagTech::Type2 => t2_read_ndef(link),
+        TagTech::Type4 => t4_read_ndef(link),
+    }
+}
+
+/// Writes `message` as the tag's NDEF content, replacing what was there.
+///
+/// # Errors
+///
+/// * [`NfcOpError::CapacityExceeded`] — the message does not fit.
+/// * [`NfcOpError::ReadOnly`] — the tag rejects writes.
+/// * plus the classes of [`detect`].
+pub fn write_ndef(
+    link: &mut impl Transceive,
+    tech: TagTech,
+    message: &[u8],
+) -> Result<(), NfcOpError> {
+    match tech {
+        TagTech::Type2 => t2_write_ndef(link, message),
+        TagTech::Type4 => t4_write_ndef(link, message),
+    }
+}
+
+/// Permanently write-protects the tag — the analog of Android's
+/// `Ndef.makeReadOnly()`. On Type 2 tags this writes the capability
+/// container's write-access nibble (and is then itself locked out); on
+/// Type 4 tags it sets the CC file's write-access byte. **Irreversible
+/// over the air**, as on real tags.
+///
+/// # Errors
+///
+/// * [`NfcOpError::ReadOnly`] — the tag is already protected (the write
+///   is refused).
+/// * plus the classes of [`detect`].
+pub fn make_read_only(link: &mut impl Transceive, tech: TagTech) -> Result<(), NfcOpError> {
+    match tech {
+        TagTech::Type2 => {
+            let resp = link.transceive(&[type2::CMD_READ, 3])?;
+            if resp.len() < 4 {
+                return Err(NfcOpError::Protocol("short CC read response"));
+            }
+            if resp[0] != type2::CC_MAGIC {
+                return Err(NfcOpError::NotNdef);
+            }
+            let cc = [resp[0], resp[1], resp[2], resp[3] | 0x0F];
+            let write = [type2::CMD_WRITE, 3, cc[0], cc[1], cc[2], cc[3]];
+            match link.transceive(&write)?.as_slice() {
+                [type2::ACK] => Ok(()),
+                _ => Err(NfcOpError::ReadOnly),
+            }
+        }
+        TagTech::Type4 => {
+            let session = t4_detect(link)?;
+            if !session.info.writable {
+                return Err(NfcOpError::ReadOnly);
+            }
+            let resp = link.transceive(&t4_select_file_apdu(type4::CC_FILE_ID))?;
+            if !sw_ok(&resp) {
+                return Err(NfcOpError::Protocol("CC file select failed"));
+            }
+            let resp = link.transceive(&t4_update_binary_apdu(14, &[0xFF]))?;
+            if !sw_ok(&resp) {
+                return Err(NfcOpError::ReadOnly);
+            }
+            Ok(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Type 2 procedures
+// ---------------------------------------------------------------------
+
+struct T2Layout {
+    data_area_len: usize,
+    writable: bool,
+}
+
+fn t2_read_cc(link: &mut impl Transceive) -> Result<T2Layout, NfcOpError> {
+    let resp = link.transceive(&[type2::CMD_READ, 3])?;
+    if resp.len() < 4 {
+        return Err(NfcOpError::Protocol("short CC read response"));
+    }
+    if resp[0] != type2::CC_MAGIC {
+        return Err(NfcOpError::NotNdef);
+    }
+    Ok(T2Layout { data_area_len: resp[2] as usize * 8, writable: resp[3] & 0x0F == 0 })
+}
+
+fn t2_detect(link: &mut impl Transceive) -> Result<NdefTagInfo, NfcOpError> {
+    let layout = t2_read_cc(link)?;
+    let short = layout.data_area_len.saturating_sub(3).min(0xFE);
+    let long = layout.data_area_len.saturating_sub(5);
+    Ok(NdefTagInfo {
+        tech: TagTech::Type2,
+        capacity: short.max(long),
+        writable: layout.writable,
+    })
+}
+
+/// Walks the TLV blocks gathered so far. Returns the NDEF payload when
+/// the NDEF TLV is completely available, `None` when more bytes are
+/// needed, or a protocol error when the structure is definitely invalid.
+/// `limit` is the full data-area size: structures pointing beyond it can
+/// never become valid.
+fn t2_extract_ndef(area: &[u8], limit: usize) -> Result<Option<Vec<u8>>, NfcOpError> {
+    let mut i = 0usize;
+    loop {
+        if i >= limit {
+            return Err(NfcOpError::Protocol("missing NDEF TLV"));
+        }
+        let Some(&tag) = area.get(i) else { return Ok(None) };
+        match tag {
+            0x00 => i += 1, // NULL TLV
+            0xFE => return Err(NfcOpError::Protocol("terminator before NDEF TLV")),
+            0x01 | 0x02 => {
+                // Lock / memory control TLV: 1-byte length + value.
+                let Some(&len) = area.get(i + 1) else { return Ok(None) };
+                i += 2 + len as usize;
+            }
+            0x03 => {
+                let (len, header) = match area.get(i + 1) {
+                    None => return Ok(None),
+                    Some(&0xFF) => {
+                        let (Some(&hi), Some(&lo)) = (area.get(i + 2), area.get(i + 3)) else {
+                            return Ok(None);
+                        };
+                        (u16::from_be_bytes([hi, lo]) as usize, 4)
+                    }
+                    Some(&l) => (l as usize, 2),
+                };
+                let start = i + header;
+                let end = start + len;
+                if end > limit {
+                    return Err(NfcOpError::Protocol("NDEF TLV length exceeds data area"));
+                }
+                if end > area.len() {
+                    return Ok(None);
+                }
+                return Ok(Some(area[start..end].to_vec()));
+            }
+            _ => return Err(NfcOpError::Protocol("unknown TLV block")),
+        }
+    }
+}
+
+fn t2_read_ndef(link: &mut impl Transceive) -> Result<Vec<u8>, NfcOpError> {
+    let layout = t2_read_cc(link)?;
+    // Read lazily, 16 bytes at a time, stopping as soon as the NDEF TLV
+    // is complete — real readers do not sweep the whole EEPROM.
+    let mut area: Vec<u8> = Vec::new();
+    let mut page = 4usize;
+    loop {
+        if let Some(payload) = t2_extract_ndef(&area, layout.data_area_len)? {
+            return Ok(payload);
+        }
+        if area.len() >= layout.data_area_len {
+            return Err(NfcOpError::Protocol("missing NDEF TLV"));
+        }
+        let resp = link.transceive(&[type2::CMD_READ, page as u8])?;
+        if resp.len() != 16 {
+            return Err(NfcOpError::Protocol("READ response was not 16 bytes"));
+        }
+        area.extend_from_slice(&resp);
+        area.truncate(layout.data_area_len);
+        page += 4;
+    }
+}
+
+fn t2_write_ndef(link: &mut impl Transceive, message: &[u8]) -> Result<(), NfcOpError> {
+    let layout = t2_read_cc(link)?;
+    if !layout.writable {
+        return Err(NfcOpError::ReadOnly);
+    }
+    // Serialize the TLV area: NDEF TLV + terminator.
+    let mut area = Vec::with_capacity(message.len() + 5);
+    area.push(0x03);
+    if message.len() <= 0xFE {
+        area.push(message.len() as u8);
+    } else {
+        area.push(0xFF);
+        area.extend_from_slice(&(message.len() as u16).to_be_bytes());
+    }
+    area.extend_from_slice(message);
+    area.push(0xFE);
+    if area.len() > layout.data_area_len {
+        let overhead = area.len() - message.len();
+        return Err(NfcOpError::CapacityExceeded {
+            needed: message.len(),
+            capacity: layout.data_area_len - overhead,
+        });
+    }
+    // Pad to a whole number of pages and write page by page.
+    while area.len() % 4 != 0 {
+        area.push(0x00);
+    }
+    for (offset, chunk) in area.chunks(4).enumerate() {
+        let page = 4 + offset;
+        let cmd = [type2::CMD_WRITE, page as u8, chunk[0], chunk[1], chunk[2], chunk[3]];
+        let resp = link.transceive(&cmd)?;
+        if resp != [type2::ACK] {
+            return Err(NfcOpError::ReadOnly);
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Type 4 procedures
+// ---------------------------------------------------------------------
+
+/// Builds the `SELECT` by AID APDU for the NDEF Tag Application.
+pub fn t4_select_app_apdu() -> Vec<u8> {
+    let mut apdu = vec![0x00, 0xA4, 0x04, 0x00, type4::NDEF_AID.len() as u8];
+    apdu.extend_from_slice(&type4::NDEF_AID);
+    apdu.push(0x00);
+    apdu
+}
+
+/// Builds the `SELECT` by file-id APDU.
+pub fn t4_select_file_apdu(file_id: u16) -> Vec<u8> {
+    let fid = file_id.to_be_bytes();
+    vec![0x00, 0xA4, 0x00, 0x0C, 0x02, fid[0], fid[1]]
+}
+
+fn t4_read_binary_apdu(offset: u16, le: u8) -> Vec<u8> {
+    let o = offset.to_be_bytes();
+    vec![0x00, 0xB0, o[0], o[1], le]
+}
+
+fn t4_update_binary_apdu(offset: u16, data: &[u8]) -> Vec<u8> {
+    let o = offset.to_be_bytes();
+    let mut apdu = vec![0x00, 0xD6, o[0], o[1], data.len() as u8];
+    apdu.extend_from_slice(data);
+    apdu
+}
+
+fn sw_ok(resp: &[u8]) -> bool {
+    resp.len() >= 2 && resp[resp.len() - 2..] == type4::SW_OK
+}
+
+struct T4Session {
+    info: NdefTagInfo,
+    ndef_file_id: u16,
+    max_ndef_file: usize,
+    mle: usize,
+    mlc: usize,
+}
+
+fn t4_detect(link: &mut impl Transceive) -> Result<T4Session, NfcOpError> {
+    let resp = link.transceive(&t4_select_app_apdu())?;
+    if !sw_ok(&resp) {
+        return Err(NfcOpError::NotNdef);
+    }
+    let resp = link.transceive(&t4_select_file_apdu(type4::CC_FILE_ID))?;
+    if !sw_ok(&resp) {
+        return Err(NfcOpError::NotNdef);
+    }
+    let resp = link.transceive(&t4_read_binary_apdu(0, 15))?;
+    if !sw_ok(&resp) || resp.len() < 17 {
+        return Err(NfcOpError::Protocol("CC file read failed"));
+    }
+    let cc = &resp[..15];
+    if cc[7] != 0x04 || cc[8] != 0x06 {
+        return Err(NfcOpError::Protocol("CC lacks NDEF file control TLV"));
+    }
+    let mle = u16::from_be_bytes([cc[3], cc[4]]) as usize;
+    let mlc = u16::from_be_bytes([cc[5], cc[6]]) as usize;
+    let ndef_file_id = u16::from_be_bytes([cc[9], cc[10]]);
+    let max_ndef_file = u16::from_be_bytes([cc[11], cc[12]]) as usize;
+    if mle == 0 || mlc == 0 || max_ndef_file < 2 {
+        return Err(NfcOpError::Protocol("CC limits are invalid"));
+    }
+    let writable = cc[14] == 0x00;
+    Ok(T4Session {
+        info: NdefTagInfo { tech: TagTech::Type4, capacity: max_ndef_file - 2, writable },
+        ndef_file_id,
+        max_ndef_file,
+        mle,
+        mlc,
+    })
+}
+
+fn t4_select_ndef(link: &mut impl Transceive, session: &T4Session) -> Result<(), NfcOpError> {
+    let resp = link.transceive(&t4_select_file_apdu(session.ndef_file_id))?;
+    if !sw_ok(&resp) {
+        return Err(NfcOpError::Protocol("NDEF file select failed"));
+    }
+    Ok(())
+}
+
+fn t4_read_ndef(link: &mut impl Transceive) -> Result<Vec<u8>, NfcOpError> {
+    let session = t4_detect(link)?;
+    t4_select_ndef(link, &session)?;
+    let resp = link.transceive(&t4_read_binary_apdu(0, 2))?;
+    if !sw_ok(&resp) || resp.len() != 4 {
+        return Err(NfcOpError::Protocol("NLEN read failed"));
+    }
+    let nlen = u16::from_be_bytes([resp[0], resp[1]]) as usize;
+    if nlen + 2 > session.max_ndef_file {
+        return Err(NfcOpError::Protocol("NLEN exceeds the NDEF file"));
+    }
+    let mut message = Vec::with_capacity(nlen);
+    let mut offset = 2usize;
+    while message.len() < nlen {
+        let want = (nlen - message.len()).min(session.mle).min(255);
+        let resp = link.transceive(&t4_read_binary_apdu(offset as u16, want as u8))?;
+        if !sw_ok(&resp) || resp.len() != want + 2 {
+            return Err(NfcOpError::Protocol("NDEF file read failed"));
+        }
+        message.extend_from_slice(&resp[..want]);
+        offset += want;
+    }
+    Ok(message)
+}
+
+fn t4_write_ndef(link: &mut impl Transceive, message: &[u8]) -> Result<(), NfcOpError> {
+    let session = t4_detect(link)?;
+    if !session.info.writable {
+        return Err(NfcOpError::ReadOnly);
+    }
+    if message.len() + 2 > session.max_ndef_file {
+        return Err(NfcOpError::CapacityExceeded {
+            needed: message.len(),
+            capacity: session.max_ndef_file - 2,
+        });
+    }
+    t4_select_ndef(link, &session)?;
+    // Zero NLEN first so a torn write reads back as an empty tag rather
+    // than as garbage — the Type 4 mapping's prescribed write order.
+    let resp = link.transceive(&t4_update_binary_apdu(0, &[0, 0]))?;
+    if !sw_ok(&resp) {
+        return Err(NfcOpError::ReadOnly);
+    }
+    let mut offset = 2usize;
+    for chunk in message.chunks(session.mlc.min(250)) {
+        let resp = link.transceive(&t4_update_binary_apdu(offset as u16, chunk))?;
+        if !sw_ok(&resp) {
+            return Err(NfcOpError::ReadOnly);
+        }
+        offset += chunk.len();
+    }
+    let resp =
+        link.transceive(&t4_update_binary_apdu(0, &(message.len() as u16).to_be_bytes()))?;
+    if !sw_ok(&resp) {
+        return Err(NfcOpError::ReadOnly);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::{TagUid, Type2Tag, Type4Tag};
+
+    fn roundtrip(tag: &mut dyn TagEmulator, payload: &[u8]) {
+        let tech = tag.tech();
+        let mut link = DirectLink::new(tag);
+        write_ndef(&mut link, tech, payload).unwrap();
+        assert_eq!(read_ndef(&mut link, tech).unwrap(), payload);
+    }
+
+    #[test]
+    fn type2_write_read_round_trip() {
+        let mut tag = Type2Tag::ntag215(TagUid::from_seed(1));
+        roundtrip(&mut tag, b"hello type 2");
+        roundtrip(&mut tag, b""); // blank rewrite
+        roundtrip(&mut tag, &vec![0x5A; 400]); // long TLV form
+    }
+
+    #[test]
+    fn type4_write_read_round_trip() {
+        let mut tag = Type4Tag::new(TagUid::from_seed(2), 1024);
+        roundtrip(&mut tag, b"hello type 4");
+        roundtrip(&mut tag, b"");
+        roundtrip(&mut tag, &vec![0xA5; 700]); // multi-chunk read/write
+    }
+
+    #[test]
+    fn fresh_tags_read_as_blank() {
+        let mut t2 = Type2Tag::ntag213(TagUid::from_seed(3));
+        assert_eq!(read_ndef(&mut DirectLink::new(&mut t2), TagTech::Type2).unwrap(), b"");
+        let mut t4 = Type4Tag::new(TagUid::from_seed(4), 256);
+        assert_eq!(read_ndef(&mut DirectLink::new(&mut t4), TagTech::Type4).unwrap(), b"");
+    }
+
+    #[test]
+    fn detect_reports_capacity_and_writability() {
+        let mut t2 = Type2Tag::ntag213(TagUid::from_seed(5));
+        let info = detect(&mut DirectLink::new(&mut t2), TagTech::Type2).unwrap();
+        assert_eq!(info, NdefTagInfo { tech: TagTech::Type2, capacity: 141, writable: true });
+        t2.set_read_only(true);
+        let info = detect(&mut DirectLink::new(&mut t2), TagTech::Type2).unwrap();
+        assert!(!info.writable);
+
+        let mut t4 = Type4Tag::new(TagUid::from_seed(6), 512);
+        let info = detect(&mut DirectLink::new(&mut t4), TagTech::Type4).unwrap();
+        assert_eq!(info, NdefTagInfo { tech: TagTech::Type4, capacity: 510, writable: true });
+    }
+
+    #[test]
+    fn unformatted_tags_report_not_ndef() {
+        let mut t2 = Type2Tag::ntag213(TagUid::from_seed(7));
+        t2.unformat();
+        assert_eq!(
+            detect(&mut DirectLink::new(&mut t2), TagTech::Type2).unwrap_err(),
+            NfcOpError::NotNdef
+        );
+        let mut t4 = Type4Tag::new(TagUid::from_seed(8), 256);
+        t4.unformat();
+        assert_eq!(
+            detect(&mut DirectLink::new(&mut t4), TagTech::Type4).unwrap_err(),
+            NfcOpError::NotNdef
+        );
+    }
+
+    #[test]
+    fn capacity_overflow_is_reported_with_numbers() {
+        let mut t2 = Type2Tag::ntag213(TagUid::from_seed(9));
+        let err =
+            write_ndef(&mut DirectLink::new(&mut t2), TagTech::Type2, &[0; 200]).unwrap_err();
+        assert_eq!(err, NfcOpError::CapacityExceeded { needed: 200, capacity: 141 });
+
+        let mut t4 = Type4Tag::new(TagUid::from_seed(10), 64);
+        let err =
+            write_ndef(&mut DirectLink::new(&mut t4), TagTech::Type4, &[0; 100]).unwrap_err();
+        assert_eq!(err, NfcOpError::CapacityExceeded { needed: 100, capacity: 62 });
+    }
+
+    #[test]
+    fn read_only_write_is_rejected() {
+        let mut t2 = Type2Tag::ntag213(TagUid::from_seed(11));
+        t2.set_read_only(true);
+        assert_eq!(
+            write_ndef(&mut DirectLink::new(&mut t2), TagTech::Type2, b"x").unwrap_err(),
+            NfcOpError::ReadOnly
+        );
+        let mut t4 = Type4Tag::new(TagUid::from_seed(12), 256);
+        t4.set_read_only(true);
+        assert_eq!(
+            write_ndef(&mut DirectLink::new(&mut t4), TagTech::Type4, b"x").unwrap_err(),
+            NfcOpError::ReadOnly
+        );
+    }
+
+    #[test]
+    fn type2_overwrite_shorter_message_leaves_clean_state() {
+        let mut tag = Type2Tag::ntag215(TagUid::from_seed(13));
+        roundtrip(&mut tag, &vec![1; 300]);
+        roundtrip(&mut tag, b"tiny");
+        // A fresh read still sees only the short message.
+        let mut link = DirectLink::new(&mut tag);
+        assert_eq!(read_ndef(&mut link, TagTech::Type2).unwrap(), b"tiny");
+    }
+
+    /// A link that fails each exchange whose index is in `fail_at`,
+    /// simulating noise bursts at precise points of a procedure.
+    struct ScriptedLink<'a> {
+        inner: DirectLink<'a>,
+        exchange: usize,
+        fail_at: Vec<usize>,
+    }
+
+    impl Transceive for ScriptedLink<'_> {
+        fn transceive(&mut self, command: &[u8]) -> Result<Vec<u8>, LinkError> {
+            let idx = self.exchange;
+            self.exchange += 1;
+            if self.fail_at.contains(&idx) {
+                return Err(LinkError::TransmissionError);
+            }
+            self.inner.transceive(command)
+        }
+    }
+
+    #[test]
+    fn torn_type4_write_reads_back_blank() {
+        let mut tag = Type4Tag::new(TagUid::from_seed(14), 512);
+        // First put real content on the tag.
+        write_ndef(&mut DirectLink::new(&mut tag), TagTech::Type4, b"old-content").unwrap();
+        // Now interrupt a larger write after NLEN was zeroed: exchanges are
+        // selectApp, selectCC, readCC, selectNdef, update NLEN=0 (4), then
+        // data updates — fail the first data update (index 5).
+        let mut scripted = ScriptedLink {
+            inner: DirectLink::new(&mut tag),
+            exchange: 0,
+            fail_at: vec![5],
+        };
+        let err = write_ndef(&mut scripted, TagTech::Type4, &[7; 300]).unwrap_err();
+        assert!(err.is_transient());
+        // The prescribed write order guarantees the torn tag reads as blank.
+        assert_eq!(read_ndef(&mut DirectLink::new(&mut tag), TagTech::Type4).unwrap(), b"");
+    }
+
+    #[test]
+    fn torn_type2_write_leaves_partial_tlv_detectable() {
+        let mut tag = Type2Tag::ntag215(TagUid::from_seed(15));
+        write_ndef(&mut DirectLink::new(&mut tag), TagTech::Type2, &[3; 100]).unwrap();
+        // Type 2 exchanges: read CC (0), then page writes. Fail mid-write.
+        let mut scripted = ScriptedLink {
+            inner: DirectLink::new(&mut tag),
+            exchange: 0,
+            fail_at: vec![10],
+        };
+        let err = write_ndef(&mut scripted, TagTech::Type2, &[9; 200]).unwrap_err();
+        assert!(err.is_transient());
+        // The tag now holds a torn mixture; a subsequent full write repairs it.
+        write_ndef(&mut DirectLink::new(&mut tag), TagTech::Type2, &[9; 200]).unwrap();
+        assert_eq!(
+            read_ndef(&mut DirectLink::new(&mut tag), TagTech::Type2).unwrap(),
+            vec![9; 200]
+        );
+    }
+
+    #[test]
+    fn link_failures_propagate_as_transient() {
+        let mut tag = Type2Tag::ntag213(TagUid::from_seed(16));
+        let mut scripted =
+            ScriptedLink { inner: DirectLink::new(&mut tag), exchange: 0, fail_at: vec![0] };
+        let err = read_ndef(&mut scripted, TagTech::Type2).unwrap_err();
+        assert_eq!(err, NfcOpError::Link(LinkError::TransmissionError));
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn make_read_only_is_permanent_over_the_air() {
+        // Type 2: content survives, writes stop, a second lock attempt is
+        // refused (the CC page itself is now locked).
+        let mut t2 = Type2Tag::ntag215(TagUid::from_seed(20));
+        write_ndef(&mut DirectLink::new(&mut t2), TagTech::Type2, b"frozen").unwrap();
+        make_read_only(&mut DirectLink::new(&mut t2), TagTech::Type2).unwrap();
+        assert!(t2.is_read_only());
+        assert_eq!(
+            write_ndef(&mut DirectLink::new(&mut t2), TagTech::Type2, b"nope").unwrap_err(),
+            NfcOpError::ReadOnly
+        );
+        assert_eq!(read_ndef(&mut DirectLink::new(&mut t2), TagTech::Type2).unwrap(), b"frozen");
+        assert_eq!(
+            make_read_only(&mut DirectLink::new(&mut t2), TagTech::Type2).unwrap_err(),
+            NfcOpError::ReadOnly
+        );
+
+        // Type 4: same contract.
+        let mut t4 = Type4Tag::new(TagUid::from_seed(21), 512);
+        write_ndef(&mut DirectLink::new(&mut t4), TagTech::Type4, b"frozen4").unwrap();
+        make_read_only(&mut DirectLink::new(&mut t4), TagTech::Type4).unwrap();
+        assert!(t4.is_read_only());
+        assert_eq!(
+            write_ndef(&mut DirectLink::new(&mut t4), TagTech::Type4, b"nope").unwrap_err(),
+            NfcOpError::ReadOnly
+        );
+        assert_eq!(read_ndef(&mut DirectLink::new(&mut t4), TagTech::Type4).unwrap(), b"frozen4");
+        assert_eq!(
+            make_read_only(&mut DirectLink::new(&mut t4), TagTech::Type4).unwrap_err(),
+            NfcOpError::ReadOnly
+        );
+        // Detection reflects the protection.
+        let info = detect(&mut DirectLink::new(&mut t4), TagTech::Type4).unwrap();
+        assert!(!info.writable);
+    }
+
+    #[test]
+    fn type2_skips_null_and_control_tlvs() {
+        let mut tag = Type2Tag::ntag215(TagUid::from_seed(17));
+        // Hand-craft a data area: NULL, lock-control TLV, then NDEF TLV.
+        let area: Vec<u8> = {
+            let mut a = vec![0x00, 0x01, 0x03, 0xA0, 0x10, 0x44]; // NULL + lock ctl (len 3)
+            a.extend_from_slice(&[0x03, 0x02, 0xBE, 0xEF, 0xFE]); // NDEF TLV + term
+            a
+        };
+        for (i, chunk) in area.chunks(4).enumerate() {
+            let mut page = [0u8; 4];
+            page[..chunk.len()].copy_from_slice(chunk);
+            tag.transceive(&[type2::CMD_WRITE, (4 + i) as u8, page[0], page[1], page[2], page[3]])
+                .unwrap();
+        }
+        assert_eq!(
+            read_ndef(&mut DirectLink::new(&mut tag), TagTech::Type2).unwrap(),
+            vec![0xBE, 0xEF]
+        );
+    }
+}

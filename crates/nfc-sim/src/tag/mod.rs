@@ -1,0 +1,141 @@
+//! Tag emulators: byte-accurate models of the NFC Forum tag types that
+//! NFC-enabled Android phones read and write.
+//!
+//! Two tag platforms are implemented, covering the two command styles in
+//! the field:
+//!
+//! * [`Type2Tag`] — page-oriented memory tags (the NTAG21x family used for
+//!   stickers and posters): `READ`/`WRITE` commands over 4-byte pages, a
+//!   capability container, a TLV-structured data area, and static lock
+//!   bytes.
+//! * [`Type4Tag`] — smartcard-style tags: ISO 7816-4 APDUs (`SELECT`,
+//!   `READ BINARY`, `UPDATE BINARY`) over a capability-container file and
+//!   an NDEF file with a 2-byte length prefix.
+//!
+//! Emulators speak the raw command format; the reader-side procedures that
+//! drive them live in [`crate::proto`]. This split lets the link layer
+//! inject faults *between* commands, producing the torn intermediate
+//! states real applications must survive.
+
+/// Type 2 (page-memory) tag emulation: commands, constants, [`Type2Tag`].
+pub mod type2;
+/// Type 4 (APDU/file) tag emulation: status words, constants, [`Type4Tag`].
+pub mod type4;
+
+pub use type2::Type2Tag;
+pub use type4::Type4Tag;
+
+use std::any::Any;
+use std::fmt;
+
+use crate::error::TagError;
+
+/// A 7-byte tag UID, as used by NTAG and most ISO 14443 type A tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TagUid([u8; 7]);
+
+impl TagUid {
+    /// Creates a UID from raw bytes.
+    pub fn new(bytes: [u8; 7]) -> TagUid {
+        TagUid(bytes)
+    }
+
+    /// A deterministic UID derived from a small integer, for tests and
+    /// scenarios.
+    pub fn from_seed(seed: u32) -> TagUid {
+        let s = seed.to_be_bytes();
+        TagUid([0x04, s[0], s[1], s[2], s[3], 0xA5, 0x5A])
+    }
+
+    /// The raw UID bytes.
+    pub fn as_bytes(&self) -> &[u8; 7] {
+        &self.0
+    }
+}
+
+impl fmt::Display for TagUid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, b) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ":")?;
+            }
+            write!(f, "{b:02X}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The tag platform, as a reader learns it during activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TagTech {
+    /// NFC Forum Type 2 (page memory, e.g. NTAG21x).
+    Type2,
+    /// NFC Forum Type 4 (APDU / file system, e.g. DESFire in T4T mode).
+    Type4,
+}
+
+impl fmt::Display for TagTech {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TagTech::Type2 => write!(f, "Type 2"),
+            TagTech::Type4 => write!(f, "Type 4"),
+        }
+    }
+}
+
+/// A tag emulator: consumes reader commands, mutates internal memory,
+/// produces responses.
+///
+/// Implementations are deterministic; all nondeterminism (latency, loss)
+/// is injected by the link layer above.
+pub trait TagEmulator: Send + fmt::Debug {
+    /// The tag's unique identifier, as read during anticollision.
+    fn uid(&self) -> TagUid;
+
+    /// The platform this emulator implements.
+    fn tech(&self) -> TagTech;
+
+    /// Processes one reader command and returns the tag response.
+    ///
+    /// # Errors
+    ///
+    /// [`TagError::NoResponse`] when the command is not recognized at all
+    /// (a real tag would stay mute and the reader would time out).
+    fn transceive(&mut self, command: &[u8]) -> Result<Vec<u8>, TagError>;
+
+    /// Notification that the reader field disappeared: volatile session
+    /// state (e.g. Type 4 file selection) resets; memory persists.
+    fn on_field_lost(&mut self);
+
+    /// Usable NDEF data-area capacity in bytes (for capacity planning and
+    /// error reporting; the wire procedures discover it independently).
+    fn ndef_capacity(&self) -> usize;
+
+    /// Mutable access as [`Any`], so tests and tooling can downcast to
+    /// the concrete tag model (e.g. to flip its read-only switch).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uid_display_is_colon_hex() {
+        let uid = TagUid::new([0x04, 0xAB, 0x00, 0x01, 0x02, 0x03, 0xFF]);
+        assert_eq!(uid.to_string(), "04:AB:00:01:02:03:FF");
+    }
+
+    #[test]
+    fn uid_from_seed_is_deterministic_and_distinct() {
+        assert_eq!(TagUid::from_seed(7), TagUid::from_seed(7));
+        assert_ne!(TagUid::from_seed(7), TagUid::from_seed(8));
+        assert_eq!(TagUid::from_seed(7).as_bytes()[0], 0x04);
+    }
+
+    #[test]
+    fn tech_display() {
+        assert_eq!(TagTech::Type2.to_string(), "Type 2");
+        assert_eq!(TagTech::Type4.to_string(), "Type 4");
+    }
+}

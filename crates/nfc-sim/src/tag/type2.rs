@@ -1,0 +1,375 @@
+use crate::error::TagError;
+use crate::tag::{TagEmulator, TagTech, TagUid};
+
+/// Type 2 command: read 16 bytes (4 pages) starting at a page address.
+pub const CMD_READ: u8 = 0x30;
+/// Type 2 command: write one 4-byte page.
+pub const CMD_WRITE: u8 = 0xA2;
+/// NTAG command: read an inclusive page range in one exchange.
+pub const CMD_FAST_READ: u8 = 0x3A;
+/// Positive acknowledge (4-bit ACK, conventionally reported as `0x0A`).
+pub const ACK: u8 = 0x0A;
+/// Negative acknowledge.
+pub const NAK: u8 = 0x00;
+
+/// NDEF magic number stored in the first byte of the capability container.
+pub const CC_MAGIC: u8 = 0xE1;
+/// Mapping version 1.0 in the capability container.
+pub const CC_VERSION: u8 = 0x10;
+
+const PAGE_SIZE: usize = 4;
+/// First data-area page (pages 0–2 are UID/lock, page 3 is the CC).
+const DATA_START_PAGE: usize = 4;
+
+/// An NFC Forum **Type 2** tag emulator: a page-addressed EEPROM in the
+/// style of the NTAG21x family.
+///
+/// Memory layout (pages of 4 bytes):
+///
+/// | Pages | Content |
+/// |---|---|
+/// | 0–1 | UID (7 bytes + BCC) |
+/// | 2 | internal byte + static lock bytes (bytes 2–3) |
+/// | 3 | capability container `E1 10 size/8 access` |
+/// | 4… | TLV-structured data area (`03 len NDEF … FE`) |
+///
+/// Static lock bits write-protect pages 3–15 per the Type 2 mapping:
+/// lock byte 0 bits 3–7 cover pages 3–7, lock byte 1 bits 0–7 cover pages
+/// 8–15. (Dynamic lock bytes of larger NTAGs are not modeled; locking the
+/// whole tag is done through [`Type2Tag::set_read_only`].)
+///
+/// # Examples
+///
+/// ```
+/// use morena_nfc_sim::tag::{TagEmulator, TagUid, Type2Tag};
+///
+/// let mut tag = Type2Tag::ntag215(TagUid::from_seed(1));
+/// // READ page 3 returns the capability container in the first 4 bytes.
+/// let resp = tag.transceive(&[0x30, 3]).unwrap();
+/// assert_eq!(resp[0], 0xE1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Type2Tag {
+    uid: TagUid,
+    pages: Vec<[u8; PAGE_SIZE]>,
+}
+
+impl Type2Tag {
+    /// Creates a tag with `total_pages` pages of 4 bytes, NDEF-formatted
+    /// and blank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_pages < 6` (no room for header, CC, and any data)
+    /// or if the data area exceeds the CC's `size/8` encoding (2040 bytes).
+    pub fn with_pages(uid: TagUid, total_pages: usize) -> Type2Tag {
+        assert!(total_pages >= 6, "a Type 2 tag needs at least 6 pages");
+        let data_bytes = (total_pages - DATA_START_PAGE) * PAGE_SIZE;
+        assert!(data_bytes <= 255 * 8, "data area too large for the CC size byte");
+        let mut tag = Type2Tag { uid, pages: vec![[0; PAGE_SIZE]; total_pages] };
+        // UID layout per NTAG: pages 0-1 + BCC bytes; approximate faithfully
+        // enough for readers that only use the anticollision UID.
+        let u = uid.as_bytes();
+        tag.pages[0] = [u[0], u[1], u[2], u[0] ^ u[1] ^ u[2] ^ 0x88];
+        tag.pages[1] = [u[3], u[4], u[5], u[6]];
+        tag.pages[2] = [0x00, 0x48, 0x00, 0x00]; // internal + lock bytes clear
+        tag.format_ndef();
+        tag
+    }
+
+    /// An NTAG213: 144-byte data area (36 data pages + header).
+    pub fn ntag213(uid: TagUid) -> Type2Tag {
+        Type2Tag::with_pages(uid, DATA_START_PAGE + 36)
+    }
+
+    /// An NTAG215: 504-byte data area.
+    pub fn ntag215(uid: TagUid) -> Type2Tag {
+        Type2Tag::with_pages(uid, DATA_START_PAGE + 126)
+    }
+
+    /// An NTAG216: 888-byte data area.
+    pub fn ntag216(uid: TagUid) -> Type2Tag {
+        Type2Tag::with_pages(uid, DATA_START_PAGE + 222)
+    }
+
+    /// The tag's UID.
+    pub fn uid(&self) -> TagUid {
+        self.uid
+    }
+
+    /// Size of the data area (TLV area) in bytes.
+    pub fn data_area_len(&self) -> usize {
+        (self.pages.len() - DATA_START_PAGE) * PAGE_SIZE
+    }
+
+    /// (Re)writes the capability container and an empty NDEF TLV,
+    /// producing a formatted, blank, writable tag.
+    pub fn format_ndef(&mut self) {
+        let size_byte = (self.data_area_len() / 8) as u8;
+        self.pages[3] = [CC_MAGIC, CC_VERSION, size_byte, 0x00];
+        // Empty NDEF TLV followed by terminator.
+        self.pages[DATA_START_PAGE] = [0x03, 0x00, 0xFE, 0x00];
+        for page in self.pages[DATA_START_PAGE + 1..].iter_mut() {
+            *page = [0; PAGE_SIZE];
+        }
+    }
+
+    /// Wipes the CC so the tag reads as *not NDEF formatted*.
+    pub fn unformat(&mut self) {
+        self.pages[3] = [0; PAGE_SIZE];
+    }
+
+    /// Directly sets or clears write protection (the CC write-access
+    /// nibble) — a provisioning/test helper that bypasses the radio.
+    /// Over the air, protection is applied with
+    /// [`crate::proto::make_read_only`] and is **permanent**, as on real
+    /// tags.
+    pub fn set_read_only(&mut self, read_only: bool) {
+        self.pages[3][3] = if read_only { 0x0F } else { 0x00 };
+    }
+
+    /// Whether the tag currently rejects writes (CC write access nibble).
+    pub fn is_read_only(&self) -> bool {
+        self.pages[3][3] & 0x0F != 0
+    }
+
+    /// Direct snapshot of the raw data area, for tests asserting on torn
+    /// intermediate states.
+    pub fn data_area(&self) -> Vec<u8> {
+        self.pages[DATA_START_PAGE..].iter().flatten().copied().collect()
+    }
+
+    fn page_locked(&self, page: usize) -> bool {
+        if self.is_read_only() {
+            return page >= 3;
+        }
+        let lock0 = self.pages[2][2];
+        let lock1 = self.pages[2][3];
+        match page {
+            3..=7 => lock0 & (1 << (page - 3 + 3)) != 0,
+            8..=15 => lock1 & (1 << (page - 8)) != 0,
+            _ => false,
+        }
+    }
+
+    fn read16(&self, start: usize) -> Vec<u8> {
+        // Type 2 READ wraps around the end of memory, like real silicon.
+        let mut out = Vec::with_capacity(16);
+        for i in 0..4 {
+            let page = (start + i) % self.pages.len();
+            out.extend_from_slice(&self.pages[page]);
+        }
+        out
+    }
+}
+
+impl TagEmulator for Type2Tag {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn uid(&self) -> TagUid {
+        self.uid
+    }
+
+    fn tech(&self) -> TagTech {
+        TagTech::Type2
+    }
+
+    fn transceive(&mut self, command: &[u8]) -> Result<Vec<u8>, TagError> {
+        match command {
+            [CMD_READ, addr] => {
+                let addr = *addr as usize;
+                if addr >= self.pages.len() {
+                    return Ok(vec![NAK]);
+                }
+                Ok(self.read16(addr))
+            }
+            [CMD_FAST_READ, start, end] => {
+                let (start, end) = (*start as usize, *end as usize);
+                if start > end || end >= self.pages.len() {
+                    return Ok(vec![NAK]);
+                }
+                let mut out = Vec::with_capacity((end - start + 1) * PAGE_SIZE);
+                for page in start..=end {
+                    out.extend_from_slice(&self.pages[page]);
+                }
+                Ok(out)
+            }
+            [CMD_WRITE, addr, d0, d1, d2, d3] => {
+                let addr = *addr as usize;
+                if addr >= self.pages.len() || addr < 2 {
+                    return Ok(vec![NAK]);
+                }
+                if self.page_locked(addr) {
+                    return Ok(vec![NAK]);
+                }
+                if addr == 2 {
+                    // Lock bytes are OR-writable only (bits can be set,
+                    // never cleared), like real OTP lock bits.
+                    self.pages[2][2] |= d2;
+                    self.pages[2][3] |= d3;
+                    let _ = (d0, d1); // internal bytes ignore writes
+                } else {
+                    self.pages[addr] = [*d0, *d1, *d2, *d3];
+                }
+                Ok(vec![ACK])
+            }
+            _ => Err(TagError::NoResponse),
+        }
+    }
+
+    fn on_field_lost(&mut self) {
+        // Type 2 tags keep no volatile session state.
+    }
+
+    fn ndef_capacity(&self) -> usize {
+        // Usable NDEF payload: data area minus TLV framing (T, L, terminator).
+        // Short length form (payload <= 254) costs 3 bytes, long form 5.
+        let area = self.data_area_len();
+        let short = area.saturating_sub(3).min(0xFE);
+        let long = area.saturating_sub(5);
+        short.max(long)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag() -> Type2Tag {
+        Type2Tag::ntag213(TagUid::from_seed(42))
+    }
+
+    #[test]
+    fn fresh_tag_has_cc_and_empty_ndef_tlv() {
+        let mut t = tag();
+        let cc = t.transceive(&[CMD_READ, 3]).unwrap();
+        assert_eq!(&cc[..4], &[0xE1, 0x10, 144 / 8, 0x00]);
+        // Data area starts with the empty NDEF TLV.
+        assert_eq!(&cc[4..7], &[0x03, 0x00, 0xFE]);
+    }
+
+    #[test]
+    fn read_returns_16_bytes_and_wraps() {
+        let mut t = tag();
+        let last = t.pages.len() - 1;
+        let resp = t.transceive(&[CMD_READ, last as u8]).unwrap();
+        assert_eq!(resp.len(), 16);
+        // Wrapped portion equals pages 0..3.
+        assert_eq!(&resp[4..8], &t.pages[0]);
+    }
+
+    #[test]
+    fn fast_read_returns_inclusive_range() {
+        let mut t = tag();
+        t.transceive(&[CMD_WRITE, 5, 9, 8, 7, 6]).unwrap();
+        let resp = t.transceive(&[CMD_FAST_READ, 4, 6]).unwrap();
+        assert_eq!(resp.len(), 12);
+        assert_eq!(&resp[4..8], &[9, 8, 7, 6]);
+        // Single page.
+        assert_eq!(t.transceive(&[CMD_FAST_READ, 5, 5]).unwrap(), vec![9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn fast_read_rejects_bad_ranges() {
+        let mut t = tag();
+        assert_eq!(t.transceive(&[CMD_FAST_READ, 6, 4]).unwrap(), vec![NAK]);
+        assert_eq!(t.transceive(&[CMD_FAST_READ, 0, 200]).unwrap(), vec![NAK]);
+    }
+
+    #[test]
+    fn read_out_of_range_naks() {
+        let mut t = tag();
+        let resp = t.transceive(&[CMD_READ, 200]).unwrap();
+        assert_eq!(resp, vec![NAK]);
+    }
+
+    #[test]
+    fn write_and_read_back() {
+        let mut t = tag();
+        assert_eq!(t.transceive(&[CMD_WRITE, 5, 1, 2, 3, 4]).unwrap(), vec![ACK]);
+        let resp = t.transceive(&[CMD_READ, 5]).unwrap();
+        assert_eq!(&resp[..4], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn writes_to_header_pages_nak() {
+        let mut t = tag();
+        assert_eq!(t.transceive(&[CMD_WRITE, 0, 0, 0, 0, 0]).unwrap(), vec![NAK]);
+        assert_eq!(t.transceive(&[CMD_WRITE, 1, 0, 0, 0, 0]).unwrap(), vec![NAK]);
+    }
+
+    #[test]
+    fn lock_bits_are_otp_and_protect_pages() {
+        let mut t = tag();
+        // Set lock bit for page 4 (lock byte 0, bit 4).
+        assert_eq!(t.transceive(&[CMD_WRITE, 2, 0, 0, 1 << 4, 0]).unwrap(), vec![ACK]);
+        assert_eq!(t.transceive(&[CMD_WRITE, 4, 9, 9, 9, 9]).unwrap(), vec![NAK]);
+        // Page 5 still writable.
+        assert_eq!(t.transceive(&[CMD_WRITE, 5, 9, 9, 9, 9]).unwrap(), vec![ACK]);
+        // Attempting to clear lock bits has no effect (OR semantics).
+        assert_eq!(t.transceive(&[CMD_WRITE, 2, 0, 0, 0, 0]).unwrap(), vec![ACK]);
+        assert_eq!(t.transceive(&[CMD_WRITE, 4, 9, 9, 9, 9]).unwrap(), vec![NAK]);
+    }
+
+    #[test]
+    fn lock_byte_1_covers_pages_8_to_15() {
+        let mut t = tag();
+        assert_eq!(t.transceive(&[CMD_WRITE, 2, 0, 0, 0, 1 << 2]).unwrap(), vec![ACK]);
+        assert_eq!(t.transceive(&[CMD_WRITE, 10, 1, 1, 1, 1]).unwrap(), vec![NAK]);
+        assert_eq!(t.transceive(&[CMD_WRITE, 11, 1, 1, 1, 1]).unwrap(), vec![ACK]);
+    }
+
+    #[test]
+    fn read_only_tag_naks_all_data_writes() {
+        let mut t = tag();
+        t.set_read_only(true);
+        assert!(t.is_read_only());
+        assert_eq!(t.transceive(&[CMD_WRITE, 7, 1, 1, 1, 1]).unwrap(), vec![NAK]);
+        // CC access nibble reflects read-only state.
+        let cc = t.transceive(&[CMD_READ, 3]).unwrap();
+        assert_eq!(cc[3], 0x0F);
+        t.set_read_only(false);
+        assert_eq!(t.transceive(&[CMD_WRITE, 7, 1, 1, 1, 1]).unwrap(), vec![ACK]);
+    }
+
+    #[test]
+    fn unknown_commands_get_no_response() {
+        let mut t = tag();
+        assert_eq!(t.transceive(&[0x99, 1, 2]), Err(TagError::NoResponse));
+        assert_eq!(t.transceive(&[]), Err(TagError::NoResponse));
+        assert_eq!(t.transceive(&[CMD_WRITE, 5, 1]), Err(TagError::NoResponse));
+    }
+
+    #[test]
+    fn capacity_accounts_for_tlv_overhead() {
+        let t213 = Type2Tag::ntag213(TagUid::from_seed(1));
+        assert_eq!(t213.data_area_len(), 144);
+        assert_eq!(t213.ndef_capacity(), 141); // short TLV form
+        let t216 = Type2Tag::ntag216(TagUid::from_seed(2));
+        assert_eq!(t216.data_area_len(), 888);
+        assert_eq!(t216.ndef_capacity(), 883); // long TLV form
+    }
+
+    #[test]
+    fn unformat_clears_cc() {
+        let mut t = tag();
+        t.unformat();
+        let cc = t.transceive(&[CMD_READ, 3]).unwrap();
+        assert_eq!(&cc[..4], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn model_sizes_match_datasheets() {
+        assert_eq!(Type2Tag::ntag213(TagUid::from_seed(0)).data_area_len(), 144);
+        assert_eq!(Type2Tag::ntag215(TagUid::from_seed(0)).data_area_len(), 504);
+        assert_eq!(Type2Tag::ntag216(TagUid::from_seed(0)).data_area_len(), 888);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 6 pages")]
+    fn too_small_tag_panics() {
+        Type2Tag::with_pages(TagUid::from_seed(0), 5);
+    }
+}

@@ -1,0 +1,439 @@
+use crate::error::TagError;
+use crate::tag::{TagEmulator, TagTech, TagUid};
+
+/// The NDEF Tag Application AID selected before any file operation.
+pub const NDEF_AID: [u8; 7] = [0xD2, 0x76, 0x00, 0x00, 0x85, 0x01, 0x01];
+/// File identifier of the capability container file.
+pub const CC_FILE_ID: u16 = 0xE103;
+/// File identifier of the NDEF file used by this emulator.
+pub const NDEF_FILE_ID: u16 = 0xE104;
+
+/// Status word: success.
+pub const SW_OK: [u8; 2] = [0x90, 0x00];
+/// Status word: file or application not found.
+pub const SW_NOT_FOUND: [u8; 2] = [0x6A, 0x82];
+/// Status word: command not allowed (no file selected).
+pub const SW_NOT_ALLOWED: [u8; 2] = [0x69, 0x86];
+/// Status word: security status not satisfied (write to read-only file).
+pub const SW_SECURITY: [u8; 2] = [0x69, 0x82];
+/// Status word: wrong P1/P2 (offset outside the file).
+pub const SW_WRONG_P1P2: [u8; 2] = [0x6B, 0x00];
+/// Status word: wrong length.
+pub const SW_WRONG_LENGTH: [u8; 2] = [0x67, 0x00];
+/// Status word: instruction not supported.
+pub const SW_INS_NOT_SUPPORTED: [u8; 2] = [0x6D, 0x00];
+
+/// Maximum bytes a reader may request per `READ BINARY` (MLe).
+pub const MAX_READ_LEN: usize = 0x00F6;
+/// Maximum bytes a reader may send per `UPDATE BINARY` (MLc).
+pub const MAX_WRITE_LEN: usize = 0x00F6;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SelectedFile {
+    None,
+    Cc,
+    Ndef,
+}
+
+/// An NFC Forum **Type 4** tag emulator: an ISO 7816-4 smartcard
+/// application holding a capability-container file and an NDEF file.
+///
+/// Supported APDUs (the complete Type 4 Tag operation set):
+///
+/// * `SELECT` by AID (`00 A4 04 00`) — the NDEF Tag Application.
+/// * `SELECT` by file id (`00 A4 00 0C`) — CC file or NDEF file.
+/// * `READ BINARY` (`00 B0 offset le`).
+/// * `UPDATE BINARY` (`00 D6 offset lc data`).
+///
+/// The NDEF file stores a 2-byte big-endian length (NLEN) followed by the
+/// message bytes; writers zero NLEN before rewriting content, so a write
+/// torn by field loss leaves a *consistently empty* tag rather than
+/// garbage — behaviour the middleware's retry logic can rely on.
+///
+/// # Examples
+///
+/// ```
+/// use morena_nfc_sim::tag::{TagEmulator, TagUid, Type4Tag};
+///
+/// let mut tag = Type4Tag::new(TagUid::from_seed(9), 2048);
+/// let select_app = [0x00, 0xA4, 0x04, 0x00, 0x07,
+///                   0xD2, 0x76, 0x00, 0x00, 0x85, 0x01, 0x01, 0x00];
+/// assert_eq!(tag.transceive(&select_app).unwrap(), vec![0x90, 0x00]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Type4Tag {
+    uid: TagUid,
+    ndef_file: Vec<u8>,
+    app_selected: bool,
+    selected: SelectedFile,
+    read_only: bool,
+    formatted: bool,
+}
+
+impl Type4Tag {
+    /// Creates a formatted, blank Type 4 tag whose NDEF file (including
+    /// the 2-byte NLEN prefix) is `ndef_file_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ndef_file_size` is smaller than 7 bytes (NLEN plus room
+    /// for the smallest NDEF message) or larger than `0x7FFF` (the Type 4
+    /// mapping's maximum).
+    pub fn new(uid: TagUid, ndef_file_size: usize) -> Type4Tag {
+        assert!((7..=0x7FFF).contains(&ndef_file_size), "invalid NDEF file size");
+        Type4Tag {
+            uid,
+            ndef_file: vec![0; ndef_file_size],
+            app_selected: false,
+            selected: SelectedFile::None,
+            read_only: false,
+            formatted: true,
+        }
+    }
+
+    /// The tag's UID.
+    pub fn uid(&self) -> TagUid {
+        self.uid
+    }
+
+    /// Marks the NDEF file read-only (write access byte `FF` in the CC).
+    pub fn set_read_only(&mut self, read_only: bool) {
+        self.read_only = read_only;
+    }
+
+    /// Whether the NDEF file rejects updates.
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Makes the tag present no NDEF application (factory, unformatted).
+    pub fn unformat(&mut self) {
+        self.formatted = false;
+    }
+
+    /// Direct snapshot of the NDEF file, for tests asserting on torn
+    /// intermediate states.
+    pub fn ndef_file(&self) -> &[u8] {
+        &self.ndef_file
+    }
+
+    fn cc_file(&self) -> Vec<u8> {
+        let max_ndef = self.ndef_file.len() as u16;
+        let write_access = if self.read_only { 0xFF } else { 0x00 };
+        let mut cc = Vec::with_capacity(15);
+        cc.extend_from_slice(&15u16.to_be_bytes()); // CCLEN
+        cc.push(0x20); // mapping version 2.0
+        cc.extend_from_slice(&(MAX_READ_LEN as u16).to_be_bytes()); // MLe
+        cc.extend_from_slice(&(MAX_WRITE_LEN as u16).to_be_bytes()); // MLc
+        cc.push(0x04); // NDEF File Control TLV
+        cc.push(0x06);
+        cc.extend_from_slice(&NDEF_FILE_ID.to_be_bytes());
+        cc.extend_from_slice(&max_ndef.to_be_bytes());
+        cc.push(0x00); // read access: open
+        cc.push(write_access);
+        cc
+    }
+
+    fn handle_select(&mut self, p1: u8, p2: u8, data: &[u8]) -> Vec<u8> {
+        match (p1, p2) {
+            (0x04, 0x00) => {
+                if self.formatted && data == NDEF_AID {
+                    self.app_selected = true;
+                    self.selected = SelectedFile::None;
+                    SW_OK.to_vec()
+                } else {
+                    SW_NOT_FOUND.to_vec()
+                }
+            }
+            (0x00, 0x0C) => {
+                if !self.app_selected || data.len() != 2 {
+                    return SW_NOT_FOUND.to_vec();
+                }
+                let fid = u16::from_be_bytes([data[0], data[1]]);
+                match fid {
+                    x if x == CC_FILE_ID => {
+                        self.selected = SelectedFile::Cc;
+                        SW_OK.to_vec()
+                    }
+                    x if x == NDEF_FILE_ID => {
+                        self.selected = SelectedFile::Ndef;
+                        SW_OK.to_vec()
+                    }
+                    _ => SW_NOT_FOUND.to_vec(),
+                }
+            }
+            _ => SW_WRONG_P1P2.to_vec(),
+        }
+    }
+
+    fn handle_read(&self, offset: usize, le: usize) -> Vec<u8> {
+        let file: Vec<u8> = match self.selected {
+            SelectedFile::None => return SW_NOT_ALLOWED.to_vec(),
+            SelectedFile::Cc => self.cc_file(),
+            SelectedFile::Ndef => self.ndef_file.clone(),
+        };
+        if le > MAX_READ_LEN {
+            return SW_WRONG_LENGTH.to_vec();
+        }
+        if offset > file.len() {
+            return SW_WRONG_P1P2.to_vec();
+        }
+        let end = (offset + le).min(file.len());
+        let mut resp = file[offset..end].to_vec();
+        resp.extend_from_slice(&SW_OK);
+        resp
+    }
+
+    fn handle_update(&mut self, offset: usize, data: &[u8]) -> Vec<u8> {
+        match self.selected {
+            SelectedFile::None => SW_NOT_ALLOWED.to_vec(),
+            SelectedFile::Cc => {
+                // The one writable CC byte: write access. Setting it to
+                // 0xFF makes the tag permanently read-only over the air
+                // (the `makeReadOnly` path); anything else is refused.
+                if offset == 14 && data == [0xFF] {
+                    self.read_only = true;
+                    SW_OK.to_vec()
+                } else {
+                    SW_NOT_ALLOWED.to_vec()
+                }
+            }
+            SelectedFile::Ndef => {
+                if self.read_only {
+                    return SW_SECURITY.to_vec();
+                }
+                if data.len() > MAX_WRITE_LEN {
+                    return SW_WRONG_LENGTH.to_vec();
+                }
+                if offset + data.len() > self.ndef_file.len() {
+                    return SW_WRONG_P1P2.to_vec();
+                }
+                self.ndef_file[offset..offset + data.len()].copy_from_slice(data);
+                SW_OK.to_vec()
+            }
+        }
+    }
+}
+
+impl TagEmulator for Type4Tag {
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn uid(&self) -> TagUid {
+        self.uid
+    }
+
+    fn tech(&self) -> TagTech {
+        TagTech::Type4
+    }
+
+    fn transceive(&mut self, command: &[u8]) -> Result<Vec<u8>, TagError> {
+        // ISO 7816-4 short APDU: CLA INS P1 P2 [Lc data] [Le]
+        if command.len() < 4 {
+            return Err(TagError::NoResponse);
+        }
+        let (cla, ins, p1, p2) = (command[0], command[1], command[2], command[3]);
+        if cla != 0x00 {
+            return Ok(SW_INS_NOT_SUPPORTED.to_vec());
+        }
+        let body = &command[4..];
+        match ins {
+            0xA4 => {
+                // SELECT: Lc data [Le]
+                let Some((&lc, rest)) = body.split_first() else {
+                    return Ok(SW_WRONG_LENGTH.to_vec());
+                };
+                let lc = lc as usize;
+                if rest.len() < lc {
+                    return Ok(SW_WRONG_LENGTH.to_vec());
+                }
+                Ok(self.handle_select(p1, p2, &rest[..lc]))
+            }
+            0xB0 => {
+                // READ BINARY: offset in P1P2, Le in body (0 => 256).
+                let offset = u16::from_be_bytes([p1, p2]) as usize;
+                let le = match body {
+                    [] => return Ok(SW_WRONG_LENGTH.to_vec()),
+                    [0] => 256,
+                    [le] => *le as usize,
+                    _ => return Ok(SW_WRONG_LENGTH.to_vec()),
+                };
+                Ok(self.handle_read(offset, le))
+            }
+            0xD6 => {
+                // UPDATE BINARY: offset in P1P2, Lc + data.
+                let Some((&lc, rest)) = body.split_first() else {
+                    return Ok(SW_WRONG_LENGTH.to_vec());
+                };
+                let lc = lc as usize;
+                if rest.len() != lc {
+                    return Ok(SW_WRONG_LENGTH.to_vec());
+                }
+                let offset = u16::from_be_bytes([p1, p2]) as usize;
+                Ok(self.handle_update(offset, rest))
+            }
+            _ => Ok(SW_INS_NOT_SUPPORTED.to_vec()),
+        }
+    }
+
+    fn on_field_lost(&mut self) {
+        // Selection state is volatile; file contents persist.
+        self.app_selected = false;
+        self.selected = SelectedFile::None;
+    }
+
+    fn ndef_capacity(&self) -> usize {
+        self.ndef_file.len() - 2 // minus the NLEN prefix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn select_app_apdu() -> Vec<u8> {
+        let mut apdu = vec![0x00, 0xA4, 0x04, 0x00, 0x07];
+        apdu.extend_from_slice(&NDEF_AID);
+        apdu.push(0x00);
+        apdu
+    }
+
+    fn select_file_apdu(fid: u16) -> Vec<u8> {
+        let fid = fid.to_be_bytes();
+        vec![0x00, 0xA4, 0x00, 0x0C, 0x02, fid[0], fid[1]]
+    }
+
+    fn read_apdu(offset: u16, le: u8) -> Vec<u8> {
+        let o = offset.to_be_bytes();
+        vec![0x00, 0xB0, o[0], o[1], le]
+    }
+
+    fn update_apdu(offset: u16, data: &[u8]) -> Vec<u8> {
+        let o = offset.to_be_bytes();
+        let mut apdu = vec![0x00, 0xD6, o[0], o[1], data.len() as u8];
+        apdu.extend_from_slice(data);
+        apdu
+    }
+
+    fn tag() -> Type4Tag {
+        Type4Tag::new(TagUid::from_seed(7), 512)
+    }
+
+    #[test]
+    fn full_select_read_cc_flow() {
+        let mut t = tag();
+        assert_eq!(t.transceive(&select_app_apdu()).unwrap(), SW_OK.to_vec());
+        assert_eq!(t.transceive(&select_file_apdu(CC_FILE_ID)).unwrap(), SW_OK.to_vec());
+        let resp = t.transceive(&read_apdu(0, 15)).unwrap();
+        assert_eq!(&resp[resp.len() - 2..], &SW_OK);
+        let cc = &resp[..15];
+        assert_eq!(cc[2], 0x20); // mapping version
+        assert_eq!(u16::from_be_bytes([cc[9], cc[10]]), NDEF_FILE_ID);
+        assert_eq!(u16::from_be_bytes([cc[11], cc[12]]), 512);
+        assert_eq!(cc[14], 0x00); // writable
+    }
+
+    #[test]
+    fn write_then_read_ndef_file() {
+        let mut t = tag();
+        t.transceive(&select_app_apdu()).unwrap();
+        t.transceive(&select_file_apdu(NDEF_FILE_ID)).unwrap();
+        assert_eq!(t.transceive(&update_apdu(2, b"hello")).unwrap(), SW_OK.to_vec());
+        assert_eq!(t.transceive(&update_apdu(0, &5u16.to_be_bytes())).unwrap(), SW_OK.to_vec());
+        let resp = t.transceive(&read_apdu(0, 7)).unwrap();
+        assert_eq!(&resp[..2], &5u16.to_be_bytes());
+        assert_eq!(&resp[2..7], b"hello");
+    }
+
+    #[test]
+    fn operations_require_selection_order() {
+        let mut t = tag();
+        // Read before any select.
+        assert_eq!(t.transceive(&read_apdu(0, 4)).unwrap(), SW_NOT_ALLOWED.to_vec());
+        // File select before app select fails.
+        assert_eq!(t.transceive(&select_file_apdu(NDEF_FILE_ID)).unwrap(), SW_NOT_FOUND.to_vec());
+        // Update with CC selected is not allowed.
+        t.transceive(&select_app_apdu()).unwrap();
+        t.transceive(&select_file_apdu(CC_FILE_ID)).unwrap();
+        assert_eq!(t.transceive(&update_apdu(0, b"x")).unwrap(), SW_NOT_ALLOWED.to_vec());
+    }
+
+    #[test]
+    fn field_loss_resets_selection_but_keeps_data() {
+        let mut t = tag();
+        t.transceive(&select_app_apdu()).unwrap();
+        t.transceive(&select_file_apdu(NDEF_FILE_ID)).unwrap();
+        t.transceive(&update_apdu(2, b"persist")).unwrap();
+        t.on_field_lost();
+        assert_eq!(t.transceive(&read_apdu(0, 4)).unwrap(), SW_NOT_ALLOWED.to_vec());
+        t.transceive(&select_app_apdu()).unwrap();
+        t.transceive(&select_file_apdu(NDEF_FILE_ID)).unwrap();
+        let resp = t.transceive(&read_apdu(2, 7)).unwrap();
+        assert_eq!(&resp[..7], b"persist");
+    }
+
+    #[test]
+    fn read_only_rejects_updates_and_cc_reflects_it() {
+        let mut t = tag();
+        t.set_read_only(true);
+        t.transceive(&select_app_apdu()).unwrap();
+        t.transceive(&select_file_apdu(NDEF_FILE_ID)).unwrap();
+        assert_eq!(t.transceive(&update_apdu(0, b"x")).unwrap(), SW_SECURITY.to_vec());
+        t.transceive(&select_file_apdu(CC_FILE_ID)).unwrap();
+        let resp = t.transceive(&read_apdu(0, 15)).unwrap();
+        assert_eq!(resp[14], 0xFF);
+    }
+
+    #[test]
+    fn unformatted_tag_hides_application() {
+        let mut t = tag();
+        t.unformat();
+        assert_eq!(t.transceive(&select_app_apdu()).unwrap(), SW_NOT_FOUND.to_vec());
+    }
+
+    #[test]
+    fn bounds_and_length_errors() {
+        let mut t = tag();
+        t.transceive(&select_app_apdu()).unwrap();
+        t.transceive(&select_file_apdu(NDEF_FILE_ID)).unwrap();
+        // Offset beyond the file.
+        assert_eq!(t.transceive(&read_apdu(600, 4)).unwrap(), SW_WRONG_P1P2.to_vec());
+        assert_eq!(t.transceive(&update_apdu(510, b"abc")).unwrap(), SW_WRONG_P1P2.to_vec());
+        // Truncated APDUs.
+        assert_eq!(t.transceive(&[0x00, 0xB0, 0, 0]).unwrap(), SW_WRONG_LENGTH.to_vec());
+        assert_eq!(t.transceive(&[0x00, 0xD6, 0, 0, 5, 1, 2]).unwrap(), SW_WRONG_LENGTH.to_vec());
+        // Too-short frame gets no response at all.
+        assert_eq!(t.transceive(&[0x00, 0xB0]), Err(TagError::NoResponse));
+    }
+
+    #[test]
+    fn wrong_class_and_instruction() {
+        let mut t = tag();
+        assert_eq!(t.transceive(&[0x80, 0xA4, 0, 0]).unwrap(), SW_INS_NOT_SUPPORTED.to_vec());
+        assert_eq!(t.transceive(&[0x00, 0xEE, 0, 0]).unwrap(), SW_INS_NOT_SUPPORTED.to_vec());
+    }
+
+    #[test]
+    fn le_zero_means_256() {
+        let mut t = Type4Tag::new(TagUid::from_seed(1), 400);
+        t.transceive(&select_app_apdu()).unwrap();
+        t.transceive(&select_file_apdu(NDEF_FILE_ID)).unwrap();
+        let resp = t.transceive(&read_apdu(0, 0)).unwrap();
+        // 256 requested but MLe is 0xF6=246... 256 > MAX_READ_LEN -> wrong length
+        assert_eq!(resp, SW_WRONG_LENGTH.to_vec());
+        let resp = t.transceive(&read_apdu(0, 0xF6)).unwrap();
+        assert_eq!(resp.len(), 0xF6 + 2);
+    }
+
+    #[test]
+    fn capacity_excludes_nlen() {
+        assert_eq!(tag().ndef_capacity(), 510);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid NDEF file size")]
+    fn tiny_file_panics() {
+        Type4Tag::new(TagUid::from_seed(0), 4);
+    }
+}

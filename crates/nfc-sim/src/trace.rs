@@ -1,0 +1,146 @@
+//! World tracing: a timestamped record of everything that physically
+//! happened — taps, departures, exchanges, beams — for debugging
+//! middleware behaviour and for experiments that need ground truth
+//! beyond aggregate [`crate::world::RadioStats`].
+//!
+//! Tracing is off by default (zero overhead beyond an atomic check);
+//! [`crate::world::World::enable_trace`] switches it on with a bounded
+//! buffer (oldest entries are dropped first).
+
+use std::collections::VecDeque;
+
+use crate::clock::SimInstant;
+use crate::tag::TagUid;
+use crate::world::PhoneId;
+
+/// One traced physical event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceEvent {
+    /// A tag entered a phone's field.
+    TagEntered {
+        /// The phone.
+        phone: PhoneId,
+        /// The tag.
+        uid: TagUid,
+    },
+    /// A tag left a phone's field.
+    TagLeft {
+        /// The phone.
+        phone: PhoneId,
+        /// The tag.
+        uid: TagUid,
+    },
+    /// A command/response exchange completed or failed.
+    Exchange {
+        /// The reader phone.
+        phone: PhoneId,
+        /// The tag addressed.
+        uid: TagUid,
+        /// First command byte (the opcode), when present.
+        opcode: Option<u8>,
+        /// Whether the exchange delivered a response.
+        ok: bool,
+    },
+    /// A beam push was attempted.
+    Beam {
+        /// The sending phone.
+        from: PhoneId,
+        /// Bytes pushed.
+        bytes: usize,
+        /// Peers reached (0 = failed).
+        delivered: usize,
+    },
+}
+
+/// A timestamped [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When it happened (world clock).
+    pub at: SimInstant,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+impl std::fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ", self.at)?;
+        match &self.event {
+            TraceEvent::TagEntered { phone, uid } => write!(f, "{phone} sees {uid}"),
+            TraceEvent::TagLeft { phone, uid } => write!(f, "{phone} loses {uid}"),
+            TraceEvent::Exchange { phone, uid, opcode, ok } => {
+                let op = opcode.map(|o| format!("{o:#04x}")).unwrap_or_else(|| "-".into());
+                write!(f, "{phone} <-> {uid} cmd {op} {}", if *ok { "ok" } else { "FAIL" })
+            }
+            TraceEvent::Beam { from, bytes, delivered } => {
+                write!(f, "{from} beams {bytes}B to {delivered} peer(s)")
+            }
+        }
+    }
+}
+
+/// A bounded in-memory trace buffer.
+#[derive(Debug)]
+pub(crate) struct TraceBuffer {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    pub(crate) fn new(capacity: usize) -> TraceBuffer {
+        TraceBuffer { entries: VecDeque::with_capacity(capacity.min(1024)), capacity, dropped: 0 }
+    }
+
+    pub(crate) fn push(&mut self, at: SimInstant, event: TraceEvent) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry { at, event });
+    }
+
+    pub(crate) fn snapshot(&self) -> (Vec<TraceEntry>, u64) {
+        (self.entries.iter().cloned().collect(), self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_is_bounded_and_counts_drops() {
+        let mut buffer = TraceBuffer::new(2);
+        for i in 0..5u32 {
+            buffer.push(
+                SimInstant::from_nanos(i as u64),
+                TraceEvent::Beam { from: PhoneId::from_u64(0), bytes: i as usize, delivered: 1 },
+            );
+        }
+        let (entries, dropped) = buffer.snapshot();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(dropped, 3);
+        assert_eq!(entries[0].at, SimInstant::from_nanos(3));
+        assert_eq!(entries[1].at, SimInstant::from_nanos(4));
+    }
+
+    #[test]
+    fn entries_render_readably() {
+        let phone = PhoneId::from_u64(1);
+        let uid = TagUid::from_seed(7);
+        let cases = [
+            TraceEvent::TagEntered { phone, uid },
+            TraceEvent::TagLeft { phone, uid },
+            TraceEvent::Exchange { phone, uid, opcode: Some(0x30), ok: true },
+            TraceEvent::Exchange { phone, uid, opcode: None, ok: false },
+            TraceEvent::Beam { from: phone, bytes: 12, delivered: 0 },
+        ];
+        for event in cases {
+            let entry = TraceEntry { at: SimInstant::from_nanos(1_000_000), event };
+            let rendered = entry.to_string();
+            assert!(rendered.starts_with("t+0.001s"), "{rendered}");
+            assert!(rendered.len() > 10);
+        }
+    }
+}

@@ -1,0 +1,911 @@
+//! The simulated physical world: phones and tags with positions, an
+//! event feed per phone, command exchanges over the lossy link, and the
+//! peer-to-peer push channel ("Beam").
+//!
+//! The world is the single source of truth for *where things are*. Every
+//! proximity change (a tap, a tag pulled away, two phones brought
+//! together) synchronously produces [`NfcEvent`]s on the affected phones'
+//! subscriptions — the simulation-level equivalent of the discovery
+//! interrupts a real NFC controller raises.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::clock::{Clock, SimInstant};
+use crate::error::{LinkError, TagError};
+use crate::trace::{TraceBuffer, TraceEntry, TraceEvent};
+use crate::geometry::Point;
+use crate::link::LinkModel;
+use crate::tag::{TagEmulator, TagTech, TagUid};
+
+/// Identity of a phone in the world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhoneId(u64);
+
+impl PhoneId {
+    /// Builds a `PhoneId` from its raw value — for test fixtures and
+    /// serialized identities. A world only routes to ids it created.
+    pub fn from_u64(raw: u64) -> PhoneId {
+        PhoneId(raw)
+    }
+
+    /// The raw numeric id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for PhoneId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "phone-{}", self.0)
+    }
+}
+
+/// A proximity or data event delivered to a phone's NFC stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NfcEvent {
+    /// A tag entered this phone's field.
+    TagEntered {
+        /// The tag's UID.
+        uid: TagUid,
+        /// The tag platform, learned during activation.
+        tech: TagTech,
+    },
+    /// A tag left this phone's field.
+    TagLeft {
+        /// The tag's UID.
+        uid: TagUid,
+    },
+    /// Another phone came into beam range.
+    PeerEntered {
+        /// The peer phone.
+        peer: PhoneId,
+    },
+    /// A peer phone left beam range.
+    PeerLeft {
+        /// The peer phone.
+        peer: PhoneId,
+    },
+    /// A beamed NDEF payload arrived from a peer.
+    BeamReceived {
+        /// The sending phone.
+        from: PhoneId,
+        /// The raw NDEF message bytes.
+        bytes: Vec<u8>,
+    },
+}
+
+struct TagSlot {
+    emulator: Box<dyn TagEmulator>,
+    tech: TagTech,
+    position: Point,
+}
+
+struct PhoneSlot {
+    name: String,
+    position: Point,
+    subscribers: Vec<Sender<NfcEvent>>,
+}
+
+/// Aggregate radio activity of a world — the simulation-side ground
+/// truth experiments use to report how much physical work an approach
+/// cost (exchanges, failures, air time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RadioStats {
+    /// Command/response exchanges attempted (including failed ones).
+    pub exchanges: u64,
+    /// Exchanges rejected before the air (target out of range/unknown).
+    pub rejected: u64,
+    /// Exchanges lost to noise or mid-flight field loss.
+    pub failed: u64,
+    /// Payload bytes moved over the air (commands of completed
+    /// exchanges, both directions approximated).
+    pub bytes: u64,
+    /// Total simulated air time spent in exchanges, in nanoseconds.
+    pub air_time_nanos: u64,
+    /// Beam pushes attempted.
+    pub beams: u64,
+    /// Beam pushes that reached at least one peer.
+    pub beams_delivered: u64,
+}
+
+struct WorldState {
+    link: LinkModel,
+    rng: StdRng,
+    tags: HashMap<TagUid, TagSlot>,
+    phones: HashMap<PhoneId, PhoneSlot>,
+    next_phone: u64,
+    radio: RadioStats,
+    trace: Option<TraceBuffer>,
+}
+
+impl WorldState {
+    fn trace(&mut self, at: SimInstant, event: TraceEvent) {
+        if let Some(buffer) = self.trace.as_mut() {
+            buffer.push(at, event);
+        }
+    }
+
+    fn emit(&self, phone: PhoneId, event: NfcEvent) {
+        if let Some(slot) = self.phones.get(&phone) {
+            for sub in &slot.subscribers {
+                // A dropped receiver is fine; stale subscriptions are pruned
+                // lazily on subscribe.
+                let _ = sub.send(event.clone());
+            }
+        }
+    }
+
+    fn tag_in_range(&self, phone: PhoneId, uid: TagUid) -> bool {
+        match (self.phones.get(&phone), self.tags.get(&uid)) {
+            (Some(p), Some(t)) => p.position.distance_to(t.position) <= self.link.nfc_range_m,
+            _ => false,
+        }
+    }
+
+    fn peers_in_range(&self, phone: PhoneId) -> Vec<PhoneId> {
+        let Some(me) = self.phones.get(&phone) else { return Vec::new() };
+        let mut peers: Vec<PhoneId> = self
+            .phones
+            .iter()
+            .filter(|(id, p)| {
+                **id != phone && p.position.distance_to(me.position) <= self.link.p2p_range_m
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        peers.sort();
+        peers
+    }
+}
+
+/// The simulated world. Cheap to clone (shared interior), thread-safe.
+///
+/// # Examples
+///
+/// ```
+/// use morena_nfc_sim::clock::VirtualClock;
+/// use morena_nfc_sim::tag::{TagUid, Type2Tag};
+/// use morena_nfc_sim::world::World;
+///
+/// let world = World::new(VirtualClock::shared());
+/// let phone = world.add_phone("alice");
+/// let uid = TagUid::from_seed(1);
+/// world.add_tag(Box::new(Type2Tag::ntag213(uid)));
+/// world.tap_tag(uid, phone);
+/// assert!(world.tag_in_range(phone, uid));
+/// ```
+#[derive(Clone)]
+pub struct World {
+    state: Arc<Mutex<WorldState>>,
+    clock: Arc<dyn Clock>,
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("World")
+            .field("tags", &state.tags.len())
+            .field("phones", &state.phones.len())
+            .finish()
+    }
+}
+
+impl World {
+    /// Creates a world with the realistic link model and RNG seed 0.
+    pub fn new(clock: Arc<dyn Clock>) -> World {
+        World::with_link(clock, LinkModel::realistic(), 0)
+    }
+
+    /// Creates a world with an explicit link model and RNG seed.
+    pub fn with_link(clock: Arc<dyn Clock>, link: LinkModel, seed: u64) -> World {
+        World {
+            state: Arc::new(Mutex::new(WorldState {
+                link,
+                rng: StdRng::seed_from_u64(seed),
+                tags: HashMap::new(),
+                phones: HashMap::new(),
+                next_phone: 0,
+                radio: RadioStats::default(),
+                trace: None,
+            })),
+            clock,
+        }
+    }
+
+    /// The world's time source.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// The current link model (a copy).
+    pub fn link_model(&self) -> LinkModel {
+        self.state.lock().link.clone()
+    }
+
+    /// A snapshot of the world's aggregate radio activity.
+    pub fn radio_stats(&self) -> RadioStats {
+        self.state.lock().radio
+    }
+
+    /// Turns on physical-event tracing with a bounded buffer of
+    /// `capacity` entries (oldest dropped first). Re-enabling clears the
+    /// buffer.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use morena_nfc_sim::clock::VirtualClock;
+    /// use morena_nfc_sim::tag::{TagUid, Type2Tag};
+    /// use morena_nfc_sim::world::World;
+    ///
+    /// let world = World::new(VirtualClock::shared());
+    /// world.enable_trace(64);
+    /// let phone = world.add_phone("alice");
+    /// let uid = world.add_tag(Box::new(Type2Tag::ntag213(TagUid::from_seed(1))));
+    /// world.tap_tag(uid, phone);
+    /// let (entries, dropped) = world.trace_snapshot();
+    /// assert_eq!(entries.len(), 1); // the TagEntered event
+    /// assert_eq!(dropped, 0);
+    /// ```
+    pub fn enable_trace(&self, capacity: usize) {
+        self.state.lock().trace = Some(TraceBuffer::new(capacity));
+    }
+
+    /// Turns tracing off, discarding the buffer.
+    pub fn disable_trace(&self) {
+        self.state.lock().trace = None;
+    }
+
+    /// A snapshot of the trace: `(entries, dropped_count)`. Empty when
+    /// tracing is off.
+    pub fn trace_snapshot(&self) -> (Vec<TraceEntry>, u64) {
+        self.state
+            .lock()
+            .trace
+            .as_ref()
+            .map(|buffer| buffer.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Adds a phone. Each phone starts isolated, far from everything.
+    pub fn add_phone(&self, name: &str) -> PhoneId {
+        let mut state = self.state.lock();
+        let id = PhoneId(state.next_phone);
+        state.next_phone += 1;
+        // Spread fresh phones out so they are not accidentally in range.
+        let position = Point::new(1000.0 * (id.0 as f64 + 1.0), 0.0);
+        state.phones.insert(
+            id,
+            PhoneSlot { name: name.to_owned(), position, subscribers: Vec::new() },
+        );
+        id
+    }
+
+    /// A phone's display name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the phone does not exist.
+    pub fn phone_name(&self, phone: PhoneId) -> String {
+        self.state.lock().phones[&phone].name.clone()
+    }
+
+    /// Adds a tag to the world, initially far from every phone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a tag with the same UID already exists.
+    pub fn add_tag(&self, emulator: Box<dyn TagEmulator>) -> TagUid {
+        let mut state = self.state.lock();
+        let uid = emulator.uid();
+        let tech = emulator.tech();
+        assert!(
+            !state.tags.contains_key(&uid),
+            "a tag with UID {uid} already exists in the world"
+        );
+        state.tags.insert(uid, TagSlot { emulator, tech, position: Point::far_away() });
+        uid
+    }
+
+    /// Removes a tag from the world entirely, emitting `TagLeft` to any
+    /// phone that had it in range. Returns the emulator so callers can
+    /// inspect its final memory.
+    pub fn take_tag(&self, uid: TagUid) -> Option<Box<dyn TagEmulator>> {
+        let mut state = self.state.lock();
+        let slot = state.tags.remove(&uid)?;
+        let watchers: Vec<PhoneId> = state
+            .phones
+            .iter()
+            .filter(|(_, p)| p.position.distance_to(slot.position) <= state.link.nfc_range_m)
+            .map(|(id, _)| *id)
+            .collect();
+        for phone in watchers {
+            state.emit(phone, NfcEvent::TagLeft { uid });
+        }
+        Some(slot.emulator)
+    }
+
+    /// Subscribes to a phone's NFC event feed.
+    pub fn subscribe(&self, phone: PhoneId) -> Receiver<NfcEvent> {
+        let (tx, rx) = unbounded();
+        let mut state = self.state.lock();
+        let slot = state.phones.get_mut(&phone).expect("unknown phone");
+        slot.subscribers.push(tx);
+        rx
+    }
+
+    /// Runs `f` with mutable access to a tag's emulator — test/debug
+    /// introspection that bypasses the radio.
+    pub fn with_tag<R>(&self, uid: TagUid, f: impl FnOnce(&mut dyn TagEmulator) -> R) -> Option<R> {
+        let mut state = self.state.lock();
+        state.tags.get_mut(&uid).map(|slot| f(slot.emulator.as_mut()))
+    }
+
+    // -----------------------------------------------------------------
+    // Movement
+    // -----------------------------------------------------------------
+
+    /// Moves a tag to an absolute position, emitting enter/leave events.
+    pub fn set_tag_position(&self, uid: TagUid, position: Point) {
+        let mut state = self.state.lock();
+        let Some(slot) = state.tags.get(&uid) else { return };
+        let old = slot.position;
+        let range = state.link.nfc_range_m;
+        let tech = slot.tech;
+        let transitions: Vec<(PhoneId, bool)> = state
+            .phones
+            .iter()
+            .filter_map(|(id, p)| {
+                let was = p.position.distance_to(old) <= range;
+                let is = p.position.distance_to(position) <= range;
+                (was != is).then_some((*id, is))
+            })
+            .collect();
+        state.tags.get_mut(&uid).expect("checked").position = position;
+        let now = self.clock.now();
+        let mut left_any = false;
+        for (phone, entered) in transitions {
+            if entered {
+                state.trace(now, TraceEvent::TagEntered { phone, uid });
+                state.emit(phone, NfcEvent::TagEntered { uid, tech });
+            } else {
+                left_any = true;
+                state.trace(now, TraceEvent::TagLeft { phone, uid });
+                state.emit(phone, NfcEvent::TagLeft { uid });
+            }
+        }
+        if left_any {
+            state.tags.get_mut(&uid).expect("checked").emulator.on_field_lost();
+        }
+    }
+
+    /// Moves a phone to an absolute position, emitting tag and peer
+    /// enter/leave events for every affected relationship.
+    pub fn set_phone_position(&self, phone: PhoneId, position: Point) {
+        let mut state = self.state.lock();
+        let Some(slot) = state.phones.get(&phone) else { return };
+        let old = slot.position;
+        let nfc_range = state.link.nfc_range_m;
+        let p2p_range = state.link.p2p_range_m;
+
+        let tag_transitions: Vec<(TagUid, TagTech, bool)> = state
+            .tags
+            .iter()
+            .filter_map(|(uid, t)| {
+                let was = t.position.distance_to(old) <= nfc_range;
+                let is = t.position.distance_to(position) <= nfc_range;
+                (was != is).then_some((*uid, t.tech, is))
+            })
+            .collect();
+        let peer_transitions: Vec<(PhoneId, bool)> = state
+            .phones
+            .iter()
+            .filter_map(|(id, p)| {
+                if *id == phone {
+                    return None;
+                }
+                let was = p.position.distance_to(old) <= p2p_range;
+                let is = p.position.distance_to(position) <= p2p_range;
+                (was != is).then_some((*id, is))
+            })
+            .collect();
+
+        state.phones.get_mut(&phone).expect("checked").position = position;
+
+        let now = self.clock.now();
+        for (uid, tech, entered) in tag_transitions {
+            if entered {
+                state.trace(now, TraceEvent::TagEntered { phone, uid });
+                state.emit(phone, NfcEvent::TagEntered { uid, tech });
+            } else {
+                state.trace(now, TraceEvent::TagLeft { phone, uid });
+                state.emit(phone, NfcEvent::TagLeft { uid });
+                state.tags.get_mut(&uid).expect("checked").emulator.on_field_lost();
+            }
+        }
+        for (peer, entered) in peer_transitions {
+            let (a, b) = (phone, peer);
+            if entered {
+                state.emit(a, NfcEvent::PeerEntered { peer: b });
+                state.emit(b, NfcEvent::PeerEntered { peer: a });
+            } else {
+                state.emit(a, NfcEvent::PeerLeft { peer: b });
+                state.emit(b, NfcEvent::PeerLeft { peer: a });
+            }
+        }
+    }
+
+    /// Taps a tag on a phone: the tag moves into the phone's field.
+    pub fn tap_tag(&self, uid: TagUid, phone: PhoneId) {
+        let position = {
+            let state = self.state.lock();
+            let Some(p) = state.phones.get(&phone) else { return };
+            p.position
+        };
+        self.set_tag_position(uid, position);
+    }
+
+    /// Pulls a tag away from everything.
+    pub fn remove_tag_from_field(&self, uid: TagUid) {
+        self.set_tag_position(uid, Point::far_away());
+    }
+
+    /// Places a tag at exactly `distance` meters from a phone's current
+    /// position — for exercising the distance-dependent link behaviour
+    /// (reliability falls toward the field edge).
+    pub fn place_tag_near(&self, uid: TagUid, phone: PhoneId, distance: f64) {
+        let position = {
+            let state = self.state.lock();
+            let Some(p) = state.phones.get(&phone) else { return };
+            Point::new(p.position.x + distance, p.position.y)
+        };
+        self.set_tag_position(uid, position);
+    }
+
+    /// Brings phone `b` next to phone `a` (into beam range).
+    pub fn bring_phones_together(&self, a: PhoneId, b: PhoneId) {
+        let position = {
+            let state = self.state.lock();
+            let Some(p) = state.phones.get(&a) else { return };
+            Point::new(p.position.x + 0.01, p.position.y)
+        };
+        self.set_phone_position(b, position);
+    }
+
+    /// Moves phone `b` far from everything.
+    pub fn separate_phone(&self, b: PhoneId) {
+        self.set_phone_position(b, Point::new(-1000.0 * (b.0 as f64 + 1.0), -5000.0));
+    }
+
+    // -----------------------------------------------------------------
+    // Queries
+    // -----------------------------------------------------------------
+
+    /// Whether `uid` is currently in `phone`'s field.
+    pub fn tag_in_range(&self, phone: PhoneId, uid: TagUid) -> bool {
+        self.state.lock().tag_in_range(phone, uid)
+    }
+
+    /// All tags currently in `phone`'s field.
+    pub fn tags_in_range(&self, phone: PhoneId) -> Vec<(TagUid, TagTech)> {
+        let state = self.state.lock();
+        let Some(p) = state.phones.get(&phone) else { return Vec::new() };
+        let mut v: Vec<(TagUid, TagTech)> = state
+            .tags
+            .iter()
+            .filter(|(_, t)| t.position.distance_to(p.position) <= state.link.nfc_range_m)
+            .map(|(uid, t)| (*uid, t.tech))
+            .collect();
+        v.sort_by_key(|(uid, _)| *uid);
+        v
+    }
+
+    /// All peer phones currently in beam range of `phone`.
+    pub fn peers_in_range(&self, phone: PhoneId) -> Vec<PhoneId> {
+        self.state.lock().peers_in_range(phone)
+    }
+
+    // -----------------------------------------------------------------
+    // Radio operations
+    // -----------------------------------------------------------------
+
+    /// Performs one command/response exchange between `phone` and `uid`.
+    ///
+    /// The exchange costs link latency (slept on the world clock) and may
+    /// fail probabilistically; if the tag leaves the field while the
+    /// exchange is in flight, the command is lost ([`LinkError::FieldLost`])
+    /// even though earlier commands may already have mutated the tag —
+    /// this is how torn writes arise.
+    ///
+    /// # Errors
+    ///
+    /// [`LinkError`] on any radio-level failure.
+    pub fn transceive(
+        &self,
+        phone: PhoneId,
+        uid: TagUid,
+        command: &[u8],
+    ) -> Result<Vec<u8>, LinkError> {
+        let (latency, fails) = {
+            let mut state = self.state.lock();
+            state.radio.exchanges += 1;
+            if !state.phones.contains_key(&phone) || !state.tags.contains_key(&uid) {
+                state.radio.rejected += 1;
+                return Err(LinkError::UnknownDevice);
+            }
+            if !state.tag_in_range(phone, uid) {
+                state.radio.rejected += 1;
+                return Err(LinkError::OutOfRange);
+            }
+            let distance = {
+                let p = state.phones[&phone].position;
+                let t = state.tags[&uid].position;
+                p.distance_to(t)
+            };
+            let link = state.link.clone();
+            let fails = link.sample_failure(distance, &mut state.rng);
+            // Response size is unknown before executing; approximate the
+            // air time with command size + a nominal 16-byte response.
+            (link.exchange_latency(command.len() + 16), fails)
+        };
+        self.clock.sleep(latency);
+        let now = self.clock.now();
+        let mut state = self.state.lock();
+        state.radio.air_time_nanos += latency.as_nanos() as u64;
+        let opcode = command.first().copied();
+        if !state.tag_in_range(phone, uid) {
+            state.radio.failed += 1;
+            state.trace(now, TraceEvent::Exchange { phone, uid, opcode, ok: false });
+            return Err(LinkError::FieldLost);
+        }
+        if fails {
+            state.radio.failed += 1;
+            state.trace(now, TraceEvent::Exchange { phone, uid, opcode, ok: false });
+            return Err(LinkError::TransmissionError);
+        }
+        state.radio.bytes += command.len() as u64 + 16;
+        state.trace(now, TraceEvent::Exchange { phone, uid, opcode, ok: true });
+        let slot = state.tags.get_mut(&uid).ok_or(LinkError::FieldLost)?;
+        match slot.emulator.transceive(command) {
+            Ok(resp) => Ok(resp),
+            Err(TagError::NoResponse) => Err(LinkError::TransmissionError),
+        }
+    }
+
+    /// Beams `bytes` from `from` to every peer in range (NFC push is
+    /// undirected). Returns how many peers received it.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinkError::NoPeerInRange`] — nobody to push to.
+    /// * [`LinkError::FieldLost`] — the peers moved away mid-transfer.
+    /// * [`LinkError::TransmissionError`] — noise corrupted the push.
+    pub fn beam(&self, from: PhoneId, bytes: &[u8]) -> Result<usize, LinkError> {
+        let (latency, fails, peers_before) = {
+            let mut state = self.state.lock();
+            state.radio.beams += 1;
+            if !state.phones.contains_key(&from) {
+                return Err(LinkError::UnknownDevice);
+            }
+            let peers = state.peers_in_range(from);
+            if peers.is_empty() {
+                return Err(LinkError::NoPeerInRange);
+            }
+            let link = state.link.clone();
+            let fails = link.sample_failure(0.0, &mut state.rng);
+            (link.exchange_latency(bytes.len()), fails, peers)
+        };
+        self.clock.sleep(latency);
+        let mut state = self.state.lock();
+        state.radio.air_time_nanos += latency.as_nanos() as u64;
+        let peers_now = state.peers_in_range(from);
+        let delivered: Vec<PhoneId> =
+            peers_before.into_iter().filter(|p| peers_now.contains(p)).collect();
+        if delivered.is_empty() {
+            state.radio.failed += 1;
+            return Err(LinkError::FieldLost);
+        }
+        if fails {
+            state.radio.failed += 1;
+            return Err(LinkError::TransmissionError);
+        }
+        state.radio.beams_delivered += 1;
+        state.radio.bytes += bytes.len() as u64;
+        let now = self.clock.now();
+        state.trace(
+            now,
+            TraceEvent::Beam { from, bytes: bytes.len(), delivered: delivered.len() },
+        );
+        for peer in &delivered {
+            state.emit(*peer, NfcEvent::BeamReceived { from, bytes: bytes.to_vec() });
+        }
+        Ok(delivered.len())
+    }
+
+    /// Beams `bytes` from `from` to the specific peer `to`, modelling the
+    /// connection-oriented (LLCP-style) transport real NFC P2P stacks run
+    /// on top of the broadcast radio. Fails if `to` is not in proximity.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinkError::UnknownDevice`] — either phone does not exist.
+    /// * [`LinkError::OutOfRange`] — `to` is not in beam range.
+    /// * [`LinkError::FieldLost`] — `to` moved away mid-transfer.
+    /// * [`LinkError::TransmissionError`] — noise corrupted the push.
+    pub fn beam_to(&self, from: PhoneId, to: PhoneId, bytes: &[u8]) -> Result<(), LinkError> {
+        let (latency, fails) = {
+            let mut state = self.state.lock();
+            state.radio.beams += 1;
+            if !state.phones.contains_key(&from) || !state.phones.contains_key(&to) {
+                return Err(LinkError::UnknownDevice);
+            }
+            if !state.peers_in_range(from).contains(&to) {
+                return Err(LinkError::OutOfRange);
+            }
+            let link = state.link.clone();
+            let fails = link.sample_failure(0.0, &mut state.rng);
+            (link.exchange_latency(bytes.len()), fails)
+        };
+        self.clock.sleep(latency);
+        let now = self.clock.now();
+        let mut state = self.state.lock();
+        state.radio.air_time_nanos += latency.as_nanos() as u64;
+        if !state.peers_in_range(from).contains(&to) {
+            state.radio.failed += 1;
+            return Err(LinkError::FieldLost);
+        }
+        if fails {
+            state.radio.failed += 1;
+            return Err(LinkError::TransmissionError);
+        }
+        state.radio.beams_delivered += 1;
+        state.radio.bytes += bytes.len() as u64;
+        state.trace(now, TraceEvent::Beam { from, bytes: bytes.len(), delivered: 1 });
+        state.emit(to, NfcEvent::BeamReceived { from, bytes: bytes.to_vec() });
+        Ok(())
+    }
+
+    /// Sleeps `d` on the world clock (convenience for scenarios/tests).
+    pub fn sleep(&self, d: Duration) {
+        self.clock.sleep(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use crate::tag::{Type2Tag, Type4Tag};
+
+    fn world() -> World {
+        World::with_link(VirtualClock::shared(), LinkModel::instant(), 7)
+    }
+
+    #[test]
+    fn tap_and_remove_emit_events() {
+        let w = world();
+        let phone = w.add_phone("alice");
+        let rx = w.subscribe(phone);
+        let uid = w.add_tag(Box::new(Type2Tag::ntag213(TagUid::from_seed(1))));
+        w.tap_tag(uid, phone);
+        assert_eq!(rx.try_recv().unwrap(), NfcEvent::TagEntered { uid, tech: TagTech::Type2 });
+        w.remove_tag_from_field(uid);
+        assert_eq!(rx.try_recv().unwrap(), NfcEvent::TagLeft { uid });
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn moving_the_phone_also_emits_tag_events() {
+        let w = world();
+        let phone = w.add_phone("alice");
+        let uid = w.add_tag(Box::new(Type4Tag::new(TagUid::from_seed(2), 256)));
+        w.set_tag_position(uid, Point::new(5.0, 5.0));
+        let rx = w.subscribe(phone);
+        w.set_phone_position(phone, Point::new(5.0, 5.0));
+        assert_eq!(rx.try_recv().unwrap(), NfcEvent::TagEntered { uid, tech: TagTech::Type4 });
+        w.set_phone_position(phone, Point::new(50.0, 50.0));
+        assert_eq!(rx.try_recv().unwrap(), NfcEvent::TagLeft { uid });
+    }
+
+    #[test]
+    fn transceive_requires_proximity() {
+        let w = world();
+        let phone = w.add_phone("alice");
+        let uid = w.add_tag(Box::new(Type2Tag::ntag213(TagUid::from_seed(3))));
+        assert_eq!(w.transceive(phone, uid, &[0x30, 3]).unwrap_err(), LinkError::OutOfRange);
+        w.tap_tag(uid, phone);
+        let resp = w.transceive(phone, uid, &[0x30, 3]).unwrap();
+        assert_eq!(resp[0], 0xE1);
+    }
+
+    #[test]
+    fn unknown_devices_are_reported() {
+        let w = world();
+        let phone = w.add_phone("alice");
+        assert_eq!(
+            w.transceive(phone, TagUid::from_seed(99), &[0x30, 0]).unwrap_err(),
+            LinkError::UnknownDevice
+        );
+    }
+
+    #[test]
+    fn total_failure_link_always_errors() {
+        let clock = VirtualClock::shared();
+        let w = World::with_link(clock, LinkModel::with_failure_prob(1.0), 1);
+        let phone = w.add_phone("alice");
+        let uid = w.add_tag(Box::new(Type2Tag::ntag213(TagUid::from_seed(4))));
+        w.tap_tag(uid, phone);
+        assert_eq!(
+            w.transceive(phone, uid, &[0x30, 3]).unwrap_err(),
+            LinkError::TransmissionError
+        );
+    }
+
+    #[test]
+    fn transceive_consumes_virtual_time() {
+        let clock = VirtualClock::shared();
+        let w = World::with_link(Arc::clone(&clock) as Arc<dyn Clock>, LinkModel::reliable(), 1);
+        let phone = w.add_phone("alice");
+        let uid = w.add_tag(Box::new(Type2Tag::ntag213(TagUid::from_seed(5))));
+        w.tap_tag(uid, phone);
+        let before = clock.now();
+        w.transceive(phone, uid, &[0x30, 3]).unwrap();
+        assert!(clock.now() > before);
+    }
+
+    #[test]
+    fn beam_reaches_peers_in_range_only() {
+        let w = world();
+        let alice = w.add_phone("alice");
+        let bob = w.add_phone("bob");
+        let carol = w.add_phone("carol");
+        let rx_bob = w.subscribe(bob);
+        let rx_carol = w.subscribe(carol);
+        assert_eq!(w.beam(alice, b"hi").unwrap_err(), LinkError::NoPeerInRange);
+        w.bring_phones_together(alice, bob);
+        assert_eq!(rx_bob.try_recv().unwrap(), NfcEvent::PeerEntered { peer: alice });
+        assert_eq!(w.beam(alice, b"hi").unwrap(), 1);
+        assert_eq!(
+            rx_bob.try_recv().unwrap(),
+            NfcEvent::BeamReceived { from: alice, bytes: b"hi".to_vec() }
+        );
+        assert!(rx_carol.try_recv().is_err());
+        w.separate_phone(bob);
+        assert_eq!(rx_bob.try_recv().unwrap(), NfcEvent::PeerLeft { peer: alice });
+    }
+
+    #[test]
+    fn beam_to_is_directed() {
+        let w = world();
+        let alice = w.add_phone("alice");
+        let bob = w.add_phone("bob");
+        let carol = w.add_phone("carol");
+        let rx_bob = w.subscribe(bob);
+        let rx_carol = w.subscribe(carol);
+        assert_eq!(w.beam_to(alice, bob, b"x").unwrap_err(), LinkError::OutOfRange);
+        // Bring BOTH bob and carol next to alice; only bob must receive.
+        w.bring_phones_together(alice, bob);
+        w.bring_phones_together(alice, carol);
+        w.beam_to(alice, bob, b"for bob").unwrap();
+        let got: Vec<NfcEvent> = rx_bob.try_iter().collect();
+        assert!(got.contains(&NfcEvent::BeamReceived { from: alice, bytes: b"for bob".to_vec() }));
+        assert!(rx_carol
+            .try_iter()
+            .all(|e| !matches!(e, NfcEvent::BeamReceived { .. })));
+        // Unknown device.
+        assert_eq!(
+            w.beam_to(alice, PhoneId::from_u64(99), b"x").unwrap_err(),
+            LinkError::UnknownDevice
+        );
+    }
+
+    #[test]
+    fn field_loss_resets_type4_session() {
+        let w = world();
+        let phone = w.add_phone("alice");
+        let uid = w.add_tag(Box::new(Type4Tag::new(TagUid::from_seed(6), 256)));
+        w.tap_tag(uid, phone);
+        // Select the application.
+        let mut select = vec![0x00, 0xA4, 0x04, 0x00, 0x07];
+        select.extend_from_slice(&crate::tag::type4::NDEF_AID);
+        select.push(0x00);
+        assert_eq!(w.transceive(phone, uid, &select).unwrap(), vec![0x90, 0x00]);
+        // Losing the field resets selection: READ BINARY now not allowed.
+        w.remove_tag_from_field(uid);
+        w.tap_tag(uid, phone);
+        let resp = w.transceive(phone, uid, &[0x00, 0xB0, 0x00, 0x00, 0x02]).unwrap();
+        assert_eq!(resp, vec![0x69, 0x86]);
+    }
+
+    #[test]
+    fn take_tag_returns_emulator_and_notifies() {
+        let w = world();
+        let phone = w.add_phone("alice");
+        let uid = w.add_tag(Box::new(Type2Tag::ntag213(TagUid::from_seed(7))));
+        w.tap_tag(uid, phone);
+        let rx = w.subscribe(phone);
+        let emulator = w.take_tag(uid).unwrap();
+        assert_eq!(emulator.uid(), uid);
+        assert_eq!(rx.try_recv().unwrap(), NfcEvent::TagLeft { uid });
+        assert!(w.take_tag(uid).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_uid_panics() {
+        let w = world();
+        w.add_tag(Box::new(Type2Tag::ntag213(TagUid::from_seed(8))));
+        w.add_tag(Box::new(Type2Tag::ntag213(TagUid::from_seed(8))));
+    }
+
+    #[test]
+    fn radio_stats_track_activity() {
+        let w = world();
+        let phone = w.add_phone("alice");
+        let uid = w.add_tag(Box::new(Type2Tag::ntag213(TagUid::from_seed(30))));
+        assert_eq!(w.radio_stats(), crate::world::RadioStats::default());
+        // Out-of-range exchange: counted and rejected.
+        assert!(w.transceive(phone, uid, &[0x30, 3]).is_err());
+        let stats = w.radio_stats();
+        assert_eq!(stats.exchanges, 1);
+        assert_eq!(stats.rejected, 1);
+        // In-range exchange: bytes move.
+        w.tap_tag(uid, phone);
+        w.transceive(phone, uid, &[0x30, 3]).unwrap();
+        let stats = w.radio_stats();
+        assert_eq!(stats.exchanges, 2);
+        assert_eq!(stats.bytes, 2 + 16);
+        // Beam accounting.
+        let bob = w.add_phone("bob");
+        assert!(w.beam(phone, b"xy").is_err());
+        w.bring_phones_together(phone, bob);
+        w.beam(phone, b"xy").unwrap();
+        let stats = w.radio_stats();
+        assert_eq!(stats.beams, 2);
+        assert_eq!(stats.beams_delivered, 1);
+        assert_eq!(stats.bytes, 2 + 16 + 2);
+    }
+
+    #[test]
+    fn trace_records_physical_events() {
+        use crate::trace::TraceEvent;
+        let w = world();
+        w.enable_trace(100);
+        let phone = w.add_phone("alice");
+        let uid = w.add_tag(Box::new(Type2Tag::ntag213(TagUid::from_seed(40))));
+        w.tap_tag(uid, phone);
+        w.transceive(phone, uid, &[0x30, 3]).unwrap();
+        w.remove_tag_from_field(uid);
+        let (entries, dropped) = w.trace_snapshot();
+        assert_eq!(dropped, 0);
+        let events: Vec<&TraceEvent> = entries.iter().map(|e| &e.event).collect();
+        assert!(matches!(events[0], TraceEvent::TagEntered { uid: u, .. } if *u == uid));
+        assert!(matches!(
+            events[1],
+            TraceEvent::Exchange { opcode: Some(0x30), ok: true, .. }
+        ));
+        assert!(matches!(events[2], TraceEvent::TagLeft { uid: u, .. } if *u == uid));
+        // Rendering works for all entries.
+        for entry in &entries {
+            assert!(!entry.to_string().is_empty());
+        }
+        // Disabling clears.
+        w.disable_trace();
+        assert_eq!(w.trace_snapshot().0.len(), 0);
+    }
+
+    #[test]
+    fn with_tag_gives_direct_access() {
+        let w = world();
+        let uid = w.add_tag(Box::new(Type2Tag::ntag213(TagUid::from_seed(9))));
+        let tech = w.with_tag(uid, |t| t.tech()).unwrap();
+        assert_eq!(tech, TagTech::Type2);
+        assert!(w.with_tag(TagUid::from_seed(10), |t| t.tech()).is_none());
+    }
+}

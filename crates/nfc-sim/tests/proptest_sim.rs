@@ -1,0 +1,204 @@
+//! Property tests of the simulation substrate: clock arithmetic and
+//! wakeup ordering, geometry/proximity symmetry, link-model monotonicity,
+//! and world event-consistency under arbitrary movement sequences.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use morena_nfc_sim::clock::{Clock, SimInstant, VirtualClock, WaitOutcome, WaitSignal};
+use morena_nfc_sim::geometry::Point;
+use morena_nfc_sim::link::LinkModel;
+use morena_nfc_sim::tag::{TagEmulator, TagUid, Type2Tag, Type4Tag};
+use morena_nfc_sim::world::{NfcEvent, World};
+use proptest::prelude::*;
+
+proptest! {
+    /// Advancing a virtual clock by any sequence of steps lands exactly
+    /// on the sum, and never goes backwards along the way.
+    #[test]
+    fn virtual_clock_advance_is_additive(steps in proptest::collection::vec(0u64..10_000_000, 1..20)) {
+        let clock = VirtualClock::new();
+        let mut total = 0u64;
+        let mut last = clock.now();
+        for step in steps {
+            clock.advance(Duration::from_nanos(step));
+            total += step;
+            let now = clock.now();
+            prop_assert!(now >= last);
+            last = now;
+        }
+        prop_assert_eq!(clock.now(), SimInstant::from_nanos(total));
+    }
+
+    /// A waiter with a deadline inside the advanced range always times
+    /// out; one with a deadline beyond it never wakes.
+    #[test]
+    fn virtual_wait_until_fires_exactly_on_crossing(deadline_ms in 1u64..100, advance_ms in 1u64..200) {
+        let clock = Arc::new(VirtualClock::new());
+        let signal = Arc::new(WaitSignal::new());
+        let seen = signal.generation();
+        let deadline = SimInstant::EPOCH + Duration::from_millis(deadline_ms);
+        let c2 = Arc::clone(&clock);
+        let s2 = Arc::clone(&signal);
+        let waiter = std::thread::spawn(move || c2.wait_until(&s2, seen, deadline));
+        std::thread::sleep(Duration::from_millis(2));
+        clock.advance(Duration::from_millis(advance_ms));
+        if advance_ms >= deadline_ms {
+            prop_assert_eq!(waiter.join().unwrap(), WaitOutcome::TimedOut);
+        } else {
+            // Not yet crossed: the waiter must still be blocked. Wake it
+            // via the signal to finish the test cleanly.
+            std::thread::sleep(Duration::from_millis(5));
+            prop_assert!(!waiter.is_finished());
+            signal.notify();
+            prop_assert_eq!(waiter.join().unwrap(), WaitOutcome::Notified);
+        }
+    }
+
+    /// saturating arithmetic on SimInstant never panics and preserves
+    /// ordering.
+    #[test]
+    fn sim_instant_arithmetic_is_total(a in any::<u64>(), d in any::<u64>()) {
+        let t = SimInstant::from_nanos(a);
+        let later = t + Duration::from_nanos(d);
+        prop_assert!(later >= t);
+        prop_assert_eq!(t.saturating_since(later), Duration::ZERO);
+        let gap = later.saturating_since(t);
+        prop_assert!(gap <= Duration::from_nanos(d));
+    }
+
+    /// Distance is symmetric, non-negative, and satisfies the triangle
+    /// inequality.
+    #[test]
+    fn geometry_is_a_metric(
+        ax in -100.0f64..100.0, ay in -100.0f64..100.0,
+        bx in -100.0f64..100.0, by in -100.0f64..100.0,
+        cx in -100.0f64..100.0, cy in -100.0f64..100.0,
+    ) {
+        let a = Point::new(ax, ay);
+        let b = Point::new(bx, by);
+        let c = Point::new(cx, cy);
+        prop_assert!((a.distance_to(b) - b.distance_to(a)).abs() < 1e-9);
+        prop_assert!(a.distance_to(b) >= 0.0);
+        prop_assert!(a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-9);
+    }
+
+    /// Link failure probability is monotone in distance and clamped to
+    /// [0, 1]; latency is monotone in message size.
+    #[test]
+    fn link_model_is_monotone(d1 in 0.0f64..0.1, d2 in 0.0f64..0.1, n1 in 0usize..10_000, n2 in 0usize..10_000) {
+        let model = LinkModel::realistic();
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(model.failure_prob(lo) <= model.failure_prob(hi));
+        prop_assert!((0.0..=1.0).contains(&model.failure_prob(d1)));
+        let (small, big) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
+        prop_assert!(model.exchange_latency(small) <= model.exchange_latency(big));
+    }
+
+    /// Arbitrary command bytes never panic the Type 2 emulator, and its
+    /// persistent memory only changes through valid WRITE commands.
+    #[test]
+    fn type2_emulator_survives_command_fuzz(
+        commands in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..12), 0..60),
+    ) {
+        let mut tag = Type2Tag::ntag215(TagUid::from_seed(1));
+        for command in &commands {
+            let _ = tag.transceive(command); // must not panic
+        }
+        tag.on_field_lost();
+        // The tag remains structurally sound: capacity is stable and a
+        // fresh format restores a readable blank state.
+        prop_assert_eq!(tag.ndef_capacity(), 499);
+        tag.format_ndef();
+        let mut link = morena_nfc_sim::proto::DirectLink::new(&mut tag);
+        let bytes = morena_nfc_sim::proto::read_ndef(&mut link, morena_nfc_sim::tag::TagTech::Type2).unwrap();
+        prop_assert!(bytes.is_empty());
+    }
+
+    /// Arbitrary APDUs never panic the Type 4 emulator, and the session
+    /// state machine still works afterwards.
+    #[test]
+    fn type4_emulator_survives_apdu_fuzz(
+        commands in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..20), 0..60),
+    ) {
+        let mut tag = Type4Tag::new(TagUid::from_seed(2), 512);
+        for command in &commands {
+            let _ = tag.transceive(command); // must not panic
+        }
+        tag.on_field_lost();
+        // A clean session still reads the (possibly fuzz-written) file.
+        let mut link = morena_nfc_sim::proto::DirectLink::new(&mut tag);
+        let result = morena_nfc_sim::proto::read_ndef(&mut link, morena_nfc_sim::tag::TagTech::Type4);
+        // NLEN might have been fuzz-corrupted to exceed the file: both a
+        // clean read and a protocol error are acceptable; a panic is not.
+        let _ = result;
+    }
+
+    /// The simulation is deterministic: the same seed and the same
+    /// single-threaded interaction sequence produce byte-identical radio
+    /// statistics and outcomes.
+    #[test]
+    fn same_seed_same_world_history(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(any::<bool>(), 1..30),
+    ) {
+        let run = |seed: u64| {
+            let world = World::with_link(
+                VirtualClock::shared(),
+                LinkModel { base_failure_prob: 0.3, edge_failure_prob: 0.3, ..LinkModel::instant() },
+                seed,
+            );
+            let phone = world.add_phone("det");
+            let uid = world.add_tag(Box::new(Type2Tag::ntag213(TagUid::from_seed(1))));
+            world.tap_tag(uid, phone);
+            let mut outcomes = Vec::new();
+            for &write in &ops {
+                let result = if write {
+                    world.transceive(phone, uid, &[0xA2, 5, 1, 2, 3, 4]).is_ok()
+                } else {
+                    world.transceive(phone, uid, &[0x30, 4]).is_ok()
+                };
+                outcomes.push(result);
+            }
+            (outcomes, world.radio_stats())
+        };
+        let (outcomes_a, stats_a) = run(seed);
+        let (outcomes_b, stats_b) = run(seed);
+        prop_assert_eq!(outcomes_a, outcomes_b);
+        prop_assert_eq!(stats_a, stats_b);
+    }
+
+    /// Under any sequence of tag movements, the event stream alternates
+    /// strictly between enter and leave for each phone (no double
+    /// enters, no leave before enter), and the final event agrees with
+    /// the final geometric state.
+    #[test]
+    fn world_events_alternate_consistently(distances in proptest::collection::vec(0.0f64..0.2, 1..25)) {
+        let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 7);
+        let phone = world.add_phone("prop");
+        let uid = world.add_tag(Box::new(Type2Tag::ntag213(TagUid::from_seed(1))));
+        let rx = world.subscribe(phone);
+        for d in &distances {
+            world.place_tag_near(uid, phone, *d);
+        }
+        let range = world.link_model().nfc_range_m;
+        let events: Vec<NfcEvent> = rx.try_iter().collect();
+        let mut inside = false;
+        for event in &events {
+            match event {
+                NfcEvent::TagEntered { .. } => {
+                    prop_assert!(!inside, "double enter");
+                    inside = true;
+                }
+                NfcEvent::TagLeft { .. } => {
+                    prop_assert!(inside, "leave before enter");
+                    inside = false;
+                }
+                _ => {}
+            }
+        }
+        let geometrically_inside = distances.last().map(|d| *d <= range).unwrap_or(false);
+        prop_assert_eq!(inside, geometrically_inside);
+        prop_assert_eq!(world.tag_in_range(phone, uid), geometrically_inside);
+    }
+}

@@ -1,0 +1,83 @@
+//! Door access control: the second complete application of this
+//! reproduction. A badge office issues credentials onto blank tags under
+//! exclusive leases; doors check badges against their policy; revocation
+//! takes effect on the next tap.
+//!
+//! Run with: `cargo run --example door_access`
+
+use std::time::Duration;
+
+use morena::apps::door_access::{BadgeOffice, Door};
+use morena::prelude::*;
+
+fn main() {
+    let world = World::with_link(SystemClock::shared(), LinkModel::reliable(), 17);
+    let office_phone = world.add_phone("badge-office");
+    let lobby_phone = world.add_phone("lobby-door");
+    let lab_phone = world.add_phone("lab-door");
+
+    let office = BadgeOffice::open(&MorenaContext::headless(&world, office_phone));
+    let lobby = Door::install(&MorenaContext::headless(&world, lobby_phone), 1);
+    let lab = Door::install(&MorenaContext::headless(&world, lab_phone), 5);
+    println!("doors installed: lobby requires level 1, lab requires level 5\n");
+
+    // Issue two badges.
+    let alice_badge = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
+    let bob_badge = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(2))));
+    world.tap_tag(alice_badge, office_phone);
+    office.issue(alice_badge, "alice", 7).expect("issue alice");
+    world.remove_tag_from_field(alice_badge);
+    world.tap_tag(bob_badge, office_phone);
+    office.issue(bob_badge, "bob", 1).expect("issue bob");
+    world.remove_tag_from_field(bob_badge);
+    println!("issued: alice (level 7), bob (level 1)\n");
+
+    // Both enter the lobby; only alice gets into the lab.
+    for (badge, who) in [(alice_badge, "alice"), (bob_badge, "bob")] {
+        world.tap_tag(badge, lobby_phone);
+        wait_until(|| !lobby.decisions_for(badge).is_empty());
+        world.remove_tag_from_field(badge);
+        world.tap_tag(badge, lab_phone);
+        wait_until(|| !lab.decisions_for(badge).is_empty());
+        world.remove_tag_from_field(badge);
+        let lobby_ok = lobby.decisions_for(badge)[0].granted;
+        let lab_ok = lab.decisions_for(badge)[0].granted;
+        println!("{who}: lobby {} · lab {}", verdict(lobby_ok), verdict(lab_ok));
+    }
+
+    // Alice's badge is revoked; the next tap is denied everywhere.
+    println!("\nrevoking alice's badge…");
+    world.tap_tag(alice_badge, office_phone);
+    office.revoke(alice_badge).expect("revoke");
+    world.remove_tag_from_field(alice_badge);
+    world.tap_tag(alice_badge, lobby_phone);
+    wait_until(|| lobby.decisions_for(alice_badge).len() >= 2);
+    let after = &lobby.decisions_for(alice_badge)[1];
+    println!("alice at the lobby after revocation: {}", verdict(after.granted));
+
+    println!("\naudit log of the lobby door:");
+    for decision in lobby.audit_log() {
+        println!(
+            "  {} {:8} -> {}",
+            decision.uid,
+            decision.holder,
+            verdict(decision.granted)
+        );
+    }
+}
+
+fn verdict(granted: bool) -> &'static str {
+    if granted {
+        "GRANTED"
+    } else {
+        "denied"
+    }
+}
+
+fn wait_until(cond: impl Fn() -> bool) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while std::time::Instant::now() < deadline && !cond() {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(cond(), "condition not reached in time");
+}

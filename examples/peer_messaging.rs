@@ -1,0 +1,86 @@
+//! Far references to phones: the ambient-oriented model generalized.
+//!
+//! Alice queues messages for two specific colleagues while neither is
+//! around; each message is delivered — exactly to its addressee — when
+//! that phone is eventually bumped against hers. The same
+//! decoupling-in-time machinery that drives tag references drives these
+//! peer references.
+//!
+//! Run with: `cargo run --example peer_messaging`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::unbounded;
+use morena::core::peer::{PeerInbox, PeerListener, PeerReference};
+use morena::prelude::*;
+
+struct Print {
+    me: &'static str,
+    tx: crossbeam::channel::Sender<()>,
+}
+
+impl PeerListener<StringConverter> for Print {
+    fn on_message(&self, from: PhoneId, value: String) {
+        println!("  [{}] message from {from}: {value:?}", self.me);
+        let _ = self.tx.send(());
+    }
+}
+
+fn main() {
+    let world = World::with_link(SystemClock::shared(), LinkModel::reliable(), 13);
+    let alice = world.add_phone("alice");
+    let bob = world.add_phone("bob");
+    let carol = world.add_phone("carol");
+
+    let alice_ctx = MorenaContext::headless(&world, alice);
+    let bob_ctx = MorenaContext::headless(&world, bob);
+    let carol_ctx = MorenaContext::headless(&world, carol);
+    let conv = Arc::new(StringConverter::plain_text());
+
+    let (bob_got_tx, bob_got) = unbounded();
+    let (carol_got_tx, carol_got) = unbounded();
+    let _bob_inbox =
+        PeerInbox::new(&bob_ctx, Arc::clone(&conv), Arc::new(Print { me: "bob", tx: bob_got_tx }));
+    let _carol_inbox = PeerInbox::new(
+        &carol_ctx,
+        Arc::clone(&conv),
+        Arc::new(Print { me: "carol", tx: carol_got_tx }),
+    );
+
+    // Alice holds far references to both colleagues.
+    let to_bob = PeerReference::new(&alice_ctx, bob, Arc::clone(&conv));
+    let to_carol = PeerReference::new(&alice_ctx, carol, Arc::clone(&conv));
+
+    println!("alice queues messages while nobody is around:");
+    to_bob.send_ok("lunch at noon?".to_string());
+    to_bob.send_ok("bring the prototype".to_string());
+    to_carol.send_ok("code review at 3".to_string());
+    println!(
+        "  queued: {} for bob, {} for carol\n",
+        to_bob.queue_len(),
+        to_carol.queue_len()
+    );
+
+    println!("alice bumps into CAROL first — only carol's message flows:");
+    world.bring_phones_together(alice, carol);
+    carol_got.recv_timeout(Duration::from_secs(10)).expect("carol receives");
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(to_bob.queue_len(), 2, "bob's messages must still be queued");
+    println!("  bob's {} messages still wait for him\n", to_bob.queue_len());
+    world.separate_phone(carol);
+
+    println!("later, alice bumps into BOB — his backlog flushes in order:");
+    world.bring_phones_together(alice, bob);
+    bob_got.recv_timeout(Duration::from_secs(10)).expect("bob receives 1");
+    bob_got.recv_timeout(Duration::from_secs(10)).expect("bob receives 2");
+    std::thread::sleep(Duration::from_millis(30)); // let counters settle
+
+    let stats = to_bob.stats().snapshot();
+    println!(
+        "\nto_bob stats: {} submitted, {} delivered, {} physical attempts",
+        stats.submitted, stats.succeeded, stats.attempts
+    );
+    to_bob.close();
+    to_carol.close();
+}

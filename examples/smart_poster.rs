@@ -1,0 +1,114 @@
+//! Smart posters and fine-grained filtering (§3.4).
+//!
+//! A hallway is plastered with URI tags; the app cares only about the
+//! ones pointing at its own domain, expressed with a `check_condition`
+//! predicate on the discoverer — no manual filtering scattered through
+//! application code.
+//!
+//! Run with: `cargo run --example smart_poster`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use morena::core::convert::{ConvertError, TagDataConverter};
+use morena::ndef::rtd::{SmartPoster, UriRecord};
+use morena::prelude::*;
+
+/// A converter for smart-poster tags, carrying `(uri, title)` pairs.
+#[derive(Debug, Clone)]
+struct PosterConverter;
+
+impl TagDataConverter for PosterConverter {
+    type Value = (String, String); // (uri, english title)
+
+    fn mime_type(&self) -> &str {
+        // Well-known RTD records are not MIME-typed; accept() is
+        // overridden below instead.
+        "application/vnd.example.poster"
+    }
+
+    fn to_message(&self, value: &(String, String)) -> Result<NdefMessage, ConvertError> {
+        let poster = SmartPoster::new(&value.0).with_title("en", &value.1);
+        Ok(NdefMessage::single(poster.to_record()))
+    }
+
+    fn from_message(&self, message: &NdefMessage) -> Result<(String, String), ConvertError> {
+        let poster = SmartPoster::from_record(message.first())
+            .map_err(|_| ConvertError::WrongShape { expected: "an RTD Smart Poster".into() })?;
+        Ok((
+            poster.uri().to_owned(),
+            poster.title_for("en").unwrap_or_default().to_owned(),
+        ))
+    }
+
+    fn accepts(&self, message: &NdefMessage) -> bool {
+        SmartPoster::from_record(message.first()).is_ok()
+    }
+}
+
+struct PosterListener;
+
+impl DiscoveryListener<PosterConverter> for PosterListener {
+    fn on_tag_detected(&self, reference: TagReference<PosterConverter>) {
+        let (uri, title) = reference.cached().expect("cached on detection");
+        println!("  -> poster accepted: {title:?} ({uri})");
+    }
+
+    fn on_tag_redetected(&self, reference: TagReference<PosterConverter>) {
+        self.on_tag_detected(reference);
+    }
+
+    /// §3.4: only posters pointing at our own domain are interesting.
+    fn check_condition(&self, reference: &TagReference<PosterConverter>) -> bool {
+        reference
+            .cached()
+            .map(|(uri, _)| uri.starts_with("https://menu.example.com/"))
+            .unwrap_or(false)
+    }
+}
+
+fn main() {
+    let world = World::with_link(SystemClock::shared(), LinkModel::reliable(), 3);
+    let phone = world.add_phone("visitor");
+    let ctx = MorenaContext::headless(&world, phone);
+    let _discoverer = TagDiscoverer::new(&ctx, Arc::new(PosterConverter), Arc::new(PosterListener));
+
+    // Put three posters on the wall: two foreign, one ours.
+    let nfc = NfcHandle::new(world.clone(), phone);
+    let posters = [
+        ("https://ads.example.net/buy-now", "Buy now!"),
+        ("https://menu.example.com/today", "Today's menu"),
+        ("https://unrelated.example.org/", "Somewhere else"),
+    ];
+    for (i, (uri, title)) in posters.iter().enumerate() {
+        let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(10 + i as u32))));
+        world.tap_tag(uid, phone);
+        let message = PosterConverter
+            .to_message(&(uri.to_string(), title.to_string()))
+            .expect("poster encodes");
+        nfc.ndef_write(uid, &message.to_bytes()).expect("poster written");
+        world.remove_tag_from_field(uid);
+        println!("poster {} on the wall: {title:?} ({uri})", i + 1);
+
+        // The visitor walks past and the phone scans it.
+        world.tap_tag(uid, phone);
+        std::thread::sleep(Duration::from_millis(150));
+        world.remove_tag_from_field(uid);
+    }
+
+    // Also demonstrate that a plain URI record (not a poster) is ignored
+    // by this discoverer entirely.
+    let plain = world.add_tag(Box::new(Type2Tag::ntag213(TagUid::from_seed(99))));
+    world.tap_tag(plain, phone);
+    nfc.ndef_write(
+        plain,
+        &NdefMessage::single(UriRecord::new("https://menu.example.com/raw").to_record())
+            .to_bytes(),
+    )
+    .expect("uri written");
+    world.remove_tag_from_field(plain);
+    world.tap_tag(plain, phone);
+    std::thread::sleep(Duration::from_millis(150));
+
+    println!("\nonly the poster matching the check_condition predicate was reported.");
+}

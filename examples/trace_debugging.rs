@@ -1,0 +1,82 @@
+//! Observability: watching the middleware work through the world trace.
+//!
+//! Enables physical-event tracing, runs one fault-ridden write (the tag
+//! leaves mid-operation and comes back), and then prints the ground
+//! truth — every proximity change and radio exchange — next to the
+//! middleware's own statistics. This is the debugging workflow for "why
+//! did my write take three attempts?".
+//!
+//! Run with: `cargo run --example trace_debugging`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use morena::prelude::*;
+
+fn main() {
+    let link = LinkModel {
+        setup_latency: Duration::from_millis(2),
+        per_byte_latency: Duration::from_micros(20),
+        base_failure_prob: 0.10,
+        edge_failure_prob: 0.10,
+        ..LinkModel::realistic()
+    };
+    let world = World::with_link(SystemClock::shared(), link, 99);
+    world.enable_trace(256);
+
+    let phone = world.add_phone("debugger");
+    let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
+    let ctx = MorenaContext::headless(&world, phone);
+    let tag = TagReference::new(&ctx, uid, TagTech::Type2, Arc::new(StringConverter::plain_text()));
+
+    println!("submitting one write; the tag will be yanked away mid-operation…\n");
+    let (tx, rx) = crossbeam::channel::unbounded();
+    tag.write(
+        "x".repeat(200),
+        move |_| tx.send(()).unwrap(),
+        |_, failure| println!("write failed: {failure}"),
+    );
+
+    // A shaky hand: in, out, in again.
+    world.tap_tag(uid, phone);
+    std::thread::sleep(Duration::from_millis(12));
+    world.remove_tag_from_field(uid);
+    std::thread::sleep(Duration::from_millis(25));
+    world.tap_tag(uid, phone);
+    rx.recv_timeout(Duration::from_secs(30)).expect("write completes");
+
+    // Ground truth: what physically happened on the radio.
+    let (entries, dropped) = world.trace_snapshot();
+    println!("world trace ({} events, {} dropped):", entries.len(), dropped);
+    for entry in entries.iter().take(30) {
+        println!("  {entry}");
+    }
+    if entries.len() > 30 {
+        println!("  … {} more", entries.len() - 30);
+    }
+
+    // The middleware's accounting of the same story.
+    let stats = tag.stats().snapshot();
+    println!("\nmiddleware stats:");
+    println!("  submitted            {}", stats.submitted);
+    println!("  physical attempts    {}", stats.attempts);
+    println!("  transient failures   {}", stats.transient_failures);
+    println!("  succeeded            {}", stats.succeeded);
+    if let Some(mean) = stats.mean_attempt() {
+        println!("  mean attempt         {mean:?}");
+    }
+    if let Some(mean) = stats.mean_completion() {
+        println!("  submit-to-success    {mean:?}");
+    }
+
+    let radio = world.radio_stats();
+    println!("\nradio ground truth:");
+    println!("  exchanges            {}", radio.exchanges);
+    println!("  failed exchanges     {}", radio.failed);
+    println!("  bytes over the air   {}", radio.bytes);
+    println!(
+        "  air time             {:?}",
+        Duration::from_nanos(radio.air_time_nanos)
+    );
+    tag.close();
+}

@@ -1,0 +1,93 @@
+//! The paper's flagship application (§2): WiFi sharing via NFC.
+//!
+//! A venue owner provisions an RFID sticker with the guest network's
+//! credentials; guests tap the sticker to join; one guest shares the
+//! network with a friend phone-to-phone over Beam — including a share
+//! that is *queued before the phones even meet*.
+//!
+//! Run with: `cargo run --example wifi_sharing`
+
+use std::time::Duration;
+
+use morena::apps::wifi::{WifiConfig, WifiManager};
+use morena::apps::wifi_morena::MorenaWifiApp;
+use morena::prelude::*;
+
+fn main() {
+    let link = LinkModel {
+        setup_latency: Duration::from_millis(2),
+        per_byte_latency: Duration::from_micros(20),
+        ..LinkModel::realistic()
+    };
+    let world = World::with_link(SystemClock::shared(), link, 7);
+
+    // Three phones: the venue owner and two guests.
+    let owner_phone = world.add_phone("owner");
+    let guest_phone = world.add_phone("guest");
+    let friend_phone = world.add_phone("friend");
+    let sticker = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
+
+    let owner = MorenaWifiApp::launch(
+        &MorenaContext::headless(&world, owner_phone),
+        WifiManager::new(),
+    );
+    let guest = MorenaWifiApp::launch(
+        &MorenaContext::headless(&world, guest_phone),
+        WifiManager::new(),
+    );
+    let friend = MorenaWifiApp::launch(
+        &MorenaContext::headless(&world, friend_phone),
+        WifiManager::new(),
+    );
+
+    // 1. The owner provisions the blank sticker.
+    println!("1. owner provisions the sticker with 'venue-guest'");
+    owner.provision(WifiConfig::new("venue-guest", "w1f1-pass"));
+    world.tap_tag(sticker, owner_phone);
+    assert!(owner.toasts().wait_for("WiFi joiner created!", Duration::from_secs(10)));
+    println!("   owner toast: {:?}", owner.toasts().last().unwrap());
+    world.remove_tag_from_field(sticker);
+
+    // 2. A guest taps the sticker and joins.
+    println!("2. guest taps the sticker");
+    world.tap_tag(sticker, guest_phone);
+    assert!(guest.toasts().wait_for("Joining Wifi network venue-guest", Duration::from_secs(10)));
+    wait_until(|| guest.wifi().current_network().is_some());
+    println!(
+        "   guest joined: {:?} (toast: {:?})",
+        guest.wifi().current_network().unwrap(),
+        guest.toasts().last().unwrap()
+    );
+    world.remove_tag_from_field(sticker);
+
+    // 3. The guest queues a share for a friend who is not nearby yet —
+    //    MORENA batches the beam until the phones touch.
+    println!("3. guest queues a share before the friend arrives");
+    guest.share(WifiConfig::new("venue-guest", "w1f1-pass"));
+    std::thread::sleep(Duration::from_millis(200));
+    println!("   share still pending (no peer in range)");
+
+    println!("4. phones touch: the queued share is delivered over Beam");
+    world.bring_phones_together(guest_phone, friend_phone);
+    assert!(guest.toasts().wait_for("WiFi joiner shared!", Duration::from_secs(10)));
+    assert!(friend.toasts().wait_for("Joining Wifi network venue-guest", Duration::from_secs(10)));
+    wait_until(|| friend.wifi().current_network().is_some());
+    println!(
+        "   friend joined: {:?} (toast: {:?})",
+        friend.wifi().current_network().unwrap(),
+        friend.toasts().last().unwrap()
+    );
+
+    println!("\nall three devices are on 'venue-guest'; no manual threads, no retry loops.");
+    owner.close();
+    guest.close();
+    friend.close();
+}
+
+fn wait_until(cond: impl Fn() -> bool) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while std::time::Instant::now() < deadline && !cond() {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(cond(), "condition not reached in time");
+}

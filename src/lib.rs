@@ -1,0 +1,84 @@
+//! # morena
+//!
+//! A full-system Rust reproduction of **MORENA: A Middleware for
+//! Programming NFC-Enabled Android Applications as Distributed
+//! Object-Oriented Programs** (Lombide Carreton, Pinte, De Meuter —
+//! Middleware 2012).
+//!
+//! MORENA treats RFID tags as *intermittently connected remote objects*:
+//! first-class far references with private event loops queue
+//! asynchronous reads and writes, retry them transparently while tags
+//! drift in and out of the tiny NFC field, convert application data
+//! automatically, and deliver listeners on the application's main
+//! thread. This facade crate re-exports the whole stack:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`core`] | `morena-core` | the middleware: tag references, discovery, things, Beam, leasing |
+//! | [`ndef`] | `morena-ndef` | the NDEF wire format |
+//! | [`sim`] | `morena-nfc-sim` | simulated NFC hardware: tags, radio link, world, scenarios |
+//! | [`android`] | `morena-android-sim` | activities, intents, main-thread looper |
+//! | [`baseline`] | `morena-baseline` | the raw blocking API the paper compares against |
+//! | [`apps`] | `morena-apps` | the evaluation applications (WiFi sharing, text tool, asset tracker) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use morena::prelude::*;
+//!
+//! // A simulated world with one phone and one NFC sticker.
+//! let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 0);
+//! let phone = world.add_phone("alice");
+//! let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
+//!
+//! // Attach MORENA (headless — no activity needed).
+//! let ctx = MorenaContext::headless(&world, phone);
+//! let tag = TagReference::new(&ctx, uid, TagTech::Type2,
+//!                             Arc::new(StringConverter::plain_text()));
+//!
+//! // Queue a write while the tag is nowhere near the phone…
+//! let (tx, rx) = crossbeam::channel::unbounded();
+//! tag.write("hello".to_string(), move |r| { tx.send(r.cached()).unwrap(); },
+//!           |_, f| panic!("{f}"));
+//!
+//! // …and it is delivered automatically on the next tap.
+//! world.tap_tag(uid, phone);
+//! let stored = rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+//! assert_eq!(stored.as_deref(), Some("hello"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use morena_android_sim as android;
+pub use morena_apps as apps;
+pub use morena_baseline as baseline;
+pub use morena_core as core;
+pub use morena_ndef as ndef;
+pub use morena_nfc_sim as sim;
+
+/// The most commonly used items of the whole stack, for glob import.
+pub mod prelude {
+    pub use morena_android_sim::activity::{Activity, ActivityContext, ActivityHost};
+    pub use morena_android_sim::intent::{Intent, IntentAction};
+    pub use morena_core::beam::{BeamListener, BeamReceiver, Beamer};
+    pub use morena_core::context::MorenaContext;
+    pub use morena_core::convert::{
+        BytesConverter, JsonConverter, StringConverter, TagDataConverter,
+    };
+    pub use morena_core::discovery::{DiscoveryListener, TagDiscoverer};
+    pub use morena_core::eventloop::{LoopConfig, OpFailure, OpTicket};
+    pub use morena_core::keyed::{KeyedConverter, MemoryStore, ObjectStore};
+    pub use morena_core::lease::{Lease, LeaseManager};
+    pub use morena_core::peer::{PeerInbox, PeerListener, PeerReference};
+    pub use morena_core::tagref::TagReference;
+    pub use morena_core::thing::{BoundThing, EmptyThingSlot, Thing, ThingObserver, ThingSpace};
+    pub use morena_ndef::{NdefMessage, NdefRecord, Tnf};
+    pub use morena_nfc_sim::clock::{Clock, SystemClock, VirtualClock};
+    pub use morena_nfc_sim::controller::NfcHandle;
+    pub use morena_nfc_sim::link::LinkModel;
+    pub use morena_nfc_sim::scenario::Scenario;
+    pub use morena_nfc_sim::tag::{TagTech, TagUid, Type2Tag, Type4Tag};
+    pub use morena_nfc_sim::world::{NfcEvent, PhoneId, World};
+}

@@ -1,0 +1,164 @@
+//! Integration tests for the peer-to-peer half of the middleware (Beam)
+//! and the leasing extension under real multi-threaded contention.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::unbounded;
+use morena::core::beam::{BeamListener, BeamReceiver, Beamer};
+use morena::core::lease::{LeaseError, LeaseManager};
+use morena::prelude::*;
+use parking_lot::Mutex;
+
+struct Collect {
+    tx: crossbeam::channel::Sender<String>,
+}
+
+impl BeamListener<StringConverter> for Collect {
+    fn on_beam_received(&self, value: String) {
+        self.tx.send(value).unwrap();
+    }
+}
+
+#[test]
+fn beams_flow_between_three_phones_in_a_chain() {
+    let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 21);
+    let a = world.add_phone("a");
+    let b = world.add_phone("b");
+    let c = world.add_phone("c");
+    let actx = MorenaContext::headless(&world, a);
+    let bctx = MorenaContext::headless(&world, b);
+    let cctx = MorenaContext::headless(&world, c);
+
+    let (b_tx, b_rx) = unbounded();
+    let (c_tx, c_rx) = unbounded();
+    let _b_recv = BeamReceiver::new(&bctx, Arc::new(StringConverter::plain_text()), Arc::new(Collect { tx: b_tx }));
+    let _c_recv = BeamReceiver::new(&cctx, Arc::new(StringConverter::plain_text()), Arc::new(Collect { tx: c_tx }));
+
+    let a_beamer = Beamer::new(&actx, Arc::new(StringConverter::plain_text()));
+    let b_beamer = Beamer::new(&bctx, Arc::new(StringConverter::plain_text()));
+
+    // a → b
+    world.bring_phones_together(a, b);
+    a_beamer.beam_ok("hop-1".to_string());
+    assert_eq!(b_rx.recv_timeout(Duration::from_secs(10)).unwrap(), "hop-1");
+
+    // b moves to c, forwards it
+    world.separate_phone(b);
+    world.bring_phones_together(c, b);
+    b_beamer.beam_ok("hop-2".to_string());
+    assert_eq!(c_rx.recv_timeout(Duration::from_secs(10)).unwrap(), "hop-2");
+    // a never received anything (no receiver registered there anyway),
+    // and b got exactly one message.
+    assert!(b_rx.try_recv().is_err());
+}
+
+#[test]
+fn beam_delivers_to_all_peers_in_range() {
+    let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 22);
+    let sender = world.add_phone("sender");
+    let sctx = MorenaContext::headless(&world, sender);
+    let mut receivers = Vec::new();
+    for i in 0..3 {
+        let phone = world.add_phone(&format!("peer-{i}"));
+        let ctx = MorenaContext::headless(&world, phone);
+        let (tx, rx) = unbounded();
+        let receiver =
+            BeamReceiver::new(&ctx, Arc::new(StringConverter::plain_text()), Arc::new(Collect { tx }));
+        world.bring_phones_together(sender, phone);
+        receivers.push((receiver, rx));
+    }
+    let beamer = Beamer::new(&sctx, Arc::new(StringConverter::plain_text()));
+    let (ok_tx, ok_rx) = unbounded();
+    beamer.beam("to everyone".to_string(), move || ok_tx.send(()).unwrap(), |f| panic!("{f}"));
+    ok_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+    for (_, rx) in &receivers {
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), "to everyone");
+    }
+}
+
+#[test]
+fn lease_contention_grants_exclusively_under_threads() {
+    let world = World::with_link(
+        SystemClock::shared(),
+        LinkModel {
+            setup_latency: Duration::from_micros(200),
+            per_byte_latency: Duration::from_micros(2),
+            ..LinkModel::reliable()
+        },
+        23,
+    );
+    let uid = world.add_tag(Box::new(Type2Tag::ntag216(TagUid::from_seed(1))));
+    world.set_tag_position(uid, morena::sim::geometry::Point::ORIGIN);
+
+    let grants: Arc<Mutex<Vec<(u64, std::time::Instant, std::time::Instant)>>> =
+        Arc::new(Mutex::new(Vec::new()));
+    let stop_at = std::time::Instant::now() + Duration::from_millis(800);
+
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let phone = world.add_phone(&format!("contender-{i}"));
+            world.set_phone_position(phone, morena::sim::geometry::Point::ORIGIN);
+            let ctx = MorenaContext::headless(&world, phone);
+            let manager = LeaseManager::new(&ctx);
+            let grants = Arc::clone(&grants);
+            std::thread::spawn(move || {
+                let mut granted = 0u32;
+                while std::time::Instant::now() < stop_at {
+                    match manager.acquire(uid, Duration::from_millis(100)) {
+                        Ok(lease) => {
+                            let from = std::time::Instant::now();
+                            std::thread::sleep(Duration::from_millis(10));
+                            if manager.release(&lease).is_ok() {
+                                grants.lock().push((manager.device().0, from, std::time::Instant::now()));
+                            }
+                            granted += 1;
+                        }
+                        Err(LeaseError::Held { .. }) => std::thread::sleep(Duration::from_millis(1)),
+                        Err(_) => {}
+                    }
+                }
+                granted
+            })
+        })
+        .collect();
+    let total: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(total >= 3, "contention should still produce grants, got {total}");
+
+    // No two grant intervals from different devices overlap.
+    let grants = grants.lock();
+    for (i, a) in grants.iter().enumerate() {
+        for b in grants.iter().skip(i + 1) {
+            if a.0 != b.0 {
+                assert!(
+                    a.2 <= b.1 || b.2 <= a.1,
+                    "grant intervals overlapped between devices {} and {}",
+                    a.0,
+                    b.0
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn expired_lease_does_not_block_the_tag_forever() {
+    let clock = VirtualClock::shared();
+    let world = World::with_link(Arc::clone(&clock) as Arc<dyn Clock>, LinkModel::instant(), 24);
+    let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(2))));
+    world.set_tag_position(uid, morena::sim::geometry::Point::ORIGIN);
+    let a_phone = world.add_phone("a");
+    let b_phone = world.add_phone("b");
+    world.set_phone_position(a_phone, morena::sim::geometry::Point::ORIGIN);
+    world.set_phone_position(b_phone, morena::sim::geometry::Point::ORIGIN);
+    let a = LeaseManager::new(&MorenaContext::headless(&world, a_phone));
+    let b = LeaseManager::new(&MorenaContext::headless(&world, b_phone));
+
+    // a takes a lease and walks away without releasing (crashed app).
+    a.acquire(uid, Duration::from_secs(10)).unwrap();
+    assert!(matches!(b.acquire(uid, Duration::from_secs(1)), Err(LeaseError::Held { .. })));
+    // After expiry, b can take over without a's cooperation.
+    clock.advance(Duration::from_secs(11));
+    let lease = b.acquire(uid, Duration::from_secs(1)).unwrap();
+    assert_eq!(lease.holder, b.device());
+}

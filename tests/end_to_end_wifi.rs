@@ -1,0 +1,175 @@
+//! End-to-end behavioural equivalence of the two WiFi-sharing
+//! implementations (the §4 evaluation pair): driven through identical
+//! physical scenarios, the MORENA and handcrafted versions must produce
+//! the same observable outcomes — and tags written by one must be
+//! readable by the other.
+
+use std::time::Duration;
+
+use morena::apps::wifi::{WifiConfig, WifiManager};
+use morena::apps::wifi_handcrafted::HandcraftedWifiApp;
+use morena::apps::wifi_morena::MorenaWifiApp;
+use morena::prelude::*;
+
+fn world() -> World {
+    World::with_link(VirtualClock::shared(), LinkModel::instant(), 99)
+}
+
+fn wait_until(cond: impl Fn() -> bool) -> bool {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while std::time::Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    cond()
+}
+
+/// The provision-then-join scenario, outcome captured per implementation.
+#[derive(Debug, PartialEq)]
+struct ScenarioOutcome {
+    provision_toast: bool,
+    guest_network: Option<String>,
+    guest_join_toast: bool,
+}
+
+fn run_morena_scenario(world: &World) -> ScenarioOutcome {
+    let host_phone = world.add_phone("m-host");
+    let guest_phone = world.add_phone("m-guest");
+    let sticker = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
+
+    let host =
+        MorenaWifiApp::launch(&MorenaContext::headless(world, host_phone), WifiManager::new());
+    let guest =
+        MorenaWifiApp::launch(&MorenaContext::headless(world, guest_phone), WifiManager::new());
+
+    host.provision(WifiConfig::new("shared-net", "pw"));
+    world.tap_tag(sticker, host_phone);
+    let provision_toast = host.toasts().wait_for("WiFi joiner created!", Duration::from_secs(10));
+    world.remove_tag_from_field(sticker);
+
+    world.tap_tag(sticker, guest_phone);
+    let guest_join_toast =
+        guest.toasts().wait_for("Joining Wifi network shared-net", Duration::from_secs(10));
+    wait_until(|| guest.wifi().current_network().is_some());
+    let outcome = ScenarioOutcome {
+        provision_toast,
+        guest_network: guest.wifi().current_network(),
+        guest_join_toast,
+    };
+    host.close();
+    guest.close();
+    outcome
+}
+
+fn run_handcrafted_scenario(world: &World) -> ScenarioOutcome {
+    let host_phone = world.add_phone("h-host");
+    let guest_phone = world.add_phone("h-guest");
+    let sticker = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(2))));
+
+    let host = HandcraftedWifiApp::launch(world, host_phone, WifiManager::new());
+    let guest = HandcraftedWifiApp::launch(world, guest_phone, WifiManager::new());
+
+    host.provision(WifiConfig::new("shared-net", "pw"));
+    world.tap_tag(sticker, host_phone);
+    let provision_toast = host.toasts().wait_for("WiFi joiner created!", Duration::from_secs(10));
+    world.remove_tag_from_field(sticker);
+
+    world.tap_tag(sticker, guest_phone);
+    let guest_join_toast =
+        guest.toasts().wait_for("Joining Wifi network shared-net", Duration::from_secs(10));
+    wait_until(|| guest.wifi().current_network().is_some());
+    guest.sync();
+    ScenarioOutcome {
+        provision_toast,
+        guest_network: guest.wifi().current_network(),
+        guest_join_toast,
+    }
+}
+
+#[test]
+fn both_implementations_produce_identical_outcomes() {
+    let world = world();
+    let morena = run_morena_scenario(&world);
+    let handcrafted = run_handcrafted_scenario(&world);
+    assert_eq!(morena, handcrafted);
+    assert_eq!(
+        morena,
+        ScenarioOutcome {
+            provision_toast: true,
+            guest_network: Some("shared-net".into()),
+            guest_join_toast: true,
+        }
+    );
+}
+
+#[test]
+fn tag_written_by_morena_is_read_by_handcrafted() {
+    let world = world();
+    let writer_phone = world.add_phone("writer");
+    let reader_phone = world.add_phone("reader");
+    let sticker = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(3))));
+
+    let writer =
+        MorenaWifiApp::launch(&MorenaContext::headless(&world, writer_phone), WifiManager::new());
+    writer.provision(WifiConfig::new("cross-impl", "x"));
+    world.tap_tag(sticker, writer_phone);
+    assert!(writer.toasts().wait_for("WiFi joiner created!", Duration::from_secs(10)));
+    world.remove_tag_from_field(sticker);
+    writer.close();
+
+    let reader = HandcraftedWifiApp::launch(&world, reader_phone, WifiManager::new());
+    world.tap_tag(sticker, reader_phone);
+    assert!(reader.toasts().wait_for("Joining Wifi network cross-impl", Duration::from_secs(10)));
+}
+
+#[test]
+fn tag_written_by_handcrafted_is_read_by_morena() {
+    let world = world();
+    let writer_phone = world.add_phone("writer");
+    let reader_phone = world.add_phone("reader");
+    let sticker = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(4))));
+
+    let writer = HandcraftedWifiApp::launch(&world, writer_phone, WifiManager::new());
+    writer.provision(WifiConfig::new("cross-impl-2", "y"));
+    world.tap_tag(sticker, writer_phone);
+    assert!(writer.toasts().wait_for("WiFi joiner created!", Duration::from_secs(10)));
+    world.remove_tag_from_field(sticker);
+
+    let reader =
+        MorenaWifiApp::launch(&MorenaContext::headless(&world, reader_phone), WifiManager::new());
+    world.tap_tag(sticker, reader_phone);
+    assert!(reader.toasts().wait_for("Joining Wifi network cross-impl-2", Duration::from_secs(10)));
+    reader.close();
+}
+
+#[test]
+fn morena_batches_share_where_handcrafted_fails_without_peer() {
+    let world = world();
+    let m_phone = world.add_phone("m");
+    let h_phone = world.add_phone("h");
+    let morena =
+        MorenaWifiApp::launch(&MorenaContext::headless(&world, m_phone), WifiManager::new());
+    let handcrafted = HandcraftedWifiApp::launch(&world, h_phone, WifiManager::new());
+
+    // Neither has a peer in range.
+    morena.share(WifiConfig::new("n", "k"));
+    handcrafted.share(WifiConfig::new("n", "k"));
+
+    // The handcrafted share fails outright…
+    assert!(handcrafted
+        .toasts()
+        .wait_for("Failed to share WiFi joiner", Duration::from_secs(10)));
+    // …while the MORENA share stays queued, and succeeds when a peer
+    // appears.
+    assert_eq!(morena.space().broadcast_queue_len(), 1);
+    let peer_phone = world.add_phone("late-peer");
+    let peer =
+        MorenaWifiApp::launch(&MorenaContext::headless(&world, peer_phone), WifiManager::new());
+    world.bring_phones_together(m_phone, peer_phone);
+    assert!(morena.toasts().wait_for("WiFi joiner shared!", Duration::from_secs(10)));
+    assert!(peer.toasts().wait_for("Joining Wifi network n", Duration::from_secs(10)));
+    morena.close();
+    peer.close();
+}

@@ -1,0 +1,464 @@
+//! Paper conformance suite: one test per load-bearing claim of the
+//! MORENA paper, with the claim quoted verbatim. Where the paper
+//! promises a behaviour, this file is the checklist proving the
+//! reproduction delivers it.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::unbounded;
+use morena::core::discovery::DiscoveryListener;
+use morena::core::eventloop::{LoopConfig, OpFailure};
+use morena::prelude::*;
+use parking_lot::Mutex;
+
+fn world() -> (World, PhoneId, MorenaContext) {
+    let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 2012);
+    let phone = world.add_phone("paper");
+    let ctx = MorenaContext::headless(&world, phone);
+    (world, phone, ctx)
+}
+
+fn text_tag(world: &World, ctx: &MorenaContext, seed: u32, content: &str) -> TagUid {
+    let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(seed))));
+    world.tap_tag(uid, ctx.phone());
+    let msg = StringConverter::plain_text().to_message(&content.to_string()).unwrap();
+    ctx.nfc().ndef_write(uid, &msg.to_bytes()).unwrap();
+    world.remove_tag_from_field(uid);
+    uid
+}
+
+/// §1.2: "Ambient-oriented programming requires these primitives to be
+/// non-blocking: a process or thread of control should not be suspended
+/// if the operation cannot be completed immediately."
+#[test]
+fn s1_2_operations_never_block_the_caller() {
+    let (_world, _phone, ctx) = world();
+    let uid = TagUid::from_seed(1);
+    // No tag with this uid even exists; submission must return at once.
+    let reference = TagReference::new(
+        &ctx,
+        uid,
+        TagTech::Type2,
+        Arc::new(StringConverter::plain_text()),
+    );
+    let started = std::time::Instant::now();
+    for i in 0..100 {
+        reference.write(format!("op-{i}"), |_| {}, |_, _| {});
+    }
+    assert!(
+        started.elapsed() < Duration::from_millis(500),
+        "100 submissions against an absent tag must not block"
+    );
+    assert_eq!(reference.queue_len(), 100);
+    reference.close();
+}
+
+/// §1.2: "far references … store messages directed towards the remote
+/// objects that could not be sent due to physical phenomena" and
+/// "attempts to forward its stored messages (in the correct order)".
+#[test]
+fn s1_2_far_references_store_and_forward_in_order() {
+    let (world, phone, ctx) = world();
+    let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(2))));
+    let reference = TagReference::new(
+        &ctx,
+        uid,
+        TagTech::Type2,
+        Arc::new(StringConverter::plain_text()),
+    );
+    let (tx, rx) = unbounded();
+    for i in 0..5 {
+        let tx = tx.clone();
+        reference.write(format!("stored-{i}"), move |_| tx.send(i).unwrap(), |_, f| panic!("{f}"));
+    }
+    world.tap_tag(uid, phone); // connectivity restored
+    let order: Vec<i32> = (0..5).map(|_| rx.recv_timeout(Duration::from_secs(10)).unwrap()).collect();
+    assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    reference.close();
+}
+
+/// §3.2: "It is guaranteed that a message is never processed before
+/// previously scheduled messages are processed first."
+#[test]
+fn s3_2_strict_fifo_even_when_later_ops_would_be_faster() {
+    let (world, phone, ctx) = world();
+    let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(3))));
+    let reference = TagReference::new(
+        &ctx,
+        uid,
+        TagTech::Type2,
+        Arc::new(StringConverter::plain_text()),
+    );
+    // A big write queued first, a tiny read queued second: the read must
+    // still complete strictly after the write.
+    let (tx, rx) = unbounded();
+    let tx2 = tx.clone();
+    reference.write("x".repeat(400), move |_| tx.send("write").unwrap(), |_, f| panic!("{f}"));
+    reference.read(move |_| tx2.send("read").unwrap(), |_, f| panic!("{f}"));
+    world.tap_tag(uid, phone);
+    assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), "write");
+    assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), "read");
+    reference.close();
+}
+
+/// §3.2: "If an operation times out, it is removed from the queue as
+/// well and the next operation is attempted, but this time the failure
+/// listener associated with the operation is triggered."
+#[test]
+fn s3_2_timeout_removes_op_and_fires_failure_listener() {
+    let clock = VirtualClock::shared();
+    let world = World::with_link(Arc::clone(&clock) as Arc<dyn Clock>, LinkModel::instant(), 3);
+    let phone = world.add_phone("paper");
+    let ctx = MorenaContext::headless(&world, phone);
+    let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(4))));
+    let reference = TagReference::new(
+        &ctx,
+        uid,
+        TagTech::Type2,
+        Arc::new(StringConverter::plain_text()),
+    );
+    let (tx, rx) = unbounded();
+    let tx_ok = tx.clone();
+    reference.write_with_timeout(
+        "doomed".into(),
+        Duration::from_secs(1),
+        |_| panic!("never connects in time"),
+        move |_, f| tx.send(("first", format!("{f}"))).unwrap(),
+    );
+    reference.write_with_timeout(
+        "survives".into(),
+        Duration::from_secs(3600),
+        move |_| tx_ok.send(("second", "ok".into())).unwrap(),
+        |_, f| panic!("{f}"),
+    );
+    clock.advance(Duration::from_secs(2)); // first op's deadline passes
+    let (which, failure) = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+    assert_eq!(which, "first");
+    assert!(failure.contains("timed out"));
+    // The next operation is attempted once connectivity exists.
+    world.tap_tag(uid, phone);
+    assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap().0, "second");
+    reference.close();
+}
+
+/// §3.2: "Listeners … are always asynchronously scheduled for execution
+/// in the activity's main thread, which frees the programmer of manual
+/// concurrency management."
+#[test]
+fn s3_2_all_listeners_share_one_main_thread() {
+    let (world, phone, ctx) = world();
+    let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(5))));
+    world.tap_tag(uid, phone);
+    let reference = TagReference::new(
+        &ctx,
+        uid,
+        TagTech::Type2,
+        Arc::new(StringConverter::plain_text()),
+    );
+    let (tx, rx) = unbounded();
+    for i in 0..8 {
+        let tx = tx.clone();
+        reference.write(format!("{i}"), move |_| tx.send(std::thread::current().id()).unwrap(), |_, f| {
+            panic!("{f}")
+        });
+    }
+    let ids: Vec<_> = (0..8).map(|_| rx.recv_timeout(Duration::from_secs(10)).unwrap()).collect();
+    assert!(ids.windows(2).all(|w| w[0] == w[1]), "all listeners on one thread");
+    assert_ne!(ids[0], std::thread::current().id(), "and it is not the caller's thread");
+    reference.close();
+}
+
+/// §3.2: "Within one Android activity, only a single unique tag
+/// reference can exist to the same RFID tag" (per-discoverer identity).
+#[test]
+fn s3_2_one_reference_per_tag() {
+    let (world, phone, ctx) = world();
+    let uid = text_tag(&world, &ctx, 6, "identity");
+
+    struct Noop;
+    impl DiscoveryListener<StringConverter> for Noop {
+        fn on_tag_detected(&self, _r: TagReference<StringConverter>) {}
+        fn on_tag_redetected(&self, _r: TagReference<StringConverter>) {}
+    }
+    let discoverer =
+        TagDiscoverer::new(&ctx, Arc::new(StringConverter::plain_text()), Arc::new(Noop));
+    for round in 0..3 {
+        world.tap_tag(uid, phone);
+        // Let each sighting be fully processed before the tag leaves.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while discoverer.reference_for(uid).is_none() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(discoverer.reference_for(uid).is_some(), "sighting {round} processed");
+        world.remove_tag_from_field(uid);
+    }
+    assert_eq!(discoverer.references().len(), 1, "three taps, one unique reference");
+}
+
+/// §3.2 (cache): the reference "encapsulates a cached version of the
+/// contents of the RFID tag, which is updated after each read and write
+/// operation", with synchronous access.
+#[test]
+fn s3_2_cache_updates_after_each_operation() {
+    let (world, phone, ctx) = world();
+    let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(7))));
+    world.tap_tag(uid, phone);
+    let reference = TagReference::new(
+        &ctx,
+        uid,
+        TagTech::Type2,
+        Arc::new(StringConverter::plain_text()),
+    );
+    assert_eq!(reference.cached(), None);
+    reference.write_sync("v1".into(), Duration::from_secs(10)).unwrap();
+    assert_eq!(reference.cached().as_deref(), Some("v1")); // after write
+    // Another device changes the tag behind our back…
+    ctx.nfc()
+        .ndef_write(
+            uid,
+            &StringConverter::plain_text().to_message(&"v2".to_string()).unwrap().to_bytes(),
+        )
+        .unwrap();
+    assert_eq!(reference.cached().as_deref(), Some("v1"), "cache is stale, as documented");
+    // …an asynchronous read refreshes it.
+    reference.read_sync(Duration::from_secs(10)).unwrap();
+    assert_eq!(reference.cached().as_deref(), Some("v2")); // after read
+    reference.close();
+}
+
+/// §3.4: "Only when these predicates are satisfied, the listeners are
+/// triggered."
+#[test]
+fn s3_4_check_condition_gates_listeners() {
+    let (world, phone, ctx) = world();
+    let wanted = text_tag(&world, &ctx, 8, "magic");
+    let unwanted = text_tag(&world, &ctx, 9, "mundane");
+
+    struct OnlyMagic {
+        hits: Arc<Mutex<Vec<TagUid>>>,
+    }
+    impl DiscoveryListener<StringConverter> for OnlyMagic {
+        fn on_tag_detected(&self, r: TagReference<StringConverter>) {
+            self.hits.lock().push(r.uid());
+        }
+        fn on_tag_redetected(&self, r: TagReference<StringConverter>) {
+            self.hits.lock().push(r.uid());
+        }
+        fn check_condition(&self, r: &TagReference<StringConverter>) -> bool {
+            r.cached().as_deref() == Some("magic")
+        }
+    }
+    let hits = Arc::new(Mutex::new(Vec::new()));
+    let _d = TagDiscoverer::new(
+        &ctx,
+        Arc::new(StringConverter::plain_text()),
+        Arc::new(OnlyMagic { hits: Arc::clone(&hits) }),
+    );
+    world.tap_tag(unwanted, phone);
+    world.remove_tag_from_field(unwanted);
+    world.tap_tag(wanted, phone);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while hits.lock().is_empty() && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(*hits.lock(), vec![wanted]);
+}
+
+/// §2.2/§2.4 overloads: "Various overloaded versions of initialize
+/// exist, such that for example the failure listener can be omitted or
+/// the timeout value can be manually specified."
+#[test]
+fn s2_overload_surface_exists() {
+    // A compile-time conformance check, executed for good measure.
+    let (world, phone, ctx) = world();
+    let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(10))));
+    world.tap_tag(uid, phone);
+    let reference = TagReference::new(
+        &ctx,
+        uid,
+        TagTech::Type2,
+        Arc::new(StringConverter::plain_text()),
+    );
+    let (tx, rx) = unbounded();
+    reference.write_ok("no failure listener".into(), {
+        let tx = tx.clone();
+        move |_| tx.send(()).unwrap()
+    });
+    rx.recv_timeout(Duration::from_secs(10)).unwrap();
+    reference.write_with_timeout(
+        "explicit timeout".into(),
+        Duration::from_secs(30),
+        move |_| tx.send(()).unwrap(),
+        |_, f| panic!("{f}"),
+    );
+    rx.recv_timeout(Duration::from_secs(10)).unwrap();
+    reference.read_ok(|_| {});
+    reference.close();
+}
+
+/// §2.5: "Things received via broadcast will not be bound to a
+/// particular RFID tag (although they can later be by initializing
+/// empty tags with them)."
+#[test]
+fn s2_5_beamed_things_can_be_bound_later() {
+    use morena::core::thing::{BoundThing, EmptyThingSlot, Thing, ThingObserver, ThingSpace};
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Coupon {
+        code: String,
+    }
+    impl Thing for Coupon {
+        const TYPE_NAME: &'static str = "coupon";
+    }
+
+    struct Keep {
+        received: Arc<Mutex<Option<Coupon>>>,
+        bound: Arc<Mutex<Option<TagUid>>>,
+    }
+    impl ThingObserver<Coupon> for Keep {
+        fn when_discovered(&self, thing: BoundThing<Coupon>) {
+            *self.bound.lock() = Some(thing.uid());
+        }
+        fn when_discovered_empty(&self, slot: EmptyThingSlot<Coupon>) {
+            // Bind the beamed coupon to the first blank tag we see.
+            if let Some(coupon) = self.received.lock().clone() {
+                slot.initialize_ok(coupon, |_| {});
+            }
+        }
+        fn when_received(&self, thing: Coupon) {
+            *self.received.lock() = Some(thing);
+        }
+    }
+
+    let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 25);
+    let sender = world.add_phone("sender");
+    let receiver = world.add_phone("receiver");
+    let sender_ctx = MorenaContext::headless(&world, sender);
+    let receiver_ctx = MorenaContext::headless(&world, receiver);
+
+    let received = Arc::new(Mutex::new(None));
+    let bound = Arc::new(Mutex::new(None));
+    let _space = ThingSpace::<Coupon>::new(
+        &receiver_ctx,
+        Arc::new(Keep { received: Arc::clone(&received), bound: Arc::clone(&bound) }),
+    );
+    let sender_space = ThingSpace::<Coupon>::new(
+        &sender_ctx,
+        Arc::new(Keep { received: Arc::new(Mutex::new(None)), bound: Arc::new(Mutex::new(None)) }),
+    );
+
+    // Beam the (unbound) coupon.
+    world.bring_phones_together(sender, receiver);
+    sender_space.broadcast(Coupon { code: "SAVE10".into() }, || {}, |f| panic!("{f}"));
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while received.lock().is_none() && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(received.lock().clone().unwrap().code, "SAVE10");
+
+    // Later, a blank tag is tapped: the coupon gets bound to it.
+    let blank = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(11))));
+    world.tap_tag(blank, receiver);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while receiver_ctx.nfc().ndef_read(blank).map(|b| b.is_empty()).unwrap_or(true)
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Re-tap: now it is discovered as a bound thing.
+    world.remove_tag_from_field(blank);
+    world.tap_tag(blank, receiver);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while bound.lock().is_none() && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(*bound.lock(), Some(blank));
+}
+
+/// §2.3: "such a thing object like wc encapsulates a cached version of
+/// this deserialized object which allows synchronous access to its
+/// fields and methods."
+#[test]
+fn s2_3_things_allow_synchronous_access_after_discovery() {
+    use morena::core::thing::{BoundThing, Thing, ThingObserver, ThingSpace};
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, Clone, Serialize, Deserialize)]
+    struct Wifi {
+        ssid: String,
+        key: String,
+    }
+    impl Thing for Wifi {
+        const TYPE_NAME: &'static str = "conformance-wifi";
+    }
+
+    struct JoinOnSight {
+        joined: Arc<Mutex<Vec<String>>>,
+    }
+    impl ThingObserver<Wifi> for JoinOnSight {
+        fn when_discovered(&self, thing: BoundThing<Wifi>) {
+            // Synchronous field access and "method call" right in the
+            // callback — the paper's §2.3 usage pattern.
+            let wc = thing.value();
+            self.joined.lock().push(wc.ssid.clone());
+        }
+    }
+
+    let (world, phone, ctx) = world();
+    let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(20))));
+    world.tap_tag(uid, phone);
+    ctx.nfc()
+        .ndef_write(
+            uid,
+            &{
+                use morena::core::convert::TagDataConverter;
+                Wifi::converter()
+                    .to_message(&Wifi { ssid: "synchronous".into(), key: "k".into() })
+                    .unwrap()
+                    .to_bytes()
+            },
+        )
+        .unwrap();
+    world.remove_tag_from_field(uid);
+
+    let joined = Arc::new(Mutex::new(Vec::new()));
+    let _space = ThingSpace::new(&ctx, Arc::new(JoinOnSight { joined: Arc::clone(&joined) }));
+    world.tap_tag(uid, phone);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while joined.lock().is_empty() && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(*joined.lock(), vec!["synchronous".to_string()]);
+}
+
+/// §1.1 (drawback being removed): "failure is the rule instead of the
+/// exception" — a permanent failure is still reported exactly once, not
+/// retried forever.
+#[test]
+fn s1_1_permanent_failures_are_not_retried() {
+    let (world, phone, ctx) = world();
+    let uid = world.add_tag(Box::new({
+        let mut tag = Type2Tag::ntag215(TagUid::from_seed(12));
+        tag.set_read_only(true);
+        tag
+    }));
+    world.tap_tag(uid, phone);
+    let reference = TagReference::with_config(
+        &ctx,
+        uid,
+        TagTech::Type2,
+        Arc::new(StringConverter::plain_text()),
+        LoopConfig { retry_backoff: Duration::from_millis(1), ..LoopConfig::default() },
+    );
+    let (tx, rx) = unbounded();
+    reference.write("nope".into(), |_| panic!("read-only"), move |_, f| tx.send(f).unwrap());
+    assert!(matches!(
+        rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+        OpFailure::Failed(_)
+    ));
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(reference.stats().snapshot().attempts, 1, "no retry of permanent failures");
+    reference.close();
+}

@@ -1,0 +1,183 @@
+//! Cross-crate property tests: invariants that must hold across the
+//! whole stack — arbitrary things surviving the full serialize → tag
+//! memory → radio → deserialize pipeline, lease message algebra, and
+//! converter/codec composition.
+
+use std::sync::Arc;
+
+use morena::core::convert::{JsonConverter, StringConverter, TagDataConverter};
+use morena::core::lease::{strip_lease, with_lease, DeviceId, LeaseRecord};
+use morena::core::thing::Thing;
+use morena::prelude::*;
+use morena::sim::clock::SimInstant;
+use morena::sim::proto::{self, DirectLink};
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Note {
+    title: String,
+    body: String,
+    tags: Vec<String>,
+    priority: u8,
+}
+
+impl Thing for Note {
+    const TYPE_NAME: &'static str = "note";
+}
+
+fn arb_note() -> impl Strategy<Value = Note> {
+    (
+        "[ -~]{0,24}",
+        "[ -~]{0,80}",
+        proptest::collection::vec("[a-z]{1,8}", 0..4),
+        any::<u8>(),
+    )
+        .prop_map(|(title, body, tags, priority)| Note { title, body, tags, priority })
+}
+
+proptest! {
+    /// Any thing survives: JSON → NDEF → Type 2 tag memory (pages, TLV)
+    /// → read procedure → NDEF → JSON.
+    #[test]
+    fn thing_round_trips_through_type2_tag_memory(note in arb_note()) {
+        let converter: JsonConverter<Note> = Note::converter();
+        let message = converter.to_message(&note).unwrap();
+        let mut tag = Type2Tag::ntag216(TagUid::from_seed(1));
+        proto::write_ndef(&mut DirectLink::new(&mut tag), TagTech::Type2, &message.to_bytes())
+            .unwrap();
+        let bytes = proto::read_ndef(&mut DirectLink::new(&mut tag), TagTech::Type2).unwrap();
+        let back = converter.from_message(&NdefMessage::parse(&bytes).unwrap()).unwrap();
+        prop_assert_eq!(back, note);
+    }
+
+    /// Same pipeline over a Type 4 tag (APDU file protocol).
+    #[test]
+    fn thing_round_trips_through_type4_tag_memory(note in arb_note()) {
+        let converter: JsonConverter<Note> = Note::converter();
+        let message = converter.to_message(&note).unwrap();
+        let mut tag = Type4Tag::new(TagUid::from_seed(2), 4096);
+        proto::write_ndef(&mut DirectLink::new(&mut tag), TagTech::Type4, &message.to_bytes())
+            .unwrap();
+        let bytes = proto::read_ndef(&mut DirectLink::new(&mut tag), TagTech::Type4).unwrap();
+        let back = converter.from_message(&NdefMessage::parse(&bytes).unwrap()).unwrap();
+        prop_assert_eq!(back, note);
+    }
+
+    /// Lease algebra: locking any application message and stripping the
+    /// lock recovers the original content, regardless of lease values.
+    #[test]
+    fn lease_wrap_strip_is_identity(
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        holder in any::<u64>(),
+        expiry in any::<u64>(),
+    ) {
+        let content = NdefMessage::single(
+            NdefRecord::mime("application/x-data", payload).unwrap(),
+        );
+        let lease = LeaseRecord {
+            holder: DeviceId(holder),
+            expires_at: SimInstant::from_nanos(expiry),
+        };
+        let locked = with_lease(&content, lease);
+        prop_assert_eq!(LeaseRecord::find_in(&locked), Some(lease));
+        prop_assert_eq!(strip_lease(&locked), content.clone());
+        // Locking twice replaces, never stacks.
+        let relocked = with_lease(&locked, lease);
+        prop_assert_eq!(relocked.records().len(), locked.records().len());
+    }
+
+    /// A leased message still round-trips through real tag memory, and
+    /// the lock survives byte-exactly.
+    #[test]
+    fn leased_message_survives_tag_memory(
+        payload in proptest::collection::vec(any::<u8>(), 0..48),
+        holder in any::<u64>(),
+        expiry in any::<u64>(),
+    ) {
+        let content = NdefMessage::single(
+            NdefRecord::mime("application/x-data", payload).unwrap(),
+        );
+        let lease = LeaseRecord {
+            holder: DeviceId(holder),
+            expires_at: SimInstant::from_nanos(expiry),
+        };
+        let locked = with_lease(&content, lease);
+        let mut tag = Type2Tag::ntag215(TagUid::from_seed(3));
+        proto::write_ndef(&mut DirectLink::new(&mut tag), TagTech::Type2, &locked.to_bytes())
+            .unwrap();
+        let bytes = proto::read_ndef(&mut DirectLink::new(&mut tag), TagTech::Type2).unwrap();
+        let read_back = NdefMessage::parse(&bytes).unwrap();
+        prop_assert_eq!(LeaseRecord::find_in(&read_back), Some(lease));
+        prop_assert_eq!(strip_lease(&read_back), content);
+    }
+
+    /// Strings of any content survive the string converter + wire format.
+    #[test]
+    fn string_converter_composes_with_wire_format(text in "\\PC{0,200}") {
+        let converter = StringConverter::plain_text();
+        let message = converter.to_message(&text).unwrap();
+        let parsed = NdefMessage::parse(&message.to_bytes()).unwrap();
+        prop_assert!(converter.accepts(&parsed));
+        prop_assert_eq!(converter.from_message(&parsed).unwrap(), text);
+    }
+
+    /// The converter MIME namespace is injective enough: two different
+    /// thing types never accept each other's messages.
+    #[test]
+    fn thing_mime_types_do_not_collide(note in arb_note()) {
+        #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+        struct Other { x: u32 }
+        impl Thing for Other {
+            const TYPE_NAME: &'static str = "other";
+        }
+        let note_conv: JsonConverter<Note> = Note::converter();
+        let other_conv: JsonConverter<Other> = Other::converter();
+        let message = note_conv.to_message(&note).unwrap();
+        prop_assert!(note_conv.accepts(&message));
+        prop_assert!(!other_conv.accepts(&message));
+    }
+}
+
+/// Sanity outside proptest: the full stack end-to-end with a virtual
+/// clock and a typed ThingSpace (exercising every layer in one flow).
+#[test]
+fn full_stack_smoke() {
+    use morena::core::thing::{BoundThing, EmptyThingSlot, ThingObserver, ThingSpace};
+
+    struct Observer {
+        tx: crossbeam::channel::Sender<Note>,
+    }
+    impl ThingObserver<Note> for Observer {
+        fn when_discovered(&self, thing: BoundThing<Note>) {
+            self.tx.send(thing.value()).unwrap();
+        }
+        fn when_discovered_empty(&self, slot: EmptyThingSlot<Note>) {
+            slot.initialize_ok(
+                Note {
+                    title: "fresh".into(),
+                    body: "initialized on first sight".into(),
+                    tags: vec!["auto".into()],
+                    priority: 1,
+                },
+                |_| {},
+            );
+        }
+    }
+
+    let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 77);
+    let phone = world.add_phone("smoke");
+    let ctx = MorenaContext::headless(&world, phone);
+    let (tx, rx) = crossbeam::channel::unbounded();
+    let _space = ThingSpace::new(&ctx, Arc::new(Observer { tx }));
+    let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(9))));
+
+    // First tap: blank → auto-initialized. Second tap: discovered.
+    world.tap_tag(uid, phone);
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    world.remove_tag_from_field(uid);
+    world.tap_tag(uid, phone);
+    let note = rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+    assert_eq!(note.title, "fresh");
+    assert_eq!(note.tags, vec!["auto".to_string()]);
+}

@@ -1,0 +1,173 @@
+//! Swarm stress: many phones, many tags, many references, all active at
+//! once over a noisy link — the "industrial scalability" frontier the
+//! paper's related-work section draws a line at. The middleware must
+//! stay correct (every operation resolves exactly once, caches converge
+//! to the last write per tag) even if it was never designed for
+//! warehouse-scale deployments.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::unbounded;
+use morena::core::eventloop::LoopConfig;
+use morena::prelude::*;
+
+#[test]
+fn many_phones_many_tags_all_resolve() {
+    const PHONES: usize = 4;
+    const TAGS_PER_PHONE: usize = 3;
+    const OPS_PER_TAG: usize = 5;
+
+    let link = LinkModel {
+        setup_latency: Duration::from_micros(100),
+        per_byte_latency: Duration::from_micros(1),
+        base_failure_prob: 0.10,
+        edge_failure_prob: 0.10,
+        ..LinkModel::realistic()
+    };
+    let world = World::with_link(SystemClock::shared(), link, 4242);
+
+    let (done_tx, done_rx) = unbounded();
+    let mut references = Vec::new();
+    let mut expected = Vec::new();
+
+    for p in 0..PHONES {
+        let phone = world.add_phone(&format!("phone-{p}"));
+        let ctx = MorenaContext::headless(&world, phone);
+        for t in 0..TAGS_PER_PHONE {
+            let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(
+                (p * 100 + t) as u32,
+            ))));
+            // Each phone keeps its tags at distinct offsets so fields do
+            // not overlap between phones.
+            world.tap_tag(uid, phone);
+            let reference = TagReference::with_config(
+                &ctx,
+                uid,
+                TagTech::Type2,
+                Arc::new(StringConverter::plain_text()),
+                LoopConfig {
+                    default_timeout: Duration::from_secs(60),
+                    retry_backoff: Duration::from_micros(300),
+                },
+            );
+            for op in 0..OPS_PER_TAG {
+                let done_tx = done_tx.clone();
+                let payload = format!("p{p}-t{t}-op{op}");
+                reference.write(payload.clone(), move |_| done_tx.send(payload).unwrap(), |_, f| {
+                    panic!("swarm write failed permanently: {f}")
+                });
+            }
+            expected.push((reference.clone(), format!("p{p}-t{t}-op{}", OPS_PER_TAG - 1)));
+            references.push(reference);
+        }
+    }
+
+    // Every queued operation must complete exactly once.
+    let total = PHONES * TAGS_PER_PHONE * OPS_PER_TAG;
+    let mut completions = Vec::with_capacity(total);
+    for _ in 0..total {
+        completions.push(done_rx.recv_timeout(Duration::from_secs(60)).expect("op completes"));
+    }
+    assert!(done_rx.try_recv().is_err(), "no duplicate completions");
+    completions.sort();
+    let mut wanted: Vec<String> = (0..PHONES)
+        .flat_map(|p| {
+            (0..TAGS_PER_PHONE)
+                .flat_map(move |t| (0..OPS_PER_TAG).map(move |op| format!("p{p}-t{t}-op{op}")))
+        })
+        .collect();
+    wanted.sort();
+    assert_eq!(completions, wanted);
+
+    // Every tag converged to its last write.
+    for (reference, last) in &expected {
+        let value = reference
+            .read_sync(Duration::from_secs(60))
+            .expect("final read succeeds");
+        assert_eq!(value.as_deref(), Some(last.as_str()));
+        let stats = reference.stats().snapshot();
+        assert_eq!(stats.succeeded, OPS_PER_TAG as u64 + 1); // + the final read
+        assert_eq!(stats.timed_out, 0);
+        assert_eq!(stats.failed, 0);
+    }
+    for reference in references {
+        reference.close();
+    }
+}
+
+#[test]
+fn swarm_with_roaming_tags_still_converges() {
+    // One phone, several tags that keep entering and leaving while a
+    // backlog drains — connectivity churn at queue scale.
+    const TAGS: usize = 4;
+    const OPS: usize = 4;
+
+    let world = World::with_link(SystemClock::shared(), LinkModel::reliable(), 77);
+    let phone = world.add_phone("roamer");
+    let ctx = MorenaContext::headless(&world, phone);
+
+    let (done_tx, done_rx) = unbounded();
+    let references: Vec<_> = (0..TAGS)
+        .map(|t| {
+            let uid =
+                world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(500 + t as u32))));
+            let reference = TagReference::with_config(
+                &ctx,
+                uid,
+                TagTech::Type2,
+                Arc::new(StringConverter::plain_text()),
+                LoopConfig {
+                    default_timeout: Duration::from_secs(60),
+                    retry_backoff: Duration::from_micros(300),
+                },
+            );
+            for op in 0..OPS {
+                let done_tx = done_tx.clone();
+                reference.write(format!("t{t}-op{op}"), move |_| done_tx.send(()).unwrap(), |_, f| {
+                    panic!("roaming write failed: {f}")
+                });
+            }
+            (uid, reference)
+        })
+        .collect();
+
+    // Tags take turns in the field, several rounds, with gaps.
+    let mut scenario = Scenario::new();
+    for round in 0..6 {
+        for (i, (uid, _)) in references.iter().enumerate() {
+            let at = Duration::from_millis((round * TAGS + i) as u64 * 30);
+            let uid = *uid;
+            scenario = scenario
+                .at(at, |s| s.tap_tag(uid, phone))
+                .at(at + Duration::from_millis(25), |s| s.remove_tag(uid));
+        }
+    }
+    scenario.spawn(&world).join().expect("scenario");
+
+    // Give stragglers one final generous window each.
+    for (uid, _) in &references {
+        world.tap_tag(*uid, phone);
+        world.sleep(Duration::from_millis(50));
+        std::thread::sleep(Duration::from_millis(30));
+        world.remove_tag_from_field(*uid);
+    }
+    // Everything must have drained by now (or drain on these last taps).
+    let total = TAGS * OPS;
+    let mut done = 0;
+    while done < total {
+        match done_rx.recv_timeout(Duration::from_secs(5)) {
+            Ok(()) => done += 1,
+            Err(_) => {
+                // Provide connectivity until the backlog clears.
+                for (uid, _) in &references {
+                    world.tap_tag(*uid, phone);
+                }
+            }
+        }
+    }
+    for (_, reference) in &references {
+        assert_eq!(reference.queue_len(), 0);
+        reference.close();
+    }
+}
