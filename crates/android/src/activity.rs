@@ -47,11 +47,7 @@ impl IntentFilter {
 
     /// Accepts only NDEF intents of one MIME type (plus beams of it).
     pub fn mime(mime: &str) -> IntentFilter {
-        IntentFilter {
-            mime_types: vec![mime.to_owned()],
-            tag_discovered: false,
-            beam: true,
-        }
+        IntentFilter { mime_types: vec![mime.to_owned()], tag_discovered: false, beam: true }
     }
 
     /// Whether `intent` passes this filter.
@@ -59,18 +55,14 @@ impl IntentFilter {
         match intent.action() {
             crate::intent::IntentAction::TagDiscovered => self.tag_discovered,
             crate::intent::IntentAction::NdefDiscovered => {
-                let is_beam =
-                    matches!(intent.source(), crate::intent::IntentSource::Beam { .. });
+                let is_beam = matches!(intent.source(), crate::intent::IntentSource::Beam { .. });
                 if is_beam && !self.beam {
                     return false;
                 }
                 if self.mime_types.is_empty() {
                     return true;
                 }
-                intent
-                    .mime_type()
-                    .map(|m| self.mime_types.iter().any(|f| f == m))
-                    .unwrap_or(false)
+                intent.mime_type().map(|m| self.mime_types.iter().any(|f| f == m)).unwrap_or(false)
             }
         }
     }
@@ -179,7 +171,12 @@ impl ActivityHost {
     /// Launches `activity` on `phone` with an accept-all intent filter:
     /// spawns its main thread, calls `on_create` and `on_resume`, and
     /// starts NFC intent dispatch.
-    pub fn launch(world: &World, phone: PhoneId, name: &str, activity: Arc<dyn Activity>) -> ActivityHost {
+    pub fn launch(
+        world: &World,
+        phone: PhoneId,
+        name: &str,
+        activity: Arc<dyn Activity>,
+    ) -> ActivityHost {
         ActivityHost::launch_filtered(world, phone, name, activity, IntentFilter::accept_all())
     }
 
@@ -449,10 +446,16 @@ mod tests {
         let ours = Intent::ndef_from_tag(uid, TagTech::Type2, mime_msg("a/b"));
         let theirs = Intent::ndef_from_tag(uid, TagTech::Type2, mime_msg("c/d"));
         let fallback = Intent::tag_only(uid, TagTech::Type2);
-        let beam = Intent::ndef_from_beam(morena_nfc_sim::world::PhoneId::from_u64(1), mime_msg("a/b"));
+        let beam =
+            Intent::ndef_from_beam(morena_nfc_sim::world::PhoneId::from_u64(1), mime_msg("a/b"));
 
         let all = IntentFilter::accept_all();
-        assert!(all.matches(&ours) && all.matches(&theirs) && all.matches(&fallback) && all.matches(&beam));
+        assert!(
+            all.matches(&ours)
+                && all.matches(&theirs)
+                && all.matches(&fallback)
+                && all.matches(&beam)
+        );
 
         let ab = IntentFilter::mime("a/b");
         assert!(ab.matches(&ours));

@@ -9,9 +9,9 @@
 //! not NDEF-formatted or the pre-read keeps failing it receives
 //! [`IntentAction::TagDiscovered`] with only the tag identity.
 
+use morena_ndef::{NdefMessage, Tnf};
 use morena_nfc_sim::tag::{TagTech, TagUid};
 use morena_nfc_sim::world::PhoneId;
-use morena_ndef::{NdefMessage, Tnf};
 
 /// The dispatch category of an [`Intent`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -182,17 +182,14 @@ mod tests {
         let intent = Intent::ndef_from_tag(TagUid::from_seed(4), TagTech::Type2, Vec::new());
         assert!(intent.ndef_message().is_none());
         assert_eq!(intent.mime_type(), None);
-        let intent =
-            Intent::ndef_from_tag(TagUid::from_seed(5), TagTech::Type2, vec![0xFF, 0x01]);
+        let intent = Intent::ndef_from_tag(TagUid::from_seed(5), TagTech::Type2, vec![0xFF, 0x01]);
         assert!(intent.ndef_message().is_none());
     }
 
     #[test]
     fn non_mime_first_record_has_no_mime_filter_value() {
-        let bytes = NdefMessage::single(
-            morena_ndef::rtd::TextRecord::new("en", "hi").to_record(),
-        )
-        .to_bytes();
+        let bytes = NdefMessage::single(morena_ndef::rtd::TextRecord::new("en", "hi").to_record())
+            .to_bytes();
         let intent = Intent::ndef_from_tag(TagUid::from_seed(6), TagTech::Type2, bytes);
         assert_eq!(intent.mime_type(), None);
     }

@@ -11,11 +11,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use morena_core::context::MorenaContext;
+use morena_core::convert::JsonConverter;
 use morena_core::discovery::{DiscoveryListener, TagDiscoverer};
 use morena_core::lease::{LeaseError, LeaseManager};
 use morena_core::tagref::TagReference;
 use morena_core::thing::Thing;
-use morena_core::convert::JsonConverter;
 use morena_nfc_sim::tag::TagUid;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -106,12 +106,7 @@ impl AssetTracker {
             Arc::new(AssetRecord::converter()),
             Arc::new(TrackerListener { assets: Arc::clone(&assets) }),
         );
-        AssetTracker {
-            ctx: ctx.clone(),
-            discoverer,
-            leases: LeaseManager::new(ctx),
-            assets,
-        }
+        AssetTracker { ctx: ctx.clone(), discoverer, leases: LeaseManager::new(ctx), assets }
     }
 
     /// Everything the tracker has seen, keyed by tag UID, with live
@@ -149,32 +144,28 @@ impl AssetTracker {
             .ok_or(LeaseError::Nfc(morena_nfc_sim::error::NfcOpError::NotNdef))?;
         self.leases.with_lease_held(uid, lease_ttl, |_lease| {
             // Read under the lease: nobody else may write concurrently.
-            let bytes = self
-                .ctx
-                .nfc()
-                .ndef_read(uid)
-                .map_err(LeaseError::Nfc)?;
-            let message = morena_ndef::NdefMessage::parse(&bytes)
-                .map_err(|_| LeaseError::Nfc(morena_nfc_sim::error::NfcOpError::Protocol("bad NDEF")))?;
+            let bytes = self.ctx.nfc().ndef_read(uid).map_err(LeaseError::Nfc)?;
+            let message = morena_ndef::NdefMessage::parse(&bytes).map_err(|_| {
+                LeaseError::Nfc(morena_nfc_sim::error::NfcOpError::Protocol("bad NDEF"))
+            })?;
             let content = morena_core::lease::strip_lease(&message);
             let converter = AssetRecord::converter();
             use morena_core::convert::TagDataConverter;
-            let mut record = converter
-                .from_message(&content)
-                .map_err(|_| LeaseError::Nfc(morena_nfc_sim::error::NfcOpError::Protocol("not an asset record")))?;
+            let mut record = converter.from_message(&content).map_err(|_| {
+                LeaseError::Nfc(morena_nfc_sim::error::NfcOpError::Protocol("not an asset record"))
+            })?;
             record.custodian = new_custodian.to_owned();
             record.handovers += 1;
             // Write back *with the lease still in place*.
-            let new_content = converter
-                .to_message(&record)
-                .map_err(|_| LeaseError::Nfc(morena_nfc_sim::error::NfcOpError::Protocol("unserializable record")))?;
+            let new_content = converter.to_message(&record).map_err(|_| {
+                LeaseError::Nfc(morena_nfc_sim::error::NfcOpError::Protocol(
+                    "unserializable record",
+                ))
+            })?;
             let lease_record = morena_core::lease::LeaseRecord::find_in(&message)
                 .expect("lease we hold is on the tag");
             let locked = morena_core::lease::with_lease(&new_content, lease_record);
-            self.ctx
-                .nfc()
-                .ndef_write(uid, &locked.to_bytes())
-                .map_err(LeaseError::Nfc)?;
+            self.ctx.nfc().ndef_write(uid, &locked.to_bytes()).map_err(LeaseError::Nfc)?;
             // Refresh the local cache.
             reference.set_cached(Some(record.clone()));
             if let Some(status) = self.assets.lock().get_mut(&uid) {
@@ -264,8 +255,7 @@ mod tests {
         let (world, ctx, tracker, uids) = setup_with_assets(1);
         world.tap_tag(uids[0], ctx.phone());
         assert!(wait_for(|| tracker.known_assets() == 1));
-        let updated =
-            tracker.handover(uids[0], "alice", Duration::from_secs(5)).unwrap();
+        let updated = tracker.handover(uids[0], "alice", Duration::from_secs(5)).unwrap();
         assert_eq!(updated.custodian, "alice");
         assert_eq!(updated.handovers, 1);
         // The lease is released afterwards and the content is clean.
@@ -307,8 +297,6 @@ mod tests {
     #[test]
     fn handover_of_unknown_asset_errors() {
         let (_world, _ctx, tracker, _uids) = setup_with_assets(1);
-        assert!(tracker
-            .handover(TagUid::from_seed(999), "x", Duration::from_secs(1))
-            .is_err());
+        assert!(tracker.handover(TagUid::from_seed(999), "x", Duration::from_secs(1)).is_err());
     }
 }

@@ -55,11 +55,7 @@ impl ThingObserver<Badge> for DoorObserver {
     fn when_discovered(&self, thing: BoundThing<Badge>) {
         let badge = thing.value();
         let granted = badge.level >= self.required_level;
-        self.log.lock().push(AccessDecision {
-            uid: thing.uid(),
-            holder: badge.holder,
-            granted,
-        });
+        self.log.lock().push(AccessDecision { uid: thing.uid(), holder: badge.holder, granted });
     }
 
     fn when_discovered_empty(&self, _slot: EmptyThingSlot<Badge>) {
@@ -83,10 +79,8 @@ impl Door {
     /// Installs a door on `ctx`'s phone requiring `required_level`.
     pub fn install(ctx: &MorenaContext, required_level: u8) -> Door {
         let log = Arc::new(Mutex::new(Vec::new()));
-        let space = ThingSpace::new(
-            ctx,
-            Arc::new(DoorObserver { required_level, log: Arc::clone(&log) }),
-        );
+        let space =
+            ThingSpace::new(ctx, Arc::new(DoorObserver { required_level, log: Arc::clone(&log) }));
         Door { _space: space, log }
     }
 
@@ -153,13 +147,12 @@ impl BadgeOffice {
 
     fn read_badge(&self, uid: TagUid) -> Result<Option<Badge>, IssueError> {
         use morena_core::convert::TagDataConverter;
-        let bytes =
-            self.ctx.nfc().ndef_read(uid).map_err(|e| IssueError::Nfc(e.to_string()))?;
+        let bytes = self.ctx.nfc().ndef_read(uid).map_err(|e| IssueError::Nfc(e.to_string()))?;
         if bytes.is_empty() {
             return Ok(None);
         }
-        let message = morena_ndef::NdefMessage::parse(&bytes)
-            .map_err(|e| IssueError::Nfc(e.to_string()))?;
+        let message =
+            morena_ndef::NdefMessage::parse(&bytes).map_err(|e| IssueError::Nfc(e.to_string()))?;
         if message.is_blank() {
             return Ok(None);
         }
@@ -174,9 +167,8 @@ impl BadgeOffice {
         lease: &morena_core::lease::Lease,
     ) -> Result<(), IssueError> {
         use morena_core::convert::TagDataConverter;
-        let message = Badge::converter()
-            .to_message(badge)
-            .map_err(|e| IssueError::Nfc(e.to_string()))?;
+        let message =
+            Badge::converter().to_message(badge).map_err(|e| IssueError::Nfc(e.to_string()))?;
         let locked = morena_core::lease::with_lease(
             &message,
             LeaseRecord { holder: lease.holder, expires_at: lease.expires_at },

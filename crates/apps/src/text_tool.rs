@@ -81,13 +81,7 @@ impl TextTool {
         });
         let discoverer =
             TagDiscoverer::new(ctx, Arc::new(StringConverter::new(TEXT_TYPE)), listener);
-        TextTool {
-            discoverer,
-            input: TextField::new(),
-            display,
-            toasts,
-            last_seen,
-        }
+        TextTool { discoverer, input: TextField::new(), display, toasts, last_seen }
     }
 
     /// The field the user types new tag content into.

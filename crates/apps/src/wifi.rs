@@ -79,10 +79,7 @@ mod tests {
         assert!(WifiConfig::new("b", "2").connect(&wm));
         assert_eq!(wm.connection_count(), 2);
         assert_eq!(wm.current_network().as_deref(), Some("b"));
-        assert_eq!(
-            wm.connections(),
-            vec![WifiConfig::new("a", "1"), WifiConfig::new("b", "2")]
-        );
+        assert_eq!(wm.connections(), vec![WifiConfig::new("a", "1"), WifiConfig::new("b", "2")]);
     }
 
     #[test]

@@ -136,16 +136,15 @@ impl HandcraftedWifiActivity {
                     attempts += 1;
                     // @loc-end(failure)
                     // @loc-begin(readwrite)
-                    let result = ndef
-                        .connect()
-                        .and_then(|()| ndef.write_ndef_message(&message));
+                    let result = ndef.connect().and_then(|()| ndef.write_ndef_message(&message));
                     // @loc-end(readwrite)
                     // @loc-begin(failure)
                     match result {
                         Ok(()) => break Ok(()),
-                        Err(e) if e.is_retryable()
-                            && attempts < MAX_WRITE_ATTEMPTS
-                            && nfc.tag_in_range(uid) =>
+                        Err(e)
+                            if e.is_retryable()
+                                && attempts < MAX_WRITE_ATTEMPTS
+                                && nfc.tag_in_range(uid) =>
                         {
                             continue;
                         }
@@ -269,8 +268,8 @@ impl HandcraftedWifiApp {
                     // @loc-begin(failure)
                     match result {
                         Ok(_) => break true,
-                        Err(_) if attempts < MAX_BEAM_ATTEMPTS
-                            && !nfc.peers_in_range().is_empty() =>
+                        Err(_)
+                            if attempts < MAX_BEAM_ATTEMPTS && !nfc.peers_in_range().is_empty() =>
                         {
                             continue;
                         }
@@ -319,9 +318,10 @@ impl HandcraftedWifiApp {
             match result {
                 Ok(Some(message)) => break message,
                 Ok(None) => return false,
-                Err(e) if e.is_retryable()
-                    && attempts < MAX_READ_ATTEMPTS
-                    && ctx.nfc().tag_in_range(uid) =>
+                Err(e)
+                    if e.is_retryable()
+                        && attempts < MAX_READ_ATTEMPTS
+                        && ctx.nfc().tag_in_range(uid) =>
                 {
                     continue;
                 }
@@ -385,9 +385,7 @@ mod tests {
         let (world, phone, host) = setup();
         // No peer: the share fails after its bounded retries.
         host.share(WifiConfig::new("cafe", "espresso"));
-        assert!(host
-            .toasts()
-            .wait_for("Failed to share WiFi joiner", Duration::from_secs(10)));
+        assert!(host.toasts().wait_for("Failed to share WiFi joiner", Duration::from_secs(10)));
 
         // With a peer present, the share succeeds and the guest joins.
         let guest_phone = world.add_phone("guest");
@@ -419,9 +417,8 @@ mod tests {
         let cfg = WifiConfig::new("net", "key");
         let msg = HandcraftedWifiActivity::config_to_message(&cfg);
         assert_eq!(HandcraftedWifiActivity::message_to_config(&msg), Some(cfg));
-        let foreign = NdefMessage::single(
-            NdefRecord::mime("application/other", b"{}".to_vec()).unwrap(),
-        );
+        let foreign =
+            NdefMessage::single(NdefRecord::mime("application/other", b"{}".to_vec()).unwrap());
         assert_eq!(HandcraftedWifiActivity::message_to_config(&foreign), None);
     }
 }

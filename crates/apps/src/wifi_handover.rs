@@ -36,9 +36,7 @@ impl TagDataConverter for WifiHandoverConverter {
 
     fn to_message(&self, value: &WifiConfig) -> Result<NdefMessage, ConvertError> {
         let credential = WifiCredential::new(&value.ssid, &value.key);
-        let record = credential
-            .to_record(b"w0")
-            .map_err(ConvertError::Ndef)?;
+        let record = credential.to_record(b"w0").map_err(ConvertError::Ndef)?;
         HandoverSelect::new()
             .with_carrier(CarrierPowerState::Active, b"w0", record)
             .to_message()
@@ -100,10 +98,7 @@ mod tests {
         let config = WifiConfig::new("venue", "pass");
         reference.write_sync(config.clone(), Duration::from_secs(10)).unwrap();
         reference.set_cached(None);
-        assert_eq!(
-            reference.read_sync(Duration::from_secs(10)).unwrap(),
-            Some(config)
-        );
+        assert_eq!(reference.read_sync(Duration::from_secs(10)).unwrap(), Some(config));
         // The bytes on the tag really are a standards-shaped handover.
         let bytes = ctx.nfc().ndef_read(uid).unwrap();
         let message = NdefMessage::parse(&bytes).unwrap();
@@ -114,13 +109,9 @@ mod tests {
     #[test]
     fn rejects_foreign_messages() {
         let conv = WifiHandoverConverter::new();
-        let foreign = NdefMessage::single(
-            morena_ndef::NdefRecord::mime("a/b", b"x".to_vec()).unwrap(),
-        );
+        let foreign =
+            NdefMessage::single(morena_ndef::NdefRecord::mime("a/b", b"x".to_vec()).unwrap());
         assert!(!conv.accepts(&foreign));
-        assert!(matches!(
-            conv.from_message(&foreign),
-            Err(ConvertError::WrongShape { .. })
-        ));
+        assert!(matches!(conv.from_message(&foreign), Err(ConvertError::WrongShape { .. })));
     }
 }

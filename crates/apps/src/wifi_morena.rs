@@ -100,7 +100,8 @@ impl MorenaWifiApp {
             provision: Mutex::new(None),
         });
         // @loc-begin(event)
-        let space = ThingSpace::new(ctx, Arc::clone(&observer) as Arc<dyn ThingObserver<WifiConfig>>);
+        let space =
+            ThingSpace::new(ctx, Arc::clone(&observer) as Arc<dyn ThingObserver<WifiConfig>>);
         // @loc-end(event)
         MorenaWifiApp { space, toasts, wifi, provision: observer }
     }

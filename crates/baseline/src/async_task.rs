@@ -72,7 +72,8 @@ mod tests {
             let tx = tx.clone();
             execute(main.handler(), move || i, move |v| tx.send(v).unwrap());
         }
-        let mut seen: Vec<i32> = (0..8).map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap()).collect();
+        let mut seen: Vec<i32> =
+            (0..8).map(|_| rx.recv_timeout(Duration::from_secs(5)).unwrap()).collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..8).collect::<Vec<_>>());
     }

@@ -34,10 +34,8 @@ fn bench_lease_cycle(c: &mut Criterion) {
 }
 
 fn bench_lease_codec(c: &mut Criterion) {
-    let lease = LeaseRecord {
-        holder: DeviceId(42),
-        expires_at: SimInstant::from_nanos(123_456_789_000),
-    };
+    let lease =
+        LeaseRecord { holder: DeviceId(42), expires_at: SimInstant::from_nanos(123_456_789_000) };
     c.bench_function("lease_record_encode_decode", |b| {
         b.iter(|| {
             let record = lease.to_record();

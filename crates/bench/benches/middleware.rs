@@ -71,11 +71,7 @@ struct BenchThing {
 
 fn bench_thing_conversion(c: &mut Criterion) {
     let converter: JsonConverter<BenchThing> = JsonConverter::new("application/vnd.bench+json");
-    let value = BenchThing {
-        name: "bench".into(),
-        counters: (0..32).collect(),
-        flag: true,
-    };
+    let value = BenchThing { name: "bench".into(), counters: (0..32).collect(), flag: true };
     c.bench_function("thing_json_to_message", |b| {
         b.iter(|| black_box(converter.to_message(&value).expect("convert")));
     });
@@ -133,11 +129,8 @@ fn bench_peer_delivery(c: &mut Criterion) {
     let alice_ctx = MorenaContext::headless(&world, alice);
     let bob_ctx = MorenaContext::headless(&world, bob);
     let (tx, rx) = unbounded();
-    let _inbox = PeerInbox::new(
-        &bob_ctx,
-        Arc::new(StringConverter::plain_text()),
-        Arc::new(Ack { tx }),
-    );
+    let _inbox =
+        PeerInbox::new(&bob_ctx, Arc::new(StringConverter::plain_text()), Arc::new(Ack { tx }));
     world.bring_phones_together(alice, bob);
     let reference = PeerReference::with_config(
         &alice_ctx,

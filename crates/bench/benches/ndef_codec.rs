@@ -97,5 +97,12 @@ fn bench_handover(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_encode, bench_decode, bench_chunked_round_trip, bench_rtd, bench_handover);
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_decode,
+    bench_chunked_round_trip,
+    bench_rtd,
+    bench_handover
+);
 criterion_main!(benches);

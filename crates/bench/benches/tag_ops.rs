@@ -54,8 +54,7 @@ fn bench_ndef_procedures(c: &mut Criterion) {
                 .expect("preload");
             b.iter(|| {
                 black_box(
-                    proto::read_ndef(&mut DirectLink::new(&mut tag), TagTech::Type2)
-                        .expect("read"),
+                    proto::read_ndef(&mut DirectLink::new(&mut tag), TagTech::Type2).expect("read"),
                 )
             });
         });
@@ -65,8 +64,7 @@ fn bench_ndef_procedures(c: &mut Criterion) {
                 .expect("preload");
             b.iter(|| {
                 black_box(
-                    proto::read_ndef(&mut DirectLink::new(&mut tag), TagTech::Type4)
-                        .expect("read"),
+                    proto::read_ndef(&mut DirectLink::new(&mut tag), TagTech::Type4).expect("read"),
                 )
             });
         });

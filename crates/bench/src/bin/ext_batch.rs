@@ -61,9 +61,13 @@ fn morena_trial(n: usize, seed: u64) -> (usize, bool, u64) {
     let (tx, rx) = unbounded();
     for i in 0..n {
         let tx = tx.clone();
-        reference.write(format!("update-{i}"), move |_| {
-            let _ = tx.send(i);
-        }, |_, f| panic!("queued write failed: {f}"));
+        reference.write(
+            format!("update-{i}"),
+            move |_| {
+                let _ = tx.send(i);
+            },
+            |_, f| panic!("queued write failed: {f}"),
+        );
     }
     assert_eq!(reference.queue_len(), n, "all writes must queue while the tag is away");
 
@@ -118,19 +122,14 @@ fn handcrafted_trial(n: usize, seed: u64) -> (usize, bool, u64) {
     (taps, final_ok, exchanges)
 }
 
-fn read_final(
-    world: &World,
-    phone: morena_nfc_sim::world::PhoneId,
-    uid: TagUid,
-) -> Option<String> {
+fn read_final(world: &World, phone: morena_nfc_sim::world::PhoneId, uid: TagUid) -> Option<String> {
     let nfc = morena_nfc_sim::controller::NfcHandle::new(world.clone(), phone);
     world.tap_tag(uid, phone);
     let mut content = None;
     for _ in 0..16 {
         if let Ok(bytes) = nfc.ndef_read(uid) {
             if let Ok(message) = NdefMessage::parse(&bytes) {
-                content =
-                    String::from_utf8(message.first().payload().to_vec()).ok();
+                content = String::from_utf8(message.first().payload().to_vec()).ok();
                 break;
             }
         }

@@ -102,8 +102,9 @@ fn main() {
     for fraction in [0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95] {
         let distance = model.nfc_range_m * fraction;
         let p_fail = model.failure_prob(distance);
-        let morena: Vec<MorenaOutcome> =
-            (0..trials).map(|t| morena_trial(fraction, (fraction * 1000.0) as u64 + t as u64)).collect();
+        let morena: Vec<MorenaOutcome> = (0..trials)
+            .map(|t| morena_trial(fraction, (fraction * 1000.0) as u64 + t as u64))
+            .collect();
         let naive_ok = (0..trials)
             .filter(|t| naive_trial(fraction, 5000 + (fraction * 1000.0) as u64 + *t as u64))
             .count();

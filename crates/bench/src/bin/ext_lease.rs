@@ -176,7 +176,16 @@ fn main() {
     }
     print_table(
         "EXT-LEASE: lease contention around one tag",
-        &["devices", "ttl", "grants", "held", "lost races", "expired", "io fail", "overlap anomalies"],
+        &[
+            "devices",
+            "ttl",
+            "grants",
+            "held",
+            "lost races",
+            "expired",
+            "io fail",
+            "overlap anomalies",
+        ],
         &rows,
     );
     println!(

@@ -86,12 +86,9 @@ fn morena_trial(duty: f64, noise: f64, cycles: usize, seed: u64) -> Outcome {
             let _ = err_tx.send(false);
         },
     );
-    let driver = Scenario::new()
-        .presence_duty_cycle(uid, phone, PERIOD, duty, cycles)
-        .spawn(&world);
-    let success = rx
-        .recv_timeout(PERIOD * (cycles as u32 + 2))
-        .unwrap_or(false);
+    let driver =
+        Scenario::new().presence_duty_cycle(uid, phone, PERIOD, duty, cycles).spawn(&world);
+    let success = rx.recv_timeout(PERIOD * (cycles as u32 + 2)).unwrap_or(false);
     let elapsed = start.elapsed();
     driver.join().expect("scenario driver");
     let stats = reference.stats().snapshot();
@@ -122,9 +119,8 @@ fn handcrafted_trial(
         NdefMessage::single(NdefRecord::mime("text/plain", b"w".to_vec()).expect("record"));
 
     let start = Instant::now();
-    let driver = Scenario::new()
-        .presence_duty_cycle(uid, phone, PERIOD, duty, cycles)
-        .spawn(&world);
+    let driver =
+        Scenario::new().presence_duty_cycle(uid, phone, PERIOD, duty, cycles).spawn(&world);
 
     let mut taps = 0usize;
     let mut attempts = 0u64;
@@ -137,10 +133,8 @@ fn handcrafted_trial(
                 let mut ndef = Ndef::get(nfc.clone(), uid);
                 for _ in 0..tries_per_tap {
                     attempts += 1;
-                    let ok = ndef
-                        .connect()
-                        .and_then(|()| ndef.write_ndef_message(&message))
-                        .is_ok();
+                    let ok =
+                        ndef.connect().and_then(|()| ndef.write_ndef_message(&message)).is_ok();
                     if ok {
                         success = true;
                         break;
@@ -159,12 +153,7 @@ fn handcrafted_trial(
     }
     let elapsed = start.elapsed();
     driver.join().expect("scenario driver");
-    Outcome {
-        success,
-        taps,
-        millis: elapsed.as_secs_f64() * 1e3,
-        attempts,
-    }
+    Outcome { success, taps, millis: elapsed.as_secs_f64() * 1e3, attempts }
 }
 
 struct Aggregate {
@@ -238,11 +227,7 @@ fn main() {
     for noise in [0.0, 0.1, 0.2, 0.3, 0.4] {
         rows.push(run_row(0.5, noise, cycles, trials));
     }
-    print_table(
-        "EXT-RETRY: write under link noise (duty 0.5)",
-        &header,
-        &rows,
-    );
+    print_table("EXT-RETRY: write under link noise (duty 0.5)", &header, &rows);
 
     println!(
         "\nM = MORENA (one submission, automatic retry; 'tries' = physical attempts the\n\

@@ -27,11 +27,7 @@ fn main() {
             cell(morena.count(subproblem)),
         ]);
     }
-    rows.push(vec![
-        cell("TOTAL"),
-        cell(handcrafted.total()),
-        cell(morena.total()),
-    ]);
+    rows.push(vec![cell("TOTAL"), cell(handcrafted.total()), cell(morena.total())]);
     print_table(
         "Figure 2 (left): RFID-related lines of code per subproblem",
         &["subproblem", "handcrafted", "MORENA"],

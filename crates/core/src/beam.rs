@@ -22,11 +22,12 @@ use morena_ndef::NdefMessage;
 use morena_nfc_sim::controller::NfcHandle;
 use morena_nfc_sim::error::NfcOpError;
 use morena_nfc_sim::world::NfcEvent;
+use morena_obs::EventKind;
 
 use crate::context::MorenaContext;
 use crate::convert::TagDataConverter;
 use crate::eventloop::{
-    EventLoop, LoopConfig, OpExecutor, OpFailure, OpRequest, OpResponse, OpStats,
+    EventLoop, LoopConfig, ObsScope, OpExecutor, OpFailure, OpRequest, OpResponse, OpStats,
 };
 
 struct BeamExecutor {
@@ -118,16 +119,14 @@ impl<C: TagDataConverter> Beamer<C> {
             ctx.handler(),
             config,
             BeamExecutor { nfc: ctx.nfc().clone() },
+            // Beaming is undirected; `*` tells the correlator to count
+            // *any* peer in range as reachability for these ops.
+            ObsScope::new(ctx, "beamer".into(), "*".into()),
         );
         let router_stop = Arc::new(AtomicBool::new(false));
         spawn_peer_router(ctx.nfc().clone(), event_loop.clone(), Arc::clone(&router_stop));
         Beamer {
-            inner: Arc::new(BeamerInner {
-                ctx: ctx.clone(),
-                converter,
-                event_loop,
-                router_stop,
-            }),
+            inner: Arc::new(BeamerInner { ctx: ctx.clone(), converter, event_loop, router_stop }),
         }
     }
 
@@ -177,8 +176,13 @@ impl<C: TagDataConverter> Beamer<C> {
         self.beam_impl(value, None, || {}, |_| {});
     }
 
-    fn beam_impl<F, G>(&self, value: C::Value, timeout: Option<Duration>, on_success: F, on_failure: G)
-    where
+    fn beam_impl<F, G>(
+        &self,
+        value: C::Value,
+        timeout: Option<Duration>,
+        on_success: F,
+        on_failure: G,
+    ) where
         F: FnOnce() + Send + 'static,
         G: FnOnce(OpFailure) + Send + 'static,
     {
@@ -259,9 +263,7 @@ pub struct BeamReceiver<C: TagDataConverter> {
 
 impl<C: TagDataConverter> std::fmt::Debug for BeamReceiver<C> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BeamReceiver")
-            .field("mime", &self.inner.converter.mime_type())
-            .finish()
+        f.debug_struct("BeamReceiver").field("mime", &self.inner.converter.mime_type()).finish()
     }
 }
 
@@ -280,6 +282,10 @@ impl<C: TagDataConverter> BeamReceiver<C> {
         });
         let events = ctx.nfc().events();
         let handler = ctx.handler();
+        let recorder = Arc::clone(ctx.nfc().world().obs());
+        let clock = Arc::clone(ctx.clock());
+        let phone = ctx.phone().as_u64();
+        let received_ctr = recorder.metrics().counter("beam.received");
         {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
@@ -287,7 +293,7 @@ impl<C: TagDataConverter> BeamReceiver<C> {
                 .spawn(move || {
                     while !inner.stop.load(Ordering::Acquire) {
                         match events.recv_timeout(Duration::from_millis(20)) {
-                            Ok(NfcEvent::BeamReceived { bytes, .. }) => {
+                            Ok(NfcEvent::BeamReceived { from, bytes }) => {
                                 let Ok(message) = NdefMessage::parse(&bytes) else { continue };
                                 if !converter.accepts(&message) {
                                     continue;
@@ -297,6 +303,17 @@ impl<C: TagDataConverter> BeamReceiver<C> {
                                 };
                                 if !listener.check_condition(&value) {
                                     continue;
+                                }
+                                received_ctr.inc();
+                                if recorder.is_enabled() {
+                                    recorder.emit(
+                                        clock.now().as_nanos(),
+                                        EventKind::BeamReceived {
+                                            phone,
+                                            from: from.as_u64(),
+                                            bytes: bytes.len() as u64,
+                                        },
+                                    );
                                 }
                                 let listener = Arc::clone(&listener);
                                 handler.post(move || listener.on_beam_received(value));

@@ -263,9 +263,7 @@ mod tests {
     #[test]
     fn string_converter_rejects_invalid_utf8() {
         let conv = StringConverter::plain_text();
-        let msg = NdefMessage::single(
-            NdefRecord::mime("text/plain", vec![0xFF, 0xFE]).unwrap(),
-        );
+        let msg = NdefMessage::single(NdefRecord::mime("text/plain", vec![0xFF, 0xFE]).unwrap());
         assert!(matches!(conv.from_message(&msg), Err(ConvertError::WrongShape { .. })));
     }
 

@@ -25,6 +25,7 @@ use crossbeam::channel::RecvTimeoutError;
 use morena_ndef::NdefMessage;
 use morena_nfc_sim::tag::{TagTech, TagUid};
 use morena_nfc_sim::world::NfcEvent;
+use morena_obs::EventKind;
 use parking_lot::Mutex;
 
 use crate::context::MorenaContext;
@@ -183,7 +184,11 @@ fn spawn_discovery_thread<C: TagDataConverter>(inner: Arc<DiscovererInner<C>>) {
         .expect("spawn discovery thread");
 }
 
-fn handle_entered<C: TagDataConverter>(inner: &Arc<DiscovererInner<C>>, uid: TagUid, tech: TagTech) {
+fn handle_entered<C: TagDataConverter>(
+    inner: &Arc<DiscovererInner<C>>,
+    uid: TagUid,
+    tech: TagTech,
+) {
     // Discovery pre-read: learn what is on the tag (with a couple of
     // retries — arrival is the moment the link is weakest).
     let nfc = inner.ctx.nfc();
@@ -239,8 +244,19 @@ fn handle_entered<C: TagDataConverter>(inner: &Arc<DiscovererInner<C>>, uid: Tag
         }
     };
 
+    // Sightings are observable even when `check_condition` later
+    // suppresses the application callback.
+    let recorder = inner.ctx.nfc().world().obs();
+    let phone = inner.ctx.phone().as_u64();
     match sighting {
         Sighting::Blank => {
+            recorder.metrics().counter("discovery.empty").inc();
+            if recorder.is_enabled() {
+                recorder.emit(
+                    inner.ctx.clock().now().as_nanos(),
+                    EventKind::EmptyTagDetected { phone, target: uid.to_string() },
+                );
+            }
             reference.set_cached(None);
             if !inner.listener.check_condition(&reference) {
                 return;
@@ -249,6 +265,16 @@ fn handle_entered<C: TagDataConverter>(inner: &Arc<DiscovererInner<C>>, uid: Tag
             inner.ctx.handler().post(move || listener.on_empty_tag(reference));
         }
         Sighting::Value(value) => {
+            recorder
+                .metrics()
+                .counter(if known { "discovery.redetected" } else { "discovery.detected" })
+                .inc();
+            if recorder.is_enabled() {
+                recorder.emit(
+                    inner.ctx.clock().now().as_nanos(),
+                    EventKind::TagDetected { phone, target: uid.to_string(), redetection: known },
+                );
+            }
             reference.set_cached(Some(value));
             if !inner.listener.check_condition(&reference) {
                 return;
@@ -314,19 +340,14 @@ mod tests {
         let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(seed))));
         if let Some(text) = content {
             world.tap_tag(uid, ctx.phone());
-            let msg = StringConverter::plain_text()
-                .to_message(&text.to_string())
-                .unwrap();
+            let msg = StringConverter::plain_text().to_message(&text.to_string()).unwrap();
             ctx.nfc().ndef_write(uid, &msg.to_bytes()).unwrap();
             world.remove_tag_from_field(uid);
         }
         uid
     }
 
-    fn discoverer(
-        ctx: &MorenaContext,
-        tx: Sender<Event>,
-    ) -> TagDiscoverer<StringConverter> {
+    fn discoverer(ctx: &MorenaContext, tx: Sender<Event>) -> TagDiscoverer<StringConverter> {
         TagDiscoverer::new(
             ctx,
             Arc::new(StringConverter::plain_text()),
@@ -381,9 +402,8 @@ mod tests {
         let (world, ctx) = setup();
         let uid = tag_with(&world, &ctx, 3, None);
         world.tap_tag(uid, ctx.phone());
-        let other = StringConverter::new("application/other")
-            .to_message(&"not ours".to_string())
-            .unwrap();
+        let other =
+            StringConverter::new("application/other").to_message(&"not ours".to_string()).unwrap();
         ctx.nfc().ndef_write(uid, &other.to_bytes()).unwrap();
         world.remove_tag_from_field(uid);
 

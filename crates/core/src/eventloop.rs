@@ -20,15 +20,17 @@
 //!   order.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use morena_android_sim::looper::Handler;
 use morena_nfc_sim::clock::{Clock, SimInstant, WaitSignal};
 use morena_nfc_sim::error::NfcOpError;
+use morena_obs::{AttemptOutcome, Counter, EventKind, Histogram, OpKind, OpOutcome, Recorder};
 use parking_lot::Mutex;
 
+use crate::context::MorenaContext;
 use crate::convert::ConvertError;
 
 /// A deadline far enough away to mean "no deadline".
@@ -98,84 +100,94 @@ pub(crate) trait OpExecutor: Send + 'static {
     fn execute(&self, request: &OpRequest) -> Result<OpResponse, NfcOpError>;
 }
 
-/// Monotone counters describing a loop's lifetime activity — the raw
-/// material of the EXT-RETRY / EXT-BATCH experiments.
-#[derive(Debug, Default)]
-pub struct OpStats {
-    submitted: AtomicU64,
-    attempts: AtomicU64,
-    transient_failures: AtomicU64,
-    succeeded: AtomicU64,
-    timed_out: AtomicU64,
-    failed: AtomicU64,
-    cancelled: AtomicU64,
-    attempt_nanos_total: AtomicU64,
-    attempt_nanos_max: AtomicU64,
-    completion_nanos_total: AtomicU64,
+// The per-loop lifetime counters migrated to `morena-obs` (one stats
+// path for the whole workspace); re-exported here so `core::eventloop`
+// remains their canonical middleware-facing home.
+pub use morena_obs::{OpStats, OpStatsSnapshot};
+
+/// Where a loop's operations land in the unified observability stream:
+/// the world's [`Recorder`] plus the identity stamped on every event.
+/// The `target` string must match the simulator's physical-event keying
+/// (tag uid rendering, `phone-N` for peers, `*` for undirected beams)
+/// so [`morena_obs::correlate`] can join the two streams.
+#[derive(Clone)]
+pub(crate) struct ObsScope {
+    pub(crate) recorder: Arc<Recorder>,
+    pub(crate) loop_name: String,
+    pub(crate) phone: u64,
+    pub(crate) target: String,
 }
 
-impl OpStats {
-    fn record_attempt(&self, nanos: u64) {
-        self.attempt_nanos_total.fetch_add(nanos, Ordering::Relaxed);
-        self.attempt_nanos_max.fetch_max(nanos, Ordering::Relaxed);
-    }
-}
-
-/// A point-in-time copy of [`OpStats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct OpStatsSnapshot {
-    /// Operations ever submitted.
-    pub submitted: u64,
-    /// Physical attempts (submissions × retries).
-    pub attempts: u64,
-    /// Attempts that failed transiently and stayed queued.
-    pub transient_failures: u64,
-    /// Operations that completed successfully.
-    pub succeeded: u64,
-    /// Operations dropped at their deadline.
-    pub timed_out: u64,
-    /// Operations that failed permanently.
-    pub failed: u64,
-    /// Operations cancelled by shutdown.
-    pub cancelled: u64,
-    /// Total clock time spent inside physical attempts, in nanoseconds.
-    pub attempt_nanos_total: u64,
-    /// The single longest physical attempt, in nanoseconds.
-    pub attempt_nanos_max: u64,
-    /// Total queue-to-completion latency over succeeded operations, in
-    /// nanoseconds.
-    pub completion_nanos_total: u64,
-}
-
-impl OpStatsSnapshot {
-    /// Mean duration of one physical attempt, when any were made.
-    pub fn mean_attempt(&self) -> Option<Duration> {
-        (self.attempts > 0)
-            .then(|| Duration::from_nanos(self.attempt_nanos_total / self.attempts))
-    }
-
-    /// Mean submit-to-success latency, when any operation succeeded.
-    pub fn mean_completion(&self) -> Option<Duration> {
-        (self.succeeded > 0)
-            .then(|| Duration::from_nanos(self.completion_nanos_total / self.succeeded))
-    }
-}
-
-impl OpStats {
-    /// Takes a snapshot of all counters.
-    pub fn snapshot(&self) -> OpStatsSnapshot {
-        OpStatsSnapshot {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            attempts: self.attempts.load(Ordering::Relaxed),
-            transient_failures: self.transient_failures.load(Ordering::Relaxed),
-            succeeded: self.succeeded.load(Ordering::Relaxed),
-            timed_out: self.timed_out.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            cancelled: self.cancelled.load(Ordering::Relaxed),
-            attempt_nanos_total: self.attempt_nanos_total.load(Ordering::Relaxed),
-            attempt_nanos_max: self.attempt_nanos_max.load(Ordering::Relaxed),
-            completion_nanos_total: self.completion_nanos_total.load(Ordering::Relaxed),
+impl ObsScope {
+    /// Scope for a loop owned by `ctx`'s phone, wired to its world's
+    /// recorder.
+    pub(crate) fn new(ctx: &MorenaContext, loop_name: String, target: String) -> ObsScope {
+        ObsScope {
+            recorder: Arc::clone(ctx.nfc().world().obs()),
+            loop_name,
+            phone: ctx.phone().as_u64(),
+            target,
         }
+    }
+
+    /// Scope wired to a fresh disabled recorder — events go nowhere.
+    #[cfg(test)]
+    pub(crate) fn detached(name: &str) -> ObsScope {
+        ObsScope {
+            recorder: Arc::new(Recorder::new()),
+            loop_name: name.to_owned(),
+            phone: 0,
+            target: name.to_owned(),
+        }
+    }
+
+    /// Emits an event, constructing it only when recording is enabled
+    /// (the disabled path is one relaxed atomic load).
+    #[inline]
+    fn emit(&self, at: SimInstant, make: impl FnOnce() -> EventKind) {
+        if self.recorder.is_enabled() {
+            self.recorder.emit(at.as_nanos(), make());
+        }
+    }
+}
+
+/// Metric handles resolved once at spawn so the hot loop never touches
+/// the registry lock.
+struct LoopMetrics {
+    submitted: Counter,
+    attempts: Counter,
+    retries: Counter,
+    succeeded: Counter,
+    timed_out: Counter,
+    failed: Counter,
+    cancelled: Counter,
+    attempt_ns: Arc<Histogram>,
+    completion_ns: Arc<Histogram>,
+}
+
+impl LoopMetrics {
+    fn resolve(recorder: &Recorder) -> LoopMetrics {
+        let m = recorder.metrics();
+        LoopMetrics {
+            submitted: m.counter("ops.submitted"),
+            attempts: m.counter("ops.attempts"),
+            retries: m.counter("ops.retries"),
+            succeeded: m.counter("ops.succeeded"),
+            timed_out: m.counter("ops.timed_out"),
+            failed: m.counter("ops.failed"),
+            cancelled: m.counter("ops.cancelled"),
+            attempt_ns: m.histogram("op.attempt_ns"),
+            completion_ns: m.histogram("op.completion_ns"),
+        }
+    }
+}
+
+fn op_kind(request: &OpRequest) -> OpKind {
+    match request {
+        OpRequest::Read => OpKind::Read,
+        OpRequest::Write(_) => OpKind::Write,
+        OpRequest::MakeReadOnly => OpKind::MakeReadOnly,
+        OpRequest::Push(_) => OpKind::Push,
     }
 }
 
@@ -232,6 +244,7 @@ impl Default for LoopConfig {
 }
 
 struct PendingOp {
+    op_id: u64,
     request: OpRequest,
     deadline: SimInstant,
     enqueued_at: SimInstant,
@@ -248,6 +261,8 @@ struct Shared {
     handler: Handler,
     stats: Arc<OpStats>,
     config: LoopConfig,
+    obs: ObsScope,
+    metrics: LoopMetrics,
 }
 
 impl Shared {
@@ -285,7 +300,9 @@ impl EventLoop {
         handler: Handler,
         config: LoopConfig,
         executor: impl OpExecutor,
+        obs: ObsScope,
     ) -> EventLoop {
+        let metrics = LoopMetrics::resolve(&obs.recorder);
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             signal: Arc::new(WaitSignal::new()),
@@ -294,6 +311,8 @@ impl EventLoop {
             handler,
             stats: Arc::new(OpStats::default()),
             config,
+            obs,
+            metrics,
         });
         {
             let shared = Arc::clone(&shared);
@@ -320,15 +339,27 @@ impl EventLoop {
         let ticket =
             OpTicket { cancelled: Arc::clone(&cancelled), signal: Arc::clone(&self.shared.signal) };
         if self.shared.stopped.load(Ordering::Acquire) {
-            self.shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            self.shared.stats.record_cancelled();
+            self.shared.metrics.cancelled.inc();
             self.shared.handler.post(move || on_failure(OpFailure::Cancelled));
             return ticket;
         }
         let timeout = timeout.unwrap_or(self.shared.config.default_timeout);
         let now = self.shared.clock.now();
         let deadline = now + timeout;
-        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let op_id = self.shared.obs.recorder.next_op_id();
+        self.shared.stats.record_submitted();
+        self.shared.metrics.submitted.inc();
+        self.shared.obs.emit(now, || EventKind::OpEnqueued {
+            op_id,
+            loop_name: self.shared.obs.loop_name.clone(),
+            phone: self.shared.obs.phone,
+            target: self.shared.obs.target.clone(),
+            op: op_kind(&request),
+            deadline_nanos: deadline.as_nanos(),
+        });
         self.shared.queue.lock().push_back(PendingOp {
+            op_id,
             request,
             deadline,
             enqueued_at: now,
@@ -380,7 +411,7 @@ fn run(shared: &Arc<Shared>, executor: &dyn OpExecutor) {
         WaitUntil(SimInstant),
         Timeout(PendingOp),
         Cancelled(PendingOp),
-        Attempt(OpRequest, SimInstant),
+        Attempt(u64, OpRequest, SimInstant),
     }
 
     loop {
@@ -389,8 +420,14 @@ fn run(shared: &Arc<Shared>, executor: &dyn OpExecutor) {
         let generation = shared.signal.generation();
         if shared.stopped.load(Ordering::Acquire) {
             let drained: Vec<PendingOp> = shared.queue.lock().drain(..).collect();
+            let now = shared.clock.now();
             for op in drained {
-                shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                shared.stats.record_cancelled();
+                shared.metrics.cancelled.inc();
+                shared.obs.emit(now, || EventKind::OpCompleted {
+                    op_id: op.op_id,
+                    outcome: OpOutcome::Cancelled,
+                });
                 shared.deliver_failure(op, OpFailure::Cancelled);
             }
             return;
@@ -408,7 +445,7 @@ fn run(shared: &Arc<Shared>, executor: &dyn OpExecutor) {
                 }
                 Some(op) => {
                     if executor.connected() {
-                        Step::Attempt(op.request.clone(), op.deadline)
+                        Step::Attempt(op.op_id, op.request.clone(), op.deadline)
                     } else {
                         Step::WaitUntil(op.deadline)
                     }
@@ -423,55 +460,75 @@ fn run(shared: &Arc<Shared>, executor: &dyn OpExecutor) {
                 shared.clock.wait_until(&shared.signal, generation, deadline);
             }
             Step::Timeout(op) => {
-                shared.stats.timed_out.fetch_add(1, Ordering::Relaxed);
+                shared.stats.record_timed_out();
+                shared.metrics.timed_out.inc();
+                shared.obs.emit(now, || EventKind::OpCompleted {
+                    op_id: op.op_id,
+                    outcome: OpOutcome::TimedOut,
+                });
                 shared.deliver_failure(op, OpFailure::TimedOut);
             }
             Step::Cancelled(op) => {
-                shared.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                shared.stats.record_cancelled();
+                shared.metrics.cancelled.inc();
+                shared.obs.emit(now, || EventKind::OpCompleted {
+                    op_id: op.op_id,
+                    outcome: OpOutcome::Cancelled,
+                });
                 shared.deliver_failure(op, OpFailure::Cancelled);
             }
-            Step::Attempt(request, deadline) => {
-                shared.stats.attempts.fetch_add(1, Ordering::Relaxed);
+            Step::Attempt(op_id, request, deadline) => {
                 let attempt_started = shared.clock.now();
                 let outcome = executor.execute(&request);
                 let finished = shared.clock.now();
-                shared
-                    .stats
-                    .record_attempt(finished.saturating_since(attempt_started).as_nanos() as u64);
+                let attempt_nanos = finished.saturating_since(attempt_started).as_nanos() as u64;
+                shared.stats.record_attempt(attempt_nanos);
+                shared.metrics.attempts.inc();
+                shared.metrics.attempt_ns.observe(attempt_nanos);
+                let attempt_outcome = match &outcome {
+                    Ok(_) => AttemptOutcome::Success,
+                    Err(e) if e.is_transient() => AttemptOutcome::Transient,
+                    Err(_) => AttemptOutcome::Permanent,
+                };
+                shared.obs.emit(finished, || EventKind::OpAttempt {
+                    op_id,
+                    started_nanos: attempt_started.as_nanos(),
+                    duration_nanos: attempt_nanos,
+                    outcome: attempt_outcome,
+                });
                 match outcome {
                     Ok(response) => {
-                        let op = shared
-                            .queue
-                            .lock()
-                            .pop_front()
-                            .expect("only the loop thread pops");
-                        shared.stats.succeeded.fetch_add(1, Ordering::Relaxed);
-                        shared.stats.completion_nanos_total.fetch_add(
-                            finished.saturating_since(op.enqueued_at).as_nanos() as u64,
-                            Ordering::Relaxed,
-                        );
+                        let op =
+                            shared.queue.lock().pop_front().expect("only the loop thread pops");
+                        let completion_nanos =
+                            finished.saturating_since(op.enqueued_at).as_nanos() as u64;
+                        shared.stats.record_succeeded(completion_nanos);
+                        shared.metrics.succeeded.inc();
+                        shared.metrics.completion_ns.observe(completion_nanos);
+                        shared.obs.emit(finished, || EventKind::OpCompleted {
+                            op_id: op.op_id,
+                            outcome: OpOutcome::Succeeded,
+                        });
                         shared.deliver_success(op, response);
                     }
                     Err(e) if e.is_transient() => {
                         // Decoupling in time: the operation stays queued.
                         // Back off briefly; a connectivity notification
                         // re-arms the attempt immediately.
-                        shared.stats.transient_failures.fetch_add(1, Ordering::Relaxed);
-                        let backoff =
-                            shared.clock.now() + shared.config.retry_backoff;
-                        shared.clock.wait_until(
-                            &shared.signal,
-                            generation,
-                            backoff.min(deadline),
-                        );
+                        shared.stats.record_transient_failure();
+                        shared.metrics.retries.inc();
+                        let backoff = shared.clock.now() + shared.config.retry_backoff;
+                        shared.clock.wait_until(&shared.signal, generation, backoff.min(deadline));
                     }
                     Err(e) => {
-                        let op = shared
-                            .queue
-                            .lock()
-                            .pop_front()
-                            .expect("only the loop thread pops");
-                        shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                        let op =
+                            shared.queue.lock().pop_front().expect("only the loop thread pops");
+                        shared.stats.record_failed();
+                        shared.metrics.failed.inc();
+                        shared.obs.emit(finished, || EventKind::OpCompleted {
+                            op_id: op.op_id,
+                            outcome: OpOutcome::Failed,
+                        });
                         shared.deliver_failure(op, OpFailure::Failed(e));
                     }
                 }
@@ -483,10 +540,10 @@ fn run(shared: &Arc<Shared>, executor: &dyn OpExecutor) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crossbeam::channel::{unbounded, Receiver, Sender};
     use morena_android_sim::looper::MainThread;
     use morena_nfc_sim::clock::{SystemClock, VirtualClock};
     use morena_nfc_sim::error::LinkError;
-    use crossbeam::channel::{unbounded, Receiver, Sender};
 
     /// An executor scripted from the test: pops canned results.
     struct Scripted {
@@ -517,6 +574,10 @@ mod tests {
 
     impl Fixture {
         fn new(clock: Arc<dyn Clock>, config: LoopConfig) -> Fixture {
+            Fixture::with_scope(clock, config, ObsScope::detached("test"))
+        }
+
+        fn with_scope(clock: Arc<dyn Clock>, config: LoopConfig, scope: ObsScope) -> Fixture {
             let main = MainThread::spawn();
             let connected = Arc::new(AtomicBool::new(true));
             let results = Arc::new(Mutex::new(VecDeque::new()));
@@ -532,6 +593,7 @@ mod tests {
                     results: Arc::clone(&results),
                     executed: exec_tx,
                 },
+                scope,
             );
             Fixture { main, event_loop, connected, results, executed, outcomes, outcome_tx }
         }
@@ -674,6 +736,7 @@ mod tests {
                 results: Arc::new(Mutex::new(VecDeque::new())),
                 executed: unbounded().0,
             },
+            ObsScope::detached("thread-check"),
         );
         event_loop.submit(
             OpRequest::Read,
@@ -701,12 +764,74 @@ mod tests {
         // the clock is real, so totals are monotone and means exist.
         assert!(stats.mean_attempt().is_some());
         assert!(stats.mean_completion().is_some());
-        assert!(stats.completion_nanos_total >= stats.attempt_nanos_total || stats.attempt_nanos_total < 1_000_000);
+        assert!(
+            stats.completion_nanos_total >= stats.attempt_nanos_total
+                || stats.attempt_nanos_total < 1_000_000
+        );
         assert!(stats.attempt_nanos_max <= stats.attempt_nanos_total.max(stats.attempt_nanos_max));
         // Empty stats have no means.
         let empty = OpStatsSnapshot::default();
         assert_eq!(empty.mean_attempt(), None);
         assert_eq!(empty.mean_completion(), None);
+    }
+
+    #[test]
+    fn op_lifecycle_events_carry_one_correlation_id() {
+        let recorder = Arc::new(Recorder::new());
+        let ring = Arc::new(morena_obs::RingSink::new(64));
+        recorder.install(ring.clone());
+        let scope = ObsScope {
+            recorder: Arc::clone(&recorder),
+            loop_name: "tag-x".into(),
+            phone: 7,
+            target: "tag-x".into(),
+        };
+        let f = Fixture::with_scope(
+            Arc::new(SystemClock::new()),
+            LoopConfig { retry_backoff: Duration::from_millis(1), ..LoopConfig::default() },
+            scope,
+        );
+        {
+            let mut results = f.results.lock();
+            results.push_back(Err(NfcOpError::Link(LinkError::TransmissionError)));
+            results.push_back(Ok(OpResponse::Done));
+        }
+        f.submit(OpRequest::Write(vec![1]), None);
+        assert!(f.next_outcome().is_ok());
+
+        // enqueue, failed attempt, retried attempt, completion — all
+        // stamped with the same correlation id.
+        let events = ring.snapshot();
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.type_label()).collect();
+        assert_eq!(kinds, ["op_enqueued", "op_attempt", "op_attempt", "op_completed"]);
+        let op_ids: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::OpEnqueued { op_id, .. }
+                | EventKind::OpAttempt { op_id, .. }
+                | EventKind::OpCompleted { op_id, .. } => Some(*op_id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(op_ids.len(), 4);
+        assert!(op_ids.iter().all(|&id| id == op_ids[0]));
+        match &events[1].kind {
+            EventKind::OpAttempt { outcome, .. } => assert_eq!(*outcome, AttemptOutcome::Transient),
+            other => panic!("unexpected event {other:?}"),
+        }
+        match &events[3].kind {
+            EventKind::OpCompleted { outcome, .. } => assert_eq!(*outcome, OpOutcome::Succeeded),
+            other => panic!("unexpected event {other:?}"),
+        }
+
+        // The loop's metric counters agree with its OpStats.
+        let metrics = recorder.metrics().snapshot();
+        assert_eq!(metrics.counter("ops.submitted"), 1);
+        assert_eq!(metrics.counter("ops.attempts"), 2);
+        assert_eq!(metrics.counter("ops.retries"), 1);
+        assert_eq!(metrics.counter("ops.succeeded"), 1);
+        assert_eq!(metrics.histogram("op.attempt_ns").unwrap().count(), 2);
+        assert_eq!(metrics.histogram("op.completion_ns").unwrap().count(), 1);
     }
 
     #[test]

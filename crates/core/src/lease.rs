@@ -24,6 +24,7 @@ use morena_nfc_sim::clock::{Clock, SimInstant};
 use morena_nfc_sim::controller::NfcHandle;
 use morena_nfc_sim::error::NfcOpError;
 use morena_nfc_sim::tag::TagUid;
+use morena_obs::{EventKind, LeaseAction};
 use std::sync::Arc;
 
 use crate::context::MorenaContext;
@@ -66,9 +67,7 @@ impl LeaseRecord {
 
     /// Decodes from an NDEF record, if it is a lease record.
     pub fn from_record(record: &NdefRecord) -> Option<LeaseRecord> {
-        if record.tnf() != Tnf::External
-            || record.record_type() != LEASE_RECORD_TYPE.as_bytes()
-        {
+        if record.tnf() != Tnf::External || record.record_type() != LEASE_RECORD_TYPE.as_bytes() {
             return None;
         }
         let payload = record.payload();
@@ -89,11 +88,8 @@ impl LeaseRecord {
 /// Removes any lease record from `message`, returning the bare
 /// application content.
 pub fn strip_lease(message: &NdefMessage) -> NdefMessage {
-    let records: Vec<NdefRecord> = message
-        .iter()
-        .filter(|r| LeaseRecord::from_record(r).is_none())
-        .cloned()
-        .collect();
+    let records: Vec<NdefRecord> =
+        message.iter().filter(|r| LeaseRecord::from_record(r).is_none()).cloned().collect();
     NdefMessage::new(records)
 }
 
@@ -218,6 +214,30 @@ impl LeaseManager {
         self.nfc.ndef_write(uid, &message.to_bytes()).map_err(LeaseError::Nfc)
     }
 
+    /// Records a lease transition in the world's observability stream.
+    fn observe(&self, uid: TagUid, action: LeaseAction, expires_at: Option<SimInstant>) {
+        let recorder = self.nfc.world().obs();
+        let counter = match action {
+            LeaseAction::Granted => "lease.granted",
+            LeaseAction::Renewed => "lease.renewed",
+            LeaseAction::Released => "lease.released",
+            LeaseAction::Denied => "lease.denied",
+            LeaseAction::LostRace => "lease.lost_race",
+        };
+        recorder.metrics().counter(counter).inc();
+        if recorder.is_enabled() {
+            recorder.emit(
+                self.clock.now().as_nanos(),
+                EventKind::Lease {
+                    phone: self.device.0,
+                    target: uid.to_string(),
+                    action,
+                    expires_nanos: expires_at.map(SimInstant::as_nanos).unwrap_or(0),
+                },
+            );
+        }
+    }
+
     /// The lease currently on the tag, if any (valid or expired).
     ///
     /// # Errors
@@ -236,6 +256,22 @@ impl LeaseManager {
     ///   lock between write and verify; retry if still wanted.
     /// * [`LeaseError::Nfc`] — the tag could not be read or written.
     pub fn acquire(&self, uid: TagUid, ttl: Duration) -> Result<Lease, LeaseError> {
+        let recorder = Arc::clone(self.nfc.world().obs());
+        let span = recorder.span("lease.acquire", self.device.0, self.clock.now().as_nanos());
+        let result = self.acquire_inner(uid, ttl);
+        span.end(self.clock.now().as_nanos());
+        match &result {
+            Ok(lease) => self.observe(uid, LeaseAction::Granted, Some(lease.expires_at)),
+            Err(LeaseError::Held { expires_at, .. }) => {
+                self.observe(uid, LeaseAction::Denied, Some(*expires_at));
+            }
+            Err(LeaseError::LostRace { .. }) => self.observe(uid, LeaseAction::LostRace, None),
+            Err(_) => {}
+        }
+        result
+    }
+
+    fn acquire_inner(&self, uid: TagUid, ttl: Duration) -> Result<Lease, LeaseError> {
         let message = self.read_message(uid)?;
         let now = self.clock.now();
         if let Some(existing) = LeaseRecord::find_in(&message) {
@@ -251,11 +287,9 @@ impl LeaseManager {
         // Verify: did our lock survive, or did a concurrent device win?
         let verify = self.read_message(uid)?;
         match LeaseRecord::find_in(&verify) {
-            Some(found) if found.holder == self.device => Ok(Lease {
-                uid,
-                holder: self.device,
-                expires_at: found.expires_at,
-            }),
+            Some(found) if found.holder == self.device => {
+                Ok(Lease { uid, holder: self.device, expires_at: found.expires_at })
+            }
             Some(found) => Err(LeaseError::LostRace { winner: found.holder }),
             None => Err(LeaseError::Nfc(NfcOpError::Protocol("lease record vanished"))),
         }
@@ -274,6 +308,7 @@ impl LeaseManager {
                 let renewed =
                     LeaseRecord { holder: self.device, expires_at: self.clock.now() + ttl };
                 self.write_message(lease.uid, &with_lease(&message, renewed))?;
+                self.observe(lease.uid, LeaseAction::Renewed, Some(renewed.expires_at));
                 Ok(Lease { uid: lease.uid, holder: self.device, expires_at: renewed.expires_at })
             }
             _ => Err(LeaseError::NotHolder),
@@ -290,7 +325,9 @@ impl LeaseManager {
         let message = self.read_message(lease.uid)?;
         match LeaseRecord::find_in(&message) {
             Some(found) if found.holder == self.device => {
-                self.write_message(lease.uid, &strip_lease(&message))
+                self.write_message(lease.uid, &strip_lease(&message))?;
+                self.observe(lease.uid, LeaseAction::Released, None);
+                Ok(())
             }
             _ => Err(LeaseError::NotHolder),
         }
@@ -337,10 +374,8 @@ mod tests {
 
     #[test]
     fn record_round_trips_through_ndef() {
-        let lease = LeaseRecord {
-            holder: DeviceId(42),
-            expires_at: SimInstant::from_nanos(123_456_789),
-        };
+        let lease =
+            LeaseRecord { holder: DeviceId(42), expires_at: SimInstant::from_nanos(123_456_789) };
         let record = lease.to_record();
         assert_eq!(LeaseRecord::from_record(&record), Some(lease));
         // Not a lease: other records decode to None.
@@ -353,8 +388,7 @@ mod tests {
     #[test]
     fn with_lease_and_strip_preserve_content() {
         let content = NdefMessage::single(NdefRecord::mime("a/b", b"data".to_vec()).unwrap());
-        let lease =
-            LeaseRecord { holder: DeviceId(1), expires_at: SimInstant::from_nanos(10) };
+        let lease = LeaseRecord { holder: DeviceId(1), expires_at: SimInstant::from_nanos(10) };
         let locked = with_lease(&content, lease);
         assert_eq!(locked.records().len(), 2);
         assert_eq!(LeaseRecord::find_in(&locked), Some(lease));
@@ -390,7 +424,10 @@ mod tests {
         assert!(again.expires_at > lease.expires_at);
     }
 
-    fn world_position(_world: &World, phone: morena_nfc_sim::world::PhoneId) -> morena_nfc_sim::geometry::Point {
+    fn world_position(
+        _world: &World,
+        phone: morena_nfc_sim::world::PhoneId,
+    ) -> morena_nfc_sim::geometry::Point {
         // Phones are placed at x = 1000 * (id + 1).
         morena_nfc_sim::geometry::Point::new(1000.0 * (phone.as_u64() as f64 + 1.0), 0.0)
     }
@@ -441,7 +478,10 @@ mod tests {
         // someone else takes over.
         clock.advance(Duration::from_secs(60));
         bob.acquire(uid, Duration::from_secs(5)).unwrap();
-        assert!(matches!(alice.renew(&renewed, Duration::from_secs(1)), Err(LeaseError::NotHolder)));
+        assert!(matches!(
+            alice.renew(&renewed, Duration::from_secs(1)),
+            Err(LeaseError::NotHolder)
+        ));
     }
 
     #[test]
@@ -499,10 +539,7 @@ mod tests {
     fn out_of_range_tag_yields_nfc_error() {
         let (_world, _clock, actx, _bctx, uid) = setup();
         let alice = LeaseManager::new(&actx);
-        assert!(matches!(
-            alice.acquire(uid, Duration::from_secs(1)),
-            Err(LeaseError::Nfc(_))
-        ));
+        assert!(matches!(alice.acquire(uid, Duration::from_secs(1)), Err(LeaseError::Nfc(_))));
     }
 
     #[test]

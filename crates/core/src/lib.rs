@@ -82,8 +82,8 @@ pub use beam::{BeamListener, BeamReceiver, Beamer};
 pub use context::MorenaContext;
 pub use convert::{BytesConverter, ConvertError, JsonConverter, StringConverter, TagDataConverter};
 pub use discovery::{DiscoveryListener, TagDiscoverer};
-pub use keyed::{KeyedConverter, MemoryStore, ObjectKey, ObjectStore};
 pub use eventloop::{LoopConfig, OpFailure, OpStats, OpStatsSnapshot, OpTicket};
+pub use keyed::{KeyedConverter, MemoryStore, ObjectKey, ObjectStore};
 pub use lease::{DeviceId, Lease, LeaseError, LeaseManager, LeaseRecord};
 pub use peer::{PeerInbox, PeerListener, PeerReference};
 pub use tagref::TagReference;

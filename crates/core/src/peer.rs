@@ -23,12 +23,13 @@ use crossbeam::channel::RecvTimeoutError;
 use morena_ndef::NdefMessage;
 use morena_nfc_sim::controller::NfcHandle;
 use morena_nfc_sim::error::NfcOpError;
-use morena_nfc_sim::world::{NfcEvent, PhoneId};
+use morena_nfc_sim::world::{obs_peer_target, NfcEvent, PhoneId};
+use morena_obs::EventKind;
 
 use crate::context::MorenaContext;
 use crate::convert::TagDataConverter;
 use crate::eventloop::{
-    EventLoop, LoopConfig, OpExecutor, OpFailure, OpRequest, OpResponse, OpStats,
+    EventLoop, LoopConfig, ObsScope, OpExecutor, OpFailure, OpRequest, OpResponse, OpStats,
 };
 
 struct PeerExecutor {
@@ -130,6 +131,9 @@ impl<C: TagDataConverter> PeerReference<C> {
             ctx.handler(),
             config,
             PeerExecutor { nfc: ctx.nfc().clone(), peer },
+            // Target keyed like the simulator's peer-presence events
+            // ("phone-N") so the correlator can join the two streams.
+            ObsScope::new(ctx, format!("peer-{peer}"), obs_peer_target(peer)),
         );
         let router_stop = Arc::new(AtomicBool::new(false));
         spawn_peer_router(ctx.nfc().clone(), peer, event_loop.clone(), Arc::clone(&router_stop));
@@ -226,12 +230,7 @@ impl<C: TagDataConverter> PeerReference<C> {
     }
 }
 
-fn spawn_peer_router(
-    nfc: NfcHandle,
-    peer: PhoneId,
-    event_loop: EventLoop,
-    stop: Arc<AtomicBool>,
-) {
+fn spawn_peer_router(nfc: NfcHandle, peer: PhoneId, event_loop: EventLoop, stop: Arc<AtomicBool>) {
     let events = nfc.events();
     std::thread::Builder::new()
         .name(format!("morena-peer-router-{peer}"))
@@ -300,6 +299,10 @@ impl<C: TagDataConverter> PeerInbox<C> {
         let inner = Arc::new(InboxInner { stop: AtomicBool::new(false), _ctx: ctx.clone() });
         let events = ctx.nfc().events();
         let handler = ctx.handler();
+        let recorder = Arc::clone(ctx.nfc().world().obs());
+        let clock = Arc::clone(ctx.clock());
+        let phone = ctx.phone().as_u64();
+        let received_ctr = recorder.metrics().counter("peer.received");
         {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
@@ -317,6 +320,17 @@ impl<C: TagDataConverter> PeerInbox<C> {
                                 };
                                 if !listener.check_condition(from, &value) {
                                     continue;
+                                }
+                                received_ctr.inc();
+                                if recorder.is_enabled() {
+                                    recorder.emit(
+                                        clock.now().as_nanos(),
+                                        EventKind::PeerReceived {
+                                            phone,
+                                            from: from.as_u64(),
+                                            bytes: bytes.len() as u64,
+                                        },
+                                    );
                                 }
                                 let listener = Arc::clone(&listener);
                                 handler.post(move || listener.on_message(from, value));
@@ -421,11 +435,8 @@ mod tests {
             // Recover the virtual clock through the world for advancing.
             world.clock().clone()
         };
-        let to_bob = PeerReference::new(
-            &actx,
-            bctx.phone(),
-            Arc::new(StringConverter::plain_text()),
-        );
+        let to_bob =
+            PeerReference::new(&actx, bctx.phone(), Arc::new(StringConverter::plain_text()));
         let (tx, rx) = unbounded();
         to_bob.send_with_timeout(
             "never".into(),
@@ -496,11 +507,8 @@ mod tests {
     #[test]
     fn close_cancels_queued_messages() {
         let (_world, actx, bctx, _cctx) = setup();
-        let to_bob = PeerReference::new(
-            &actx,
-            bctx.phone(),
-            Arc::new(StringConverter::plain_text()),
-        );
+        let to_bob =
+            PeerReference::new(&actx, bctx.phone(), Arc::new(StringConverter::plain_text()));
         let (tx, rx) = unbounded();
         to_bob.send("never".into(), || panic!("no"), move |f| tx.send(f).unwrap());
         to_bob.close();

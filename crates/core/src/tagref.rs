@@ -32,7 +32,8 @@ use parking_lot::Mutex;
 use crate::context::MorenaContext;
 use crate::convert::TagDataConverter;
 use crate::eventloop::{
-    EventLoop, LoopConfig, OpExecutor, OpFailure, OpRequest, OpResponse, OpStats, OpTicket,
+    EventLoop, LoopConfig, ObsScope, OpExecutor, OpFailure, OpRequest, OpResponse, OpStats,
+    OpTicket,
 };
 
 /// The physical executor behind a tag reference: blocking NDEF operations
@@ -162,6 +163,9 @@ impl<C: TagDataConverter> TagReference<C> {
             ctx.handler(),
             config,
             TagExecutor { nfc: ctx.nfc().clone(), uid },
+            // Target keyed by uid rendering so op events join the
+            // simulator's physical tag events in `morena_obs::correlate`.
+            ObsScope::new(ctx, format!("tag-{uid}"), uid.to_string()),
         );
         let router_stop = Arc::new(AtomicBool::new(false));
         let reference = TagReference {
@@ -252,7 +256,12 @@ impl<C: TagDataConverter> TagReference<C> {
     }
 
     /// [`read`](TagReference::read) with an explicit timeout.
-    pub fn read_with_timeout<F, G>(&self, timeout: Duration, on_success: F, on_failure: G) -> OpTicket
+    pub fn read_with_timeout<F, G>(
+        &self,
+        timeout: Duration,
+        on_success: F,
+        on_failure: G,
+    ) -> OpTicket
     where
         F: FnOnce(TagReference<C>) + Send + 'static,
         G: FnOnce(TagReference<C>, OpFailure) + Send + 'static,
@@ -543,18 +552,12 @@ mod tests {
             move |r| tx.send(r.cached()).unwrap(),
             |_, f| panic!("write failed: {f}"),
         );
-        assert_eq!(
-            rx.recv_timeout(Duration::from_secs(10)).unwrap(),
-            Some("stored".to_string())
-        );
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), Some("stored".to_string()));
 
         // Clear the cache, read it back over the air.
         reference.set_cached(None);
         reference.read(move |r| tx2.send(r.cached()).unwrap(), |_, f| panic!("read failed: {f}"));
-        assert_eq!(
-            rx.recv_timeout(Duration::from_secs(10)).unwrap(),
-            Some("stored".to_string())
-        );
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), Some("stored".to_string()));
         assert_eq!(reference.uid(), uid);
         assert_eq!(reference.tech(), TagTech::Type2);
     }
@@ -586,9 +589,8 @@ mod tests {
 
         world.tap_tag(uid, ctx.phone());
         // The whole batch flushes in FIFO order on one tap.
-        let order: Vec<i32> = (0..4)
-            .map(|_| rx.recv_timeout(Duration::from_secs(10)).unwrap())
-            .collect();
+        let order: Vec<i32> =
+            (0..4).map(|_| rx.recv_timeout(Duration::from_secs(10)).unwrap()).collect();
         assert_eq!(order, vec![0, 1, 2, 3]);
         assert_eq!(reference.cached(), Some("msg-3".to_string()));
     }
@@ -602,13 +604,21 @@ mod tests {
         world.tap_tag(uid, ctx.phone());
         for i in 0..2 {
             let tx = tx.clone();
-            reference.write(format!("a-{i}"), move |_| tx.send(format!("a-{i}")).unwrap(), |_, f| panic!("{f}"));
+            reference.write(
+                format!("a-{i}"),
+                move |_| tx.send(format!("a-{i}")).unwrap(),
+                |_, f| panic!("{f}"),
+            );
         }
         // …then the tag disappears and more writes pile up.
         world.remove_tag_from_field(uid);
         for i in 0..2 {
             let tx = tx.clone();
-            reference.write(format!("b-{i}"), move |_| tx.send(format!("b-{i}")).unwrap(), |_, f| panic!("{f}"));
+            reference.write(
+                format!("b-{i}"),
+                move |_| tx.send(format!("b-{i}")).unwrap(),
+                |_, f| panic!("{f}"),
+            );
         }
         world.tap_tag(uid, ctx.phone());
         let mut seen = Vec::new();
@@ -676,14 +686,22 @@ mod tests {
         let (tx, rx) = unbounded();
         let tx2 = tx.clone();
         // Queue: write, then protect — both against an absent tag.
-        reference.write("final words".into(), move |_| tx.send("write").unwrap(), |_, f| panic!("{f}"));
+        reference.write(
+            "final words".into(),
+            move |_| tx.send("write").unwrap(),
+            |_, f| panic!("{f}"),
+        );
         reference.make_read_only(move |_| tx2.send("locked").unwrap(), |_, f| panic!("{f}"));
         world.tap_tag(uid, ctx.phone());
         assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), "write");
         assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), "locked");
         // A later write fails permanently.
         let (err_tx, err_rx) = unbounded();
-        reference.write("too late".into(), |_| panic!("locked"), move |_, f| err_tx.send(f).unwrap());
+        reference.write(
+            "too late".into(),
+            |_| panic!("locked"),
+            move |_, f| err_tx.send(f).unwrap(),
+        );
         assert!(matches!(
             err_rx.recv_timeout(Duration::from_secs(10)).unwrap(),
             OpFailure::Failed(NfcOpError::ReadOnly)
@@ -710,7 +728,13 @@ mod tests {
         );
         reference.write(
             "kept".to_string(),
-            move |r| tx2.send(("second", OpFailure::Cancelled)).map(|_| { let _ = r; }).unwrap(),
+            move |r| {
+                tx2.send(("second", OpFailure::Cancelled))
+                    .map(|_| {
+                        let _ = r;
+                    })
+                    .unwrap()
+            },
             |_, f| panic!("second op failed: {f}"),
         );
         assert!(ticket.cancel());
@@ -733,7 +757,11 @@ mod tests {
         let reference = string_ref(&ctx, uid);
         world.tap_tag(uid, ctx.phone());
         let (tx, rx) = unbounded();
-        let ticket = reference.write("done".to_string(), move |_| tx.send(()).unwrap(), |_, f| panic!("{f}"));
+        let ticket = reference.write(
+            "done".to_string(),
+            move |_| tx.send(()).unwrap(),
+            |_, f| panic!("{f}"),
+        );
         rx.recv_timeout(Duration::from_secs(10)).unwrap();
         // The op already completed; cancelling must not produce a failure.
         ticket.cancel();

@@ -233,10 +233,8 @@ impl<T: Thing> BoundThing<T> {
         F: FnOnce(BoundThing<T>) + Send + 'static,
         G: FnOnce(OpFailure) + Send + 'static,
     {
-        self.reference.read(
-            move |reference| on_read(BoundThing { reference }),
-            move |_, f| on_failed(f),
-        );
+        self.reference
+            .read(move |reference| on_read(BoundThing { reference }), move |_, f| on_failed(f));
     }
 
     /// Queues an asynchronous, **irreversible** write-protection of the
@@ -321,9 +319,7 @@ pub struct EmptyThingSlot<T: Thing> {
 
 impl<T: Thing> std::fmt::Debug for EmptyThingSlot<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EmptyThingSlot")
-            .field("uid", &self.reference.uid().to_string())
-            .finish()
+        f.debug_struct("EmptyThingSlot").field("uid", &self.reference.uid().to_string()).finish()
     }
 }
 
@@ -440,8 +436,7 @@ impl<T: Thing> ThingSpace<T> {
             config.clone(),
         );
         let beamer = Beamer::with_config(ctx, Arc::clone(&converter), config);
-        let receiver =
-            BeamReceiver::new(ctx, converter, Arc::new(BeamAdapter { observer }));
+        let receiver = BeamReceiver::new(ctx, converter, Arc::new(BeamAdapter { observer }));
         ThingSpace { discoverer, beamer, receiver }
     }
 
@@ -564,9 +559,7 @@ mod tests {
         assert_eq!(seen_uid, uid);
 
         // Initialize the blank tag with a thing.
-        let slot = EmptyThingSlot {
-            reference: space.discoverer().reference_for(uid).unwrap(),
-        };
+        let slot = EmptyThingSlot { reference: space.discoverer().reference_for(uid).unwrap() };
         let (done_tx, done_rx) = unbounded();
         slot.initialize(
             wifi("guest-net"),
@@ -579,8 +572,7 @@ mod tests {
         // Re-tapping now discovers the thing (transient field reset).
         world.remove_tag_from_field(uid);
         world.tap_tag(uid, ctx.phone());
-        let Seen::Discovered(u, value) = rx.recv_timeout(Duration::from_secs(10)).unwrap()
-        else {
+        let Seen::Discovered(u, value) = rx.recv_timeout(Duration::from_secs(10)).unwrap() else {
             panic!("expected thing discovery");
         };
         assert_eq!(u, uid);
@@ -617,10 +609,7 @@ mod tests {
 
         // Verify over the air with a fresh read.
         let (read_tx, read_rx) = unbounded();
-        bound.read_async(
-            move |b| read_tx.send(b.value()).unwrap(),
-            |f| panic!("read failed: {f}"),
-        );
+        bound.read_async(move |b| read_tx.send(b.value()).unwrap(), |f| panic!("read failed: {f}"));
         let read_back = read_rx.recv_timeout(Duration::from_secs(10)).unwrap();
         assert_eq!(read_back.ssid, "MyNewWifiName");
         assert_eq!(read_back.key, "MyNewWifiPassword");
@@ -676,7 +665,10 @@ mod tests {
         let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(7))));
         world.tap_tag(uid, ctx.phone());
         ctx.nfc()
-            .ndef_write(uid, &WifiConfig::converter().to_message(&wifi("frozen")).unwrap().to_bytes())
+            .ndef_write(
+                uid,
+                &WifiConfig::converter().to_message(&wifi("frozen")).unwrap().to_bytes(),
+            )
             .unwrap();
         world.remove_tag_from_field(uid);
 
@@ -734,17 +726,13 @@ mod tests {
         // Content on the tag is the updated thing (lease stripped).
         let bytes = ctx.nfc().ndef_read(uid).unwrap();
         let message = morena_ndef::NdefMessage::parse(&bytes).unwrap();
-        let on_tag = WifiConfig::converter()
-            .from_message(&crate::lease::strip_lease(&message))
-            .unwrap();
+        let on_tag =
+            WifiConfig::converter().from_message(&crate::lease::strip_lease(&message)).unwrap();
         assert_eq!(on_tag.ssid, "exclusive-net");
 
         // A foreign lease blocks the exclusive save.
         let rival_phone = world.add_phone("rival");
-        world.set_phone_position(
-            rival_phone,
-            morena_nfc_sim::geometry::Point::new(1000.0, 0.0),
-        );
+        world.set_phone_position(rival_phone, morena_nfc_sim::geometry::Point::new(1000.0, 0.0));
         let rival = LeaseManager::new(&MorenaContext::headless(&world, rival_phone));
         let lease = rival.acquire(uid, Duration::from_secs(60)).unwrap();
         let (err_tx, err_rx) = unbounded();

@@ -45,7 +45,11 @@ impl NdefMessageBuilder {
     /// # Errors
     ///
     /// [`NdefError`] when the type or payload exceeds record limits.
-    pub fn mime(mut self, mime_type: &str, payload: Vec<u8>) -> Result<NdefMessageBuilder, NdefError> {
+    pub fn mime(
+        mut self,
+        mime_type: &str,
+        payload: Vec<u8>,
+    ) -> Result<NdefMessageBuilder, NdefError> {
         self.records.push(NdefRecord::mime(mime_type, payload)?);
         Ok(self)
     }
@@ -83,7 +87,11 @@ impl NdefMessageBuilder {
     /// # Errors
     ///
     /// [`NdefError`] when the type or payload exceeds record limits.
-    pub fn external(mut self, domain_type: &str, payload: Vec<u8>) -> Result<NdefMessageBuilder, NdefError> {
+    pub fn external(
+        mut self,
+        domain_type: &str,
+        payload: Vec<u8>,
+    ) -> Result<NdefMessageBuilder, NdefError> {
         self.records.push(NdefRecord::external(domain_type, payload)?);
         Ok(self)
     }

@@ -115,8 +115,12 @@ impl fmt::Display for NdefError {
             NdefError::IdTooLong { len } => {
                 write!(f, "record id of {len} bytes exceeds the 255-byte limit")
             }
-            NdefError::EmptyMessage => write!(f, "an NDEF message must contain at least one record"),
-            NdefError::MalformedRtd { detail } => write!(f, "malformed well-known record: {detail}"),
+            NdefError::EmptyMessage => {
+                write!(f, "an NDEF message must contain at least one record")
+            }
+            NdefError::MalformedRtd { detail } => {
+                write!(f, "malformed well-known record: {detail}")
+            }
             NdefError::BadLanguageCode => {
                 write!(f, "text record language code must be 1..=63 bytes")
             }

@@ -215,7 +215,12 @@ impl NdefMessage {
                     state.payload.extend_from_slice(&wire.payload);
                     if !wire.cf {
                         let done = chunk.take().expect("chunk state present");
-                        records.push(build_record(done.tnf, done.record_type, done.id, done.payload)?);
+                        records.push(build_record(
+                            done.tnf,
+                            done.record_type,
+                            done.id,
+                            done.payload,
+                        )?);
                     } else if wire.me {
                         return Err(NdefError::UnterminatedChunk);
                     }
@@ -457,10 +462,7 @@ mod tests {
         let bytes = msg.to_bytes();
         for cut in 0..bytes.len() {
             let err = NdefMessage::parse(&bytes[..cut]).unwrap_err();
-            assert!(
-                matches!(err, NdefError::UnexpectedEof { .. }),
-                "cut at {cut} gave {err:?}"
-            );
+            assert!(matches!(err, NdefError::UnexpectedEof { .. }), "cut at {cut} gave {err:?}");
         }
     }
 
@@ -468,7 +470,10 @@ mod tests {
     fn parse_rejects_trailing_data() {
         let mut bytes = NdefMessage::single(mime("a/b", b"x")).to_bytes();
         bytes.push(0xFF);
-        assert_eq!(NdefMessage::parse(&bytes).unwrap_err(), NdefError::TrailingData { trailing: 1 });
+        assert_eq!(
+            NdefMessage::parse(&bytes).unwrap_err(),
+            NdefError::TrailingData { trailing: 1 }
+        );
     }
 
     #[test]
@@ -506,7 +511,16 @@ mod tests {
     fn parse_rejects_unterminated_chunk() {
         // Initial chunk (CF=1, MB=1) followed by message end on a CF=1 chunk.
         let mut bytes = Vec::new();
-        encode_wire_record(&mut bytes, true, false, true, Tnf::MimeMedia.bits(), b"a/b", &[], b"xx");
+        encode_wire_record(
+            &mut bytes,
+            true,
+            false,
+            true,
+            Tnf::MimeMedia.bits(),
+            b"a/b",
+            &[],
+            b"xx",
+        );
         encode_wire_record(&mut bytes, false, true, true, Tnf::Unchanged.bits(), &[], &[], b"yy");
         assert_eq!(NdefMessage::parse(&bytes).unwrap_err(), NdefError::UnterminatedChunk);
     }
@@ -514,8 +528,26 @@ mod tests {
     #[test]
     fn parse_rejects_chunk_with_type() {
         let mut bytes = Vec::new();
-        encode_wire_record(&mut bytes, true, false, true, Tnf::MimeMedia.bits(), b"a/b", &[], b"xx");
-        encode_wire_record(&mut bytes, false, true, false, Tnf::Unchanged.bits(), b"zz", &[], b"yy");
+        encode_wire_record(
+            &mut bytes,
+            true,
+            false,
+            true,
+            Tnf::MimeMedia.bits(),
+            b"a/b",
+            &[],
+            b"xx",
+        );
+        encode_wire_record(
+            &mut bytes,
+            false,
+            true,
+            false,
+            Tnf::Unchanged.bits(),
+            b"zz",
+            &[],
+            b"yy",
+        );
         assert_eq!(NdefMessage::parse(&bytes).unwrap_err(), NdefError::ChunkWithType);
     }
 
@@ -552,8 +584,7 @@ mod tests {
 
     #[test]
     fn iteration_and_collect() {
-        let msg: NdefMessage =
-            vec![mime("a/b", b"1"), mime("c/d", b"2")].into_iter().collect();
+        let msg: NdefMessage = vec![mime("a/b", b"1"), mime("c/d", b"2")].into_iter().collect();
         assert_eq!(msg.records().len(), 2);
         let types: Vec<_> = msg.iter().map(|r| r.record_type_str().unwrap()).collect();
         assert_eq!(types, ["a/b", "c/d"]);

@@ -113,9 +113,7 @@ impl NdefRecord {
             return Err(NdefError::PayloadTooLarge { declared: payload.len() });
         }
         match tnf {
-            Tnf::Empty
-                if !record_type.is_empty() || !id.is_empty() || !payload.is_empty() =>
-            {
+            Tnf::Empty if !record_type.is_empty() || !id.is_empty() || !payload.is_empty() => {
                 return Err(NdefError::NonEmptyEmptyRecord);
             }
             Tnf::Unknown if !record_type.is_empty() => {

@@ -59,9 +59,8 @@ impl AndroidApplicationRecord {
         {
             return Err(NdefError::MalformedRtd { detail: "not an Android Application Record" });
         }
-        let package = std::str::from_utf8(record.payload())
-            .map_err(|_| NdefError::InvalidUtf8)?
-            .to_owned();
+        let package =
+            std::str::from_utf8(record.payload()).map_err(|_| NdefError::InvalidUtf8)?.to_owned();
         Ok(AndroidApplicationRecord { package })
     }
 }
@@ -91,8 +90,7 @@ mod tests {
 
     #[test]
     fn rejects_invalid_utf8() {
-        let bad =
-            NdefRecord::external(AndroidApplicationRecord::TYPE, vec![0xFF, 0xFE]).unwrap();
+        let bad = NdefRecord::external(AndroidApplicationRecord::TYPE, vec![0xFF, 0xFE]).unwrap();
         assert_eq!(
             AndroidApplicationRecord::from_record(&bad).unwrap_err(),
             NdefError::InvalidUtf8
@@ -107,10 +105,8 @@ mod tests {
             AndroidApplicationRecord::new("com.example.app").to_record(),
         ]);
         let parsed = NdefMessage::parse(&message.to_bytes()).unwrap();
-        let aar = parsed
-            .iter()
-            .find_map(|r| AndroidApplicationRecord::from_record(r).ok())
-            .unwrap();
+        let aar =
+            parsed.iter().find_map(|r| AndroidApplicationRecord::from_record(r).ok()).unwrap();
         assert_eq!(aar.package(), "com.example.app");
     }
 }

@@ -122,10 +122,7 @@ impl HandoverSelect {
         carrier_ref: &[u8],
         configuration: NdefRecord,
     ) -> HandoverSelect {
-        self.carriers.push(AlternativeCarrier {
-            power_state,
-            carrier_ref: carrier_ref.to_vec(),
-        });
+        self.carriers.push(AlternativeCarrier { power_state, carrier_ref: carrier_ref.to_vec() });
         // Rebuild the configuration record with the linking id.
         let rebuilt = NdefRecordBuilder::new(configuration.tnf())
             .record_type(configuration.record_type())
@@ -180,8 +177,9 @@ impl HandoverSelect {
         if version >> 4 != HANDOVER_VERSION >> 4 {
             return Err(NdefError::MalformedRtd { detail: "unsupported handover major version" });
         }
-        let nested = NdefMessage::parse(nested_bytes)
-            .map_err(|_| NdefError::MalformedRtd { detail: "nested handover message unparseable" })?;
+        let nested = NdefMessage::parse(nested_bytes).map_err(|_| NdefError::MalformedRtd {
+            detail: "nested handover message unparseable",
+        })?;
         let mut carriers = Vec::new();
         for sub in nested.records() {
             if sub.tnf() == Tnf::WellKnown && sub.record_type() == b"ac" {
@@ -371,8 +369,7 @@ mod tests {
     fn wrong_major_version_is_rejected() {
         let mut payload = vec![0x21]; // version 2.1
         payload.extend_from_slice(&NdefMessage::empty_tag().to_bytes());
-        let message =
-            NdefMessage::single(NdefRecord::well_known(b"Hs", payload).unwrap());
+        let message = NdefMessage::single(NdefRecord::well_known(b"Hs", payload).unwrap());
         assert!(matches!(
             HandoverSelect::from_message(&message).unwrap_err(),
             NdefError::MalformedRtd { .. }
@@ -380,8 +377,7 @@ mod tests {
         // Same major, different minor: accepted.
         let mut payload = vec![0x12]; // version 1.2
         payload.extend_from_slice(&NdefMessage::empty_tag().to_bytes());
-        let message =
-            NdefMessage::single(NdefRecord::well_known(b"Hs", payload).unwrap());
+        let message = NdefMessage::single(NdefRecord::well_known(b"Hs", payload).unwrap());
         assert!(HandoverSelect::from_message(&message).is_ok());
     }
 

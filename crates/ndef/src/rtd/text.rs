@@ -70,11 +70,7 @@ impl TextRecord {
         if language.is_empty() || language.len() > 63 {
             return Err(NdefError::BadLanguageCode);
         }
-        Ok(TextRecord {
-            language: language.to_owned(),
-            text: text.to_owned(),
-            encoding,
-        })
+        Ok(TextRecord { language: language.to_owned(), text: text.to_owned(), encoding })
     }
 
     /// The IANA language code, e.g. `"en"` or `"nl-BE"`.
@@ -113,8 +109,7 @@ impl TextRecord {
                 }
             }
         }
-        NdefRecord::well_known(TextRecord::TYPE, payload)
-            .expect("text payload within limits")
+        NdefRecord::well_known(TextRecord::TYPE, payload).expect("text payload within limits")
     }
 
     /// Decodes a text record from a well-known `"T"` [`NdefRecord`].
@@ -234,10 +229,7 @@ mod tests {
     #[test]
     fn from_record_rejects_wrong_type() {
         let r = NdefRecord::mime("text/plain", b"x".to_vec()).unwrap();
-        assert!(matches!(
-            TextRecord::from_record(&r).unwrap_err(),
-            NdefError::MalformedRtd { .. }
-        ));
+        assert!(matches!(TextRecord::from_record(&r).unwrap_err(), NdefError::MalformedRtd { .. }));
     }
 
     #[test]
@@ -262,10 +254,7 @@ mod tests {
     #[test]
     fn odd_utf16_length_rejected() {
         let r = NdefRecord::well_known(b"T", vec![0x82, b'e', b'n', 0x00]).unwrap();
-        assert!(matches!(
-            TextRecord::from_record(&r).unwrap_err(),
-            NdefError::MalformedRtd { .. }
-        ));
+        assert!(matches!(TextRecord::from_record(&r).unwrap_err(), NdefError::MalformedRtd { .. }));
     }
 
     #[test]

@@ -123,8 +123,7 @@ impl UriRecord {
             .first()
             .ok_or(NdefError::MalformedRtd { detail: "uri payload missing identifier byte" })?;
         let prefix = URI_PREFIXES.get(code as usize).copied().unwrap_or("");
-        let rest =
-            std::str::from_utf8(&payload[1..]).map_err(|_| NdefError::InvalidUtf8)?;
+        let rest = std::str::from_utf8(&payload[1..]).map_err(|_| NdefError::InvalidUtf8)?;
         Ok(UriRecord { uri: format!("{prefix}{rest}") })
     }
 }
@@ -144,11 +143,7 @@ mod tests {
         for (code, prefix) in URI_PREFIXES.iter().enumerate().skip(1) {
             let uri = format!("{prefix}path/{code}");
             let record = UriRecord::new(&uri).to_record();
-            assert_eq!(
-                UriRecord::from_record(&record).unwrap().uri(),
-                uri,
-                "prefix {prefix:?}"
-            );
+            assert_eq!(UriRecord::from_record(&record).unwrap().uri(), uri, "prefix {prefix:?}");
         }
     }
 

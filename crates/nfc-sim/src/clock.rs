@@ -451,8 +451,9 @@ mod tests {
         let seen = signal.generation();
         let c2 = Arc::clone(&clock);
         let s2 = Arc::clone(&signal);
-        let handle =
-            thread::spawn(move || c2.wait_until(&s2, seen, SimInstant::EPOCH + Duration::from_secs(60)));
+        let handle = thread::spawn(move || {
+            c2.wait_until(&s2, seen, SimInstant::EPOCH + Duration::from_secs(60))
+        });
         thread::sleep(Duration::from_millis(10));
         signal.notify();
         assert_eq!(handle.join().unwrap(), WaitOutcome::Notified);
@@ -463,7 +464,11 @@ mod tests {
         let clock = VirtualClock::new();
         clock.advance(Duration::from_secs(10));
         let signal = Arc::new(WaitSignal::new());
-        let outcome = clock.wait_until(&signal, signal.generation(), SimInstant::EPOCH + Duration::from_secs(5));
+        let outcome = clock.wait_until(
+            &signal,
+            signal.generation(),
+            SimInstant::EPOCH + Duration::from_secs(5),
+        );
         assert_eq!(outcome, WaitOutcome::TimedOut);
     }
 
@@ -472,10 +477,7 @@ mod tests {
         let t = SimInstant::from_nanos(1_500_000_000);
         assert_eq!(t.as_nanos(), 1_500_000_000);
         assert_eq!(t + Duration::from_millis(500), SimInstant::from_nanos(2_000_000_000));
-        assert_eq!(
-            (t + Duration::from_secs(1)).saturating_since(t),
-            Duration::from_secs(1)
-        );
+        assert_eq!((t + Duration::from_secs(1)).saturating_since(t), Duration::from_secs(1));
         assert_eq!(t.saturating_since(t + Duration::from_secs(1)), Duration::ZERO);
         assert_eq!(format!("{t}"), "t+1.500s");
     }

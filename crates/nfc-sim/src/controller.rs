@@ -207,10 +207,7 @@ mod tests {
     #[test]
     fn out_of_range_tag_is_rejected_before_any_exchange() {
         let (_world, nfc, uid) = setup();
-        assert_eq!(
-            nfc.ndef_read(uid).unwrap_err(),
-            NfcOpError::Link(LinkError::OutOfRange)
-        );
+        assert_eq!(nfc.ndef_read(uid).unwrap_err(), NfcOpError::Link(LinkError::OutOfRange));
     }
 
     #[test]

@@ -132,10 +132,7 @@ mod tests {
         let small = m.exchange_latency(2);
         let big = m.exchange_latency(1000);
         assert!(big > small);
-        assert_eq!(
-            big - small,
-            Duration::from_micros(100).saturating_mul(998)
-        );
+        assert_eq!(big - small, Duration::from_micros(100).saturating_mul(998));
     }
 
     #[test]

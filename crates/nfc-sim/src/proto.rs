@@ -182,11 +182,7 @@ fn t2_detect(link: &mut impl Transceive) -> Result<NdefTagInfo, NfcOpError> {
     let layout = t2_read_cc(link)?;
     let short = layout.data_area_len.saturating_sub(3).min(0xFE);
     let long = layout.data_area_len.saturating_sub(5);
-    Ok(NdefTagInfo {
-        tech: TagTech::Type2,
-        capacity: short.max(long),
-        writable: layout.writable,
-    })
+    Ok(NdefTagInfo { tech: TagTech::Type2, capacity: short.max(long), writable: layout.writable })
 }
 
 /// Walks the TLV blocks gathered so far. Returns the NDEF payload when
@@ -431,8 +427,7 @@ fn t4_write_ndef(link: &mut impl Transceive, message: &[u8]) -> Result<(), NfcOp
         }
         offset += chunk.len();
     }
-    let resp =
-        link.transceive(&t4_update_binary_apdu(0, &(message.len() as u16).to_be_bytes()))?;
+    let resp = link.transceive(&t4_update_binary_apdu(0, &(message.len() as u16).to_be_bytes()))?;
     if !sw_ok(&resp) {
         return Err(NfcOpError::ReadOnly);
     }
@@ -508,13 +503,11 @@ mod tests {
     #[test]
     fn capacity_overflow_is_reported_with_numbers() {
         let mut t2 = Type2Tag::ntag213(TagUid::from_seed(9));
-        let err =
-            write_ndef(&mut DirectLink::new(&mut t2), TagTech::Type2, &[0; 200]).unwrap_err();
+        let err = write_ndef(&mut DirectLink::new(&mut t2), TagTech::Type2, &[0; 200]).unwrap_err();
         assert_eq!(err, NfcOpError::CapacityExceeded { needed: 200, capacity: 141 });
 
         let mut t4 = Type4Tag::new(TagUid::from_seed(10), 64);
-        let err =
-            write_ndef(&mut DirectLink::new(&mut t4), TagTech::Type4, &[0; 100]).unwrap_err();
+        let err = write_ndef(&mut DirectLink::new(&mut t4), TagTech::Type4, &[0; 100]).unwrap_err();
         assert_eq!(err, NfcOpError::CapacityExceeded { needed: 100, capacity: 62 });
     }
 
@@ -571,11 +564,8 @@ mod tests {
         // Now interrupt a larger write after NLEN was zeroed: exchanges are
         // selectApp, selectCC, readCC, selectNdef, update NLEN=0 (4), then
         // data updates — fail the first data update (index 5).
-        let mut scripted = ScriptedLink {
-            inner: DirectLink::new(&mut tag),
-            exchange: 0,
-            fail_at: vec![5],
-        };
+        let mut scripted =
+            ScriptedLink { inner: DirectLink::new(&mut tag), exchange: 0, fail_at: vec![5] };
         let err = write_ndef(&mut scripted, TagTech::Type4, &[7; 300]).unwrap_err();
         assert!(err.is_transient());
         // The prescribed write order guarantees the torn tag reads as blank.
@@ -587,11 +577,8 @@ mod tests {
         let mut tag = Type2Tag::ntag215(TagUid::from_seed(15));
         write_ndef(&mut DirectLink::new(&mut tag), TagTech::Type2, &[3; 100]).unwrap();
         // Type 2 exchanges: read CC (0), then page writes. Fail mid-write.
-        let mut scripted = ScriptedLink {
-            inner: DirectLink::new(&mut tag),
-            exchange: 0,
-            fail_at: vec![10],
-        };
+        let mut scripted =
+            ScriptedLink { inner: DirectLink::new(&mut tag), exchange: 0, fail_at: vec![10] };
         let err = write_ndef(&mut scripted, TagTech::Type2, &[9; 200]).unwrap_err();
         assert!(err.is_transient());
         // The tag now holds a torn mixture; a subsequent full write repairs it.

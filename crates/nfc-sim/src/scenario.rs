@@ -318,8 +318,7 @@ mod tests {
 
     fn setup() -> (World, PhoneId, TagUid, Arc<VirtualClock>) {
         let clock = VirtualClock::shared();
-        let world =
-            World::with_link(Arc::clone(&clock) as Arc<dyn Clock>, LinkModel::instant(), 0);
+        let world = World::with_link(Arc::clone(&clock) as Arc<dyn Clock>, LinkModel::instant(), 0);
         let phone = world.add_phone("alice");
         let uid = world.add_tag(Box::new(Type2Tag::ntag213(TagUid::from_seed(1))));
         (world, phone, uid, clock)
@@ -354,13 +353,7 @@ mod tests {
     fn duty_cycle_generates_square_wave() {
         let uid = TagUid::from_seed(2);
         let phone = PhoneId::from_u64(0);
-        let s = Scenario::new().presence_duty_cycle(
-            uid,
-            phone,
-            Duration::from_secs(1),
-            0.25,
-            4,
-        );
+        let s = Scenario::new().presence_duty_cycle(uid, phone, Duration::from_secs(1), 0.25, 4);
         assert_eq!(s.len(), 8); // 4 taps + 4 removals
         assert_eq!(s.duration(), Duration::from_millis(3250));
         // Full duty emits no removals.
@@ -395,9 +388,7 @@ mod tests {
             .run(&world);
         assert!(world.tag_in_range(phone, uid));
         assert_eq!(world.peers_in_range(phone), vec![other]);
-        Scenario::new()
-            .at(Duration::ZERO, |s| s.separate(other).remove_tag(uid))
-            .run(&world);
+        Scenario::new().at(Duration::ZERO, |s| s.separate(other).remove_tag(uid)).run(&world);
         assert!(!world.tag_in_range(phone, uid));
         assert!(world.peers_in_range(phone).is_empty());
     }
@@ -405,9 +396,8 @@ mod tests {
     #[test]
     fn spawn_runs_on_a_driver_thread() {
         let (world, phone, uid, _clock) = setup();
-        let handle = Scenario::new()
-            .at(Duration::from_millis(10), |s| s.tap_tag(uid, phone))
-            .spawn(&world);
+        let handle =
+            Scenario::new().at(Duration::from_millis(10), |s| s.tap_tag(uid, phone)).spawn(&world);
         handle.join().unwrap();
         assert!(world.tag_in_range(phone, uid));
     }

@@ -103,6 +103,11 @@ impl TraceBuffer {
     pub(crate) fn snapshot(&self) -> (Vec<TraceEntry>, u64) {
         (self.entries.iter().cloned().collect(), self.dropped)
     }
+
+    /// Entries silently discarded because the bounded buffer was full.
+    pub(crate) fn dropped_entries(&self) -> u64 {
+        self.dropped
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +126,7 @@ mod tests {
         let (entries, dropped) = buffer.snapshot();
         assert_eq!(entries.len(), 2);
         assert_eq!(dropped, 3);
+        assert_eq!(buffer.dropped_entries(), 3);
         assert_eq!(entries[0].at, SimInstant::from_nanos(3));
         assert_eq!(entries[1].at, SimInstant::from_nanos(4));
     }

@@ -19,10 +19,12 @@ use rand::SeedableRng;
 
 use crate::clock::{Clock, SimInstant};
 use crate::error::{LinkError, TagError};
-use crate::trace::{TraceBuffer, TraceEntry, TraceEvent};
+use morena_obs::{EventKind, Recorder, NO_OPCODE};
+
 use crate::geometry::Point;
 use crate::link::LinkModel;
 use crate::tag::{TagEmulator, TagTech, TagUid};
+use crate::trace::{TraceBuffer, TraceEntry, TraceEvent};
 
 /// Identity of a phone in the world.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -164,6 +166,13 @@ impl WorldState {
     }
 }
 
+/// The phone identity rendered the way observability targets are keyed
+/// (`phone-N`), shared between the obs bridge here and the peer layer in
+/// `morena-core` so correlation joins line up.
+pub fn obs_peer_target(peer: PhoneId) -> String {
+    peer.to_string()
+}
+
 /// The simulated world. Cheap to clone (shared interior), thread-safe.
 ///
 /// # Examples
@@ -184,6 +193,7 @@ impl WorldState {
 pub struct World {
     state: Arc<Mutex<WorldState>>,
     clock: Arc<dyn Clock>,
+    obs: Arc<Recorder>,
 }
 
 impl std::fmt::Debug for World {
@@ -215,12 +225,30 @@ impl World {
                 trace: None,
             })),
             clock,
+            obs: Arc::new(Recorder::new()),
         }
     }
 
     /// The world's time source.
     pub fn clock(&self) -> &Arc<dyn Clock> {
         &self.clock
+    }
+
+    /// The world's observability recorder. Disabled (one atomic check
+    /// per instrumentation site) until a sink is installed; the sim
+    /// bridges its physical ground truth into it, and the middleware
+    /// layers above add operation lifecycle events, so one stream holds
+    /// both sides of the correlation.
+    pub fn obs(&self) -> &Arc<Recorder> {
+        &self.obs
+    }
+
+    /// Emits a physical ground-truth event into the obs stream, stamped
+    /// with the world clock. Cheap no-op while observability is off.
+    fn obs_emit(&self, at: SimInstant, make: impl FnOnce() -> EventKind) {
+        if self.obs.is_enabled() {
+            self.obs.emit(at.as_nanos(), make());
+        }
     }
 
     /// The current link model (a copy).
@@ -265,12 +293,14 @@ impl World {
     /// A snapshot of the trace: `(entries, dropped_count)`. Empty when
     /// tracing is off.
     pub fn trace_snapshot(&self) -> (Vec<TraceEntry>, u64) {
-        self.state
-            .lock()
-            .trace
-            .as_ref()
-            .map(|buffer| buffer.snapshot())
-            .unwrap_or_default()
+        self.state.lock().trace.as_ref().map(|buffer| buffer.snapshot()).unwrap_or_default()
+    }
+
+    /// How many trace entries the bounded buffer has silently discarded
+    /// since tracing was enabled (`0` when tracing is off). Non-zero
+    /// means `trace_snapshot` is an incomplete window of ground truth.
+    pub fn trace_dropped_entries(&self) -> u64 {
+        self.state.lock().trace.as_ref().map(|buffer| buffer.dropped_entries()).unwrap_or_default()
     }
 
     /// Adds a phone. Each phone starts isolated, far from everything.
@@ -280,10 +310,9 @@ impl World {
         state.next_phone += 1;
         // Spread fresh phones out so they are not accidentally in range.
         let position = Point::new(1000.0 * (id.0 as f64 + 1.0), 0.0);
-        state.phones.insert(
-            id,
-            PhoneSlot { name: name.to_owned(), position, subscribers: Vec::new() },
-        );
+        state
+            .phones
+            .insert(id, PhoneSlot { name: name.to_owned(), position, subscribers: Vec::new() });
         id
     }
 
@@ -305,10 +334,7 @@ impl World {
         let mut state = self.state.lock();
         let uid = emulator.uid();
         let tech = emulator.tech();
-        assert!(
-            !state.tags.contains_key(&uid),
-            "a tag with UID {uid} already exists in the world"
-        );
+        assert!(!state.tags.contains_key(&uid), "a tag with UID {uid} already exists in the world");
         state.tags.insert(uid, TagSlot { emulator, tech, position: Point::far_away() });
         uid
     }
@@ -373,10 +399,18 @@ impl World {
         for (phone, entered) in transitions {
             if entered {
                 state.trace(now, TraceEvent::TagEntered { phone, uid });
+                self.obs_emit(now, || EventKind::PhysTagEntered {
+                    phone: phone.as_u64(),
+                    target: uid.to_string(),
+                });
                 state.emit(phone, NfcEvent::TagEntered { uid, tech });
             } else {
                 left_any = true;
                 state.trace(now, TraceEvent::TagLeft { phone, uid });
+                self.obs_emit(now, || EventKind::PhysTagLeft {
+                    phone: phone.as_u64(),
+                    target: uid.to_string(),
+                });
                 state.emit(phone, NfcEvent::TagLeft { uid });
             }
         }
@@ -422,9 +456,17 @@ impl World {
         for (uid, tech, entered) in tag_transitions {
             if entered {
                 state.trace(now, TraceEvent::TagEntered { phone, uid });
+                self.obs_emit(now, || EventKind::PhysTagEntered {
+                    phone: phone.as_u64(),
+                    target: uid.to_string(),
+                });
                 state.emit(phone, NfcEvent::TagEntered { uid, tech });
             } else {
                 state.trace(now, TraceEvent::TagLeft { phone, uid });
+                self.obs_emit(now, || EventKind::PhysTagLeft {
+                    phone: phone.as_u64(),
+                    target: uid.to_string(),
+                });
                 state.emit(phone, NfcEvent::TagLeft { uid });
                 state.tags.get_mut(&uid).expect("checked").emulator.on_field_lost();
             }
@@ -432,9 +474,28 @@ impl World {
         for (peer, entered) in peer_transitions {
             let (a, b) = (phone, peer);
             if entered {
+                // The legacy trace plane has no peer events; the obs
+                // stream records both directions so `*`-target pushes
+                // correlate from either phone's perspective.
+                self.obs_emit(now, || EventKind::PhysPeerEntered {
+                    phone: a.as_u64(),
+                    target: obs_peer_target(b),
+                });
+                self.obs_emit(now, || EventKind::PhysPeerEntered {
+                    phone: b.as_u64(),
+                    target: obs_peer_target(a),
+                });
                 state.emit(a, NfcEvent::PeerEntered { peer: b });
                 state.emit(b, NfcEvent::PeerEntered { peer: a });
             } else {
+                self.obs_emit(now, || EventKind::PhysPeerLeft {
+                    phone: a.as_u64(),
+                    target: obs_peer_target(b),
+                });
+                self.obs_emit(now, || EventKind::PhysPeerLeft {
+                    phone: b.as_u64(),
+                    target: obs_peer_target(a),
+                });
                 state.emit(a, NfcEvent::PeerLeft { peer: b });
                 state.emit(b, NfcEvent::PeerLeft { peer: a });
             }
@@ -559,18 +620,27 @@ impl World {
         let mut state = self.state.lock();
         state.radio.air_time_nanos += latency.as_nanos() as u64;
         let opcode = command.first().copied();
+        let obs_exchange = |ok: bool| EventKind::PhysExchange {
+            phone: phone.as_u64(),
+            target: uid.to_string(),
+            opcode: opcode.map(u64::from).unwrap_or(NO_OPCODE),
+            ok,
+        };
         if !state.tag_in_range(phone, uid) {
             state.radio.failed += 1;
             state.trace(now, TraceEvent::Exchange { phone, uid, opcode, ok: false });
+            self.obs_emit(now, || obs_exchange(false));
             return Err(LinkError::FieldLost);
         }
         if fails {
             state.radio.failed += 1;
             state.trace(now, TraceEvent::Exchange { phone, uid, opcode, ok: false });
+            self.obs_emit(now, || obs_exchange(false));
             return Err(LinkError::TransmissionError);
         }
         state.radio.bytes += command.len() as u64 + 16;
         state.trace(now, TraceEvent::Exchange { phone, uid, opcode, ok: true });
+        self.obs_emit(now, || obs_exchange(true));
         let slot = state.tags.get_mut(&uid).ok_or(LinkError::FieldLost)?;
         match slot.emulator.transceive(command) {
             Ok(resp) => Ok(resp),
@@ -618,10 +688,12 @@ impl World {
         state.radio.beams_delivered += 1;
         state.radio.bytes += bytes.len() as u64;
         let now = self.clock.now();
-        state.trace(
-            now,
-            TraceEvent::Beam { from, bytes: bytes.len(), delivered: delivered.len() },
-        );
+        state.trace(now, TraceEvent::Beam { from, bytes: bytes.len(), delivered: delivered.len() });
+        self.obs_emit(now, || EventKind::PhysBeam {
+            phone: from.as_u64(),
+            bytes: bytes.len() as u64,
+            delivered: delivered.len() as u64,
+        });
         for peer in &delivered {
             state.emit(*peer, NfcEvent::BeamReceived { from, bytes: bytes.to_vec() });
         }
@@ -667,6 +739,11 @@ impl World {
         state.radio.beams_delivered += 1;
         state.radio.bytes += bytes.len() as u64;
         state.trace(now, TraceEvent::Beam { from, bytes: bytes.len(), delivered: 1 });
+        self.obs_emit(now, || EventKind::PhysBeam {
+            phone: from.as_u64(),
+            bytes: bytes.len() as u64,
+            delivered: 1,
+        });
         state.emit(to, NfcEvent::BeamReceived { from, bytes: bytes.to_vec() });
         Ok(())
     }
@@ -741,10 +818,7 @@ mod tests {
         let phone = w.add_phone("alice");
         let uid = w.add_tag(Box::new(Type2Tag::ntag213(TagUid::from_seed(4))));
         w.tap_tag(uid, phone);
-        assert_eq!(
-            w.transceive(phone, uid, &[0x30, 3]).unwrap_err(),
-            LinkError::TransmissionError
-        );
+        assert_eq!(w.transceive(phone, uid, &[0x30, 3]).unwrap_err(), LinkError::TransmissionError);
     }
 
     #[test]
@@ -795,9 +869,7 @@ mod tests {
         w.beam_to(alice, bob, b"for bob").unwrap();
         let got: Vec<NfcEvent> = rx_bob.try_iter().collect();
         assert!(got.contains(&NfcEvent::BeamReceived { from: alice, bytes: b"for bob".to_vec() }));
-        assert!(rx_carol
-            .try_iter()
-            .all(|e| !matches!(e, NfcEvent::BeamReceived { .. })));
+        assert!(rx_carol.try_iter().all(|e| !matches!(e, NfcEvent::BeamReceived { .. })));
         // Unknown device.
         assert_eq!(
             w.beam_to(alice, PhoneId::from_u64(99), b"x").unwrap_err(),
@@ -886,10 +958,7 @@ mod tests {
         assert_eq!(dropped, 0);
         let events: Vec<&TraceEvent> = entries.iter().map(|e| &e.event).collect();
         assert!(matches!(events[0], TraceEvent::TagEntered { uid: u, .. } if *u == uid));
-        assert!(matches!(
-            events[1],
-            TraceEvent::Exchange { opcode: Some(0x30), ok: true, .. }
-        ));
+        assert!(matches!(events[1], TraceEvent::Exchange { opcode: Some(0x30), ok: true, .. }));
         assert!(matches!(events[2], TraceEvent::TagLeft { uid: u, .. } if *u == uid));
         // Rendering works for all entries.
         for entry in &entries {
@@ -898,6 +967,50 @@ mod tests {
         // Disabling clears.
         w.disable_trace();
         assert_eq!(w.trace_snapshot().0.len(), 0);
+    }
+
+    #[test]
+    fn obs_bridge_mirrors_physical_events() {
+        use morena_obs::{EventKind, RingSink};
+
+        let w = world();
+        let ring = Arc::new(RingSink::new(64));
+        w.obs().install(ring.clone());
+
+        let phone = w.add_phone("alice");
+        let bob = w.add_phone("bob");
+        let uid = w.add_tag(Box::new(Type2Tag::ntag213(TagUid::from_seed(41))));
+        w.tap_tag(uid, phone);
+        w.transceive(phone, uid, &[0x30, 3]).unwrap();
+        w.remove_tag_from_field(uid);
+        w.bring_phones_together(phone, bob);
+        w.beam(phone, b"xy").unwrap();
+        w.separate_phone(bob);
+
+        let kinds: Vec<&'static str> =
+            ring.snapshot().iter().map(|e| e.kind.type_label()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "phys_tag_entered",
+                "phys_exchange",
+                "phys_tag_left",
+                "phys_peer_entered", // both directions
+                "phys_peer_entered",
+                "phys_beam",
+                "phys_peer_left",
+                "phys_peer_left",
+            ]
+        );
+        let events = ring.snapshot();
+        assert!(matches!(&events[1].kind, EventKind::PhysExchange { opcode: 0x30, ok: true, .. }));
+        // Sequence numbers are gap-free and timestamps follow the world
+        // clock.
+        for (i, event) in events.iter().enumerate() {
+            assert_eq!(event.seq, i as u64);
+        }
+        assert_eq!(ring.dropped_entries(), 0);
+        assert_eq!(w.trace_dropped_entries(), 0);
     }
 
     #[test]

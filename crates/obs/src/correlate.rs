@@ -1,0 +1,450 @@
+//! Joining middleware op events with physical ground truth.
+//!
+//! The event loop tells us *what the middleware experienced* (enqueue,
+//! attempts, completion); the bridged simulator trace tells us *what was
+//! physically true* (when the target was actually in radio range). This
+//! module joins the two by `(phone, target)` and attributes every
+//! completed operation's latency into three exhaustive components:
+//!
+//! * **out-of-range wait** — time inside the op's `[enqueued,
+//!   completed]` window during which the target was *not* in range. The
+//!   middleware could not have done better; this is the physics of §3.2's
+//!   intermittent connections.
+//! * **exchange time** — time spent inside physical attempts (clamped so
+//!   overlap with out-of-range time is never double-counted).
+//! * **queue delay** — the remainder: head-of-line blocking behind other
+//!   queued ops, retry backoff, and scheduling slack. This is the only
+//!   component middleware engineering can shrink.
+//!
+//! By construction `out_of_range + exchange + queue == total`, which is
+//! what `tests/observability.rs` asserts against a scripted sim run.
+
+use std::collections::HashMap;
+
+use crate::event::{AttemptOutcome, EventKind, ObsEvent, OpKind, OpOutcome};
+use crate::json::ObjectWriter;
+
+/// Latency attribution for one completed operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpBreakdown {
+    /// Correlation id of the operation.
+    pub op_id: u64,
+    /// Event loop that ran it.
+    pub loop_name: String,
+    /// Phone that issued it.
+    pub phone: u64,
+    /// Target identity (tag uid, `phone-N`, or `*`).
+    pub target: String,
+    /// Operation kind.
+    pub op: OpKind,
+    /// Terminal outcome.
+    pub outcome: OpOutcome,
+    /// Enqueue timestamp, clock nanoseconds.
+    pub enqueued_nanos: u64,
+    /// Completion timestamp, clock nanoseconds.
+    pub completed_nanos: u64,
+    /// Total latency: `completed - enqueued`.
+    pub total_nanos: u64,
+    /// Time the target was physically out of range inside the window.
+    pub out_of_range_nanos: u64,
+    /// Time spent inside physical attempts (clamped to avoid double
+    /// counting overlap with out-of-range time).
+    pub exchange_nanos: u64,
+    /// Residual: queueing, retry backoff, scheduling. Always
+    /// `total - out_of_range - exchange`.
+    pub queue_nanos: u64,
+    /// Number of physical attempts made.
+    pub attempts: u64,
+    /// Attempts that failed transiently (retries).
+    pub retries: u64,
+}
+
+impl OpBreakdown {
+    /// Render as one flat JSON object (for reports and bench output).
+    pub fn to_json(&self) -> String {
+        let mut w = ObjectWriter::new();
+        w.u64("op_id", self.op_id)
+            .str("loop", &self.loop_name)
+            .u64("phone", self.phone)
+            .str("target", &self.target)
+            .str("op", self.op.label())
+            .str("outcome", self.outcome.label())
+            .u64("enqueued_ns", self.enqueued_nanos)
+            .u64("completed_ns", self.completed_nanos)
+            .u64("total_ns", self.total_nanos)
+            .u64("out_of_range_ns", self.out_of_range_nanos)
+            .u64("exchange_ns", self.exchange_nanos)
+            .u64("queue_ns", self.queue_nanos)
+            .u64("attempts", self.attempts)
+            .u64("retries", self.retries);
+        w.finish()
+    }
+}
+
+#[derive(Default)]
+struct OpRecord {
+    loop_name: String,
+    phone: u64,
+    target: String,
+    op: Option<OpKind>,
+    enqueued: Option<u64>,
+    attempt_nanos: u64,
+    attempts: u64,
+    retries: u64,
+    completed: Option<(u64, OpOutcome)>,
+}
+
+/// Half-open presence intervals for one `(phone, target)` pair.
+#[derive(Default, Clone)]
+struct Presence {
+    /// Closed intervals `[enter, leave)`.
+    intervals: Vec<(u64, u64)>,
+    /// Entry time of a still-open interval.
+    open_since: Option<u64>,
+}
+
+impl Presence {
+    fn enter(&mut self, at: u64) {
+        if self.open_since.is_none() {
+            self.open_since = Some(at);
+        }
+    }
+
+    fn leave(&mut self, at: u64) {
+        if let Some(since) = self.open_since.take() {
+            if at > since {
+                self.intervals.push((since, at));
+            }
+        }
+    }
+
+    /// Materialize, extending any still-open interval to `horizon`.
+    fn close(mut self, horizon: u64) -> Vec<(u64, u64)> {
+        if let Some(since) = self.open_since.take() {
+            if horizon > since {
+                self.intervals.push((since, horizon));
+            }
+        }
+        self.intervals
+    }
+}
+
+/// Total overlap between `window` and the union of `intervals`.
+fn overlap(intervals: &mut [(u64, u64)], window: (u64, u64)) -> u64 {
+    intervals.sort_unstable();
+    let (win_start, win_end) = window;
+    let mut covered = 0u64;
+    let mut cursor = win_start;
+    for &(start, end) in intervals.iter() {
+        let start = start.max(cursor);
+        let end = end.min(win_end);
+        if start < end {
+            covered += end - start;
+            cursor = end;
+        }
+        if cursor >= win_end {
+            break;
+        }
+    }
+    covered
+}
+
+/// Join op lifecycle events with physical presence events and attribute
+/// each *completed* operation's latency. See the [module docs](self).
+///
+/// Events may arrive in any order; operations that never completed (or
+/// whose enqueue fell outside the event window) are skipped. The
+/// returned breakdowns are sorted by `op_id`.
+pub fn correlate(events: &[ObsEvent]) -> Vec<OpBreakdown> {
+    let mut ops: HashMap<u64, OpRecord> = HashMap::new();
+    // Tag presence and peer presence are tracked separately so a `*`
+    // target (undirected beam) can union all peers of a phone.
+    let mut tag_presence: HashMap<(u64, String), Presence> = HashMap::new();
+    let mut peer_presence: HashMap<(u64, String), Presence> = HashMap::new();
+    let mut horizon = 0u64;
+
+    let mut ordered: Vec<&ObsEvent> = events.iter().collect();
+    ordered.sort_by_key(|e| (e.at_nanos, e.seq));
+
+    for event in ordered {
+        horizon = horizon.max(event.at_nanos);
+        let at = event.at_nanos;
+        match &event.kind {
+            EventKind::OpEnqueued { op_id, loop_name, phone, target, op, .. } => {
+                let record = ops.entry(*op_id).or_default();
+                record.loop_name = loop_name.clone();
+                record.phone = *phone;
+                record.target = target.clone();
+                record.op = Some(*op);
+                record.enqueued = Some(at);
+            }
+            EventKind::OpAttempt { op_id, duration_nanos, outcome, .. } => {
+                let record = ops.entry(*op_id).or_default();
+                record.attempts += 1;
+                record.attempt_nanos = record.attempt_nanos.saturating_add(*duration_nanos);
+                if *outcome == AttemptOutcome::Transient {
+                    record.retries += 1;
+                }
+            }
+            EventKind::OpCompleted { op_id, outcome } => {
+                ops.entry(*op_id).or_default().completed = Some((at, *outcome));
+            }
+            EventKind::PhysTagEntered { phone, target } => {
+                tag_presence.entry((*phone, target.clone())).or_default().enter(at);
+            }
+            EventKind::PhysTagLeft { phone, target } => {
+                tag_presence.entry((*phone, target.clone())).or_default().leave(at);
+            }
+            EventKind::PhysPeerEntered { phone, target } => {
+                peer_presence.entry((*phone, target.clone())).or_default().enter(at);
+            }
+            EventKind::PhysPeerLeft { phone, target } => {
+                peer_presence.entry((*phone, target.clone())).or_default().leave(at);
+            }
+            _ => {}
+        }
+    }
+
+    // Materialize presence: still-open intervals run to the horizon.
+    let tag_intervals: HashMap<(u64, String), Vec<(u64, u64)>> =
+        tag_presence.into_iter().map(|(key, p)| (key, p.close(horizon))).collect();
+    let peer_intervals: HashMap<(u64, String), Vec<(u64, u64)>> =
+        peer_presence.into_iter().map(|(key, p)| (key, p.close(horizon))).collect();
+
+    let mut breakdowns = Vec::new();
+    for (op_id, record) in ops {
+        let (Some(op), Some(enqueued), Some((completed, outcome))) =
+            (record.op, record.enqueued, record.completed)
+        else {
+            continue;
+        };
+        let total = completed.saturating_sub(enqueued);
+        let window = (enqueued, completed);
+
+        let mut in_range = {
+            let key = (record.phone, record.target.clone());
+            if record.target == "*" {
+                // Undirected push: in range whenever *any* peer is.
+                let mut merged: Vec<(u64, u64)> = peer_intervals
+                    .iter()
+                    .filter(|((phone, _), _)| *phone == record.phone)
+                    .flat_map(|(_, ivs)| ivs.iter().copied())
+                    .collect();
+                overlap(&mut merged, window)
+            } else if let Some(ivs) = tag_intervals.get(&key) {
+                overlap(&mut ivs.clone(), window)
+            } else if let Some(ivs) = peer_intervals.get(&key) {
+                overlap(&mut ivs.clone(), window)
+            } else {
+                // No physical knowledge about this target: attribute
+                // nothing to out-of-range rather than everything.
+                total
+            }
+        };
+        in_range = in_range.min(total);
+
+        let out_of_range = total - in_range;
+        // Attempts overlap in-range time by definition; clamp so the
+        // three components always sum exactly to the total.
+        let exchange = record.attempt_nanos.min(in_range);
+        let queue = total - out_of_range - exchange;
+
+        breakdowns.push(OpBreakdown {
+            op_id,
+            loop_name: record.loop_name,
+            phone: record.phone,
+            target: record.target,
+            op,
+            outcome,
+            enqueued_nanos: enqueued,
+            completed_nanos: completed,
+            total_nanos: total,
+            out_of_range_nanos: out_of_range,
+            exchange_nanos: exchange,
+            queue_nanos: queue,
+            attempts: record.attempts,
+            retries: record.retries,
+        });
+    }
+    breakdowns.sort_by_key(|b| b.op_id);
+    breakdowns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, at: u64, kind: EventKind) -> ObsEvent {
+        ObsEvent { seq, at_nanos: at, kind }
+    }
+
+    fn enqueue(seq: u64, at: u64, op_id: u64, target: &str) -> ObsEvent {
+        ev(
+            seq,
+            at,
+            EventKind::OpEnqueued {
+                op_id,
+                loop_name: format!("tag-{target}"),
+                phone: 0,
+                target: target.into(),
+                op: OpKind::Write,
+                deadline_nanos: at + 10_000_000,
+            },
+        )
+    }
+
+    fn attempt(seq: u64, at: u64, op_id: u64, dur: u64, outcome: AttemptOutcome) -> ObsEvent {
+        ev(
+            seq,
+            at,
+            EventKind::OpAttempt {
+                op_id,
+                started_nanos: at.saturating_sub(dur),
+                duration_nanos: dur,
+                outcome,
+            },
+        )
+    }
+
+    fn complete(seq: u64, at: u64, op_id: u64) -> ObsEvent {
+        ev(seq, at, EventKind::OpCompleted { op_id, outcome: OpOutcome::Succeeded })
+    }
+
+    #[test]
+    fn attributes_out_of_range_wait() {
+        // Enqueued at t=0 with the tag absent; tag enters at t=700;
+        // one 100ns attempt finishes the op at t=800.
+        let events = [
+            enqueue(0, 0, 1, "A"),
+            ev(1, 700, EventKind::PhysTagEntered { phone: 0, target: "A".into() }),
+            attempt(2, 800, 1, 100, AttemptOutcome::Success),
+            complete(3, 800, 1),
+        ];
+        let b = &correlate(&events)[0];
+        assert_eq!(b.total_nanos, 800);
+        assert_eq!(b.out_of_range_nanos, 700);
+        assert_eq!(b.exchange_nanos, 100);
+        assert_eq!(b.queue_nanos, 0);
+        assert_eq!(b.attempts, 1);
+        assert_eq!(b.retries, 0);
+        assert_eq!(b.out_of_range_nanos + b.exchange_nanos + b.queue_nanos, b.total_nanos);
+    }
+
+    #[test]
+    fn queue_delay_is_the_residual() {
+        // Tag in range the whole time; op waits 500ns behind the queue,
+        // then a 100ns attempt completes it.
+        let events = [
+            ev(0, 0, EventKind::PhysTagEntered { phone: 0, target: "A".into() }),
+            enqueue(1, 100, 1, "A"),
+            attempt(2, 700, 1, 100, AttemptOutcome::Success),
+            complete(3, 700, 1),
+        ];
+        let b = &correlate(&events)[0];
+        assert_eq!(b.total_nanos, 600);
+        assert_eq!(b.out_of_range_nanos, 0);
+        assert_eq!(b.exchange_nanos, 100);
+        assert_eq!(b.queue_nanos, 500);
+    }
+
+    #[test]
+    fn components_always_sum_to_total_even_when_attempts_overlap_absence() {
+        // The tag flickers: attempts accumulate more time than the op
+        // ever spent in range; exchange is clamped, sum still exact.
+        let events = [
+            enqueue(0, 0, 1, "A"),
+            ev(1, 100, EventKind::PhysTagEntered { phone: 0, target: "A".into() }),
+            ev(2, 200, EventKind::PhysTagLeft { phone: 0, target: "A".into() }),
+            attempt(3, 250, 1, 400, AttemptOutcome::Transient),
+            ev(4, 900, EventKind::PhysTagEntered { phone: 0, target: "A".into() }),
+            attempt(5, 1_000, 1, 50, AttemptOutcome::Success),
+            complete(6, 1_000, 1),
+        ];
+        let b = &correlate(&events)[0];
+        assert_eq!(b.total_nanos, 1_000);
+        // In range: [100,200) + [900,1000) = 200ns.
+        assert_eq!(b.out_of_range_nanos, 800);
+        assert_eq!(b.exchange_nanos, 200); // clamped from 450
+        assert_eq!(b.queue_nanos, 0);
+        assert_eq!(b.retries, 1);
+        assert_eq!(b.out_of_range_nanos + b.exchange_nanos + b.queue_nanos, b.total_nanos);
+    }
+
+    #[test]
+    fn still_open_presence_extends_to_horizon() {
+        let events = [
+            ev(0, 0, EventKind::PhysTagEntered { phone: 0, target: "A".into() }),
+            enqueue(1, 10, 1, "A"),
+            attempt(2, 60, 1, 50, AttemptOutcome::Success),
+            complete(3, 60, 1),
+        ];
+        let b = &correlate(&events)[0];
+        assert_eq!(b.out_of_range_nanos, 0);
+        assert_eq!(b.exchange_nanos, 50);
+    }
+
+    #[test]
+    fn unknown_target_attributes_nothing_to_out_of_range() {
+        let events = [
+            enqueue(0, 0, 1, "mystery"),
+            attempt(1, 100, 1, 40, AttemptOutcome::Success),
+            complete(2, 100, 1),
+        ];
+        let b = &correlate(&events)[0];
+        assert_eq!(b.out_of_range_nanos, 0);
+        assert_eq!(b.exchange_nanos, 40);
+        assert_eq!(b.queue_nanos, 60);
+    }
+
+    #[test]
+    fn star_target_unions_peer_presence() {
+        let events = [
+            ev(
+                0,
+                0,
+                EventKind::OpEnqueued {
+                    op_id: 1,
+                    loop_name: "beam".into(),
+                    phone: 0,
+                    target: "*".into(),
+                    op: OpKind::Push,
+                    deadline_nanos: 10_000,
+                },
+            ),
+            ev(1, 400, EventKind::PhysPeerEntered { phone: 0, target: "phone-1".into() }),
+            attempt(2, 500, 1, 100, AttemptOutcome::Success),
+            complete(3, 500, 1),
+        ];
+        let b = &correlate(&events)[0];
+        assert_eq!(b.op, OpKind::Push);
+        assert_eq!(b.out_of_range_nanos, 400);
+        assert_eq!(b.exchange_nanos, 100);
+        assert_eq!(b.queue_nanos, 0);
+    }
+
+    #[test]
+    fn incomplete_ops_are_skipped_and_output_sorted() {
+        let events = [
+            enqueue(0, 0, 2, "A"),
+            enqueue(1, 0, 1, "A"),
+            complete(2, 50, 1),
+            complete(3, 60, 2),
+            enqueue(4, 70, 3, "A"), // never completes
+        ];
+        let ids: Vec<u64> = correlate(&events).iter().map(|b| b.op_id).collect();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn breakdown_serializes_to_json() {
+        let events = [
+            enqueue(0, 0, 1, "A"),
+            attempt(1, 100, 1, 40, AttemptOutcome::Success),
+            complete(2, 100, 1),
+        ];
+        let json = correlate(&events)[0].to_json();
+        assert!(json.contains("\"op_id\":1"));
+        assert!(json.contains("\"outcome\":\"succeeded\""));
+        assert!(json.contains("\"queue_ns\":60"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Minimal hand-rolled JSON encoding.
+//!
+//! `morena-obs` is dependency-free by design, so the JSONL exporter and
+//! metric snapshots build their JSON with this tiny writer instead of a
+//! serialization framework. Only the forms the crate emits are
+//! supported: flat objects with string keys and string/u64/i64/bool or
+//! pre-rendered nested-object values.
+
+use std::fmt::Write as _;
+
+/// Append `s` to `out` as a JSON string literal (with quotes).
+pub(crate) fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Incremental writer for a single flat JSON object.
+pub(crate) struct ObjectWriter {
+    buf: String,
+    first: bool,
+}
+
+impl ObjectWriter {
+    pub(crate) fn new() -> Self {
+        Self { buf: String::from("{"), first: true }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        write_str(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    pub(crate) fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        write_str(&mut self.buf, value);
+        self
+    }
+
+    pub(crate) fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    pub(crate) fn i64(&mut self, key: &str, value: i64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    pub(crate) fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Insert a pre-rendered JSON fragment as the value for `key`.
+    pub(crate) fn raw(&mut self, key: &str, fragment: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(fragment);
+        self
+    }
+
+    pub(crate) fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_control_and_quote_characters() {
+        let mut out = String::new();
+        write_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn object_writer_builds_flat_objects() {
+        let mut w = ObjectWriter::new();
+        w.str("type", "x").u64("n", 7).bool("ok", true);
+        assert_eq!(w.finish(), "{\"type\":\"x\",\"n\":7,\"ok\":true}");
+    }
+}

@@ -1,0 +1,85 @@
+//! # morena-obs
+//!
+//! The unified tracing and metrics layer of the MORENA reproduction: a
+//! lightweight structured event model, pluggable sinks, a metrics
+//! registry with fixed-bucket latency histograms, and a correlation
+//! module that joins middleware operation events with the simulator's
+//! physical ground truth.
+//!
+//! The middleware's core abstraction — a far reference with a private
+//! event loop that retries asynchronous operations while tags drift in
+//! and out of range — is exactly the kind of intermittent, retry-heavy
+//! system that cannot be tuned blind. This crate gives every layer one
+//! vocabulary:
+//!
+//! * [`ObsEvent`] / [`EventKind`] — structured events with a global
+//!   monotonic `seq` and per-operation correlation ids, covering the
+//!   full op lifecycle (enqueue, attempt, retry, completion), discovery,
+//!   beam, lease, peer traffic, and the *physical* ground truth bridged
+//!   from the simulator (tag enter/leave, exchanges, beams).
+//! * [`Recorder`] — the per-world hub. Disabled by default: every
+//!   instrumentation site costs one relaxed atomic load until a sink is
+//!   installed.
+//! * [`ObsSink`] implementations — [`RingSink`] (bounded, lock-light,
+//!   in-memory), [`JsonlSink`] (one JSON object per line, for bench
+//!   runs), [`NullSink`], and [`TeeSink`].
+//! * [`MetricsRegistry`] — counters, gauges, and fixed-bucket latency
+//!   histograms with p50/p95/p99 snapshots, keyed by static names.
+//! * [`correlate`] — joins op events with physical events to attribute
+//!   each operation's latency into *out-of-range wait* vs *exchange
+//!   time* vs *queue delay*, summing exactly to the op's total.
+//! * [`OpStats`] / [`OpStatsSnapshot`] — the per-event-loop lifetime
+//!   counters (previously private to `morena-core`), so there is one
+//!   stats path, not two.
+//!
+//! The crate is deliberately dependency-free (std only) and knows
+//! nothing about the middleware or the simulator: identities are plain
+//! integers and strings, timestamps are nanoseconds on whatever clock
+//! the caller uses. Higher layers own the wiring.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use morena_obs::{EventKind, OpKind, Recorder, RingSink};
+//!
+//! let recorder = Recorder::new();
+//! assert!(!recorder.is_enabled()); // off by default: one atomic check
+//!
+//! let ring = Arc::new(RingSink::new(1024));
+//! recorder.install(ring.clone());
+//!
+//! let op = recorder.next_op_id();
+//! recorder.emit(1_000, EventKind::OpEnqueued {
+//!     op_id: op,
+//!     loop_name: "tag-1".into(),
+//!     phone: 0,
+//!     target: "tag-1".into(),
+//!     op: OpKind::Write,
+//!     deadline_nanos: 10_000_000,
+//! });
+//! recorder.metrics().counter("ops.submitted").inc();
+//!
+//! let events = ring.snapshot();
+//! assert_eq!(events.len(), 1);
+//! assert_eq!(events[0].seq, 0);
+//! assert_eq!(recorder.metrics().snapshot().counter("ops.submitted"), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod correlate;
+pub mod event;
+mod json;
+pub mod metrics;
+pub mod opstats;
+pub mod recorder;
+pub mod sink;
+
+pub use correlate::{correlate, OpBreakdown};
+pub use event::{AttemptOutcome, EventKind, LeaseAction, ObsEvent, OpKind, OpOutcome, NO_OPCODE};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use opstats::{OpStats, OpStatsSnapshot};
+pub use recorder::{Recorder, Span};
+pub use sink::{JsonlSink, NullSink, ObsSink, RingSink, TeeSink};

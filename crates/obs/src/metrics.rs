@@ -1,0 +1,498 @@
+//! Metrics registry: counters, gauges, and fixed-bucket latency
+//! histograms keyed by static names.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`-backed
+//! clones; registration is lazy and idempotent, so instrumentation sites
+//! can simply ask for `registry.counter("ops.submitted")` each time or
+//! cache the handle — both hit the same underlying atomic. Snapshots are
+//! consistent enough for reporting (each cell is read atomically) and
+//! render to both a human table and JSON.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::json::ObjectWriter;
+
+/// Histogram bucket upper bounds in nanoseconds: a 1-2-5 ladder from
+/// 1 µs to 100 s. Observations above the last bound land in an implicit
+/// overflow bucket.
+pub const BUCKET_BOUNDS_NANOS: [u64; 25] = [
+    1_000,
+    2_000,
+    5_000,
+    10_000,
+    20_000,
+    50_000,
+    100_000,
+    200_000,
+    500_000,
+    1_000_000,
+    2_000_000,
+    5_000_000,
+    10_000_000,
+    20_000_000,
+    50_000_000,
+    100_000_000,
+    200_000_000,
+    500_000_000,
+    1_000_000_000,
+    2_000_000_000,
+    5_000_000_000,
+    10_000_000_000,
+    20_000_000_000,
+    50_000_000_000,
+    100_000_000_000,
+];
+
+const BUCKETS: usize = BUCKET_BOUNDS_NANOS.len() + 1; // + overflow
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed gauge (set / add / sub).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Set to an absolute value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket latency histogram over [`BUCKET_BOUNDS_NANOS`].
+///
+/// Lock-free: `observe` is a bounds lookup plus three relaxed atomic
+/// adds. Quantile estimates come from [`HistogramSnapshot::quantile`].
+pub struct Histogram {
+    counts: [AtomicU64; BUCKETS],
+    sum_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Self {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_nanos: AtomicU64::new(0),
+            max_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Index of the bucket an observation falls into.
+    fn bucket_index(nanos: u64) -> usize {
+        BUCKET_BOUNDS_NANOS.partition_point(|&bound| bound < nanos).min(BUCKETS - 1)
+    }
+
+    /// Record one observation, in nanoseconds.
+    #[inline]
+    pub fn observe(&self, nanos: u64) {
+        self.counts[Self::bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Record one observation given as a [`std::time::Duration`].
+    #[inline]
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Take a point-in-time snapshot of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
+            max_nanos: self.max_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts; `counts[i]` covers
+    /// `(BUCKET_BOUNDS_NANOS[i-1], BUCKET_BOUNDS_NANOS[i]]`, with a final
+    /// overflow bucket.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values, in nanoseconds (saturating on read
+    /// side only in the sense that it wraps like the live counter).
+    pub sum_nanos: u64,
+    /// Largest observed value, in nanoseconds.
+    pub max_nanos: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean observation in nanoseconds, `None` when empty.
+    pub fn mean_nanos(&self) -> Option<u64> {
+        self.sum_nanos.checked_div(self.count())
+    }
+
+    /// Estimate the `q`-quantile (`0.0 < q <= 1.0`) in nanoseconds by
+    /// linear interpolation inside the containing bucket. Returns `None`
+    /// for an empty histogram; the overflow bucket reports the observed
+    /// maximum.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 || !(0.0..=1.0).contains(&q) || q == 0.0 {
+            return None;
+        }
+        let rank = (q * total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let before = cumulative;
+            cumulative += count;
+            if cumulative >= rank {
+                if i >= BUCKET_BOUNDS_NANOS.len() {
+                    return Some(self.max_nanos);
+                }
+                let lower = if i == 0 { 0 } else { BUCKET_BOUNDS_NANOS[i - 1] };
+                let upper = BUCKET_BOUNDS_NANOS[i];
+                let into = (rank - before) as f64 / count as f64;
+                return Some(lower + ((upper - lower) as f64 * into).round() as u64);
+            }
+        }
+        Some(self.max_nanos)
+    }
+
+    /// Median estimate in nanoseconds.
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate in nanoseconds.
+    pub fn p95(&self) -> Option<u64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate in nanoseconds.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    fn to_json(&self) -> String {
+        let mut w = ObjectWriter::new();
+        w.u64("count", self.count())
+            .u64("sum_ns", self.sum_nanos)
+            .u64("max_ns", self.max_nanos)
+            .u64("p50_ns", self.p50().unwrap_or(0))
+            .u64("p95_ns", self.p95().unwrap_or(0))
+            .u64("p99_ns", self.p99().unwrap_or(0));
+        w.finish()
+    }
+}
+
+struct Registry<T> {
+    entries: RwLock<HashMap<&'static str, T>>,
+}
+
+impl<T> Default for Registry<T> {
+    fn default() -> Self {
+        Self { entries: RwLock::new(HashMap::new()) }
+    }
+}
+
+impl<T: Clone> Registry<T> {
+    fn get_or_insert(&self, name: &'static str, make: impl FnOnce() -> T) -> T {
+        if let Some(found) = self.entries.read().expect("metrics lock").get(name) {
+            return found.clone();
+        }
+        let mut entries = self.entries.write().expect("metrics lock");
+        entries.entry(name).or_insert_with(make).clone()
+    }
+
+    fn for_each(&self, mut f: impl FnMut(&'static str, &T)) {
+        let entries = self.entries.read().expect("metrics lock");
+        let mut names: Vec<_> = entries.keys().copied().collect();
+        names.sort_unstable();
+        for name in names {
+            f(name, &entries[name]);
+        }
+    }
+}
+
+/// Registry of named counters, gauges, and histograms.
+///
+/// One registry lives inside each [`Recorder`](crate::Recorder); the
+/// metric surface is always available (independently of whether event
+/// tracing is enabled) so cheap counters can stay on in production.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Registry<Counter>,
+    gauges: Registry<Gauge>,
+    histograms: Registry<Arc<Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up (or lazily create) the counter named `name`.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.counters.get_or_insert(name, || Counter(Arc::new(AtomicU64::new(0))))
+    }
+
+    /// Look up (or lazily create) the gauge named `name`.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.gauges.get_or_insert(name, || Gauge(Arc::new(AtomicI64::new(0))))
+    }
+
+    /// Look up (or lazily create) the histogram named `name`.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        self.histograms.get_or_insert(name, || Arc::new(Histogram::new()))
+    }
+
+    /// Snapshot every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        self.counters.for_each(|name, c| {
+            snap.counters.insert(name.to_string(), c.get());
+        });
+        self.gauges.for_each(|name, g| {
+            snap.gauges.insert(name.to_string(), g.get());
+        });
+        self.histograms.for_each(|name, h| {
+            snap.histograms.insert(name.to_string(), h.snapshot());
+        });
+        snap
+    }
+}
+
+/// Point-in-time copy of a whole [`MetricsRegistry`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter, `0` when it was never registered.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Value of a gauge, `0` when it was never registered.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram snapshot by name, when registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Render the snapshot as one JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    pub fn to_json(&self) -> String {
+        let mut counters = ObjectWriter::new();
+        for (name, value) in &self.counters {
+            counters.u64(name, *value);
+        }
+        let mut gauges = ObjectWriter::new();
+        for (name, value) in &self.gauges {
+            gauges.i64(name, *value);
+        }
+        let mut histograms = ObjectWriter::new();
+        for (name, hist) in &self.histograms {
+            histograms.raw(name, &hist.to_json());
+        }
+        let mut root = ObjectWriter::new();
+        root.raw("counters", &counters.finish())
+            .raw("gauges", &gauges.finish())
+            .raw("histograms", &histograms.finish());
+        root.finish()
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in &self.counters {
+            writeln!(f, "counter   {name:<28} {value}")?;
+        }
+        for (name, value) in &self.gauges {
+            writeln!(f, "gauge     {name:<28} {value}")?;
+        }
+        for (name, hist) in &self.histograms {
+            writeln!(
+                f,
+                "histogram {name:<28} n={} mean={} p50={} p95={} p99={} max={}",
+                hist.count(),
+                fmt_nanos(hist.mean_nanos().unwrap_or(0)),
+                fmt_nanos(hist.p50().unwrap_or(0)),
+                fmt_nanos(hist.p95().unwrap_or(0)),
+                fmt_nanos(hist.p99().unwrap_or(0)),
+                fmt_nanos(hist.max_nanos),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a nanosecond quantity with a human unit (`12.3ms`).
+pub fn fmt_nanos(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.1}us", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper() {
+        // A value exactly on a bound belongs to that bound's bucket.
+        assert_eq!(Histogram::bucket_index(1_000), 0);
+        assert_eq!(Histogram::bucket_index(1_001), 1);
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(100_000_000_000), 24);
+        // Past the last bound: overflow bucket.
+        assert_eq!(Histogram::bucket_index(100_000_000_001), 25);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 25);
+    }
+
+    #[test]
+    fn histogram_counts_land_in_expected_buckets() {
+        let h = Histogram::new();
+        h.observe(500); // bucket 0 (≤1us)
+        h.observe(1_500); // bucket 1 (≤2us)
+        h.observe(3_000_000); // ≤5ms bucket
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 3);
+        assert_eq!(snap.counts[0], 1);
+        assert_eq!(snap.counts[1], 1);
+        assert_eq!(snap.counts[Histogram::bucket_index(3_000_000)], 1);
+        assert_eq!(snap.sum_nanos, 3_001_500 + 500);
+        assert_eq!(snap.max_nanos, 3_000_000);
+    }
+
+    #[test]
+    fn quantiles_of_empty_histogram_are_none() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.quantile(0.5), None);
+        assert_eq!(snap.mean_nanos(), None);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::new();
+        // 100 observations spread uniformly in the (1ms, 2ms] bucket.
+        for i in 0..100 {
+            h.observe(1_000_001 + i * 9_000);
+        }
+        let snap = h.snapshot();
+        let p50 = snap.p50().unwrap();
+        // Interpolated median of a single bucket = halfway into it.
+        assert_eq!(p50, 1_500_000);
+        let p99 = snap.p99().unwrap();
+        assert_eq!(p99, 1_990_000);
+    }
+
+    #[test]
+    fn quantiles_across_buckets_respect_rank() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.observe(800); // ≤1us bucket
+        }
+        for _ in 0..10 {
+            h.observe(40_000_000); // (20ms, 50ms] bucket
+        }
+        let snap = h.snapshot();
+        assert!(snap.p50().unwrap() <= 1_000);
+        let p95 = snap.p95().unwrap();
+        assert!((20_000_000..=50_000_000).contains(&p95), "p95 = {p95}");
+    }
+
+    #[test]
+    fn overflow_bucket_reports_observed_max() {
+        let h = Histogram::new();
+        h.observe(500_000_000_000); // beyond the last bound
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(1.0), Some(500_000_000_000));
+    }
+
+    #[test]
+    fn registry_handles_are_shared() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x").inc();
+        reg.counter("x").add(2);
+        assert_eq!(reg.counter("x").get(), 3);
+        reg.gauge("g").set(5);
+        reg.gauge("g").sub(2);
+        assert_eq!(reg.gauge("g").get(), 3);
+        reg.histogram("h").observe(10);
+        assert_eq!(reg.histogram("h").snapshot().count(), 1);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("ops.submitted").add(4);
+        reg.gauge("queue.depth").set(-1);
+        reg.histogram("op.attempt_ns").observe(1_500);
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("\"counters\":{\"ops.submitted\":4}"));
+        assert!(json.contains("\"gauges\":{\"queue.depth\":-1}"));
+        assert!(json.contains("\"op.attempt_ns\":{\"count\":1"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Per-event-loop lifetime counters.
+//!
+//! [`OpStats`] started life inside `morena-core`'s event loop; it now
+//! lives here so the middleware has exactly one stats path — the event
+//! loop updates these counters through the `record_*` methods and
+//! `morena-core` re-exports both types from their original paths.
+//!
+//! Accumulators saturate instead of wrapping, and the derived means are
+//! division-safe at zero samples: a freshly spawned loop (or one that
+//! only ever timed out) reports `None` rather than panicking or lying.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Saturating `fetch_add` for accumulator counters: once an accumulator
+/// reaches `u64::MAX` it stays there instead of wrapping to a small
+/// (and badly misleading) value.
+fn saturating_add(cell: &AtomicU64, nanos: u64) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let next = current.saturating_add(nanos);
+        match cell.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(observed) => current = observed,
+        }
+    }
+}
+
+/// Monotone counters describing an event loop's lifetime activity — the
+/// raw material of the EXT-RETRY / EXT-BATCH experiments.
+#[derive(Debug, Default)]
+pub struct OpStats {
+    submitted: AtomicU64,
+    attempts: AtomicU64,
+    transient_failures: AtomicU64,
+    succeeded: AtomicU64,
+    timed_out: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    attempt_nanos_total: AtomicU64,
+    attempt_nanos_max: AtomicU64,
+    completion_nanos_total: AtomicU64,
+}
+
+impl OpStats {
+    /// Create a zeroed stats block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one submitted operation.
+    pub fn record_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one physical attempt and accumulate its duration.
+    pub fn record_attempt(&self, nanos: u64) {
+        self.attempts.fetch_add(1, Ordering::Relaxed);
+        saturating_add(&self.attempt_nanos_total, nanos);
+        self.attempt_nanos_max.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Count one transient attempt failure (the op stays queued).
+    pub fn record_transient_failure(&self) {
+        self.transient_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one successful completion and its submit-to-success latency.
+    pub fn record_succeeded(&self, completion_nanos: u64) {
+        self.succeeded.fetch_add(1, Ordering::Relaxed);
+        saturating_add(&self.completion_nanos_total, completion_nanos);
+    }
+
+    /// Count one operation dropped at its deadline.
+    pub fn record_timed_out(&self) {
+        self.timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one permanent failure.
+    pub fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one cancelled operation.
+    pub fn record_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot of all counters.
+    pub fn snapshot(&self) -> OpStatsSnapshot {
+        OpStatsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            attempts: self.attempts.load(Ordering::Relaxed),
+            transient_failures: self.transient_failures.load(Ordering::Relaxed),
+            succeeded: self.succeeded.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            attempt_nanos_total: self.attempt_nanos_total.load(Ordering::Relaxed),
+            attempt_nanos_max: self.attempt_nanos_max.load(Ordering::Relaxed),
+            completion_nanos_total: self.completion_nanos_total.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`OpStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpStatsSnapshot {
+    /// Operations ever submitted.
+    pub submitted: u64,
+    /// Physical attempts (submissions × retries).
+    pub attempts: u64,
+    /// Attempts that failed transiently and stayed queued.
+    pub transient_failures: u64,
+    /// Operations that completed successfully.
+    pub succeeded: u64,
+    /// Operations dropped at their deadline.
+    pub timed_out: u64,
+    /// Operations that failed permanently.
+    pub failed: u64,
+    /// Operations cancelled by shutdown.
+    pub cancelled: u64,
+    /// Total clock time spent inside physical attempts, in nanoseconds
+    /// (saturating).
+    pub attempt_nanos_total: u64,
+    /// The single longest physical attempt, in nanoseconds.
+    pub attempt_nanos_max: u64,
+    /// Total queue-to-completion latency over succeeded operations, in
+    /// nanoseconds (saturating).
+    pub completion_nanos_total: u64,
+}
+
+impl OpStatsSnapshot {
+    /// Mean duration of one physical attempt, when any were made.
+    ///
+    /// `checked_div` (rather than a bare `/` behind a `> 0` test) keeps
+    /// this safe even if the struct was built by hand with inconsistent
+    /// fields.
+    pub fn mean_attempt(&self) -> Option<Duration> {
+        self.attempt_nanos_total.checked_div(self.attempts).map(Duration::from_nanos)
+    }
+
+    /// Mean submit-to-success latency, when any operation succeeded.
+    pub fn mean_completion(&self) -> Option<Duration> {
+        self.completion_nanos_total.checked_div(self.succeeded).map(Duration::from_nanos)
+    }
+
+    /// Fraction of attempts that failed transiently, when any attempts
+    /// were made. A retry-policy figure of merit for EXT-RETRY.
+    pub fn transient_failure_ratio(&self) -> Option<f64> {
+        (self.attempts > 0).then(|| self.transient_failures as f64 / self.attempts as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_means_are_none() {
+        let snap = OpStatsSnapshot::default();
+        assert_eq!(snap.mean_attempt(), None);
+        assert_eq!(snap.mean_completion(), None);
+        assert_eq!(snap.transient_failure_ratio(), None);
+    }
+
+    #[test]
+    fn record_methods_roll_up() {
+        let stats = OpStats::new();
+        stats.record_submitted();
+        stats.record_submitted();
+        stats.record_attempt(100);
+        stats.record_attempt(300);
+        stats.record_transient_failure();
+        stats.record_succeeded(1_000);
+        stats.record_timed_out();
+        let snap = stats.snapshot();
+        assert_eq!(snap.submitted, 2);
+        assert_eq!(snap.attempts, 2);
+        assert_eq!(snap.attempt_nanos_total, 400);
+        assert_eq!(snap.attempt_nanos_max, 300);
+        assert_eq!(snap.transient_failures, 1);
+        assert_eq!(snap.succeeded, 1);
+        assert_eq!(snap.timed_out, 1);
+        assert_eq!(snap.mean_attempt(), Some(Duration::from_nanos(200)));
+        assert_eq!(snap.mean_completion(), Some(Duration::from_nanos(1_000)));
+        assert_eq!(snap.transient_failure_ratio(), Some(0.5));
+    }
+
+    #[test]
+    fn accumulators_saturate_instead_of_wrapping() {
+        let stats = OpStats::new();
+        stats.record_attempt(u64::MAX - 10);
+        stats.record_attempt(100);
+        let snap = stats.snapshot();
+        assert_eq!(snap.attempt_nanos_total, u64::MAX);
+        assert_eq!(snap.attempt_nanos_max, u64::MAX - 10);
+        // The mean stays well-defined (if clamped) rather than tiny.
+        assert!(snap.mean_attempt().unwrap() > Duration::from_nanos(u64::MAX / 4));
+    }
+}

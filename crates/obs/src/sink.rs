@@ -1,0 +1,253 @@
+//! Pluggable event sinks.
+//!
+//! A [`Recorder`](crate::Recorder) forwards every stamped event to one
+//! [`ObsSink`]. Three implementations cover the common cases:
+//!
+//! * [`RingSink`] — bounded in-memory ring for tests and the
+//!   correlation module; overwrites the oldest entries and counts drops.
+//! * [`JsonlSink`] — streams one JSON object per line to any writer;
+//!   the machine-readable trace format for bench runs.
+//! * [`NullSink`] — swallows everything (useful to measure pure
+//!   recording overhead).
+//!
+//! [`TeeSink`] fans out to several sinks at once (e.g. ring + JSONL).
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::event::ObsEvent;
+
+/// Destination for recorded events.
+///
+/// Implementations must be cheap and non-blocking where possible: the
+/// recorder calls [`ObsSink::record`] inline on middleware threads.
+pub trait ObsSink: Send + Sync {
+    /// Consume one event.
+    fn record(&self, event: &ObsEvent);
+
+    /// Flush any buffered output (no-op by default).
+    fn flush(&self) {}
+}
+
+struct RingState {
+    entries: VecDeque<ObsEvent>,
+    dropped: u64,
+}
+
+/// Bounded in-memory ring buffer of events.
+///
+/// When full, the oldest event is overwritten and the drop counter is
+/// incremented, so consumers can always tell whether the window is
+/// complete — the same contract as the simulator's trace ring.
+pub struct RingSink {
+    state: Mutex<RingState>,
+    capacity: usize,
+}
+
+impl RingSink {
+    /// Create a ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(RingState { entries: VecDeque::new(), dropped: 0 }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Copy out the current contents, oldest first.
+    pub fn snapshot(&self) -> Vec<ObsEvent> {
+        let state = self.state.lock().expect("ring lock");
+        state.entries.iter().cloned().collect()
+    }
+
+    /// Move the current contents out, leaving the ring empty (drop
+    /// counter is preserved).
+    pub fn drain(&self) -> Vec<ObsEvent> {
+        let mut state = self.state.lock().expect("ring lock");
+        state.entries.drain(..).collect()
+    }
+
+    /// Number of events overwritten because the ring was full.
+    pub fn dropped_entries(&self) -> u64 {
+        self.state.lock().expect("ring lock").dropped
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("ring lock").entries.len()
+    }
+
+    /// `true` when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ObsSink for RingSink {
+    fn record(&self, event: &ObsEvent) {
+        let mut state = self.state.lock().expect("ring lock");
+        if state.entries.len() == self.capacity {
+            state.entries.pop_front();
+            state.dropped += 1;
+        }
+        state.entries.push_back(event.clone());
+    }
+}
+
+/// Streams events as JSON lines (one object per line) to any writer.
+///
+/// The schema is flat: every line carries `seq`, `at_ns`, and `type`,
+/// plus the type-specific fields of [`EventKind`](crate::EventKind).
+/// Write errors are counted, not propagated — observability must never
+/// take down the middleware.
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+    lines: AtomicU64,
+    write_errors: AtomicU64,
+}
+
+impl JsonlSink {
+    /// Wrap any writer (a file, a `Vec<u8>`, a pipe).
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        Self { out: Mutex::new(out), lines: AtomicU64::new(0), write_errors: AtomicU64::new(0) }
+    }
+
+    /// Number of lines successfully written.
+    pub fn lines_written(&self) -> u64 {
+        self.lines.load(Ordering::Relaxed)
+    }
+
+    /// Number of write failures swallowed.
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+}
+
+impl ObsSink for JsonlSink {
+    fn record(&self, event: &ObsEvent) {
+        let mut line = event.to_json();
+        line.push('\n');
+        let mut out = self.out.lock().expect("jsonl lock");
+        if out.write_all(line.as_bytes()).is_ok() {
+            self.lines.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("jsonl lock").flush();
+    }
+}
+
+/// Swallows every event. Installing a `NullSink` enables the recording
+/// path (event construction, sequencing) without retaining anything —
+/// handy for measuring instrumentation overhead in benches.
+#[derive(Default)]
+pub struct NullSink;
+
+impl ObsSink for NullSink {
+    fn record(&self, _event: &ObsEvent) {}
+}
+
+/// Fans every event out to several sinks in order.
+pub struct TeeSink(Vec<std::sync::Arc<dyn ObsSink>>);
+
+impl TeeSink {
+    /// Build a tee over the given sinks.
+    pub fn new(sinks: Vec<std::sync::Arc<dyn ObsSink>>) -> Self {
+        Self(sinks)
+    }
+}
+
+impl ObsSink for TeeSink {
+    fn record(&self, event: &ObsEvent) {
+        for sink in &self.0 {
+            sink.record(event);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.0 {
+            sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, ObsEvent};
+    use std::sync::Arc;
+
+    fn event(seq: u64) -> ObsEvent {
+        ObsEvent {
+            seq,
+            at_nanos: seq * 10,
+            kind: EventKind::PhysTagEntered { phone: 0, target: "tag-1".into() },
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let ring = RingSink::new(2);
+        for seq in 0..5 {
+            ring.record(&event(seq));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].seq, 3);
+        assert_eq!(snap[1].seq, 4);
+        assert_eq!(ring.dropped_entries(), 3);
+    }
+
+    #[test]
+    fn ring_drain_empties_but_keeps_drop_count() {
+        let ring = RingSink::new(1);
+        ring.record(&event(0));
+        ring.record(&event(1));
+        assert_eq!(ring.drain().len(), 1);
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped_entries(), 1);
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_event() {
+        use std::sync::Mutex as StdMutex;
+
+        #[derive(Clone, Default)]
+        struct Shared(Arc<StdMutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let shared = Shared::default();
+        let sink = JsonlSink::new(Box::new(shared.clone()));
+        sink.record(&event(0));
+        sink.record(&event(1));
+        sink.flush();
+        assert_eq!(sink.lines_written(), 2);
+        let text = String::from_utf8(shared.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        assert!(lines[1].contains("\"type\":\"phys_tag_entered\""));
+    }
+
+    #[test]
+    fn tee_fans_out() {
+        let a = Arc::new(RingSink::new(8));
+        let b = Arc::new(RingSink::new(8));
+        let tee = TeeSink::new(vec![a.clone(), b.clone()]);
+        tee.record(&event(7));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -54,19 +54,16 @@ fn main() {
 
     // Custody handover under a lease.
     println!("\nhandover: 'forklift' goes to alice (leased, exclusive)");
-    let updated = tracker
-        .handover(uids[0], "alice", Duration::from_secs(5))
-        .expect("handover succeeds");
+    let updated =
+        tracker.handover(uids[0], "alice", Duration::from_secs(5)).expect("handover succeeds");
     println!("  record now: custodian={:?} handovers={}", updated.custodian, updated.handovers);
 
     // A rival device tries to grab the same tag while we hold a lease.
     let rival_phone = world.add_phone("rival");
     world.set_phone_position(rival_phone, morena::sim::geometry::Point::new(1000.0, 0.0));
     let rival = LeaseManager::new(&MorenaContext::headless(&world, rival_phone));
-    let ours = tracker
-        .leases()
-        .acquire(uids[0], Duration::from_secs(30))
-        .expect("we can lease our asset");
+    let ours =
+        tracker.leases().acquire(uids[0], Duration::from_secs(30)).expect("we can lease our asset");
     match rival.acquire(uids[0], Duration::from_secs(5)) {
         Err(LeaseError::Held { holder, expires_at }) => {
             println!("  rival refused: tag leased by {holder} until {expires_at}");

@@ -57,12 +57,7 @@ fn main() {
 
     println!("\naudit log of the lobby door:");
     for decision in lobby.audit_log() {
-        println!(
-            "  {} {:8} -> {}",
-            decision.uid,
-            decision.holder,
-            verdict(decision.granted)
-        );
+        println!("  {} {:8} -> {}", decision.uid, decision.holder, verdict(decision.granted));
     }
 }
 

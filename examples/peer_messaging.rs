@@ -56,11 +56,7 @@ fn main() {
     to_bob.send_ok("lunch at noon?".to_string());
     to_bob.send_ok("bring the prototype".to_string());
     to_carol.send_ok("code review at 3".to_string());
-    println!(
-        "  queued: {} for bob, {} for carol\n",
-        to_bob.queue_len(),
-        to_carol.queue_len()
-    );
+    println!("  queued: {} for bob, {} for carol\n", to_bob.queue_len(), to_carol.queue_len());
 
     println!("alice bumps into CAROL first — only carol's message flows:");
     world.bring_phones_together(alice, carol);

@@ -26,12 +26,7 @@ fn main() {
 
     // Attach the middleware (no activity needed) and get a far reference.
     let ctx = MorenaContext::headless(&world, phone);
-    let tag = TagReference::new(
-        &ctx,
-        uid,
-        TagTech::Type2,
-        Arc::new(StringConverter::plain_text()),
-    );
+    let tag = TagReference::new(&ctx, uid, TagTech::Type2, Arc::new(StringConverter::plain_text()));
 
     // Queue a write while the tag is still in a drawer somewhere.
     let (tx, rx) = crossbeam::channel::unbounded();

@@ -35,10 +35,7 @@ impl TagDataConverter for PosterConverter {
     fn from_message(&self, message: &NdefMessage) -> Result<(String, String), ConvertError> {
         let poster = SmartPoster::from_record(message.first())
             .map_err(|_| ConvertError::WrongShape { expected: "an RTD Smart Poster".into() })?;
-        Ok((
-            poster.uri().to_owned(),
-            poster.title_for("en").unwrap_or_default().to_owned(),
-        ))
+        Ok((poster.uri().to_owned(), poster.title_for("en").unwrap_or_default().to_owned()))
     }
 
     fn accepts(&self, message: &NdefMessage) -> bool {
@@ -102,8 +99,7 @@ fn main() {
     world.tap_tag(plain, phone);
     nfc.ndef_write(
         plain,
-        &NdefMessage::single(UriRecord::new("https://menu.example.com/raw").to_record())
-            .to_bytes(),
+        &NdefMessage::single(UriRecord::new("https://menu.example.com/raw").to_record()).to_bytes(),
     )
     .expect("uri written");
     world.remove_tag_from_field(plain);

@@ -74,9 +74,6 @@ fn main() {
     println!("  exchanges            {}", radio.exchanges);
     println!("  failed exchanges     {}", radio.failed);
     println!("  bytes over the air   {}", radio.bytes);
-    println!(
-        "  air time             {:?}",
-        Duration::from_nanos(radio.air_time_nanos)
-    );
+    println!("  air time             {:?}", Duration::from_nanos(radio.air_time_nanos));
     tag.close();
 }

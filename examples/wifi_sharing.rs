@@ -27,18 +27,12 @@ fn main() {
     let friend_phone = world.add_phone("friend");
     let sticker = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
 
-    let owner = MorenaWifiApp::launch(
-        &MorenaContext::headless(&world, owner_phone),
-        WifiManager::new(),
-    );
-    let guest = MorenaWifiApp::launch(
-        &MorenaContext::headless(&world, guest_phone),
-        WifiManager::new(),
-    );
-    let friend = MorenaWifiApp::launch(
-        &MorenaContext::headless(&world, friend_phone),
-        WifiManager::new(),
-    );
+    let owner =
+        MorenaWifiApp::launch(&MorenaContext::headless(&world, owner_phone), WifiManager::new());
+    let guest =
+        MorenaWifiApp::launch(&MorenaContext::headless(&world, guest_phone), WifiManager::new());
+    let friend =
+        MorenaWifiApp::launch(&MorenaContext::headless(&world, friend_phone), WifiManager::new());
 
     // 1. The owner provisions the blank sticker.
     println!("1. owner provisions the sticker with 'venue-guest'");

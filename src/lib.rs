@@ -20,6 +20,7 @@
 //! | [`android`] | `morena-android-sim` | activities, intents, main-thread looper |
 //! | [`baseline`] | `morena-baseline` | the raw blocking API the paper compares against |
 //! | [`apps`] | `morena-apps` | the evaluation applications (WiFi sharing, text tool, asset tracker) |
+//! | [`obs`] | `morena-obs` | unified tracing & metrics: structured events, sinks, histograms, latency correlation |
 //!
 //! # Quickstart
 //!
@@ -57,6 +58,7 @@ pub use morena_baseline as baseline;
 pub use morena_core as core;
 pub use morena_ndef as ndef;
 pub use morena_nfc_sim as sim;
+pub use morena_obs as obs;
 
 /// The most commonly used items of the whole stack, for glob import.
 pub mod prelude {
@@ -81,4 +83,7 @@ pub mod prelude {
     pub use morena_nfc_sim::scenario::Scenario;
     pub use morena_nfc_sim::tag::{TagTech, TagUid, Type2Tag, Type4Tag};
     pub use morena_nfc_sim::world::{NfcEvent, PhoneId, World};
+    pub use morena_obs::{
+        correlate, JsonlSink, MetricsSnapshot, ObsEvent, Recorder, RingSink, TeeSink,
+    };
 }

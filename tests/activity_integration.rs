@@ -61,10 +61,7 @@ fn listeners_run_on_the_activitys_main_thread() {
     let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
 
     let (tx, rx) = unbounded();
-    let activity = Arc::new(MorenaActivity {
-        listener_thread: tx,
-        discoverer: Mutex::new(None),
-    });
+    let activity = Arc::new(MorenaActivity { listener_thread: tx, discoverer: Mutex::new(None) });
     let host = ActivityHost::launch(&world, phone, "morena-activity", activity.clone());
 
     // The activity's main thread id, observed from inside it.
@@ -88,10 +85,7 @@ fn activity_destruction_stops_discovery_but_not_references() {
     let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(2))));
 
     let (tx, rx) = unbounded();
-    let activity = Arc::new(MorenaActivity {
-        listener_thread: tx,
-        discoverer: Mutex::new(None),
-    });
+    let activity = Arc::new(MorenaActivity { listener_thread: tx, discoverer: Mutex::new(None) });
     let host = ActivityHost::launch(&world, phone, "morena-activity", activity.clone());
 
     world.tap_tag(uid, phone);

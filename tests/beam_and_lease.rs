@@ -32,8 +32,16 @@ fn beams_flow_between_three_phones_in_a_chain() {
 
     let (b_tx, b_rx) = unbounded();
     let (c_tx, c_rx) = unbounded();
-    let _b_recv = BeamReceiver::new(&bctx, Arc::new(StringConverter::plain_text()), Arc::new(Collect { tx: b_tx }));
-    let _c_recv = BeamReceiver::new(&cctx, Arc::new(StringConverter::plain_text()), Arc::new(Collect { tx: c_tx }));
+    let _b_recv = BeamReceiver::new(
+        &bctx,
+        Arc::new(StringConverter::plain_text()),
+        Arc::new(Collect { tx: b_tx }),
+    );
+    let _c_recv = BeamReceiver::new(
+        &cctx,
+        Arc::new(StringConverter::plain_text()),
+        Arc::new(Collect { tx: c_tx }),
+    );
 
     let a_beamer = Beamer::new(&actx, Arc::new(StringConverter::plain_text()));
     let b_beamer = Beamer::new(&bctx, Arc::new(StringConverter::plain_text()));
@@ -63,8 +71,11 @@ fn beam_delivers_to_all_peers_in_range() {
         let phone = world.add_phone(&format!("peer-{i}"));
         let ctx = MorenaContext::headless(&world, phone);
         let (tx, rx) = unbounded();
-        let receiver =
-            BeamReceiver::new(&ctx, Arc::new(StringConverter::plain_text()), Arc::new(Collect { tx }));
+        let receiver = BeamReceiver::new(
+            &ctx,
+            Arc::new(StringConverter::plain_text()),
+            Arc::new(Collect { tx }),
+        );
         world.bring_phones_together(sender, phone);
         receivers.push((receiver, rx));
     }
@@ -110,11 +121,17 @@ fn lease_contention_grants_exclusively_under_threads() {
                             let from = std::time::Instant::now();
                             std::thread::sleep(Duration::from_millis(10));
                             if manager.release(&lease).is_ok() {
-                                grants.lock().push((manager.device().0, from, std::time::Instant::now()));
+                                grants.lock().push((
+                                    manager.device().0,
+                                    from,
+                                    std::time::Instant::now(),
+                                ));
                             }
                             granted += 1;
                         }
-                        Err(LeaseError::Held { .. }) => std::thread::sleep(Duration::from_millis(1)),
+                        Err(LeaseError::Held { .. }) => {
+                            std::thread::sleep(Duration::from_millis(1))
+                        }
                         Err(_) => {}
                     }
                 }

@@ -158,9 +158,7 @@ fn morena_batches_share_where_handcrafted_fails_without_peer() {
     handcrafted.share(WifiConfig::new("n", "k"));
 
     // The handcrafted share fails outright…
-    assert!(handcrafted
-        .toasts()
-        .wait_for("Failed to share WiFi joiner", Duration::from_secs(10)));
+    assert!(handcrafted.toasts().wait_for("Failed to share WiFi joiner", Duration::from_secs(10)));
     // …while the MORENA share stays queued, and succeeds when a peer
     // appears.
     assert_eq!(morena.space().broadcast_queue_len(), 1);

@@ -21,10 +21,7 @@ fn flaky_world(noise: f64, seed: u64) -> World {
 }
 
 fn fast_config() -> LoopConfig {
-    LoopConfig {
-        default_timeout: Duration::from_secs(30),
-        retry_backoff: Duration::from_millis(1),
-    }
+    LoopConfig { default_timeout: Duration::from_secs(30), retry_backoff: Duration::from_millis(1) }
 }
 
 #[test]
@@ -93,10 +90,7 @@ fn torn_write_is_repaired_by_automatic_retry() {
         std::thread::sleep(Duration::from_millis(5));
         world.tap_tag(uid, phone);
     }
-    assert_eq!(
-        rx.recv_timeout(Duration::from_secs(30)).unwrap(),
-        Some(payload.clone())
-    );
+    assert_eq!(rx.recv_timeout(Duration::from_secs(30)).unwrap(), Some(payload.clone()));
     // The tag's final content is the complete message, not a torn state.
     let nfc = NfcHandle::new(world.clone(), phone);
     let bytes = nfc.ndef_read(uid).expect("readable");
@@ -181,18 +175,15 @@ fn a_sweep_gesture_is_enough_to_deliver_a_queued_write() {
         .sweep_tag(
             uid,
             phone,
-            0.002,                        // almost touching at the closest point
-            Duration::from_millis(120),   // approach
-            Duration::from_millis(150),   // dwell
+            0.002,                      // almost touching at the closest point
+            Duration::from_millis(120), // approach
+            Duration::from_millis(150), // dwell
             12,
         )
         .spawn(&world)
         .join()
         .expect("sweep");
-    assert_eq!(
-        rx.recv_timeout(Duration::from_secs(10)).unwrap().as_deref(),
-        Some("swiped in")
-    );
+    assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap().as_deref(), Some("swiped in"));
     assert!(!tag.is_connected(), "the sweep ended outside the field");
     tag.close();
 }
@@ -245,7 +236,8 @@ fn discovery_keeps_working_under_noise() {
     let uid = world.add_tag(Box::new(Type2Tag::ntag213(TagUid::from_seed(6))));
     let ctx = MorenaContext::headless(&world, phone);
     let listener = Arc::new(Count { detections: Mutex::new(0) });
-    let _disco = TagDiscoverer::new(&ctx, Arc::new(StringConverter::plain_text()), listener.clone());
+    let _disco =
+        TagDiscoverer::new(&ctx, Arc::new(StringConverter::plain_text()), listener.clone());
 
     let mut seen = 0usize;
     for _ in 0..10 {

@@ -36,12 +36,8 @@ fn s1_2_operations_never_block_the_caller() {
     let (_world, _phone, ctx) = world();
     let uid = TagUid::from_seed(1);
     // No tag with this uid even exists; submission must return at once.
-    let reference = TagReference::new(
-        &ctx,
-        uid,
-        TagTech::Type2,
-        Arc::new(StringConverter::plain_text()),
-    );
+    let reference =
+        TagReference::new(&ctx, uid, TagTech::Type2, Arc::new(StringConverter::plain_text()));
     let started = std::time::Instant::now();
     for i in 0..100 {
         reference.write(format!("op-{i}"), |_| {}, |_, _| {});
@@ -61,19 +57,16 @@ fn s1_2_operations_never_block_the_caller() {
 fn s1_2_far_references_store_and_forward_in_order() {
     let (world, phone, ctx) = world();
     let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(2))));
-    let reference = TagReference::new(
-        &ctx,
-        uid,
-        TagTech::Type2,
-        Arc::new(StringConverter::plain_text()),
-    );
+    let reference =
+        TagReference::new(&ctx, uid, TagTech::Type2, Arc::new(StringConverter::plain_text()));
     let (tx, rx) = unbounded();
     for i in 0..5 {
         let tx = tx.clone();
         reference.write(format!("stored-{i}"), move |_| tx.send(i).unwrap(), |_, f| panic!("{f}"));
     }
     world.tap_tag(uid, phone); // connectivity restored
-    let order: Vec<i32> = (0..5).map(|_| rx.recv_timeout(Duration::from_secs(10)).unwrap()).collect();
+    let order: Vec<i32> =
+        (0..5).map(|_| rx.recv_timeout(Duration::from_secs(10)).unwrap()).collect();
     assert_eq!(order, vec![0, 1, 2, 3, 4]);
     reference.close();
 }
@@ -84,12 +77,8 @@ fn s1_2_far_references_store_and_forward_in_order() {
 fn s3_2_strict_fifo_even_when_later_ops_would_be_faster() {
     let (world, phone, ctx) = world();
     let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(3))));
-    let reference = TagReference::new(
-        &ctx,
-        uid,
-        TagTech::Type2,
-        Arc::new(StringConverter::plain_text()),
-    );
+    let reference =
+        TagReference::new(&ctx, uid, TagTech::Type2, Arc::new(StringConverter::plain_text()));
     // A big write queued first, a tiny read queued second: the read must
     // still complete strictly after the write.
     let (tx, rx) = unbounded();
@@ -112,12 +101,8 @@ fn s3_2_timeout_removes_op_and_fires_failure_listener() {
     let phone = world.add_phone("paper");
     let ctx = MorenaContext::headless(&world, phone);
     let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(4))));
-    let reference = TagReference::new(
-        &ctx,
-        uid,
-        TagTech::Type2,
-        Arc::new(StringConverter::plain_text()),
-    );
+    let reference =
+        TagReference::new(&ctx, uid, TagTech::Type2, Arc::new(StringConverter::plain_text()));
     let (tx, rx) = unbounded();
     let tx_ok = tx.clone();
     reference.write_with_timeout(
@@ -150,18 +135,16 @@ fn s3_2_all_listeners_share_one_main_thread() {
     let (world, phone, ctx) = world();
     let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(5))));
     world.tap_tag(uid, phone);
-    let reference = TagReference::new(
-        &ctx,
-        uid,
-        TagTech::Type2,
-        Arc::new(StringConverter::plain_text()),
-    );
+    let reference =
+        TagReference::new(&ctx, uid, TagTech::Type2, Arc::new(StringConverter::plain_text()));
     let (tx, rx) = unbounded();
     for i in 0..8 {
         let tx = tx.clone();
-        reference.write(format!("{i}"), move |_| tx.send(std::thread::current().id()).unwrap(), |_, f| {
-            panic!("{f}")
-        });
+        reference.write(
+            format!("{i}"),
+            move |_| tx.send(std::thread::current().id()).unwrap(),
+            |_, f| panic!("{f}"),
+        );
     }
     let ids: Vec<_> = (0..8).map(|_| rx.recv_timeout(Duration::from_secs(10)).unwrap()).collect();
     assert!(ids.windows(2).all(|w| w[0] == w[1]), "all listeners on one thread");
@@ -204,16 +187,12 @@ fn s3_2_cache_updates_after_each_operation() {
     let (world, phone, ctx) = world();
     let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(7))));
     world.tap_tag(uid, phone);
-    let reference = TagReference::new(
-        &ctx,
-        uid,
-        TagTech::Type2,
-        Arc::new(StringConverter::plain_text()),
-    );
+    let reference =
+        TagReference::new(&ctx, uid, TagTech::Type2, Arc::new(StringConverter::plain_text()));
     assert_eq!(reference.cached(), None);
     reference.write_sync("v1".into(), Duration::from_secs(10)).unwrap();
     assert_eq!(reference.cached().as_deref(), Some("v1")); // after write
-    // Another device changes the tag behind our back…
+                                                           // Another device changes the tag behind our back…
     ctx.nfc()
         .ndef_write(
             uid,
@@ -274,12 +253,8 @@ fn s2_overload_surface_exists() {
     let (world, phone, ctx) = world();
     let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(10))));
     world.tap_tag(uid, phone);
-    let reference = TagReference::new(
-        &ctx,
-        uid,
-        TagTech::Type2,
-        Arc::new(StringConverter::plain_text()),
-    );
+    let reference =
+        TagReference::new(&ctx, uid, TagTech::Type2, Arc::new(StringConverter::plain_text()));
     let (tx, rx) = unbounded();
     reference.write_ok("no failure listener".into(), {
         let tx = tx.clone();
@@ -410,16 +385,13 @@ fn s2_3_things_allow_synchronous_access_after_discovery() {
     let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(20))));
     world.tap_tag(uid, phone);
     ctx.nfc()
-        .ndef_write(
-            uid,
-            &{
-                use morena::core::convert::TagDataConverter;
-                Wifi::converter()
-                    .to_message(&Wifi { ssid: "synchronous".into(), key: "k".into() })
-                    .unwrap()
-                    .to_bytes()
-            },
-        )
+        .ndef_write(uid, &{
+            use morena::core::convert::TagDataConverter;
+            Wifi::converter()
+                .to_message(&Wifi { ssid: "synchronous".into(), key: "k".into() })
+                .unwrap()
+                .to_bytes()
+        })
         .unwrap();
     world.remove_tag_from_field(uid);
 
@@ -454,10 +426,7 @@ fn s1_1_permanent_failures_are_not_retried() {
     );
     let (tx, rx) = unbounded();
     reference.write("nope".into(), |_| panic!("read-only"), move |_, f| tx.send(f).unwrap());
-    assert!(matches!(
-        rx.recv_timeout(Duration::from_secs(10)).unwrap(),
-        OpFailure::Failed(_)
-    ));
+    assert!(matches!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), OpFailure::Failed(_)));
     std::thread::sleep(Duration::from_millis(100));
     assert_eq!(reference.stats().snapshot().attempts, 1, "no retry of permanent failures");
     reference.close();

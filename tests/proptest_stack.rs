@@ -27,12 +27,7 @@ impl Thing for Note {
 }
 
 fn arb_note() -> impl Strategy<Value = Note> {
-    (
-        "[ -~]{0,24}",
-        "[ -~]{0,80}",
-        proptest::collection::vec("[a-z]{1,8}", 0..4),
-        any::<u8>(),
-    )
+    ("[ -~]{0,24}", "[ -~]{0,80}", proptest::collection::vec("[a-z]{1,8}", 0..4), any::<u8>())
         .prop_map(|(title, body, tags, priority)| Note { title, body, tags, priority })
 }
 

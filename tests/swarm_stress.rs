@@ -35,9 +35,8 @@ fn many_phones_many_tags_all_resolve() {
         let phone = world.add_phone(&format!("phone-{p}"));
         let ctx = MorenaContext::headless(&world, phone);
         for t in 0..TAGS_PER_PHONE {
-            let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(
-                (p * 100 + t) as u32,
-            ))));
+            let uid =
+                world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed((p * 100 + t) as u32))));
             // Each phone keeps its tags at distinct offsets so fields do
             // not overlap between phones.
             world.tap_tag(uid, phone);
@@ -54,9 +53,11 @@ fn many_phones_many_tags_all_resolve() {
             for op in 0..OPS_PER_TAG {
                 let done_tx = done_tx.clone();
                 let payload = format!("p{p}-t{t}-op{op}");
-                reference.write(payload.clone(), move |_| done_tx.send(payload).unwrap(), |_, f| {
-                    panic!("swarm write failed permanently: {f}")
-                });
+                reference.write(
+                    payload.clone(),
+                    move |_| done_tx.send(payload).unwrap(),
+                    |_, f| panic!("swarm write failed permanently: {f}"),
+                );
             }
             expected.push((reference.clone(), format!("p{p}-t{t}-op{}", OPS_PER_TAG - 1)));
             references.push(reference);
@@ -82,9 +83,7 @@ fn many_phones_many_tags_all_resolve() {
 
     // Every tag converged to its last write.
     for (reference, last) in &expected {
-        let value = reference
-            .read_sync(Duration::from_secs(60))
-            .expect("final read succeeds");
+        let value = reference.read_sync(Duration::from_secs(60)).expect("final read succeeds");
         assert_eq!(value.as_deref(), Some(last.as_str()));
         let stats = reference.stats().snapshot();
         assert_eq!(stats.succeeded, OPS_PER_TAG as u64 + 1); // + the final read
@@ -110,8 +109,7 @@ fn swarm_with_roaming_tags_still_converges() {
     let (done_tx, done_rx) = unbounded();
     let references: Vec<_> = (0..TAGS)
         .map(|t| {
-            let uid =
-                world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(500 + t as u32))));
+            let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(500 + t as u32))));
             let reference = TagReference::with_config(
                 &ctx,
                 uid,
@@ -124,9 +122,11 @@ fn swarm_with_roaming_tags_still_converges() {
             );
             for op in 0..OPS {
                 let done_tx = done_tx.clone();
-                reference.write(format!("t{t}-op{op}"), move |_| done_tx.send(()).unwrap(), |_, f| {
-                    panic!("roaming write failed: {f}")
-                });
+                reference.write(
+                    format!("t{t}-op{op}"),
+                    move |_| done_tx.send(()).unwrap(),
+                    |_, f| panic!("roaming write failed: {f}"),
+                );
             }
             (uid, reference)
         })
