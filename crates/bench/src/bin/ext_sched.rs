@@ -1,0 +1,227 @@
+//! **EXT-SCHED** — thread-per-loop vs the sharded worker pool at
+//! swarm scale.
+//!
+//! Workload: one headless context, N far references to N tags all in
+//! range over an instant link, each reference queueing a small write
+//! backlog. The run measures wall-clock time until every operation
+//! resolves, derives throughput, takes a `/proc/self/task` census of
+//! middleware (`morena-*`) threads while the swarm is live, and — for
+//! the sharded policy — reads back the `scheduler.*` metrics.
+//!
+//! Flags:
+//!
+//! * `--sizes 100,1000` — comma-separated swarm sizes (default
+//!   `100,1000,10000`; `MORENA_QUICK=1` drops the largest size).
+//! * `--json PATH` — additionally write one JSON object per run to
+//!   `PATH` (a JSON array), for CI artifact upload.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::unbounded;
+use morena_bench::{cell, print_table, quick_mode};
+use morena_core::context::MorenaContext;
+use morena_core::convert::StringConverter;
+use morena_core::eventloop::LoopConfig;
+use morena_core::sched::ExecutionPolicy;
+use morena_core::tagref::TagReference;
+use morena_nfc_sim::clock::SystemClock;
+use morena_nfc_sim::link::LinkModel;
+use morena_nfc_sim::tag::{TagTech, TagUid, Type2Tag};
+use morena_nfc_sim::world::World;
+
+const OPS_PER_REF: usize = 2;
+
+struct RunResult {
+    size: usize,
+    policy: &'static str,
+    workers: usize,
+    ops: usize,
+    elapsed: Duration,
+    threads: usize,
+    polls: u64,
+    parks: u64,
+    wakeups: u64,
+    timer_fires: u64,
+    poll_p50_nanos: u64,
+}
+
+impl RunResult {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"size\":{},\"policy\":\"{}\",\"workers\":{},\"ops\":{},\
+             \"elapsed_ms\":{:.3},\"ops_per_sec\":{:.1},\"morena_threads\":{},\
+             \"scheduler\":{{\"polls\":{},\"parks\":{},\"wakeups\":{},\
+             \"timer_fires\":{},\"poll_p50_nanos\":{}}}}}",
+            self.size,
+            self.policy,
+            self.workers,
+            self.ops,
+            self.elapsed.as_secs_f64() * 1e3,
+            self.ops_per_sec(),
+            self.threads,
+            self.polls,
+            self.parks,
+            self.wakeups,
+            self.timer_fires,
+            self.poll_p50_nanos,
+        )
+    }
+}
+
+/// Live `morena-*` threads in this process, via the kernel's per-task
+/// `comm` (empty on non-Linux hosts — the census column reads 0 there).
+fn morena_thread_count() -> usize {
+    let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
+        return 0;
+    };
+    tasks
+        .flatten()
+        .filter_map(|task| std::fs::read_to_string(task.path().join("comm")).ok())
+        .filter(|comm| comm.trim().starts_with("morena"))
+        .count()
+}
+
+fn run(size: usize, policy: ExecutionPolicy, seed: u64) -> RunResult {
+    let (label, workers) = match policy {
+        ExecutionPolicy::ThreadPerLoop => ("thread-per-loop", 0),
+        ExecutionPolicy::Sharded { workers } => ("sharded", workers),
+        _ => ("other", 0),
+    };
+    let world = World::with_link(Arc::new(SystemClock::new()), LinkModel::instant(), seed);
+    let phone = world.add_phone("bench");
+    let ctx = MorenaContext::headless_with(&world, phone, policy);
+
+    let (done_tx, done_rx) = unbounded();
+    let started = Instant::now();
+    let references: Vec<_> = (0..size)
+        .map(|i| {
+            let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(i as u32))));
+            world.tap_tag(uid, phone);
+            let reference = TagReference::with_config(
+                &ctx,
+                uid,
+                TagTech::Type2,
+                Arc::new(StringConverter::plain_text()),
+                LoopConfig {
+                    default_timeout: Duration::from_secs(300),
+                    retry_backoff: Duration::from_micros(100),
+                },
+            );
+            for op in 0..OPS_PER_REF {
+                let done_tx = done_tx.clone();
+                reference.write(
+                    format!("r{i}-op{op}"),
+                    move |_| {
+                        let _ = done_tx.send(());
+                    },
+                    |_, f| panic!("bench write failed: {f}"),
+                );
+            }
+            reference
+        })
+        .collect();
+
+    // Census while every loop is live and the backlog is draining.
+    let threads = morena_thread_count();
+
+    let ops = size * OPS_PER_REF;
+    for _ in 0..ops {
+        done_rx.recv_timeout(Duration::from_secs(300)).expect("op resolves");
+    }
+    let elapsed = started.elapsed();
+    for reference in references {
+        reference.close();
+    }
+
+    let snapshot = world.obs().metrics().snapshot();
+    RunResult {
+        size,
+        policy: label,
+        workers,
+        ops,
+        elapsed,
+        threads,
+        polls: snapshot.counter("scheduler.polls"),
+        parks: snapshot.counter("scheduler.parks"),
+        wakeups: snapshot.counter("scheduler.wakeups"),
+        timer_fires: snapshot.counter("scheduler.timer_fires"),
+        poll_p50_nanos: snapshot.histogram("scheduler.poll_ns").and_then(|h| h.p50()).unwrap_or(0),
+    }
+}
+
+fn parse_args() -> (Vec<usize>, Option<String>) {
+    let mut sizes = if quick_mode() { vec![100, 1000] } else { vec![100, 1000, 10_000] };
+    let mut json = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sizes" => {
+                let list = args.next().expect("--sizes needs a comma-separated list");
+                sizes = list
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--sizes entries must be integers"))
+                    .collect();
+            }
+            "--json" => json = Some(args.next().expect("--json needs a path")),
+            other => panic!("unknown flag {other:?} (expected --sizes or --json)"),
+        }
+    }
+    (sizes, json)
+}
+
+fn main() {
+    let (sizes, json_path) = parse_args();
+    let sharded = ExecutionPolicy::default();
+
+    let mut results = Vec::new();
+    for (i, &size) in sizes.iter().enumerate() {
+        for (j, policy) in [ExecutionPolicy::ThreadPerLoop, sharded].into_iter().enumerate() {
+            results.push(run(size, policy, 1000 + (i * 2 + j) as u64));
+        }
+    }
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                cell(r.size),
+                cell(r.policy),
+                cell(r.workers),
+                cell(r.ops),
+                cell(format!("{:.1}ms", r.elapsed.as_secs_f64() * 1e3)),
+                cell(format!("{:.0}", r.ops_per_sec())),
+                cell(r.threads),
+                cell(r.polls),
+                cell(r.parks),
+                cell(r.wakeups),
+            ]
+        })
+        .collect();
+    print_table(
+        "EXT-SCHED: event-loop execution policies at swarm scale",
+        &[
+            "refs", "policy", "workers", "ops", "elapsed", "ops/s", "threads", "polls", "parks",
+            "wakeups",
+        ],
+        &rows,
+    );
+    println!(
+        "\nthreads = live morena-* threads mid-run: one per reference under\n\
+         thread-per-loop, bounded by the worker pool (plus the event router)\n\
+         under sharded — the column that stays flat as refs grow."
+    );
+    for r in &results {
+        println!("sched-json: {}", r.to_json());
+    }
+
+    if let Some(path) = json_path {
+        let body: Vec<String> = results.iter().map(RunResult::to_json).collect();
+        std::fs::write(&path, format!("[{}]\n", body.join(","))).expect("write --json output file");
+        println!("\nwrote {} runs -> {path}", results.len());
+    }
+}

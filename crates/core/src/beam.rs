@@ -13,22 +13,22 @@
 //!   and invokes a typed [`BeamListener`] on the main thread, with the
 //!   §3.4 `check_condition` predicate applied first.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::RecvTimeoutError;
 use morena_ndef::NdefMessage;
 use morena_nfc_sim::controller::NfcHandle;
 use morena_nfc_sim::error::NfcOpError;
 use morena_nfc_sim::world::NfcEvent;
 use morena_obs::EventKind;
+use parking_lot::Mutex;
 
 use crate::context::MorenaContext;
 use crate::convert::TagDataConverter;
 use crate::eventloop::{
     EventLoop, LoopConfig, ObsScope, OpExecutor, OpFailure, OpRequest, OpResponse, OpStats,
 };
+use crate::router::RouteGuard;
 
 struct BeamExecutor {
     nfc: NfcHandle,
@@ -53,12 +53,11 @@ struct BeamerInner<C: TagDataConverter> {
     ctx: MorenaContext,
     converter: Arc<C>,
     event_loop: EventLoop,
-    router_stop: Arc<AtomicBool>,
+    route: Mutex<Option<RouteGuard>>,
 }
 
 impl<C: TagDataConverter> Drop for BeamerInner<C> {
     fn drop(&mut self) {
-        self.router_stop.store(true, Ordering::Release);
         self.event_loop.stop();
     }
 }
@@ -115,6 +114,7 @@ impl<C: TagDataConverter> Beamer<C> {
     pub fn with_config(ctx: &MorenaContext, converter: Arc<C>, config: LoopConfig) -> Beamer<C> {
         let event_loop = EventLoop::spawn(
             "beamer",
+            ctx.execution(),
             Arc::clone(ctx.clock()),
             ctx.handler(),
             config,
@@ -123,10 +123,21 @@ impl<C: TagDataConverter> Beamer<C> {
             // *any* peer in range as reachability for these ops.
             ObsScope::new(ctx, "beamer".into(), "*".into()),
         );
-        let router_stop = Arc::new(AtomicBool::new(false));
-        spawn_peer_router(ctx.nfc().clone(), event_loop.clone(), Arc::clone(&router_stop));
+        // Any peer appearing or leaving may change reachability: poke the
+        // loop through the context's shared event router.
+        let loop_for_route = event_loop.clone();
+        let route = ctx.router().register(move |event| {
+            if matches!(event, NfcEvent::PeerEntered { .. } | NfcEvent::PeerLeft { .. }) {
+                loop_for_route.wake();
+            }
+        });
         Beamer {
-            inner: Arc::new(BeamerInner { ctx: ctx.clone(), converter, event_loop, router_stop }),
+            inner: Arc::new(BeamerInner {
+                ctx: ctx.clone(),
+                converter,
+                event_loop,
+                route: Mutex::new(Some(route)),
+            }),
         }
     }
 
@@ -203,28 +214,9 @@ impl<C: TagDataConverter> Beamer<C> {
 
     /// Stops the beamer; queued pushes fail with [`OpFailure::Cancelled`].
     pub fn close(&self) {
-        self.inner.router_stop.store(true, Ordering::Release);
+        self.inner.route.lock().take();
         self.inner.event_loop.stop();
     }
-}
-
-fn spawn_peer_router(nfc: NfcHandle, event_loop: EventLoop, stop: Arc<AtomicBool>) {
-    let events = nfc.events();
-    std::thread::Builder::new()
-        .name("morena-beam-router".into())
-        .spawn(move || {
-            while !stop.load(Ordering::Acquire) {
-                match events.recv_timeout(Duration::from_millis(20)) {
-                    Ok(NfcEvent::PeerEntered { .. }) | Ok(NfcEvent::PeerLeft { .. }) => {
-                        event_loop.wake();
-                    }
-                    Ok(_) => {}
-                    Err(RecvTimeoutError::Timeout) => {}
-                    Err(RecvTimeoutError::Disconnected) => break,
-                }
-            }
-        })
-        .expect("spawn beam router");
 }
 
 /// Typed reception callbacks for beamed values. Methods run on the main
@@ -243,16 +235,10 @@ pub trait BeamListener<C: TagDataConverter>: Send + Sync + 'static {
 
 struct ReceiverInner<C: TagDataConverter> {
     converter: Arc<C>,
-    stop: AtomicBool,
+    route: Mutex<Option<RouteGuard>>,
     // Keeps the delivery main thread alive for the receiver's lifetime
     // (a headless context owns its main thread).
     _ctx: MorenaContext,
-}
-
-impl<C: TagDataConverter> Drop for ReceiverInner<C> {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
-    }
 }
 
 /// Listens for incoming beamed messages of one data type — the paper's
@@ -275,63 +261,50 @@ impl<C: TagDataConverter> BeamReceiver<C> {
         converter: Arc<C>,
         listener: Arc<dyn BeamListener<C>>,
     ) -> BeamReceiver<C> {
-        let inner = Arc::new(ReceiverInner {
-            converter: Arc::clone(&converter),
-            stop: AtomicBool::new(false),
-            _ctx: ctx.clone(),
-        });
-        let events = ctx.nfc().events();
         let handler = ctx.handler();
         let recorder = Arc::clone(ctx.nfc().world().obs());
         let clock = Arc::clone(ctx.clock());
         let phone = ctx.phone().as_u64();
         let received_ctr = recorder.metrics().counter("beam.received");
-        {
-            let inner = Arc::clone(&inner);
-            std::thread::Builder::new()
-                .name("morena-beam-receiver".into())
-                .spawn(move || {
-                    while !inner.stop.load(Ordering::Acquire) {
-                        match events.recv_timeout(Duration::from_millis(20)) {
-                            Ok(NfcEvent::BeamReceived { from, bytes }) => {
-                                let Ok(message) = NdefMessage::parse(&bytes) else { continue };
-                                if !converter.accepts(&message) {
-                                    continue;
-                                }
-                                let Ok(value) = converter.from_message(&message) else {
-                                    continue;
-                                };
-                                if !listener.check_condition(&value) {
-                                    continue;
-                                }
-                                received_ctr.inc();
-                                if recorder.is_enabled() {
-                                    recorder.emit(
-                                        clock.now().as_nanos(),
-                                        EventKind::BeamReceived {
-                                            phone,
-                                            from: from.as_u64(),
-                                            bytes: bytes.len() as u64,
-                                        },
-                                    );
-                                }
-                                let listener = Arc::clone(&listener);
-                                handler.post(move || listener.on_beam_received(value));
-                            }
-                            Ok(_) => {}
-                            Err(RecvTimeoutError::Timeout) => {}
-                            Err(RecvTimeoutError::Disconnected) => break,
-                        }
-                    }
-                })
-                .expect("spawn beam receiver");
+        let route_converter = Arc::clone(&converter);
+        let route = ctx.router().register(move |event| {
+            let NfcEvent::BeamReceived { from, bytes } = event else { return };
+            let Ok(message) = NdefMessage::parse(bytes) else { return };
+            if !route_converter.accepts(&message) {
+                return;
+            }
+            let Ok(value) = route_converter.from_message(&message) else {
+                return;
+            };
+            if !listener.check_condition(&value) {
+                return;
+            }
+            received_ctr.inc();
+            if recorder.is_enabled() {
+                recorder.emit(
+                    clock.now().as_nanos(),
+                    EventKind::BeamReceived {
+                        phone,
+                        from: from.as_u64(),
+                        bytes: bytes.len() as u64,
+                    },
+                );
+            }
+            let listener = Arc::clone(&listener);
+            handler.post(move || listener.on_beam_received(value));
+        });
+        BeamReceiver {
+            inner: Arc::new(ReceiverInner {
+                converter,
+                route: Mutex::new(Some(route)),
+                _ctx: ctx.clone(),
+            }),
         }
-        BeamReceiver { inner }
     }
 
     /// Stops receiving.
     pub fn stop(&self) {
-        self.inner.stop.store(true, Ordering::Release);
+        self.inner.route.lock().take();
     }
 }
 

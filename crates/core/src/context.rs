@@ -7,6 +7,11 @@
 //! coupling — it can be built *from* an activity (listeners then run on
 //! that activity's main thread) or fully headless (the middleware pumps
 //! its own main thread), letting RFID logic live outside the UI.
+//!
+//! The context also owns the middleware's shared machinery: the
+//! [`ExecutionPolicy`] deciding how far-reference event loops get
+//! processor time (a sharded worker pool by default), and the single
+//! event-router thread that fans controller events out to references.
 
 use std::sync::Arc;
 
@@ -16,41 +21,59 @@ use morena_nfc_sim::clock::Clock;
 use morena_nfc_sim::controller::NfcHandle;
 use morena_nfc_sim::world::{PhoneId, World};
 
+use crate::router::EventRouter;
+use crate::sched::{Execution, ExecutionPolicy};
+
 /// The platform services MORENA runs against: an NFC controller, a
-/// main-thread handler for listener delivery, and a clock for timeouts.
+/// main-thread handler for listener delivery, a clock for timeouts, and
+/// the execution engine driving this context's far-reference loops.
 ///
-/// Cheap to clone; all clones share the same main thread.
+/// Cheap to clone; all clones share the same main thread, worker pool,
+/// and event router.
 #[derive(Debug, Clone)]
 pub struct MorenaContext {
     nfc: NfcHandle,
     handler: Handler,
     clock: Arc<dyn Clock>,
+    exec: Arc<Execution>,
+    router: Arc<EventRouter>,
     // Keeps a headless main thread alive for as long as any clone lives.
     _own_main: Option<Arc<MainThread>>,
 }
 
 impl MorenaContext {
-    /// Attaches MORENA to an activity: listeners will be delivered on the
-    /// activity's main thread.
+    /// Attaches MORENA to an activity with the default execution policy:
+    /// listeners will be delivered on the activity's main thread.
     pub fn from_activity(ctx: &ActivityContext) -> MorenaContext {
-        MorenaContext {
-            nfc: ctx.nfc().clone(),
-            handler: ctx.handler(),
-            clock: Arc::clone(ctx.nfc().world().clock()),
-            _own_main: None,
-        }
+        MorenaContext::from_activity_with(ctx, ExecutionPolicy::default())
     }
 
-    /// Runs MORENA without any activity (e.g. a background service): the
-    /// context owns a private main thread for listener delivery.
+    /// [`from_activity`](MorenaContext::from_activity) with an explicit
+    /// [`ExecutionPolicy`] for this context's event loops.
+    pub fn from_activity_with(ctx: &ActivityContext, policy: ExecutionPolicy) -> MorenaContext {
+        let nfc = ctx.nfc().clone();
+        let clock = Arc::clone(nfc.world().clock());
+        let exec = Arc::new(Execution::new(policy, Arc::clone(&clock), nfc.world().obs()));
+        let router = Arc::new(EventRouter::spawn(&nfc));
+        MorenaContext { nfc, handler: ctx.handler(), clock, exec, router, _own_main: None }
+    }
+
+    /// Runs MORENA without any activity (e.g. a background service) with
+    /// the default execution policy: the context owns a private main
+    /// thread for listener delivery.
     pub fn headless(world: &World, phone: PhoneId) -> MorenaContext {
+        MorenaContext::headless_with(world, phone, ExecutionPolicy::default())
+    }
+
+    /// [`headless`](MorenaContext::headless) with an explicit
+    /// [`ExecutionPolicy`] for this context's event loops.
+    pub fn headless_with(world: &World, phone: PhoneId, policy: ExecutionPolicy) -> MorenaContext {
         let main = Arc::new(MainThread::spawn());
-        MorenaContext {
-            nfc: NfcHandle::new(world.clone(), phone),
-            handler: main.handler(),
-            clock: Arc::clone(world.clock()),
-            _own_main: Some(main),
-        }
+        let nfc = NfcHandle::new(world.clone(), phone);
+        let clock = Arc::clone(world.clock());
+        let exec = Arc::new(Execution::new(policy, Arc::clone(&clock), world.obs()));
+        let router = Arc::new(EventRouter::spawn(&nfc));
+        MorenaContext { nfc, handler: main.handler(), clock, exec, router, _own_main: Some(main) }
     }
 
     /// The phone's NFC controller.
@@ -71,6 +94,21 @@ impl MorenaContext {
     /// The clock used for timeouts and lease arithmetic.
     pub fn clock(&self) -> &Arc<dyn Clock> {
         &self.clock
+    }
+
+    /// The execution policy this context's event loops run under.
+    pub fn execution_policy(&self) -> ExecutionPolicy {
+        self.exec.policy()
+    }
+
+    /// The engine far-reference loops attach to.
+    pub(crate) fn execution(&self) -> &Execution {
+        &self.exec
+    }
+
+    /// The context's shared event dispatcher.
+    pub(crate) fn router(&self) -> &EventRouter {
+        &self.router
     }
 }
 
@@ -105,5 +143,16 @@ mod tests {
         let (tx, rx) = crossbeam::channel::unbounded();
         clone.handler().post(move || tx.send(42).unwrap());
         assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap(), 42);
+    }
+
+    #[test]
+    fn context_reports_its_execution_policy() {
+        let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 0);
+        let phone = world.add_phone("svc");
+        let ctx =
+            MorenaContext::headless_with(&world, phone, ExecutionPolicy::Sharded { workers: 3 });
+        assert_eq!(ctx.execution_policy(), ExecutionPolicy::Sharded { workers: 3 });
+        let literal = MorenaContext::headless_with(&world, phone, ExecutionPolicy::ThreadPerLoop);
+        assert_eq!(literal.execution_policy(), ExecutionPolicy::ThreadPerLoop);
     }
 }

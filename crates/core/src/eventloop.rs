@@ -16,12 +16,21 @@
 //!   changes;
 //! * per-operation deadlines — an expired head operation is dropped and
 //!   its failure listener fired;
+//! * cancelled operations are swept from the whole queue (not just the
+//!   head) and their failure listeners fired immediately;
 //! * listener delivery on the application's main thread, in completion
 //!   order.
+//!
+//! The loop itself is a poll-able state machine ([`Shared`] implements
+//! [`PollTask`]): one call to `poll` performs at most one unit of work
+//! and reports how the loop wants to be resumed. How polls get a thread
+//! is the [`crate::sched`] module's business — either a dedicated driver
+//! thread per loop (the paper-literal policy) or a pinned shard of the
+//! context's worker pool (the default).
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, Weak};
 use std::time::Duration;
 
 use morena_android_sim::looper::Handler;
@@ -32,9 +41,7 @@ use parking_lot::Mutex;
 
 use crate::context::MorenaContext;
 use crate::convert::ConvertError;
-
-/// A deadline far enough away to mean "no deadline".
-const FAR_FUTURE: SimInstant = SimInstant::from_nanos(u64::MAX);
+use crate::sched::{Execution, LoopPoll, PollTask, Shard};
 
 /// Why an asynchronous MORENA operation did not succeed, delivered to the
 /// operation's failure listener.
@@ -92,7 +99,10 @@ pub(crate) enum OpResponse {
 
 /// The physical half of the loop: connectivity probing and the blocking
 /// execution of one operation attempt.
-pub(crate) trait OpExecutor: Send + 'static {
+///
+/// `Sync` because the loop state lives on a shared scheduler; only one
+/// thread calls `execute` at a time, but wakers may probe concurrently.
+pub(crate) trait OpExecutor: Send + Sync + 'static {
     /// Whether the remote party is reachable right now.
     fn connected(&self) -> bool;
 
@@ -197,10 +207,16 @@ fn op_kind(request: &OpRequest) -> OpKind {
 ///
 /// Cancelling is idempotent; once the operation has completed (or timed
 /// out) cancellation has no effect.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct OpTicket {
     cancelled: Arc<AtomicBool>,
-    signal: Arc<WaitSignal>,
+    task: Weak<Shared>,
+}
+
+impl std::fmt::Debug for OpTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OpTicket").field("cancelled", &self.is_cancelled()).finish()
+    }
 }
 
 impl OpTicket {
@@ -208,12 +224,14 @@ impl OpTicket {
     /// (false = already cancelled earlier).
     ///
     /// The operation's failure listener fires with
-    /// [`OpFailure::Cancelled`] when the loop drops it — unless it
+    /// [`OpFailure::Cancelled`] when the loop sweeps it — unless it
     /// already completed, in which case nothing happens.
     pub fn cancel(&self) -> bool {
         let flipped = !self.cancelled.swap(true, Ordering::AcqRel);
         if flipped {
-            self.signal.notify();
+            if let Some(task) = self.task.upgrade() {
+                task.wake();
+            }
         }
         flipped
     }
@@ -253,14 +271,26 @@ struct PendingOp {
     on_failure: Box<dyn FnOnce(OpFailure) + Send>,
 }
 
-struct Shared {
+/// The complete state of one event loop — the `LoopState` the scheduler
+/// polls. Only the owning worker/driver thread ever calls
+/// [`Shared::poll_loop`]; everything else is waker-side.
+pub(crate) struct Shared {
     queue: Mutex<VecDeque<PendingOp>>,
+    /// Park target of the thread-per-loop driver; also the wake channel
+    /// for virtual-clock deadline delivery in that policy.
     signal: Arc<WaitSignal>,
     stopped: AtomicBool,
+    /// Wake-dedupe flag: set while the task sits in its shard's ready
+    /// queue (see [`PollTask::try_schedule`]).
+    scheduled: AtomicBool,
+    /// Set exactly once at spawn under the sharded policy; `None` means
+    /// a dedicated driver thread parks on `signal` instead.
+    shard: OnceLock<Arc<Shard>>,
     clock: Arc<dyn Clock>,
     handler: Handler,
     stats: Arc<OpStats>,
     config: LoopConfig,
+    executor: Box<dyn OpExecutor>,
     obs: ObsScope,
     metrics: LoopMetrics,
 }
@@ -276,6 +306,193 @@ impl Shared {
         let callback = op.on_failure;
         drop(op.on_success);
         self.handler.post(move || callback(failure));
+    }
+
+    fn deliver_cancelled(&self, op: PendingOp, at: SimInstant) {
+        self.stats.record_cancelled();
+        self.metrics.cancelled.inc();
+        self.obs
+            .emit(at, || EventKind::OpCompleted { op_id: op.op_id, outcome: OpOutcome::Cancelled });
+        self.deliver_failure(op, OpFailure::Cancelled);
+    }
+
+    /// Re-enqueues this loop for a poll (or pokes its driver thread).
+    fn wake(self: &Arc<Self>) {
+        match self.shard.get() {
+            Some(shard) => shard.wake(Arc::clone(self) as Arc<dyn PollTask>),
+            None => self.signal.notify(),
+        }
+    }
+
+    /// Empties the queue, failing every op as Cancelled. Runs on the
+    /// polling thread once `stopped` is observed; `submit` races are
+    /// closed by its own under-lock `stopped` re-check.
+    fn drain_all(&self) {
+        let drained: Vec<PendingOp> = self.queue.lock().drain(..).collect();
+        if drained.is_empty() {
+            return;
+        }
+        let now = self.clock.now();
+        for op in drained {
+            self.deliver_cancelled(op, now);
+        }
+    }
+
+    /// Removes cancelled ops from the *whole* queue (not just the head)
+    /// and fires their listeners immediately.
+    fn sweep_cancelled(&self, now: SimInstant) {
+        let swept: Vec<PendingOp> = {
+            let mut queue = self.queue.lock();
+            if !queue.iter().any(|op| op.cancelled.load(Ordering::Acquire)) {
+                return;
+            }
+            let mut kept = VecDeque::with_capacity(queue.len());
+            let mut swept = Vec::new();
+            for op in queue.drain(..) {
+                if op.cancelled.load(Ordering::Acquire) {
+                    swept.push(op);
+                } else {
+                    kept.push_back(op);
+                }
+            }
+            *queue = kept;
+            swept
+        };
+        for op in swept {
+            self.deliver_cancelled(op, now);
+        }
+    }
+
+    /// Pops the head only if it is still the op we just attempted — a
+    /// concurrent drain may have removed it, in which case its Cancelled
+    /// listener already fired and the response is dropped.
+    fn pop_if_head(&self, op_id: u64) -> Option<PendingOp> {
+        let mut queue = self.queue.lock();
+        if queue.front().is_some_and(|op| op.op_id == op_id) {
+            queue.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// One unit of loop work; see [`LoopPoll`] for the resume contract.
+    fn poll_loop(&self) -> LoopPoll {
+        if self.stopped.load(Ordering::Acquire) {
+            self.drain_all();
+            return LoopPoll::Idle;
+        }
+        let now = self.clock.now();
+        self.sweep_cancelled(now);
+
+        enum Step {
+            Empty,
+            Timeout(PendingOp),
+            Blocked(SimInstant),
+            Attempt(u64, OpRequest, SimInstant),
+        }
+
+        let step = {
+            let mut queue = self.queue.lock();
+            match queue.front() {
+                None => Step::Empty,
+                Some(op) if now >= op.deadline => {
+                    Step::Timeout(queue.pop_front().expect("checked front"))
+                }
+                Some(op) => {
+                    if self.executor.connected() {
+                        Step::Attempt(op.op_id, op.request.clone(), op.deadline)
+                    } else {
+                        Step::Blocked(op.deadline)
+                    }
+                }
+            }
+        };
+        match step {
+            Step::Empty => LoopPoll::Park,
+            Step::Timeout(op) => {
+                self.stats.record_timed_out();
+                self.metrics.timed_out.inc();
+                self.obs.emit(now, || EventKind::OpCompleted {
+                    op_id: op.op_id,
+                    outcome: OpOutcome::TimedOut,
+                });
+                self.deliver_failure(op, OpFailure::TimedOut);
+                LoopPoll::Runnable
+            }
+            Step::Blocked(deadline) => LoopPoll::RunnableAt(deadline),
+            Step::Attempt(op_id, request, deadline) => {
+                let attempt_started = self.clock.now();
+                let outcome = self.executor.execute(&request);
+                let finished = self.clock.now();
+                let attempt_nanos = finished.saturating_since(attempt_started).as_nanos() as u64;
+                self.stats.record_attempt(attempt_nanos);
+                self.metrics.attempts.inc();
+                self.metrics.attempt_ns.observe(attempt_nanos);
+                let attempt_outcome = match &outcome {
+                    Ok(_) => AttemptOutcome::Success,
+                    Err(e) if e.is_transient() => AttemptOutcome::Transient,
+                    Err(_) => AttemptOutcome::Permanent,
+                };
+                self.obs.emit(finished, || EventKind::OpAttempt {
+                    op_id,
+                    started_nanos: attempt_started.as_nanos(),
+                    duration_nanos: attempt_nanos,
+                    outcome: attempt_outcome,
+                });
+                match outcome {
+                    Ok(response) => {
+                        if let Some(op) = self.pop_if_head(op_id) {
+                            let completion_nanos =
+                                finished.saturating_since(op.enqueued_at).as_nanos() as u64;
+                            self.stats.record_succeeded(completion_nanos);
+                            self.metrics.succeeded.inc();
+                            self.metrics.completion_ns.observe(completion_nanos);
+                            self.obs.emit(finished, || EventKind::OpCompleted {
+                                op_id: op.op_id,
+                                outcome: OpOutcome::Succeeded,
+                            });
+                            self.deliver_success(op, response);
+                        }
+                        LoopPoll::Runnable
+                    }
+                    Err(e) if e.is_transient() => {
+                        // Decoupling in time: the operation stays queued.
+                        // Back off briefly; a connectivity notification
+                        // re-arms the attempt immediately.
+                        self.stats.record_transient_failure();
+                        self.metrics.retries.inc();
+                        let backoff = self.clock.now() + self.config.retry_backoff;
+                        LoopPoll::RunnableAt(backoff.min(deadline))
+                    }
+                    Err(e) => {
+                        if let Some(op) = self.pop_if_head(op_id) {
+                            self.stats.record_failed();
+                            self.metrics.failed.inc();
+                            self.obs.emit(finished, || EventKind::OpCompleted {
+                                op_id: op.op_id,
+                                outcome: OpOutcome::Failed,
+                            });
+                            self.deliver_failure(op, OpFailure::Failed(e));
+                        }
+                        LoopPoll::Runnable
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl PollTask for Shared {
+    fn poll(&self) -> LoopPoll {
+        self.poll_loop()
+    }
+
+    fn try_schedule(&self) -> bool {
+        !self.scheduled.swap(true, Ordering::AcqRel)
+    }
+
+    fn clear_scheduled(&self) {
+        self.scheduled.store(false, Ordering::Release);
     }
 }
 
@@ -293,9 +510,13 @@ impl std::fmt::Debug for EventLoop {
 }
 
 impl EventLoop {
-    /// Spawns the loop thread.
+    /// Creates the loop state machine and attaches it to `exec`: under
+    /// the sharded policy it is pinned to a shard of the worker pool (no
+    /// thread is spawned); under thread-per-loop a dedicated driver
+    /// thread `morena-loop-{name}` is started.
     pub(crate) fn spawn(
         name: &str,
+        exec: &Execution,
         clock: Arc<dyn Clock>,
         handler: Handler,
         config: LoopConfig,
@@ -307,19 +528,30 @@ impl EventLoop {
             queue: Mutex::new(VecDeque::new()),
             signal: Arc::new(WaitSignal::new()),
             stopped: AtomicBool::new(false),
+            scheduled: AtomicBool::new(false),
+            shard: OnceLock::new(),
             clock,
             handler,
             stats: Arc::new(OpStats::default()),
             config,
+            executor: Box::new(executor),
             obs,
             metrics,
         });
-        {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name(format!("morena-loop-{name}"))
-                .spawn(move || run(&shared, &executor))
-                .expect("spawn event loop");
+        match exec {
+            Execution::Sharded(scheduler) => {
+                let _ = shared.shard.set(scheduler.assign());
+            }
+            Execution::ThreadPerLoop => {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("morena-loop-{name}"))
+                    // Small stacks keep the paper-literal policy viable at
+                    // bench scale (the loop never recurses deeply).
+                    .stack_size(256 * 1024)
+                    .spawn(move || drive(&shared))
+                    .expect("spawn event loop");
+            }
         }
         EventLoop { shared }
     }
@@ -335,30 +567,30 @@ impl EventLoop {
         on_success: Box<dyn FnOnce(OpResponse) + Send>,
         on_failure: Box<dyn FnOnce(OpFailure) + Send>,
     ) -> OpTicket {
+        let shared = &self.shared;
         let cancelled = Arc::new(AtomicBool::new(false));
-        let ticket =
-            OpTicket { cancelled: Arc::clone(&cancelled), signal: Arc::clone(&self.shared.signal) };
-        if self.shared.stopped.load(Ordering::Acquire) {
-            self.shared.stats.record_cancelled();
-            self.shared.metrics.cancelled.inc();
-            self.shared.handler.post(move || on_failure(OpFailure::Cancelled));
+        let ticket = OpTicket { cancelled: Arc::clone(&cancelled), task: Arc::downgrade(shared) };
+        if shared.stopped.load(Ordering::Acquire) {
+            shared.stats.record_cancelled();
+            shared.metrics.cancelled.inc();
+            shared.handler.post(move || on_failure(OpFailure::Cancelled));
             return ticket;
         }
-        let timeout = timeout.unwrap_or(self.shared.config.default_timeout);
-        let now = self.shared.clock.now();
+        let timeout = timeout.unwrap_or(shared.config.default_timeout);
+        let now = shared.clock.now();
         let deadline = now + timeout;
-        let op_id = self.shared.obs.recorder.next_op_id();
-        self.shared.stats.record_submitted();
-        self.shared.metrics.submitted.inc();
-        self.shared.obs.emit(now, || EventKind::OpEnqueued {
+        let op_id = shared.obs.recorder.next_op_id();
+        shared.stats.record_submitted();
+        shared.metrics.submitted.inc();
+        shared.obs.emit(now, || EventKind::OpEnqueued {
             op_id,
-            loop_name: self.shared.obs.loop_name.clone(),
-            phone: self.shared.obs.phone,
-            target: self.shared.obs.target.clone(),
+            loop_name: shared.obs.loop_name.clone(),
+            phone: shared.obs.phone,
+            target: shared.obs.target.clone(),
             op: op_kind(&request),
             deadline_nanos: deadline.as_nanos(),
         });
-        self.shared.queue.lock().push_back(PendingOp {
+        let mut op = Some(PendingOp {
             op_id,
             request,
             deadline,
@@ -367,23 +599,34 @@ impl EventLoop {
             on_success,
             on_failure,
         });
-        self.shared.signal.notify();
+        {
+            // Re-check `stopped` under the queue lock: the stop-side drain
+            // also takes this lock, so either our push lands before the
+            // drain (and is cancelled by it) or we observe the flag here
+            // and never push — the op can no longer be stranded in a queue
+            // nobody will ever poll again.
+            let mut queue = shared.queue.lock();
+            if !shared.stopped.load(Ordering::Acquire) {
+                queue.push_back(op.take().expect("set above"));
+            }
+        }
+        match op {
+            None => shared.wake(),
+            Some(op) => shared.deliver_cancelled(op, shared.clock.now()),
+        }
         ticket
     }
 
     /// Wakes the loop so it re-examines connectivity — called by the
     /// owner when discovery events arrive for this reference.
     pub(crate) fn wake(&self) {
-        self.shared.signal.notify();
+        self.shared.wake();
     }
 
     /// A ticket for an operation that never entered the queue (e.g. it
     /// failed conversion); cancelling it is a no-op.
     pub(crate) fn dead_ticket(&self) -> OpTicket {
-        OpTicket {
-            cancelled: Arc::new(AtomicBool::new(true)),
-            signal: Arc::clone(&self.shared.signal),
-        }
+        OpTicket { cancelled: Arc::new(AtomicBool::new(true)), task: Weak::new() }
     }
 
     /// Number of operations still queued (including the one currently
@@ -398,141 +641,34 @@ impl EventLoop {
     }
 
     /// Stops the loop: queued operations fail with
-    /// [`OpFailure::Cancelled`]; the thread exits.
+    /// [`OpFailure::Cancelled`]; the next poll drains the queue and the
+    /// loop goes permanently idle (its driver thread, if any, exits).
     pub(crate) fn stop(&self) {
         self.shared.stopped.store(true, Ordering::Release);
-        self.shared.signal.notify();
+        self.shared.wake();
     }
 }
 
-fn run(shared: &Arc<Shared>, executor: &dyn OpExecutor) {
-    enum Step {
-        WaitForever,
-        WaitUntil(SimInstant),
-        Timeout(PendingOp),
-        Cancelled(PendingOp),
-        Attempt(u64, OpRequest, SimInstant),
-    }
-
+/// The thread-per-loop driver: the same poll state machine, parked on
+/// the loop's own [`WaitSignal`] between polls.
+fn drive(shared: &Arc<Shared>) {
     loop {
-        // Read the generation *before* inspecting state so a notification
-        // racing with the inspection wakes the wait immediately.
+        // Read the generation *before* polling so a notification racing
+        // with the poll cuts the park short.
         let generation = shared.signal.generation();
         if shared.stopped.load(Ordering::Acquire) {
-            let drained: Vec<PendingOp> = shared.queue.lock().drain(..).collect();
-            let now = shared.clock.now();
-            for op in drained {
-                shared.stats.record_cancelled();
-                shared.metrics.cancelled.inc();
-                shared.obs.emit(now, || EventKind::OpCompleted {
-                    op_id: op.op_id,
-                    outcome: OpOutcome::Cancelled,
-                });
-                shared.deliver_failure(op, OpFailure::Cancelled);
-            }
+            shared.poll_loop(); // drains and fires Cancelled listeners
             return;
         }
-        let now = shared.clock.now();
-        let step = {
-            let mut queue = shared.queue.lock();
-            match queue.front() {
-                None => Step::WaitForever,
-                Some(op) if op.cancelled.load(Ordering::Acquire) => {
-                    Step::Cancelled(queue.pop_front().expect("checked front"))
-                }
-                Some(op) if now >= op.deadline => {
-                    Step::Timeout(queue.pop_front().expect("checked front"))
-                }
-                Some(op) => {
-                    if executor.connected() {
-                        Step::Attempt(op.op_id, op.request.clone(), op.deadline)
-                    } else {
-                        Step::WaitUntil(op.deadline)
-                    }
-                }
-            }
-        };
-        match step {
-            Step::WaitForever => {
-                shared.clock.wait_until(&shared.signal, generation, FAR_FUTURE);
-            }
-            Step::WaitUntil(deadline) => {
+        match shared.poll_loop() {
+            LoopPoll::Runnable => {}
+            LoopPoll::RunnableAt(deadline) => {
                 shared.clock.wait_until(&shared.signal, generation, deadline);
             }
-            Step::Timeout(op) => {
-                shared.stats.record_timed_out();
-                shared.metrics.timed_out.inc();
-                shared.obs.emit(now, || EventKind::OpCompleted {
-                    op_id: op.op_id,
-                    outcome: OpOutcome::TimedOut,
-                });
-                shared.deliver_failure(op, OpFailure::TimedOut);
+            LoopPoll::Park => {
+                shared.clock.wait_until(&shared.signal, generation, SimInstant::FAR_FUTURE);
             }
-            Step::Cancelled(op) => {
-                shared.stats.record_cancelled();
-                shared.metrics.cancelled.inc();
-                shared.obs.emit(now, || EventKind::OpCompleted {
-                    op_id: op.op_id,
-                    outcome: OpOutcome::Cancelled,
-                });
-                shared.deliver_failure(op, OpFailure::Cancelled);
-            }
-            Step::Attempt(op_id, request, deadline) => {
-                let attempt_started = shared.clock.now();
-                let outcome = executor.execute(&request);
-                let finished = shared.clock.now();
-                let attempt_nanos = finished.saturating_since(attempt_started).as_nanos() as u64;
-                shared.stats.record_attempt(attempt_nanos);
-                shared.metrics.attempts.inc();
-                shared.metrics.attempt_ns.observe(attempt_nanos);
-                let attempt_outcome = match &outcome {
-                    Ok(_) => AttemptOutcome::Success,
-                    Err(e) if e.is_transient() => AttemptOutcome::Transient,
-                    Err(_) => AttemptOutcome::Permanent,
-                };
-                shared.obs.emit(finished, || EventKind::OpAttempt {
-                    op_id,
-                    started_nanos: attempt_started.as_nanos(),
-                    duration_nanos: attempt_nanos,
-                    outcome: attempt_outcome,
-                });
-                match outcome {
-                    Ok(response) => {
-                        let op =
-                            shared.queue.lock().pop_front().expect("only the loop thread pops");
-                        let completion_nanos =
-                            finished.saturating_since(op.enqueued_at).as_nanos() as u64;
-                        shared.stats.record_succeeded(completion_nanos);
-                        shared.metrics.succeeded.inc();
-                        shared.metrics.completion_ns.observe(completion_nanos);
-                        shared.obs.emit(finished, || EventKind::OpCompleted {
-                            op_id: op.op_id,
-                            outcome: OpOutcome::Succeeded,
-                        });
-                        shared.deliver_success(op, response);
-                    }
-                    Err(e) if e.is_transient() => {
-                        // Decoupling in time: the operation stays queued.
-                        // Back off briefly; a connectivity notification
-                        // re-arms the attempt immediately.
-                        shared.stats.record_transient_failure();
-                        shared.metrics.retries.inc();
-                        let backoff = shared.clock.now() + shared.config.retry_backoff;
-                        shared.clock.wait_until(&shared.signal, generation, backoff.min(deadline));
-                    }
-                    Err(e) => {
-                        let op =
-                            shared.queue.lock().pop_front().expect("only the loop thread pops");
-                        shared.stats.record_failed();
-                        shared.metrics.failed.inc();
-                        shared.obs.emit(finished, || EventKind::OpCompleted {
-                            op_id: op.op_id,
-                            outcome: OpOutcome::Failed,
-                        });
-                        shared.deliver_failure(op, OpFailure::Failed(e));
-                    }
-                }
-            }
+            LoopPoll::Idle => return,
         }
     }
 }
@@ -540,6 +676,7 @@ fn run(shared: &Arc<Shared>, executor: &dyn OpExecutor) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sched::ExecutionPolicy;
     use crossbeam::channel::{unbounded, Receiver, Sender};
     use morena_android_sim::looper::MainThread;
     use morena_nfc_sim::clock::{SystemClock, VirtualClock};
@@ -562,8 +699,15 @@ mod tests {
         }
     }
 
+    fn both_policies(test: impl Fn(ExecutionPolicy)) {
+        test(ExecutionPolicy::ThreadPerLoop);
+        test(ExecutionPolicy::Sharded { workers: 2 });
+    }
+
     struct Fixture {
         main: MainThread,
+        // Keeps the worker pool alive for the fixture's lifetime.
+        _exec: Execution,
         event_loop: EventLoop,
         connected: Arc<AtomicBool>,
         results: Arc<Mutex<VecDeque<Result<OpResponse, NfcOpError>>>>,
@@ -574,17 +718,36 @@ mod tests {
 
     impl Fixture {
         fn new(clock: Arc<dyn Clock>, config: LoopConfig) -> Fixture {
-            Fixture::with_scope(clock, config, ObsScope::detached("test"))
+            Fixture::build(ExecutionPolicy::default(), clock, config, ObsScope::detached("test"))
+        }
+
+        fn with_policy(
+            policy: ExecutionPolicy,
+            clock: Arc<dyn Clock>,
+            config: LoopConfig,
+        ) -> Fixture {
+            Fixture::build(policy, clock, config, ObsScope::detached("test"))
         }
 
         fn with_scope(clock: Arc<dyn Clock>, config: LoopConfig, scope: ObsScope) -> Fixture {
+            Fixture::build(ExecutionPolicy::default(), clock, config, scope)
+        }
+
+        fn build(
+            policy: ExecutionPolicy,
+            clock: Arc<dyn Clock>,
+            config: LoopConfig,
+            scope: ObsScope,
+        ) -> Fixture {
             let main = MainThread::spawn();
+            let exec = Execution::new(policy, Arc::clone(&clock), &scope.recorder);
             let connected = Arc::new(AtomicBool::new(true));
             let results = Arc::new(Mutex::new(VecDeque::new()));
             let (exec_tx, executed) = unbounded();
             let (outcome_tx, outcomes) = unbounded();
             let event_loop = EventLoop::spawn(
                 "test",
+                &exec,
                 clock,
                 main.handler(),
                 config,
@@ -595,10 +758,19 @@ mod tests {
                 },
                 scope,
             );
-            Fixture { main, event_loop, connected, results, executed, outcomes, outcome_tx }
+            Fixture {
+                main,
+                _exec: exec,
+                event_loop,
+                connected,
+                results,
+                executed,
+                outcomes,
+                outcome_tx,
+            }
         }
 
-        fn submit(&self, request: OpRequest, timeout: Option<Duration>) {
+        fn submit(&self, request: OpRequest, timeout: Option<Duration>) -> OpTicket {
             let ok = self.outcome_tx.clone();
             let err = self.outcome_tx.clone();
             self.event_loop.submit(
@@ -610,7 +782,7 @@ mod tests {
                 Box::new(move |f| {
                     err.send(Err(f)).unwrap();
                 }),
-            );
+            )
         }
 
         fn next_outcome(&self) -> Result<OpResponse, OpFailure> {
@@ -620,40 +792,46 @@ mod tests {
 
     #[test]
     fn ops_complete_in_fifo_order() {
-        let f = Fixture::new(Arc::new(SystemClock::new()), LoopConfig::default());
-        for i in 0..5u8 {
-            f.results.lock().push_back(Ok(OpResponse::Bytes(vec![i])));
-            f.submit(OpRequest::Read, None);
-        }
-        for i in 0..5u8 {
-            assert_eq!(f.next_outcome().unwrap(), OpResponse::Bytes(vec![i]));
-        }
-        let stats = f.event_loop.stats().snapshot();
-        assert_eq!(stats.submitted, 5);
-        assert_eq!(stats.succeeded, 5);
-        assert_eq!(stats.attempts, 5);
-        // Keep the main thread alive until outcomes delivered.
-        f.main.run_sync(|| {});
+        both_policies(|policy| {
+            let f =
+                Fixture::with_policy(policy, Arc::new(SystemClock::new()), LoopConfig::default());
+            for i in 0..5u8 {
+                f.results.lock().push_back(Ok(OpResponse::Bytes(vec![i])));
+                f.submit(OpRequest::Read, None);
+            }
+            for i in 0..5u8 {
+                assert_eq!(f.next_outcome().unwrap(), OpResponse::Bytes(vec![i]));
+            }
+            let stats = f.event_loop.stats().snapshot();
+            assert_eq!(stats.submitted, 5);
+            assert_eq!(stats.succeeded, 5);
+            assert_eq!(stats.attempts, 5);
+            // Keep the main thread alive until outcomes delivered.
+            f.main.run_sync(|| {});
+        });
     }
 
     #[test]
     fn transient_failures_are_retried_until_success() {
-        let f = Fixture::new(
-            Arc::new(SystemClock::new()),
-            LoopConfig { retry_backoff: Duration::from_millis(1), ..LoopConfig::default() },
-        );
-        {
-            let mut results = f.results.lock();
-            results.push_back(Err(NfcOpError::Link(LinkError::TransmissionError)));
-            results.push_back(Err(NfcOpError::Link(LinkError::TransmissionError)));
-            results.push_back(Ok(OpResponse::Done));
-        }
-        f.submit(OpRequest::Write(vec![1]), None);
-        assert_eq!(f.next_outcome().unwrap(), OpResponse::Done);
-        let stats = f.event_loop.stats().snapshot();
-        assert_eq!(stats.attempts, 3);
-        assert_eq!(stats.transient_failures, 2);
-        assert_eq!(stats.succeeded, 1);
+        both_policies(|policy| {
+            let f = Fixture::with_policy(
+                policy,
+                Arc::new(SystemClock::new()),
+                LoopConfig { retry_backoff: Duration::from_millis(1), ..LoopConfig::default() },
+            );
+            {
+                let mut results = f.results.lock();
+                results.push_back(Err(NfcOpError::Link(LinkError::TransmissionError)));
+                results.push_back(Err(NfcOpError::Link(LinkError::TransmissionError)));
+                results.push_back(Ok(OpResponse::Done));
+            }
+            f.submit(OpRequest::Write(vec![1]), None);
+            assert_eq!(f.next_outcome().unwrap(), OpResponse::Done);
+            let stats = f.event_loop.stats().snapshot();
+            assert_eq!(stats.attempts, 3);
+            assert_eq!(stats.transient_failures, 2);
+            assert_eq!(stats.succeeded, 1);
+        });
     }
 
     #[test]
@@ -669,56 +847,148 @@ mod tests {
 
     #[test]
     fn disconnected_ops_wait_and_flush_on_reconnect() {
-        let f = Fixture::new(Arc::new(SystemClock::new()), LoopConfig::default());
-        f.connected.store(false, Ordering::SeqCst);
-        for _ in 0..3 {
-            f.submit(OpRequest::Write(vec![7]), None);
-        }
-        // Nothing executes while disconnected.
-        assert!(f.executed.recv_timeout(Duration::from_millis(50)).is_err());
-        assert_eq!(f.event_loop.queue_len(), 3);
-        // Reconnect: the whole batch flushes (EXT-BATCH behaviour).
-        f.connected.store(true, Ordering::SeqCst);
-        f.event_loop.wake();
-        for _ in 0..3 {
-            assert!(f.next_outcome().is_ok());
-        }
-        assert_eq!(f.event_loop.queue_len(), 0);
+        both_policies(|policy| {
+            let f =
+                Fixture::with_policy(policy, Arc::new(SystemClock::new()), LoopConfig::default());
+            f.connected.store(false, Ordering::SeqCst);
+            for _ in 0..3 {
+                f.submit(OpRequest::Write(vec![7]), None);
+            }
+            // Nothing executes while disconnected.
+            assert!(f.executed.recv_timeout(Duration::from_millis(50)).is_err());
+            assert_eq!(f.event_loop.queue_len(), 3);
+            // Reconnect: the whole batch flushes (EXT-BATCH behaviour).
+            f.connected.store(true, Ordering::SeqCst);
+            f.event_loop.wake();
+            for _ in 0..3 {
+                assert!(f.next_outcome().is_ok());
+            }
+            assert_eq!(f.event_loop.queue_len(), 0);
+        });
     }
 
     #[test]
     fn head_op_times_out_while_disconnected_then_next_proceeds() {
-        let clock = Arc::new(VirtualClock::with_auto_advance(false));
-        let f = Fixture::new(clock.clone() as Arc<dyn Clock>, LoopConfig::default());
-        f.connected.store(false, Ordering::SeqCst);
-        f.submit(OpRequest::Read, Some(Duration::from_secs(1)));
-        f.submit(OpRequest::Read, Some(Duration::from_secs(60)));
-        // Let the loop block on the head deadline, then pass it.
-        std::thread::sleep(Duration::from_millis(30));
-        clock.advance(Duration::from_secs(2));
-        assert_eq!(f.next_outcome().unwrap_err(), OpFailure::TimedOut);
-        // Second op is now head and still pending; reconnect completes it.
-        f.connected.store(true, Ordering::SeqCst);
-        f.event_loop.wake();
-        assert!(f.next_outcome().is_ok());
-        let stats = f.event_loop.stats().snapshot();
-        assert_eq!(stats.timed_out, 1);
-        assert_eq!(stats.succeeded, 1);
+        both_policies(|policy| {
+            let clock = Arc::new(VirtualClock::with_auto_advance(false));
+            let f = Fixture::with_policy(
+                policy,
+                clock.clone() as Arc<dyn Clock>,
+                LoopConfig::default(),
+            );
+            f.connected.store(false, Ordering::SeqCst);
+            f.submit(OpRequest::Read, Some(Duration::from_secs(1)));
+            f.submit(OpRequest::Read, Some(Duration::from_secs(60)));
+            // Rendezvous: block until the loop is actually parked on the
+            // head deadline, then pass it.
+            clock.await_waiters(1);
+            clock.advance(Duration::from_secs(2));
+            assert_eq!(f.next_outcome().unwrap_err(), OpFailure::TimedOut);
+            // Second op is now head and still pending; reconnect completes it.
+            f.connected.store(true, Ordering::SeqCst);
+            f.event_loop.wake();
+            assert!(f.next_outcome().is_ok());
+            let stats = f.event_loop.stats().snapshot();
+            assert_eq!(stats.timed_out, 1);
+            assert_eq!(stats.succeeded, 1);
+        });
     }
 
     #[test]
     fn stop_cancels_queued_ops() {
-        let f = Fixture::new(Arc::new(SystemClock::new()), LoopConfig::default());
-        f.connected.store(false, Ordering::SeqCst);
-        f.submit(OpRequest::Read, None);
-        f.submit(OpRequest::Read, None);
-        f.event_loop.stop();
-        assert_eq!(f.next_outcome().unwrap_err(), OpFailure::Cancelled);
-        assert_eq!(f.next_outcome().unwrap_err(), OpFailure::Cancelled);
-        // Submissions after stop are cancelled immediately.
-        f.submit(OpRequest::Read, None);
-        assert_eq!(f.next_outcome().unwrap_err(), OpFailure::Cancelled);
-        assert_eq!(f.event_loop.stats().snapshot().cancelled, 3);
+        both_policies(|policy| {
+            let f =
+                Fixture::with_policy(policy, Arc::new(SystemClock::new()), LoopConfig::default());
+            f.connected.store(false, Ordering::SeqCst);
+            f.submit(OpRequest::Read, None);
+            f.submit(OpRequest::Read, None);
+            f.event_loop.stop();
+            assert_eq!(f.next_outcome().unwrap_err(), OpFailure::Cancelled);
+            assert_eq!(f.next_outcome().unwrap_err(), OpFailure::Cancelled);
+            // Submissions after stop are cancelled immediately.
+            f.submit(OpRequest::Read, None);
+            assert_eq!(f.next_outcome().unwrap_err(), OpFailure::Cancelled);
+            assert_eq!(f.event_loop.stats().snapshot().cancelled, 3);
+        });
+    }
+
+    #[test]
+    fn submit_stop_race_always_fires_the_listener() {
+        // Satellite regression: `submit` used to check `stopped` before
+        // taking the queue lock, so a stop-side drain could slip between
+        // the check and the push — the op was enqueued into a dead queue
+        // and its listeners never fired. Loop the interleaving hard.
+        both_policies(|policy| {
+            let main = MainThread::spawn();
+            let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+            let recorder = Recorder::new();
+            let exec = Execution::new(policy, Arc::clone(&clock), &recorder);
+            for i in 0..500 {
+                let event_loop = EventLoop::spawn(
+                    &format!("race-{i}"),
+                    &exec,
+                    Arc::clone(&clock),
+                    main.handler(),
+                    LoopConfig::default(),
+                    Scripted {
+                        connected: Arc::new(AtomicBool::new(false)),
+                        results: Arc::new(Mutex::new(VecDeque::new())),
+                        executed: unbounded().0,
+                    },
+                    ObsScope::detached("race"),
+                );
+                let (tx, rx) = unbounded();
+                let stopper = {
+                    let event_loop = event_loop.clone();
+                    std::thread::spawn(move || event_loop.stop())
+                };
+                let ok_tx = tx.clone();
+                event_loop.submit(
+                    OpRequest::Read,
+                    None,
+                    Box::new(move |_| ok_tx.send("success").unwrap()),
+                    Box::new(move |f| {
+                        assert_eq!(f, OpFailure::Cancelled);
+                        tx.send("cancelled").unwrap();
+                    }),
+                );
+                stopper.join().unwrap();
+                // Exactly one listener fires, no matter the interleaving.
+                assert_eq!(
+                    rx.recv_timeout(Duration::from_secs(10)).expect("listener fired"),
+                    "cancelled"
+                );
+                assert!(rx.try_recv().is_err(), "no double delivery");
+            }
+        });
+    }
+
+    #[test]
+    fn cancelled_non_head_ops_are_swept_immediately() {
+        // Satellite regression: a cancelled op at position k used to keep
+        // its slot (and delay its Cancelled callback) until everything
+        // ahead of it completed.
+        both_policies(|policy| {
+            let f =
+                Fixture::with_policy(policy, Arc::new(SystemClock::new()), LoopConfig::default());
+            f.connected.store(false, Ordering::SeqCst);
+            f.submit(OpRequest::Read, None);
+            let middle = f.submit(OpRequest::Write(vec![1]), None);
+            f.submit(OpRequest::MakeReadOnly, None);
+            assert_eq!(f.event_loop.queue_len(), 3);
+            // The head stays blocked (disconnected), yet cancelling the
+            // middle op must fire its listener right away.
+            assert!(middle.cancel());
+            assert_eq!(f.next_outcome().unwrap_err(), OpFailure::Cancelled);
+            assert_eq!(f.event_loop.queue_len(), 2, "the swept op freed its slot");
+            assert_eq!(f.event_loop.stats().snapshot().cancelled, 1);
+            // The remaining ops are untouched and complete on reconnect.
+            f.connected.store(true, Ordering::SeqCst);
+            f.event_loop.wake();
+            assert!(f.next_outcome().is_ok());
+            assert!(f.next_outcome().is_ok());
+            assert_eq!(f.event_loop.queue_len(), 0);
+        });
     }
 
     #[test]
@@ -726,9 +996,13 @@ mod tests {
         let main = MainThread::spawn();
         let main_id = main.thread_id();
         let (tx, rx) = unbounded();
+        let clock: Arc<dyn Clock> = Arc::new(SystemClock::new());
+        let recorder = Recorder::new();
+        let exec = Execution::new(ExecutionPolicy::default(), Arc::clone(&clock), &recorder);
         let event_loop = EventLoop::spawn(
             "thread-check",
-            Arc::new(SystemClock::new()),
+            &exec,
+            clock,
             main.handler(),
             LoopConfig::default(),
             Scripted {
@@ -832,6 +1106,31 @@ mod tests {
         assert_eq!(metrics.counter("ops.succeeded"), 1);
         assert_eq!(metrics.histogram("op.attempt_ns").unwrap().count(), 2);
         assert_eq!(metrics.histogram("op.completion_ns").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn scheduler_metrics_record_polls_and_parks() {
+        let recorder = Arc::new(Recorder::new());
+        let scope = ObsScope {
+            recorder: Arc::clone(&recorder),
+            loop_name: "sched".into(),
+            phone: 0,
+            target: "sched".into(),
+        };
+        let f = Fixture::build(
+            ExecutionPolicy::Sharded { workers: 2 },
+            Arc::new(SystemClock::new()),
+            LoopConfig::default(),
+            scope,
+        );
+        f.results.lock().push_back(Ok(OpResponse::Done));
+        f.submit(OpRequest::Read, None);
+        assert!(f.next_outcome().is_ok());
+        let metrics = recorder.metrics().snapshot();
+        assert!(metrics.counter("scheduler.polls") >= 1, "at least one poll happened");
+        assert!(metrics.counter("scheduler.wakeups") >= 1, "the submit wake was counted");
+        assert!(metrics.histogram("scheduler.poll_ns").unwrap().count() >= 1);
+        assert_eq!(metrics.gauge("scheduler.shard_depth"), 0, "queues drained");
     }
 
     #[test]

@@ -75,6 +75,8 @@ pub mod eventloop;
 pub mod keyed;
 pub mod lease;
 pub mod peer;
+mod router;
+pub mod sched;
 pub mod tagref;
 pub mod thing;
 
@@ -86,5 +88,6 @@ pub use eventloop::{LoopConfig, OpFailure, OpStats, OpStatsSnapshot, OpTicket};
 pub use keyed::{KeyedConverter, MemoryStore, ObjectKey, ObjectStore};
 pub use lease::{DeviceId, Lease, LeaseError, LeaseManager, LeaseRecord};
 pub use peer::{PeerInbox, PeerListener, PeerReference};
+pub use sched::ExecutionPolicy;
 pub use tagref::TagReference;
 pub use thing::{BoundThing, EmptyThingSlot, Thing, ThingObserver, ThingSpace};

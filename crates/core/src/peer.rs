@@ -15,22 +15,22 @@
 //! is the typed receiving side, delivering `(sender, value)` pairs on
 //! the main thread.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::RecvTimeoutError;
 use morena_ndef::NdefMessage;
 use morena_nfc_sim::controller::NfcHandle;
 use morena_nfc_sim::error::NfcOpError;
 use morena_nfc_sim::world::{obs_peer_target, NfcEvent, PhoneId};
 use morena_obs::EventKind;
+use parking_lot::Mutex;
 
 use crate::context::MorenaContext;
 use crate::convert::TagDataConverter;
 use crate::eventloop::{
     EventLoop, LoopConfig, ObsScope, OpExecutor, OpFailure, OpRequest, OpResponse, OpStats,
 };
+use crate::router::RouteGuard;
 
 struct PeerExecutor {
     nfc: NfcHandle,
@@ -59,12 +59,11 @@ struct PeerRefInner<C: TagDataConverter> {
     peer: PhoneId,
     converter: Arc<C>,
     event_loop: EventLoop,
-    router_stop: Arc<AtomicBool>,
+    route: Mutex<Option<RouteGuard>>,
 }
 
 impl<C: TagDataConverter> Drop for PeerRefInner<C> {
     fn drop(&mut self) {
-        self.router_stop.store(true, Ordering::Release);
         self.event_loop.stop();
     }
 }
@@ -127,6 +126,7 @@ impl<C: TagDataConverter> PeerReference<C> {
     ) -> PeerReference<C> {
         let event_loop = EventLoop::spawn(
             &format!("peer-{peer}"),
+            ctx.execution(),
             Arc::clone(ctx.clock()),
             ctx.handler(),
             config,
@@ -135,15 +135,22 @@ impl<C: TagDataConverter> PeerReference<C> {
             // ("phone-N") so the correlator can join the two streams.
             ObsScope::new(ctx, format!("peer-{peer}"), obs_peer_target(peer)),
         );
-        let router_stop = Arc::new(AtomicBool::new(false));
-        spawn_peer_router(ctx.nfc().clone(), peer, event_loop.clone(), Arc::clone(&router_stop));
+        // Presence changes of *this* peer re-arm the loop, via the
+        // context's shared event router.
+        let loop_for_route = event_loop.clone();
+        let route = ctx.router().register(move |event| match event {
+            NfcEvent::PeerEntered { peer: p } | NfcEvent::PeerLeft { peer: p } if *p == peer => {
+                loop_for_route.wake();
+            }
+            _ => {}
+        });
         PeerReference {
             inner: Arc::new(PeerRefInner {
                 ctx: ctx.clone(),
                 peer,
                 converter,
                 event_loop,
-                router_stop,
+                route: Mutex::new(Some(route)),
             }),
         }
     }
@@ -225,30 +232,9 @@ impl<C: TagDataConverter> PeerReference<C> {
     /// Stops the reference; queued messages fail with
     /// [`OpFailure::Cancelled`].
     pub fn close(&self) {
-        self.inner.router_stop.store(true, Ordering::Release);
+        self.inner.route.lock().take();
         self.inner.event_loop.stop();
     }
-}
-
-fn spawn_peer_router(nfc: NfcHandle, peer: PhoneId, event_loop: EventLoop, stop: Arc<AtomicBool>) {
-    let events = nfc.events();
-    std::thread::Builder::new()
-        .name(format!("morena-peer-router-{peer}"))
-        .spawn(move || {
-            while !stop.load(Ordering::Acquire) {
-                match events.recv_timeout(Duration::from_millis(20)) {
-                    Ok(NfcEvent::PeerEntered { peer: p }) | Ok(NfcEvent::PeerLeft { peer: p })
-                        if p == peer =>
-                    {
-                        event_loop.wake();
-                    }
-                    Ok(_) => {}
-                    Err(RecvTimeoutError::Timeout) => {}
-                    Err(RecvTimeoutError::Disconnected) => break,
-                }
-            }
-        })
-        .expect("spawn peer router");
 }
 
 /// Typed reception of directed messages; methods run on the main thread.
@@ -265,14 +251,8 @@ pub trait PeerListener<C: TagDataConverter>: Send + Sync + 'static {
 }
 
 struct InboxInner {
-    stop: AtomicBool,
+    route: Mutex<Option<RouteGuard>>,
     _ctx: MorenaContext,
-}
-
-impl Drop for InboxInner {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
-    }
 }
 
 /// Receives directed (and broadcast) pushes of one data type, delivering
@@ -296,59 +276,47 @@ impl<C: TagDataConverter> PeerInbox<C> {
         converter: Arc<C>,
         listener: Arc<dyn PeerListener<C>>,
     ) -> PeerInbox<C> {
-        let inner = Arc::new(InboxInner { stop: AtomicBool::new(false), _ctx: ctx.clone() });
-        let events = ctx.nfc().events();
         let handler = ctx.handler();
         let recorder = Arc::clone(ctx.nfc().world().obs());
         let clock = Arc::clone(ctx.clock());
         let phone = ctx.phone().as_u64();
         let received_ctr = recorder.metrics().counter("peer.received");
-        {
-            let inner = Arc::clone(&inner);
-            std::thread::Builder::new()
-                .name("morena-peer-inbox".into())
-                .spawn(move || {
-                    while !inner.stop.load(Ordering::Acquire) {
-                        match events.recv_timeout(Duration::from_millis(20)) {
-                            Ok(NfcEvent::BeamReceived { from, bytes }) => {
-                                let Ok(message) = NdefMessage::parse(&bytes) else { continue };
-                                if !converter.accepts(&message) {
-                                    continue;
-                                }
-                                let Ok(value) = converter.from_message(&message) else {
-                                    continue;
-                                };
-                                if !listener.check_condition(from, &value) {
-                                    continue;
-                                }
-                                received_ctr.inc();
-                                if recorder.is_enabled() {
-                                    recorder.emit(
-                                        clock.now().as_nanos(),
-                                        EventKind::PeerReceived {
-                                            phone,
-                                            from: from.as_u64(),
-                                            bytes: bytes.len() as u64,
-                                        },
-                                    );
-                                }
-                                let listener = Arc::clone(&listener);
-                                handler.post(move || listener.on_message(from, value));
-                            }
-                            Ok(_) => {}
-                            Err(RecvTimeoutError::Timeout) => {}
-                            Err(RecvTimeoutError::Disconnected) => break,
-                        }
-                    }
-                })
-                .expect("spawn peer inbox");
+        let route = ctx.router().register(move |event| {
+            let NfcEvent::BeamReceived { from, bytes } = event else { return };
+            let from = *from;
+            let Ok(message) = NdefMessage::parse(bytes) else { return };
+            if !converter.accepts(&message) {
+                return;
+            }
+            let Ok(value) = converter.from_message(&message) else {
+                return;
+            };
+            if !listener.check_condition(from, &value) {
+                return;
+            }
+            received_ctr.inc();
+            if recorder.is_enabled() {
+                recorder.emit(
+                    clock.now().as_nanos(),
+                    EventKind::PeerReceived {
+                        phone,
+                        from: from.as_u64(),
+                        bytes: bytes.len() as u64,
+                    },
+                );
+            }
+            let listener = Arc::clone(&listener);
+            handler.post(move || listener.on_message(from, value));
+        });
+        PeerInbox {
+            inner: Arc::new(InboxInner { route: Mutex::new(Some(route)), _ctx: ctx.clone() }),
+            _marker: std::marker::PhantomData,
         }
-        PeerInbox { inner, _marker: std::marker::PhantomData }
     }
 
     /// Stops receiving.
     pub fn stop(&self) {
-        self.inner.stop.store(true, Ordering::Release);
+        self.inner.route.lock().take();
     }
 }
 

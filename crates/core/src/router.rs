@@ -1,0 +1,168 @@
+//! One event-dispatch thread per context, replacing the former
+//! thread-per-reference routers.
+//!
+//! Every `TagReference`, `Beamer`, `PeerReference`, `BeamReceiver`, and
+//! `PeerInbox` used to spawn its own thread polling the controller's
+//! event feed with a 20 ms timeout — another per-reference thread on top
+//! of the per-reference event loop. The [`EventRouter`] subscribes to
+//! the feed **once** per [`MorenaContext`](crate::context::MorenaContext)
+//! and fans each [`NfcEvent`] out to registered filter closures on a
+//! single dispatcher thread (`morena-router`), preserving the feed's
+//! event order per registration.
+//!
+//! Registrations are owned by [`RouteGuard`]s: dropping the guard (or a
+//! reference calling `close()`) unregisters the route, so routes cannot
+//! outlive the object they notify.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use crossbeam::channel::RecvTimeoutError;
+use morena_nfc_sim::controller::NfcHandle;
+use morena_nfc_sim::world::NfcEvent;
+use parking_lot::Mutex;
+
+type RouteFn = Arc<dyn Fn(&NfcEvent) + Send + Sync>;
+
+struct RouterInner {
+    routes: Mutex<Vec<(u64, RouteFn)>>,
+    next_id: AtomicU64,
+}
+
+/// The per-context event dispatcher. Cloning the context shares it; the
+/// dispatcher thread exits once every clone is gone.
+pub(crate) struct EventRouter {
+    inner: Arc<RouterInner>,
+}
+
+impl std::fmt::Debug for EventRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventRouter").field("routes", &self.inner.routes.lock().len()).finish()
+    }
+}
+
+impl EventRouter {
+    /// Subscribes to `nfc`'s event feed and starts the dispatcher thread.
+    pub(crate) fn spawn(nfc: &NfcHandle) -> EventRouter {
+        let events = nfc.events();
+        let inner =
+            Arc::new(RouterInner { routes: Mutex::new(Vec::new()), next_id: AtomicU64::new(0) });
+        // The thread holds only a weak handle: when the last context
+        // clone (and every route guard) is gone, it winds down on its
+        // next timeout tick instead of keeping the router alive forever.
+        let weak = Arc::downgrade(&inner);
+        std::thread::Builder::new()
+            .name("morena-router".into())
+            .spawn(move || loop {
+                match events.recv_timeout(Duration::from_millis(20)) {
+                    Ok(event) => {
+                        let Some(inner) = weak.upgrade() else { return };
+                        // Snapshot outside the lock: a route may drop the
+                        // last handle to another reference mid-dispatch,
+                        // whose guard would then re-enter `routes`.
+                        let routes: Vec<RouteFn> =
+                            inner.routes.lock().iter().map(|(_, f)| Arc::clone(f)).collect();
+                        drop(inner);
+                        for route in routes {
+                            route(&event);
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        if weak.strong_count() == 0 {
+                            return;
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            })
+            .expect("spawn event router");
+        EventRouter { inner }
+    }
+
+    /// Registers a filter closure; it runs on the dispatcher thread for
+    /// every controller event until the returned guard is dropped.
+    pub(crate) fn register(&self, route: impl Fn(&NfcEvent) + Send + Sync + 'static) -> RouteGuard {
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        self.inner.routes.lock().push((id, Arc::new(route)));
+        RouteGuard { id, router: Arc::downgrade(&self.inner) }
+    }
+}
+
+/// Ownership of one route registration; dropping it unregisters.
+pub(crate) struct RouteGuard {
+    id: u64,
+    router: Weak<RouterInner>,
+}
+
+impl std::fmt::Debug for RouteGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouteGuard").field("id", &self.id).finish()
+    }
+}
+
+impl Drop for RouteGuard {
+    fn drop(&mut self) {
+        if let Some(router) = self.router.upgrade() {
+            router.routes.lock().retain(|(id, _)| *id != self.id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morena_nfc_sim::clock::VirtualClock;
+    use morena_nfc_sim::link::LinkModel;
+    use morena_nfc_sim::tag::{TagUid, Type2Tag};
+    use morena_nfc_sim::world::World;
+
+    #[test]
+    fn routes_receive_events_until_their_guard_drops() {
+        let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 0);
+        let phone = world.add_phone("alice");
+        let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
+        let nfc = NfcHandle::new(world.clone(), phone);
+        let router = EventRouter::spawn(&nfc);
+
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let guard = router.register(move |event| {
+            if let NfcEvent::TagEntered { uid, .. } = event {
+                tx.send(*uid).unwrap();
+            }
+        });
+        world.tap_tag(uid, phone);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), uid);
+
+        world.remove_tag_from_field(uid);
+        drop(guard);
+        world.tap_tag(uid, phone);
+        assert!(rx.recv_timeout(Duration::from_millis(120)).is_err(), "route unregistered");
+    }
+
+    #[test]
+    fn routes_fan_out_to_every_registration_in_order() {
+        let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 0);
+        let phone = world.add_phone("alice");
+        let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(2))));
+        let nfc = NfcHandle::new(world.clone(), phone);
+        let router = EventRouter::spawn(&nfc);
+
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let tx2 = tx.clone();
+        let _a = router.register(move |event| {
+            if matches!(event, NfcEvent::TagEntered { .. }) {
+                tx.send("a").unwrap();
+            }
+        });
+        let _b = router.register(move |event| {
+            if matches!(event, NfcEvent::TagEntered { .. }) {
+                tx2.send("b").unwrap();
+            }
+        });
+        world.tap_tag(uid, phone);
+        let first = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let second = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!((first, second), ("a", "b"), "dispatch follows registration order");
+    }
+}

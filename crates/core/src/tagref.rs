@@ -4,8 +4,11 @@
 //! A [`TagReference`] encapsulates:
 //!
 //! * the identity of one physical tag (its UID);
-//! * a private event loop with its own thread, processing queued
-//!   asynchronous read/write operations strictly in order;
+//! * a private event loop — a green loop on the context's worker pool
+//!   (or a dedicated thread under the paper-literal
+//!   [`ExecutionPolicy::ThreadPerLoop`](crate::sched::ExecutionPolicy)) —
+//!   processing queued asynchronous read/write operations strictly in
+//!   order;
 //! * automatic retry of operations while the tag is out of range
 //!   (decoupling in time), bounded by per-operation timeouts;
 //! * a data converter, so application values — not byte buffers — flow
@@ -17,11 +20,9 @@
 //! Listeners fire on the application's main thread, so no user code needs
 //! manual concurrency management.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::RecvTimeoutError;
 use morena_ndef::NdefMessage;
 use morena_nfc_sim::controller::NfcHandle;
 use morena_nfc_sim::error::NfcOpError;
@@ -35,6 +36,7 @@ use crate::eventloop::{
     EventLoop, LoopConfig, ObsScope, OpExecutor, OpFailure, OpRequest, OpResponse, OpStats,
     OpTicket,
 };
+use crate::router::RouteGuard;
 
 /// The physical executor behind a tag reference: blocking NDEF operations
 /// against one tag over the lossy link.
@@ -73,15 +75,17 @@ struct RefInner<C: TagDataConverter> {
     converter: Arc<C>,
     event_loop: EventLoop,
     cache: Mutex<Option<C::Value>>,
-    router_stop: Arc<AtomicBool>,
+    // Dropping the guard unregisters this reference from the context's
+    // event router.
+    route: Mutex<Option<RouteGuard>>,
     observers: Mutex<Vec<Arc<ConnectivityObserver<C>>>>,
 }
 
 impl<C: TagDataConverter> Drop for RefInner<C> {
     fn drop(&mut self) {
-        // Non-blocking teardown (C-DTOR-BLOCK): flag the threads down and
-        // let them exit on their own; `close()` is the synchronous path.
-        self.router_stop.store(true, Ordering::Release);
+        // Non-blocking teardown (C-DTOR-BLOCK): the loop drains on its
+        // next poll and the route guard unregisters with the struct;
+        // `close()` is the synchronous path.
         self.event_loop.stop();
     }
 }
@@ -159,6 +163,7 @@ impl<C: TagDataConverter> TagReference<C> {
     ) -> TagReference<C> {
         let event_loop = EventLoop::spawn(
             &format!("tag-{uid}"),
+            ctx.execution(),
             Arc::clone(ctx.clock()),
             ctx.handler(),
             config,
@@ -167,7 +172,6 @@ impl<C: TagDataConverter> TagReference<C> {
             // simulator's physical tag events in `morena_obs::correlate`.
             ObsScope::new(ctx, format!("tag-{uid}"), uid.to_string()),
         );
-        let router_stop = Arc::new(AtomicBool::new(false));
         let reference = TagReference {
             inner: Arc::new(RefInner {
                 uid,
@@ -176,17 +180,28 @@ impl<C: TagDataConverter> TagReference<C> {
                 converter,
                 event_loop: event_loop.clone(),
                 cache: Mutex::new(None),
-                router_stop: Arc::clone(&router_stop),
+                route: Mutex::new(None),
                 observers: Mutex::new(Vec::new()),
             }),
         };
-        spawn_router(
-            ctx.nfc().clone(),
-            uid,
-            event_loop,
-            router_stop,
-            Arc::downgrade(&reference.inner),
-        );
+        // Route connectivity events for this tag through the context's
+        // shared dispatcher: poke the event loop, fan out to observers.
+        let weak = Arc::downgrade(&reference.inner);
+        let guard = ctx.router().register(move |event| {
+            let connected = match event {
+                NfcEvent::TagEntered { uid: u, .. } if *u == uid => true,
+                NfcEvent::TagLeft { uid: u } if *u == uid => false,
+                _ => return,
+            };
+            event_loop.wake();
+            let Some(inner) = weak.upgrade() else { return };
+            let observers: Vec<_> = inner.observers.lock().clone();
+            for observer in observers {
+                let reference = TagReference { inner: Arc::clone(&inner) };
+                inner.ctx.handler().post(move || observer(reference, connected));
+            }
+        });
+        *reference.inner.route.lock() = Some(guard);
         reference
     }
 
@@ -479,42 +494,9 @@ impl<C: TagDataConverter> TagReference<C> {
     /// Reclaiming references is the application's responsibility (§3.2);
     /// this is the lever.
     pub fn close(&self) {
-        self.inner.router_stop.store(true, Ordering::Release);
+        self.inner.route.lock().take();
         self.inner.event_loop.stop();
     }
-}
-
-/// Watches the controller's event feed, pokes the event loop whenever
-/// connectivity to this reference's tag may have changed, and fans the
-/// change out to registered connectivity observers (on the main thread).
-fn spawn_router<C: TagDataConverter>(
-    nfc: NfcHandle,
-    uid: TagUid,
-    event_loop: EventLoop,
-    stop: Arc<AtomicBool>,
-    inner: std::sync::Weak<RefInner<C>>,
-) {
-    let events = nfc.events();
-    std::thread::Builder::new()
-        .name(format!("morena-router-{uid}"))
-        .spawn(move || {
-            while !stop.load(Ordering::Acquire) {
-                let connected = match events.recv_timeout(Duration::from_millis(20)) {
-                    Ok(NfcEvent::TagEntered { uid: u, .. }) if u == uid => true,
-                    Ok(NfcEvent::TagLeft { uid: u }) if u == uid => false,
-                    Ok(_) | Err(RecvTimeoutError::Timeout) => continue,
-                    Err(RecvTimeoutError::Disconnected) => break,
-                };
-                event_loop.wake();
-                let Some(inner) = inner.upgrade() else { break };
-                let observers: Vec<_> = inner.observers.lock().clone();
-                for observer in observers {
-                    let reference = TagReference { inner: Arc::clone(&inner) };
-                    inner.ctx.handler().post(move || observer(reference, connected));
-                }
-            }
-        })
-        .expect("spawn connectivity router");
 }
 
 #[cfg(test)]

@@ -24,6 +24,11 @@ impl SimInstant {
     /// The zero instant (the clock epoch).
     pub const EPOCH: SimInstant = SimInstant { nanos: 0 };
 
+    /// A deadline far enough away to mean "no deadline". Waits bounded by
+    /// it never time out; a [`VirtualClock`] does not even register them
+    /// as deadline sleepers (no `advance` can reach them).
+    pub const FAR_FUTURE: SimInstant = SimInstant { nanos: u64::MAX };
+
     /// Builds an instant from nanoseconds since the epoch.
     pub const fn from_nanos(nanos: u64) -> SimInstant {
         SimInstant { nanos }
@@ -214,6 +219,10 @@ impl Ord for Sleeper {
 struct VirtualState {
     now: SimInstant,
     sleepers: BinaryHeap<Sleeper>,
+    // How many threads are currently blocked in `wait_until` with a
+    // *finite* deadline — the waiter-rendezvous counter behind
+    // [`VirtualClock::await_waiters`].
+    finite_waiters: usize,
 }
 
 /// Manually driven time for deterministic tests.
@@ -245,7 +254,11 @@ impl VirtualClock {
     /// Creates a virtual clock, choosing the `sleep` behaviour.
     pub fn with_auto_advance(auto_advance: bool) -> VirtualClock {
         VirtualClock {
-            state: Mutex::new(VirtualState { now: SimInstant::EPOCH, sleepers: BinaryHeap::new() }),
+            state: Mutex::new(VirtualState {
+                now: SimInstant::EPOCH,
+                sleepers: BinaryHeap::new(),
+                finite_waiters: 0,
+            }),
             tick: Condvar::new(),
             auto_advance,
         }
@@ -272,6 +285,27 @@ impl VirtualClock {
         for signal in woken {
             signal.notify();
         }
+    }
+
+    /// Blocks until at least `n` threads are simultaneously parked in
+    /// [`Clock::wait_until`] with a finite deadline — a rendezvous for
+    /// tests that would otherwise guess with `thread::sleep` when a loop
+    /// has reached its deadline wait before calling
+    /// [`advance`](VirtualClock::advance).
+    ///
+    /// Waits bounded by [`SimInstant::FAR_FUTURE`] (parked idle, no
+    /// deadline) are deliberately not counted.
+    pub fn await_waiters(&self, n: usize) {
+        let mut state = self.state.lock();
+        while state.finite_waiters < n {
+            self.tick.wait(&mut state);
+        }
+    }
+
+    /// How many threads currently block in [`Clock::wait_until`] with a
+    /// finite deadline.
+    pub fn finite_waiters(&self) -> usize {
+        self.state.lock().finite_waiters
     }
 
     fn advance_to(&self, deadline: SimInstant) {
@@ -329,26 +363,44 @@ impl Clock for VirtualClock {
         seen_generation: u64,
         deadline: SimInstant,
     ) -> WaitOutcome {
-        // Register a wakeup for the deadline so `advance` reaches us.
+        // Register a wakeup for the deadline so `advance` reaches us. A
+        // FAR_FUTURE deadline can never be reached by `advance`, so it is
+        // neither registered nor counted as a finite waiter.
+        let finite = deadline != SimInstant::FAR_FUTURE;
         {
             let mut state = self.state.lock();
             if state.now >= deadline {
                 return WaitOutcome::TimedOut;
             }
-            state.sleepers.push(Sleeper { deadline, signal: Arc::clone(signal) });
-        }
-        let mut generation = signal.generation.lock();
-        loop {
-            // Deadline takes priority: the clock wakes timed-out waiters by
-            // notifying their signal, which must not read as a notification.
-            if self.state.lock().now >= deadline {
-                return WaitOutcome::TimedOut;
+            if finite {
+                state.sleepers.push(Sleeper { deadline, signal: Arc::clone(signal) });
+                state.finite_waiters += 1;
             }
-            if *generation != seen_generation {
-                return WaitOutcome::Notified;
-            }
-            signal.condvar.wait(&mut generation);
         }
+        if finite {
+            // Wake any `await_waiters` rendezvous.
+            self.tick.notify_all();
+        }
+        let outcome = {
+            let mut generation = signal.generation.lock();
+            loop {
+                // Deadline takes priority: the clock wakes timed-out waiters
+                // by notifying their signal, which must not read as a
+                // notification.
+                if self.state.lock().now >= deadline {
+                    break WaitOutcome::TimedOut;
+                }
+                if *generation != seen_generation {
+                    break WaitOutcome::Notified;
+                }
+                signal.condvar.wait(&mut generation);
+            }
+        };
+        if finite {
+            self.state.lock().finite_waiters -= 1;
+            self.tick.notify_all();
+        }
+        outcome
     }
 }
 
@@ -480,6 +532,40 @@ mod tests {
         assert_eq!((t + Duration::from_secs(1)).saturating_since(t), Duration::from_secs(1));
         assert_eq!(t.saturating_since(t + Duration::from_secs(1)), Duration::ZERO);
         assert_eq!(format!("{t}"), "t+1.500s");
+    }
+
+    #[test]
+    fn await_waiters_rendezvous_sees_finite_waiters() {
+        let clock = Arc::new(VirtualClock::with_auto_advance(false));
+        assert_eq!(clock.finite_waiters(), 0);
+        let signal = Arc::new(WaitSignal::new());
+        let seen = signal.generation();
+        let c2 = Arc::clone(&clock);
+        let s2 = Arc::clone(&signal);
+        let handle = thread::spawn(move || {
+            c2.wait_until(&s2, seen, SimInstant::EPOCH + Duration::from_secs(1))
+        });
+        // Blocks until the waiter is actually parked on its deadline — no
+        // sleep-based guessing.
+        clock.await_waiters(1);
+        assert_eq!(clock.finite_waiters(), 1);
+        clock.advance(Duration::from_secs(1));
+        assert_eq!(handle.join().unwrap(), WaitOutcome::TimedOut);
+        assert_eq!(clock.finite_waiters(), 0);
+    }
+
+    #[test]
+    fn far_future_waits_are_not_counted_as_finite_waiters() {
+        let clock = Arc::new(VirtualClock::with_auto_advance(false));
+        let signal = Arc::new(WaitSignal::new());
+        let seen = signal.generation();
+        let c2 = Arc::clone(&clock);
+        let s2 = Arc::clone(&signal);
+        let handle = thread::spawn(move || c2.wait_until(&s2, seen, SimInstant::FAR_FUTURE));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(clock.finite_waiters(), 0, "idle parks must not trip the rendezvous");
+        signal.notify();
+        assert_eq!(handle.join().unwrap(), WaitOutcome::Notified);
     }
 
     #[test]

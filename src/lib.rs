@@ -74,6 +74,7 @@ pub mod prelude {
     pub use morena_core::keyed::{KeyedConverter, MemoryStore, ObjectStore};
     pub use morena_core::lease::{Lease, LeaseManager};
     pub use morena_core::peer::{PeerInbox, PeerListener, PeerReference};
+    pub use morena_core::sched::ExecutionPolicy;
     pub use morena_core::tagref::TagReference;
     pub use morena_core::thing::{BoundThing, EmptyThingSlot, Thing, ThingObserver, ThingSpace};
     pub use morena_ndef::{NdefMessage, NdefRecord, Tnf};

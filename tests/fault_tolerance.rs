@@ -1,6 +1,10 @@
 //! Full-stack fault-injection tests: the middleware's decoupling-in-time
 //! guarantees under a lossy link, mid-operation field loss, timeouts,
 //! and torn tag states.
+//!
+//! Every scenario runs under both execution policies — thread-per-loop
+//! and the sharded worker pool — since fault handling must not depend on
+//! how loops get processor time.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -8,6 +12,11 @@ use std::time::Duration;
 use crossbeam::channel::unbounded;
 use morena::core::eventloop::{LoopConfig, OpFailure};
 use morena::prelude::*;
+
+/// Both execution policies, exercised by every scenario in this file.
+fn policies() -> [ExecutionPolicy; 2] {
+    [ExecutionPolicy::ThreadPerLoop, ExecutionPolicy::Sharded { workers: 2 }]
+}
 
 fn flaky_world(noise: f64, seed: u64) -> World {
     let link = LinkModel {
@@ -26,189 +35,207 @@ fn fast_config() -> LoopConfig {
 
 #[test]
 fn writes_eventually_succeed_through_heavy_noise() {
-    let world = flaky_world(0.30, 5);
-    let phone = world.add_phone("user");
-    let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
-    world.tap_tag(uid, phone);
-    let ctx = MorenaContext::headless(&world, phone);
-    let tag = TagReference::with_config(
-        &ctx,
-        uid,
-        TagTech::Type2,
-        Arc::new(StringConverter::plain_text()),
-        fast_config(),
-    );
-    let (tx, rx) = unbounded();
-    tag.write(
-        "survives noise".to_string(),
-        move |r| tx.send(r.cached()).unwrap(),
-        |_, f| panic!("must not fail permanently: {f}"),
-    );
-    assert_eq!(
-        rx.recv_timeout(Duration::from_secs(30)).unwrap().as_deref(),
-        Some("survives noise")
-    );
-    let stats = tag.stats().snapshot();
-    assert!(
-        stats.attempts >= 1 && stats.succeeded == 1,
-        "stats should show the retry work: {stats:?}"
-    );
-    tag.close();
+    for policy in policies() {
+        let world = flaky_world(0.30, 5);
+        let phone = world.add_phone("user");
+        let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
+        world.tap_tag(uid, phone);
+        let ctx = MorenaContext::headless_with(&world, phone, policy);
+        let tag = TagReference::with_config(
+            &ctx,
+            uid,
+            TagTech::Type2,
+            Arc::new(StringConverter::plain_text()),
+            fast_config(),
+        );
+        let (tx, rx) = unbounded();
+        tag.write(
+            "survives noise".to_string(),
+            move |r| tx.send(r.cached()).unwrap(),
+            |_, f| panic!("must not fail permanently: {f}"),
+        );
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(30)).unwrap().as_deref(),
+            Some("survives noise")
+        );
+        let stats = tag.stats().snapshot();
+        assert!(
+            stats.attempts >= 1 && stats.succeeded == 1,
+            "stats should show the retry work under {policy:?}: {stats:?}"
+        );
+        tag.close();
+    }
 }
 
 #[test]
 fn torn_write_is_repaired_by_automatic_retry() {
-    // Deterministic torn state: tag leaves mid-write, then returns.
-    let world = World::with_link(
-        SystemClock::shared(),
-        LinkModel {
-            setup_latency: Duration::from_millis(2),
-            per_byte_latency: Duration::from_micros(20),
-            ..LinkModel::reliable()
-        },
-        6,
-    );
-    let phone = world.add_phone("user");
-    let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(2))));
-    world.tap_tag(uid, phone);
-    let ctx = MorenaContext::headless(&world, phone);
-    let tag = TagReference::with_config(
-        &ctx,
-        uid,
-        TagTech::Type2,
-        Arc::new(StringConverter::plain_text()),
-        fast_config(),
-    );
-    let payload = "x".repeat(300); // long write: many page commands
-    let (tx, rx) = unbounded();
-    tag.write(payload.clone(), move |r| tx.send(r.cached()).unwrap(), |_, f| panic!("{f}"));
-
-    // Yank the tag away mid-write, twice, then let it stay.
-    for _ in 0..2 {
-        std::thread::sleep(Duration::from_millis(8));
-        world.remove_tag_from_field(uid);
-        std::thread::sleep(Duration::from_millis(5));
+    for policy in policies() {
+        // Deterministic torn state: tag leaves mid-write, then returns.
+        let world = World::with_link(
+            SystemClock::shared(),
+            LinkModel {
+                setup_latency: Duration::from_millis(2),
+                per_byte_latency: Duration::from_micros(20),
+                ..LinkModel::reliable()
+            },
+            6,
+        );
+        let phone = world.add_phone("user");
+        let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(2))));
         world.tap_tag(uid, phone);
+        let ctx = MorenaContext::headless_with(&world, phone, policy);
+        let tag = TagReference::with_config(
+            &ctx,
+            uid,
+            TagTech::Type2,
+            Arc::new(StringConverter::plain_text()),
+            fast_config(),
+        );
+        let payload = "x".repeat(300); // long write: many page commands
+        let (tx, rx) = unbounded();
+        tag.write(payload.clone(), move |r| tx.send(r.cached()).unwrap(), |_, f| panic!("{f}"));
+
+        // Yank the tag away mid-write, twice, then let it stay.
+        for _ in 0..2 {
+            std::thread::sleep(Duration::from_millis(8));
+            world.remove_tag_from_field(uid);
+            std::thread::sleep(Duration::from_millis(5));
+            world.tap_tag(uid, phone);
+        }
+        assert_eq!(rx.recv_timeout(Duration::from_secs(30)).unwrap(), Some(payload.clone()));
+        // The tag's final content is the complete message, not a torn state.
+        let nfc = NfcHandle::new(world.clone(), phone);
+        let bytes = nfc.ndef_read(uid).expect("readable");
+        let message = NdefMessage::parse(&bytes).expect("well-formed despite the interruptions");
+        assert_eq!(message.first().payload(), payload.as_bytes());
+        tag.close();
     }
-    assert_eq!(rx.recv_timeout(Duration::from_secs(30)).unwrap(), Some(payload.clone()));
-    // The tag's final content is the complete message, not a torn state.
-    let nfc = NfcHandle::new(world.clone(), phone);
-    let bytes = nfc.ndef_read(uid).expect("readable");
-    let message = NdefMessage::parse(&bytes).expect("well-formed despite the interruptions");
-    assert_eq!(message.first().payload(), payload.as_bytes());
-    tag.close();
 }
 
 #[test]
 fn timeout_fires_when_the_tag_never_returns() {
-    let clock = VirtualClock::shared();
-    let world = World::with_link(Arc::clone(&clock) as Arc<dyn Clock>, LinkModel::instant(), 7);
-    let phone = world.add_phone("user");
-    let uid = world.add_tag(Box::new(Type2Tag::ntag213(TagUid::from_seed(3))));
-    let ctx = MorenaContext::headless(&world, phone);
-    let tag = TagReference::new(&ctx, uid, TagTech::Type2, Arc::new(StringConverter::plain_text()));
+    for policy in policies() {
+        let clock = VirtualClock::shared();
+        let world = World::with_link(Arc::clone(&clock) as Arc<dyn Clock>, LinkModel::instant(), 7);
+        let phone = world.add_phone("user");
+        let uid = world.add_tag(Box::new(Type2Tag::ntag213(TagUid::from_seed(3))));
+        let ctx = MorenaContext::headless_with(&world, phone, policy);
+        let tag =
+            TagReference::new(&ctx, uid, TagTech::Type2, Arc::new(StringConverter::plain_text()));
 
-    let (tx, rx) = unbounded();
-    tag.write_with_timeout(
-        "never delivered".to_string(),
-        Duration::from_secs(5),
-        |_| panic!("tag never appears"),
-        move |_, failure| tx.send(failure).unwrap(),
-    );
-    // Nothing happens until virtual time passes the deadline.
-    assert!(rx.recv_timeout(Duration::from_millis(100)).is_err());
-    clock.advance(Duration::from_secs(6));
-    assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), OpFailure::TimedOut);
-    assert_eq!(tag.stats().snapshot().timed_out, 1);
-    tag.close();
+        let (tx, rx) = unbounded();
+        tag.write_with_timeout(
+            "never delivered".to_string(),
+            Duration::from_secs(5),
+            |_| panic!("tag never appears"),
+            move |_, failure| tx.send(failure).unwrap(),
+        );
+        // Nothing happens until virtual time passes the deadline.
+        assert!(rx.recv_timeout(Duration::from_millis(100)).is_err());
+        clock.advance(Duration::from_secs(6));
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), OpFailure::TimedOut);
+        assert_eq!(tag.stats().snapshot().timed_out, 1);
+        tag.close();
+    }
 }
 
 #[test]
 fn queued_ops_survive_many_disconnection_cycles_in_order() {
-    let world = flaky_world(0.10, 8);
-    let phone = world.add_phone("user");
-    let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(4))));
-    let ctx = MorenaContext::headless(&world, phone);
-    let tag = TagReference::with_config(
-        &ctx,
-        uid,
-        TagTech::Type2,
-        Arc::new(StringConverter::plain_text()),
-        fast_config(),
-    );
+    for policy in policies() {
+        let world = flaky_world(0.10, 8);
+        let phone = world.add_phone("user");
+        let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(4))));
+        let ctx = MorenaContext::headless_with(&world, phone, policy);
+        let tag = TagReference::with_config(
+            &ctx,
+            uid,
+            TagTech::Type2,
+            Arc::new(StringConverter::plain_text()),
+            fast_config(),
+        );
 
-    let (tx, rx) = unbounded();
-    for i in 0..6 {
-        let tx = tx.clone();
-        tag.write(format!("op-{i}"), move |_| tx.send(i).unwrap(), |_, f| panic!("{f}"));
+        let (tx, rx) = unbounded();
+        for i in 0..6 {
+            let tx = tx.clone();
+            tag.write(format!("op-{i}"), move |_| tx.send(i).unwrap(), |_, f| panic!("{f}"));
+        }
+        // Drive a presence square wave until everything drains.
+        Scenario::new()
+            .presence_duty_cycle(uid, phone, Duration::from_millis(40), 0.5, 40)
+            .spawn(&world);
+        let completed: Vec<i32> =
+            (0..6).map(|_| rx.recv_timeout(Duration::from_secs(30)).unwrap()).collect();
+        assert_eq!(completed, vec![0, 1, 2, 3, 4, 5], "strict FIFO across disconnections");
+        assert_eq!(tag.cached().as_deref(), Some("op-5"));
+        tag.close();
     }
-    // Drive a presence square wave until everything drains.
-    Scenario::new()
-        .presence_duty_cycle(uid, phone, Duration::from_millis(40), 0.5, 40)
-        .spawn(&world);
-    let completed: Vec<i32> =
-        (0..6).map(|_| rx.recv_timeout(Duration::from_secs(30)).unwrap()).collect();
-    assert_eq!(completed, vec![0, 1, 2, 3, 4, 5], "strict FIFO across disconnections");
-    assert_eq!(tag.cached().as_deref(), Some("op-5"));
-    tag.close();
 }
 
 #[test]
 fn a_sweep_gesture_is_enough_to_deliver_a_queued_write() {
-    // The tag never rests: it approaches, dwells 150 ms near the phone,
-    // and retreats — one realistic swipe. The queued write must land
-    // during the usable part of the gesture.
-    let world = flaky_world(0.05, 11);
-    let phone = world.add_phone("swiper");
-    let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(7))));
-    let ctx = MorenaContext::headless(&world, phone);
-    let tag = TagReference::with_config(
-        &ctx,
-        uid,
-        TagTech::Type2,
-        Arc::new(StringConverter::plain_text()),
-        fast_config(),
-    );
-    let (tx, rx) = unbounded();
-    tag.write("swiped in".to_string(), move |r| tx.send(r.cached()).unwrap(), |_, f| panic!("{f}"));
-    Scenario::new()
-        .sweep_tag(
+    for policy in policies() {
+        // The tag never rests: it approaches, dwells 150 ms near the
+        // phone, and retreats — one realistic swipe. The queued write
+        // must land during the usable part of the gesture.
+        let world = flaky_world(0.05, 11);
+        let phone = world.add_phone("swiper");
+        let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(7))));
+        let ctx = MorenaContext::headless_with(&world, phone, policy);
+        let tag = TagReference::with_config(
+            &ctx,
             uid,
-            phone,
-            0.002,                      // almost touching at the closest point
-            Duration::from_millis(120), // approach
-            Duration::from_millis(150), // dwell
-            12,
-        )
-        .spawn(&world)
-        .join()
-        .expect("sweep");
-    assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap().as_deref(), Some("swiped in"));
-    assert!(!tag.is_connected(), "the sweep ended outside the field");
-    tag.close();
+            TagTech::Type2,
+            Arc::new(StringConverter::plain_text()),
+            fast_config(),
+        );
+        let (tx, rx) = unbounded();
+        tag.write(
+            "swiped in".to_string(),
+            move |r| tx.send(r.cached()).unwrap(),
+            |_, f| panic!("{f}"),
+        );
+        Scenario::new()
+            .sweep_tag(
+                uid,
+                phone,
+                0.002,                      // almost touching at the closest point
+                Duration::from_millis(120), // approach
+                Duration::from_millis(150), // dwell
+                12,
+            )
+            .spawn(&world)
+            .join()
+            .expect("sweep");
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap().as_deref(), Some("swiped in"));
+        assert!(!tag.is_connected(), "the sweep ended outside the field");
+        tag.close();
+    }
 }
 
 #[test]
 fn read_only_tag_fails_fast_and_permanently() {
-    let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 9);
-    let phone = world.add_phone("user");
-    let uid = world.add_tag(Box::new({
-        let mut t = Type2Tag::ntag213(TagUid::from_seed(5));
-        t.set_read_only(true);
-        t
-    }));
-    world.tap_tag(uid, phone);
-    let ctx = MorenaContext::headless(&world, phone);
-    let tag = TagReference::new(&ctx, uid, TagTech::Type2, Arc::new(StringConverter::plain_text()));
-    let (tx, rx) = unbounded();
-    tag.write("nope".to_string(), |_| panic!("read-only"), move |_, f| tx.send(f).unwrap());
-    match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
-        OpFailure::Failed(e) => assert!(!e.is_transient(), "permanent failure expected"),
-        other => panic!("expected permanent failure, got {other:?}"),
+    for policy in policies() {
+        let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 9);
+        let phone = world.add_phone("user");
+        let uid = world.add_tag(Box::new({
+            let mut t = Type2Tag::ntag213(TagUid::from_seed(5));
+            t.set_read_only(true);
+            t
+        }));
+        world.tap_tag(uid, phone);
+        let ctx = MorenaContext::headless_with(&world, phone, policy);
+        let tag =
+            TagReference::new(&ctx, uid, TagTech::Type2, Arc::new(StringConverter::plain_text()));
+        let (tx, rx) = unbounded();
+        tag.write("nope".to_string(), |_| panic!("read-only"), move |_, f| tx.send(f).unwrap());
+        match rx.recv_timeout(Duration::from_secs(10)).unwrap() {
+            OpFailure::Failed(e) => assert!(!e.is_transient(), "permanent failure expected"),
+            other => panic!("expected permanent failure, got {other:?}"),
+        }
+        // Exactly one physical attempt: permanent failures are not retried.
+        assert_eq!(tag.stats().snapshot().attempts, 1);
+        tag.close();
     }
-    // Exactly one physical attempt: permanent failures are not retried.
-    assert_eq!(tag.stats().snapshot().attempts, 1);
-    tag.close();
 }
 
 #[test]
@@ -231,24 +258,26 @@ fn discovery_keeps_working_under_noise() {
         }
     }
 
-    let world = flaky_world(0.15, 10);
-    let phone = world.add_phone("user");
-    let uid = world.add_tag(Box::new(Type2Tag::ntag213(TagUid::from_seed(6))));
-    let ctx = MorenaContext::headless(&world, phone);
-    let listener = Arc::new(Count { detections: Mutex::new(0) });
-    let _disco =
-        TagDiscoverer::new(&ctx, Arc::new(StringConverter::plain_text()), listener.clone());
+    for policy in policies() {
+        let world = flaky_world(0.15, 10);
+        let phone = world.add_phone("user");
+        let uid = world.add_tag(Box::new(Type2Tag::ntag213(TagUid::from_seed(6))));
+        let ctx = MorenaContext::headless_with(&world, phone, policy);
+        let listener = Arc::new(Count { detections: Mutex::new(0) });
+        let _disco =
+            TagDiscoverer::new(&ctx, Arc::new(StringConverter::plain_text()), listener.clone());
 
-    let mut seen = 0usize;
-    for _ in 0..10 {
-        world.tap_tag(uid, phone);
-        std::thread::sleep(Duration::from_millis(30));
-        world.remove_tag_from_field(uid);
-        std::thread::sleep(Duration::from_millis(5));
-        seen = *listener.detections.lock();
-        if seen >= 5 {
-            break;
+        let mut seen = 0usize;
+        for _ in 0..10 {
+            world.tap_tag(uid, phone);
+            std::thread::sleep(Duration::from_millis(30));
+            world.remove_tag_from_field(uid);
+            std::thread::sleep(Duration::from_millis(5));
+            seen = *listener.detections.lock();
+            if seen >= 5 {
+                break;
+            }
         }
+        assert!(seen >= 5, "discovery must survive a 15%-noise link under {policy:?}, saw {seen}");
     }
-    assert!(seen >= 5, "discovery must survive a 15%-noise link, saw {seen}");
 }

@@ -1,0 +1,87 @@
+//! Middleware thread census: under the sharded execution policy the
+//! number of middleware threads must stay bounded by the worker-pool
+//! size plus a small constant, no matter how many far references exist.
+//!
+//! This file holds exactly one test on purpose: the census walks
+//! `/proc/self/task`, so a sibling test running concurrently in the same
+//! process would pollute the count.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::unbounded;
+use morena::core::eventloop::LoopConfig;
+use morena::prelude::*;
+
+/// Names of all live threads in this process that belong to the
+/// middleware (`morena-*`), read from the kernel's per-task `comm`.
+fn morena_threads() -> Vec<String> {
+    let Ok(tasks) = std::fs::read_dir("/proc/self/task") else {
+        return Vec::new();
+    };
+    tasks
+        .flatten()
+        .filter_map(|task| std::fs::read_to_string(task.path().join("comm")).ok())
+        .map(|comm| comm.trim().to_string())
+        .filter(|comm| comm.starts_with("morena"))
+        .collect()
+}
+
+#[test]
+fn sharded_pool_bounds_middleware_threads_at_scale() {
+    const REFS: usize = 128;
+    const WORKERS: usize = 4;
+
+    let world = World::with_link(SystemClock::shared(), LinkModel::instant(), 99);
+    let phone = world.add_phone("census");
+    let ctx =
+        MorenaContext::headless_with(&world, phone, ExecutionPolicy::Sharded { workers: WORKERS });
+
+    let (done_tx, done_rx) = unbounded();
+    let references: Vec<_> = (0..REFS)
+        .map(|i| {
+            let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(i as u32))));
+            world.tap_tag(uid, phone);
+            let reference = TagReference::with_config(
+                &ctx,
+                uid,
+                TagTech::Type2,
+                Arc::new(StringConverter::plain_text()),
+                LoopConfig {
+                    default_timeout: Duration::from_secs(60),
+                    retry_backoff: Duration::from_micros(200),
+                },
+            );
+            let done_tx = done_tx.clone();
+            reference.write(
+                format!("census-{i}"),
+                move |_| done_tx.send(()).unwrap(),
+                |_, f| panic!("census write failed: {f}"),
+            );
+            reference
+        })
+        .collect();
+
+    // Census while every loop is live and has work queued or in flight.
+    if std::path::Path::new("/proc/self/task").exists() {
+        let names = morena_threads();
+        let sched = names.iter().filter(|n| n.starts_with("morena-sched")).count();
+        let loops = names.iter().filter(|n| n.starts_with("morena-loop")).count();
+        assert!(sched <= WORKERS, "worker pool exceeded with {REFS} refs: {names:?}");
+        assert_eq!(loops, 0, "sharded policy must not spawn per-loop threads: {names:?}");
+        // Pool + the context's event router; nothing scales with REFS.
+        assert!(
+            names.len() <= WORKERS + 1,
+            "middleware threads must be bounded by pool size + constant, got {names:?}"
+        );
+    }
+
+    // The bounded pool still resolves every operation exactly once.
+    for _ in 0..REFS {
+        done_rx.recv_timeout(Duration::from_secs(60)).expect("write resolves");
+    }
+    assert!(done_rx.try_recv().is_err(), "no duplicate completions");
+    for reference in references {
+        reference.close();
+    }
+}

@@ -4,6 +4,10 @@
 //! stay correct (every operation resolves exactly once, caches converge
 //! to the last write per tag) even if it was never designed for
 //! warehouse-scale deployments.
+//!
+//! Every scenario runs under both execution policies: the historical
+//! thread-per-loop mode and the sharded worker pool that multiplexes
+//! all far-reference loops onto a bounded number of threads.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -12,11 +16,20 @@ use crossbeam::channel::unbounded;
 use morena::core::eventloop::LoopConfig;
 use morena::prelude::*;
 
-#[test]
-fn many_phones_many_tags_all_resolve() {
-    const PHONES: usize = 4;
-    const TAGS_PER_PHONE: usize = 3;
-    const OPS_PER_TAG: usize = 5;
+fn swarm_config() -> LoopConfig {
+    LoopConfig {
+        default_timeout: Duration::from_secs(60),
+        retry_backoff: Duration::from_micros(300),
+    }
+}
+
+/// 64 far references (8 phones × 8 tags) with a backlog each, over a
+/// 10%-lossy link. Every operation must resolve exactly once and every
+/// tag must converge to its last write.
+fn many_phones_many_tags(policy: ExecutionPolicy, seed: u64) {
+    const PHONES: usize = 8;
+    const TAGS_PER_PHONE: usize = 8;
+    const OPS_PER_TAG: usize = 2;
 
     let link = LinkModel {
         setup_latency: Duration::from_micros(100),
@@ -25,7 +38,7 @@ fn many_phones_many_tags_all_resolve() {
         edge_failure_prob: 0.10,
         ..LinkModel::realistic()
     };
-    let world = World::with_link(SystemClock::shared(), link, 4242);
+    let world = World::with_link(SystemClock::shared(), link, seed);
 
     let (done_tx, done_rx) = unbounded();
     let mut references = Vec::new();
@@ -33,7 +46,7 @@ fn many_phones_many_tags_all_resolve() {
 
     for p in 0..PHONES {
         let phone = world.add_phone(&format!("phone-{p}"));
-        let ctx = MorenaContext::headless(&world, phone);
+        let ctx = MorenaContext::headless_with(&world, phone, policy);
         for t in 0..TAGS_PER_PHONE {
             let uid =
                 world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed((p * 100 + t) as u32))));
@@ -45,10 +58,7 @@ fn many_phones_many_tags_all_resolve() {
                 uid,
                 TagTech::Type2,
                 Arc::new(StringConverter::plain_text()),
-                LoopConfig {
-                    default_timeout: Duration::from_secs(60),
-                    retry_backoff: Duration::from_micros(300),
-                },
+                swarm_config(),
             );
             for op in 0..OPS_PER_TAG {
                 let done_tx = done_tx.clone();
@@ -96,15 +106,24 @@ fn many_phones_many_tags_all_resolve() {
 }
 
 #[test]
-fn swarm_with_roaming_tags_still_converges() {
-    // One phone, several tags that keep entering and leaving while a
-    // backlog drains — connectivity churn at queue scale.
+fn many_phones_many_tags_all_resolve() {
+    many_phones_many_tags(ExecutionPolicy::ThreadPerLoop, 4242);
+}
+
+#[test]
+fn many_phones_many_tags_all_resolve_sharded() {
+    many_phones_many_tags(ExecutionPolicy::Sharded { workers: 4 }, 4243);
+}
+
+/// One phone, several tags that keep entering and leaving while a
+/// backlog drains — connectivity churn at queue scale.
+fn roaming_tags_converge(policy: ExecutionPolicy, seed: u64) {
     const TAGS: usize = 4;
     const OPS: usize = 4;
 
-    let world = World::with_link(SystemClock::shared(), LinkModel::reliable(), 77);
+    let world = World::with_link(SystemClock::shared(), LinkModel::reliable(), seed);
     let phone = world.add_phone("roamer");
-    let ctx = MorenaContext::headless(&world, phone);
+    let ctx = MorenaContext::headless_with(&world, phone, policy);
 
     let (done_tx, done_rx) = unbounded();
     let references: Vec<_> = (0..TAGS)
@@ -115,10 +134,7 @@ fn swarm_with_roaming_tags_still_converges() {
                 uid,
                 TagTech::Type2,
                 Arc::new(StringConverter::plain_text()),
-                LoopConfig {
-                    default_timeout: Duration::from_secs(60),
-                    retry_backoff: Duration::from_micros(300),
-                },
+                swarm_config(),
             );
             for op in 0..OPS {
                 let done_tx = done_tx.clone();
@@ -170,4 +186,14 @@ fn swarm_with_roaming_tags_still_converges() {
         assert_eq!(reference.queue_len(), 0);
         reference.close();
     }
+}
+
+#[test]
+fn swarm_with_roaming_tags_still_converges() {
+    roaming_tags_converge(ExecutionPolicy::ThreadPerLoop, 77);
+}
+
+#[test]
+fn swarm_with_roaming_tags_still_converges_sharded() {
+    roaming_tags_converge(ExecutionPolicy::Sharded { workers: 2 }, 78);
 }
