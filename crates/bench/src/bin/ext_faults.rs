@@ -1,0 +1,115 @@
+//! **EXT-FAULTS** — the recovery envelope of the middleware under the
+//! seeded fault-injection layer: for each fault class, sweep the
+//! per-exchange injection rate and record how operation success, hidden
+//! retry work, and completion latency degrade.
+//!
+//! Workload per trial: one far reference performs an alternating
+//! write/read sequence synchronously while the world's [`FaultPlan`]
+//! injects exactly one fault class at the swept rate. Because the plan
+//! is seeded, every cell is reproducible.
+//!
+//! Expected shape: the recoverable classes (RF drop, torn write, stuck
+//! tag, latency spike) hold success at 100% while the attempts column
+//! grows with the rate — the cost surfaces as retries and latency, not
+//! failures. Corruption is the exception: a garbled frame can fail an
+//! operation permanently, so its success column sags where the others
+//! do not.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use morena_bench::{cell, median, print_table, quick_mode};
+use morena_core::context::MorenaContext;
+use morena_core::convert::StringConverter;
+use morena_core::eventloop::LoopConfig;
+use morena_core::tagref::TagReference;
+use morena_nfc_sim::clock::SystemClock;
+use morena_nfc_sim::faults::{FaultKind, FaultPlan, FaultRates};
+use morena_nfc_sim::link::LinkModel;
+use morena_nfc_sim::tag::{TagTech, TagUid, Type2Tag};
+use morena_nfc_sim::world::World;
+
+#[derive(Debug, Default, Clone)]
+struct Outcome {
+    ops_ok: usize,
+    ops_total: usize,
+    attempts: u64,
+    injected: u64,
+    op_millis: Vec<f64>,
+}
+
+/// One trial: `ops` alternating sync writes/reads against a tag whose
+/// world injects `kind` at `rate` per exchange.
+fn trial(kind: FaultKind, rate: f64, ops: usize, seed: u64) -> Outcome {
+    let world = World::with_link(Arc::new(SystemClock::new()), LinkModel::instant(), 1);
+    world.install_fault_plan(
+        FaultPlan::new(seed, FaultRates::only(kind, rate))
+            .with_delays(Duration::from_millis(2), Duration::from_millis(2)),
+    );
+    let phone = world.add_phone("bench");
+    let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
+    world.tap_tag(uid, phone);
+    let ctx = MorenaContext::headless(&world, phone);
+    let reference = TagReference::with_config(
+        &ctx,
+        uid,
+        TagTech::Type2,
+        Arc::new(StringConverter::plain_text()),
+        LoopConfig {
+            default_timeout: Duration::from_secs(20),
+            retry_backoff: Duration::from_millis(1),
+        },
+    );
+
+    let mut outcome = Outcome { ops_total: ops, ..Outcome::default() };
+    for i in 0..ops {
+        let started = Instant::now();
+        let ok = if i % 2 == 0 {
+            reference.write_sync(format!("payload-{i:02}"), Duration::from_secs(20)).is_ok()
+        } else {
+            reference.read_sync(Duration::from_secs(20)).is_ok()
+        };
+        outcome.op_millis.push(started.elapsed().as_secs_f64() * 1e3);
+        if ok {
+            outcome.ops_ok += 1;
+        }
+    }
+    outcome.attempts = reference.stats().snapshot().attempts;
+    outcome.injected = world.fault_stats().total();
+    reference.close();
+    outcome
+}
+
+fn run_row(kind: FaultKind, rate: f64, ops: usize, trials: usize) -> Vec<String> {
+    let base = (rate * 1000.0) as u64 + kind as u64 * 1_000_000;
+    let outcomes: Vec<Outcome> =
+        (0..trials).map(|t| trial(kind, rate, ops, base + t as u64)).collect();
+    let total_ops: usize = outcomes.iter().map(|o| o.ops_total).sum();
+    let ok_ops: usize = outcomes.iter().map(|o| o.ops_ok).sum();
+    let attempts: u64 = outcomes.iter().map(|o| o.attempts).sum();
+    let injected: u64 = outcomes.iter().map(|o| o.injected).sum();
+    let mut millis: Vec<f64> = outcomes.iter().flat_map(|o| o.op_millis.iter().copied()).collect();
+    vec![
+        cell(kind.label()),
+        cell(format!("{rate:.2}")),
+        cell(format!("{:.1}%", 100.0 * ok_ops as f64 / total_ops as f64)),
+        cell(format!("{:.2}", attempts as f64 / total_ops as f64)),
+        cell(injected),
+        cell(format!("{:.2}ms", median(&mut millis))),
+    ]
+}
+
+fn main() {
+    let quick = quick_mode();
+    let trials = if quick { 2 } else { 6 };
+    let ops = if quick { 8 } else { 16 };
+    let header = ["fault", "rate", "op ok", "tries/op", "injected", "op median"];
+
+    for kind in FaultKind::ALL {
+        let mut rows = Vec::new();
+        for rate in [0.05, 0.10, 0.20, 0.35, 0.50] {
+            rows.push(run_row(kind, rate, ops, trials));
+        }
+        print_table(&format!("EXT-FAULTS: {} injection rate sweep", kind.label()), &header, &rows);
+    }
+}

@@ -228,6 +228,13 @@ fn handle_entered<C: TagDataConverter>(
 
     let (reference, known) = {
         let mut references = inner.references.lock();
+        // Applications close references they are done with (§3.2); a
+        // closed reference never completes another operation, so keeping
+        // it in the identity map leaks an event loop entry per retired
+        // tag in long swarm runs — and would hand the dead reference
+        // back out on redetection. The map only grows on sightings, so
+        // sweeping here bounds it by the live reference population.
+        references.retain(|_, existing| !existing.is_closed());
         match references.get(&uid) {
             Some(existing) => (existing.clone(), true),
             None => {
@@ -257,7 +264,9 @@ fn handle_entered<C: TagDataConverter>(
                     EventKind::EmptyTagDetected { phone, target: uid.to_string() },
                 );
             }
-            reference.set_cached(None);
+            // A blank sighting does not wipe the cache: it holds the
+            // last value successfully seen (§3.2), and a tag blanked by
+            // a torn write reads back empty until repaired.
             if !inner.listener.check_condition(&reference) {
                 return;
             }
@@ -450,6 +459,60 @@ mod tests {
         assert!(!disco.forget(uid));
         assert!(disco.reference_for(uid).is_none());
         assert!(format!("{disco:?}").contains("text/plain"));
+    }
+
+    #[test]
+    fn closed_references_are_swept_from_the_identity_map() {
+        let (world, ctx) = setup();
+        let (tx, rx) = unbounded();
+        let disco = discoverer(&ctx, tx);
+        // A stream of blank tags that are each seen once, used, and
+        // closed — the pattern of a long-running swarm. Blank tags keep
+        // it to exactly one sighting per generation (content would make
+        // `tag_with` tap once itself), so once the event arrives no
+        // sighting is still in flight and the close cannot race one.
+        for seed in 10..14 {
+            let uid = tag_with(&world, &ctx, seed, None);
+            world.tap_tag(uid, ctx.phone());
+            assert!(matches!(
+                rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+                Event::Empty(u) if u == uid
+            ));
+            world.remove_tag_from_field(uid);
+            disco.reference_for(uid).unwrap().close();
+        }
+        // The next sighting sweeps every closed reference.
+        let fresh = tag_with(&world, &ctx, 99, None);
+        world.tap_tag(fresh, ctx.phone());
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+            Event::Empty(u) if u == fresh
+        ));
+        assert_eq!(disco.references().len(), 1);
+        assert!(disco.references().iter().all(|r| !r.is_closed()));
+    }
+
+    #[test]
+    fn a_closed_reference_is_replaced_on_redetection() {
+        let (world, ctx) = setup();
+        let uid = tag_with(&world, &ctx, 8, None);
+        let (tx, rx) = unbounded();
+        let disco = discoverer(&ctx, tx);
+        world.tap_tag(uid, ctx.phone());
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+            Event::Empty(u) if u == uid
+        ));
+        world.remove_tag_from_field(uid);
+        disco.reference_for(uid).unwrap().close();
+        // The tag returns: the dead reference must not be handed back
+        // out — the sighting must mint a fresh, live one.
+        world.tap_tag(uid, ctx.phone());
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+            Event::Empty(u) if u == uid
+        ));
+        assert!(!disco.reference_for(uid).unwrap().is_closed());
     }
 
     #[test]

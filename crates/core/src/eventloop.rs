@@ -422,6 +422,25 @@ impl Shared {
             Step::Blocked(deadline) => LoopPoll::RunnableAt(deadline),
             Step::Attempt(op_id, request, deadline) => {
                 let attempt_started = self.clock.now();
+                // The head was selected with `now` from the top of the
+                // poll; the connectivity probe (or a concurrent clock
+                // advance) may have crossed the deadline since. A retry
+                // rescheduled for `backoff.min(deadline)` fires at
+                // exactly the deadline instant, and once `now >=
+                // deadline` the op must complete as TimedOut — never
+                // attempt again.
+                if attempt_started >= deadline {
+                    if let Some(op) = self.pop_if_head(op_id) {
+                        self.stats.record_timed_out();
+                        self.metrics.timed_out.inc();
+                        self.obs.emit(attempt_started, || EventKind::OpCompleted {
+                            op_id: op.op_id,
+                            outcome: OpOutcome::TimedOut,
+                        });
+                        self.deliver_failure(op, OpFailure::TimedOut);
+                    }
+                    return LoopPoll::Runnable;
+                }
                 let outcome = self.executor.execute(&request);
                 let finished = self.clock.now();
                 let attempt_nanos = finished.saturating_since(attempt_started).as_nanos() as u64;
@@ -638,6 +657,13 @@ impl EventLoop {
     /// Lifetime statistics.
     pub(crate) fn stats(&self) -> Arc<OpStats> {
         Arc::clone(&self.shared.stats)
+    }
+
+    /// Whether [`EventLoop::stop`] has been called. A stopped loop never
+    /// completes another operation, so its owner is dead weight — the
+    /// discovery layer uses this to sweep closed references.
+    pub(crate) fn is_stopped(&self) -> bool {
+        self.shared.stopped.load(Ordering::Acquire)
     }
 
     /// Stops the loop: queued operations fail with
@@ -891,6 +917,64 @@ mod tests {
             let stats = f.event_loop.stats().snapshot();
             assert_eq!(stats.timed_out, 1);
             assert_eq!(stats.succeeded, 1);
+        });
+    }
+
+    #[test]
+    fn attempt_never_fires_at_or_past_the_deadline() {
+        use std::sync::atomic::AtomicU64;
+
+        // Satellite regression: the head is selected with `now` read at
+        // the top of the poll; if time crosses the deadline before the
+        // attempt starts (here: while probing connectivity), the op must
+        // time out without executing. `RunnableAt(backoff.min(deadline))`
+        // deliberately lets a retry poll fire at exactly the deadline
+        // instant — the attempt-time re-check is what keeps that poll
+        // from attempting one time too many.
+        struct DeadlineCrosser {
+            clock: Arc<VirtualClock>,
+            executes: Arc<AtomicU64>,
+        }
+        impl OpExecutor for DeadlineCrosser {
+            fn connected(&self) -> bool {
+                // Cross the deadline between head selection and the
+                // attempt. Only non-empty polls probe connectivity, so
+                // the advances stay bounded.
+                self.clock.advance(Duration::from_secs(2));
+                true
+            }
+            fn execute(&self, _request: &OpRequest) -> Result<OpResponse, NfcOpError> {
+                self.executes.fetch_add(1, Ordering::SeqCst);
+                Ok(OpResponse::Done)
+            }
+        }
+
+        both_policies(|policy| {
+            let main = MainThread::spawn();
+            let clock = Arc::new(VirtualClock::with_auto_advance(false));
+            let recorder = Recorder::new();
+            let exec = Execution::new(policy, clock.clone() as Arc<dyn Clock>, &recorder);
+            let executes = Arc::new(AtomicU64::new(0));
+            let event_loop = EventLoop::spawn(
+                "deadline",
+                &exec,
+                clock.clone() as Arc<dyn Clock>,
+                main.handler(),
+                LoopConfig::default(),
+                DeadlineCrosser { clock: Arc::clone(&clock), executes: Arc::clone(&executes) },
+                ObsScope::detached("deadline"),
+            );
+            let (tx, rx) = unbounded();
+            event_loop.submit(
+                OpRequest::Read,
+                Some(Duration::from_secs(1)),
+                Box::new(|_| panic!("must not succeed past the deadline")),
+                Box::new(move |f| tx.send(f).unwrap()),
+            );
+            assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), OpFailure::TimedOut);
+            assert_eq!(executes.load(Ordering::SeqCst), 0, "no attempt at or past the deadline");
+            assert_eq!(event_loop.stats().snapshot().timed_out, 1);
+            event_loop.stop();
         });
     }
 

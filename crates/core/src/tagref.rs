@@ -39,7 +39,8 @@ use crate::eventloop::{
 use crate::router::RouteGuard;
 
 /// The physical executor behind a tag reference: blocking NDEF operations
-/// against one tag over the lossy link.
+/// against one tag over the lossy link, hardened against the radio's
+/// nastier failure modes (lost responses, torn writes, corruption).
 struct TagExecutor {
     nfc: NfcHandle,
     uid: TagUid,
@@ -52,13 +53,47 @@ impl OpExecutor for TagExecutor {
 
     fn execute(&self, request: &OpRequest) -> Result<OpResponse, NfcOpError> {
         match request {
-            OpRequest::Read => self.nfc.ndef_read(self.uid).map(OpResponse::Bytes),
-            OpRequest::Write(bytes) => {
-                self.nfc.ndef_write(self.uid, bytes).map(|()| OpResponse::Done)
-            }
-            OpRequest::MakeReadOnly => {
-                self.nfc.ndef_make_read_only(self.uid).map(|()| OpResponse::Done)
-            }
+            OpRequest::Read => match self.nfc.ndef_read(self.uid) {
+                Ok(bytes) => Ok(OpResponse::Bytes(bytes)),
+                Err(NfcOpError::Protocol(_)) => {
+                    // A one-shot corrupted response garbles the TLV or
+                    // APDU framing; re-probe once before giving up — a
+                    // persistent torn state fails the same way again,
+                    // and a transient link error on the re-probe keeps
+                    // the op retriable.
+                    self.nfc.ndef_read(self.uid).map(OpResponse::Bytes)
+                }
+                Err(e) => Err(e),
+            },
+            OpRequest::Write(bytes) => match self.nfc.ndef_write(self.uid, bytes) {
+                Ok(()) => Ok(OpResponse::Done),
+                Err(e) => {
+                    // Verify-after-write: when the final command took
+                    // effect but its response was lost (or its ACK
+                    // corrupted), the tag already holds exactly the
+                    // target content. Reading it back and comparing
+                    // keeps retries idempotent — the logical write
+                    // happened once, so report success instead of
+                    // re-writing (or failing) a completed operation.
+                    match self.nfc.ndef_read(self.uid) {
+                        Ok(current) if current == *bytes => Ok(OpResponse::Done),
+                        _ => Err(e),
+                    }
+                }
+            },
+            OpRequest::MakeReadOnly => match self.nfc.ndef_make_read_only(self.uid) {
+                Ok(()) => Ok(OpResponse::Done),
+                Err(e) => {
+                    // The lock write is irreversible and not repeatable:
+                    // once it lands, a retry is refused as ReadOnly. If
+                    // the tag reports itself protected, the operation
+                    // already succeeded.
+                    match self.nfc.ndef_detect(self.uid) {
+                        Ok(info) if !info.writable => Ok(OpResponse::Done),
+                        _ => Err(e),
+                    }
+                }
+            },
             OpRequest::Push(_) => Err(NfcOpError::Protocol("push is not a tag operation")),
         }
     }
@@ -241,7 +276,10 @@ impl<C: TagDataConverter> TagReference<C> {
         self.inner.event_loop.stats()
     }
 
-    /// The cached value from the last successful read or write, if any.
+    /// The last value successfully seen on the tag (read or written), if
+    /// any. Blank reads, transient failures, and unconvertible data all
+    /// leave it untouched — only a successful read or write of an actual
+    /// value replaces it.
     ///
     /// Synchronous and instant — but possibly stale: *"if a tag is not
     /// seen for some time, its contents might have changed and an
@@ -310,8 +348,12 @@ impl<C: TagDataConverter> TagReference<C> {
                     return; // Read always yields bytes.
                 };
                 if bytes.is_empty() {
-                    // Formatted but blank tag: an empty value.
-                    this.set_cached(None);
+                    // Formatted but blank tag: a successful read of an
+                    // empty value. The cache deliberately keeps the last
+                    // value successfully *seen* (§3.2) — a torn Type 4
+                    // write reads back blank until repaired, and wiping
+                    // here would let a transient fault destroy the
+                    // last-known-good value.
                     on_success(this);
                     return;
                 }
@@ -441,7 +483,8 @@ impl<C: TagDataConverter> TagReference<C> {
     }
 
     /// Blocking convenience: queues a read and waits for its outcome.
-    /// Returns the freshly cached value (`None` for a blank tag).
+    /// Returns the cache as refreshed by the read (for a blank tag the
+    /// cache — and thus the return value — keeps the last value seen).
     ///
     /// Must not be called from the main thread (the listener could never
     /// run and the call would deadlock). With a
@@ -496,6 +539,14 @@ impl<C: TagDataConverter> TagReference<C> {
     pub fn close(&self) {
         self.inner.route.lock().take();
         self.inner.event_loop.stop();
+    }
+
+    /// Whether [`close`](TagReference::close) has been called (or the
+    /// private event loop otherwise stopped). A closed reference never
+    /// completes another operation; discovery uses this to evict dead
+    /// references from its identity map.
+    pub fn is_closed(&self) -> bool {
+        self.inner.event_loop.is_stopped()
     }
 }
 
@@ -552,6 +603,55 @@ mod tests {
         let (tx, rx) = unbounded();
         reference.read(move |r| tx.send(r.cached()).unwrap(), |_, f| panic!("{f}"));
         assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), None);
+    }
+
+    #[test]
+    fn blank_read_preserves_the_last_seen_cache() {
+        let (world, ctx, uid) = setup();
+        let reference = string_ref(&ctx, uid);
+        world.tap_tag(uid, ctx.phone());
+        reference.write_sync("v1".into(), Duration::from_secs(10)).unwrap();
+
+        // Blank the tag behind the reference's back (an empty NDEF
+        // message, as a torn Type 4 write would leave behind).
+        ctx.nfc().ndef_write(uid, &[]).unwrap();
+
+        // The read succeeds but sees no value: the cache must keep the
+        // last value successfully seen, not degrade to None.
+        assert_eq!(reference.read_sync(Duration::from_secs(10)).unwrap().as_deref(), Some("v1"));
+        assert_eq!(reference.cached().as_deref(), Some("v1"));
+    }
+
+    #[test]
+    fn invalid_data_preserves_the_last_seen_cache() {
+        let (world, ctx, uid) = setup();
+        let reference = string_ref(&ctx, uid);
+        world.tap_tag(uid, ctx.phone());
+        reference.write_sync("v1".into(), Duration::from_secs(10)).unwrap();
+
+        // Overwrite with a payload the converter cannot decode.
+        let other = morena_ndef::NdefMessage::single(
+            morena_ndef::NdefRecord::mime("application/other", b"x".to_vec()).unwrap(),
+        );
+        ctx.nfc().ndef_write(uid, &other.to_bytes()).unwrap();
+
+        let (tx, rx) = unbounded();
+        reference.read(|_| panic!("must not convert"), move |_, f| tx.send(f).unwrap());
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+            OpFailure::InvalidData(_)
+        ));
+        // The failure is surfaced, but the last-known-good value stays.
+        assert_eq!(reference.cached().as_deref(), Some("v1"));
+    }
+
+    #[test]
+    fn close_marks_the_reference_closed() {
+        let (_world, ctx, uid) = setup();
+        let reference = string_ref(&ctx, uid);
+        assert!(!reference.is_closed());
+        reference.close();
+        assert!(reference.is_closed());
     }
 
     #[test]

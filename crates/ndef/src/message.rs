@@ -173,6 +173,18 @@ impl NdefMessage {
         let mut first = true;
 
         while !saw_end {
+            if !first && cursor.pos == data.len() {
+                // The input ran out cleanly on a record boundary without
+                // any record carrying ME: either a chunk sequence cut
+                // off mid-stream or a message whose tail records were
+                // lost. Both must be structural errors, not EOF noise —
+                // and never a silently shortened message.
+                return Err(if chunk.is_some() {
+                    NdefError::UnterminatedChunk
+                } else {
+                    NdefError::MissingMessageEnd
+                });
+            }
             let wire = cursor.read_wire_record()?;
             if first {
                 if !wire.mb {
@@ -523,6 +535,54 @@ mod tests {
         );
         encode_wire_record(&mut bytes, false, true, true, Tnf::Unchanged.bits(), &[], &[], b"yy");
         assert_eq!(NdefMessage::parse(&bytes).unwrap_err(), NdefError::UnterminatedChunk);
+    }
+
+    #[test]
+    fn parse_rejects_chunk_sequence_cut_at_a_record_boundary() {
+        // Initial chunk plus one middle chunk, then the input simply
+        // stops — every record parses, but the sequence never ends.
+        let mut bytes = Vec::new();
+        encode_wire_record(
+            &mut bytes,
+            true,
+            false,
+            true,
+            Tnf::MimeMedia.bits(),
+            b"a/b",
+            &[],
+            b"xx",
+        );
+        encode_wire_record(&mut bytes, false, false, true, Tnf::Unchanged.bits(), &[], &[], b"yy");
+        assert_eq!(NdefMessage::parse(&bytes).unwrap_err(), NdefError::UnterminatedChunk);
+    }
+
+    #[test]
+    fn parse_rejects_message_without_message_end() {
+        // Two complete records, neither carrying ME: the wire form of a
+        // message whose tail records were lost. This must not decode as
+        // a silently shortened message.
+        let mut bytes = Vec::new();
+        encode_wire_record(
+            &mut bytes,
+            true,
+            false,
+            false,
+            Tnf::MimeMedia.bits(),
+            b"a/b",
+            &[],
+            b"x",
+        );
+        encode_wire_record(
+            &mut bytes,
+            false,
+            false,
+            false,
+            Tnf::MimeMedia.bits(),
+            b"c/d",
+            &[],
+            b"y",
+        );
+        assert_eq!(NdefMessage::parse(&bytes).unwrap_err(), NdefError::MissingMessageEnd);
     }
 
     #[test]

@@ -72,6 +72,36 @@ proptest! {
     }
 
     #[test]
+    fn decoder_rejects_every_strict_prefix_of_chunked_encodings(
+        msg in arb_message(),
+        chunk in 1usize..300,
+    ) {
+        // A truncated chunk sequence must never decode — in particular
+        // not when the cut lands exactly on a record boundary, where
+        // every remaining record parses but the sequence never ends.
+        let bytes = msg.to_bytes_chunked(chunk);
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                NdefMessage::parse(&bytes[..cut]).is_err(),
+                "prefix of {} bytes decoded (chunk size {})", cut, chunk,
+            );
+        }
+    }
+
+    #[test]
+    fn decoder_rejects_encodings_with_the_end_flag_cleared(msg in arb_message()) {
+        // Clearing ME on the final record leaves a structurally complete
+        // record stream with no message end — the shape a torn write or
+        // lost tail produces. FLAG_ME is bit 6 of the record header; the
+        // last record's header is found by walking encoded_len() sums.
+        let mut bytes = msg.to_bytes();
+        let last_header: usize =
+            msg.records()[..msg.records().len() - 1].iter().map(|r| r.encoded_len()).sum();
+        bytes[last_header] &= !0x40;
+        prop_assert!(NdefMessage::parse(&bytes).is_err());
+    }
+
+    #[test]
     fn text_record_round_trip(
         lang in "[a-z]{1,8}",
         text in ".{0,120}",

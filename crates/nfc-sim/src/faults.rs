@@ -1,0 +1,379 @@
+//! Deterministic fault injection for the simulated radio and tags.
+//!
+//! A [`FaultPlan`] is installed on a [`crate::world::World`] and consulted
+//! once per command/response exchange. It draws from its own seeded RNG —
+//! independent of the link-noise RNG — so a seed fully reproduces the
+//! injected-fault schedule of a run: same seed, same exchange sequence,
+//! same faults at the same exchange indices. Every injection is recorded
+//! in the plan's log and counters, traced on the world's trace plane
+//! ([`crate::trace::TraceEvent::FaultInjected`]), and bridged into the
+//! observability stream, so tests and experiments can correlate injected
+//! ground truth with middleware recovery behaviour.
+//!
+//! The five fault classes model what real NFC deployments see beyond
+//! plain field loss:
+//!
+//! * [`FaultKind::RfDrop`] — the command reaches the tag and takes
+//!   effect, but the response is lost on the air. The reader cannot tell
+//!   this apart from a command that never arrived, which is exactly what
+//!   makes naive retries non-idempotent.
+//! * [`FaultKind::TornWrite`] — power is lost mid page-write: a prefix
+//!   (or a mangled version) of the write lands on the tag, the rest does
+//!   not.
+//! * [`FaultKind::Corruption`] — the response crosses the air but a bit
+//!   flips on the way.
+//! * [`FaultKind::StuckTag`] — the tag stalls and never answers; the
+//!   exchange burns a long dwell before failing.
+//! * [`FaultKind::LatencySpike`] — the exchange succeeds but takes far
+//!   longer than the link model predicts.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tag::type2;
+
+/// One class of injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Command applied, response lost: surfaces as a field loss even
+    /// though the tag state already changed.
+    RfDrop,
+    /// Power loss mid-write: only part of the write lands on the tag.
+    TornWrite,
+    /// A bit of the response flips on the air.
+    Corruption,
+    /// The tag stalls; the exchange dwells and then fails.
+    StuckTag,
+    /// The exchange succeeds after an outsized delay.
+    LatencySpike,
+}
+
+impl FaultKind {
+    /// All fault classes, in the fixed order the injector draws them.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::RfDrop,
+        FaultKind::TornWrite,
+        FaultKind::Corruption,
+        FaultKind::StuckTag,
+        FaultKind::LatencySpike,
+    ];
+
+    /// Stable snake-case label used in traces, obs events, and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::RfDrop => "rf_drop",
+            FaultKind::TornWrite => "torn_write",
+            FaultKind::Corruption => "corruption",
+            FaultKind::StuckTag => "stuck_tag",
+            FaultKind::LatencySpike => "latency_spike",
+        }
+    }
+}
+
+/// Per-class injection probabilities, each in `[0, 1]`, drawn
+/// independently per exchange. Defaults to all zero (no faults).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultRates {
+    /// Probability of [`FaultKind::RfDrop`] per exchange.
+    pub rf_drop: f64,
+    /// Probability of [`FaultKind::TornWrite`] per write exchange.
+    pub torn_write: f64,
+    /// Probability of [`FaultKind::Corruption`] per exchange.
+    pub corruption: f64,
+    /// Probability of [`FaultKind::StuckTag`] per exchange.
+    pub stuck_tag: f64,
+    /// Probability of [`FaultKind::LatencySpike`] per exchange.
+    pub latency_spike: f64,
+}
+
+impl FaultRates {
+    /// Rates that inject only `kind`, at probability `rate` — the shape
+    /// the fault matrix uses to isolate one class at a time.
+    pub fn only(kind: FaultKind, rate: f64) -> FaultRates {
+        let mut rates = FaultRates::default();
+        match kind {
+            FaultKind::RfDrop => rates.rf_drop = rate,
+            FaultKind::TornWrite => rates.torn_write = rate,
+            FaultKind::Corruption => rates.corruption = rate,
+            FaultKind::StuckTag => rates.stuck_tag = rate,
+            FaultKind::LatencySpike => rates.latency_spike = rate,
+        }
+        rates
+    }
+
+    fn rate(&self, kind: FaultKind) -> f64 {
+        match kind {
+            FaultKind::RfDrop => self.rf_drop,
+            FaultKind::TornWrite => self.torn_write,
+            FaultKind::Corruption => self.corruption,
+            FaultKind::StuckTag => self.stuck_tag,
+            FaultKind::LatencySpike => self.latency_spike,
+        }
+    }
+}
+
+/// Counters of faults actually injected, by class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Responses dropped after the command took effect.
+    pub rf_drops: u64,
+    /// Writes torn mid-operation.
+    pub torn_writes: u64,
+    /// Responses with a flipped bit.
+    pub corruptions: u64,
+    /// Stalled exchanges.
+    pub stuck_tags: u64,
+    /// Slow-but-successful exchanges.
+    pub latency_spikes: u64,
+}
+
+impl FaultStats {
+    /// The counter for one fault class.
+    pub fn count(&self, kind: FaultKind) -> u64 {
+        match kind {
+            FaultKind::RfDrop => self.rf_drops,
+            FaultKind::TornWrite => self.torn_writes,
+            FaultKind::Corruption => self.corruptions,
+            FaultKind::StuckTag => self.stuck_tags,
+            FaultKind::LatencySpike => self.latency_spikes,
+        }
+    }
+
+    /// Total faults injected across all classes.
+    pub fn total(&self) -> u64 {
+        FaultKind::ALL.iter().map(|k| self.count(*k)).sum()
+    }
+
+    fn record(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::RfDrop => self.rf_drops += 1,
+            FaultKind::TornWrite => self.torn_writes += 1,
+            FaultKind::Corruption => self.corruptions += 1,
+            FaultKind::StuckTag => self.stuck_tags += 1,
+            FaultKind::LatencySpike => self.latency_spikes += 1,
+        }
+    }
+}
+
+/// A seeded, deterministic fault schedule.
+///
+/// The plan owns its RNG; [`FaultPlan::decide`] draws one boolean per
+/// fault class per exchange **in a fixed order regardless of which (if
+/// any) class fires**, so the RNG stream — and therefore the whole
+/// schedule — is a pure function of the seed and the sequence of
+/// exchanges. Two runs that issue the same exchange sequence against
+/// plans with the same seed and rates see identical fault schedules.
+///
+/// # Examples
+///
+/// ```
+/// use morena_nfc_sim::faults::{FaultKind, FaultPlan, FaultRates};
+///
+/// let mut a = FaultPlan::new(42, FaultRates::only(FaultKind::RfDrop, 0.5));
+/// let mut b = FaultPlan::new(42, FaultRates::only(FaultKind::RfDrop, 0.5));
+/// let schedule_a: Vec<_> = (0..32).map(|_| a.decide(false)).collect();
+/// let schedule_b: Vec<_> = (0..32).map(|_| b.decide(false)).collect();
+/// assert_eq!(schedule_a, schedule_b);
+/// assert!(a.stats().rf_drops > 0);
+/// ```
+#[derive(Debug)]
+pub struct FaultPlan {
+    rng: StdRng,
+    rates: FaultRates,
+    stall: Duration,
+    spike: Duration,
+    exchange: u64,
+    log: Vec<(u64, FaultKind)>,
+    stats: FaultStats,
+}
+
+impl FaultPlan {
+    /// Creates a plan with default dwell times (5 ms stall, 5 ms spike).
+    pub fn new(seed: u64, rates: FaultRates) -> FaultPlan {
+        FaultPlan {
+            rng: StdRng::seed_from_u64(seed),
+            rates,
+            stall: Duration::from_millis(5),
+            spike: Duration::from_millis(5),
+            exchange: 0,
+            log: Vec::new(),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Overrides the stuck-tag dwell and latency-spike delay.
+    pub fn with_delays(mut self, stall: Duration, spike: Duration) -> FaultPlan {
+        self.stall = stall;
+        self.spike = spike;
+        self
+    }
+
+    /// How long a [`FaultKind::StuckTag`] exchange dwells before failing.
+    pub fn stall(&self) -> Duration {
+        self.stall
+    }
+
+    /// The extra delay a [`FaultKind::LatencySpike`] exchange takes.
+    pub fn spike(&self) -> Duration {
+        self.spike
+    }
+
+    /// Decides whether the next exchange is faulted, and how.
+    ///
+    /// `is_write` gates [`FaultKind::TornWrite`], which only makes sense
+    /// on a write command. One boolean is drawn per class every call, in
+    /// [`FaultKind::ALL`] order, so the RNG stream does not depend on
+    /// the outcome; when several classes fire on the same exchange the
+    /// first in that order wins.
+    pub fn decide(&mut self, is_write: bool) -> Option<FaultKind> {
+        let index = self.exchange;
+        self.exchange += 1;
+        let mut chosen = None;
+        for kind in FaultKind::ALL {
+            let fired = self.rng.random_bool(self.rates.rate(kind).clamp(0.0, 1.0));
+            if fired && chosen.is_none() && (kind != FaultKind::TornWrite || is_write) {
+                chosen = Some(kind);
+            }
+        }
+        if let Some(kind) = chosen {
+            self.stats.record(kind);
+            self.log.push((index, kind));
+        }
+        chosen
+    }
+
+    /// Flips one RNG-chosen bit of `bytes` (no-op on an empty response).
+    pub fn corrupt(&mut self, bytes: &mut [u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        let bit = self.rng.random_range(0..bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+    }
+
+    /// Counters of faults injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// The injected-fault schedule so far, as `(exchange index, class)`
+    /// pairs — the ground truth a determinism assertion compares.
+    pub fn log(&self) -> &[(u64, FaultKind)] {
+        &self.log
+    }
+}
+
+/// Whether `command` mutates tag memory: a Type 2 page WRITE or a Type 4
+/// UPDATE BINARY.
+pub fn is_write_command(command: &[u8]) -> bool {
+    matches!(command, [type2::CMD_WRITE, ..])
+        || matches!(command, [0x00, 0xD6, ..] if command.len() >= 5)
+}
+
+/// The torn variant of a write command: what lands on the tag when power
+/// is lost mid-write. Returns `None` when nothing at all lands (the tear
+/// happened before any byte was programmed).
+///
+/// * Type 2 page write (`A2 page d0 d1 d2 d3`): the first half of the
+///   page is programmed, the second half keeps zeroes — NTAG EEPROM
+///   programs a page as one unit, but an interrupted program cycle
+///   leaves indeterminate cells, which zeroes model deterministically.
+/// * Type 4 UPDATE BINARY (`00 D6 offH offL Lc data…`): the first half
+///   of the data is written; `None` for a 1-byte payload.
+pub fn torn_write_command(command: &[u8]) -> Option<Vec<u8>> {
+    match command {
+        [type2::CMD_WRITE, page, d0, d1, _, _] => {
+            Some(vec![type2::CMD_WRITE, *page, *d0, *d1, 0, 0])
+        }
+        [0x00, 0xD6, off_hi, off_lo, lc, data @ ..] if *lc as usize == data.len() => {
+            let half = data.len() / 2;
+            if half == 0 {
+                return None;
+            }
+            let mut torn = vec![0x00, 0xD6, *off_hi, *off_lo, half as u8];
+            torn.extend_from_slice(&data[..half]);
+            Some(torn)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let rates = FaultRates {
+            rf_drop: 0.1,
+            torn_write: 0.2,
+            corruption: 0.1,
+            stuck_tag: 0.05,
+            latency_spike: 0.05,
+        };
+        let mut a = FaultPlan::new(7, rates);
+        let mut b = FaultPlan::new(7, rates);
+        for i in 0..200 {
+            let is_write = i % 3 == 0;
+            assert_eq!(a.decide(is_write), b.decide(is_write), "exchange {i}");
+        }
+        assert_eq!(a.log(), b.log());
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().total() > 0, "rates this high must fire within 200 exchanges");
+    }
+
+    #[test]
+    fn rng_stream_is_independent_of_is_write() {
+        // The torn-write gate must not desynchronize the stream: the same
+        // draws happen either way, only eligibility changes.
+        let rates = FaultRates::only(FaultKind::RfDrop, 0.3);
+        let mut reads_only = FaultPlan::new(9, rates);
+        let mut writes_only = FaultPlan::new(9, rates);
+        for _ in 0..100 {
+            assert_eq!(reads_only.decide(false), writes_only.decide(true));
+        }
+    }
+
+    #[test]
+    fn torn_write_never_fires_on_reads() {
+        let mut plan = FaultPlan::new(1, FaultRates::only(FaultKind::TornWrite, 1.0));
+        assert_eq!(plan.decide(false), None);
+        assert_eq!(plan.decide(true), Some(FaultKind::TornWrite));
+        assert_eq!(plan.stats().torn_writes, 1);
+        assert_eq!(plan.log(), &[(1, FaultKind::TornWrite)]);
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_one_bit() {
+        let mut plan = FaultPlan::new(3, FaultRates::default());
+        let original = vec![0xAA, 0x55, 0x00, 0xFF];
+        let mut corrupted = original.clone();
+        plan.corrupt(&mut corrupted);
+        let flipped: u32 = original.iter().zip(&corrupted).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert_eq!(flipped, 1);
+        let mut empty: Vec<u8> = Vec::new();
+        plan.corrupt(&mut empty); // must not panic
+    }
+
+    #[test]
+    fn write_commands_are_recognized() {
+        assert!(is_write_command(&[0xA2, 5, 1, 2, 3, 4]));
+        assert!(is_write_command(&[0x00, 0xD6, 0, 2, 3, 9, 9, 9]));
+        assert!(!is_write_command(&[0x30, 4]));
+        assert!(!is_write_command(&[0x00, 0xB0, 0, 0, 2]));
+        assert!(!is_write_command(&[]));
+    }
+
+    #[test]
+    fn torn_variants_shrink_the_write() {
+        assert_eq!(torn_write_command(&[0xA2, 7, 1, 2, 3, 4]), Some(vec![0xA2, 7, 1, 2, 0, 0]));
+        assert_eq!(
+            torn_write_command(&[0x00, 0xD6, 0x00, 0x02, 4, 9, 8, 7, 6]),
+            Some(vec![0x00, 0xD6, 0x00, 0x02, 2, 9, 8])
+        );
+        assert_eq!(torn_write_command(&[0x00, 0xD6, 0x00, 0x02, 1, 9]), None);
+        assert_eq!(torn_write_command(&[0x30, 4]), None);
+    }
+}

@@ -19,6 +19,8 @@
 //! * [`proto`] — the reader-side NDEF detect/read/write procedures, built
 //!   from individual tag commands so faults can strike mid-operation.
 //! * [`link`] — latency and failure model of the radio link.
+//! * [`faults`] — a seeded, deterministic fault injector layered on the
+//!   link: RF drops, torn writes, corruption, stalls, latency spikes.
 //! * [`world`] — phones and tags in 2D space; proximity events; beam.
 //! * [`controller`] — the per-phone [`controller::NfcHandle`] facade the
 //!   software stack uses.
@@ -52,6 +54,7 @@
 pub mod clock;
 pub mod controller;
 pub mod error;
+pub mod faults;
 pub mod geometry;
 pub mod link;
 pub mod proto;
@@ -63,6 +66,7 @@ pub mod world;
 pub use clock::{Clock, SimInstant, SystemClock, VirtualClock};
 pub use controller::NfcHandle;
 pub use error::{LinkError, NfcOpError, TagError};
+pub use faults::{FaultKind, FaultPlan, FaultRates, FaultStats};
 pub use link::LinkModel;
 pub use tag::{TagEmulator, TagTech, TagUid, Type2Tag, Type4Tag};
 pub use world::{NfcEvent, PhoneId, World};

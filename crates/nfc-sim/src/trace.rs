@@ -51,6 +51,16 @@ pub enum TraceEvent {
         /// Peers reached (0 = failed).
         delivered: usize,
     },
+    /// The fault injector fired on an exchange (ground truth for tests
+    /// correlating injected faults with observed middleware behaviour).
+    FaultInjected {
+        /// The reader phone.
+        phone: PhoneId,
+        /// The tag addressed.
+        uid: TagUid,
+        /// Stable label of the injected fault class.
+        fault: &'static str,
+    },
 }
 
 /// A timestamped [`TraceEvent`].
@@ -74,6 +84,9 @@ impl std::fmt::Display for TraceEntry {
             }
             TraceEvent::Beam { from, bytes, delivered } => {
                 write!(f, "{from} beams {bytes}B to {delivered} peer(s)")
+            }
+            TraceEvent::FaultInjected { phone, uid, fault } => {
+                write!(f, "{phone} !! {uid} fault {fault}")
             }
         }
     }
@@ -141,6 +154,7 @@ mod tests {
             TraceEvent::Exchange { phone, uid, opcode: Some(0x30), ok: true },
             TraceEvent::Exchange { phone, uid, opcode: None, ok: false },
             TraceEvent::Beam { from: phone, bytes: 12, delivered: 0 },
+            TraceEvent::FaultInjected { phone, uid, fault: "torn_write" },
         ];
         for event in cases {
             let entry = TraceEntry { at: SimInstant::from_nanos(1_000_000), event };

@@ -21,6 +21,7 @@ use crate::clock::{Clock, SimInstant};
 use crate::error::{LinkError, TagError};
 use morena_obs::{EventKind, Recorder, NO_OPCODE};
 
+use crate::faults::{self, FaultKind, FaultPlan, FaultStats};
 use crate::geometry::Point;
 use crate::link::LinkModel;
 use crate::tag::{TagEmulator, TagTech, TagUid};
@@ -125,6 +126,7 @@ struct WorldState {
     next_phone: u64,
     radio: RadioStats,
     trace: Option<TraceBuffer>,
+    faults: Option<FaultPlan>,
 }
 
 impl WorldState {
@@ -223,6 +225,7 @@ impl World {
                 next_phone: 0,
                 radio: RadioStats::default(),
                 trace: None,
+                faults: None,
             })),
             clock,
             obs: Arc::new(Recorder::new()),
@@ -259,6 +262,32 @@ impl World {
     /// A snapshot of the world's aggregate radio activity.
     pub fn radio_stats(&self) -> RadioStats {
         self.state.lock().radio
+    }
+
+    /// Installs a deterministic [`FaultPlan`] on the radio. Every
+    /// subsequent exchange consults the plan; replacing an existing plan
+    /// discards it along with its log and counters.
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        self.state.lock().faults = Some(plan);
+    }
+
+    /// Removes the active fault plan, returning it (with its final log
+    /// and counters) so callers can assert against the injected ground
+    /// truth. `None` when no plan was installed.
+    pub fn clear_fault_plan(&self) -> Option<FaultPlan> {
+        self.state.lock().faults.take()
+    }
+
+    /// Counters of faults injected by the active plan (all zero when no
+    /// plan is installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.state.lock().faults.as_ref().map(|p| p.stats()).unwrap_or_default()
+    }
+
+    /// The active plan's injected-fault schedule so far, as
+    /// `(exchange index, class)` pairs. Empty when no plan is installed.
+    pub fn fault_log(&self) -> Vec<(u64, FaultKind)> {
+        self.state.lock().faults.as_ref().map(|p| p.log().to_vec()).unwrap_or_default()
     }
 
     /// Turns on physical-event tracing with a bounded buffer of
@@ -637,6 +666,88 @@ impl World {
             state.trace(now, TraceEvent::Exchange { phone, uid, opcode, ok: false });
             self.obs_emit(now, || obs_exchange(false));
             return Err(LinkError::TransmissionError);
+        }
+        let injected =
+            state.faults.as_mut().and_then(|p| p.decide(faults::is_write_command(command)));
+        if let Some(kind) = injected {
+            state.trace(now, TraceEvent::FaultInjected { phone, uid, fault: kind.label() });
+            self.obs_emit(now, || EventKind::FaultInjected {
+                phone: phone.as_u64(),
+                target: uid.to_string(),
+                fault: kind.label(),
+            });
+            self.obs.metrics().counter("sim.fault_injected").inc();
+            match kind {
+                FaultKind::RfDrop => {
+                    // The command reaches the tag and takes effect; the
+                    // response is lost on the air. The reader cannot
+                    // distinguish this from a command that never arrived.
+                    let slot = state.tags.get_mut(&uid).ok_or(LinkError::FieldLost)?;
+                    let _ = slot.emulator.transceive(command);
+                    state.radio.failed += 1;
+                    state.trace(now, TraceEvent::Exchange { phone, uid, opcode, ok: false });
+                    self.obs_emit(now, || obs_exchange(false));
+                    return Err(LinkError::FieldLost);
+                }
+                FaultKind::TornWrite => {
+                    // Power loss mid-write: only a torn prefix of the
+                    // write lands, and no response comes back.
+                    if let Some(torn) = faults::torn_write_command(command) {
+                        let slot = state.tags.get_mut(&uid).ok_or(LinkError::FieldLost)?;
+                        let _ = slot.emulator.transceive(&torn);
+                    }
+                    state.radio.failed += 1;
+                    state.trace(now, TraceEvent::Exchange { phone, uid, opcode, ok: false });
+                    self.obs_emit(now, || obs_exchange(false));
+                    return Err(LinkError::FieldLost);
+                }
+                FaultKind::Corruption => {
+                    // The exchange "succeeds" at the radio level but a
+                    // bit of the response flips on the way back.
+                    state.radio.bytes += command.len() as u64 + 16;
+                    state.trace(now, TraceEvent::Exchange { phone, uid, opcode, ok: true });
+                    self.obs_emit(now, || obs_exchange(true));
+                    let slot = state.tags.get_mut(&uid).ok_or(LinkError::FieldLost)?;
+                    let mut resp = match slot.emulator.transceive(command) {
+                        Ok(resp) => resp,
+                        Err(TagError::NoResponse) => return Err(LinkError::TransmissionError),
+                    };
+                    if let Some(p) = state.faults.as_mut() {
+                        p.corrupt(&mut resp);
+                    }
+                    return Ok(resp);
+                }
+                FaultKind::StuckTag => {
+                    // The tag stalls and never answers: the exchange
+                    // dwells for the plan's stall time, then fails.
+                    state.radio.failed += 1;
+                    state.trace(now, TraceEvent::Exchange { phone, uid, opcode, ok: false });
+                    self.obs_emit(now, || obs_exchange(false));
+                    let stall = state.faults.as_ref().map(|p| p.stall()).unwrap_or_default();
+                    state.radio.air_time_nanos += stall.as_nanos() as u64;
+                    drop(state);
+                    self.clock.sleep(stall);
+                    return Err(LinkError::TransmissionError);
+                }
+                FaultKind::LatencySpike => {
+                    // The exchange completes, just far slower than the
+                    // link model predicts; the extra dwell is slept
+                    // outside the lock like the nominal latency.
+                    state.radio.bytes += command.len() as u64 + 16;
+                    state.trace(now, TraceEvent::Exchange { phone, uid, opcode, ok: true });
+                    self.obs_emit(now, || obs_exchange(true));
+                    let slot = state.tags.get_mut(&uid).ok_or(LinkError::FieldLost)?;
+                    let result = match slot.emulator.transceive(command) {
+                        Ok(resp) => Ok(resp),
+                        Err(TagError::NoResponse) => Err(LinkError::TransmissionError),
+                    };
+                    let spike = state.faults.as_ref().map(|p| p.spike()).unwrap_or_default();
+                    state.radio.air_time_nanos += spike.as_nanos() as u64;
+                    drop(state);
+                    self.clock.sleep(spike);
+                    return result;
+                }
+            }
         }
         state.radio.bytes += command.len() as u64 + 16;
         state.trace(now, TraceEvent::Exchange { phone, uid, opcode, ok: true });

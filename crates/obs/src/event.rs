@@ -277,6 +277,16 @@ pub enum EventKind {
         /// The peer that left, rendered like a target (`phone-N`).
         target: String,
     },
+    /// The simulator's fault injector fired on an exchange — injected
+    /// ground truth, correlatable with the middleware's recovery events.
+    FaultInjected {
+        /// Phone driving the faulted exchange.
+        phone: u64,
+        /// Tag uid.
+        target: String,
+        /// Stable label of the injected fault class (e.g. `torn_write`).
+        fault: &'static str,
+    },
 }
 
 impl EventKind {
@@ -298,6 +308,7 @@ impl EventKind {
             EventKind::PhysBeam { .. } => "phys_beam",
             EventKind::PhysPeerEntered { .. } => "phys_peer_entered",
             EventKind::PhysPeerLeft { .. } => "phys_peer_left",
+            EventKind::FaultInjected { .. } => "fault_injected",
         }
     }
 }
@@ -376,6 +387,9 @@ impl ObsEvent {
             }
             EventKind::PhysBeam { phone, bytes, delivered } => {
                 w.u64("phone", *phone).u64("bytes", *bytes).u64("delivered", *delivered);
+            }
+            EventKind::FaultInjected { phone, target, fault } => {
+                w.u64("phone", *phone).str("target", target).str("fault", fault);
             }
         }
         w.finish()

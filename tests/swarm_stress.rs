@@ -197,3 +197,59 @@ fn swarm_with_roaming_tags_still_converges() {
 fn swarm_with_roaming_tags_still_converges_sharded() {
     roaming_tags_converge(ExecutionPolicy::Sharded { workers: 2 }, 78);
 }
+
+/// A discoverer watching a long stream of disposable tags: each one is
+/// detected, written, and its reference closed — the lifecycle of a
+/// warehouse conveyor. The discoverer's identity map must stay bounded
+/// by the *live* reference population instead of accumulating one dead
+/// entry (and one stopped event loop) per retired tag.
+fn discovery_map_stays_bounded(policy: ExecutionPolicy, seed: u64) {
+    const GENERATIONS: usize = 12;
+
+    let world = World::with_link(SystemClock::shared(), LinkModel::reliable(), seed);
+    let phone = world.add_phone("conveyor");
+    let ctx = MorenaContext::headless_with(&world, phone, policy);
+
+    struct Notify(crossbeam::channel::Sender<TagUid>);
+    impl DiscoveryListener<StringConverter> for Notify {
+        fn on_tag_detected(&self, reference: TagReference<StringConverter>) {
+            self.0.send(reference.uid()).unwrap();
+        }
+        fn on_tag_redetected(&self, reference: TagReference<StringConverter>) {
+            self.0.send(reference.uid()).unwrap();
+        }
+        fn on_empty_tag(&self, reference: TagReference<StringConverter>) {
+            self.0.send(reference.uid()).unwrap();
+        }
+    }
+
+    let (tx, rx) = unbounded();
+    let disco =
+        TagDiscoverer::new(&ctx, Arc::new(StringConverter::plain_text()), Arc::new(Notify(tx)));
+
+    for generation in 0..GENERATIONS {
+        let uid =
+            world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(900 + generation as u32))));
+        world.tap_tag(uid, phone);
+        assert_eq!(rx.recv_timeout(Duration::from_secs(30)).expect("sighting"), uid);
+        let reference = disco.reference_for(uid).expect("reference for sighted tag");
+        reference.write_sync(format!("gen-{generation}"), Duration::from_secs(30)).unwrap();
+        world.remove_tag_from_field(uid);
+        reference.close();
+        // At most the reference just closed (swept on the next sighting)
+        // plus the one for the current generation may linger.
+        let live = disco.references().len();
+        assert!(live <= 2, "identity map grew to {live} entries at generation {generation}");
+    }
+    disco.stop();
+}
+
+#[test]
+fn swarm_discovery_map_stays_bounded() {
+    discovery_map_stays_bounded(ExecutionPolicy::ThreadPerLoop, 91);
+}
+
+#[test]
+fn swarm_discovery_map_stays_bounded_sharded() {
+    discovery_map_stays_bounded(ExecutionPolicy::Sharded { workers: 2 }, 92);
+}
