@@ -121,7 +121,7 @@ impl<C: TagDataConverter> Beamer<C> {
             BeamExecutor { nfc: ctx.nfc().clone() },
             // Beaming is undirected; `*` tells the correlator to count
             // *any* peer in range as reachability for these ops.
-            ObsScope::new(ctx, "beamer".into(), "*".into()),
+            ObsScope::new(ctx, "beamer".into(), "beam", "*".into()),
         );
         // Any peer appearing or leaving may change reachability: poke the
         // loop through the context's shared event router.

@@ -25,6 +25,7 @@ use crossbeam::channel::RecvTimeoutError;
 use morena_ndef::NdefMessage;
 use morena_nfc_sim::tag::{TagTech, TagUid};
 use morena_nfc_sim::world::NfcEvent;
+use morena_obs::inspect::{ComponentSnapshot, DiscoverySnapshot, SnapshotProvider};
 use morena_obs::EventKind;
 use parking_lot::Mutex;
 
@@ -72,6 +73,22 @@ struct DiscovererInner<C: TagDataConverter> {
 impl<C: TagDataConverter> Drop for DiscovererInner<C> {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::Release);
+    }
+}
+
+impl<C: TagDataConverter> SnapshotProvider for DiscovererInner<C> {
+    fn snapshot(&self, _now_nanos: u64) -> ComponentSnapshot {
+        let (live, closed) = {
+            let references = self.references.lock();
+            let closed = references.values().filter(|r| r.is_closed()).count();
+            (references.len() - closed, closed)
+        };
+        ComponentSnapshot::Discovery(DiscoverySnapshot {
+            phone: self.ctx.phone().as_u64(),
+            mime: self.converter.mime_type().to_owned(),
+            live_refs: live,
+            closed_refs: closed,
+        })
     }
 }
 
@@ -127,6 +144,10 @@ impl<C: TagDataConverter> TagDiscoverer<C> {
             references: Mutex::new(HashMap::new()),
             stop: AtomicBool::new(false),
         });
+        inner.ctx.nfc().world().obs().inspector().register(
+            format!("discovery-{}-{}", inner.ctx.phone().as_u64(), inner.converter.mime_type()),
+            Arc::downgrade(&inner) as std::sync::Weak<dyn SnapshotProvider>,
+        );
         spawn_discovery_thread(Arc::clone(&inner));
         TagDiscoverer { inner }
     }

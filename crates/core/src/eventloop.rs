@@ -29,13 +29,14 @@
 //! context's worker pool (the default).
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
 use std::time::Duration;
 
 use morena_android_sim::looper::Handler;
 use morena_nfc_sim::clock::{Clock, SimInstant, WaitSignal};
 use morena_nfc_sim::error::NfcOpError;
+use morena_obs::inspect::{ComponentSnapshot, HeadOp, LoopSnapshot, SnapshotProvider};
 use morena_obs::{AttemptOutcome, Counter, EventKind, Histogram, OpKind, OpOutcome, Recorder};
 use parking_lot::Mutex;
 
@@ -124,6 +125,9 @@ pub use morena_obs::{OpStats, OpStatsSnapshot};
 pub(crate) struct ObsScope {
     pub(crate) recorder: Arc<Recorder>,
     pub(crate) loop_name: String,
+    /// Loop family label surfaced by the inspector (`tag`, `beam`,
+    /// `peer`; `test` in harnesses).
+    pub(crate) kind: &'static str,
     pub(crate) phone: u64,
     pub(crate) target: String,
 }
@@ -131,10 +135,16 @@ pub(crate) struct ObsScope {
 impl ObsScope {
     /// Scope for a loop owned by `ctx`'s phone, wired to its world's
     /// recorder.
-    pub(crate) fn new(ctx: &MorenaContext, loop_name: String, target: String) -> ObsScope {
+    pub(crate) fn new(
+        ctx: &MorenaContext,
+        loop_name: String,
+        kind: &'static str,
+        target: String,
+    ) -> ObsScope {
         ObsScope {
             recorder: Arc::clone(ctx.nfc().world().obs()),
             loop_name,
+            kind,
             phone: ctx.phone().as_u64(),
             target,
         }
@@ -146,6 +156,7 @@ impl ObsScope {
         ObsScope {
             recorder: Arc::new(Recorder::new()),
             loop_name: name.to_owned(),
+            kind: "test",
             phone: 0,
             target: name.to_owned(),
         }
@@ -293,6 +304,12 @@ pub(crate) struct Shared {
     executor: Box<dyn OpExecutor>,
     obs: ObsScope,
     metrics: LoopMetrics,
+    /// Which op the polling thread last attempted (`u64::MAX` = none
+    /// yet) and how many attempts it has absorbed — the inspector's
+    /// retry-storm evidence. Written only by the polling thread, read
+    /// by inspector snapshots.
+    head_op_id: AtomicU64,
+    head_attempts: AtomicU64,
 }
 
 impl Shared {
@@ -441,6 +458,11 @@ impl Shared {
                     }
                     return LoopPoll::Runnable;
                 }
+                if self.head_op_id.swap(op_id, Ordering::Relaxed) == op_id {
+                    self.head_attempts.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.head_attempts.store(1, Ordering::Relaxed);
+                }
                 let outcome = self.executor.execute(&request);
                 let finished = self.clock.now();
                 let attempt_nanos = finished.saturating_since(attempt_started).as_nanos() as u64;
@@ -501,6 +523,42 @@ impl Shared {
     }
 }
 
+impl SnapshotProvider for Shared {
+    fn snapshot(&self, now_nanos: u64) -> ComponentSnapshot {
+        let (queue_depth, head) = {
+            let queue = self.queue.lock();
+            let head = queue.front().map(|op| {
+                let enqueued = op.enqueued_at.as_nanos();
+                // The attempt counter only describes the op the polling
+                // thread last worked on; a freshly promoted head reads 0.
+                let attempts = if self.head_op_id.load(Ordering::Relaxed) == op.op_id {
+                    self.head_attempts.load(Ordering::Relaxed)
+                } else {
+                    0
+                };
+                HeadOp {
+                    op_id: op.op_id,
+                    op: op_kind(&op.request).label(),
+                    age_nanos: now_nanos.saturating_sub(enqueued),
+                    budget_nanos: op.deadline.as_nanos().saturating_sub(enqueued),
+                    attempts,
+                }
+            });
+            (queue.len(), head)
+        };
+        // Probed outside the queue lock: connectivity may take sim locks.
+        ComponentSnapshot::Loop(LoopSnapshot {
+            name: self.obs.loop_name.clone(),
+            kind: self.obs.kind,
+            phone: self.obs.phone,
+            target: self.obs.target.clone(),
+            queue_depth,
+            connected: self.executor.connected(),
+            head,
+        })
+    }
+}
+
 impl PollTask for Shared {
     fn poll(&self) -> LoopPoll {
         self.poll_loop()
@@ -556,7 +614,14 @@ impl EventLoop {
             executor: Box::new(executor),
             obs,
             metrics,
+            head_op_id: AtomicU64::new(u64::MAX),
+            head_attempts: AtomicU64::new(0),
         });
+        shared
+            .obs
+            .recorder
+            .inspector()
+            .register(&shared.obs.loop_name, Arc::downgrade(&shared) as Weak<dyn SnapshotProvider>);
         match exec {
             Execution::Sharded(scheduler) => {
                 let _ = shared.shard.set(scheduler.assign());
@@ -1141,6 +1206,7 @@ mod tests {
         let scope = ObsScope {
             recorder: Arc::clone(&recorder),
             loop_name: "tag-x".into(),
+            kind: "test",
             phone: 7,
             target: "tag-x".into(),
         };
@@ -1198,6 +1264,7 @@ mod tests {
         let scope = ObsScope {
             recorder: Arc::clone(&recorder),
             loop_name: "sched".into(),
+            kind: "test",
             phone: 0,
             target: "sched".into(),
         };

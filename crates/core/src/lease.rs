@@ -17,6 +17,7 @@
 //! lock survived — closing most of the window in which two devices could
 //! both believe they hold the tag.
 
+use std::collections::HashMap;
 use std::time::Duration;
 
 use morena_ndef::{NdefMessage, NdefRecord, Tnf};
@@ -24,7 +25,9 @@ use morena_nfc_sim::clock::{Clock, SimInstant};
 use morena_nfc_sim::controller::NfcHandle;
 use morena_nfc_sim::error::NfcOpError;
 use morena_nfc_sim::tag::TagUid;
+use morena_obs::inspect::{ComponentSnapshot, LeaseSnapshot, SnapshotProvider};
 use morena_obs::{EventKind, LeaseAction};
+use parking_lot::Mutex;
 use std::sync::Arc;
 
 use crate::context::MorenaContext;
@@ -179,16 +182,41 @@ pub struct LeaseManager {
     nfc: NfcHandle,
     clock: Arc<dyn Clock>,
     device: DeviceId,
+    ledger: Arc<LeaseLedger>,
+}
+
+/// This device's view of the leases it believes it holds — kept for the
+/// inspector; the tag's on-memory lock record stays authoritative.
+#[derive(Debug)]
+struct LeaseLedger {
+    device: DeviceId,
+    held: Mutex<HashMap<TagUid, SimInstant>>,
+}
+
+impl SnapshotProvider for LeaseLedger {
+    fn snapshot(&self, now_nanos: u64) -> ComponentSnapshot {
+        let mut held: Vec<(String, u64)> = {
+            let mut map = self.held.lock();
+            // Leases lapse by the clock alone; drop expired entries here
+            // rather than waiting for an explicit release.
+            map.retain(|_, expires| expires.as_nanos() > now_nanos);
+            map.iter().map(|(uid, expires)| (uid.to_string(), expires.as_nanos())).collect()
+        };
+        held.sort();
+        ComponentSnapshot::Leases(LeaseSnapshot { device: self.device.to_string(), held })
+    }
 }
 
 impl LeaseManager {
     /// Creates a manager identified by the context's phone id.
     pub fn new(ctx: &MorenaContext) -> LeaseManager {
-        LeaseManager {
-            nfc: ctx.nfc().clone(),
-            clock: Arc::clone(ctx.clock()),
-            device: DeviceId(ctx.phone().as_u64()),
-        }
+        let device = DeviceId(ctx.phone().as_u64());
+        let ledger = Arc::new(LeaseLedger { device, held: Mutex::new(HashMap::new()) });
+        ctx.nfc().world().obs().inspector().register(
+            format!("leases-{device}"),
+            Arc::downgrade(&ledger) as std::sync::Weak<dyn SnapshotProvider>,
+        );
+        LeaseManager { nfc: ctx.nfc().clone(), clock: Arc::clone(ctx.clock()), device, ledger }
     }
 
     /// This manager's device identity.
@@ -216,6 +244,17 @@ impl LeaseManager {
 
     /// Records a lease transition in the world's observability stream.
     fn observe(&self, uid: TagUid, action: LeaseAction, expires_at: Option<SimInstant>) {
+        match action {
+            LeaseAction::Granted | LeaseAction::Renewed => {
+                if let Some(expires) = expires_at {
+                    self.ledger.held.lock().insert(uid, expires);
+                }
+            }
+            LeaseAction::Released => {
+                self.ledger.held.lock().remove(&uid);
+            }
+            LeaseAction::Denied | LeaseAction::LostRace => {}
+        }
         let recorder = self.nfc.world().obs();
         let counter = match action {
             LeaseAction::Granted => "lease.granted",

@@ -133,7 +133,7 @@ impl<C: TagDataConverter> PeerReference<C> {
             PeerExecutor { nfc: ctx.nfc().clone(), peer },
             // Target keyed like the simulator's peer-presence events
             // ("phone-N") so the correlator can join the two streams.
-            ObsScope::new(ctx, format!("peer-{peer}"), obs_peer_target(peer)),
+            ObsScope::new(ctx, format!("peer-{peer}"), "peer", obs_peer_target(peer)),
         );
         // Presence changes of *this* peer re-arm the loop, via the
         // context's shared event router.

@@ -34,10 +34,11 @@
 //! `scheduler.poll_ns` histogram (wall-clock latency of single polls).
 
 use std::collections::{BinaryHeap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use morena_nfc_sim::clock::{Clock, SimInstant, WaitSignal};
+use morena_obs::inspect::{ComponentSnapshot, ShardSnapshot, SnapshotProvider};
 use morena_obs::{Counter, Gauge, Histogram, Recorder};
 use parking_lot::Mutex;
 
@@ -138,6 +139,27 @@ pub(crate) struct Shard {
     ready: Mutex<VecDeque<Arc<dyn PollTask>>>,
     signal: Arc<WaitSignal>,
     metrics: SchedMetrics,
+    /// Position within the pool, for inspector output.
+    index: usize,
+    /// Loops pinned here over the shard's lifetime (pins are permanent).
+    owned: AtomicU64,
+    /// Clock nanos of the worker's most recent loop iteration;
+    /// `u64::MAX` until the worker first runs. A shard with runnable
+    /// work and a stale stamp is starved — the worker parks only when
+    /// its ready queue is empty.
+    last_poll: AtomicU64,
+}
+
+impl SnapshotProvider for Shard {
+    fn snapshot(&self, now_nanos: u64) -> ComponentSnapshot {
+        let last_poll = self.last_poll.load(Ordering::Relaxed);
+        ComponentSnapshot::Shard(ShardSnapshot {
+            index: self.index,
+            loops_owned: self.owned.load(Ordering::Relaxed),
+            run_queue: self.ready.lock().len(),
+            since_poll_nanos: (last_poll != u64::MAX).then(|| now_nanos.saturating_sub(last_poll)),
+        })
+    }
 }
 
 impl Shard {
@@ -191,14 +213,23 @@ impl Scheduler {
         let metrics = SchedMetrics::resolve(recorder);
         let shutdown = Arc::new(AtomicBool::new(false));
         let shards: Vec<Arc<Shard>> = (0..workers)
-            .map(|_| {
+            .map(|index| {
                 Arc::new(Shard {
                     ready: Mutex::new(VecDeque::new()),
                     signal: Arc::new(WaitSignal::new()),
                     metrics: metrics.clone(),
+                    index,
+                    owned: AtomicU64::new(0),
+                    last_poll: AtomicU64::new(u64::MAX),
                 })
             })
             .collect();
+        for (i, shard) in shards.iter().enumerate() {
+            recorder.inspector().register(
+                format!("shard-{i}"),
+                Arc::downgrade(shard) as std::sync::Weak<dyn SnapshotProvider>,
+            );
+        }
         for (i, shard) in shards.iter().enumerate() {
             let shard = Arc::clone(shard);
             let clock = Arc::clone(&clock);
@@ -214,6 +245,7 @@ impl Scheduler {
     /// Pins a new task to a shard (round-robin).
     pub(crate) fn assign(&self) -> Arc<Shard> {
         let i = self.next_shard.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.shards[i].owned.fetch_add(1, Ordering::Relaxed);
         Arc::clone(&self.shards[i])
     }
 
@@ -246,6 +278,7 @@ fn worker(shard: &Shard, clock: &Arc<dyn Clock>, shutdown: &AtomicBool) {
         // with the inspection cuts the park short.
         let generation = shard.signal.generation();
         let now = clock.now();
+        shard.last_poll.store(now.as_nanos(), Ordering::Relaxed);
         while timers.peek().is_some_and(|t| t.at <= now) {
             let timer = timers.pop().expect("peeked");
             m.timer_fires.inc();

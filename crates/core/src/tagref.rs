@@ -205,7 +205,7 @@ impl<C: TagDataConverter> TagReference<C> {
             TagExecutor { nfc: ctx.nfc().clone(), uid },
             // Target keyed by uid rendering so op events join the
             // simulator's physical tag events in `morena_obs::correlate`.
-            ObsScope::new(ctx, format!("tag-{uid}"), uid.to_string()),
+            ObsScope::new(ctx, format!("tag-{uid}"), "tag", uid.to_string()),
         );
         let reference = TagReference {
             inner: Arc::new(RefInner {

@@ -103,7 +103,8 @@ impl FaultRates {
         rates
     }
 
-    fn rate(&self, kind: FaultKind) -> f64 {
+    /// The configured probability for `kind`.
+    pub fn rate(&self, kind: FaultKind) -> f64 {
         match kind {
             FaultKind::RfDrop => self.rf_drop,
             FaultKind::TornWrite => self.torn_write,
@@ -208,6 +209,11 @@ impl FaultPlan {
         self.stall = stall;
         self.spike = spike;
         self
+    }
+
+    /// The per-class injection probabilities this plan was built with.
+    pub fn rates(&self) -> FaultRates {
+        self.rates
     }
 
     /// How long a [`FaultKind::StuckTag`] exchange dwells before failing.

@@ -19,6 +19,7 @@ use rand::SeedableRng;
 
 use crate::clock::{Clock, SimInstant};
 use crate::error::{LinkError, TagError};
+use morena_obs::inspect::{ComponentSnapshot, PhonePresence, SnapshotProvider, WorldSnapshot};
 use morena_obs::{EventKind, Recorder, NO_OPCODE};
 
 use crate::faults::{self, FaultKind, FaultPlan, FaultStats};
@@ -196,6 +197,60 @@ pub struct World {
     state: Arc<Mutex<WorldState>>,
     clock: Arc<dyn Clock>,
     obs: Arc<Recorder>,
+    // Keeps the inspector's world provider alive for the world's
+    // lifetime (the registry only holds a weak reference).
+    #[allow(dead_code)]
+    inspect: Arc<WorldInspect>,
+}
+
+/// The sim-side inspector hook: physical ground truth (who is in range
+/// of what) plus the installed fault plan's rates and injected count.
+struct WorldInspect {
+    state: Arc<Mutex<WorldState>>,
+}
+
+impl SnapshotProvider for WorldInspect {
+    fn snapshot(&self, _now_nanos: u64) -> ComponentSnapshot {
+        let state = self.state.lock();
+        let mut phones: Vec<PhonePresence> = state
+            .phones
+            .iter()
+            .map(|(id, slot)| {
+                let mut tags: Vec<String> = state
+                    .tags
+                    .iter()
+                    .filter(|(&uid, _)| state.tag_in_range(*id, uid))
+                    .map(|(uid, _)| uid.to_string())
+                    .collect();
+                tags.sort();
+                PhonePresence {
+                    phone: id.as_u64(),
+                    name: slot.name.clone(),
+                    tags_in_range: tags,
+                    peers_in_range: state
+                        .peers_in_range(*id)
+                        .into_iter()
+                        .map(PhoneId::as_u64)
+                        .collect(),
+                }
+            })
+            .collect();
+        phones.sort_by_key(|p| p.phone);
+        let fault_rates = state
+            .faults
+            .as_ref()
+            .map(|plan| {
+                let rates = plan.rates();
+                FaultKind::ALL
+                    .iter()
+                    .map(|kind| (kind.label(), rates.rate(*kind)))
+                    .filter(|(_, rate)| *rate > 0.0)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let faults_injected = state.faults.as_ref().map(|plan| plan.stats().total()).unwrap_or(0);
+        ComponentSnapshot::World(WorldSnapshot { phones, fault_rates, faults_injected })
+    }
 }
 
 impl std::fmt::Debug for World {
@@ -216,20 +271,21 @@ impl World {
 
     /// Creates a world with an explicit link model and RNG seed.
     pub fn with_link(clock: Arc<dyn Clock>, link: LinkModel, seed: u64) -> World {
-        World {
-            state: Arc::new(Mutex::new(WorldState {
-                link,
-                rng: StdRng::seed_from_u64(seed),
-                tags: HashMap::new(),
-                phones: HashMap::new(),
-                next_phone: 0,
-                radio: RadioStats::default(),
-                trace: None,
-                faults: None,
-            })),
-            clock,
-            obs: Arc::new(Recorder::new()),
-        }
+        let state = Arc::new(Mutex::new(WorldState {
+            link,
+            rng: StdRng::seed_from_u64(seed),
+            tags: HashMap::new(),
+            phones: HashMap::new(),
+            next_phone: 0,
+            radio: RadioStats::default(),
+            trace: None,
+            faults: None,
+        }));
+        let obs = Arc::new(Recorder::new());
+        let inspect = Arc::new(WorldInspect { state: Arc::clone(&state) });
+        obs.inspector()
+            .register("world", Arc::downgrade(&inspect) as std::sync::Weak<dyn SnapshotProvider>);
+        World { state, clock, obs, inspect }
     }
 
     /// The world's time source.

@@ -1,0 +1,482 @@
+//! Chrome `trace_event` JSON export for Perfetto.
+//!
+//! [`export_chrome_trace`] turns an [`ObsEvent`] stream into the JSON
+//! object format the Chrome trace-event spec defines, so any bench or
+//! fault run opens directly in `ui.perfetto.dev` (or
+//! `chrome://tracing`). The mapping keeps the middleware and the
+//! simulator's ground truth on separate processes so their tracks sit
+//! side by side on one timeline:
+//!
+//! * **pid 1 — `morena middleware`**: one thread track per event loop
+//!   (named after the loop, e.g. `tag-3`). Operation lifecycles are
+//!   async `b`/`e` pairs (category `op`, id = the op's correlation id),
+//!   so a queued op renders as a bar from enqueue to completion;
+//!   attempts are nested `X` complete events on the same track. Spans,
+//!   discovery sightings, lease transitions, and beam/peer receipts
+//!   land on one `phone-N events` track per phone.
+//! * **pid 2 — `nfc-sim`**: one `phone-N radio` track per phone
+//!   carrying instants for the physical ground truth — tag enter/leave,
+//!   exchanges, beams, peer presence, and injected faults.
+//!
+//! Timestamps convert from clock nanoseconds to the spec's fractional
+//! microseconds, preserving sub-microsecond precision.
+//!
+//! [`ChromeTraceSink`] is the buffering [`ObsSink`] counterpart: install
+//! it (or tee it next to a ring), run a workload, then write
+//! [`ChromeTraceSink::export`] to a `.json` artifact.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use morena_obs::chrome::ChromeTraceSink;
+//! use morena_obs::{EventKind, OpKind, Recorder};
+//!
+//! let recorder = Recorder::new();
+//! let sink = Arc::new(ChromeTraceSink::new());
+//! recorder.install(sink.clone());
+//! recorder.emit(1_000, EventKind::OpEnqueued {
+//!     op_id: 0,
+//!     loop_name: "tag-1".into(),
+//!     phone: 0,
+//!     target: "tag-1".into(),
+//!     op: OpKind::Write,
+//!     deadline_nanos: 5_000_000,
+//! });
+//! let json = sink.export();
+//! assert!(json.starts_with("{\"traceEvents\":["));
+//! assert!(json.contains("\"ph\":\"b\""));
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::event::{EventKind, ObsEvent};
+use crate::json::ObjectWriter;
+use crate::sink::ObsSink;
+
+/// Process id of the middleware tracks.
+const PID_MIDDLEWARE: u64 = 1;
+/// Process id of the simulator ground-truth tracks.
+const PID_SIM: u64 = 2;
+/// First tid of the per-phone middleware event tracks (loop tracks
+/// count up from 1, so this leaves room for ~1000 loops).
+const TID_PHONE_BASE: u64 = 1001;
+/// Track for op events whose enqueue fell outside the exported window.
+const TID_ORPHAN: u64 = 1000;
+
+/// Render `nanos` as the spec's microsecond timestamp, keeping
+/// nanosecond precision as a fractional part.
+fn ts_micros(nanos: u64) -> String {
+    format!("{}.{:03}", nanos / 1_000, nanos % 1_000)
+}
+
+struct TraceWriter {
+    out: String,
+    first: bool,
+    /// loop_name → middleware tid, in first-seen order.
+    loop_tids: HashMap<String, u64>,
+    /// op_id → (tid, rendered async-event name) from its enqueue.
+    ops: HashMap<u64, (u64, String)>,
+    /// middleware phones seen (for per-phone event tracks).
+    mid_phones: Vec<u64>,
+    /// simulator phones seen (for radio tracks).
+    sim_phones: Vec<u64>,
+    orphan_used: bool,
+}
+
+impl TraceWriter {
+    fn new() -> TraceWriter {
+        TraceWriter {
+            out: String::from("{\"traceEvents\":["),
+            first: true,
+            loop_tids: HashMap::new(),
+            ops: HashMap::new(),
+            mid_phones: Vec::new(),
+            sim_phones: Vec::new(),
+            orphan_used: false,
+        }
+    }
+
+    fn push(&mut self, rendered: String) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        self.out.push_str(&rendered);
+    }
+
+    fn loop_tid(&mut self, loop_name: &str) -> u64 {
+        let next = self.loop_tids.len() as u64 + 1;
+        *self.loop_tids.entry(loop_name.to_string()).or_insert(next)
+    }
+
+    fn mid_phone_tid(&mut self, phone: u64) -> u64 {
+        if !self.mid_phones.contains(&phone) {
+            self.mid_phones.push(phone);
+        }
+        TID_PHONE_BASE + phone
+    }
+
+    fn sim_phone_tid(&mut self, phone: u64) -> u64 {
+        if !self.sim_phones.contains(&phone) {
+            self.sim_phones.push(phone);
+        }
+        phone + 1
+    }
+
+    /// Common fields of every emitted event.
+    fn base(name: &str, ph: &str, pid: u64, tid: u64, at_nanos: u64) -> ObjectWriter {
+        let mut w = ObjectWriter::new();
+        w.str("name", name)
+            .str("ph", ph)
+            .u64("pid", pid)
+            .u64("tid", tid)
+            .raw("ts", &ts_micros(at_nanos));
+        w
+    }
+
+    fn instant(&mut self, name: &str, pid: u64, tid: u64, at_nanos: u64, args: &str) {
+        let mut w = Self::base(name, "i", pid, tid, at_nanos);
+        w.str("s", "t").raw("args", args);
+        self.push(w.finish());
+    }
+
+    fn event(&mut self, event: &ObsEvent) {
+        let at = event.at_nanos;
+        match &event.kind {
+            EventKind::OpEnqueued { op_id, loop_name, phone, target, op, deadline_nanos } => {
+                let tid = self.loop_tid(loop_name);
+                let name = format!("{} #{op_id}", op.label());
+                self.ops.insert(*op_id, (tid, name.clone()));
+                let mut args = ObjectWriter::new();
+                args.u64("op_id", *op_id)
+                    .u64("phone", *phone)
+                    .str("target", target)
+                    .u64("deadline_ns", *deadline_nanos);
+                let mut w = Self::base(&name, "b", PID_MIDDLEWARE, tid, at);
+                w.str("cat", "op").u64("id", *op_id).raw("args", &args.finish());
+                self.push(w.finish());
+            }
+            EventKind::OpCompleted { op_id, outcome } => {
+                let (tid, name) = match self.ops.get(op_id) {
+                    Some((tid, name)) => (*tid, name.clone()),
+                    None => {
+                        self.orphan_used = true;
+                        (TID_ORPHAN, format!("op #{op_id}"))
+                    }
+                };
+                let mut args = ObjectWriter::new();
+                args.str("outcome", outcome.label());
+                let mut w = Self::base(&name, "e", PID_MIDDLEWARE, tid, at);
+                w.str("cat", "op").u64("id", *op_id).raw("args", &args.finish());
+                self.push(w.finish());
+            }
+            EventKind::OpAttempt { op_id, started_nanos, duration_nanos, outcome } => {
+                let tid = match self.ops.get(op_id) {
+                    Some((tid, _)) => *tid,
+                    None => {
+                        self.orphan_used = true;
+                        TID_ORPHAN
+                    }
+                };
+                let mut args = ObjectWriter::new();
+                args.u64("op_id", *op_id).str("outcome", outcome.label());
+                let mut w = Self::base(
+                    &format!("attempt ({})", outcome.label()),
+                    "X",
+                    PID_MIDDLEWARE,
+                    tid,
+                    *started_nanos,
+                );
+                w.raw("dur", &ts_micros(*duration_nanos)).raw("args", &args.finish());
+                self.push(w.finish());
+            }
+            EventKind::SpanClosed { name, phone, started_nanos, duration_nanos } => {
+                let tid = self.mid_phone_tid(*phone);
+                let mut args = ObjectWriter::new();
+                args.u64("phone", *phone);
+                let mut w = Self::base(name, "X", PID_MIDDLEWARE, tid, *started_nanos);
+                w.raw("dur", &ts_micros(*duration_nanos)).raw("args", &args.finish());
+                self.push(w.finish());
+            }
+            EventKind::TagDetected { phone, target, redetection } => {
+                let tid = self.mid_phone_tid(*phone);
+                let mut args = ObjectWriter::new();
+                args.str("target", target).bool("redetection", *redetection);
+                self.instant("tag_detected", PID_MIDDLEWARE, tid, at, &args.finish());
+            }
+            EventKind::EmptyTagDetected { phone, target } => {
+                let tid = self.mid_phone_tid(*phone);
+                let mut args = ObjectWriter::new();
+                args.str("target", target);
+                self.instant("empty_tag_detected", PID_MIDDLEWARE, tid, at, &args.finish());
+            }
+            EventKind::BeamReceived { phone, from, bytes }
+            | EventKind::PeerReceived { phone, from, bytes } => {
+                let tid = self.mid_phone_tid(*phone);
+                let mut args = ObjectWriter::new();
+                args.u64("from", *from).u64("bytes", *bytes);
+                self.instant(event.kind.type_label(), PID_MIDDLEWARE, tid, at, &args.finish());
+            }
+            EventKind::Lease { phone, target, action, expires_nanos } => {
+                let tid = self.mid_phone_tid(*phone);
+                let mut args = ObjectWriter::new();
+                args.str("target", target).u64("expires_ns", *expires_nanos);
+                self.instant(
+                    &format!("lease:{}", action.label()),
+                    PID_MIDDLEWARE,
+                    tid,
+                    at,
+                    &args.finish(),
+                );
+            }
+            EventKind::PhysTagEntered { phone, target }
+            | EventKind::PhysTagLeft { phone, target }
+            | EventKind::PhysPeerEntered { phone, target }
+            | EventKind::PhysPeerLeft { phone, target } => {
+                let tid = self.sim_phone_tid(*phone);
+                let mut args = ObjectWriter::new();
+                args.str("target", target);
+                self.instant(event.kind.type_label(), PID_SIM, tid, at, &args.finish());
+            }
+            EventKind::PhysExchange { phone, target, opcode, ok } => {
+                let tid = self.sim_phone_tid(*phone);
+                let mut args = ObjectWriter::new();
+                args.str("target", target).u64("opcode", *opcode).bool("ok", *ok);
+                self.instant("phys_exchange", PID_SIM, tid, at, &args.finish());
+            }
+            EventKind::PhysBeam { phone, bytes, delivered } => {
+                let tid = self.sim_phone_tid(*phone);
+                let mut args = ObjectWriter::new();
+                args.u64("bytes", *bytes).u64("delivered", *delivered);
+                self.instant("phys_beam", PID_SIM, tid, at, &args.finish());
+            }
+            EventKind::FaultInjected { phone, target, fault } => {
+                let tid = self.sim_phone_tid(*phone);
+                let mut args = ObjectWriter::new();
+                args.str("target", target).str("fault", fault);
+                self.instant(&format!("fault:{fault}"), PID_SIM, tid, at, &args.finish());
+            }
+            // `EventKind` is non_exhaustive; future kinds simply don't
+            // get a track until the exporter learns them.
+            #[allow(unreachable_patterns)]
+            _ => {}
+        }
+    }
+
+    fn metadata(&mut self, name: &str, pid: u64, tid: Option<u64>, value: &str) {
+        let mut args = ObjectWriter::new();
+        args.str("name", value);
+        let mut w = ObjectWriter::new();
+        w.str("name", name).str("ph", "M").u64("pid", pid);
+        if let Some(tid) = tid {
+            w.u64("tid", tid);
+        }
+        w.raw("args", &args.finish());
+        self.push(w.finish());
+    }
+
+    fn finish(mut self) -> String {
+        self.metadata("process_name", PID_MIDDLEWARE, None, "morena middleware");
+        let mut loops: Vec<(String, u64)> = self.loop_tids.drain().collect();
+        loops.sort_by_key(|(_, tid)| *tid);
+        for (name, tid) in loops {
+            self.metadata("thread_name", PID_MIDDLEWARE, Some(tid), &name);
+        }
+        if self.orphan_used {
+            self.metadata("thread_name", PID_MIDDLEWARE, Some(TID_ORPHAN), "(orphan ops)");
+        }
+        let mid_phones = std::mem::take(&mut self.mid_phones);
+        for phone in mid_phones {
+            self.metadata(
+                "thread_name",
+                PID_MIDDLEWARE,
+                Some(TID_PHONE_BASE + phone),
+                &format!("phone-{phone} events"),
+            );
+        }
+        let sim_phones = std::mem::take(&mut self.sim_phones);
+        if !sim_phones.is_empty() {
+            self.metadata("process_name", PID_SIM, None, "nfc-sim");
+            for phone in sim_phones {
+                self.metadata(
+                    "thread_name",
+                    PID_SIM,
+                    Some(phone + 1),
+                    &format!("phone-{phone} radio"),
+                );
+            }
+        }
+        self.out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        self.out
+    }
+}
+
+/// Export `events` as one Chrome `trace_event` JSON object (see the
+/// [module docs](self) for the track mapping). The result is a complete
+/// document ready to be written to a `.json` file and opened in
+/// Perfetto.
+pub fn export_chrome_trace(events: &[ObsEvent]) -> String {
+    let mut writer = TraceWriter::new();
+    for event in events {
+        writer.event(event);
+    }
+    writer.finish()
+}
+
+/// A buffering sink that accumulates events for Chrome-trace export.
+///
+/// Unlike [`RingSink`](crate::RingSink) it is unbounded — a trace with
+/// holes is far less useful than a trace that cost some memory — so
+/// prefer bounded workloads or [`ChromeTraceSink::take`] checkpoints
+/// for long runs.
+#[derive(Default)]
+pub struct ChromeTraceSink {
+    events: Mutex<Vec<ObsEvent>>,
+}
+
+impl ChromeTraceSink {
+    /// Create an empty buffering sink.
+    pub fn new() -> ChromeTraceSink {
+        ChromeTraceSink::default()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("chrome sink lock").len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Move the buffered events out, leaving the sink empty.
+    pub fn take(&self) -> Vec<ObsEvent> {
+        std::mem::take(&mut *self.events.lock().expect("chrome sink lock"))
+    }
+
+    /// Render the buffered events as a Chrome trace JSON document
+    /// (without consuming them).
+    pub fn export(&self) -> String {
+        let events = self.events.lock().expect("chrome sink lock");
+        export_chrome_trace(&events)
+    }
+}
+
+impl ObsSink for ChromeTraceSink {
+    fn record(&self, event: &ObsEvent) {
+        self.events.lock().expect("chrome sink lock").push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{AttemptOutcome, OpKind, OpOutcome};
+
+    fn ev(seq: u64, at: u64, kind: EventKind) -> ObsEvent {
+        ObsEvent { seq, at_nanos: at, kind }
+    }
+
+    fn op_lifecycle() -> Vec<ObsEvent> {
+        vec![
+            ev(
+                0,
+                1_000,
+                EventKind::OpEnqueued {
+                    op_id: 0,
+                    loop_name: "tag-1".into(),
+                    phone: 0,
+                    target: "tag-1".into(),
+                    op: OpKind::Write,
+                    deadline_nanos: 10_000_000,
+                },
+            ),
+            ev(1, 1_500, EventKind::PhysTagEntered { phone: 0, target: "tag-1".into() }),
+            ev(
+                2,
+                2_000,
+                EventKind::OpAttempt {
+                    op_id: 0,
+                    started_nanos: 1_800,
+                    duration_nanos: 200,
+                    outcome: AttemptOutcome::Success,
+                },
+            ),
+            ev(3, 2_100, EventKind::OpCompleted { op_id: 0, outcome: OpOutcome::Succeeded }),
+        ]
+    }
+
+    #[test]
+    fn ts_keeps_nanosecond_precision_in_microseconds() {
+        assert_eq!(ts_micros(0), "0.000");
+        assert_eq!(ts_micros(1), "0.001");
+        assert_eq!(ts_micros(1_500), "1.500");
+        assert_eq!(ts_micros(2_000_001), "2000.001");
+    }
+
+    #[test]
+    fn lifecycle_renders_async_pair_and_attempt() {
+        let json = export_chrome_trace(&op_lifecycle());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        assert_eq!(json.matches("\"ph\":\"b\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"e\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 1);
+        // Begin and end share category + id so Perfetto pairs them.
+        assert_eq!(json.matches("\"cat\":\"op\"").count(), 2);
+        // One loop thread, one sim radio thread, two process names.
+        assert!(json.contains("\"name\":\"thread_name\""));
+        assert!(json.contains("{\"name\":\"tag-1\"}"));
+        assert!(json.contains("{\"name\":\"phone-0 radio\"}"));
+        assert!(json.contains("{\"name\":\"morena middleware\"}"));
+        assert!(json.contains("{\"name\":\"nfc-sim\"}"));
+    }
+
+    #[test]
+    fn completion_without_enqueue_lands_on_orphan_track() {
+        let events =
+            vec![ev(0, 10, EventKind::OpCompleted { op_id: 42, outcome: OpOutcome::Succeeded })];
+        let json = export_chrome_trace(&events);
+        assert!(json.contains(&format!("\"tid\":{TID_ORPHAN}")));
+        assert!(json.contains("{\"name\":\"(orphan ops)\"}"));
+    }
+
+    #[test]
+    fn loops_get_distinct_stable_tids() {
+        let mk = |op_id: u64, name: &str| {
+            ev(
+                op_id,
+                op_id * 10,
+                EventKind::OpEnqueued {
+                    op_id,
+                    loop_name: name.into(),
+                    phone: 0,
+                    target: name.into(),
+                    op: OpKind::Read,
+                    deadline_nanos: 1_000,
+                },
+            )
+        };
+        let json = export_chrome_trace(&[mk(0, "tag-a"), mk(1, "tag-b"), mk(2, "tag-a")]);
+        // tag-a seen first → tid 1 (twice), tag-b → tid 2.
+        assert_eq!(json.matches("\"tid\":1,").count() + json.matches("\"tid\":1}").count(), 3);
+    }
+
+    #[test]
+    fn sink_buffers_and_exports() {
+        let sink = ChromeTraceSink::new();
+        assert!(sink.is_empty());
+        for event in op_lifecycle() {
+            sink.record(&event);
+        }
+        assert_eq!(sink.len(), 4);
+        let json = sink.export();
+        assert!(json.contains("\"ph\":\"b\""));
+        assert_eq!(sink.take().len(), 4);
+        assert!(sink.is_empty());
+    }
+}

@@ -4,7 +4,7 @@
 //! attempts, completion); the bridged simulator trace tells us *what was
 //! physically true* (when the target was actually in radio range). This
 //! module joins the two by `(phone, target)` and attributes every
-//! completed operation's latency into three exhaustive components:
+//! operation's latency into three exhaustive components:
 //!
 //! * **out-of-range wait** — time inside the op's `[enqueued,
 //!   completed]` window during which the target was *not* in range. The
@@ -18,13 +18,21 @@
 //!
 //! By construction `out_of_range + exchange + queue == total`, which is
 //! what `tests/observability.rs` asserts against a scripted sim run.
+//!
+//! Operations still pending when the stream ends — enqueued (and maybe
+//! attempted) but never completed — are exactly the ops an operator
+//! needs to see, so they are *not* dropped: they get a partial
+//! breakdown with [`OpOutcome::Pending`] whose window closes at the
+//! stream horizon (the latest timestamp seen). The sum invariant holds
+//! for them too.
 
 use std::collections::HashMap;
 
 use crate::event::{AttemptOutcome, EventKind, ObsEvent, OpKind, OpOutcome};
 use crate::json::ObjectWriter;
 
-/// Latency attribution for one completed operation.
+/// Latency attribution for one operation (completed, or still pending
+/// at the stream horizon).
 #[derive(Debug, Clone, PartialEq)]
 pub struct OpBreakdown {
     /// Correlation id of the operation.
@@ -37,13 +45,16 @@ pub struct OpBreakdown {
     pub target: String,
     /// Operation kind.
     pub op: OpKind,
-    /// Terminal outcome.
+    /// Terminal outcome, or [`OpOutcome::Pending`] for an op still in
+    /// flight at the stream horizon.
     pub outcome: OpOutcome,
     /// Enqueue timestamp, clock nanoseconds.
     pub enqueued_nanos: u64,
-    /// Completion timestamp, clock nanoseconds.
+    /// Completion timestamp, clock nanoseconds. For a pending op this
+    /// is the stream horizon: the window analyzed so far.
     pub completed_nanos: u64,
-    /// Total latency: `completed - enqueued`.
+    /// Total latency: `completed - enqueued` (latency *so far* for a
+    /// pending op).
     pub total_nanos: u64,
     /// Time the target was physically out of range inside the window.
     pub out_of_range_nanos: u64,
@@ -150,11 +161,13 @@ fn overlap(intervals: &mut [(u64, u64)], window: (u64, u64)) -> u64 {
 }
 
 /// Join op lifecycle events with physical presence events and attribute
-/// each *completed* operation's latency. See the [module docs](self).
+/// each operation's latency. See the [module docs](self).
 ///
-/// Events may arrive in any order; operations that never completed (or
-/// whose enqueue fell outside the event window) are skipped. The
-/// returned breakdowns are sorted by `op_id`.
+/// Events may arrive in any order. Operations that never completed get
+/// a partial breakdown with [`OpOutcome::Pending`], windowed to the
+/// stream horizon; only ops whose *enqueue* fell outside the event
+/// window are skipped (there is no window to attribute). The returned
+/// breakdowns are sorted by `op_id`.
 pub fn correlate(events: &[ObsEvent]) -> Vec<OpBreakdown> {
     let mut ops: HashMap<u64, OpRecord> = HashMap::new();
     // Tag presence and peer presence are tracked separately so a `*`
@@ -213,11 +226,13 @@ pub fn correlate(events: &[ObsEvent]) -> Vec<OpBreakdown> {
 
     let mut breakdowns = Vec::new();
     for (op_id, record) in ops {
-        let (Some(op), Some(enqueued), Some((completed, outcome))) =
-            (record.op, record.enqueued, record.completed)
-        else {
+        let (Some(op), Some(enqueued)) = (record.op, record.enqueued) else {
             continue;
         };
+        // An op with no completion event is still in flight: close its
+        // window at the horizon and mark it pending.
+        let (completed, outcome) =
+            record.completed.unwrap_or((horizon.max(enqueued), OpOutcome::Pending));
         let total = completed.saturating_sub(enqueued);
         let window = (enqueued, completed);
 
@@ -423,7 +438,7 @@ mod tests {
     }
 
     #[test]
-    fn incomplete_ops_are_skipped_and_output_sorted() {
+    fn pending_ops_get_partial_breakdowns_and_output_sorted() {
         let events = [
             enqueue(0, 0, 2, "A"),
             enqueue(1, 0, 1, "A"),
@@ -431,8 +446,41 @@ mod tests {
             complete(3, 60, 2),
             enqueue(4, 70, 3, "A"), // never completes
         ];
-        let ids: Vec<u64> = correlate(&events).iter().map(|b| b.op_id).collect();
-        assert_eq!(ids, vec![1, 2]);
+        let breakdowns = correlate(&events);
+        let ids: Vec<u64> = breakdowns.iter().map(|b| b.op_id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        assert_eq!(breakdowns[0].outcome, OpOutcome::Succeeded);
+        let pending = &breakdowns[2];
+        assert_eq!(pending.outcome, OpOutcome::Pending);
+        assert_eq!(pending.completed_nanos, 70); // the stream horizon
+        assert_eq!(pending.total_nanos, 0);
+    }
+
+    #[test]
+    fn pending_op_attribution_respects_the_sum_invariant() {
+        // Enqueued at t=0, tag enters at t=600, one failed attempt, the
+        // stream ends at t=1_000 with the op still in flight.
+        let events = [
+            enqueue(0, 0, 1, "A"),
+            ev(1, 600, EventKind::PhysTagEntered { phone: 0, target: "A".into() }),
+            attempt(2, 700, 1, 100, AttemptOutcome::Transient),
+            ev(3, 1_000, EventKind::PhysTagLeft { phone: 0, target: "A".into() }),
+        ];
+        let breakdowns = correlate(&events);
+        assert_eq!(breakdowns.len(), 1);
+        let b = &breakdowns[0];
+        assert_eq!(b.outcome, OpOutcome::Pending);
+        assert_eq!(b.completed_nanos, 1_000);
+        assert_eq!(b.total_nanos, 1_000);
+        assert_eq!(b.out_of_range_nanos, 600); // [0,600) before entry
+        assert_eq!(b.exchange_nanos, 100);
+        assert_eq!(b.queue_nanos, 300);
+        assert_eq!(b.attempts, 1);
+        assert_eq!(b.retries, 1);
+        assert_eq!(b.out_of_range_nanos + b.exchange_nanos + b.queue_nanos, b.total_nanos);
+        // An orphan attempt with no enqueue still yields nothing.
+        let orphan = [attempt(0, 10, 9, 5, AttemptOutcome::Transient)];
+        assert!(correlate(&orphan).is_empty());
     }
 
     #[test]

@@ -82,6 +82,11 @@ pub enum OpOutcome {
     TimedOut,
     /// The submitter cancelled the operation.
     Cancelled,
+    /// The operation had not reached a terminal state when the event
+    /// stream ended. Never emitted in an [`EventKind::OpCompleted`];
+    /// only synthesized by [`correlate`](crate::correlate) for ops
+    /// still in flight at the analysis horizon.
+    Pending,
 }
 
 impl OpOutcome {
@@ -92,6 +97,7 @@ impl OpOutcome {
             OpOutcome::Failed => "failed",
             OpOutcome::TimedOut => "timed_out",
             OpOutcome::Cancelled => "cancelled",
+            OpOutcome::Pending => "pending",
         }
     }
 }

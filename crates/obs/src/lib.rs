@@ -69,16 +69,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod correlate;
 pub mod event;
+pub mod inspect;
 mod json;
 pub mod metrics;
 pub mod opstats;
 pub mod recorder;
 pub mod sink;
 
+pub use chrome::{export_chrome_trace, ChromeTraceSink};
 pub use correlate::{correlate, OpBreakdown};
 pub use event::{AttemptOutcome, EventKind, LeaseAction, ObsEvent, OpKind, OpOutcome, NO_OPCODE};
+pub use inspect::{
+    render_top, ComponentSnapshot, Finding, Health, HealthReport, Inspector, InspectorSnapshot,
+    SnapshotProvider, Watchdog, WatchdogConfig,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use opstats::{OpStats, OpStatsSnapshot};
 pub use recorder::{Recorder, Span};

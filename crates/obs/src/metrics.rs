@@ -430,7 +430,21 @@ mod tests {
     fn quantiles_of_empty_histogram_are_none() {
         let snap = Histogram::new().snapshot();
         assert_eq!(snap.quantile(0.5), None);
+        assert_eq!(snap.quantile(1.0), None);
         assert_eq!(snap.mean_nanos(), None);
+        assert_eq!(snap.max_nanos, 0);
+    }
+
+    #[test]
+    fn out_of_range_quantiles_are_none_even_when_populated() {
+        let h = Histogram::new();
+        h.observe(1_500);
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.0), None);
+        assert_eq!(snap.quantile(-0.1), None);
+        assert_eq!(snap.quantile(1.1), None);
+        assert_eq!(snap.quantile(f64::NAN), None);
+        assert!(snap.quantile(1.0).is_some());
     }
 
     #[test]
@@ -469,6 +483,63 @@ mod tests {
         h.observe(500_000_000_000); // beyond the last bound
         let snap = h.snapshot();
         assert_eq!(snap.quantile(1.0), Some(500_000_000_000));
+    }
+
+    #[test]
+    fn overflow_quantiles_clamp_to_max_not_a_bound() {
+        // Any rank landing in the overflow bucket must report the real
+        // observed maximum, never interpolate past the last bound.
+        let h = Histogram::new();
+        for _ in 0..50 {
+            h.observe(800); // ≤1us bucket
+        }
+        for _ in 0..50 {
+            h.observe(300_000_000_000); // overflow bucket
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.p95(), Some(300_000_000_000));
+        assert_eq!(snap.p99(), Some(300_000_000_000));
+        assert_eq!(snap.quantile(1.0), Some(300_000_000_000));
+    }
+
+    #[test]
+    fn max_nanos_bounds_any_in_range_estimate_to_its_bucket() {
+        // Interpolation can place an estimate above the true max inside
+        // the max's own bucket, but never above the bucket's upper
+        // bound; the exact max is always available via `max_nanos`.
+        let h = Histogram::new();
+        h.observe(1_200_000); // lone observation in the (1ms, 2ms] bucket
+        let snap = h.snapshot();
+        assert_eq!(snap.max_nanos, 1_200_000);
+        let p50 = snap.p50().unwrap();
+        let idx = Histogram::bucket_index(snap.max_nanos);
+        assert!(p50 <= BUCKET_BOUNDS_NANOS[idx], "estimate {p50} left the max's bucket");
+        // With every sample in the overflow bucket the estimate and the
+        // exact max agree precisely.
+        let h = Histogram::new();
+        h.observe(200_000_000_001);
+        h.observe(400_000_000_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.p50(), Some(snap.max_nanos));
+        assert_eq!(snap.max_nanos, 400_000_000_000);
+    }
+
+    #[test]
+    fn sum_nanos_wraps_modulo_u64_by_design() {
+        // The live counter is a relaxed `AtomicU64` that wraps on
+        // overflow; a snapshot surfaces the wrapped value rather than
+        // saturating. ~584 years of summed nanoseconds per wrap makes
+        // this a documented curiosity, not a practical hazard.
+        let h = Histogram::new();
+        h.observe(u64::MAX - 5);
+        h.observe(10);
+        let snap = h.snapshot();
+        assert_eq!(snap.sum_nanos, 4); // (u64::MAX - 5) + 10, mod 2^64
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.max_nanos, u64::MAX - 5);
+        // The wrapped sum propagates into the (now meaningless) mean —
+        // count and max stay trustworthy.
+        assert_eq!(snap.mean_nanos(), Some(2));
     }
 
     #[test]

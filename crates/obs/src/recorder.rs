@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use crate::event::{EventKind, ObsEvent};
+use crate::inspect::Inspector;
 use crate::metrics::MetricsRegistry;
 use crate::sink::ObsSink;
 
@@ -27,6 +28,7 @@ pub struct Recorder {
     next_op_id: AtomicU64,
     sink: RwLock<Option<Arc<dyn ObsSink>>>,
     metrics: MetricsRegistry,
+    inspector: Inspector,
 }
 
 impl Default for Recorder {
@@ -44,6 +46,7 @@ impl Recorder {
             next_op_id: AtomicU64::new(0),
             sink: RwLock::new(None),
             metrics: MetricsRegistry::new(),
+            inspector: Inspector::new(),
         }
     }
 
@@ -102,6 +105,14 @@ impl Recorder {
     /// The recorder's metrics registry (always live).
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
+    }
+
+    /// The live-component registry (always live, like the metrics).
+    /// Components register [`SnapshotProvider`](crate::inspect::SnapshotProvider)s
+    /// here; a watchdog or "morena-top" renderer polls
+    /// [`Inspector::snapshot`].
+    pub fn inspector(&self) -> &Inspector {
+        &self.inspector
     }
 
     /// Open an explicit span; close it with [`Span::end`] to emit a

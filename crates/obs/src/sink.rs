@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::event::ObsEvent;
+use crate::metrics::Counter;
 
 /// Destination for recorded events.
 ///
@@ -34,6 +35,7 @@ pub trait ObsSink: Send + Sync {
 struct RingState {
     entries: VecDeque<ObsEvent>,
     dropped: u64,
+    drop_counter: Option<Counter>,
 }
 
 /// Bounded in-memory ring buffer of events.
@@ -50,9 +52,24 @@ impl RingSink {
     /// Create a ring holding at most `capacity` events (min 1).
     pub fn new(capacity: usize) -> Self {
         Self {
-            state: Mutex::new(RingState { entries: VecDeque::new(), dropped: 0 }),
+            state: Mutex::new(RingState {
+                entries: VecDeque::new(),
+                dropped: 0,
+                drop_counter: None,
+            }),
             capacity: capacity.max(1),
         }
+    }
+
+    /// Mirror the drop count into a metrics counter (conventionally
+    /// `registry.counter("obs.sink.dropped")`), so sink overflow is
+    /// visible in any [`MetricsSnapshot`](crate::MetricsSnapshot) — and
+    /// to the watchdog's drop-rate rule — without holding the ring
+    /// handle. Drops that happened before binding are carried over.
+    pub fn bind_drop_counter(&self, counter: Counter) {
+        let mut state = self.state.lock().expect("ring lock");
+        counter.add(state.dropped);
+        state.drop_counter = Some(counter);
     }
 
     /// Copy out the current contents, oldest first.
@@ -90,6 +107,9 @@ impl ObsSink for RingSink {
         if state.entries.len() == self.capacity {
             state.entries.pop_front();
             state.dropped += 1;
+            if let Some(counter) = &state.drop_counter {
+                counter.inc();
+            }
         }
         state.entries.push_back(event.clone());
     }
@@ -200,6 +220,21 @@ mod tests {
         assert_eq!(snap[0].seq, 3);
         assert_eq!(snap[1].seq, 4);
         assert_eq!(ring.dropped_entries(), 3);
+    }
+
+    #[test]
+    fn ring_drops_mirror_into_a_bound_counter() {
+        let registry = crate::MetricsRegistry::new();
+        let ring = RingSink::new(2);
+        ring.record(&event(0));
+        ring.record(&event(1));
+        ring.record(&event(2)); // one drop before binding
+        ring.bind_drop_counter(registry.counter("obs.sink.dropped"));
+        assert_eq!(registry.snapshot().counter("obs.sink.dropped"), 1);
+        ring.record(&event(3));
+        ring.record(&event(4));
+        assert_eq!(ring.dropped_entries(), 3);
+        assert_eq!(registry.snapshot().counter("obs.sink.dropped"), 3);
     }
 
     #[test]

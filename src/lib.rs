@@ -85,6 +85,8 @@ pub mod prelude {
     pub use morena_nfc_sim::tag::{TagTech, TagUid, Type2Tag, Type4Tag};
     pub use morena_nfc_sim::world::{NfcEvent, PhoneId, World};
     pub use morena_obs::{
-        correlate, JsonlSink, MetricsSnapshot, ObsEvent, Recorder, RingSink, TeeSink,
+        correlate, export_chrome_trace, render_top, ChromeTraceSink, Health, HealthReport,
+        Inspector, InspectorSnapshot, JsonlSink, MetricsSnapshot, ObsEvent, Recorder, RingSink,
+        TeeSink, Watchdog, WatchdogConfig,
     };
 }

@@ -14,6 +14,7 @@ use std::time::Duration;
 
 use crossbeam::channel::unbounded;
 use morena::core::eventloop::LoopConfig;
+use morena::obs::Health;
 use morena::prelude::*;
 
 fn swarm_config() -> LoopConfig {
@@ -103,6 +104,18 @@ fn many_phones_many_tags(policy: ExecutionPolicy, seed: u64) {
     for reference in references {
         reference.close();
     }
+
+    // The CI gate: after a clean drain and shutdown the watchdog must
+    // not see a stalled component anywhere in the swarm.
+    let snapshot = world.obs().inspector().snapshot(world.clock().now().as_nanos());
+    let report =
+        Watchdog::default().evaluate_with_metrics(&snapshot, &world.obs().metrics().snapshot());
+    assert_ne!(
+        report.health,
+        Health::Stalled,
+        "watchdog reported Stalled at shutdown: {:?}",
+        report.findings
+    );
 }
 
 #[test]
