@@ -1,0 +1,101 @@
+//! Merges every `BENCH_*.json` in the working directory (or the
+//! directories given as arguments) into one summary table, and — with
+//! `--check <baseline.json>` — gates the merged metrics against the
+//! committed baseline, exiting non-zero on any violation.
+//!
+//! ```text
+//! cargo run -p morena-bench --bin bench_report
+//! cargo run -p morena-bench --bin bench_report -- --check benches/baseline.json
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use morena_bench::{cell, print_table, Baseline, BenchReport};
+
+fn collect_reports(dirs: &[PathBuf]) -> Result<Vec<BenchReport>, String> {
+    let mut paths = Vec::new();
+    for dir in dirs {
+        let entries =
+            std::fs::read_dir(dir).map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("BENCH_") && name.ends_with(".json") {
+                paths.push(entry.path());
+            }
+        }
+    }
+    paths.sort();
+    paths.iter().map(|p| BenchReport::load(p)).collect()
+}
+
+fn main() -> ExitCode {
+    let mut check: Option<PathBuf> = None;
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--check" => match argv.next() {
+                Some(path) => check = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--check needs a baseline path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            dir => dirs.push(PathBuf::from(dir)),
+        }
+    }
+    if dirs.is_empty() {
+        dirs.push(PathBuf::from("."));
+    }
+
+    let reports = match collect_reports(&dirs) {
+        Ok(reports) => reports,
+        Err(err) => {
+            eprintln!("bench_report: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if reports.is_empty() {
+        eprintln!("bench_report: no BENCH_*.json found in {dirs:?}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut rows = Vec::new();
+    for report in &reports {
+        let mode = if report.quick { "quick" } else { "full" };
+        for (key, value) in &report.metrics {
+            rows.push(vec![cell(&report.name), cell(mode), cell(key), cell(format!("{value:.3}"))]);
+        }
+    }
+    print_table("bench report", &["BENCH", "MODE", "METRIC", "VALUE"], &rows);
+    let shas: Vec<&str> = reports.iter().map(|r| r.git_sha.as_str()).collect();
+    println!("\n{} report(s), git {}", reports.len(), shas.join(", "));
+
+    let Some(baseline_path) = check else {
+        return ExitCode::SUCCESS;
+    };
+    let baseline = match Baseline::load(&baseline_path) {
+        Ok(baseline) => baseline,
+        Err(err) => {
+            eprintln!("bench_report: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let violations = baseline.check(&reports);
+    if violations.is_empty() {
+        println!(
+            "baseline check: PASS ({} gate(s) from {})",
+            baseline.gates.len(),
+            baseline_path.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nbaseline check: FAIL");
+        for violation in &violations {
+            eprintln!("  regression: {violation}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -138,9 +138,12 @@ fn read_final(world: &World, phone: morena_nfc_sim::world::PhoneId, uid: TagUid)
     content
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let trials = if quick_mode() { 2 } else { 5 };
     let sizes = [1usize, 2, 4, 8, 16];
+    let mut report = morena_bench::BenchReport::new("ext_batch");
+    report.config("trials", trials);
+    let mut failed = false;
     let mut rows = Vec::new();
     for &n in &sizes {
         let mut morena_taps = 0usize;
@@ -159,9 +162,22 @@ fn main() {
             hand_ok += ok as usize;
             hand_exchanges += exchanges;
         }
+        let morena_mean_taps = morena_taps as f64 / trials as f64;
+        report.metric(&format!("morena_taps@{n}"), morena_mean_taps);
+        report.metric(&format!("morena_ok@{n}"), morena_ok as f64);
+        report.metric(&format!("handcrafted_taps@{n}"), hand_taps as f64 / trials as f64);
+        // The claim under test: one tap flushes any batch, and every
+        // MORENA trial delivers.
+        if morena_ok != trials || morena_mean_taps > 1.0 {
+            eprintln!(
+                "ext_batch: FAIL: N={n}: {morena_ok}/{trials} MORENA trials ok, \
+                 {morena_mean_taps:.1} taps (expected all ok with exactly 1 tap)"
+            );
+            failed = true;
+        }
         rows.push(vec![
             cell(n),
-            cell(format!("{:.1}", morena_taps as f64 / trials as f64)),
+            cell(format!("{morena_mean_taps:.1}")),
             cell(format!("{}/{}", morena_ok, trials)),
             cell(format!("{:.0}", morena_exchanges as f64 / trials as f64)),
             cell(format!("{:.1}", hand_taps as f64 / trials as f64)),
@@ -188,4 +204,11 @@ fn main() {
          yet the physical radio work (exchanges) is comparable: the win is user\n\
          effort, not air time."
     );
+    report.metric("failed", if failed { 1.0 } else { 0.0 });
+    report.write().expect("write BENCH_ext_batch.json");
+    if failed {
+        std::process::ExitCode::FAILURE
+    } else {
+        std::process::ExitCode::SUCCESS
+    }
 }

@@ -95,9 +95,12 @@ fn naive_trial(fraction: f64, seed: u64) -> bool {
     ndef.connect().and_then(|()| ndef.write_ndef_message(&message)).is_ok()
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let trials = if quick_mode() { 8 } else { 30 };
     let model = link();
+    let mut report = morena_bench::BenchReport::new("ext_edge");
+    report.config("trials", trials);
+    let mut failed = false;
     let mut rows = Vec::new();
     for fraction in [0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95] {
         let distance = model.nfc_range_m * fraction;
@@ -109,6 +112,19 @@ fn main() {
             .filter(|t| naive_trial(fraction, 5000 + (fraction * 1000.0) as u64 + *t as u64))
             .count();
         let m_ok = morena.iter().filter(|o| o.ok).count();
+        let m_ok_pct = 100.0 * m_ok as f64 / trials as f64;
+        report.metric(&format!("morena_ok_pct@{fraction}"), m_ok_pct);
+        report.metric(&format!("naive_ok_pct@{fraction}"), 100.0 * naive_ok as f64 / trials as f64);
+        // Deep inside the field, automatic retry must make the write
+        // reliable; only the outer edge is allowed to defeat it.
+        if fraction <= 0.5 && m_ok_pct < 80.0 {
+            eprintln!(
+                "ext_edge: FAIL: only {m_ok_pct:.0}% of writes landed at \
+                 {:.0}% of the field radius",
+                fraction * 100.0
+            );
+            failed = true;
+        }
         let mut attempts: Vec<f64> =
             morena.iter().filter(|o| o.ok).map(|o| o.attempts as f64).collect();
         let mut millis: Vec<f64> = morena.iter().filter(|o| o.ok).map(|o| o.millis).collect();
@@ -139,4 +155,11 @@ fn main() {
          timeout — spending visibly more attempts and time the closer the tag sits\n\
          to the edge of the field."
     );
+    report.metric("failed", if failed { 1.0 } else { 0.0 });
+    report.write().expect("write BENCH_ext_edge.json");
+    if failed {
+        std::process::ExitCode::FAILURE
+    } else {
+        std::process::ExitCode::SUCCESS
+    }
 }

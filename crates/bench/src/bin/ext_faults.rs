@@ -80,7 +80,7 @@ fn trial(kind: FaultKind, rate: f64, ops: usize, seed: u64) -> Outcome {
     outcome
 }
 
-fn run_row(kind: FaultKind, rate: f64, ops: usize, trials: usize) -> Vec<String> {
+fn run_row(kind: FaultKind, rate: f64, ops: usize, trials: usize) -> (f64, Vec<String>) {
     let base = (rate * 1000.0) as u64 + kind as u64 * 1_000_000;
     let outcomes: Vec<Outcome> =
         (0..trials).map(|t| trial(kind, rate, ops, base + t as u64)).collect();
@@ -89,27 +89,55 @@ fn run_row(kind: FaultKind, rate: f64, ops: usize, trials: usize) -> Vec<String>
     let attempts: u64 = outcomes.iter().map(|o| o.attempts).sum();
     let injected: u64 = outcomes.iter().map(|o| o.injected).sum();
     let mut millis: Vec<f64> = outcomes.iter().flat_map(|o| o.op_millis.iter().copied()).collect();
-    vec![
+    let ok_pct = 100.0 * ok_ops as f64 / total_ops as f64;
+    let row = vec![
         cell(kind.label()),
         cell(format!("{rate:.2}")),
-        cell(format!("{:.1}%", 100.0 * ok_ops as f64 / total_ops as f64)),
+        cell(format!("{ok_pct:.1}%")),
         cell(format!("{:.2}", attempts as f64 / total_ops as f64)),
         cell(injected),
         cell(format!("{:.2}ms", median(&mut millis))),
-    ]
+    ];
+    (ok_pct, row)
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let quick = quick_mode();
     let trials = if quick { 2 } else { 6 };
     let ops = if quick { 8 } else { 16 };
     let header = ["fault", "rate", "op ok", "tries/op", "injected", "op median"];
 
+    let mut report = morena_bench::BenchReport::new("ext_faults");
+    report.config("trials", trials);
+    report.config("ops", ops);
+    let mut failed = false;
     for kind in FaultKind::ALL {
         let mut rows = Vec::new();
+        let mut worst = 100.0f64;
         for rate in [0.05, 0.10, 0.20, 0.35, 0.50] {
-            rows.push(run_row(kind, rate, ops, trials));
+            let (ok_pct, row) = run_row(kind, rate, ops, trials);
+            worst = worst.min(ok_pct);
+            rows.push(row);
+        }
+        report.metric(&format!("worst_success_pct@{}", kind.label()), worst);
+        // Every class except corruption is recoverable by design: retry
+        // until the op lands. Anything below full success there means
+        // the recovery path regressed.
+        if kind != FaultKind::Corruption && worst < 100.0 {
+            eprintln!(
+                "ext_faults: FAIL: {} dropped to {worst:.1}% success — \
+                 a recoverable fault class is no longer recovered",
+                kind.label()
+            );
+            failed = true;
         }
         print_table(&format!("EXT-FAULTS: {} injection rate sweep", kind.label()), &header, &rows);
+    }
+    report.metric("failed", if failed { 1.0 } else { 0.0 });
+    report.write().expect("write BENCH_ext_faults.json");
+    if failed {
+        std::process::ExitCode::FAILURE
+    } else {
+        std::process::ExitCode::SUCCESS
     }
 }

@@ -168,4 +168,12 @@ fn main() {
     println!("\nhealth report -> {health_path}");
     println!("health-json: {health_json}");
     println!("chrome trace -> {trace_path} ({events} events captured)");
+
+    let mut report = morena_bench::BenchReport::new("ext_inspect");
+    report.config("ops", ops);
+    report.metric("idle_ns_per_op", idle);
+    report.metric("polled_ns_per_op", polled);
+    report.metric("watchdog_overhead_pct", delta_pct);
+    report.metric("trace_events", events as f64);
+    report.write().expect("write BENCH_ext_inspect.json");
 }

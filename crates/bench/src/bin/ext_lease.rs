@@ -155,13 +155,21 @@ fn contention_trial(devices: usize, ttl: Duration, runtime: Duration, seed: u64)
     (tally, anomalies)
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let runtime = if quick_mode() { Duration::from_millis(500) } else { Duration::from_secs(2) };
+    let mut report = morena_bench::BenchReport::new("ext_lease");
+    report.config("runtime_ms", runtime.as_millis());
+    let mut total_grants = 0u64;
+    let mut total_anomalies = 0usize;
     let mut rows = Vec::new();
     for devices in [2usize, 4, 8] {
         for ttl_ms in [50u64, 200] {
             let (tally, anomalies) =
                 contention_trial(devices, Duration::from_millis(ttl_ms), runtime, devices as u64);
+            report.metric(&format!("grants@{devices}x{ttl_ms}ms"), tally.grants as f64);
+            report.metric(&format!("anomalies@{devices}x{ttl_ms}ms"), anomalies as f64);
+            total_grants += tally.grants;
+            total_anomalies += anomalies;
             rows.push(vec![
                 cell(devices),
                 cell(format!("{ttl_ms}ms")),
@@ -195,4 +203,27 @@ fn main() {
          metric 'overlap anomalies' — two devices believing they hold the same tag\n\
          at once — is 0."
     );
+    // The safety property is absolute; a run that never granted a lease
+    // measured nothing at all. Either way, fail loudly.
+    let mut failed = false;
+    if total_anomalies > 0 {
+        eprintln!(
+            "ext_lease: FAIL: {total_anomalies} overlapping grant interval(s) — mutual \
+                   exclusion is broken"
+        );
+        failed = true;
+    }
+    if total_grants == 0 {
+        eprintln!("ext_lease: FAIL: no lease was ever granted — the experiment measured nothing");
+        failed = true;
+    }
+    report.metric("total_grants", total_grants as f64);
+    report.metric("total_anomalies", total_anomalies as f64);
+    report.metric("failed", if failed { 1.0 } else { 0.0 });
+    report.write().expect("write BENCH_ext_lease.json");
+    if failed {
+        std::process::ExitCode::FAILURE
+    } else {
+        std::process::ExitCode::SUCCESS
+    }
 }

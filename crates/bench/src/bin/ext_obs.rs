@@ -53,10 +53,13 @@ fn ms(nanos: u64) -> String {
     format!("{:.2}ms", nanos as f64 / 1e6)
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let quick = quick_mode();
     let cycles = if quick { 6 } else { 10 };
     let writes = if quick { 3 } else { 5 };
+    let mut report = morena_bench::BenchReport::new("ext_obs");
+    report.config("cycles", cycles);
+    report.config("writes", writes);
     let trace_path = std::env::args().nth(1).unwrap_or_else(|| "ext_obs_trace.jsonl".to_string());
 
     let world = World::with_link(Arc::new(SystemClock::new()), link(), 7);
@@ -171,4 +174,21 @@ fn main() {
          inside NFC attempts; queue = head-of-line blocking + retry backoff — the\n\
          only slice middleware engineering can shrink."
     );
+
+    report.metric("completed_ops", completed as f64);
+    report.metric("expected_ops", (writes + 1) as f64);
+    report.metric("trace_events", events.len() as f64);
+    report.metric("ring_dropped", ring.dropped_entries() as f64);
+    let failed = completed != writes + 1;
+    report.metric("failed", if failed { 1.0 } else { 0.0 });
+    report.write().expect("write BENCH_ext_obs.json");
+    if failed {
+        eprintln!(
+            "ext_obs: FAIL: only {completed}/{} ops completed — the scripted run \
+             must drain fully for the attribution to mean anything",
+            writes + 1
+        );
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
 }

@@ -176,7 +176,7 @@ fn aggregate(outcomes: &[Outcome]) -> Aggregate {
     }
 }
 
-fn run_row(duty: f64, noise: f64, cycles: usize, trials: usize) -> Vec<String> {
+fn run_row(duty: f64, noise: f64, cycles: usize, trials: usize) -> (Aggregate, Vec<String>) {
     // Distinct RNG seeds per configuration so rows do not share luck.
     let base = (duty * 1000.0) as u64 * 100_000 + (noise * 1000.0) as u64 * 100;
     let morena: Vec<Outcome> =
@@ -188,7 +188,7 @@ fn run_row(duty: f64, noise: f64, cycles: usize, trials: usize) -> Vec<String> {
         .map(|t| handcrafted_trial(duty, noise, cycles, 4, base + 83 + t as u64))
         .collect();
     let (m, n, c) = (aggregate(&morena), aggregate(&naive), aggregate(&careful));
-    vec![
+    let row = vec![
         cell(format!("{duty:.1}")),
         cell(format!("{noise:.2}")),
         cell(format!("{:.0}%", m.success_pct)),
@@ -199,10 +199,11 @@ fn run_row(duty: f64, noise: f64, cycles: usize, trials: usize) -> Vec<String> {
         cell(format!("{:.0}", n.taps_median)),
         cell(format!("{:.0}%", c.success_pct)),
         cell(format!("{:.0}", c.taps_median)),
-    ]
+    ];
+    (m, row)
 }
 
-fn main() {
+fn main() -> std::process::ExitCode {
     let quick = quick_mode();
     let trials = if quick { 3 } else { 8 };
     let cycles = if quick { 8 } else { 12 };
@@ -211,10 +212,18 @@ fn main() {
         "B4 taps",
     ];
 
+    let mut report = morena_bench::BenchReport::new("ext_retry");
+    report.config("trials", trials);
+    report.config("cycles", cycles);
+    let mut morena_aggregates = Vec::new();
+
     // Sweep 1: presence duty cycle at a fixed noisy link.
     let mut rows = Vec::new();
     for duty in [0.1, 0.2, 0.3, 0.5, 0.7, 0.9] {
-        rows.push(run_row(duty, 0.20, cycles, trials));
+        let (m, row) = run_row(duty, 0.20, cycles, trials);
+        report.metric(&format!("morena_success_pct@duty{duty:.1}"), m.success_pct);
+        morena_aggregates.push(m);
+        rows.push(row);
     }
     print_table(
         "EXT-RETRY: write under intermittent presence (noise 20% per exchange)",
@@ -225,7 +234,10 @@ fn main() {
     // Sweep 2: link noise at a fixed half-open presence window.
     let mut rows = Vec::new();
     for noise in [0.0, 0.1, 0.2, 0.3, 0.4] {
-        rows.push(run_row(0.5, noise, cycles, trials));
+        let (m, row) = run_row(0.5, noise, cycles, trials);
+        report.metric(&format!("morena_success_pct@noise{noise:.2}"), m.success_pct);
+        morena_aggregates.push(m);
+        rows.push(row);
     }
     print_table("EXT-RETRY: write under link noise (duty 0.5)", &header, &rows);
 
@@ -235,4 +247,21 @@ fn main() {
          the user must re-tap until success. Expected shape: MORENA ~100% success on\n\
          the first tap throughout; baseline taps grow with noise and shrink with duty."
     );
+
+    let mean_success = morena_aggregates.iter().map(|a| a.success_pct).sum::<f64>()
+        / morena_aggregates.len() as f64;
+    report.metric("morena_mean_success_pct", mean_success);
+    // Threshold far below the expected ~100%: this gate catches a broken
+    // retry path, not statistical noise in a 3-trial quick run.
+    let failed = mean_success < 60.0;
+    report.metric("failed", if failed { 1.0 } else { 0.0 });
+    report.write().expect("write BENCH_ext_retry.json");
+    if failed {
+        eprintln!(
+            "ext_retry: FAIL: MORENA mean success {mean_success:.0}% below the 60% floor — \
+             automatic retry is not doing its job"
+        );
+        return std::process::ExitCode::FAILURE;
+    }
+    std::process::ExitCode::SUCCESS
 }

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::unbounded;
-use morena_bench::{cell, print_table, quick_mode};
+use morena_bench::{cell, print_table, quick_mode, BenchReport};
 use morena_core::context::MorenaContext;
 use morena_core::convert::StringConverter;
 use morena_core::eventloop::LoopConfig;
@@ -29,6 +29,7 @@ use morena_nfc_sim::clock::SystemClock;
 use morena_nfc_sim::link::LinkModel;
 use morena_nfc_sim::tag::{TagTech, TagUid, Type2Tag};
 use morena_nfc_sim::world::World;
+use morena_obs::profile::AllocScope;
 
 const OPS_PER_REF: usize = 2;
 
@@ -39,6 +40,7 @@ struct RunResult {
     ops: usize,
     elapsed: Duration,
     threads: usize,
+    allocs: u64,
     polls: u64,
     parks: u64,
     wakeups: u64,
@@ -51,10 +53,15 @@ impl RunResult {
         self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
     }
 
+    fn allocs_per_op(&self) -> f64 {
+        self.allocs as f64 / (self.ops as f64).max(1.0)
+    }
+
     fn to_json(&self) -> String {
         format!(
             "{{\"size\":{},\"policy\":\"{}\",\"workers\":{},\"ops\":{},\
-             \"elapsed_ms\":{:.3},\"ops_per_sec\":{:.1},\"morena_threads\":{},\
+             \"elapsed_ms\":{:.3},\"ops_per_sec\":{:.1},\"allocs_per_op\":{:.2},\
+             \"morena_threads\":{},\
              \"scheduler\":{{\"polls\":{},\"parks\":{},\"wakeups\":{},\
              \"timer_fires\":{},\"poll_p50_nanos\":{}}}}}",
             self.size,
@@ -63,6 +70,7 @@ impl RunResult {
             self.ops,
             self.elapsed.as_secs_f64() * 1e3,
             self.ops_per_sec(),
+            self.allocs_per_op(),
             self.threads,
             self.polls,
             self.parks,
@@ -96,13 +104,11 @@ fn run(size: usize, policy: ExecutionPolicy, seed: u64) -> RunResult {
     let phone = world.add_phone("bench");
     let ctx = MorenaContext::headless_with(&world, phone, policy);
 
-    let (done_tx, done_rx) = unbounded();
-    let started = Instant::now();
     let references: Vec<_> = (0..size)
         .map(|i| {
             let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(i as u32))));
             world.tap_tag(uid, phone);
-            let reference = TagReference::with_config(
+            TagReference::with_config(
                 &ctx,
                 uid,
                 TagTech::Type2,
@@ -111,20 +117,29 @@ fn run(size: usize, policy: ExecutionPolicy, seed: u64) -> RunResult {
                     default_timeout: Duration::from_secs(300),
                     retry_backoff: Duration::from_micros(100),
                 },
-            );
-            for op in 0..OPS_PER_REF {
-                let done_tx = done_tx.clone();
-                reference.write(
-                    format!("r{i}-op{op}"),
-                    move |_| {
-                        let _ = done_tx.send(());
-                    },
-                    |_, f| panic!("bench write failed: {f}"),
-                );
-            }
-            reference
+            )
         })
         .collect();
+
+    // Window start: the scope and the metrics delta cover exactly the
+    // submit→attempt→complete path, not world or reference setup. Ops
+    // run on pool workers, so the scope must be the global one.
+    let before = world.obs().metrics().snapshot();
+    let scope = AllocScope::global();
+    let (done_tx, done_rx) = unbounded();
+    let started = Instant::now();
+    for (i, reference) in references.iter().enumerate() {
+        for op in 0..OPS_PER_REF {
+            let done_tx = done_tx.clone();
+            reference.write(
+                format!("r{i}-op{op}"),
+                move |_| {
+                    let _ = done_tx.send(());
+                },
+                |_, f| panic!("bench write failed: {f}"),
+            );
+        }
+    }
 
     // Census while every loop is live and the backlog is draining.
     let threads = morena_thread_count();
@@ -134,11 +149,12 @@ fn run(size: usize, policy: ExecutionPolicy, seed: u64) -> RunResult {
         done_rx.recv_timeout(Duration::from_secs(300)).expect("op resolves");
     }
     let elapsed = started.elapsed();
+    let allocs = scope.stats().allocs;
+    let window = world.obs().metrics().snapshot().delta(&before);
     for reference in references {
         reference.close();
     }
 
-    let snapshot = world.obs().metrics().snapshot();
     RunResult {
         size,
         policy: label,
@@ -146,11 +162,12 @@ fn run(size: usize, policy: ExecutionPolicy, seed: u64) -> RunResult {
         ops,
         elapsed,
         threads,
-        polls: snapshot.counter("scheduler.polls"),
-        parks: snapshot.counter("scheduler.parks"),
-        wakeups: snapshot.counter("scheduler.wakeups"),
-        timer_fires: snapshot.counter("scheduler.timer_fires"),
-        poll_p50_nanos: snapshot.histogram("scheduler.poll_ns").and_then(|h| h.p50()).unwrap_or(0),
+        allocs,
+        polls: window.counter("scheduler.polls"),
+        parks: window.counter("scheduler.parks"),
+        wakeups: window.counter("scheduler.wakeups"),
+        timer_fires: window.counter("scheduler.timer_fires"),
+        poll_p50_nanos: window.histogram("scheduler.poll_ns").and_then(|h| h.p50()).unwrap_or(0),
     }
 }
 
@@ -176,6 +193,8 @@ fn parse_args() -> (Vec<usize>, Option<String>) {
 
 fn main() {
     let (sizes, json_path) = parse_args();
+    let mut report = BenchReport::new("ext_sched");
+    report.config("ops_per_ref", OPS_PER_REF);
     let sharded = ExecutionPolicy::default();
 
     let mut results = Vec::new();
@@ -195,6 +214,7 @@ fn main() {
                 cell(r.ops),
                 cell(format!("{:.1}ms", r.elapsed.as_secs_f64() * 1e3)),
                 cell(format!("{:.0}", r.ops_per_sec())),
+                cell(format!("{:.1}", r.allocs_per_op())),
                 cell(r.threads),
                 cell(r.polls),
                 cell(r.parks),
@@ -205,7 +225,16 @@ fn main() {
     print_table(
         "EXT-SCHED: event-loop execution policies at swarm scale",
         &[
-            "refs", "policy", "workers", "ops", "elapsed", "ops/s", "threads", "polls", "parks",
+            "refs",
+            "policy",
+            "workers",
+            "ops",
+            "elapsed",
+            "ops/s",
+            "allocs/op",
+            "threads",
+            "polls",
+            "parks",
             "wakeups",
         ],
         &rows,
@@ -224,4 +253,10 @@ fn main() {
         std::fs::write(&path, format!("[{}]\n", body.join(","))).expect("write --json output file");
         println!("\nwrote {} runs -> {path}", results.len());
     }
+
+    for r in &results {
+        report.metric(&format!("ops_per_sec@{}_{}", r.size, r.policy), r.ops_per_sec());
+        report.metric(&format!("allocs_per_op@{}_{}", r.size, r.policy), r.allocs_per_op());
+    }
+    report.write().expect("write BENCH_ext_sched.json");
 }

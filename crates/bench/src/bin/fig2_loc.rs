@@ -12,12 +12,15 @@
 //! handling. Absolute numbers differ (different language, different
 //! platform analog); the shape is the claim under reproduction.
 
-use morena_apps::loc::{handcrafted_wifi_report, morena_wifi_report, Subproblem};
-use morena_bench::{cell, print_table};
+use std::process::ExitCode;
 
-fn main() {
+use morena_apps::loc::{handcrafted_wifi_report, morena_wifi_report, Subproblem};
+use morena_bench::{cell, print_table, BenchReport};
+
+fn main() -> ExitCode {
     let handcrafted = handcrafted_wifi_report();
     let morena = morena_wifi_report();
+    let mut report = BenchReport::new("fig2_loc");
 
     let mut rows = Vec::new();
     for subproblem in Subproblem::ALL {
@@ -52,20 +55,30 @@ fn main() {
         &rows,
     );
 
+    report.metric("handcrafted_total_loc", handcrafted.total() as f64);
+    report.metric("morena_total_loc", morena.total() as f64);
+    report.metric("reduction_factor", handcrafted.total() as f64 / morena.total() as f64);
+    report.metric("morena_concurrency_loc", morena.count(Subproblem::Concurrency) as f64);
+
     // The paper's qualitative observations, checked mechanically.
-    assert_eq!(
-        morena.count(Subproblem::Concurrency),
-        0,
-        "MORENA must need no concurrency management"
-    );
+    let mut failed = false;
+    if morena.count(Subproblem::Concurrency) != 0 {
+        eprintln!("fig2_loc: FAIL: MORENA must need no concurrency management");
+        failed = true;
+    }
     let dominant = Subproblem::ALL
         .into_iter()
         .max_by(|a, b| morena.percentage(*a).total_cmp(&morena.percentage(*b)))
         .expect("nonempty");
-    assert_eq!(
-        dominant,
-        Subproblem::EventHandling,
-        "MORENA's share must be dominated by event handling"
-    );
+    if dominant != Subproblem::EventHandling {
+        eprintln!("fig2_loc: FAIL: MORENA's share must be dominated by event handling");
+        failed = true;
+    }
+    report.metric("failed", if failed { 1.0 } else { 0.0 });
+    report.write().expect("write BENCH_fig2_loc.json");
+    if failed {
+        return ExitCode::FAILURE;
+    }
     println!("\nshape checks passed: concurrency=0 for MORENA; event handling dominates MORENA.");
+    ExitCode::SUCCESS
 }

@@ -9,11 +9,21 @@
 //! | `ext_retry` | EXT-RETRY: automatic retry vs manual reattempt under intermittent connectivity |
 //! | `ext_batch` | EXT-BATCH: write batching across disconnection (taps needed to flush N writes) |
 //! | `ext_lease` | EXT-LEASE: lease contention, exclusivity, and race statistics |
+//! | `ext_swarm` | EXT-SWARM: live-reference swarm scaling — refs/GB, ops/sec, allocs/op |
+//! | `bench_report` | merges the `BENCH_*.json` every binary emits; `--check` gates CI |
+//!
+//! Every binary writes a [`BenchReport`] (`BENCH_<name>.json`) with its
+//! headline metrics, so a run's trajectory is diffable and CI can gate
+//! on regressions against `benches/baseline.json`.
 //!
 //! Criterion micro-benchmarks live under `benches/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod report;
+
+pub use report::{Baseline, BenchReport};
 
 use std::fmt::Display;
 

@@ -1,0 +1,672 @@
+//! Machine-readable benchmark reports and the CI regression gate.
+//!
+//! Every `ext_*` binary finishes by emitting a `BENCH_<name>.json` next
+//! to its human-readable tables, so CI can archive a perf trajectory and
+//! fail on regressions. The schema is deliberately small:
+//!
+//! ```json
+//! {
+//!   "name": "ext_swarm",
+//!   "quick": false,
+//!   "git_sha": "abc123...",
+//!   "wall_secs": 12.5,
+//!   "config": { "sizes": "1000,10000,100000" },
+//!   "metrics": { "ops_per_sec@1000": 51234.5 }
+//! }
+//! ```
+//!
+//! The `bench_report` binary merges every `BENCH_*.json` it finds and,
+//! with `--check benches/baseline.json`, compares against committed
+//! per-metric gates. JSON is written and parsed by hand here: the
+//! harness depends on nothing but the standard library for its report
+//! pipeline, so the gate works in minimal build environments too.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Report
+
+/// One benchmark run: identity, configuration, and a flat metric map.
+///
+/// Construct with [`BenchReport::new`], fill in [`config`](Self::config)
+/// and [`metric`](Self::metric), then [`write`](Self::write) to produce
+/// `BENCH_<name>.json` in the working directory.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Benchmark name (`ext_swarm`, `ext_sched`, ...).
+    pub name: String,
+    /// Whether the run used `MORENA_QUICK=1` reduced sizes.
+    pub quick: bool,
+    /// Free-form configuration echo (sizes, policies, seeds).
+    pub config: Vec<(String, String)>,
+    /// Metric key → value, in insertion order. Keys carry their scale
+    /// point where relevant (`ops_per_sec@1000`).
+    pub metrics: Vec<(String, f64)>,
+    /// Git commit the run was built from (`GITHUB_SHA`, then
+    /// `git rev-parse HEAD`, then `"unknown"`).
+    pub git_sha: String,
+    /// Wall-clock seconds for the whole run.
+    pub wall_secs: f64,
+    started: Option<Instant>,
+}
+
+impl BenchReport {
+    /// Starts a report: stamps the git SHA and the wall-clock timer, and
+    /// records whether [`crate::quick_mode`] is on.
+    pub fn new(name: &str) -> BenchReport {
+        BenchReport {
+            name: name.to_string(),
+            quick: crate::quick_mode(),
+            config: Vec::new(),
+            metrics: Vec::new(),
+            git_sha: detect_git_sha(),
+            wall_secs: 0.0,
+            started: Some(Instant::now()),
+        }
+    }
+
+    /// Records one configuration entry (echoed verbatim into the JSON).
+    pub fn config(&mut self, key: &str, value: impl std::fmt::Display) {
+        self.config.push((key.to_string(), value.to_string()));
+    }
+
+    /// Records one metric. Non-finite values are clamped to 0 so the
+    /// emitted JSON stays valid.
+    pub fn metric(&mut self, key: &str, value: f64) {
+        let value = if value.is_finite() { value } else { 0.0 };
+        match self.metrics.iter_mut().find(|(k, _)| k == key) {
+            Some((_, v)) => *v = value,
+            None => self.metrics.push((key.to_string(), value)),
+        }
+    }
+
+    /// Looks up a metric by key.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+
+    /// Serializes the report. Freezes `wall_secs` from the running timer
+    /// the first time it is called on a live report.
+    pub fn to_json(&mut self) -> String {
+        if let Some(started) = self.started.take() {
+            self.wall_secs = started.elapsed().as_secs_f64();
+        }
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"name\": {},", json_string(&self.name));
+        let _ = writeln!(out, "  \"quick\": {},", self.quick);
+        let _ = writeln!(out, "  \"git_sha\": {},", json_string(&self.git_sha));
+        let _ = writeln!(out, "  \"wall_secs\": {},", json_number(self.wall_secs));
+        out.push_str("  \"config\": {");
+        for (i, (k, v)) in self.config.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    {}: {}", json_string(k), json_string(v));
+        }
+        out.push_str(if self.config.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"metrics\": {");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    {}: {}", json_string(k), json_number(*v));
+        }
+        out.push_str(if self.metrics.is_empty() { "}\n" } else { "\n  }\n" });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes `BENCH_<name>.json` into `dir` (the working directory for
+    /// the `ext_*` binaries) and returns the path.
+    pub fn write_to(&mut self, dir: &Path) -> std::io::Result<PathBuf> {
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Writes `BENCH_<name>.json` into the current directory and prints
+    /// where it went.
+    pub fn write(&mut self) -> std::io::Result<PathBuf> {
+        let path = self.write_to(Path::new("."))?;
+        println!("\nwrote {}", path.display());
+        Ok(path)
+    }
+
+    /// Parses a report previously produced by [`BenchReport::to_json`].
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let json = Json::parse(text)?;
+        let name = json.get("name").and_then(Json::as_str).ok_or("report missing \"name\"")?;
+        let mut report = BenchReport {
+            name: name.to_string(),
+            quick: json.get("quick").and_then(Json::as_bool).unwrap_or(false),
+            config: Vec::new(),
+            metrics: Vec::new(),
+            git_sha: json.get("git_sha").and_then(Json::as_str).unwrap_or("unknown").to_string(),
+            wall_secs: json.get("wall_secs").and_then(Json::as_f64).unwrap_or(0.0),
+            started: None,
+        };
+        if let Some(Json::Obj(entries)) = json.get("config") {
+            for (k, v) in entries {
+                if let Some(s) = v.as_str() {
+                    report.config.push((k.clone(), s.to_string()));
+                }
+            }
+        }
+        if let Some(Json::Obj(entries)) = json.get("metrics") {
+            for (k, v) in entries {
+                let value = v.as_f64().ok_or_else(|| format!("metric {k:?} is not a number"))?;
+                report.metrics.push((k.clone(), value));
+            }
+        }
+        Ok(report)
+    }
+
+    /// Loads and parses one `BENCH_*.json` file.
+    pub fn load(path: &Path) -> Result<BenchReport, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        BenchReport::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+fn detect_git_sha() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser — just enough for the report and baseline schemas.
+
+/// A parsed JSON value. Objects preserve key order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (always read as `f64`).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup; `None` for non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek()? == byte {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", byte as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            entries.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".to_string());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("unterminated escape".to_string());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by this
+                            // schema; map them to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.pos)),
+                    }
+                }
+                _ => {
+                    // Collect the full UTF-8 sequence starting here.
+                    let start = self.pos - 1;
+                    while self.bytes.get(self.pos).is_some_and(|&b| b & 0xc0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| "invalid utf-8 in string")?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        text.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number at offset {start}"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Baseline gates
+
+/// One regression gate: the committed reference `value` plus a bound on
+/// the current/baseline ratio.
+#[derive(Debug, Clone)]
+pub struct Gate {
+    /// The committed baseline value for this metric.
+    pub value: f64,
+    /// Fail when `current / value` drops below this (throughput-style
+    /// metrics: bigger is better).
+    pub min_ratio: Option<f64>,
+    /// Fail when `current / value` rises above this (cost-style metrics:
+    /// smaller is better).
+    pub max_ratio: Option<f64>,
+    /// Whether the gate is enforced on `MORENA_QUICK=1` runs too. Gates
+    /// on full-scale-only metrics set this to `false` so CI's quick pass
+    /// skips them instead of failing on the missing key.
+    pub quick_gate: bool,
+}
+
+/// The committed `benches/baseline.json`: gate per `bench/metric` key.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// Gates in document order, keyed `<report name>/<metric key>`.
+    pub gates: Vec<(String, Gate)>,
+}
+
+impl Baseline {
+    /// Parses the baseline document:
+    ///
+    /// ```json
+    /// { "metrics": { "ext_swarm/allocs_per_op@1000":
+    ///     { "value": 12.0, "max_ratio": 1.0, "quick_gate": true } } }
+    /// ```
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let json = Json::parse(text)?;
+        let Some(Json::Obj(entries)) = json.get("metrics") else {
+            return Err("baseline missing \"metrics\" object".to_string());
+        };
+        let mut gates = Vec::new();
+        for (key, spec) in entries {
+            let value = spec
+                .get("value")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("gate {key:?} missing \"value\""))?;
+            let gate = Gate {
+                value,
+                min_ratio: spec.get("min_ratio").and_then(Json::as_f64),
+                max_ratio: spec.get("max_ratio").and_then(Json::as_f64),
+                quick_gate: spec.get("quick_gate").and_then(Json::as_bool).unwrap_or(false),
+            };
+            if gate.min_ratio.is_none() && gate.max_ratio.is_none() {
+                return Err(format!("gate {key:?} needs min_ratio or max_ratio"));
+            }
+            gates.push((key.clone(), gate));
+        }
+        Ok(Baseline { gates })
+    }
+
+    /// Loads `benches/baseline.json` (or any path with that schema).
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        Baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Checks `reports` against every gate; returns human-readable
+    /// violations (empty = pass).
+    ///
+    /// A gate keyed `bench/metric` binds to the report named `bench`.
+    /// Quick reports are only held to `quick_gate` gates; a gated metric
+    /// that is missing from its bound report is itself a violation —
+    /// silently dropping a metric must not read as a pass.
+    pub fn check(&self, reports: &[BenchReport]) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (key, gate) in &self.gates {
+            let Some((bench, metric)) = key.split_once('/') else {
+                violations.push(format!("{key}: gate key is not \"bench/metric\""));
+                continue;
+            };
+            let Some(report) = reports.iter().find(|r| r.name == bench) else {
+                violations.push(format!("{key}: no BENCH_{bench}.json report found"));
+                continue;
+            };
+            if report.quick && !gate.quick_gate {
+                continue;
+            }
+            let Some(current) = report.get(metric) else {
+                violations.push(format!("{key}: metric missing from report"));
+                continue;
+            };
+            if gate.value <= 0.0 {
+                violations.push(format!("{key}: baseline value must be positive"));
+                continue;
+            }
+            let ratio = current / gate.value;
+            if let Some(min) = gate.min_ratio {
+                if ratio < min {
+                    violations.push(format!(
+                        "{key}: {current:.3} is {:.1}% of baseline {:.3} (min {:.1}%)",
+                        ratio * 100.0,
+                        gate.value,
+                        min * 100.0
+                    ));
+                }
+            }
+            if let Some(max) = gate.max_ratio {
+                if ratio > max {
+                    violations.push(format!(
+                        "{key}: {current:.3} is {:.1}% of baseline {:.3} (max {:.1}%)",
+                        ratio * 100.0,
+                        gate.value,
+                        max * 100.0
+                    ));
+                }
+            }
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(name: &str, quick: bool, metrics: &[(&str, f64)]) -> BenchReport {
+        BenchReport {
+            name: name.to_string(),
+            quick,
+            config: Vec::new(),
+            metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+            git_sha: "test".to_string(),
+            wall_secs: 1.0,
+            started: None,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut report = BenchReport::new("ext_demo");
+        report.config("sizes", "100,1000");
+        report.metric("ops_per_sec@100", 1234.5);
+        report.metric("allocs_per_op@100", 17.0);
+        let text = report.to_json();
+        let parsed = BenchReport::parse(&text).unwrap();
+        assert_eq!(parsed.name, "ext_demo");
+        assert_eq!(parsed.config, vec![("sizes".to_string(), "100,1000".to_string())]);
+        assert_eq!(parsed.get("ops_per_sec@100"), Some(1234.5));
+        assert_eq!(parsed.get("allocs_per_op@100"), Some(17.0));
+        assert_eq!(parsed.quick, report.quick);
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_nesting_and_rejects_garbage() {
+        let doc = r#"{"a": [1, -2.5, 1e3], "b": {"s": "q\"\\\né"}, "c": null, "d": true}"#;
+        let json = Json::parse(doc).unwrap();
+        assert_eq!(
+            json.get("a"),
+            Some(&Json::Arr(vec![Json::Num(1.0), Json::Num(-2.5), Json::Num(1000.0)]))
+        );
+        assert_eq!(json.get("b").and_then(|b| b.get("s")).and_then(Json::as_str), Some("q\"\\\né"));
+        assert_eq!(json.get("c"), Some(&Json::Null));
+        assert_eq!(json.get("d").and_then(Json::as_bool), Some(true));
+        assert!(Json::parse("{\"open\": ").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn metric_overwrites_instead_of_duplicating() {
+        let mut report = report_with("x", false, &[]);
+        report.metric("k", 1.0);
+        report.metric("k", 2.0);
+        assert_eq!(report.metrics.len(), 1);
+        assert_eq!(report.get("k"), Some(2.0));
+    }
+
+    const BASELINE: &str = r#"{
+        "metrics": {
+            "ext_swarm/allocs_per_op@1000":
+                { "value": 10.0, "max_ratio": 1.0, "quick_gate": true },
+            "ext_swarm/ops_per_sec@1000":
+                { "value": 50000.0, "min_ratio": 0.9, "quick_gate": false }
+        }
+    }"#;
+
+    #[test]
+    fn baseline_catches_a_doubled_allocs_per_op() {
+        let baseline = Baseline::parse(BASELINE).unwrap();
+        // A synthetic 2x allocation regression must be caught even on a
+        // quick run (the allocs gate is quick_gate).
+        let regressed = report_with("ext_swarm", true, &[("allocs_per_op@1000", 20.0)]);
+        let violations = baseline.check(&[regressed]);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("allocs_per_op"), "{violations:?}");
+
+        let healthy = report_with("ext_swarm", true, &[("allocs_per_op@1000", 9.0)]);
+        assert!(baseline.check(&[healthy]).is_empty());
+    }
+
+    #[test]
+    fn quick_runs_skip_full_only_gates_but_full_runs_enforce_them() {
+        let baseline = Baseline::parse(BASELINE).unwrap();
+        // Quick run: the ops_per_sec gate (quick_gate: false) does not
+        // apply, so a slow quick run still passes.
+        let quick = report_with(
+            "ext_swarm",
+            true,
+            &[("allocs_per_op@1000", 10.0), ("ops_per_sec@1000", 100.0)],
+        );
+        assert!(baseline.check(&[quick]).is_empty());
+        // Full run: the same throughput now violates min_ratio 0.9.
+        let full = report_with(
+            "ext_swarm",
+            false,
+            &[("allocs_per_op@1000", 10.0), ("ops_per_sec@1000", 100.0)],
+        );
+        let violations = baseline.check(&[full]);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("ops_per_sec"), "{violations:?}");
+    }
+
+    #[test]
+    fn missing_metrics_and_reports_are_violations() {
+        let baseline = Baseline::parse(BASELINE).unwrap();
+        let empty = report_with("ext_swarm", true, &[]);
+        let violations = baseline.check(&[empty]);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("missing"), "{violations:?}");
+        let none: &[BenchReport] = &[];
+        let violations = baseline.check(none);
+        assert!(violations.iter().any(|v| v.contains("no BENCH_")), "{violations:?}");
+    }
+}

@@ -20,7 +20,7 @@ use morena_ndef::NdefMessage;
 use morena_nfc_sim::controller::NfcHandle;
 use morena_nfc_sim::error::NfcOpError;
 use morena_nfc_sim::world::NfcEvent;
-use morena_obs::EventKind;
+use morena_obs::{EventKind, MemFootprint};
 use parking_lot::Mutex;
 
 use crate::context::MorenaContext;
@@ -92,6 +92,12 @@ pub struct Beamer<C: TagDataConverter> {
 impl<C: TagDataConverter> Clone for Beamer<C> {
     fn clone(&self) -> Beamer<C> {
         Beamer { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<C: TagDataConverter> MemFootprint for Beamer<C> {
+    fn mem_bytes(&self) -> u64 {
+        std::mem::size_of::<BeamerInner<C>>() as u64 + self.inner.event_loop.mem_bytes()
     }
 }
 

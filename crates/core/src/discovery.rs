@@ -26,7 +26,7 @@ use morena_ndef::NdefMessage;
 use morena_nfc_sim::tag::{TagTech, TagUid};
 use morena_nfc_sim::world::NfcEvent;
 use morena_obs::inspect::{ComponentSnapshot, DiscoverySnapshot, SnapshotProvider};
-use morena_obs::EventKind;
+use morena_obs::{EventKind, MemFootprint};
 use parking_lot::Mutex;
 
 use crate::context::MorenaContext;
@@ -76,6 +76,17 @@ impl<C: TagDataConverter> Drop for DiscovererInner<C> {
     }
 }
 
+impl<C: TagDataConverter> MemFootprint for DiscovererInner<C> {
+    fn mem_bytes(&self) -> u64 {
+        // The identity map's own storage. Each entry's reference is an
+        // `Arc` into an event loop that reports its own bytes through
+        // its loop snapshot, so only the map slot is attributed here.
+        let entries = self.references.lock().capacity() as u64;
+        std::mem::size_of::<Self>() as u64
+            + entries * std::mem::size_of::<(TagUid, TagReference<C>)>() as u64
+    }
+}
+
 impl<C: TagDataConverter> SnapshotProvider for DiscovererInner<C> {
     fn snapshot(&self, _now_nanos: u64) -> ComponentSnapshot {
         let (live, closed) = {
@@ -88,6 +99,7 @@ impl<C: TagDataConverter> SnapshotProvider for DiscovererInner<C> {
             mime: self.converter.mime_type().to_owned(),
             live_refs: live,
             closed_refs: closed,
+            mem_bytes: self.mem_bytes(),
         })
     }
 }

@@ -37,7 +37,9 @@ use morena_android_sim::looper::Handler;
 use morena_nfc_sim::clock::{Clock, SimInstant, WaitSignal};
 use morena_nfc_sim::error::NfcOpError;
 use morena_obs::inspect::{ComponentSnapshot, HeadOp, LoopSnapshot, SnapshotProvider};
-use morena_obs::{AttemptOutcome, Counter, EventKind, Histogram, OpKind, OpOutcome, Recorder};
+use morena_obs::{
+    AttemptOutcome, Counter, EventKind, Histogram, MemFootprint, OpKind, OpOutcome, Recorder,
+};
 use parking_lot::Mutex;
 
 use crate::context::MorenaContext;
@@ -523,6 +525,34 @@ impl Shared {
     }
 }
 
+impl PendingOp {
+    /// Heap bytes this op drags along beyond its own struct: the
+    /// payload buffer. The two boxed listeners count only their fat
+    /// pointers (already inside the struct) — closure environments are
+    /// opaque, and in practice a few machine words.
+    fn payload_bytes(&self) -> u64 {
+        match &self.request {
+            OpRequest::Write(bytes) | OpRequest::Push(bytes) => bytes.capacity() as u64,
+            OpRequest::Read | OpRequest::MakeReadOnly => 0,
+        }
+    }
+}
+
+impl MemFootprint for Shared {
+    fn mem_bytes(&self) -> u64 {
+        let (slots, payloads) = {
+            let queue = self.queue.lock();
+            let payloads: u64 = queue.iter().map(PendingOp::payload_bytes).sum();
+            (queue.capacity() as u64, payloads)
+        };
+        std::mem::size_of::<Shared>() as u64
+            + slots * std::mem::size_of::<PendingOp>() as u64
+            + payloads
+            + self.obs.loop_name.capacity() as u64
+            + self.obs.target.capacity() as u64
+    }
+}
+
 impl SnapshotProvider for Shared {
     fn snapshot(&self, now_nanos: u64) -> ComponentSnapshot {
         let (queue_depth, head) = {
@@ -555,6 +585,7 @@ impl SnapshotProvider for Shared {
             queue_depth,
             connected: self.executor.connected(),
             head,
+            mem_bytes: self.mem_bytes(),
         })
     }
 }
@@ -722,6 +753,12 @@ impl EventLoop {
     /// Lifetime statistics.
     pub(crate) fn stats(&self) -> Arc<OpStats> {
         Arc::clone(&self.shared.stats)
+    }
+
+    /// Best-effort deep bytes of the loop state machine (queue slots,
+    /// pending payloads, name strings) — see [`MemFootprint`].
+    pub(crate) fn mem_bytes(&self) -> u64 {
+        self.shared.mem_bytes()
     }
 
     /// Whether [`EventLoop::stop`] has been called. A stopped loop never
@@ -1282,6 +1319,27 @@ mod tests {
         assert!(metrics.counter("scheduler.wakeups") >= 1, "the submit wake was counted");
         assert!(metrics.histogram("scheduler.poll_ns").unwrap().count() >= 1);
         assert_eq!(metrics.gauge("scheduler.shard_depth"), 0, "queues drained");
+    }
+
+    #[test]
+    fn mem_footprint_grows_with_queued_payloads() {
+        let f = Fixture::new(Arc::new(SystemClock::new()), LoopConfig::default());
+        f.connected.store(false, Ordering::SeqCst);
+        let empty = f.event_loop.shared.mem_bytes();
+        assert!(empty >= std::mem::size_of::<Shared>() as u64);
+        for _ in 0..16 {
+            f.submit(OpRequest::Write(vec![0u8; 1024]), None);
+        }
+        let populated = f.event_loop.shared.mem_bytes();
+        assert!(
+            populated >= empty + 16 * 1024,
+            "populated queue must outweigh the empty one: {populated} vs {empty}"
+        );
+        // The snapshot surfaces the same figure.
+        match f.event_loop.shared.snapshot(0) {
+            ComponentSnapshot::Loop(l) => assert_eq!(l.mem_bytes, populated),
+            other => panic!("unexpected snapshot {other:?}"),
+        }
     }
 
     #[test]

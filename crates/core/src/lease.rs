@@ -26,7 +26,7 @@ use morena_nfc_sim::controller::NfcHandle;
 use morena_nfc_sim::error::NfcOpError;
 use morena_nfc_sim::tag::TagUid;
 use morena_obs::inspect::{ComponentSnapshot, LeaseSnapshot, SnapshotProvider};
-use morena_obs::{EventKind, LeaseAction};
+use morena_obs::{EventKind, LeaseAction, MemFootprint};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -193,6 +193,14 @@ struct LeaseLedger {
     held: Mutex<HashMap<TagUid, SimInstant>>,
 }
 
+impl MemFootprint for LeaseLedger {
+    fn mem_bytes(&self) -> u64 {
+        let entries = self.held.lock().capacity() as u64;
+        std::mem::size_of::<Self>() as u64
+            + entries * std::mem::size_of::<(TagUid, SimInstant)>() as u64
+    }
+}
+
 impl SnapshotProvider for LeaseLedger {
     fn snapshot(&self, now_nanos: u64) -> ComponentSnapshot {
         let mut held: Vec<(String, u64)> = {
@@ -203,7 +211,11 @@ impl SnapshotProvider for LeaseLedger {
             map.iter().map(|(uid, expires)| (uid.to_string(), expires.as_nanos())).collect()
         };
         held.sort();
-        ComponentSnapshot::Leases(LeaseSnapshot { device: self.device.to_string(), held })
+        ComponentSnapshot::Leases(LeaseSnapshot {
+            device: self.device.to_string(),
+            held,
+            mem_bytes: self.mem_bytes(),
+        })
     }
 }
 

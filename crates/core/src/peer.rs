@@ -22,7 +22,7 @@ use morena_ndef::NdefMessage;
 use morena_nfc_sim::controller::NfcHandle;
 use morena_nfc_sim::error::NfcOpError;
 use morena_nfc_sim::world::{obs_peer_target, NfcEvent, PhoneId};
-use morena_obs::EventKind;
+use morena_obs::{EventKind, MemFootprint};
 use parking_lot::Mutex;
 
 use crate::context::MorenaContext;
@@ -98,6 +98,12 @@ pub struct PeerReference<C: TagDataConverter> {
 impl<C: TagDataConverter> Clone for PeerReference<C> {
     fn clone(&self) -> PeerReference<C> {
         PeerReference { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<C: TagDataConverter> MemFootprint for PeerReference<C> {
+    fn mem_bytes(&self) -> u64 {
+        std::mem::size_of::<PeerRefInner<C>>() as u64 + self.inner.event_loop.mem_bytes()
     }
 }
 

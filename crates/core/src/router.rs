@@ -21,6 +21,7 @@ use std::time::Duration;
 use crossbeam::channel::RecvTimeoutError;
 use morena_nfc_sim::controller::NfcHandle;
 use morena_nfc_sim::world::NfcEvent;
+use morena_obs::MemFootprint;
 use parking_lot::Mutex;
 
 type RouteFn = Arc<dyn Fn(&NfcEvent) + Send + Sync>;
@@ -39,6 +40,17 @@ pub(crate) struct EventRouter {
 impl std::fmt::Debug for EventRouter {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventRouter").field("routes", &self.inner.routes.lock().len()).finish()
+    }
+}
+
+impl MemFootprint for EventRouter {
+    fn mem_bytes(&self) -> u64 {
+        // Route closures are opaque `Arc<dyn Fn>`s; their environments
+        // (typically a channel sender plus a uid) are attributed as the
+        // slot's fat pointer only — best-effort, per the trait contract.
+        let slots = self.inner.routes.lock().capacity() as u64;
+        std::mem::size_of::<RouterInner>() as u64
+            + slots * std::mem::size_of::<(u64, RouteFn)>() as u64
     }
 }
 
@@ -138,6 +150,19 @@ mod tests {
         drop(guard);
         world.tap_tag(uid, phone);
         assert!(rx.recv_timeout(Duration::from_millis(120)).is_err(), "route unregistered");
+    }
+
+    #[test]
+    fn mem_footprint_tracks_route_slots() {
+        let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 0);
+        let phone = world.add_phone("alice");
+        let nfc = NfcHandle::new(world.clone(), phone);
+        let router = EventRouter::spawn(&nfc);
+        let empty = router.mem_bytes();
+        assert!(empty >= std::mem::size_of::<RouterInner>() as u64);
+        let guards: Vec<_> = (0..32).map(|_| router.register(|_| {})).collect();
+        assert!(router.mem_bytes() > empty, "32 routes must enlarge the table");
+        drop(guards);
     }
 
     #[test]

@@ -39,7 +39,7 @@ use std::sync::Arc;
 
 use morena_nfc_sim::clock::{Clock, SimInstant, WaitSignal};
 use morena_obs::inspect::{ComponentSnapshot, ShardSnapshot, SnapshotProvider};
-use morena_obs::{Counter, Gauge, Histogram, Recorder};
+use morena_obs::{Counter, Gauge, Histogram, MemFootprint, Recorder};
 use parking_lot::Mutex;
 
 /// What a loop wants from the scheduler after one poll.
@@ -150,14 +150,29 @@ pub(crate) struct Shard {
     last_poll: AtomicU64,
 }
 
+impl MemFootprint for Shard {
+    fn mem_bytes(&self) -> u64 {
+        // The worker's timer heap lives on its stack, out of reach; the
+        // shard's own heap footprint is the ready queue's slot array
+        // (tasks report their own bytes through their loop snapshots).
+        std::mem::size_of::<Shard>() as u64
+            + (self.ready.lock().capacity() * std::mem::size_of::<Arc<dyn PollTask>>()) as u64
+    }
+}
+
 impl SnapshotProvider for Shard {
     fn snapshot(&self, now_nanos: u64) -> ComponentSnapshot {
         let last_poll = self.last_poll.load(Ordering::Relaxed);
+        // Hoisted out of the literal: a `.lock()` temporary inside it
+        // would still be held when `mem_bytes` re-locks `ready`.
+        let run_queue = self.ready.lock().len();
+        let mem_bytes = self.mem_bytes();
         ComponentSnapshot::Shard(ShardSnapshot {
             index: self.index,
             loops_owned: self.owned.load(Ordering::Relaxed),
-            run_queue: self.ready.lock().len(),
+            run_queue,
             since_poll_nanos: (last_poll != u64::MAX).then(|| now_nanos.saturating_sub(last_poll)),
+            mem_bytes,
         })
     }
 }

@@ -28,6 +28,7 @@ use morena_nfc_sim::controller::NfcHandle;
 use morena_nfc_sim::error::NfcOpError;
 use morena_nfc_sim::tag::{TagTech, TagUid};
 use morena_nfc_sim::world::NfcEvent;
+use morena_obs::MemFootprint;
 use parking_lot::Mutex;
 
 use crate::context::MorenaContext;
@@ -163,6 +164,24 @@ pub struct TagReference<C: TagDataConverter> {
 impl<C: TagDataConverter> Clone for TagReference<C> {
     fn clone(&self) -> TagReference<C> {
         TagReference { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<C: TagDataConverter> MemFootprint for TagReference<C> {
+    fn mem_bytes(&self) -> u64 {
+        // Cached values and observer closures are attributed shallowly
+        // (slot sizes only) — best-effort, per the trait contract.
+        let cache = if self.inner.cache.lock().is_some() {
+            std::mem::size_of::<C::Value>() as u64
+        } else {
+            0
+        };
+        let observers = self.inner.observers.lock().capacity() as u64
+            * std::mem::size_of::<Arc<ConnectivityObserver<C>>>() as u64;
+        std::mem::size_of::<RefInner<C>>() as u64
+            + cache
+            + observers
+            + self.inner.event_loop.mem_bytes()
     }
 }
 

@@ -48,6 +48,7 @@
 //!             queue_depth: 0,
 //!             connected: true,
 //!             head: None,
+//!             mem_bytes: 256,
 //!         })
 //!     }
 //! }
@@ -69,8 +70,8 @@ use std::fmt;
 use std::sync::{Mutex, Weak};
 
 use crate::json::ObjectWriter;
-use crate::metrics::fmt_nanos;
 use crate::metrics::MetricsSnapshot;
+use crate::metrics::{fmt_bytes, fmt_nanos};
 
 /// A live component that can describe itself cheaply.
 ///
@@ -118,6 +119,9 @@ pub struct LoopSnapshot {
     pub connected: bool,
     /// The in-flight op, if any.
     pub head: Option<HeadOp>,
+    /// Best-effort deep bytes held by the loop (struct, queue,
+    /// payloads). See [`MemFootprint`](crate::profile::MemFootprint).
+    pub mem_bytes: u64,
 }
 
 /// One scheduler shard's live state.
@@ -132,6 +136,9 @@ pub struct ShardSnapshot {
     /// Nanoseconds since the shard's worker last completed a poll pass
     /// (`None` before the first pass).
     pub since_poll_nanos: Option<u64>,
+    /// Best-effort deep bytes held by the shard's own structures (the
+    /// ready queue) — not the loops it polls, which report themselves.
+    pub mem_bytes: u64,
 }
 
 /// A discoverer's identity-map state.
@@ -145,6 +152,9 @@ pub struct DiscoverySnapshot {
     pub live_refs: usize,
     /// Closed references awaiting their sweep.
     pub closed_refs: usize,
+    /// Best-effort deep bytes held by the identity map itself (the
+    /// references' loops report their own bytes).
+    pub mem_bytes: u64,
 }
 
 /// A lease manager's held leases.
@@ -154,6 +164,8 @@ pub struct LeaseSnapshot {
     pub device: String,
     /// Held leases as `(tag uid, expiry nanos)`.
     pub held: Vec<(String, u64)>,
+    /// Best-effort deep bytes held by the ledger.
+    pub mem_bytes: u64,
 }
 
 /// One phone's radio ground truth, as the simulator sees it.
@@ -230,6 +242,22 @@ impl InspectorSnapshot {
             ComponentSnapshot::Shard(s) => Some(s),
             _ => None,
         })
+    }
+
+    /// Sum of every component's reported `mem_bytes` — the live
+    /// best-effort footprint of the middleware structures (the
+    /// simulated world's ground truth carries no byte figure).
+    pub fn total_mem_bytes(&self) -> u64 {
+        self.components
+            .iter()
+            .map(|c| match &c.state {
+                ComponentSnapshot::Loop(l) => l.mem_bytes,
+                ComponentSnapshot::Shard(s) => s.mem_bytes,
+                ComponentSnapshot::Discovery(d) => d.mem_bytes,
+                ComponentSnapshot::Leases(l) => l.mem_bytes,
+                ComponentSnapshot::World(_) => 0,
+            })
+            .sum()
     }
 }
 
@@ -511,7 +539,12 @@ impl Watchdog {
 
         findings.sort_by_key(|f| std::cmp::Reverse(f.health));
         let health = findings.iter().map(|f| f.health).max().unwrap_or(Health::Healthy);
-        HealthReport { at_nanos: snapshot.at_nanos, health, findings }
+        HealthReport {
+            at_nanos: snapshot.at_nanos,
+            health,
+            findings,
+            total_mem_bytes: snapshot.total_mem_bytes(),
+        }
     }
 }
 
@@ -524,6 +557,9 @@ pub struct HealthReport {
     pub health: Health,
     /// Every rule firing, most severe first.
     pub findings: Vec<Finding>,
+    /// Total best-effort middleware footprint at snapshot time (see
+    /// [`InspectorSnapshot::total_mem_bytes`]).
+    pub total_mem_bytes: u64,
 }
 
 impl HealthReport {
@@ -546,6 +582,7 @@ impl HealthReport {
         w.u64("at_ns", self.at_nanos)
             .str("health", self.health.label())
             .u64("finding_count", self.findings.len() as u64)
+            .u64("mem_bytes", self.total_mem_bytes)
             .raw("findings", &findings);
         w.finish()
     }
@@ -565,15 +602,16 @@ fn pad(out: &mut String, text: &str, width: usize) {
 pub fn render_top(snapshot: &InspectorSnapshot, report: &HealthReport) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "morena-top @ {}  health: {}\n",
+        "morena-top @ {}  health: {}  mem: {}\n",
         fmt_nanos(snapshot.at_nanos),
-        report.health.label().to_uppercase()
+        report.health.label().to_uppercase(),
+        fmt_bytes(snapshot.total_mem_bytes()),
     ));
 
     let loops: Vec<&LoopSnapshot> = snapshot.loops().collect();
     if !loops.is_empty() {
-        let header = ["LOOP", "KIND", "CONN", "QUEUE", "HEAD OP", "AGE/BUDGET", "TRIES"];
-        let mut rows: Vec<[String; 7]> = Vec::with_capacity(loops.len());
+        let header = ["LOOP", "KIND", "CONN", "QUEUE", "MEM", "HEAD OP", "AGE/BUDGET", "TRIES"];
+        let mut rows: Vec<[String; 8]> = Vec::with_capacity(loops.len());
         for l in &loops {
             let (head_op, age, tries) = match &l.head {
                 Some(h) => (
@@ -588,12 +626,13 @@ pub fn render_top(snapshot: &InspectorSnapshot, report: &HealthReport) -> String
                 l.kind.to_string(),
                 if l.connected { "yes".into() } else { "no".into() },
                 l.queue_depth.to_string(),
+                fmt_bytes(l.mem_bytes),
                 head_op,
                 age,
                 tries,
             ]);
         }
-        let mut widths = [0usize; 7];
+        let mut widths = [0usize; 8];
         for (i, h) in header.iter().enumerate() {
             widths[i] = h.chars().count();
         }
@@ -622,14 +661,22 @@ pub fn render_top(snapshot: &InspectorSnapshot, report: &HealthReport) -> String
                     None => "never".into(),
                 };
                 out.push_str(&format!(
-                    "shard {}: owned {}, runnable {}, last poll {} ago\n",
-                    s.index, s.loops_owned, s.run_queue, since
+                    "shard {}: owned {}, runnable {}, last poll {} ago, mem {}\n",
+                    s.index,
+                    s.loops_owned,
+                    s.run_queue,
+                    since,
+                    fmt_bytes(s.mem_bytes)
                 ));
             }
             ComponentSnapshot::Discovery(d) => {
                 out.push_str(&format!(
-                    "discovery phone-{} ({}): {} live, {} closed\n",
-                    d.phone, d.mime, d.live_refs, d.closed_refs
+                    "discovery phone-{} ({}): {} live, {} closed, mem {}\n",
+                    d.phone,
+                    d.mime,
+                    d.live_refs,
+                    d.closed_refs,
+                    fmt_bytes(d.mem_bytes)
                 ));
             }
             ComponentSnapshot::Leases(l) => {
@@ -703,6 +750,7 @@ mod tests {
             queue_depth: 0,
             connected: true,
             head: None,
+            mem_bytes: 512,
         }
     }
 
@@ -797,14 +845,22 @@ mod tests {
             loops_owned: 4,
             run_queue: 2,
             since_poll_nanos: Some(10_000),
+            mem_bytes: 0,
         };
         let wedged = ShardSnapshot {
             index: 1,
             loops_owned: 4,
             run_queue: 1,
             since_poll_nanos: Some(5_000_000_000),
+            mem_bytes: 0,
         };
-        let idle = ShardSnapshot { index: 2, loops_owned: 0, run_queue: 0, since_poll_nanos: None };
+        let idle = ShardSnapshot {
+            index: 2,
+            loops_owned: 0,
+            run_queue: 0,
+            since_poll_nanos: None,
+            mem_bytes: 0,
+        };
         let snap = InspectorSnapshot {
             at_nanos: 0,
             components: [fine, wedged, idle]
@@ -870,6 +926,44 @@ mod tests {
         assert!(json.starts_with("{\"at_ns\":42,\"health\":\"stalled\""));
         assert!(json.contains("\"rule\":\"head_op_stall\""));
         assert!(json.ends_with('}'));
+    }
+
+    #[test]
+    fn total_mem_rolls_up_across_component_kinds() {
+        let snap = InspectorSnapshot {
+            at_nanos: 0,
+            components: vec![
+                ComponentEntry {
+                    id: "tag-1".into(),
+                    state: ComponentSnapshot::Loop(idle_loop("tag-1")), // 512
+                },
+                ComponentEntry {
+                    id: "shard-0".into(),
+                    state: ComponentSnapshot::Shard(ShardSnapshot {
+                        index: 0,
+                        loops_owned: 1,
+                        run_queue: 0,
+                        since_poll_nanos: None,
+                        mem_bytes: 128,
+                    }),
+                },
+                ComponentEntry {
+                    id: "disco".into(),
+                    state: ComponentSnapshot::Discovery(DiscoverySnapshot {
+                        phone: 0,
+                        mime: "text/plain".into(),
+                        live_refs: 1,
+                        closed_refs: 0,
+                        mem_bytes: 64,
+                    }),
+                },
+            ],
+        };
+        assert_eq!(snap.total_mem_bytes(), 512 + 128 + 64);
+        let report = Watchdog::default().evaluate(&snap);
+        assert_eq!(report.total_mem_bytes, 704);
+        assert!(report.to_json().contains("\"mem_bytes\":704"));
+        assert!(render_top(&snap, &report).contains("mem:"));
     }
 
     #[test]

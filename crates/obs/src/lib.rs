@@ -31,6 +31,10 @@
 //! * [`OpStats`] / [`OpStatsSnapshot`] — the per-event-loop lifetime
 //!   counters (previously private to `morena-core`), so there is one
 //!   stats path, not two.
+//! * [`profile`] — the [`MemFootprint`] sizing trait behind the live
+//!   `mem_bytes` figures, and (behind the `alloc-profile` feature) a
+//!   counting global allocator with [`AllocScope`] regions so benches
+//!   can assert allocations per operation.
 //!
 //! The crate is deliberately dependency-free (std only) and knows
 //! nothing about the middleware or the simulator: identities are plain
@@ -66,7 +70,13 @@
 //! assert_eq!(recorder.metrics().snapshot().counter("ops.submitted"), 1);
 //! ```
 
-#![forbid(unsafe_code)]
+// The crate is unsafe-free except for the opt-in tracking allocator
+// (`profile`, behind the `alloc-profile` feature), whose `GlobalAlloc`
+// impl is irreducibly unsafe. The default build keeps the hard forbid;
+// the profiling build downgrades to `deny` so that one module can
+// carry a scoped `allow` with its safety comment.
+#![cfg_attr(not(feature = "alloc-profile"), forbid(unsafe_code))]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chrome;
@@ -76,6 +86,7 @@ pub mod inspect;
 mod json;
 pub mod metrics;
 pub mod opstats;
+pub mod profile;
 pub mod recorder;
 pub mod sink;
 
@@ -88,5 +99,6 @@ pub use inspect::{
 };
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use opstats::{OpStats, OpStatsSnapshot};
+pub use profile::{AllocScope, AllocStats, MemFootprint};
 pub use recorder::{Recorder, Span};
 pub use sink::{JsonlSink, NullSink, ObsSink, RingSink, TeeSink};

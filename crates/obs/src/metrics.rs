@@ -218,6 +218,28 @@ impl HistogramSnapshot {
         self.quantile(0.99)
     }
 
+    /// Bucket-wise difference `self - earlier`, for per-window
+    /// quantiles from two cumulative snapshots of the same histogram.
+    ///
+    /// Counts and the sum subtract saturating; `max_nanos` keeps the
+    /// *later* snapshot's value because a maximum cannot be un-observed
+    /// — the window's true max is unknowable from two cumulative
+    /// snapshots, so the reported one is an upper bound (best-effort,
+    /// exact whenever the window contains the lifetime maximum).
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let counts = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c.saturating_sub(earlier.counts.get(i).copied().unwrap_or(0)))
+            .collect();
+        HistogramSnapshot {
+            counts,
+            sum_nanos: self.sum_nanos.saturating_sub(earlier.sum_nanos),
+            max_nanos: self.max_nanos,
+        }
+    }
+
     fn to_json(&self) -> String {
         let mut w = ObjectWriter::new();
         w.u64("count", self.count())
@@ -335,6 +357,37 @@ impl MetricsSnapshot {
         self.histograms.get(name)
     }
 
+    /// The change since `earlier`: counters subtract (saturating),
+    /// histograms subtract bucket-wise (see
+    /// [`HistogramSnapshot::delta`]), gauges keep this snapshot's
+    /// values (a level, not a flow, has no meaningful difference).
+    ///
+    /// Metrics absent from `earlier` are treated as starting at zero,
+    /// so a window that first touches a metric reports its full value.
+    /// This is how benches report per-window rates instead of
+    /// process-lifetime totals.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(name, &v)| (name.clone(), v.saturating_sub(earlier.counter(name))))
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(name, hist)| {
+                    let windowed = match earlier.histograms.get(name) {
+                        Some(prev) => hist.delta(prev),
+                        None => hist.clone(),
+                    };
+                    (name.clone(), windowed)
+                })
+                .collect(),
+        }
+    }
+
     /// Render the snapshot as one JSON object:
     /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
     pub fn to_json(&self) -> String {
@@ -392,6 +445,21 @@ pub fn fmt_nanos(nanos: u64) -> String {
         format!("{:.1}us", nanos as f64 / 1e3)
     } else {
         format!("{nanos}ns")
+    }
+}
+
+/// Format a byte quantity with a human unit (`12.3MiB`).
+pub fn fmt_bytes(bytes: u64) -> String {
+    const KIB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b >= KIB * KIB * KIB {
+        format!("{:.2}GiB", b / (KIB * KIB * KIB))
+    } else if b >= KIB * KIB {
+        format!("{:.1}MiB", b / (KIB * KIB))
+    } else if b >= KIB {
+        format!("{:.1}KiB", b / KIB)
+    } else {
+        format!("{bytes}B")
     }
 }
 
@@ -553,6 +621,53 @@ mod tests {
         assert_eq!(reg.gauge("g").get(), 3);
         reg.histogram("h").observe(10);
         assert_eq!(reg.histogram("h").snapshot().count(), 1);
+    }
+
+    #[test]
+    fn histogram_delta_reports_the_window_only() {
+        let h = Histogram::new();
+        h.observe(1_500);
+        h.observe(1_500);
+        let earlier = h.snapshot();
+        h.observe(1_500);
+        h.observe(40_000_000);
+        let windowed = h.snapshot().delta(&earlier);
+        assert_eq!(windowed.count(), 2);
+        assert_eq!(windowed.counts[1], 1); // one more in (1us, 2us]
+        assert_eq!(windowed.sum_nanos, 1_500 + 40_000_000);
+        // Max is best-effort: the later snapshot's lifetime max, which
+        // here happens to be exact because the window contains it.
+        assert_eq!(windowed.max_nanos, 40_000_000);
+        let p99 = windowed.p99().unwrap();
+        assert!((20_000_000..=50_000_000).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_counters_and_keeps_gauges() {
+        let reg = MetricsRegistry::new();
+        reg.counter("ops.completed").add(10);
+        reg.gauge("queue.depth").set(7);
+        let earlier = reg.snapshot();
+        reg.counter("ops.completed").add(5);
+        reg.counter("ops.retried").add(2); // born inside the window
+        reg.gauge("queue.depth").set(3);
+        reg.histogram("op.total_ns").observe(1_000);
+        let windowed = reg.snapshot().delta(&earlier);
+        assert_eq!(windowed.counter("ops.completed"), 5);
+        assert_eq!(windowed.counter("ops.retried"), 2);
+        assert_eq!(windowed.gauge("queue.depth"), 3);
+        assert_eq!(windowed.histogram("op.total_ns").unwrap().count(), 1);
+        // A counter that went "backwards" (registry swap) saturates.
+        let later = MetricsSnapshot::default();
+        assert_eq!(later.delta(&earlier).counter("ops.completed"), 0);
+    }
+
+    #[test]
+    fn fmt_bytes_picks_human_units() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.0KiB");
+        assert_eq!(fmt_bytes(5 * 1024 * 1024), "5.0MiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024 * 1024), "3.00GiB");
     }
 
     #[test]

@@ -1,0 +1,365 @@
+//! Allocation profiling and memory-footprint accounting.
+//!
+//! Two independent facilities live here:
+//!
+//! * [`MemFootprint`] — a "deep bytes, best-effort" sizing trait that
+//!   hot middleware structures implement so live snapshots can carry a
+//!   `mem_bytes` figure (and benches can report bytes per reference).
+//!   Always available; costs nothing unless called.
+//! * [`AllocScope`] / the tracking allocator — a counting wrapper
+//!   around the system allocator, compiled in only under the
+//!   `alloc-profile` feature. With the feature on, every allocation
+//!   bumps a process-global and a thread-local counter pair, and an
+//!   `AllocScope` measures the delta over a region so benches and
+//!   tests can assert allocations-per-operation. With the feature off
+//!   the same API exists but every reading is zero, the process keeps
+//!   the stock allocator, and the crate keeps `forbid(unsafe_code)` —
+//!   zero overhead, verifiably (see the crate tests).
+//!
+//! # Scope semantics
+//!
+//! A scope is a *baseline*: it captures the counters at construction
+//! and reports `current - baseline`. That makes nesting **inclusive**
+//! — an inner scope's allocations are also visible to any enclosing
+//! scope — which is what per-phase bench accounting wants. Thread
+//! scopes ([`AllocScope::thread`]) read thread-local counters, so
+//! allocations made by *other* threads never leak into them; global
+//! scopes ([`AllocScope::global`]) read the process-wide totals, which
+//! is the right tool when the measured work runs on a worker pool.
+//!
+//! # Examples
+//!
+//! ```
+//! use morena_obs::profile::AllocScope;
+//!
+//! let scope = AllocScope::thread();
+//! let v = std::hint::black_box(vec![0u8; 4096]);
+//! let stats = scope.stats();
+//! # let _ = v;
+//! // With `alloc-profile` on, stats.allocs >= 1 and stats.bytes >= 4096;
+//! // without it, both are 0.
+//! if morena_obs::profile::ENABLED {
+//!     assert!(stats.allocs >= 1);
+//!     assert!(stats.bytes >= 4096);
+//! } else {
+//!     assert_eq!(stats.allocs, 0);
+//! }
+//! ```
+
+/// Whether the tracking allocator is compiled into this build.
+///
+/// `false` means [`AllocScope`] readings are always zero and the
+/// process runs on the stock system allocator.
+pub const ENABLED: bool = cfg!(feature = "alloc-profile");
+
+/// Best-effort deep size of a value in bytes: the value itself plus
+/// the heap blocks it uniquely owns.
+///
+/// "Best-effort" is load-bearing: implementations estimate
+/// (`capacity × element size` for containers, shallow size for opaque
+/// trait objects and shared `Arc`s) rather than walk the true
+/// allocation graph, and shared ownership is attributed to exactly one
+/// owner to avoid double counting. The figure is for capacity planning
+/// ("bytes per live reference"), not for exact accounting.
+///
+/// Implementations must be **cheap and non-blocking** when reached
+/// from a [`SnapshotProvider`](crate::inspect::SnapshotProvider): a
+/// few atomic loads and short mutex acquisitions at most, because
+/// snapshots are polled live while the system is under load.
+pub trait MemFootprint {
+    /// Deep size in bytes, best-effort (see the trait docs).
+    fn mem_bytes(&self) -> u64;
+}
+
+impl MemFootprint for String {
+    fn mem_bytes(&self) -> u64 {
+        (std::mem::size_of::<String>() + self.capacity()) as u64
+    }
+}
+
+impl MemFootprint for Vec<u8> {
+    fn mem_bytes(&self) -> u64 {
+        (std::mem::size_of::<Vec<u8>>() + self.capacity()) as u64
+    }
+}
+
+/// Allocation counters over some window: number of allocator calls and
+/// total bytes requested. Deallocations are deliberately not tracked —
+/// this measures allocation *pressure* (work handed to the allocator),
+/// not live heap size; live size is [`MemFootprint`]'s job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocStats {
+    /// Allocator calls (`alloc`, `alloc_zeroed`, and `realloc` each
+    /// count once).
+    pub allocs: u64,
+    /// Bytes requested across those calls (`realloc` counts its new
+    /// size).
+    pub bytes: u64,
+}
+
+impl AllocStats {
+    /// Counter-wise saturating difference (`self - earlier`).
+    pub fn since(&self, earlier: &AllocStats) -> AllocStats {
+        AllocStats {
+            allocs: self.allocs.saturating_sub(earlier.allocs),
+            bytes: self.bytes.saturating_sub(earlier.bytes),
+        }
+    }
+}
+
+/// Totals allocated by the current thread since it started. All zeros
+/// unless the `alloc-profile` feature is on.
+pub fn thread_totals() -> AllocStats {
+    imp::thread_totals()
+}
+
+/// Totals allocated by the whole process since start. All zeros unless
+/// the `alloc-profile` feature is on.
+pub fn global_totals() -> AllocStats {
+    imp::global_totals()
+}
+
+/// Which counter pair an [`AllocScope`] reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ScopeKind {
+    Thread,
+    Global,
+}
+
+/// A measurement region: captures the allocation counters at
+/// construction, reports the delta on [`stats`](AllocScope::stats).
+///
+/// See the [module docs](self) for nesting and cross-thread semantics.
+/// Without the `alloc-profile` feature every reading is zero.
+#[derive(Debug)]
+pub struct AllocScope {
+    base: AllocStats,
+    kind: ScopeKind,
+}
+
+impl AllocScope {
+    /// Scope over the **current thread's** allocations only. Other
+    /// threads' allocations never show up in this scope's stats.
+    pub fn thread() -> AllocScope {
+        AllocScope { base: thread_totals(), kind: ScopeKind::Thread }
+    }
+
+    /// Scope over **process-wide** allocations. Use this when the
+    /// measured work executes on worker threads (e.g. the sharded
+    /// scheduler); keep the process otherwise quiescent for the
+    /// reading to be attributable.
+    pub fn global() -> AllocScope {
+        AllocScope { base: global_totals(), kind: ScopeKind::Global }
+    }
+
+    /// Allocations since this scope was created.
+    pub fn stats(&self) -> AllocStats {
+        let now = match self.kind {
+            ScopeKind::Thread => thread_totals(),
+            ScopeKind::Global => global_totals(),
+        };
+        now.since(&self.base)
+    }
+}
+
+#[cfg(feature = "alloc-profile")]
+mod imp {
+    //! The counting allocator. The only unsafe code in the crate lives
+    //! here, and only when the `alloc-profile` feature is on.
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use super::AllocStats;
+
+    static GLOBAL_ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static GLOBAL_BYTES: AtomicU64 = AtomicU64::new(0);
+
+    thread_local! {
+        // Const-initialized: the first access from inside the allocator
+        // must not itself allocate (a lazy initializer could recurse).
+        static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+        static THREAD_BYTES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    #[inline]
+    fn record(bytes: usize) {
+        GLOBAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        GLOBAL_BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+        // `try_with` instead of `with`: allocations can happen during
+        // TLS teardown, when the slots are already gone. Those land in
+        // the globals only.
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        let _ = THREAD_BYTES.try_with(|c| c.set(c.get() + bytes as u64));
+    }
+
+    pub(super) fn thread_totals() -> AllocStats {
+        AllocStats {
+            allocs: THREAD_ALLOCS.try_with(Cell::get).unwrap_or(0),
+            bytes: THREAD_BYTES.try_with(Cell::get).unwrap_or(0),
+        }
+    }
+
+    pub(super) fn global_totals() -> AllocStats {
+        AllocStats {
+            allocs: GLOBAL_ALLOCS.load(Ordering::Relaxed),
+            bytes: GLOBAL_BYTES.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A pass-through to [`System`] that counts calls and bytes.
+    pub struct TrackingAllocator;
+
+    // SAFETY: every method defers to `System`, which upholds the
+    // `GlobalAlloc` contract; the counting side effects never allocate
+    // (const-init thread locals, relaxed atomics) and never touch the
+    // returned pointers.
+    #[allow(unsafe_code)]
+    unsafe impl GlobalAlloc for TrackingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            record(layout.size());
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            record(layout.size());
+            unsafe { System.alloc_zeroed(layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            record(new_size);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: TrackingAllocator = TrackingAllocator;
+}
+
+#[cfg(not(feature = "alloc-profile"))]
+mod imp {
+    //! Feature off: no allocator swap, no counters, no unsafe. Every
+    //! reading is zero.
+    use super::AllocStats;
+
+    pub(super) fn thread_totals() -> AllocStats {
+        AllocStats::default()
+    }
+
+    pub(super) fn global_totals() -> AllocStats {
+        AllocStats::default()
+    }
+}
+
+#[cfg(feature = "alloc-profile")]
+pub use imp::TrackingAllocator;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_footprint_counts_capacity_not_len() {
+        let mut s = String::with_capacity(256);
+        s.push('x');
+        assert_eq!(s.mem_bytes(), (std::mem::size_of::<String>() + 256) as u64);
+        let v: Vec<u8> = Vec::with_capacity(64);
+        assert_eq!(v.mem_bytes(), (std::mem::size_of::<Vec<u8>>() + 64) as u64);
+    }
+
+    #[test]
+    fn alloc_stats_since_saturates() {
+        let a = AllocStats { allocs: 3, bytes: 100 };
+        let b = AllocStats { allocs: 5, bytes: 50 };
+        assert_eq!(a.since(&b), AllocStats { allocs: 0, bytes: 50 });
+    }
+
+    #[cfg(feature = "alloc-profile")]
+    mod enabled {
+        use super::super::*;
+
+        #[test]
+        fn scope_sees_own_thread_allocations() {
+            let scope = AllocScope::thread();
+            let v = std::hint::black_box(vec![0u8; 8192]);
+            let stats = scope.stats();
+            assert!(stats.allocs >= 1, "no allocations recorded: {stats:?}");
+            assert!(stats.bytes >= 8192, "bytes under-counted: {stats:?}");
+            drop(v);
+        }
+
+        #[test]
+        fn nested_scopes_attribute_inclusively() {
+            let outer = AllocScope::thread();
+            let a = std::hint::black_box(vec![0u8; 4096]);
+            let inner = AllocScope::thread();
+            let b = std::hint::black_box(vec![0u8; 1024]);
+            let inner_stats = inner.stats();
+            let outer_stats = outer.stats();
+            // The inner scope sees only what happened after it opened.
+            assert!(inner_stats.bytes >= 1024);
+            assert!(inner_stats.bytes < 4096, "inner scope absorbed the outer allocation");
+            // The outer scope sees both regions (inclusive nesting).
+            assert!(outer_stats.bytes >= 4096 + 1024);
+            assert!(outer_stats.allocs >= inner_stats.allocs + 1);
+            drop((a, b));
+        }
+
+        #[test]
+        fn cross_thread_allocations_stay_out_of_thread_scopes() {
+            let scope = AllocScope::thread();
+            let quiet = scope.stats();
+            std::thread::spawn(|| {
+                std::hint::black_box(vec![0u8; 1 << 20]);
+            })
+            .join()
+            .unwrap();
+            let after = scope.stats();
+            // The other thread's megabyte must not appear here. The
+            // join machinery may allocate a little on this thread, so
+            // allow slack well below the foreign allocation's size.
+            assert!(
+                after.bytes.saturating_sub(quiet.bytes) < 1 << 19,
+                "foreign allocation leaked into a thread scope: {after:?} vs {quiet:?}"
+            );
+        }
+
+        #[test]
+        fn global_scope_sees_other_threads() {
+            let scope = AllocScope::global();
+            std::thread::spawn(|| {
+                std::hint::black_box(vec![0u8; 1 << 20]);
+            })
+            .join()
+            .unwrap();
+            let stats = scope.stats();
+            assert!(stats.bytes >= 1 << 20, "global scope missed a worker allocation: {stats:?}");
+        }
+    }
+
+    #[cfg(not(feature = "alloc-profile"))]
+    mod disabled {
+        use super::super::*;
+
+        /// The zero-overhead contract: with the feature off, no
+        /// counter exists — allocate as much as you like, every scope
+        /// and total reads zero, and `ENABLED` is `false` so callers
+        /// can detect the stub at compile time.
+        #[test]
+        fn disabled_profile_reads_zero_despite_allocations() {
+            assert!(!ENABLED);
+            let scope = AllocScope::thread();
+            let global = AllocScope::global();
+            let v = std::hint::black_box(vec![0u8; 1 << 20]);
+            assert_eq!(scope.stats(), AllocStats::default());
+            assert_eq!(global.stats(), AllocStats::default());
+            assert_eq!(thread_totals(), AllocStats::default());
+            assert_eq!(global_totals(), AllocStats::default());
+            drop(v);
+        }
+    }
+}
