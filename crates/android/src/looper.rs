@@ -43,6 +43,22 @@ impl Handler {
         self.tx.send(Message::Run(Box::new(task))).is_ok()
     }
 
+    /// Posts a task, handing it back instead of dropping it when the
+    /// looper has quit — the caller decides what a dead main thread
+    /// means (MORENA's event loops run terminal listeners inline rather
+    /// than lose them during teardown).
+    pub fn post_or_take(
+        &self,
+        task: impl FnOnce() + Send + 'static,
+    ) -> Result<(), Box<dyn FnOnce() + Send + 'static>> {
+        self.posted.fetch_add(1, Ordering::Relaxed);
+        match self.tx.send(Message::Run(Box::new(task))) {
+            Ok(()) => Ok(()),
+            Err(crossbeam::channel::SendError(Message::Run(task))) => Err(task),
+            Err(crossbeam::channel::SendError(Message::Quit)) => unreachable!("sent Run"),
+        }
+    }
+
     /// Total tasks ever posted through this looper (all handlers).
     pub fn posted_count(&self) -> u64 {
         self.posted.load(Ordering::Relaxed)
@@ -214,6 +230,24 @@ mod tests {
         // the strong guarantee is that drop() joins cleanly.
         drop(main);
         let _ = accepted;
+    }
+
+    #[test]
+    fn post_or_take_returns_the_task_once_the_channel_is_dead() {
+        let handler = {
+            let looper = Looper::new();
+            looper.handler()
+            // The looper (and its receiver) drop here.
+        };
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran2 = Arc::clone(&ran);
+        match handler.post_or_take(move || {
+            ran2.fetch_add(1, Ordering::SeqCst);
+        }) {
+            Ok(()) => panic!("channel is dead; the task must come back"),
+            Err(task) => task(),
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 1, "recovered task still runs");
     }
 
     #[test]

@@ -83,12 +83,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let violations = baseline.check(&reports);
+    // A quick run (MORENA_QUICK=1, or every collected report quick)
+    // only enforces quick_gate gates — full-only metrics are skipped,
+    // not reported missing.
+    let quick_run = morena_bench::quick_mode() || reports.iter().all(|r| r.quick);
+    let violations = baseline.check(&reports, quick_run);
     if violations.is_empty() {
         println!(
-            "baseline check: PASS ({} gate(s) from {})",
+            "baseline check: PASS ({} gate(s) from {}{})",
             baseline.gates.len(),
-            baseline_path.display()
+            baseline_path.display(),
+            if quick_run { ", quick gates only" } else { "" }
         );
         ExitCode::SUCCESS
     } else {

@@ -8,6 +8,13 @@
 //! middleware (`morena-*`) threads while the swarm is live, and — for
 //! the sharded policy — reads back the `scheduler.*` metrics.
 //!
+//! A second phase drives the **cached-read hot loop** — one null-executor
+//! event loop per policy, `submit→attempt→complete` with the futures
+//! API and nothing else — and holds its steady state to **zero
+//! allocations per op** (asserted in-process whenever the
+//! `alloc-profile` allocator is compiled in, and gated in CI through
+//! `benches/baseline.json`).
+//!
 //! Flags:
 //!
 //! * `--sizes 100,1000` — comma-separated swarm sizes (default
@@ -20,6 +27,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::unbounded;
 use morena_bench::{cell, print_table, quick_mode, BenchReport};
+use morena_core::bench_hooks::HotLoop;
 use morena_core::context::MorenaContext;
 use morena_core::convert::StringConverter;
 use morena_core::eventloop::LoopConfig;
@@ -29,7 +37,7 @@ use morena_nfc_sim::clock::SystemClock;
 use morena_nfc_sim::link::LinkModel;
 use morena_nfc_sim::tag::{TagTech, TagUid, Type2Tag};
 use morena_nfc_sim::world::World;
-use morena_obs::profile::AllocScope;
+use morena_obs::profile::{self, AllocScope};
 
 const OPS_PER_REF: usize = 2;
 
@@ -171,6 +179,54 @@ fn run(size: usize, policy: ExecutionPolicy, seed: u64) -> RunResult {
     }
 }
 
+struct CachedReadResult {
+    policy: &'static str,
+    ops: usize,
+    elapsed: Duration,
+    allocs: u64,
+}
+
+impl CachedReadResult {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    fn allocs_per_op(&self) -> f64 {
+        self.allocs as f64 / (self.ops as f64).max(1.0)
+    }
+}
+
+/// The raw submit→attempt→complete round over a null executor: the shape
+/// of a cached read, with the simulated world out of the measurement.
+/// After a warm-up that fills the completion-core freelist (and every
+/// queue's high-water capacity), the steady state must not allocate.
+fn run_cached_read(policy: ExecutionPolicy) -> CachedReadResult {
+    let label = match policy {
+        ExecutionPolicy::ThreadPerLoop => "thread-per-loop",
+        ExecutionPolicy::Sharded { .. } => "sharded",
+        _ => "other",
+    };
+    let hot = HotLoop::new(policy);
+    for _ in 0..1_000 {
+        hot.read_once();
+    }
+    let ops = if quick_mode() { 20_000 } else { 200_000 };
+    let scope = AllocScope::global();
+    let started = Instant::now();
+    for _ in 0..ops {
+        hot.read_once();
+    }
+    let elapsed = started.elapsed();
+    let allocs = scope.stats().allocs;
+    if profile::ENABLED {
+        assert_eq!(
+            allocs, 0,
+            "cached-read steady state allocated ({allocs} allocations over {ops} ops, {label})"
+        );
+    }
+    CachedReadResult { policy: label, ops, elapsed, allocs }
+}
+
 fn parse_args() -> (Vec<usize>, Option<String>) {
     let mut sizes = if quick_mode() { vec![100, 1000] } else { vec![100, 1000, 10_000] };
     let mut json = None;
@@ -257,6 +313,37 @@ fn main() {
     for r in &results {
         report.metric(&format!("ops_per_sec@{}_{}", r.size, r.policy), r.ops_per_sec());
         report.metric(&format!("allocs_per_op@{}_{}", r.size, r.policy), r.allocs_per_op());
+    }
+
+    // Phase 2: the futures hot loop, no world attached.
+    let cached: Vec<CachedReadResult> =
+        [ExecutionPolicy::ThreadPerLoop, sharded].into_iter().map(run_cached_read).collect();
+    let rows: Vec<Vec<String>> = cached
+        .iter()
+        .map(|r| {
+            vec![
+                cell(r.policy),
+                cell(r.ops),
+                cell(format!("{:.1}ms", r.elapsed.as_secs_f64() * 1e3)),
+                cell(format!("{:.0}", r.ops_per_sec())),
+                cell(format!("{:.3}", r.allocs_per_op())),
+            ]
+        })
+        .collect();
+    print_table(
+        "EXT-SCHED: cached-read hot loop (null executor, futures API)",
+        &["policy", "ops", "elapsed", "ops/s", "allocs/op"],
+        &rows,
+    );
+    println!(
+        "\nallocs/op above covers the whole submit->attempt->complete round\n\
+         after warm-up; with the alloc-profile allocator compiled in it is\n\
+         asserted to be exactly 0 ({}).",
+        if profile::ENABLED { "enabled in this build" } else { "disabled in this build" }
+    );
+    for r in &cached {
+        report.metric(&format!("ops_per_sec@cached_read_{}", r.policy), r.ops_per_sec());
+        report.metric(&format!("allocs_per_op@cached_read_{}", r.policy), r.allocs_per_op());
     }
     report.write().expect("write BENCH_ext_sched.json");
 }

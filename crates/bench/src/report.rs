@@ -450,6 +450,11 @@ pub struct Gate {
     /// Fail when `current / value` rises above this (cost-style metrics:
     /// smaller is better).
     pub max_ratio: Option<f64>,
+    /// Fail when the current value exceeds this absolute bound. Ratio
+    /// gates cannot express "stays at zero" (any ratio against 0 is
+    /// meaningless), so zero-budget metrics — allocations per op on the
+    /// pooled hot path — gate on `max_value: 0` instead.
+    pub max_value: Option<f64>,
     /// Whether the gate is enforced on `MORENA_QUICK=1` runs too. Gates
     /// on full-scale-only metrics set this to `false` so CI's quick pass
     /// skips them instead of failing on the missing key.
@@ -485,10 +490,11 @@ impl Baseline {
                 value,
                 min_ratio: spec.get("min_ratio").and_then(Json::as_f64),
                 max_ratio: spec.get("max_ratio").and_then(Json::as_f64),
+                max_value: spec.get("max_value").and_then(Json::as_f64),
                 quick_gate: spec.get("quick_gate").and_then(Json::as_bool).unwrap_or(false),
             };
-            if gate.min_ratio.is_none() && gate.max_ratio.is_none() {
-                return Err(format!("gate {key:?} needs min_ratio or max_ratio"));
+            if gate.min_ratio.is_none() && gate.max_ratio.is_none() && gate.max_value.is_none() {
+                return Err(format!("gate {key:?} needs min_ratio, max_ratio, or max_value"));
             }
             gates.push((key.clone(), gate));
         }
@@ -506,12 +512,19 @@ impl Baseline {
     /// violations (empty = pass).
     ///
     /// A gate keyed `bench/metric` binds to the report named `bench`.
-    /// Quick reports are only held to `quick_gate` gates; a gated metric
-    /// that is missing from its bound report is itself a violation —
-    /// silently dropping a metric must not read as a pass.
-    pub fn check(&self, reports: &[BenchReport]) -> Vec<String> {
+    /// On a quick run (`quick_run`, i.e. `MORENA_QUICK=1`), full-only
+    /// gates (`quick_gate: false`) are skipped up front — before the
+    /// report and metric lookups — so a bench that never ran, or a
+    /// metric only emitted at full scale, is not misreported as a
+    /// missing-metric violation. For gates that do apply, a missing
+    /// metric remains a violation: silently dropping a gated metric
+    /// must not read as a pass.
+    pub fn check(&self, reports: &[BenchReport], quick_run: bool) -> Vec<String> {
         let mut violations = Vec::new();
         for (key, gate) in &self.gates {
+            if quick_run && !gate.quick_gate {
+                continue;
+            }
             let Some((bench, metric)) = key.split_once('/') else {
                 violations.push(format!("{key}: gate key is not \"bench/metric\""));
                 continue;
@@ -520,6 +533,9 @@ impl Baseline {
                 violations.push(format!("{key}: no BENCH_{bench}.json report found"));
                 continue;
             };
+            // Also honor the report's own quick flag: a full-mode check
+            // over a directory holding one stale quick report must not
+            // hold that report to full-scale gates.
             if report.quick && !gate.quick_gate {
                 continue;
             }
@@ -527,6 +543,14 @@ impl Baseline {
                 violations.push(format!("{key}: metric missing from report"));
                 continue;
             };
+            if let Some(max) = gate.max_value {
+                if current > max {
+                    violations.push(format!("{key}: {current:.3} exceeds absolute bound {max:.3}"));
+                }
+            }
+            if gate.min_ratio.is_none() && gate.max_ratio.is_none() {
+                continue;
+            }
             if gate.value <= 0.0 {
                 violations.push(format!("{key}: baseline value must be positive"));
                 continue;
@@ -628,12 +652,12 @@ mod tests {
         // A synthetic 2x allocation regression must be caught even on a
         // quick run (the allocs gate is quick_gate).
         let regressed = report_with("ext_swarm", true, &[("allocs_per_op@1000", 20.0)]);
-        let violations = baseline.check(&[regressed]);
+        let violations = baseline.check(&[regressed], true);
         assert_eq!(violations.len(), 1, "{violations:?}");
         assert!(violations[0].contains("allocs_per_op"), "{violations:?}");
 
         let healthy = report_with("ext_swarm", true, &[("allocs_per_op@1000", 9.0)]);
-        assert!(baseline.check(&[healthy]).is_empty());
+        assert!(baseline.check(&[healthy], true).is_empty());
     }
 
     #[test]
@@ -646,27 +670,60 @@ mod tests {
             true,
             &[("allocs_per_op@1000", 10.0), ("ops_per_sec@1000", 100.0)],
         );
-        assert!(baseline.check(&[quick]).is_empty());
+        assert!(baseline.check(&[quick], true).is_empty());
         // Full run: the same throughput now violates min_ratio 0.9.
         let full = report_with(
             "ext_swarm",
             false,
             &[("allocs_per_op@1000", 10.0), ("ops_per_sec@1000", 100.0)],
         );
-        let violations = baseline.check(&[full]);
+        let violations = baseline.check(&[full], false);
         assert_eq!(violations.len(), 1, "{violations:?}");
         assert!(violations[0].contains("ops_per_sec"), "{violations:?}");
+    }
+
+    #[test]
+    fn quick_runs_do_not_flag_full_only_metrics_as_missing() {
+        let baseline = Baseline::parse(BASELINE).unwrap();
+        // The regression this guards: a quick run that never emits the
+        // full-only ops_per_sec metric (or never runs the bench at all)
+        // used to surface as "metric missing" / "no BENCH_ report"
+        // violations instead of being skipped via quick_gate.
+        let quick = report_with("ext_swarm", true, &[("allocs_per_op@1000", 10.0)]);
+        assert!(baseline.check(&[quick], true).is_empty());
+        let none: &[BenchReport] = &[];
+        let only_full_gates = Baseline::parse(
+            r#"{ "metrics": { "ext_swarm/ops_per_sec@1000":
+                { "value": 50000.0, "min_ratio": 0.9, "quick_gate": false } } }"#,
+        )
+        .unwrap();
+        assert!(only_full_gates.check(none, true).is_empty());
+    }
+
+    #[test]
+    fn max_value_gates_bound_absolutely_even_at_zero() {
+        let baseline = Baseline::parse(
+            r#"{ "metrics": { "ext_sched/allocs_per_op@cached_read":
+                { "value": 0.0, "max_value": 0.0, "quick_gate": true } } }"#,
+        )
+        .unwrap();
+        let clean = report_with("ext_sched", true, &[("allocs_per_op@cached_read", 0.0)]);
+        assert!(baseline.check(&[clean], true).is_empty());
+        let leaky = report_with("ext_sched", true, &[("allocs_per_op@cached_read", 0.5)]);
+        let violations = baseline.check(&[leaky], true);
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("absolute bound"), "{violations:?}");
     }
 
     #[test]
     fn missing_metrics_and_reports_are_violations() {
         let baseline = Baseline::parse(BASELINE).unwrap();
         let empty = report_with("ext_swarm", true, &[]);
-        let violations = baseline.check(&[empty]);
+        let violations = baseline.check(&[empty], true);
         assert_eq!(violations.len(), 1, "{violations:?}");
         assert!(violations[0].contains("missing"), "{violations:?}");
         let none: &[BenchReport] = &[];
-        let violations = baseline.check(none);
+        let violations = baseline.check(none, false);
         assert!(violations.iter().any(|v| v.contains("no BENCH_")), "{violations:?}");
     }
 }

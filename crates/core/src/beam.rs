@@ -28,6 +28,7 @@ use crate::convert::TagDataConverter;
 use crate::eventloop::{
     EventLoop, LoopConfig, ObsScope, OpExecutor, OpFailure, OpRequest, OpResponse, OpStats,
 };
+use crate::future::UnitFuture;
 use crate::router::RouteGuard;
 
 struct BeamExecutor {
@@ -211,11 +212,38 @@ impl<C: TagDataConverter> Beamer<C> {
             }
         };
         self.inner.event_loop.submit(
-            OpRequest::Push(bytes),
+            OpRequest::Push(bytes.into()),
             timeout,
             Box::new(move |_| on_success()),
             Box::new(on_failure),
         );
+    }
+
+    /// Queues an asynchronous push of `value` and returns a future
+    /// resolving once it lands on a peer. Conversion failures resolve
+    /// the future with [`OpFailure::InvalidData`]; dropping it before
+    /// completion withdraws the push.
+    pub fn beam_async(&self, value: C::Value) -> UnitFuture {
+        self.beam_async_with_timeout_opt(value, None)
+    }
+
+    /// [`beam_async`](Beamer::beam_async) with an explicit timeout.
+    pub fn beam_async_with_timeout(&self, value: C::Value, timeout: Duration) -> UnitFuture {
+        self.beam_async_with_timeout_opt(value, Some(timeout))
+    }
+
+    fn beam_async_with_timeout_opt(
+        &self,
+        value: C::Value,
+        timeout: Option<Duration>,
+    ) -> UnitFuture {
+        let bytes = match self.inner.converter.to_message(&value) {
+            Ok(message) => message.to_bytes(),
+            Err(e) => return UnitFuture::failed(OpFailure::InvalidData(e)),
+        };
+        UnitFuture::queued(
+            self.inner.event_loop.submit_future(OpRequest::Push(bytes.into()), timeout),
+        )
     }
 
     /// Stops the beamer; queued pushes fail with [`OpFailure::Cancelled`].

@@ -44,6 +44,7 @@ use parking_lot::Mutex;
 
 use crate::context::MorenaContext;
 use crate::convert::ConvertError;
+use crate::future::{CoreHandle, OpFuture, OpPool};
 use crate::sched::{Execution, LoopPoll, PollTask, Shard};
 
 /// Why an asynchronous MORENA operation did not succeed, delivered to the
@@ -78,17 +79,19 @@ impl std::fmt::Display for OpFailure {
 
 impl std::error::Error for OpFailure {}
 
-/// A queued physical operation.
+/// A queued physical operation. Payloads are shared slices so the
+/// per-attempt `clone` on the hot path is a refcount bump, not a buffer
+/// copy.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum OpRequest {
     /// Read the full NDEF message.
     Read,
     /// Replace the NDEF message with these bytes.
-    Write(Vec<u8>),
+    Write(Arc<[u8]>),
     /// Permanently write-protect the tag.
     MakeReadOnly,
     /// Push these bytes to any peer in proximity.
-    Push(Vec<u8>),
+    Push(Arc<[u8]>),
 }
 
 /// What a successful operation yields.
@@ -153,7 +156,7 @@ impl ObsScope {
     }
 
     /// Scope wired to a fresh disabled recorder — events go nowhere.
-    #[cfg(test)]
+    #[cfg(any(test, feature = "bench-hooks"))]
     pub(crate) fn detached(name: &str) -> ObsScope {
         ObsScope {
             recorder: Arc::new(Recorder::new()),
@@ -219,10 +222,14 @@ fn op_kind(request: &OpRequest) -> OpKind {
 /// pending write can withdraw it instead of waiting for the timeout).
 ///
 /// Cancelling is idempotent; once the operation has completed (or timed
-/// out) cancellation has no effect.
+/// out) cancellation has no effect — `cancel` reports `false` and the
+/// already-delivered outcome stands. Exactly one of {success listener,
+/// failure listener} ever fires per operation, no matter how a cancel
+/// races the completion (every resolution path claims the operation's
+/// completion core first).
 #[derive(Clone)]
 pub struct OpTicket {
-    cancelled: Arc<AtomicBool>,
+    core: CoreHandle,
     task: Weak<Shared>,
 }
 
@@ -233,14 +240,27 @@ impl std::fmt::Debug for OpTicket {
 }
 
 impl OpTicket {
-    /// Requests cancellation. Returns whether this call flipped the flag
-    /// (false = already cancelled earlier).
+    pub(crate) fn new(core: CoreHandle, task: Weak<Shared>) -> OpTicket {
+        OpTicket { core, task }
+    }
+
+    /// A ticket for an operation that was never queued: already
+    /// resolved, already cancelled, cancelling it is a no-op.
+    pub(crate) fn dead() -> OpTicket {
+        OpTicket::new(OpPool::dead_core(), Weak::new())
+    }
+
+    /// Requests cancellation. Returns whether this call withdrew the
+    /// operation (false = already cancelled earlier, or already
+    /// completed — a completed op cannot be un-delivered).
     ///
     /// The operation's failure listener fires with
-    /// [`OpFailure::Cancelled`] when the loop sweeps it — unless it
-    /// already completed, in which case nothing happens.
+    /// [`OpFailure::Cancelled`] when the loop sweeps it.
     pub fn cancel(&self) -> bool {
-        let flipped = !self.cancelled.swap(true, Ordering::AcqRel);
+        if self.core.is_resolved() {
+            return false;
+        }
+        let flipped = !self.core.request_cancel();
         if flipped {
             if let Some(task) = self.task.upgrade() {
                 task.wake();
@@ -251,7 +271,7 @@ impl OpTicket {
 
     /// Whether cancellation has been requested.
     pub fn is_cancelled(&self) -> bool {
-        self.cancelled.load(Ordering::Acquire)
+        self.core.cancel_requested()
     }
 }
 
@@ -274,14 +294,28 @@ impl Default for LoopConfig {
     }
 }
 
+/// How a completed operation reaches its consumer.
+pub(crate) enum Completion {
+    /// The paper's surface: success/failure listener pair, posted to the
+    /// application's main thread.
+    Listeners {
+        on_success: Box<dyn FnOnce(OpResponse) + Send>,
+        on_failure: Box<dyn FnOnce(OpFailure) + Send>,
+    },
+    /// An [`OpFuture`] awaits the result: it is stored on the op's
+    /// completion core and the registered waker is woken inline on the
+    /// polling thread — no main-thread hop, no boxed closure.
+    Future,
+}
+
 struct PendingOp {
     op_id: u64,
     request: OpRequest,
     deadline: SimInstant,
     enqueued_at: SimInstant,
-    cancelled: Arc<AtomicBool>,
-    on_success: Box<dyn FnOnce(OpResponse) + Send>,
-    on_failure: Box<dyn FnOnce(OpFailure) + Send>,
+    /// The pooled completion state shared with tickets and futures.
+    core: CoreHandle,
+    completion: Completion,
 }
 
 /// The complete state of one event loop — the `LoopState` the scheduler
@@ -299,6 +333,9 @@ pub(crate) struct Shared {
     /// Set exactly once at spawn under the sharded policy; `None` means
     /// a dedicated driver thread parks on `signal` instead.
     shard: OnceLock<Arc<Shard>>,
+    /// Completion-core freelist: the shard's shared pool under the
+    /// sharded policy, a private one under thread-per-loop.
+    pool: Arc<OpPool>,
     clock: Arc<dyn Clock>,
     handler: Handler,
     stats: Arc<OpStats>,
@@ -315,28 +352,95 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
-    fn deliver_success(&self, op: PendingOp, response: OpResponse) {
-        let callback = op.on_success;
-        drop(op.on_failure);
-        self.handler.post(move || callback(response));
+    /// Posts a listener to the main thread; if the looper has already
+    /// quit (application teardown), runs it inline on the current thread
+    /// instead — the terminal-delivery guarantee outranks thread
+    /// affinity once the main thread no longer exists.
+    fn post_listener(&self, task: impl FnOnce() + Send + 'static) {
+        if let Err(task) = self.handler.post_or_take(task) {
+            task();
+        }
     }
 
-    fn deliver_failure(&self, op: PendingOp, failure: OpFailure) {
-        let callback = op.on_failure;
-        drop(op.on_success);
-        self.handler.post(move || callback(failure));
+    /// The single resolution path for a queued operation: claims the
+    /// op's completion core (exactly one resolver wins — a listener can
+    /// never fire *and* the op be swept as cancelled), records
+    /// stats/metrics/obs for the winning outcome, and delivers it
+    /// through the op's [`Completion`].
+    fn complete(&self, op: PendingOp, at: SimInstant, outcome: Result<OpResponse, OpFailure>) {
+        if !op.core.try_claim() {
+            return;
+        }
+        match &outcome {
+            Ok(_) => {
+                let completion_nanos = at.saturating_since(op.enqueued_at).as_nanos() as u64;
+                self.stats.record_succeeded(completion_nanos);
+                self.metrics.succeeded.inc();
+                self.metrics.completion_ns.observe(completion_nanos);
+                self.obs.emit(at, || EventKind::OpCompleted {
+                    op_id: op.op_id,
+                    outcome: OpOutcome::Succeeded,
+                });
+            }
+            Err(OpFailure::TimedOut) => {
+                self.stats.record_timed_out();
+                self.metrics.timed_out.inc();
+                self.obs.emit(at, || EventKind::OpCompleted {
+                    op_id: op.op_id,
+                    outcome: OpOutcome::TimedOut,
+                });
+            }
+            Err(OpFailure::Cancelled) => {
+                self.stats.record_cancelled();
+                self.metrics.cancelled.inc();
+                self.obs.emit(at, || EventKind::OpCompleted {
+                    op_id: op.op_id,
+                    outcome: OpOutcome::Cancelled,
+                });
+            }
+            Err(_) => {
+                self.stats.record_failed();
+                self.metrics.failed.inc();
+                self.obs.emit(at, || EventKind::OpCompleted {
+                    op_id: op.op_id,
+                    outcome: OpOutcome::Failed,
+                });
+            }
+        }
+        match op.completion {
+            Completion::Listeners { on_success, on_failure } => match outcome {
+                Ok(response) => {
+                    drop(on_failure);
+                    self.post_listener(move || on_success(response));
+                }
+                Err(failure) => {
+                    drop(on_success);
+                    self.post_listener(move || on_failure(failure));
+                }
+            },
+            Completion::Future => op.core.resolve(outcome),
+        }
     }
 
-    fn deliver_cancelled(&self, op: PendingOp, at: SimInstant) {
+    /// Terminal delivery for an operation that never entered the queue
+    /// (submitted after stop): counted as cancelled, resolved through
+    /// its completion without any enqueue/complete event pair.
+    fn resolve_unqueued(&self, core: &CoreHandle, completion: Completion, failure: OpFailure) {
+        if !core.try_claim() {
+            return;
+        }
         self.stats.record_cancelled();
         self.metrics.cancelled.inc();
-        self.obs
-            .emit(at, || EventKind::OpCompleted { op_id: op.op_id, outcome: OpOutcome::Cancelled });
-        self.deliver_failure(op, OpFailure::Cancelled);
+        match completion {
+            Completion::Listeners { on_failure, .. } => {
+                self.post_listener(move || on_failure(failure));
+            }
+            Completion::Future => core.resolve(Err(failure)),
+        }
     }
 
     /// Re-enqueues this loop for a poll (or pokes its driver thread).
-    fn wake(self: &Arc<Self>) {
+    pub(crate) fn wake(self: &Arc<Self>) {
         match self.shard.get() {
             Some(shard) => shard.wake(Arc::clone(self) as Arc<dyn PollTask>),
             None => self.signal.notify(),
@@ -353,7 +457,7 @@ impl Shared {
         }
         let now = self.clock.now();
         for op in drained {
-            self.deliver_cancelled(op, now);
+            self.complete(op, now, Err(OpFailure::Cancelled));
         }
     }
 
@@ -362,13 +466,13 @@ impl Shared {
     fn sweep_cancelled(&self, now: SimInstant) {
         let swept: Vec<PendingOp> = {
             let mut queue = self.queue.lock();
-            if !queue.iter().any(|op| op.cancelled.load(Ordering::Acquire)) {
+            if !queue.iter().any(|op| op.core.cancel_requested()) {
                 return;
             }
             let mut kept = VecDeque::with_capacity(queue.len());
             let mut swept = Vec::new();
             for op in queue.drain(..) {
-                if op.cancelled.load(Ordering::Acquire) {
+                if op.core.cancel_requested() {
                     swept.push(op);
                 } else {
                     kept.push_back(op);
@@ -378,7 +482,7 @@ impl Shared {
             swept
         };
         for op in swept {
-            self.deliver_cancelled(op, now);
+            self.complete(op, now, Err(OpFailure::Cancelled));
         }
     }
 
@@ -429,13 +533,7 @@ impl Shared {
         match step {
             Step::Empty => LoopPoll::Park,
             Step::Timeout(op) => {
-                self.stats.record_timed_out();
-                self.metrics.timed_out.inc();
-                self.obs.emit(now, || EventKind::OpCompleted {
-                    op_id: op.op_id,
-                    outcome: OpOutcome::TimedOut,
-                });
-                self.deliver_failure(op, OpFailure::TimedOut);
+                self.complete(op, now, Err(OpFailure::TimedOut));
                 LoopPoll::Runnable
             }
             Step::Blocked(deadline) => LoopPoll::RunnableAt(deadline),
@@ -450,13 +548,7 @@ impl Shared {
                 // attempt again.
                 if attempt_started >= deadline {
                     if let Some(op) = self.pop_if_head(op_id) {
-                        self.stats.record_timed_out();
-                        self.metrics.timed_out.inc();
-                        self.obs.emit(attempt_started, || EventKind::OpCompleted {
-                            op_id: op.op_id,
-                            outcome: OpOutcome::TimedOut,
-                        });
-                        self.deliver_failure(op, OpFailure::TimedOut);
+                        self.complete(op, attempt_started, Err(OpFailure::TimedOut));
                     }
                     return LoopPoll::Runnable;
                 }
@@ -485,16 +577,7 @@ impl Shared {
                 match outcome {
                     Ok(response) => {
                         if let Some(op) = self.pop_if_head(op_id) {
-                            let completion_nanos =
-                                finished.saturating_since(op.enqueued_at).as_nanos() as u64;
-                            self.stats.record_succeeded(completion_nanos);
-                            self.metrics.succeeded.inc();
-                            self.metrics.completion_ns.observe(completion_nanos);
-                            self.obs.emit(finished, || EventKind::OpCompleted {
-                                op_id: op.op_id,
-                                outcome: OpOutcome::Succeeded,
-                            });
-                            self.deliver_success(op, response);
+                            self.complete(op, finished, Ok(response));
                         }
                         LoopPoll::Runnable
                     }
@@ -509,13 +592,7 @@ impl Shared {
                     }
                     Err(e) => {
                         if let Some(op) = self.pop_if_head(op_id) {
-                            self.stats.record_failed();
-                            self.metrics.failed.inc();
-                            self.obs.emit(finished, || EventKind::OpCompleted {
-                                op_id: op.op_id,
-                                outcome: OpOutcome::Failed,
-                            });
-                            self.deliver_failure(op, OpFailure::Failed(e));
+                            self.complete(op, finished, Err(OpFailure::Failed(e)));
                         }
                         LoopPoll::Runnable
                     }
@@ -527,12 +604,12 @@ impl Shared {
 
 impl PendingOp {
     /// Heap bytes this op drags along beyond its own struct: the
-    /// payload buffer. The two boxed listeners count only their fat
-    /// pointers (already inside the struct) — closure environments are
-    /// opaque, and in practice a few machine words.
+    /// payload buffer. Listener boxes count only their fat pointers
+    /// (already inside the struct) — closure environments are opaque,
+    /// and in practice a few machine words.
     fn payload_bytes(&self) -> u64 {
         match &self.request {
-            OpRequest::Write(bytes) | OpRequest::Push(bytes) => bytes.capacity() as u64,
+            OpRequest::Write(bytes) | OpRequest::Push(bytes) => bytes.len() as u64,
             OpRequest::Read | OpRequest::MakeReadOnly => 0,
         }
     }
@@ -545,9 +622,13 @@ impl MemFootprint for Shared {
             let payloads: u64 = queue.iter().map(PendingOp::payload_bytes).sum();
             (queue.capacity() as u64, payloads)
         };
+        // A private (thread-per-loop) pool is this loop's weight; a
+        // shard's shared pool is accounted by the shard snapshot.
+        let pool = if self.shard.get().is_none() { self.pool.mem_bytes() } else { 0 };
         std::mem::size_of::<Shared>() as u64
             + slots * std::mem::size_of::<PendingOp>() as u64
             + payloads
+            + pool
             + self.obs.loop_name.capacity() as u64
             + self.obs.target.capacity() as u64
     }
@@ -632,12 +713,24 @@ impl EventLoop {
         obs: ObsScope,
     ) -> EventLoop {
         let metrics = LoopMetrics::resolve(&obs.recorder);
+        // Resolve the completion-core pool up front: loops pinned to a
+        // shard share that shard's pool (cores recycle across all of
+        // them); a dedicated-driver loop gets a private one.
+        let (shard, pool) = match exec {
+            Execution::Sharded(scheduler) => {
+                let shard = scheduler.assign();
+                let pool = shard.pool();
+                (Some(shard), pool)
+            }
+            Execution::ThreadPerLoop => (None, OpPool::new()),
+        };
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             signal: Arc::new(WaitSignal::new()),
             stopped: AtomicBool::new(false),
             scheduled: AtomicBool::new(false),
             shard: OnceLock::new(),
+            pool,
             clock,
             handler,
             stats: Arc::new(OpStats::default()),
@@ -653,11 +746,11 @@ impl EventLoop {
             .recorder
             .inspector()
             .register(&shared.obs.loop_name, Arc::downgrade(&shared) as Weak<dyn SnapshotProvider>);
-        match exec {
-            Execution::Sharded(scheduler) => {
-                let _ = shared.shard.set(scheduler.assign());
+        match shard {
+            Some(shard) => {
+                let _ = shared.shard.set(shard);
             }
-            Execution::ThreadPerLoop => {
+            None => {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("morena-loop-{name}"))
@@ -671,25 +764,25 @@ impl EventLoop {
         EventLoop { shared }
     }
 
-    /// Enqueues an operation with an explicit timeout.
+    /// Enqueues an operation with an explicit timeout and the given
+    /// completion mode, returning the caller's handle onto its pooled
+    /// completion core.
     ///
-    /// If the loop has been stopped the failure listener fires (on the
-    /// main thread) with [`OpFailure::Cancelled`].
-    pub(crate) fn submit(
+    /// If the loop has been stopped the operation resolves immediately
+    /// with [`OpFailure::Cancelled`] (the listener fires, or the future
+    /// resolves — nothing ever hangs on a dead loop).
+    fn submit_with(
         &self,
         request: OpRequest,
         timeout: Option<Duration>,
-        on_success: Box<dyn FnOnce(OpResponse) + Send>,
-        on_failure: Box<dyn FnOnce(OpFailure) + Send>,
-    ) -> OpTicket {
+        completion: Completion,
+    ) -> CoreHandle {
         let shared = &self.shared;
-        let cancelled = Arc::new(AtomicBool::new(false));
-        let ticket = OpTicket { cancelled: Arc::clone(&cancelled), task: Arc::downgrade(shared) };
+        let core = shared.pool.acquire();
+        let handle = core.clone();
         if shared.stopped.load(Ordering::Acquire) {
-            shared.stats.record_cancelled();
-            shared.metrics.cancelled.inc();
-            shared.handler.post(move || on_failure(OpFailure::Cancelled));
-            return ticket;
+            shared.resolve_unqueued(&core, completion, OpFailure::Cancelled);
+            return handle;
         }
         let timeout = timeout.unwrap_or(shared.config.default_timeout);
         let now = shared.clock.now();
@@ -705,15 +798,8 @@ impl EventLoop {
             op: op_kind(&request),
             deadline_nanos: deadline.as_nanos(),
         });
-        let mut op = Some(PendingOp {
-            op_id,
-            request,
-            deadline,
-            enqueued_at: now,
-            cancelled,
-            on_success,
-            on_failure,
-        });
+        let mut op =
+            Some(PendingOp { op_id, request, deadline, enqueued_at: now, core, completion });
         {
             // Re-check `stopped` under the queue lock: the stop-side drain
             // also takes this lock, so either our push lands before the
@@ -727,9 +813,33 @@ impl EventLoop {
         }
         match op {
             None => shared.wake(),
-            Some(op) => shared.deliver_cancelled(op, shared.clock.now()),
+            Some(op) => shared.complete(op, shared.clock.now(), Err(OpFailure::Cancelled)),
         }
-        ticket
+        handle
+    }
+
+    /// Enqueues an operation with the paper's listener-pair completion.
+    ///
+    /// If the loop has been stopped the failure listener fires (on the
+    /// main thread) with [`OpFailure::Cancelled`].
+    pub(crate) fn submit(
+        &self,
+        request: OpRequest,
+        timeout: Option<Duration>,
+        on_success: Box<dyn FnOnce(OpResponse) + Send>,
+        on_failure: Box<dyn FnOnce(OpFailure) + Send>,
+    ) -> OpTicket {
+        let core =
+            self.submit_with(request, timeout, Completion::Listeners { on_success, on_failure });
+        OpTicket::new(core, Arc::downgrade(&self.shared))
+    }
+
+    /// Enqueues an operation resolved through a future instead of
+    /// listeners. Dropping the returned future withdraws the operation.
+    pub(crate) fn submit_future(&self, request: OpRequest, timeout: Option<Duration>) -> OpFuture {
+        let task = Arc::downgrade(&self.shared);
+        let core = self.submit_with(request, timeout, Completion::Future);
+        OpFuture::new(core, task)
     }
 
     /// Wakes the loop so it re-examines connectivity — called by the
@@ -741,7 +851,7 @@ impl EventLoop {
     /// A ticket for an operation that never entered the queue (e.g. it
     /// failed conversion); cancelling it is a no-op.
     pub(crate) fn dead_ticket(&self) -> OpTicket {
-        OpTicket { cancelled: Arc::new(AtomicBool::new(true)), task: Weak::new() }
+        OpTicket::dead()
     }
 
     /// Number of operations still queued (including the one currently
@@ -953,7 +1063,7 @@ mod tests {
                 results.push_back(Err(NfcOpError::Link(LinkError::TransmissionError)));
                 results.push_back(Ok(OpResponse::Done));
             }
-            f.submit(OpRequest::Write(vec![1]), None);
+            f.submit(OpRequest::Write(vec![1].into()), None);
             assert_eq!(f.next_outcome().unwrap(), OpResponse::Done);
             let stats = f.event_loop.stats().snapshot();
             assert_eq!(stats.attempts, 3);
@@ -966,7 +1076,7 @@ mod tests {
     fn permanent_failures_fire_failure_listener_immediately() {
         let f = Fixture::new(Arc::new(SystemClock::new()), LoopConfig::default());
         f.results.lock().push_back(Err(NfcOpError::ReadOnly));
-        f.submit(OpRequest::Write(vec![1]), None);
+        f.submit(OpRequest::Write(vec![1].into()), None);
         assert_eq!(f.next_outcome().unwrap_err(), OpFailure::Failed(NfcOpError::ReadOnly));
         let stats = f.event_loop.stats().snapshot();
         assert_eq!(stats.failed, 1);
@@ -980,7 +1090,7 @@ mod tests {
                 Fixture::with_policy(policy, Arc::new(SystemClock::new()), LoopConfig::default());
             f.connected.store(false, Ordering::SeqCst);
             for _ in 0..3 {
-                f.submit(OpRequest::Write(vec![7]), None);
+                f.submit(OpRequest::Write(vec![7].into()), None);
             }
             // Nothing executes while disconnected.
             assert!(f.executed.recv_timeout(Duration::from_millis(50)).is_err());
@@ -1159,7 +1269,7 @@ mod tests {
                 Fixture::with_policy(policy, Arc::new(SystemClock::new()), LoopConfig::default());
             f.connected.store(false, Ordering::SeqCst);
             f.submit(OpRequest::Read, None);
-            let middle = f.submit(OpRequest::Write(vec![1]), None);
+            let middle = f.submit(OpRequest::Write(vec![1].into()), None);
             f.submit(OpRequest::MakeReadOnly, None);
             assert_eq!(f.event_loop.queue_len(), 3);
             // The head stays blocked (disconnected), yet cancelling the
@@ -1257,7 +1367,7 @@ mod tests {
             results.push_back(Err(NfcOpError::Link(LinkError::TransmissionError)));
             results.push_back(Ok(OpResponse::Done));
         }
-        f.submit(OpRequest::Write(vec![1]), None);
+        f.submit(OpRequest::Write(vec![1].into()), None);
         assert!(f.next_outcome().is_ok());
 
         // enqueue, failed attempt, retried attempt, completion — all
@@ -1328,7 +1438,7 @@ mod tests {
         let empty = f.event_loop.shared.mem_bytes();
         assert!(empty >= std::mem::size_of::<Shared>() as u64);
         for _ in 0..16 {
-            f.submit(OpRequest::Write(vec![0u8; 1024]), None);
+            f.submit(OpRequest::Write(vec![0u8; 1024].into()), None);
         }
         let populated = f.event_loop.shared.mem_bytes();
         assert!(

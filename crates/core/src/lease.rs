@@ -401,6 +401,74 @@ impl LeaseManager {
         let _ = self.release(&lease);
         result
     }
+
+    /// [`inspect`](LeaseManager::inspect) as a future; see
+    /// [`LeaseFuture`] for the execution model.
+    pub fn inspect_async(&self, uid: TagUid) -> LeaseFuture<Option<LeaseRecord>> {
+        let manager = self.clone();
+        LeaseFuture::new(move || manager.inspect(uid))
+    }
+
+    /// [`acquire`](LeaseManager::acquire) as a future; see
+    /// [`LeaseFuture`] for the execution model.
+    pub fn acquire_async(&self, uid: TagUid, ttl: Duration) -> LeaseFuture<Lease> {
+        let manager = self.clone();
+        LeaseFuture::new(move || manager.acquire(uid, ttl))
+    }
+
+    /// [`renew`](LeaseManager::renew) as a future; see [`LeaseFuture`]
+    /// for the execution model.
+    pub fn renew_async(&self, lease: &Lease, ttl: Duration) -> LeaseFuture<Lease> {
+        let manager = self.clone();
+        let lease = *lease;
+        LeaseFuture::new(move || manager.renew(&lease, ttl))
+    }
+
+    /// [`release`](LeaseManager::release) as a future; see
+    /// [`LeaseFuture`] for the execution model.
+    pub fn release_async(&self, lease: &Lease) -> LeaseFuture<()> {
+        let manager = self.clone();
+        let lease = *lease;
+        LeaseFuture::new(move || manager.release(&lease))
+    }
+}
+
+/// Future form of a lease operation, completing the `async` surface
+/// alongside [`ReadFuture`](crate::tagref::ReadFuture) and friends.
+///
+/// Lease operations are short, direct write-then-verify rounds on the
+/// NFC handle — they have no retry queue to park in, so the future is
+/// **eager**: the whole operation runs on the first poll and resolves
+/// immediately. Creating it does nothing; dropping it unpolled means the
+/// operation never runs.
+pub struct LeaseFuture<T> {
+    op: Option<Box<dyn FnOnce() -> Result<T, LeaseError> + Send>>,
+}
+
+impl<T> LeaseFuture<T> {
+    fn new(op: impl FnOnce() -> Result<T, LeaseError> + Send + 'static) -> LeaseFuture<T> {
+        LeaseFuture { op: Some(Box::new(op)) }
+    }
+}
+
+impl<T> std::fmt::Debug for LeaseFuture<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LeaseFuture").field("pending", &self.op.is_some()).finish()
+    }
+}
+
+impl<T> Unpin for LeaseFuture<T> {}
+
+impl<T> std::future::Future for LeaseFuture<T> {
+    type Output = Result<T, LeaseError>;
+
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        _cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<Self::Output> {
+        let op = self.get_mut().op.take().expect("LeaseFuture polled after completion");
+        std::task::Poll::Ready(op())
+    }
 }
 
 #[cfg(test)]

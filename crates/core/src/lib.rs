@@ -68,10 +68,13 @@
 #![warn(missing_docs)]
 
 pub mod beam;
+#[cfg(feature = "bench-hooks")]
+pub mod bench_hooks;
 pub mod context;
 pub mod convert;
 pub mod discovery;
 pub mod eventloop;
+pub mod future;
 pub mod keyed;
 pub mod lease;
 pub mod peer;
@@ -85,9 +88,10 @@ pub use context::MorenaContext;
 pub use convert::{BytesConverter, ConvertError, JsonConverter, StringConverter, TagDataConverter};
 pub use discovery::{DiscoveryListener, TagDiscoverer};
 pub use eventloop::{LoopConfig, OpFailure, OpStats, OpStatsSnapshot, OpTicket};
+pub use future::{block_on, UnitFuture};
 pub use keyed::{KeyedConverter, MemoryStore, ObjectKey, ObjectStore};
-pub use lease::{DeviceId, Lease, LeaseError, LeaseManager, LeaseRecord};
+pub use lease::{DeviceId, Lease, LeaseError, LeaseFuture, LeaseManager, LeaseRecord};
 pub use peer::{PeerInbox, PeerListener, PeerReference};
 pub use sched::ExecutionPolicy;
-pub use tagref::TagReference;
+pub use tagref::{ReadFuture, TagReference, WriteFuture};
 pub use thing::{BoundThing, EmptyThingSlot, Thing, ThingObserver, ThingSpace};

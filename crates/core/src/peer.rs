@@ -30,6 +30,7 @@ use crate::convert::TagDataConverter;
 use crate::eventloop::{
     EventLoop, LoopConfig, ObsScope, OpExecutor, OpFailure, OpRequest, OpResponse, OpStats,
 };
+use crate::future::UnitFuture;
 use crate::router::RouteGuard;
 
 struct PeerExecutor {
@@ -228,11 +229,39 @@ impl<C: TagDataConverter> PeerReference<C> {
             }
         };
         self.inner.event_loop.submit(
-            OpRequest::Push(bytes),
+            OpRequest::Push(bytes.into()),
             timeout,
             Box::new(move |_| on_delivered()),
             Box::new(on_failure),
         );
+    }
+
+    /// Queues `value` for delivery and returns a future resolving once
+    /// it reaches the peer. Conversion failures resolve the future with
+    /// [`OpFailure::InvalidData`]; dropping it before completion
+    /// withdraws the message.
+    pub fn send_async(&self, value: C::Value) -> UnitFuture {
+        self.send_async_with_timeout_opt(value, None)
+    }
+
+    /// [`send_async`](PeerReference::send_async) with an explicit
+    /// timeout.
+    pub fn send_async_with_timeout(&self, value: C::Value, timeout: Duration) -> UnitFuture {
+        self.send_async_with_timeout_opt(value, Some(timeout))
+    }
+
+    fn send_async_with_timeout_opt(
+        &self,
+        value: C::Value,
+        timeout: Option<Duration>,
+    ) -> UnitFuture {
+        let bytes = match self.inner.converter.to_message(&value) {
+            Ok(message) => message.to_bytes(),
+            Err(e) => return UnitFuture::failed(OpFailure::InvalidData(e)),
+        };
+        UnitFuture::queued(
+            self.inner.event_loop.submit_future(OpRequest::Push(bytes.into()), timeout),
+        )
     }
 
     /// Stops the reference; queued messages fail with

@@ -139,6 +139,10 @@ pub(crate) struct Shard {
     ready: Mutex<VecDeque<Arc<dyn PollTask>>>,
     signal: Arc<WaitSignal>,
     metrics: SchedMetrics,
+    /// Completion-core freelist shared by every loop pinned here —
+    /// cores recycle across the shard's whole population, so steady
+    /// state submits allocate nothing.
+    pool: Arc<crate::future::OpPool>,
     /// Position within the pool, for inspector output.
     index: usize,
     /// Loops pinned here over the shard's lifetime (pins are permanent).
@@ -154,9 +158,11 @@ impl MemFootprint for Shard {
     fn mem_bytes(&self) -> u64 {
         // The worker's timer heap lives on its stack, out of reach; the
         // shard's own heap footprint is the ready queue's slot array
-        // (tasks report their own bytes through their loop snapshots).
+        // plus the parked completion-core freelist (tasks report their
+        // own bytes through their loop snapshots).
         std::mem::size_of::<Shard>() as u64
             + (self.ready.lock().capacity() * std::mem::size_of::<Arc<dyn PollTask>>()) as u64
+            + self.pool.mem_bytes()
     }
 }
 
@@ -167,11 +173,13 @@ impl SnapshotProvider for Shard {
         // would still be held when `mem_bytes` re-locks `ready`.
         let run_queue = self.ready.lock().len();
         let mem_bytes = self.mem_bytes();
+        let pool_free = self.pool.free_len();
         ComponentSnapshot::Shard(ShardSnapshot {
             index: self.index,
             loops_owned: self.owned.load(Ordering::Relaxed),
             run_queue,
             since_poll_nanos: (last_poll != u64::MAX).then(|| now_nanos.saturating_sub(last_poll)),
+            pool_free,
             mem_bytes,
         })
     }
@@ -187,6 +195,11 @@ impl Shard {
             self.metrics.wakeups.inc();
             self.signal.notify();
         }
+    }
+
+    /// The shard's shared completion-core freelist.
+    pub(crate) fn pool(&self) -> Arc<crate::future::OpPool> {
+        Arc::clone(&self.pool)
     }
 }
 
@@ -233,6 +246,7 @@ impl Scheduler {
                     ready: Mutex::new(VecDeque::new()),
                     signal: Arc::new(WaitSignal::new()),
                     metrics: metrics.clone(),
+                    pool: crate::future::OpPool::new(),
                     index,
                     owned: AtomicU64::new(0),
                     last_poll: AtomicU64::new(u64::MAX),

@@ -20,7 +20,10 @@
 //! Listeners fire on the application's main thread, so no user code needs
 //! manual concurrency management.
 
+use std::future::Future;
+use std::pin::Pin;
 use std::sync::Arc;
+use std::task::{Context, Poll};
 use std::time::Duration;
 
 use morena_ndef::NdefMessage;
@@ -37,6 +40,7 @@ use crate::eventloop::{
     EventLoop, LoopConfig, ObsScope, OpExecutor, OpFailure, OpRequest, OpResponse, OpStats,
     OpTicket,
 };
+use crate::future::{block_on, OpFuture, UnitFuture};
 use crate::router::RouteGuard;
 
 /// The physical executor behind a tag reference: blocking NDEF operations
@@ -77,7 +81,7 @@ impl OpExecutor for TagExecutor {
                     // happened once, so report success instead of
                     // re-writing (or failing) a completed operation.
                     match self.nfc.ndef_read(self.uid) {
-                        Ok(current) if current == *bytes => Ok(OpResponse::Done),
+                        Ok(current) if *current == **bytes => Ok(OpResponse::Done),
                         _ => Err(e),
                     }
                 }
@@ -111,6 +115,11 @@ struct RefInner<C: TagDataConverter> {
     converter: Arc<C>,
     event_loop: EventLoop,
     cache: Mutex<Option<C::Value>>,
+    /// The raw tag bytes whose decoded value sits in `cache`. A read
+    /// returning byte-identical content skips NDEF parsing and
+    /// conversion entirely (the zero-copy cached-read fast path);
+    /// cleared whenever `cache` is set by hand.
+    last_raw: Mutex<Option<Arc<[u8]>>>,
     // Dropping the guard unregisters this reference from the context's
     // event router.
     route: Mutex<Option<RouteGuard>>,
@@ -234,6 +243,7 @@ impl<C: TagDataConverter> TagReference<C> {
                 converter,
                 event_loop: event_loop.clone(),
                 cache: Mutex::new(None),
+                last_raw: Mutex::new(None),
                 route: Mutex::new(None),
                 observers: Mutex::new(Vec::new()),
             }),
@@ -311,7 +321,43 @@ impl<C: TagDataConverter> TagReference<C> {
     /// pre-reads and by the things layer when the application mutates a
     /// thing before saving it.
     pub fn set_cached(&self, value: Option<C::Value>) {
+        // A hand-set value no longer corresponds to any raw bytes seen
+        // on the tag, so the identical-read fast path must re-decode.
+        *self.inner.last_raw.lock() = None;
         *self.inner.cache.lock() = value;
+    }
+
+    /// Stores a value together with the raw tag bytes it was decoded
+    /// from (or encoded to), arming the identical-read fast path.
+    fn store_cache(&self, value: C::Value, raw: Arc<[u8]>) {
+        *self.inner.cache.lock() = Some(value);
+        *self.inner.last_raw.lock() = Some(raw);
+    }
+
+    /// Folds a successful read's raw bytes into the reference: blank
+    /// reads keep the last-seen value (§3.2 semantics hardened for torn
+    /// writes), byte-identical content short-circuits without parsing,
+    /// anything else is decoded and cached.
+    fn absorb_read(&self, bytes: &[u8]) -> Result<(), crate::convert::ConvertError> {
+        if bytes.is_empty() {
+            // Formatted but blank tag: a successful read of an empty
+            // value. The cache deliberately keeps the last value
+            // successfully *seen* — a torn Type 4 write reads back
+            // blank until repaired, and wiping here would let a
+            // transient fault destroy the last-known-good value.
+            return Ok(());
+        }
+        if self.inner.last_raw.lock().as_deref() == Some(bytes) {
+            // Identical to the bytes behind the current cache entry:
+            // the decoded value is already there. This is the
+            // steady-state read path — no parse, no conversion, no
+            // allocation.
+            return Ok(());
+        }
+        let message = NdefMessage::parse(bytes).map_err(crate::convert::ConvertError::from)?;
+        let value = self.inner.converter.from_message(&message)?;
+        self.store_cache(value, bytes.into());
+        Ok(())
     }
 
     /// Queues an asynchronous read with the default timeout.
@@ -366,24 +412,8 @@ impl<C: TagDataConverter> TagReference<C> {
                 let OpResponse::Bytes(bytes) = response else {
                     return; // Read always yields bytes.
                 };
-                if bytes.is_empty() {
-                    // Formatted but blank tag: a successful read of an
-                    // empty value. The cache deliberately keeps the last
-                    // value successfully *seen* (§3.2) — a torn Type 4
-                    // write reads back blank until repaired, and wiping
-                    // here would let a transient fault destroy the
-                    // last-known-good value.
-                    on_success(this);
-                    return;
-                }
-                let converted = NdefMessage::parse(&bytes)
-                    .map_err(crate::convert::ConvertError::from)
-                    .and_then(|m| this.inner.converter.from_message(&m));
-                match converted {
-                    Ok(value) => {
-                        this.set_cached(Some(value));
-                        on_success(this);
-                    }
+                match this.absorb_read(&bytes) {
+                    Ok(()) => on_success(this),
                     Err(e) => {
                         if let Some(fail) = fail_for_success_path.lock().take() {
                             fail(this, OpFailure::InvalidData(e));
@@ -445,8 +475,8 @@ impl<C: TagDataConverter> TagReference<C> {
         F: FnOnce(TagReference<C>) + Send + 'static,
         G: FnOnce(TagReference<C>, OpFailure) + Send + 'static,
     {
-        let bytes = match self.inner.converter.to_message(&value) {
-            Ok(message) => message.to_bytes(),
+        let bytes: Arc<[u8]> = match self.inner.converter.to_message(&value) {
+            Ok(message) => message.to_bytes().into(),
             Err(e) => {
                 // Conversion failures surface asynchronously like any
                 // other failure, keeping call sites uniform.
@@ -459,11 +489,12 @@ impl<C: TagDataConverter> TagReference<C> {
         };
         let this = self.clone();
         let this_err = self.clone();
+        let raw = Arc::clone(&bytes);
         self.inner.event_loop.submit(
             OpRequest::Write(bytes),
             timeout,
             Box::new(move |_| {
-                this.set_cached(Some(value));
+                this.store_cache(value, raw);
                 on_success(this);
             }),
             Box::new(move |failure| on_failure(this_err, failure)),
@@ -489,6 +520,77 @@ impl<C: TagDataConverter> TagReference<C> {
         )
     }
 
+    /// Queues an asynchronous read and returns a future resolving to
+    /// the refreshed cache (blank tags keep the last value seen).
+    ///
+    /// The future resolves on the loop's polling thread — no main-thread
+    /// hop, no listener boxes. Dropping it before completion withdraws
+    /// the operation (it fails as [`OpFailure::Cancelled`] internally;
+    /// nobody observes the result). If the reference is closed — before
+    /// or while the operation is queued — the future resolves with
+    /// [`OpFailure::Cancelled`] rather than pending forever.
+    pub fn read_async(&self) -> ReadFuture<C> {
+        self.read_async_with_timeout_opt(None)
+    }
+
+    /// [`read_async`](TagReference::read_async) with an explicit timeout.
+    pub fn read_async_with_timeout(&self, timeout: Duration) -> ReadFuture<C> {
+        self.read_async_with_timeout_opt(Some(timeout))
+    }
+
+    fn read_async_with_timeout_opt(&self, timeout: Option<Duration>) -> ReadFuture<C> {
+        ReadFuture {
+            inner: self.inner.event_loop.submit_future(OpRequest::Read, timeout),
+            reference: self.clone(),
+        }
+    }
+
+    /// Queues an asynchronous write of `value` and returns a future
+    /// resolving once it lands on the tag (the cache then holds
+    /// `value`). Same drop/cancel and shutdown semantics as
+    /// [`read_async`](TagReference::read_async); conversion failures
+    /// resolve the future with [`OpFailure::InvalidData`].
+    pub fn write_async(&self, value: C::Value) -> WriteFuture<C> {
+        self.write_async_with_timeout_opt(value, None)
+    }
+
+    /// [`write_async`](TagReference::write_async) with an explicit
+    /// timeout.
+    pub fn write_async_with_timeout(&self, value: C::Value, timeout: Duration) -> WriteFuture<C> {
+        self.write_async_with_timeout_opt(value, Some(timeout))
+    }
+
+    fn write_async_with_timeout_opt(
+        &self,
+        value: C::Value,
+        timeout: Option<Duration>,
+    ) -> WriteFuture<C> {
+        let bytes: Arc<[u8]> = match self.inner.converter.to_message(&value) {
+            Ok(message) => message.to_bytes().into(),
+            Err(e) => {
+                return WriteFuture {
+                    state: WriteState::Immediate(Some(OpFailure::InvalidData(e))),
+                }
+            }
+        };
+        let raw = Arc::clone(&bytes);
+        WriteFuture {
+            state: WriteState::Queued {
+                inner: self.inner.event_loop.submit_future(OpRequest::Write(bytes), timeout),
+                reference: self.clone(),
+                value: Some(value),
+                raw,
+            },
+        }
+    }
+
+    /// Queues an asynchronous, irreversible write-protection of the tag
+    /// and returns a future resolving when it lands. Same drop/cancel
+    /// and shutdown semantics as [`read_async`](TagReference::read_async).
+    pub fn make_read_only_async(&self) -> UnitFuture {
+        UnitFuture::queued(self.inner.event_loop.submit_future(OpRequest::MakeReadOnly, None))
+    }
+
     /// Registers a connectivity observer (§1.2: far references let the
     /// programmer *"register observers on it to be notified of
     /// connectivity changes"*). The observer runs on the main thread
@@ -505,8 +607,12 @@ impl<C: TagDataConverter> TagReference<C> {
     /// Returns the cache as refreshed by the read (for a blank tag the
     /// cache — and thus the return value — keeps the last value seen).
     ///
-    /// Must not be called from the main thread (the listener could never
-    /// run and the call would deadlock). With a
+    /// This is [`block_on`] over
+    /// [`read_async_with_timeout`](TagReference::read_async_with_timeout):
+    /// the future resolves on the loop's polling thread, so the adapter
+    /// is safe from any thread — including the main thread — and
+    /// terminates with [`OpFailure::Cancelled`] if the context stops
+    /// mid-operation. With a
     /// [`VirtualClock`](morena_nfc_sim::clock::VirtualClock), some other
     /// thread must advance time for the timeout to ever fire.
     ///
@@ -514,18 +620,7 @@ impl<C: TagDataConverter> TagReference<C> {
     ///
     /// The [`OpFailure`] the asynchronous read would have delivered.
     pub fn read_sync(&self, timeout: Duration) -> Result<Option<C::Value>, OpFailure> {
-        let (tx, rx) = crossbeam::channel::bounded(1);
-        let err_tx = tx.clone();
-        self.read_with_timeout(
-            timeout,
-            move |r| {
-                let _ = tx.send(Ok(r.cached()));
-            },
-            move |_, f| {
-                let _ = err_tx.send(Err(f));
-            },
-        );
-        rx.recv().unwrap_or(Err(OpFailure::Cancelled))
+        block_on(self.read_async_with_timeout(timeout))
     }
 
     /// Blocking convenience: queues a write and waits for its outcome.
@@ -535,19 +630,7 @@ impl<C: TagDataConverter> TagReference<C> {
     ///
     /// The [`OpFailure`] the asynchronous write would have delivered.
     pub fn write_sync(&self, value: C::Value, timeout: Duration) -> Result<(), OpFailure> {
-        let (tx, rx) = crossbeam::channel::bounded(1);
-        let err_tx = tx.clone();
-        self.write_with_timeout(
-            value,
-            timeout,
-            move |_| {
-                let _ = tx.send(Ok(()));
-            },
-            move |_, f| {
-                let _ = err_tx.send(Err(f));
-            },
-        );
-        rx.recv().unwrap_or(Err(OpFailure::Cancelled))
+        block_on(self.write_async_with_timeout(value, timeout))
     }
 
     /// Stops the private event loop: queued operations fail with
@@ -566,6 +649,121 @@ impl<C: TagDataConverter> TagReference<C> {
     /// references from its identity map.
     pub fn is_closed(&self) -> bool {
         self.inner.event_loop.is_stopped()
+    }
+}
+
+/// Future returned by [`TagReference::read_async`]: resolves to the
+/// refreshed cache once the read lands (blank tags keep the last value
+/// seen). Dropping it before completion withdraws the operation.
+pub struct ReadFuture<C: TagDataConverter> {
+    inner: OpFuture,
+    reference: TagReference<C>,
+}
+
+// The pinned fields are only the plain-`Unpin` OpFuture and a handle;
+// C::Value never lives inside the future, so no bound on it is needed.
+impl<C: TagDataConverter> Unpin for ReadFuture<C> {}
+
+impl<C: TagDataConverter> ReadFuture<C> {
+    /// A cancellation handle for the queued read; works even after the
+    /// future itself has been consumed by an executor.
+    pub fn ticket(&self) -> OpTicket {
+        self.inner.ticket()
+    }
+}
+
+impl<C: TagDataConverter> Future for ReadFuture<C> {
+    type Output = Result<Option<C::Value>, OpFailure>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        match Pin::new(&mut this.inner).poll(cx) {
+            Poll::Pending => Poll::Pending,
+            Poll::Ready(Err(failure)) => Poll::Ready(Err(failure)),
+            Poll::Ready(Ok(response)) => {
+                let bytes = match response {
+                    OpResponse::Bytes(bytes) => bytes,
+                    _ => Vec::new(),
+                };
+                match this.reference.absorb_read(&bytes) {
+                    Ok(()) => Poll::Ready(Ok(this.reference.cached())),
+                    Err(e) => Poll::Ready(Err(OpFailure::InvalidData(e))),
+                }
+            }
+        }
+    }
+}
+
+impl<C: TagDataConverter> std::fmt::Debug for ReadFuture<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadFuture").field("reference", &self.reference).finish()
+    }
+}
+
+enum WriteState<C: TagDataConverter> {
+    Queued {
+        inner: OpFuture,
+        reference: TagReference<C>,
+        // Held until success so the cache can absorb exactly what was
+        // written without re-encoding.
+        value: Option<C::Value>,
+        raw: Arc<[u8]>,
+    },
+    // Conversion failed before anything was queued; resolves immediately.
+    Immediate(Option<OpFailure>),
+}
+
+/// Future returned by [`TagReference::write_async`]: resolves once the
+/// value lands on the tag (the cache then holds the written value).
+/// Dropping it before completion withdraws the operation.
+pub struct WriteFuture<C: TagDataConverter> {
+    state: WriteState<C>,
+}
+
+impl<C: TagDataConverter> Unpin for WriteFuture<C> {}
+
+impl<C: TagDataConverter> WriteFuture<C> {
+    /// A cancellation handle for the queued write. For a write that
+    /// failed conversion (and so was never queued) the ticket is inert.
+    pub fn ticket(&self) -> OpTicket {
+        match &self.state {
+            WriteState::Queued { inner, .. } => inner.ticket(),
+            WriteState::Immediate(_) => OpTicket::dead(),
+        }
+    }
+}
+
+impl<C: TagDataConverter> Future for WriteFuture<C> {
+    type Output = Result<(), OpFailure>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match &mut self.get_mut().state {
+            WriteState::Immediate(failure) => {
+                Poll::Ready(Err(failure.take().expect("WriteFuture polled after completion")))
+            }
+            WriteState::Queued { inner, reference, value, raw } => match Pin::new(inner).poll(cx) {
+                Poll::Pending => Poll::Pending,
+                Poll::Ready(Err(failure)) => Poll::Ready(Err(failure)),
+                Poll::Ready(Ok(_)) => {
+                    let value = value.take().expect("WriteFuture polled after completion");
+                    reference.store_cache(value, Arc::clone(raw));
+                    Poll::Ready(Ok(()))
+                }
+            },
+        }
+    }
+}
+
+impl<C: TagDataConverter> std::fmt::Debug for WriteFuture<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.state {
+            WriteState::Queued { reference, .. } => {
+                f.debug_struct("WriteFuture").field("reference", &reference).finish()
+            }
+            WriteState::Immediate(failure) => {
+                f.debug_struct("WriteFuture").field("immediate", failure).finish()
+            }
+        }
     }
 }
 

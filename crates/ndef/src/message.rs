@@ -89,10 +89,20 @@ impl NdefMessage {
     /// logical record (no chunking).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.encoded_len());
+        self.to_bytes_into(&mut out);
+        out
+    }
+
+    /// Appends the binary wire form to `out` without allocating a fresh
+    /// buffer (beyond growing `out` once to fit, when needed). Hot paths
+    /// reuse one scratch buffer across encodes; [`to_bytes`]
+    /// (NdefMessage::to_bytes) is this over a fresh `Vec`.
+    pub fn to_bytes_into(&self, out: &mut Vec<u8>) {
+        out.reserve(self.encoded_len());
         let last = self.records.len() - 1;
         for (i, record) in self.records.iter().enumerate() {
             encode_wire_record(
-                &mut out,
+                out,
                 i == 0,
                 i == last,
                 false,
@@ -102,7 +112,6 @@ impl NdefMessage {
                 record.payload(),
             );
         }
-        out
     }
 
     /// Encodes the message, splitting any payload larger than `max_chunk`
@@ -425,6 +434,22 @@ mod tests {
             NdefRecord::external("ex.com:t", vec![1, 2, 3]).unwrap(),
         ]);
         assert_eq!(NdefMessage::parse(&msg.to_bytes()).unwrap(), msg);
+    }
+
+    #[test]
+    fn to_bytes_into_appends_and_matches_to_bytes() {
+        let msg = NdefMessage::new(vec![mime("text/plain", b"one"), mime("a/b", b"two")]);
+        let mut buf = vec![0xEE];
+        msg.to_bytes_into(&mut buf);
+        assert_eq!(buf[0], 0xEE, "existing content is preserved");
+        assert_eq!(&buf[1..], msg.to_bytes().as_slice());
+        // A reused scratch buffer with enough capacity never reallocates.
+        buf.clear();
+        buf.reserve(msg.encoded_len());
+        let cap = buf.capacity();
+        msg.to_bytes_into(&mut buf);
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(buf, msg.to_bytes());
     }
 
     #[test]

@@ -151,7 +151,7 @@ impl HandoverSelect {
             nested.push(carrier.to_record()?);
         }
         let mut payload = vec![HANDOVER_VERSION];
-        payload.extend_from_slice(&NdefMessage::new(nested).to_bytes());
+        NdefMessage::new(nested).to_bytes_into(&mut payload);
         let mut records = vec![NdefRecord::well_known(HandoverSelect::TYPE, payload)?];
         records.extend(self.carrier_records.iter().cloned());
         Ok(NdefMessage::new(records))

@@ -136,8 +136,12 @@ pub struct ShardSnapshot {
     /// Nanoseconds since the shard's worker last completed a poll pass
     /// (`None` before the first pass).
     pub since_poll_nanos: Option<u64>,
+    /// Completion cores parked in the shard's freelist, ready for reuse
+    /// by the next submits.
+    pub pool_free: usize,
     /// Best-effort deep bytes held by the shard's own structures (the
-    /// ready queue) — not the loops it polls, which report themselves.
+    /// ready queue and core freelist) — not the loops it polls, which
+    /// report themselves.
     pub mem_bytes: u64,
 }
 
@@ -661,11 +665,12 @@ pub fn render_top(snapshot: &InspectorSnapshot, report: &HealthReport) -> String
                     None => "never".into(),
                 };
                 out.push_str(&format!(
-                    "shard {}: owned {}, runnable {}, last poll {} ago, mem {}\n",
+                    "shard {}: owned {}, runnable {}, last poll {} ago, pool {}, mem {}\n",
                     s.index,
                     s.loops_owned,
                     s.run_queue,
                     since,
+                    s.pool_free,
                     fmt_bytes(s.mem_bytes)
                 ));
             }
@@ -845,6 +850,7 @@ mod tests {
             loops_owned: 4,
             run_queue: 2,
             since_poll_nanos: Some(10_000),
+            pool_free: 0,
             mem_bytes: 0,
         };
         let wedged = ShardSnapshot {
@@ -852,6 +858,7 @@ mod tests {
             loops_owned: 4,
             run_queue: 1,
             since_poll_nanos: Some(5_000_000_000),
+            pool_free: 0,
             mem_bytes: 0,
         };
         let idle = ShardSnapshot {
@@ -859,6 +866,7 @@ mod tests {
             loops_owned: 0,
             run_queue: 0,
             since_poll_nanos: None,
+            pool_free: 0,
             mem_bytes: 0,
         };
         let snap = InspectorSnapshot {
@@ -944,6 +952,7 @@ mod tests {
                         loops_owned: 1,
                         run_queue: 0,
                         since_poll_nanos: None,
+                        pool_free: 0,
                         mem_bytes: 128,
                     }),
                 },

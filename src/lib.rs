@@ -71,11 +71,12 @@ pub mod prelude {
     };
     pub use morena_core::discovery::{DiscoveryListener, TagDiscoverer};
     pub use morena_core::eventloop::{LoopConfig, OpFailure, OpTicket};
+    pub use morena_core::future::{block_on, UnitFuture};
     pub use morena_core::keyed::{KeyedConverter, MemoryStore, ObjectStore};
-    pub use morena_core::lease::{Lease, LeaseManager};
+    pub use morena_core::lease::{Lease, LeaseFuture, LeaseManager};
     pub use morena_core::peer::{PeerInbox, PeerListener, PeerReference};
     pub use morena_core::sched::ExecutionPolicy;
-    pub use morena_core::tagref::TagReference;
+    pub use morena_core::tagref::{ReadFuture, TagReference, WriteFuture};
     pub use morena_core::thing::{BoundThing, EmptyThingSlot, Thing, ThingObserver, ThingSpace};
     pub use morena_ndef::{NdefMessage, NdefRecord, Tnf};
     pub use morena_nfc_sim::clock::{Clock, SystemClock, VirtualClock};
