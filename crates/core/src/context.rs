@@ -20,6 +20,9 @@ use morena_android_sim::looper::{Handler, MainThread};
 use morena_nfc_sim::clock::Clock;
 use morena_nfc_sim::controller::NfcHandle;
 use morena_nfc_sim::world::{PhoneId, World};
+use morena_obs::expose::ExpositionServer;
+use morena_obs::timeseries::{Sampler, SamplerConfig};
+use morena_obs::WatchdogConfig;
 
 use crate::router::EventRouter;
 use crate::sched::{Execution, ExecutionPolicy};
@@ -101,6 +104,40 @@ impl MorenaContext {
         self.exec.policy()
     }
 
+    /// Start the continuous telemetry sampler over this context's
+    /// world: a background thread capturing metric rates, queue
+    /// depths, memory, and health into bounded ring buffers on
+    /// `config.interval` cadence (see
+    /// [`morena_obs::timeseries`]).
+    ///
+    /// Timestamps come from this context's clock, so series line up
+    /// with every other obs artifact; the cadence itself is real time,
+    /// so a wedged world cannot wedge its own monitor. **Shutdown
+    /// ordering:** stop (or drop) the returned [`Sampler`] *before*
+    /// tearing down the world — the sampler joins its thread on drop,
+    /// after which no tick can observe half-dropped components.
+    pub fn start_sampler(&self, config: SamplerConfig) -> Sampler {
+        let recorder = Arc::clone(self.nfc.world().obs());
+        let clock = Arc::clone(&self.clock);
+        Sampler::spawn(recorder, move || clock.now().as_nanos(), config)
+    }
+
+    /// Serve this world's metrics and live health as an
+    /// OpenMetrics/Prometheus scrape endpoint on `addr` (port 0 picks
+    /// an ephemeral port; ask the returned server for
+    /// [`local_addr`](ExpositionServer::local_addr)). Each scrape
+    /// evaluates a fresh watchdog verdict under `watchdog` thresholds.
+    /// The server joins its thread on shutdown or drop.
+    pub fn serve_metrics(
+        &self,
+        addr: impl std::net::ToSocketAddrs,
+        watchdog: WatchdogConfig,
+    ) -> std::io::Result<ExpositionServer> {
+        let recorder = Arc::clone(self.nfc.world().obs());
+        let clock = Arc::clone(&self.clock);
+        ExpositionServer::bind(addr, recorder, move || clock.now().as_nanos(), watchdog)
+    }
+
     /// The engine far-reference loops attach to.
     pub(crate) fn execution(&self) -> &Execution {
         &self.exec
@@ -143,6 +180,39 @@ mod tests {
         let (tx, rx) = crossbeam::channel::unbounded();
         clone.handler().post(move || tx.send(42).unwrap());
         assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap(), 42);
+    }
+
+    #[test]
+    fn sampler_and_exposition_wire_to_the_worlds_recorder() {
+        use std::io::{Read as _, Write as _};
+
+        let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 0);
+        let phone = world.add_phone("svc");
+        let ctx = MorenaContext::headless(&world, phone);
+        world.obs().metrics().counter("ctx.test.counter").add(3);
+
+        let mut sampler = ctx.start_sampler(SamplerConfig {
+            interval: std::time::Duration::from_millis(2),
+            ..SamplerConfig::default()
+        });
+        for _ in 0..500 {
+            if sampler.series().latest("inspect.health").is_some() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        sampler.stop();
+        assert_eq!(sampler.series().latest("inspect.health"), Some(0.0));
+        assert!(world.obs().metrics().snapshot().counter("obs.sampler.ticks") > 0);
+
+        let server = ctx.serve_metrics(("127.0.0.1", 0), WatchdogConfig::default()).unwrap();
+        let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+        stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "got: {response}");
+        assert!(response.contains("morena_ctx_test_counter_total 3"));
+        assert!(response.trim_end().ends_with("# EOF"));
     }
 
     #[test]

@@ -70,6 +70,20 @@ impl FaultKind {
             FaultKind::LatencySpike => "latency_spike",
         }
     }
+
+    /// Per-class injection counter name in the world's metrics registry
+    /// (`sim.fault.<label>`). These are the ground-truth series the
+    /// telemetry sampler turns into injection *rates*, scrapeable next
+    /// to the middleware's recovery metrics they explain.
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            FaultKind::RfDrop => "sim.fault.rf_drop",
+            FaultKind::TornWrite => "sim.fault.torn_write",
+            FaultKind::Corruption => "sim.fault.corruption",
+            FaultKind::StuckTag => "sim.fault.stuck_tag",
+            FaultKind::LatencySpike => "sim.fault.latency_spike",
+        }
+    }
 }
 
 /// Per-class injection probabilities, each in `[0, 1]`, drawn

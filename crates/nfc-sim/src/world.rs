@@ -733,6 +733,9 @@ impl World {
                 fault: kind.label(),
             });
             self.obs.metrics().counter("sim.fault_injected").inc();
+            // Per-class ground truth next to the aggregate, so the
+            // telemetry sampler can expose injection rate by class.
+            self.obs.metrics().counter(kind.metric_name()).inc();
             match kind {
                 FaultKind::RfDrop => {
                     // The command reaches the tag and takes effect; the

@@ -1,0 +1,466 @@
+//! The always-on flight recorder: bounded per-component event history
+//! with JSON dump-to-disk on stall, panic, or demand.
+//!
+//! A snapshot ([`crate::inspect`]) tells you a loop is stuck *now*; a
+//! metrics series ([`crate::timeseries`]) tells you *when* throughput
+//! cliffed; neither tells you the last thing the stuck component
+//! actually did. The [`FlightRecorder`] is an [`ObsSink`] that keeps,
+//! per component, a small ring of the most recent [`ObsEvent`]s —
+//! cheap enough to leave installed for a process's whole life (the
+//! black-box recorder, not the full trace).
+//!
+//! **Component attribution.** Events carry no component field, so the
+//! recorder derives one: `OpEnqueued` names its event loop and
+//! registers the op id; later `OpAttempt`/`OpCompleted` events for the
+//! same id land in the same ring (the id mapping is bounded and
+//! evicted FIFO, so an id that outlives the map falls back to the
+//! `unattributed` ring). Physical tag traffic keys as `tag-<uid>` —
+//! deliberately the same shape as the middleware's loop names — so a
+//! loop's retries and its tag's radio ground truth interleave in one
+//! ring. Beam/peer traffic keys as `phone-<n>`.
+//!
+//! **Dumps.** [`FlightRecorder::dump_json`] renders everything held —
+//! per-component rings, the health-transition history fed by
+//! [`FlightRecorder::note_health`], and optionally the triggering
+//! [`HealthReport`] — as one JSON document. Three triggers write it to
+//! disk: the sampler on a `Healthy/Degraded → Stalled` transition
+//! (wired in [`crate::timeseries`]), a process panic (via
+//! [`install_panic_hook`]), and on demand ([`FlightRecorder::dump_to_dir`]).
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::event::{EventKind, ObsEvent};
+use crate::inspect::{Health, HealthReport};
+use crate::json::write_str;
+use crate::sink::ObsSink;
+
+/// Ring key for events that cannot be attributed to a component (an
+/// `OpAttempt` whose enqueue was evicted from the id map, for example).
+pub const UNATTRIBUTED: &str = "unattributed";
+
+/// Ring key absorbing events for new components once
+/// [`FlightConfig::max_components`] distinct rings exist.
+pub const OVERFLOW: &str = "overflow";
+
+/// Sizing knobs for a [`FlightRecorder`]. Everything is bounded; the
+/// recorder's footprint is `O(max_components × events_per_component)`
+/// regardless of run length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightConfig {
+    /// Events retained per component ring. Default 64.
+    pub events_per_component: usize,
+    /// Distinct component rings before new components fall into the
+    /// [`OVERFLOW`] ring. Default 512.
+    pub max_components: usize,
+    /// Health transitions retained. Default 256.
+    pub health_history: usize,
+    /// Live `op_id → component` mappings retained for attribution.
+    /// Default 4096.
+    pub op_index_capacity: usize,
+}
+
+impl Default for FlightConfig {
+    fn default() -> FlightConfig {
+        FlightConfig {
+            events_per_component: 64,
+            max_components: 512,
+            health_history: 256,
+            op_index_capacity: 4096,
+        }
+    }
+}
+
+struct ComponentRing {
+    events: VecDeque<ObsEvent>,
+    dropped: u64,
+}
+
+struct FlightState {
+    components: BTreeMap<String, ComponentRing>,
+    op_owners: HashMap<u64, String>,
+    op_order: VecDeque<u64>,
+    health: VecDeque<(u64, Health)>,
+    last_health: Option<Health>,
+    last_at_nanos: u64,
+}
+
+/// The always-on bounded event history. See the [module docs](self).
+pub struct FlightRecorder {
+    config: FlightConfig,
+    state: Mutex<FlightState>,
+    dump_seq: AtomicU64,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::new(FlightConfig::default())
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder with the given bounds.
+    pub fn new(config: FlightConfig) -> FlightRecorder {
+        FlightRecorder {
+            config: FlightConfig {
+                events_per_component: config.events_per_component.max(1),
+                max_components: config.max_components.max(1),
+                health_history: config.health_history.max(1),
+                op_index_capacity: config.op_index_capacity.max(1),
+            },
+            state: Mutex::new(FlightState {
+                components: BTreeMap::new(),
+                op_owners: HashMap::new(),
+                op_order: VecDeque::new(),
+                health: VecDeque::new(),
+                last_health: None,
+                last_at_nanos: 0,
+            }),
+            dump_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a health verdict. Only *transitions* are stored (the
+    /// sampler calls this every tick; a steady state is one entry), so
+    /// the history reads as "when did degradation begin".
+    pub fn note_health(&self, at_nanos: u64, health: Health) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.last_at_nanos = state.last_at_nanos.max(at_nanos);
+        if state.last_health == Some(health) {
+            return;
+        }
+        state.last_health = Some(health);
+        if state.health.len() == self.config.health_history {
+            state.health.pop_front();
+        }
+        state.health.push_back((at_nanos, health));
+    }
+
+    /// Component names currently holding events, sorted.
+    pub fn component_names(&self) -> Vec<String> {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.components.keys().cloned().collect()
+    }
+
+    /// A copy of one component's retained events, oldest first.
+    pub fn component_events(&self, name: &str) -> Vec<ObsEvent> {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.components.get(name).map(|r| r.events.iter().cloned().collect()).unwrap_or_default()
+    }
+
+    /// The health-transition history, oldest first.
+    pub fn health_history(&self) -> Vec<(u64, Health)> {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.health.iter().copied().collect()
+    }
+
+    /// Total events currently retained across all rings.
+    pub fn total_events(&self) -> usize {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.components.values().map(|r| r.events.len()).sum()
+    }
+
+    /// Render everything held as one JSON document:
+    /// `{"at_ns":…,"reason":…,"health_history":[…],"report":…|null,
+    /// "components":{"<name>":{"dropped":…,"events":[…]},…}}`.
+    ///
+    /// `at_nanos` of 0 falls back to the newest timestamp the recorder
+    /// has seen (the panic hook has no clock to ask).
+    pub fn dump_json(&self, reason: &str, at_nanos: u64, report: Option<&HealthReport>) -> String {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let at = if at_nanos == 0 { state.last_at_nanos } else { at_nanos };
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"at_ns\":");
+        out.push_str(&at.to_string());
+        out.push_str(",\"reason\":");
+        write_str(&mut out, reason);
+        out.push_str(",\"health_history\":[");
+        for (i, (t, h)) in state.health.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"at_ns\":{},\"health\":\"{}\"}}", t, h.label()));
+        }
+        out.push_str("],\"report\":");
+        match report {
+            Some(report) => out.push_str(&report.to_json()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"components\":{");
+        for (i, (name, ring)) in state.components.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_str(&mut out, name);
+            out.push_str(&format!(":{{\"dropped\":{},\"events\":[", ring.dropped));
+            for (j, event) in ring.events.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&event.to_json());
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Write [`FlightRecorder::dump_json`] to `path`.
+    pub fn dump_to_file(
+        &self,
+        path: &Path,
+        reason: &str,
+        at_nanos: u64,
+        report: Option<&HealthReport>,
+    ) -> std::io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.dump_json(reason, at_nanos, report).as_bytes())?;
+        file.flush()
+    }
+
+    /// Write a dump into `dir` (created if absent) as
+    /// `flight-<reason>-<n>.json`, `n` increasing per recorder so
+    /// repeated triggers never clobber earlier evidence. Returns the
+    /// path written.
+    pub fn dump_to_dir(
+        &self,
+        dir: &Path,
+        reason: &str,
+        at_nanos: u64,
+        report: Option<&HealthReport>,
+    ) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let n = self.dump_seq.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("flight-{reason}-{n}.json"));
+        self.dump_to_file(&path, reason, at_nanos, report)?;
+        Ok(path)
+    }
+
+    fn component_key(&self, state: &mut FlightState, kind: &EventKind) -> String {
+        match kind {
+            EventKind::OpEnqueued { op_id, loop_name, .. } => {
+                if state.op_owners.len() == self.config.op_index_capacity {
+                    if let Some(evicted) = state.op_order.pop_front() {
+                        state.op_owners.remove(&evicted);
+                    }
+                }
+                if state.op_owners.insert(*op_id, loop_name.clone()).is_none() {
+                    state.op_order.push_back(*op_id);
+                }
+                loop_name.clone()
+            }
+            EventKind::OpAttempt { op_id, .. } => {
+                state.op_owners.get(op_id).cloned().unwrap_or_else(|| UNATTRIBUTED.to_string())
+            }
+            EventKind::OpCompleted { op_id, .. } => {
+                // The terminal event still lands in the owner's ring;
+                // the mapping itself is no longer needed (the op_order
+                // entry becomes a cheap stale eviction later).
+                state.op_owners.remove(op_id).unwrap_or_else(|| UNATTRIBUTED.to_string())
+            }
+            EventKind::TagDetected { target, .. }
+            | EventKind::EmptyTagDetected { target, .. }
+            | EventKind::Lease { target, .. }
+            | EventKind::PhysTagEntered { target, .. }
+            | EventKind::PhysTagLeft { target, .. }
+            | EventKind::PhysExchange { target, .. }
+            | EventKind::FaultInjected { target, .. } => format!("tag-{target}"),
+            EventKind::BeamReceived { phone, .. }
+            | EventKind::PeerReceived { phone, .. }
+            | EventKind::SpanClosed { phone, .. }
+            | EventKind::PhysBeam { phone, .. }
+            | EventKind::PhysPeerEntered { phone, .. }
+            | EventKind::PhysPeerLeft { phone, .. } => format!("phone-{phone}"),
+        }
+    }
+}
+
+impl ObsSink for FlightRecorder {
+    fn record(&self, event: &ObsEvent) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.last_at_nanos = state.last_at_nanos.max(event.at_nanos);
+        let mut key = self.component_key(&mut state, &event.kind);
+        if !state.components.contains_key(&key)
+            && state.components.len() >= self.config.max_components
+        {
+            key = OVERFLOW.to_string();
+        }
+        let ring = state.components.entry(key).or_insert_with(|| ComponentRing {
+            events: VecDeque::with_capacity(self.config.events_per_component.min(64)),
+            dropped: 0,
+        });
+        if ring.events.len() == self.config.events_per_component {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(event.clone());
+    }
+}
+
+/// Install a process-wide panic hook that dumps `flight` into `dir`
+/// before delegating to the previous hook. Idempotent in effect but
+/// each call chains another hook, so call once per process; the hook
+/// holds only a weak reference, so a dropped recorder makes the hook a
+/// no-op rather than pinning its buffers forever.
+pub fn install_panic_hook(flight: &Arc<FlightRecorder>, dir: PathBuf) {
+    let weak = Arc::downgrade(flight);
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if let Some(flight) = weak.upgrade() {
+            let _ = flight.dump_to_dir(&dir, "panic", 0, None);
+        }
+        previous(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{AttemptOutcome, OpKind, OpOutcome};
+
+    fn enqueue(seq: u64, op_id: u64, loop_name: &str) -> ObsEvent {
+        ObsEvent {
+            seq,
+            at_nanos: seq * 100,
+            kind: EventKind::OpEnqueued {
+                op_id,
+                loop_name: loop_name.into(),
+                phone: 0,
+                target: loop_name.trim_start_matches("tag-").into(),
+                op: OpKind::Write,
+                deadline_nanos: 1_000_000,
+            },
+        }
+    }
+
+    fn attempt(seq: u64, op_id: u64) -> ObsEvent {
+        ObsEvent {
+            seq,
+            at_nanos: seq * 100,
+            kind: EventKind::OpAttempt {
+                op_id,
+                started_nanos: 0,
+                duration_nanos: 50,
+                outcome: AttemptOutcome::Transient,
+            },
+        }
+    }
+
+    #[test]
+    fn op_events_attribute_to_their_loop() {
+        let flight = FlightRecorder::default();
+        flight.record(&enqueue(0, 7, "tag-A"));
+        flight.record(&attempt(1, 7));
+        flight.record(&ObsEvent {
+            seq: 2,
+            at_nanos: 200,
+            kind: EventKind::OpCompleted { op_id: 7, outcome: OpOutcome::Succeeded },
+        });
+        // Unknown op id after completion removed the mapping.
+        flight.record(&attempt(3, 7));
+        assert_eq!(flight.component_events("tag-A").len(), 3);
+        assert_eq!(flight.component_events(UNATTRIBUTED).len(), 1);
+    }
+
+    #[test]
+    fn phys_events_share_the_loops_ring_key() {
+        let flight = FlightRecorder::default();
+        flight.record(&enqueue(0, 1, "tag-A"));
+        flight.record(&ObsEvent {
+            seq: 1,
+            at_nanos: 100,
+            kind: EventKind::PhysTagLeft { phone: 0, target: "A".into() },
+        });
+        flight.record(&ObsEvent {
+            seq: 2,
+            at_nanos: 200,
+            kind: EventKind::PhysBeam { phone: 3, bytes: 10, delivered: 1 },
+        });
+        assert_eq!(flight.component_events("tag-A").len(), 2);
+        assert_eq!(flight.component_events("phone-3").len(), 1);
+    }
+
+    #[test]
+    fn rings_are_bounded_and_count_drops() {
+        let flight = FlightRecorder::new(FlightConfig {
+            events_per_component: 2,
+            ..FlightConfig::default()
+        });
+        for seq in 0..5 {
+            flight.record(&enqueue(seq, seq, "tag-A"));
+        }
+        let events = flight.component_events("tag-A");
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 3);
+        assert!(flight.dump_json("test", 0, None).contains("\"dropped\":3"));
+    }
+
+    #[test]
+    fn component_count_is_bounded_by_overflow_ring() {
+        let flight =
+            FlightRecorder::new(FlightConfig { max_components: 2, ..FlightConfig::default() });
+        flight.record(&enqueue(0, 0, "tag-A"));
+        flight.record(&enqueue(1, 1, "tag-B"));
+        flight.record(&enqueue(2, 2, "tag-C"));
+        // The third component gets no ring of its own; its events land
+        // in the shared OVERFLOW ring (the bound is on *named* rings).
+        let names = flight.component_names();
+        assert!(!names.iter().any(|n| n == "tag-C"), "got {names:?}");
+        assert_eq!(names, vec![OVERFLOW.to_string(), "tag-A".to_string(), "tag-B".to_string()]);
+        assert_eq!(flight.component_events(OVERFLOW).len(), 1);
+    }
+
+    #[test]
+    fn health_history_stores_transitions_only() {
+        let flight = FlightRecorder::default();
+        flight.note_health(10, Health::Healthy);
+        flight.note_health(20, Health::Healthy);
+        flight.note_health(30, Health::Degraded);
+        flight.note_health(40, Health::Degraded);
+        flight.note_health(50, Health::Stalled);
+        assert_eq!(
+            flight.health_history(),
+            vec![(10, Health::Healthy), (30, Health::Degraded), (50, Health::Stalled)]
+        );
+    }
+
+    #[test]
+    fn dump_names_components_and_reason() {
+        let flight = FlightRecorder::default();
+        flight.record(&enqueue(0, 9, "tag-stuck"));
+        flight.record(&attempt(1, 9));
+        flight.note_health(500, Health::Stalled);
+        let json = flight.dump_json("stalled", 999, None);
+        assert!(json.starts_with("{\"at_ns\":999,\"reason\":\"stalled\""));
+        assert!(json.contains("\"tag-stuck\""));
+        assert!(json.contains("\"type\":\"op_attempt\""));
+        assert!(json.contains("{\"at_ns\":500,\"health\":\"stalled\"}"));
+        assert!(json.contains("\"report\":null"));
+        assert!(json.ends_with("}}"));
+    }
+
+    #[test]
+    fn dump_at_zero_falls_back_to_last_seen_timestamp() {
+        let flight = FlightRecorder::default();
+        flight.record(&enqueue(3, 1, "tag-A")); // at_nanos = 300
+        let json = flight.dump_json("panic", 0, None);
+        assert!(json.starts_with("{\"at_ns\":300,"), "got {json}");
+    }
+
+    #[test]
+    fn dump_to_dir_writes_unique_files() {
+        let dir = std::env::temp_dir().join(format!("morena-flight-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let flight = FlightRecorder::default();
+        flight.record(&enqueue(0, 0, "tag-A"));
+        let a = flight.dump_to_dir(&dir, "stalled", 100, None).unwrap();
+        let b = flight.dump_to_dir(&dir, "stalled", 200, None).unwrap();
+        assert_ne!(a, b);
+        let text = std::fs::read_to_string(&a).unwrap();
+        assert!(text.contains("\"tag-A\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -66,12 +66,14 @@
 //! assert!(inspector.snapshot(2_000_000).components.is_empty());
 //! ```
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Mutex, Weak};
 
 use crate::json::ObjectWriter;
 use crate::metrics::MetricsSnapshot;
 use crate::metrics::{fmt_bytes, fmt_nanos};
+use crate::timeseries::SeriesStore;
 
 /// A live component that can describe itself cheaply.
 ///
@@ -392,21 +394,72 @@ impl Default for WatchdogConfig {
     }
 }
 
-/// Evaluates snapshots against the stall rules.
+/// One observed change of overall health, with its timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthTransition {
+    /// When the transition was observed (the snapshot's timestamp).
+    pub at_nanos: u64,
+    /// Health before.
+    pub from: Health,
+    /// Health after.
+    pub to: Health,
+}
+
+/// Health verdicts retained per watchdog (transitions only, so a
+/// steady state costs one entry).
+const HEALTH_HISTORY_CAP: usize = 256;
+
 #[derive(Debug, Clone, Default)]
+struct WatchdogState {
+    last_health: Option<Health>,
+    degraded_since_nanos: Option<u64>,
+    last_transition: Option<HealthTransition>,
+    history: VecDeque<(u64, Health)>,
+}
+
+/// Evaluates snapshots against the stall rules.
+///
+/// The watchdog is stateful across evaluations: it remembers the last
+/// verdict, keeps a bounded history of health *transitions*, and tracks
+/// when the current spell of degradation began
+/// ([`HealthReport::degraded_since_nanos`]) — an instantaneous verdict
+/// says a loop is stuck, the transition timestamp says since when.
+#[derive(Debug, Default)]
 pub struct Watchdog {
     config: WatchdogConfig,
+    state: Mutex<WatchdogState>,
+}
+
+impl Clone for Watchdog {
+    /// Clones thresholds *and* the accumulated health history.
+    fn clone(&self) -> Watchdog {
+        Watchdog {
+            config: self.config,
+            state: Mutex::new(self.state.lock().unwrap_or_else(|e| e.into_inner()).clone()),
+        }
+    }
 }
 
 impl Watchdog {
     /// A watchdog with explicit thresholds.
     pub fn with_config(config: WatchdogConfig) -> Watchdog {
-        Watchdog { config }
+        Watchdog { config, state: Mutex::new(WatchdogState::default()) }
     }
 
     /// The active thresholds.
     pub fn config(&self) -> &WatchdogConfig {
         &self.config
+    }
+
+    /// Health transitions observed so far, oldest first (bounded; the
+    /// first entry is the initial verdict).
+    pub fn health_history(&self) -> Vec<(u64, Health)> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).history.iter().copied().collect()
+    }
+
+    /// The most recent change of overall health, if any happened yet.
+    pub fn last_transition(&self) -> Option<HealthTransition> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).last_transition
     }
 
     /// Evaluates one snapshot (no metrics — the sink-drop rule is
@@ -543,12 +596,43 @@ impl Watchdog {
 
         findings.sort_by_key(|f| std::cmp::Reverse(f.health));
         let health = findings.iter().map(|f| f.health).max().unwrap_or(Health::Healthy);
+        let degraded_since_nanos = self.note_verdict(snapshot.at_nanos, health);
         HealthReport {
             at_nanos: snapshot.at_nanos,
             health,
             findings,
             total_mem_bytes: snapshot.total_mem_bytes(),
+            degraded_since_nanos,
         }
+    }
+
+    /// Fold one verdict into the transition history; returns when the
+    /// current degradation spell began (`None` while healthy). Entering
+    /// `Degraded`/`Stalled` from `Healthy` starts the spell; moving
+    /// between the two non-healthy states keeps the original start, so
+    /// the report answers "how long has this been wrong", not "how long
+    /// at this exact severity".
+    fn note_verdict(&self, at_nanos: u64, health: Health) -> Option<u64> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.last_health != Some(health) {
+            if let Some(from) = state.last_health {
+                state.last_transition = Some(HealthTransition { at_nanos, from, to: health });
+            }
+            if state.history.len() == HEALTH_HISTORY_CAP {
+                state.history.pop_front();
+            }
+            state.history.push_back((at_nanos, health));
+            match health {
+                Health::Healthy => state.degraded_since_nanos = None,
+                Health::Degraded | Health::Stalled => {
+                    if state.degraded_since_nanos.is_none() {
+                        state.degraded_since_nanos = Some(at_nanos);
+                    }
+                }
+            }
+            state.last_health = Some(health);
+        }
+        state.degraded_since_nanos
     }
 }
 
@@ -564,10 +648,16 @@ pub struct HealthReport {
     /// Total best-effort middleware footprint at snapshot time (see
     /// [`InspectorSnapshot::total_mem_bytes`]).
     pub total_mem_bytes: u64,
+    /// When the current spell of non-`Healthy` verdicts began, from the
+    /// evaluating watchdog's transition history. `None` while healthy
+    /// (or when the report was built by a fresh watchdog that has only
+    /// ever seen this snapshot — then it equals `at_nanos`).
+    pub degraded_since_nanos: Option<u64>,
 }
 
 impl HealthReport {
     /// Render as a flat JSON object (for artifacts and dashboards).
+    /// `degraded_since_ns` is present only while non-healthy.
     pub fn to_json(&self) -> String {
         let mut findings = String::from("[");
         for (i, f) in self.findings.iter().enumerate() {
@@ -586,8 +676,11 @@ impl HealthReport {
         w.u64("at_ns", self.at_nanos)
             .str("health", self.health.label())
             .u64("finding_count", self.findings.len() as u64)
-            .u64("mem_bytes", self.total_mem_bytes)
-            .raw("findings", &findings);
+            .u64("mem_bytes", self.total_mem_bytes);
+        if let Some(since) = self.degraded_since_nanos {
+            w.u64("degraded_since_ns", since);
+        }
+        w.raw("findings", &findings);
         w.finish()
     }
 }
@@ -600,22 +693,58 @@ fn pad(out: &mut String, text: &str, width: usize) {
     out.push_str("  ");
 }
 
+/// Width of the sparkline columns rendered by
+/// [`render_top_with_series`].
+const SPARK_WIDTH: usize = 12;
+
 /// Render a snapshot plus its health report as a "morena-top" text
 /// table: one header line, one line per event loop (the busiest
 /// components), shard/world summaries, and the findings.
 pub fn render_top(snapshot: &InspectorSnapshot, report: &HealthReport) -> String {
+    render_top_inner(snapshot, report, None)
+}
+
+/// [`render_top`] with history from a sampler's
+/// [`SeriesStore`](crate::timeseries::SeriesStore): the loop table
+/// gains a `TREND` sparkline column (each loop's recent queue depth),
+/// and the non-loop series are listed with sparklines and latest
+/// values below the component summaries.
+pub fn render_top_with_series(
+    snapshot: &InspectorSnapshot,
+    report: &HealthReport,
+    series: &SeriesStore,
+) -> String {
+    render_top_inner(snapshot, report, Some(series))
+}
+
+fn render_top_inner(
+    snapshot: &InspectorSnapshot,
+    report: &HealthReport,
+    series: Option<&SeriesStore>,
+) -> String {
     let mut out = String::new();
+    let since = match (report.health, report.degraded_since_nanos) {
+        (Health::Healthy, _) | (_, None) => String::new(),
+        (_, Some(since)) => {
+            format!(" (degraded for {})", fmt_nanos(snapshot.at_nanos.saturating_sub(since)))
+        }
+    };
     out.push_str(&format!(
-        "morena-top @ {}  health: {}  mem: {}\n",
+        "morena-top @ {}  health: {}{}  mem: {}\n",
         fmt_nanos(snapshot.at_nanos),
         report.health.label().to_uppercase(),
+        since,
         fmt_bytes(snapshot.total_mem_bytes()),
     ));
 
     let loops: Vec<&LoopSnapshot> = snapshot.loops().collect();
     if !loops.is_empty() {
-        let header = ["LOOP", "KIND", "CONN", "QUEUE", "MEM", "HEAD OP", "AGE/BUDGET", "TRIES"];
-        let mut rows: Vec<[String; 8]> = Vec::with_capacity(loops.len());
+        let mut header =
+            vec!["LOOP", "KIND", "CONN", "QUEUE", "MEM", "HEAD OP", "AGE/BUDGET", "TRIES"];
+        if series.is_some() {
+            header.push("TREND");
+        }
+        let mut rows: Vec<Vec<String>> = Vec::with_capacity(loops.len());
         for l in &loops {
             let (head_op, age, tries) = match &l.head {
                 Some(h) => (
@@ -625,7 +754,7 @@ pub fn render_top(snapshot: &InspectorSnapshot, report: &HealthReport) -> String
                 ),
                 None => ("-".into(), "-".into(), "-".into()),
             };
-            rows.push([
+            let mut row = vec![
                 l.name.clone(),
                 l.kind.to_string(),
                 if l.connected { "yes".into() } else { "no".into() },
@@ -634,12 +763,13 @@ pub fn render_top(snapshot: &InspectorSnapshot, report: &HealthReport) -> String
                 head_op,
                 age,
                 tries,
-            ]);
+            ];
+            if let Some(series) = series {
+                row.push(series.sparkline(&format!("loop.{}.queue", l.name), SPARK_WIDTH));
+            }
+            rows.push(row);
         }
-        let mut widths = [0usize; 8];
-        for (i, h) in header.iter().enumerate() {
-            widths[i] = h.chars().count();
-        }
+        let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
         for row in &rows {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.chars().count());
@@ -713,6 +843,20 @@ pub fn render_top(snapshot: &InspectorSnapshot, report: &HealthReport) -> String
                 out.push_str(&format!("world: {} | {}\n", presence.join("; "), faults));
             }
             ComponentSnapshot::Loop(_) => {}
+        }
+    }
+
+    if let Some(series) = series {
+        for name in series.names() {
+            // Per-loop queue history already rendered as the TREND
+            // column; everything else (counter rates, gauges,
+            // aggregates) gets a line here.
+            if name.starts_with("loop.") {
+                continue;
+            }
+            let spark = series.sparkline(&name, SPARK_WIDTH * 2);
+            let latest = series.latest(&name).unwrap_or(0.0);
+            out.push_str(&format!("series {name:<32} {spark:<24} latest {latest:.1}\n"));
         }
     }
 
@@ -973,6 +1117,85 @@ mod tests {
         assert_eq!(report.total_mem_bytes, 704);
         assert!(report.to_json().contains("\"mem_bytes\":704"));
         assert!(render_top(&snap, &report).contains("mem:"));
+    }
+
+    fn snap_at(at_nanos: u64, l: LoopSnapshot) -> InspectorSnapshot {
+        InspectorSnapshot {
+            at_nanos,
+            components: vec![ComponentEntry {
+                id: l.name.clone(),
+                state: ComponentSnapshot::Loop(l),
+            }],
+        }
+    }
+
+    #[test]
+    fn watchdog_tracks_degradation_onset_across_evaluations() {
+        let watchdog = Watchdog::default();
+
+        let report = watchdog.evaluate(&snap_at(10, idle_loop("tag-1")));
+        assert_eq!(report.degraded_since_nanos, None);
+
+        // Healthy → Degraded at t=20: the spell starts here...
+        let report = watchdog.evaluate(&snap_at(20, busy_loop("tag-1", 800, 1_000, 2)));
+        assert_eq!(report.health, Health::Degraded);
+        assert_eq!(report.degraded_since_nanos, Some(20));
+
+        // ...and escalating to Stalled keeps the original onset.
+        let report = watchdog.evaluate(&snap_at(30, busy_loop("tag-1", 9_000, 1_000, 2)));
+        assert_eq!(report.health, Health::Stalled);
+        assert_eq!(report.degraded_since_nanos, Some(20));
+        assert!(report.to_json().contains("\"degraded_since_ns\":20"));
+        let transition = watchdog.last_transition().unwrap();
+        assert_eq!(
+            (transition.at_nanos, transition.from, transition.to),
+            (30, Health::Degraded, Health::Stalled)
+        );
+
+        // Recovery clears the spell; the JSON drops the field.
+        let report = watchdog.evaluate(&snap_at(40, idle_loop("tag-1")));
+        assert_eq!(report.degraded_since_nanos, None);
+        assert!(!report.to_json().contains("degraded_since_ns"));
+
+        assert_eq!(
+            watchdog.health_history(),
+            vec![
+                (10, Health::Healthy),
+                (20, Health::Degraded),
+                (30, Health::Stalled),
+                (40, Health::Healthy)
+            ]
+        );
+    }
+
+    #[test]
+    fn render_top_shows_degradation_duration() {
+        let watchdog = Watchdog::default();
+        watchdog.evaluate(&snap_at(1_000_000_000, busy_loop("tag-1", 800, 1_000, 2)));
+        let snap = snap_at(3_000_000_000, busy_loop("tag-1", 900, 1_000, 2));
+        let report = watchdog.evaluate(&snap);
+        let top = render_top(&snap, &report);
+        assert!(top.contains("(degraded for 2.00s)"), "got: {top}");
+    }
+
+    #[test]
+    fn render_top_with_series_adds_trend_column_and_series_lines() {
+        let store = SeriesStore::new(16);
+        for t in 0..8u64 {
+            store.record("loop.tag-1.queue", t * 1_000, t as f64);
+            store.record("ops.test", t * 1_000, 5.0 + t as f64);
+        }
+        let snap = snap_at(8_000, idle_loop("tag-1"));
+        let report = Watchdog::default().evaluate(&snap);
+        let top = render_top_with_series(&snap, &report, &store);
+        assert!(top.contains("TREND"), "got: {top}");
+        assert!(top.contains('█'), "queue sparkline missing: {top}");
+        assert!(top.contains("series ops.test"), "got: {top}");
+        assert!(top.contains("latest 12.0"), "got: {top}");
+        // Per-loop series render only in the TREND column, not as lines.
+        assert!(!top.contains("series loop.tag-1.queue"), "got: {top}");
+        // The plain renderer is unchanged by history existing.
+        assert!(!render_top(&snap, &report).contains("TREND"));
     }
 
     #[test]

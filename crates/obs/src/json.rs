@@ -9,6 +9,12 @@
 use std::fmt::Write as _;
 
 /// Append `s` to `out` as a JSON string literal (with quotes).
+///
+/// The output is pure ASCII: control characters and every non-ASCII
+/// scalar are `\uXXXX`-escaped (as a UTF-16 surrogate pair beyond the
+/// BMP), so flight dumps and Chrome traces stay valid JSON — and safe
+/// for latin-1-assuming consumers — no matter what ends up in a
+/// component or metric name.
 pub(crate) fn write_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -18,8 +24,11 @@ pub(crate) fn write_str(out: &mut String, s: &str) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
+            c if (c as u32) < 0x20 || c == '\u{7f}' || !c.is_ascii() => {
+                let mut units = [0u16; 2];
+                for unit in c.encode_utf16(&mut units) {
+                    let _ = write!(out, "\\u{unit:04x}");
+                }
             }
             c => out.push(c),
         }
@@ -93,6 +102,18 @@ mod tests {
         let mut out = String::new();
         write_str(&mut out, "a\"b\\c\nd\u{1}");
         assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn escapes_non_ascii_to_pure_ascii() {
+        let mut out = String::new();
+        write_str(&mut out, "tag-π\u{7f}");
+        assert_eq!(out, "\"tag-\\u03c0\\u007f\"");
+        // Beyond the BMP: a UTF-16 surrogate pair.
+        let mut out = String::new();
+        write_str(&mut out, "🦀");
+        assert_eq!(out, "\"\\ud83e\\udd80\"");
+        assert!(out.is_ascii());
     }
 
     #[test]

@@ -35,6 +35,15 @@
 //!   `mem_bytes` figures, and (behind the `alloc-profile` feature) a
 //!   counting global allocator with [`AllocScope`] regions so benches
 //!   can assert allocations per operation.
+//! * [`timeseries`] — the continuous plane: a background [`Sampler`]
+//!   turning metric deltas and inspector snapshots into bounded
+//!   per-series ring buffers, with sparkline rendering for
+//!   [`render_top_with_series`].
+//! * [`expose`] — OpenMetrics text exposition and the dependency-free
+//!   [`ExpositionServer`] HTTP scrape endpoint.
+//! * [`flight`] — the always-on [`FlightRecorder`] black box: bounded
+//!   per-component event history, dumped to disk on stall transitions,
+//!   panics, or demand.
 //!
 //! The crate is deliberately dependency-free (std only) and knows
 //! nothing about the middleware or the simulator: identities are plain
@@ -82,6 +91,8 @@
 pub mod chrome;
 pub mod correlate;
 pub mod event;
+pub mod expose;
+pub mod flight;
 pub mod inspect;
 mod json;
 pub mod metrics;
@@ -89,16 +100,20 @@ pub mod opstats;
 pub mod profile;
 pub mod recorder;
 pub mod sink;
+pub mod timeseries;
 
 pub use chrome::{export_chrome_trace, ChromeTraceSink};
 pub use correlate::{correlate, OpBreakdown};
 pub use event::{AttemptOutcome, EventKind, LeaseAction, ObsEvent, OpKind, OpOutcome, NO_OPCODE};
+pub use expose::{render_openmetrics, ExpositionServer, OPENMETRICS_CONTENT_TYPE};
+pub use flight::{install_panic_hook, FlightConfig, FlightRecorder};
 pub use inspect::{
-    render_top, ComponentSnapshot, Finding, Health, HealthReport, Inspector, InspectorSnapshot,
-    SnapshotProvider, Watchdog, WatchdogConfig,
+    render_top, render_top_with_series, ComponentSnapshot, Finding, Health, HealthReport,
+    HealthTransition, Inspector, InspectorSnapshot, SnapshotProvider, Watchdog, WatchdogConfig,
 };
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use opstats::{OpStats, OpStatsSnapshot};
 pub use profile::{AllocScope, AllocStats, MemFootprint};
 pub use recorder::{Recorder, Span};
 pub use sink::{JsonlSink, NullSink, ObsSink, RingSink, TeeSink};
+pub use timeseries::{sparkline, Sampler, SamplerConfig, SeriesRing, SeriesStore};

@@ -366,6 +366,15 @@ impl MetricsSnapshot {
     /// so a window that first touches a metric reports its full value.
     /// This is how benches report per-window rates instead of
     /// process-lifetime totals.
+    ///
+    /// **Counter resets clamp to zero.** If `earlier` is *ahead* of
+    /// `self` for some counter or histogram bucket — a restarted
+    /// process scraped across the restart, a registry swapped under a
+    /// long-lived sampler — the subtraction saturates and that window
+    /// reports `0`, never a negative rate. One window of undercounting
+    /// is the defined cost of a reset; consumers (the sampler's rate
+    /// series, the bench reports) can rely on deltas being
+    /// non-negative.
     pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
             counters: self
@@ -660,6 +669,44 @@ mod tests {
         // A counter that went "backwards" (registry swap) saturates.
         let later = MetricsSnapshot::default();
         assert_eq!(later.delta(&earlier).counter("ops.completed"), 0);
+    }
+
+    #[test]
+    fn delta_across_counter_reset_clamps_to_zero() {
+        // A "later" snapshot from a restarted registry: every cell is
+        // behind the earlier one. The window must read 0 everywhere,
+        // never wrap negative.
+        let before = MetricsRegistry::new();
+        before.counter("ops.completed").add(1_000);
+        before.histogram("op.total_ns").observe(1_500);
+        before.histogram("op.total_ns").observe(1_500);
+        let earlier = before.snapshot();
+
+        let restarted = MetricsRegistry::new();
+        restarted.counter("ops.completed").add(3); // fresh process, small count
+        restarted.histogram("op.total_ns").observe(1_500);
+        let windowed = restarted.snapshot().delta(&earlier);
+
+        assert_eq!(windowed.counter("ops.completed"), 0);
+        let hist = windowed.histogram("op.total_ns").unwrap();
+        assert_eq!(hist.count(), 0);
+        assert_eq!(hist.sum_nanos, 0);
+        assert!(hist.counts.iter().all(|&c| c == 0), "no bucket may underflow");
+    }
+
+    #[test]
+    fn delta_partial_reset_clamps_per_cell_not_per_snapshot() {
+        // Only one counter went backwards; the other still reports its
+        // true window.
+        let mut earlier = MetricsSnapshot::default();
+        earlier.counters.insert("a".into(), 100);
+        earlier.counters.insert("b".into(), 5);
+        let mut later = MetricsSnapshot::default();
+        later.counters.insert("a".into(), 40); // reset
+        later.counters.insert("b".into(), 9);
+        let windowed = later.delta(&earlier);
+        assert_eq!(windowed.counter("a"), 0);
+        assert_eq!(windowed.counter("b"), 4);
     }
 
     #[test]

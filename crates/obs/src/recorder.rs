@@ -65,6 +65,20 @@ impl Recorder {
         self.enabled.store(true, Ordering::Release);
     }
 
+    /// Add a sink *alongside* whatever is already installed (teeing
+    /// with it) and enable recording. This is how an always-on
+    /// [`FlightRecorder`](crate::flight::FlightRecorder) rides along
+    /// without displacing a test's ring or a bench's JSONL stream.
+    pub fn attach(&self, sink: Arc<dyn ObsSink>) {
+        let mut slot = self.sink.write().expect("recorder sink lock");
+        *slot = Some(match slot.take() {
+            Some(existing) => Arc::new(crate::sink::TeeSink::new(vec![existing, sink])),
+            None => sink,
+        });
+        drop(slot);
+        self.enabled.store(true, Ordering::Release);
+    }
+
     /// Disable recording and drop the sink (after flushing it).
     pub fn disable(&self) {
         self.enabled.store(false, Ordering::Release);
@@ -177,6 +191,25 @@ mod tests {
         rec.disable();
         rec.emit(1, EventKind::PhysTagLeft { phone: 0, target: "t".into() });
         assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn attach_tees_with_the_installed_sink() {
+        let rec = Recorder::new();
+        let first = Arc::new(RingSink::new(4));
+        let second = Arc::new(RingSink::new(4));
+        rec.install(first.clone());
+        rec.attach(second.clone());
+        rec.emit(1, EventKind::PhysTagEntered { phone: 0, target: "t".into() });
+        assert_eq!(first.len(), 1);
+        assert_eq!(second.len(), 1);
+        // Attaching to a bare recorder just installs and enables.
+        let rec = Recorder::new();
+        let only = Arc::new(RingSink::new(4));
+        rec.attach(only.clone());
+        assert!(rec.is_enabled());
+        rec.emit(2, EventKind::PhysTagLeft { phone: 0, target: "t".into() });
+        assert_eq!(only.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Scraping MORENA: the continuous telemetry plane end to end.
+//!
+//! A small faulty swarm runs while three consumers watch it live:
+//!
+//! * an [`ExpositionServer`] serves `/metrics` as OpenMetrics text on an
+//!   ephemeral localhost port — the example scrapes itself the way a
+//!   Prometheus agent would and prints a slice of the exposition;
+//! * a background [`Sampler`] captures per-second rates, queue depths,
+//!   and health verdicts into ring buffers, rendered as sparklines in
+//!   the `morena-top` table;
+//! * a [`FlightRecorder`] tees off the event stream, keeping the last
+//!   moments of every component in memory; the example dumps it on
+//!   demand at the end, the same JSON a stall or panic would produce.
+//!
+//! Run with: `cargo run --example metrics_scrape`
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use morena::obs::{FlightRecorder, SamplerConfig, WatchdogConfig};
+use morena::prelude::*;
+use morena_nfc_sim::faults::{FaultPlan, FaultRates};
+
+fn main() {
+    let world = World::with_link(SystemClock::shared(), LinkModel::realistic(), 42);
+    world.install_fault_plan(
+        FaultPlan::new(7, FaultRates { rf_drop: 0.15, ..FaultRates::default() })
+            .with_delays(Duration::from_millis(1), Duration::from_millis(1)),
+    );
+
+    // The flight recorder rides the event stream from the start, so by
+    // the time anything goes wrong it already holds the lead-up.
+    let flight = Arc::new(FlightRecorder::default());
+    world.obs().attach(flight.clone());
+
+    let mut references = Vec::new();
+    let mut sampler = None;
+    let mut server = None;
+    for i in 0..3u64 {
+        let phone = world.add_phone(&format!("swarm-{i}"));
+        let ctx = MorenaContext::headless(&world, phone);
+        if sampler.is_none() {
+            sampler = Some(ctx.start_sampler(SamplerConfig {
+                interval: Duration::from_millis(100),
+                flight: Some(flight.clone()),
+                dump_dir: Some(std::env::temp_dir().join("morena-flight")),
+                ..SamplerConfig::default()
+            }));
+            server = Some(
+                ctx.serve_metrics(("127.0.0.1", 0), WatchdogConfig::default())
+                    .expect("bind exposition endpoint"),
+            );
+        }
+        let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(100 + i as u32))));
+        world.tap_tag(uid, phone);
+        let tag = TagReference::with_config(
+            &ctx,
+            uid,
+            TagTech::Type2,
+            Arc::new(StringConverter::plain_text()),
+            LoopConfig {
+                default_timeout: Duration::from_secs(5),
+                retry_backoff: Duration::from_millis(1),
+            },
+        );
+        for n in 0..6 {
+            tag.write(format!("payload-{i}-{n}"), |_| {}, |_, _| {});
+        }
+        references.push(tag);
+    }
+    let mut sampler = sampler.expect("sampler started");
+    let mut server = server.expect("server started");
+    println!("serving OpenMetrics on http://{}/metrics", server.local_addr());
+
+    // Scrape ourselves twice while the swarm drains, like an agent on a
+    // short interval would.
+    for scrape in 1..=2 {
+        std::thread::sleep(Duration::from_millis(400));
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: morena\r\n\r\n").expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        let body = response.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or(&response);
+        println!("=== scrape {scrape}: {} lines, ops counters ===", body.lines().count());
+        for line in body.lines() {
+            if line.starts_with("morena_ops_") || line.starts_with("morena_health ") {
+                println!("  {line}");
+            }
+        }
+    }
+
+    // The sampler has been recording the whole time: render the top
+    // table with its sparkline history next to each loop.
+    let snapshot = world.obs().inspector().snapshot(world.clock().now().as_nanos());
+    let report =
+        Watchdog::default().evaluate_with_metrics(&snapshot, &world.obs().metrics().snapshot());
+    println!("{}", morena::obs::render_top_with_series(&snapshot, &report, sampler.series()));
+
+    for tag in references {
+        tag.close();
+    }
+
+    // On-demand flight dump: the same JSON a watchdog stall transition
+    // or a panic would write, here just to show what it carries.
+    let dump = flight.dump_json("example", world.clock().now().as_nanos(), Some(&report));
+    println!("flight dump: {} bytes covering {:?}", dump.len(), flight.component_names());
+    println!("{} scrapes served", server.scrapes());
+    sampler.stop();
+    server.shutdown();
+}

@@ -1,0 +1,86 @@
+//! Property tests for the obs crate's hand-rolled JSON: any event —
+//! whatever bytes end up in its names — must render as a single line of
+//! valid, pure-ASCII JSON whose string values round-trip exactly.
+
+use morena::obs::{AttemptOutcome, EventKind, ObsEvent, OpKind};
+use proptest::prelude::*;
+
+/// Offline builds substitute a serde_json stub whose parser always
+/// errors; parse-side assertions only mean something against the real
+/// crate.
+fn parser_available() -> bool {
+    serde_json::from_str::<serde_json::Value>("0").is_ok()
+}
+
+fn arb_event() -> impl Strategy<Value = ObsEvent> {
+    let kind = prop_oneof![
+        (any::<u64>(), any::<String>(), any::<u64>(), any::<String>()).prop_map(
+            |(op_id, loop_name, phone, target)| EventKind::OpEnqueued {
+                op_id,
+                loop_name,
+                phone,
+                target,
+                op: OpKind::Write,
+                deadline_nanos: 7,
+            }
+        ),
+        (any::<u64>(), any::<u64>()).prop_map(|(op_id, duration_nanos)| EventKind::OpAttempt {
+            op_id,
+            started_nanos: 1,
+            duration_nanos,
+            outcome: AttemptOutcome::Transient,
+        }),
+        (any::<u64>(), any::<String>(), any::<bool>()).prop_map(|(phone, target, redetection)| {
+            EventKind::TagDetected { phone, target, redetection }
+        }),
+        (any::<u64>(), any::<String>()).prop_map(|(phone, target)| EventKind::FaultInjected {
+            phone,
+            target,
+            fault: "torn_write",
+        }),
+    ];
+    (any::<u64>(), any::<u64>(), kind).prop_map(|(seq, at_nanos, kind)| ObsEvent {
+        seq,
+        at_nanos,
+        kind,
+    })
+}
+
+/// The string value the event carries in its `target`-like slot, if any.
+fn embedded_name(event: &ObsEvent) -> Option<&str> {
+    match &event.kind {
+        EventKind::OpEnqueued { target, .. }
+        | EventKind::TagDetected { target, .. }
+        | EventKind::FaultInjected { target, .. } => Some(target),
+        _ => None,
+    }
+}
+
+proptest! {
+    /// JSONL lines are pure ASCII and newline-free no matter what bytes
+    /// a name contains — control characters, quotes, and non-ASCII all
+    /// travel as `\uXXXX` escapes (surrogate pairs beyond the BMP).
+    #[test]
+    fn event_json_is_always_one_ascii_line(event in arb_event()) {
+        let json = event.to_json();
+        prop_assert!(json.is_ascii(), "non-ASCII leaked into JSON: {json:?}");
+        prop_assert!(!json.contains('\n'), "newline leaked into JSONL line: {json:?}");
+        prop_assert!(!json.bytes().any(|b| b < 0x20), "raw control byte: {json:?}");
+    }
+
+    /// The rendered line is valid JSON and the escaping is lossless:
+    /// parsing recovers the exact original string value.
+    #[test]
+    fn event_json_parses_and_names_round_trip(event in arb_event()) {
+        if parser_available() {
+            let parsed: serde_json::Value = serde_json::from_str(&event.to_json())
+                .expect("hand-rolled JSON must parse");
+            prop_assert_eq!(parsed["seq"].as_u64(), Some(event.seq));
+            prop_assert_eq!(parsed["at_ns"].as_u64(), Some(event.at_nanos));
+            prop_assert_eq!(parsed["type"].as_str(), Some(event.kind.type_label()));
+            if let Some(name) = embedded_name(&event) {
+                prop_assert_eq!(parsed["target"].as_str(), Some(name), "lossy escape");
+            }
+        }
+    }
+}

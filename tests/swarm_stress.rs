@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use crossbeam::channel::unbounded;
 use morena::core::eventloop::LoopConfig;
-use morena::obs::Health;
+use morena::obs::{FlightRecorder, Health, Sampler, SamplerConfig};
 use morena::prelude::*;
 
 fn swarm_config() -> LoopConfig {
@@ -22,6 +22,31 @@ fn swarm_config() -> LoopConfig {
         default_timeout: Duration::from_secs(60),
         retry_backoff: Duration::from_micros(300),
     }
+}
+
+/// Black-box the heavyweight scenarios: a flight recorder tees into the
+/// world's event stream and a panic (any failing assertion below) dumps
+/// the pre-failure event sequence to `MORENA_FLIGHT_DIR` (CI uploads
+/// that directory as an artifact on failure). The sampler also feeds
+/// the recorder's health ring so the dump carries verdict history.
+fn flight_harness(world: &World) -> Sampler {
+    let flight = Arc::new(FlightRecorder::default());
+    world.obs().attach(flight.clone());
+    let dump_dir = std::env::var_os("MORENA_FLIGHT_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("morena-flight"));
+    morena::obs::install_panic_hook(&flight, dump_dir.clone());
+    let clock = Arc::clone(world.clock());
+    Sampler::spawn(
+        Arc::clone(world.obs()),
+        move || clock.now().as_nanos(),
+        SamplerConfig {
+            interval: Duration::from_millis(50),
+            flight: Some(flight),
+            dump_dir: Some(dump_dir),
+            ..SamplerConfig::default()
+        },
+    )
 }
 
 /// 64 far references (8 phones × 8 tags) with a backlog each, over a
@@ -40,6 +65,7 @@ fn many_phones_many_tags(policy: ExecutionPolicy, seed: u64) {
         ..LinkModel::realistic()
     };
     let world = World::with_link(SystemClock::shared(), link, seed);
+    let mut sampler = flight_harness(&world);
 
     let (done_tx, done_rx) = unbounded();
     let mut references = Vec::new();
@@ -116,6 +142,7 @@ fn many_phones_many_tags(policy: ExecutionPolicy, seed: u64) {
         "watchdog reported Stalled at shutdown: {:?}",
         report.findings
     );
+    sampler.stop();
 }
 
 #[test]

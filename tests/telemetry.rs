@@ -1,0 +1,293 @@
+//! Integration tests for the continuous telemetry plane: the
+//! OpenMetrics exposition endpoint scraped over real TCP against live
+//! middleware metrics, the background sampler's series over a running
+//! swarm (including the sim's fault-injection ground truth), and the
+//! flight recorder's automatic stall dump naming the stuck component.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use morena::obs::{FlightRecorder, Health, SamplerConfig, WatchdogConfig};
+use morena::prelude::*;
+use morena::sim::faults::{FaultKind, FaultPlan, FaultRates};
+
+fn tagged_phone(
+    world: &World,
+    seed: u32,
+    timeout: Duration,
+) -> (MorenaContext, TagReference<StringConverter>, TagUid) {
+    let phone = world.add_phone(&format!("telemetry-{seed}"));
+    let ctx = MorenaContext::headless(world, phone);
+    let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(seed))));
+    world.tap_tag(uid, phone);
+    let tag = TagReference::with_config(
+        &ctx,
+        uid,
+        TagTech::Type2,
+        Arc::new(StringConverter::plain_text()),
+        LoopConfig { default_timeout: timeout, retry_backoff: Duration::from_micros(500) },
+    );
+    (ctx, tag, uid)
+}
+
+fn scrape(addr: SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to exposition endpoint");
+    stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: morena\r\n\r\n").expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+fn body_of(response: &str) -> &str {
+    response.split_once("\r\n\r\n").expect("header/body split").1
+}
+
+/// Value of a single-sample metric line (`<name> <value>`), if present.
+fn sample(body: &str, name: &str) -> Option<f64> {
+    body.lines()
+        .find_map(|line| line.strip_prefix(name).and_then(|rest| rest.strip_prefix(' ')))
+        .and_then(|v| v.parse().ok())
+}
+
+fn fresh_dir(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("morena-telemetry-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A real Prometheus-style scrape over TCP: valid OpenMetrics framing,
+/// live health gauge, ordered cumulative histogram buckets, and counter
+/// monotonicity across scrapes while the middleware does work.
+#[test]
+fn exposition_scrape_is_valid_openmetrics_against_live_metrics() {
+    let world = World::with_link(Arc::new(SystemClock::new()), LinkModel::instant(), 3);
+    let (ctx, tag, _) = tagged_phone(&world, 91, Duration::from_secs(10));
+    tag.write_sync("first".to_string(), Duration::from_secs(10)).expect("instant write");
+
+    let server = ctx.serve_metrics(("127.0.0.1", 0), WatchdogConfig::default()).expect("bind");
+    let first = scrape(server.local_addr());
+    assert!(first.starts_with("HTTP/1.1 200 OK\r\n"), "got: {first}");
+    assert!(first.contains("application/openmetrics-text"), "content type missing: {first}");
+    let first_body = body_of(&first).to_string();
+    assert!(first_body.trim_end().ends_with("# EOF"), "missing terminator");
+    assert_eq!(sample(&first_body, "morena_health"), Some(0.0), "idle swarm must scrape healthy");
+
+    // Histogram framing: `le` bounds strictly increase, cumulative
+    // counts never decrease, `+Inf` equals `_count`, and the metadata
+    // line precedes the samples.
+    assert!(first_body.contains("# TYPE morena_op_attempt_seconds histogram\n"));
+    let mut last_le = f64::NEG_INFINITY;
+    let mut last_count = 0u64;
+    let mut buckets = 0;
+    for line in first_body.lines() {
+        let Some(rest) = line.strip_prefix("morena_op_attempt_seconds_bucket{le=\"") else {
+            continue;
+        };
+        let (le, count) = rest.split_once("\"} ").expect("bucket sample shape");
+        let le: f64 = if le == "+Inf" { f64::INFINITY } else { le.parse().expect("le float") };
+        let count: u64 = count.parse().expect("bucket count");
+        assert!(le > last_le, "le bounds must increase: {line}");
+        assert!(count >= last_count, "cumulative counts must not decrease: {line}");
+        last_le = le;
+        last_count = count;
+        buckets += 1;
+    }
+    assert!(buckets > 2, "expected a full bucket ladder, saw {buckets}");
+    assert_eq!(
+        Some(last_count as f64),
+        sample(&first_body, "morena_op_attempt_seconds_count"),
+        "+Inf bucket must equal _count"
+    );
+
+    // More work, then rescrape: every counter present in both scrapes
+    // must be monotonic, and the op counters must actually move.
+    for n in 0..5 {
+        tag.write_sync(format!("more-{n}"), Duration::from_secs(10)).expect("instant write");
+    }
+    let second_body = body_of(&scrape(server.local_addr())).to_string();
+    let mut compared = 0;
+    for line in first_body.lines() {
+        let Some((name, value)) = line.split_once(' ') else { continue };
+        if !name.ends_with("_total") {
+            continue;
+        }
+        let earlier: f64 = value.parse().expect("counter value");
+        let later = sample(&second_body, name)
+            .unwrap_or_else(|| panic!("counter {name} vanished between scrapes"));
+        assert!(later >= earlier, "counter {name} went backwards: {earlier} -> {later}");
+        compared += 1;
+    }
+    assert!(compared >= 3, "expected several counters to compare, got {compared}");
+    let submitted = |body: &str| sample(body, "morena_ops_submitted_total").unwrap_or(0.0);
+    assert!(
+        submitted(&second_body) >= submitted(&first_body) + 5.0,
+        "five more writes must show up in ops.submitted"
+    );
+
+    tag.close();
+}
+
+/// The sampler turns a live fault-injected swarm into rate series —
+/// including the simulator's per-class fault ground truth — and the
+/// series render as sparklines in `render_top_with_series`.
+#[test]
+fn sampler_captures_swarm_rates_and_fault_ground_truth() {
+    let world = World::with_link(Arc::new(SystemClock::new()), LinkModel::instant(), 3);
+    world.install_fault_plan(
+        FaultPlan::new(7, FaultRates::only(FaultKind::RfDrop, 0.4))
+            .with_delays(Duration::from_micros(200), Duration::from_micros(200)),
+    );
+    let (ctx, tag, _) = tagged_phone(&world, 92, Duration::from_secs(30));
+    let mut sampler = ctx.start_sampler(SamplerConfig {
+        interval: Duration::from_millis(5),
+        ..SamplerConfig::default()
+    });
+
+    for n in 0..40 {
+        tag.write_sync(format!("v{n}"), Duration::from_secs(30)).expect("write with retries");
+    }
+    // Let the sampler tick over the finished work until the series
+    // land and a post-completion tick records the recovered verdict
+    // (a tick raced mid-run may have seen a transient retry storm).
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while (sampler.series().latest("ops.submitted").is_none()
+        || sampler.series().latest("sim.fault.rf_drop").is_none()
+        || sampler.series().latest("inspect.health") != Some(0.0))
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    sampler.stop();
+
+    let store = sampler.series();
+    assert!(store.latest("ops.submitted").is_some(), "series: {:?}", store.names());
+    assert!(
+        store.latest("world.faults_injected").unwrap_or(0.0) > 0.0,
+        "world ground-truth series must report injected faults"
+    );
+    assert!(
+        store.points("sim.fault.rf_drop").map_or(0, |p| p.len()) > 0,
+        "per-class fault counter must become a series"
+    );
+    assert_eq!(store.latest("inspect.health"), Some(0.0), "swarm finished healthy");
+    assert!(store.latest("inspect.mem_bytes").unwrap_or(0.0) > 0.0);
+    // Rate queries work on the retained window.
+    assert!(store.derivative_per_sec("inspect.queue_depth").is_some());
+
+    // History renders: TREND column for the loop, series lines below.
+    let snapshot = world.obs().inspector().snapshot(world.clock().now().as_nanos());
+    let report = morena::obs::Watchdog::default()
+        .evaluate_with_metrics(&snapshot, &world.obs().metrics().snapshot());
+    let top = morena::obs::render_top_with_series(&snapshot, &report, store);
+    assert!(top.contains("TREND"), "got: {top}");
+    assert!(top.contains("series ops.submitted"), "got: {top}");
+
+    // The sampler metered its own cost for the overhead bench to gate.
+    let metrics = world.obs().metrics().snapshot();
+    assert!(metrics.counter("obs.sampler.ticks") > 0);
+    assert!(metrics.histogram("obs.sampler.tick_ns").is_some());
+
+    tag.close();
+}
+
+/// Killing a deliberately stalled swarm produces a flight dump naming
+/// the stuck component and carrying the pre-stall event sequence.
+#[test]
+fn stalled_swarm_dumps_flight_recorder_naming_the_culprit() {
+    let dump_dir = fresh_dir("stall");
+    let world = World::with_link(Arc::new(SystemClock::new()), LinkModel::instant(), 3);
+    world.install_fault_plan(
+        FaultPlan::new(5, FaultRates::only(FaultKind::StuckTag, 1.0))
+            .with_delays(Duration::from_millis(2), Duration::from_millis(2)),
+    );
+
+    let flight = Arc::new(FlightRecorder::default());
+    world.obs().attach(flight.clone());
+
+    // A 1 s op budget plus an aggressive stall threshold (20% of
+    // budget) turns "every exchange sticks" into a Stalled verdict in
+    // a few hundred milliseconds of wall time.
+    let (ctx, tag, uid) = tagged_phone(&world, 93, Duration::from_secs(1));
+    let mut sampler = ctx.start_sampler(SamplerConfig {
+        interval: Duration::from_millis(10),
+        watchdog: WatchdogConfig { stall_factor: 0.2, degrade_fraction: 0.1, ..Default::default() },
+        flight: Some(flight.clone()),
+        dump_dir: Some(dump_dir.clone()),
+        ..SamplerConfig::default()
+    });
+    tag.write("doomed".to_string(), |_| {}, |_, _| {});
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    let dump_path = loop {
+        let found = std::fs::read_dir(&dump_dir).ok().and_then(|entries| {
+            entries.filter_map(Result::ok).map(|e| e.path()).find(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("flight-stalled-"))
+            })
+        });
+        if let Some(path) = found {
+            break path;
+        }
+        assert!(std::time::Instant::now() < deadline, "no stall dump within 20s");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    sampler.stop();
+
+    let dump = std::fs::read_to_string(&dump_path).expect("read dump");
+    let loop_name = format!("tag-{uid}");
+    assert!(dump.contains("\"reason\":\"stalled\""), "got: {dump}");
+    assert!(dump.contains(&loop_name), "dump must name the stuck loop {loop_name}: {dump}");
+    assert!(dump.contains("\"type\":\"op_attempt\""), "pre-stall attempts missing: {dump}");
+    assert!(dump.contains("\"health\":\"stalled\""), "health history missing: {dump}");
+    assert!(dump.contains("\"rule\":\"head_op_stall\""), "triggering report missing: {dump}");
+
+    // The in-memory recorder agrees with what hit the disk.
+    assert!(flight
+        .component_events(&loop_name)
+        .iter()
+        .any(|e| { matches!(e.kind, morena::obs::EventKind::OpAttempt { .. }) }));
+    assert!(flight.health_history().iter().any(|&(_, h)| h == Health::Stalled));
+    assert!(world.obs().metrics().snapshot().counter("obs.flight.stall_dumps") >= 1);
+
+    tag.close();
+    let _ = std::fs::remove_dir_all(&dump_dir);
+}
+
+/// The watchdog's degradation-onset timestamp survives into report
+/// JSON and the rendered top view over a genuinely degrading swarm.
+#[test]
+fn degradation_onset_is_reported_over_a_live_swarm() {
+    let world = World::with_link(Arc::new(SystemClock::new()), LinkModel::instant(), 3);
+    world.install_fault_plan(
+        FaultPlan::new(9, FaultRates::only(FaultKind::StuckTag, 1.0))
+            .with_delays(Duration::from_millis(2), Duration::from_millis(2)),
+    );
+    let (_ctx, tag, _) = tagged_phone(&world, 94, Duration::from_secs(30));
+    let watchdog = morena::obs::Watchdog::default();
+    tag.write("doomed".to_string(), |_| {}, |_, _| {});
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let report = loop {
+        std::thread::sleep(Duration::from_millis(40));
+        let snapshot = world.obs().inspector().snapshot(world.clock().now().as_nanos());
+        let report = watchdog.evaluate_with_metrics(&snapshot, &world.obs().metrics().snapshot());
+        if report.health != Health::Healthy || std::time::Instant::now() > deadline {
+            break report;
+        }
+    };
+    assert_ne!(report.health, Health::Healthy, "stuck swarm must degrade");
+    let since = report.degraded_since_nanos.expect("onset timestamp");
+    assert!(since <= report.at_nanos);
+    assert!(report.to_json().contains("\"degraded_since_ns\":"));
+    let snapshot = world.obs().inspector().snapshot(world.clock().now().as_nanos());
+    let report = watchdog.evaluate_with_metrics(&snapshot, &world.obs().metrics().snapshot());
+    if report.health != Health::Healthy {
+        let top = morena::obs::render_top(&snapshot, &report);
+        assert!(top.contains("(degraded for"), "got: {top}");
+    }
+    tag.close();
+}
