@@ -10,7 +10,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use crossbeam::channel::unbounded;
 use morena_core::context::MorenaContext;
 use morena_core::convert::{JsonConverter, StringConverter, TagDataConverter};
-use morena_core::eventloop::LoopConfig;
+use morena_core::policy::{Backoff, Policy};
 use morena_core::tagref::TagReference;
 use morena_nfc_sim::clock::SystemClock;
 use morena_nfc_sim::link::LinkModel;
@@ -25,12 +25,12 @@ fn bench_async_ops(c: &mut Criterion) {
     let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
     world.tap_tag(uid, phone);
     let ctx = MorenaContext::headless(&world, phone);
-    let reference = TagReference::with_config(
+    let reference = TagReference::with_policy(
         &ctx,
         uid,
         TagTech::Type2,
         Arc::new(StringConverter::plain_text()),
-        LoopConfig { retry_backoff: Duration::from_micros(100), ..LoopConfig::default() },
+        Policy::new().with_backoff(Backoff::constant(Duration::from_micros(100))),
     );
 
     c.bench_function("tagref_async_write_round_trip", |b| {
@@ -132,11 +132,11 @@ fn bench_peer_delivery(c: &mut Criterion) {
     let _inbox =
         PeerInbox::new(&bob_ctx, Arc::new(StringConverter::plain_text()), Arc::new(Ack { tx }));
     world.bring_phones_together(alice, bob);
-    let reference = PeerReference::with_config(
+    let reference = PeerReference::with_policy(
         &alice_ctx,
         bob,
         Arc::new(StringConverter::plain_text()),
-        LoopConfig { retry_backoff: Duration::from_micros(100), ..LoopConfig::default() },
+        Policy::new().with_backoff(Backoff::constant(Duration::from_micros(100))),
     );
     c.bench_function("peer_send_end_to_end", |b| {
         b.iter(|| {

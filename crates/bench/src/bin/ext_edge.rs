@@ -21,7 +21,7 @@ use morena_baseline::ndef_tech::Ndef;
 use morena_bench::{cell, median, print_table, quick_mode};
 use morena_core::context::MorenaContext;
 use morena_core::convert::StringConverter;
-use morena_core::eventloop::LoopConfig;
+use morena_core::policy::{Backoff, Policy};
 use morena_core::tagref::TagReference;
 use morena_ndef::{NdefMessage, NdefRecord};
 use morena_nfc_sim::clock::SystemClock;
@@ -57,15 +57,14 @@ struct MorenaOutcome {
 fn morena_trial(fraction: f64, seed: u64) -> MorenaOutcome {
     let (world, phone, uid) = world_at(fraction, seed);
     let ctx = MorenaContext::headless(&world, phone);
-    let reference = TagReference::with_config(
+    let reference = TagReference::with_policy(
         &ctx,
         uid,
         TagTech::Type2,
         Arc::new(StringConverter::plain_text()),
-        LoopConfig {
-            default_timeout: Duration::from_millis(800),
-            retry_backoff: Duration::from_micros(500),
-        },
+        Policy::new()
+            .with_timeout(Duration::from_millis(800))
+            .with_backoff(Backoff::constant(Duration::from_micros(500))),
     );
     let (tx, rx) = unbounded();
     let err_tx = tx.clone();

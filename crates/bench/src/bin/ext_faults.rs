@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 use morena_bench::{cell, median, print_table, quick_mode};
 use morena_core::context::MorenaContext;
 use morena_core::convert::StringConverter;
-use morena_core::eventloop::LoopConfig;
+use morena_core::policy::{Backoff, Policy};
 use morena_core::tagref::TagReference;
 use morena_nfc_sim::clock::SystemClock;
 use morena_nfc_sim::faults::{FaultKind, FaultPlan, FaultRates};
@@ -50,15 +50,14 @@ fn trial(kind: FaultKind, rate: f64, ops: usize, seed: u64) -> Outcome {
     let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
     world.tap_tag(uid, phone);
     let ctx = MorenaContext::headless(&world, phone);
-    let reference = TagReference::with_config(
+    let reference = TagReference::with_policy(
         &ctx,
         uid,
         TagTech::Type2,
         Arc::new(StringConverter::plain_text()),
-        LoopConfig {
-            default_timeout: Duration::from_secs(20),
-            retry_backoff: Duration::from_millis(1),
-        },
+        Policy::new()
+            .with_timeout(Duration::from_secs(20))
+            .with_backoff(Backoff::constant(Duration::from_millis(1))),
     );
 
     let mut outcome = Outcome { ops_total: ops, ..Outcome::default() };

@@ -25,7 +25,7 @@ use std::time::Duration;
 use morena_bench::{cell, print_table, quick_mode};
 use morena_core::context::MorenaContext;
 use morena_core::convert::StringConverter;
-use morena_core::eventloop::LoopConfig;
+use morena_core::policy::{Backoff, Policy};
 use morena_core::tagref::TagReference;
 use morena_nfc_sim::clock::SystemClock;
 use morena_nfc_sim::faults::{FaultKind, FaultPlan, FaultRates};
@@ -45,12 +45,12 @@ fn per_op_nanos(ops: usize, poll_hz: Option<u64>) -> f64 {
     let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
     world.tap_tag(uid, phone);
     let ctx = MorenaContext::headless(&world, phone);
-    let reference = TagReference::with_config(
+    let reference = TagReference::with_policy(
         &ctx,
         uid,
         TagTech::Type2,
         Arc::new(StringConverter::plain_text()),
-        LoopConfig { default_timeout: Duration::from_secs(20), ..LoopConfig::default() },
+        Policy::new().with_timeout(Duration::from_secs(20)),
     );
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -102,15 +102,14 @@ fn broken_run(quick: bool) -> (String, String, usize) {
     let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(9))));
     world.tap_tag(uid, phone);
     let ctx = MorenaContext::headless(&world, phone);
-    let reference = TagReference::with_config(
+    let reference = TagReference::with_policy(
         &ctx,
         uid,
         TagTech::Type2,
         Arc::new(StringConverter::plain_text()),
-        LoopConfig {
-            default_timeout: Duration::from_secs(60),
-            retry_backoff: Duration::from_micros(500),
-        },
+        Policy::new()
+            .with_timeout(Duration::from_secs(60))
+            .with_backoff(Backoff::constant(Duration::from_micros(500))),
     );
     reference.write("doomed".to_string(), |_| {}, |_, _| {});
 

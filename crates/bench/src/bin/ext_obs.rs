@@ -28,7 +28,7 @@ use crossbeam::channel::unbounded;
 use morena_bench::{cell, print_table, quick_mode};
 use morena_core::context::MorenaContext;
 use morena_core::convert::StringConverter;
-use morena_core::eventloop::LoopConfig;
+use morena_core::policy::{Backoff, Policy};
 use morena_core::tagref::TagReference;
 use morena_nfc_sim::clock::SystemClock;
 use morena_nfc_sim::link::LinkModel;
@@ -91,15 +91,14 @@ fn main() -> std::process::ExitCode {
         ..SamplerConfig::default()
     });
     let workload_started = std::time::Instant::now();
-    let reference = TagReference::with_config(
+    let reference = TagReference::with_policy(
         &ctx,
         uid,
         TagTech::Type2,
         Arc::new(StringConverter::plain_text()),
-        LoopConfig {
-            default_timeout: PERIOD * (cycles as u32 + 2),
-            retry_backoff: Duration::from_millis(2),
-        },
+        Policy::new()
+            .with_timeout(PERIOD * (cycles as u32 + 2))
+            .with_backoff(Backoff::constant(Duration::from_millis(2))),
     );
 
     // Queue a burst while the tag is still out of range: every op after

@@ -28,7 +28,7 @@ use morena_baseline::ndef_tech::Ndef;
 use morena_bench::{cell, median, print_table, quick_mode};
 use morena_core::context::MorenaContext;
 use morena_core::convert::StringConverter;
-use morena_core::eventloop::LoopConfig;
+use morena_core::policy::{Backoff, Policy};
 use morena_core::tagref::TagReference;
 use morena_ndef::{NdefMessage, NdefRecord};
 use morena_nfc_sim::clock::SystemClock;
@@ -64,15 +64,14 @@ fn morena_trial(duty: f64, noise: f64, cycles: usize, seed: u64) -> Outcome {
     let phone = world.add_phone("user");
     let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
     let ctx = MorenaContext::headless(&world, phone);
-    let reference = TagReference::with_config(
+    let reference = TagReference::with_policy(
         &ctx,
         uid,
         TagTech::Type2,
         Arc::new(StringConverter::plain_text()),
-        LoopConfig {
-            default_timeout: PERIOD * (cycles as u32 + 1),
-            retry_backoff: Duration::from_millis(2),
-        },
+        Policy::new()
+            .with_timeout(PERIOD * (cycles as u32 + 1))
+            .with_backoff(Backoff::constant(Duration::from_millis(2))),
     );
     let (tx, rx) = unbounded();
     let err_tx = tx.clone();

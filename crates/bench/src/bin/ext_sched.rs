@@ -30,7 +30,7 @@ use morena_bench::{cell, print_table, quick_mode, BenchReport};
 use morena_core::bench_hooks::HotLoop;
 use morena_core::context::MorenaContext;
 use morena_core::convert::StringConverter;
-use morena_core::eventloop::LoopConfig;
+use morena_core::policy::{Backoff, Policy};
 use morena_core::sched::ExecutionPolicy;
 use morena_core::tagref::TagReference;
 use morena_nfc_sim::clock::SystemClock;
@@ -116,15 +116,14 @@ fn run(size: usize, policy: ExecutionPolicy, seed: u64) -> RunResult {
         .map(|i| {
             let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(i as u32))));
             world.tap_tag(uid, phone);
-            TagReference::with_config(
+            TagReference::with_policy(
                 &ctx,
                 uid,
                 TagTech::Type2,
                 Arc::new(StringConverter::plain_text()),
-                LoopConfig {
-                    default_timeout: Duration::from_secs(300),
-                    retry_backoff: Duration::from_micros(100),
-                },
+                Policy::new()
+                    .with_timeout(Duration::from_secs(300))
+                    .with_backoff(Backoff::constant(Duration::from_micros(100))),
             )
         })
         .collect();

@@ -26,7 +26,7 @@ use crossbeam::channel::unbounded;
 use morena_bench::{cell, print_table, quick_mode, BenchReport};
 use morena_core::context::MorenaContext;
 use morena_core::convert::StringConverter;
-use morena_core::eventloop::LoopConfig;
+use morena_core::policy::{Backoff, Policy};
 use morena_core::sched::ExecutionPolicy;
 use morena_core::tagref::TagReference;
 use morena_nfc_sim::clock::SystemClock;
@@ -74,8 +74,9 @@ fn run(size: usize, seed: u64) -> Result<RunResult, String> {
     // the full drain time — the timeout must scale with swarm size or
     // large ladders time out behind the head-of-line queue.
     let op_timeout = Duration::from_secs(300 + size as u64 / 50);
-    let config =
-        LoopConfig { default_timeout: op_timeout, retry_backoff: Duration::from_micros(100) };
+    let config = Policy::new()
+        .with_timeout(op_timeout)
+        .with_backoff(Backoff::constant(Duration::from_micros(100)));
 
     // Several phones, each with its own context and worker pool, tags
     // split evenly — the multi-device shape of the swarm_stress suite.
@@ -90,7 +91,7 @@ fn run(size: usize, seed: u64) -> Result<RunResult, String> {
             let (phone, ctx) = &contexts[i % PHONES];
             let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(i as u32))));
             world.tap_tag(uid, *phone);
-            TagReference::with_config(
+            TagReference::with_policy(
                 ctx,
                 uid,
                 TagTech::Type2,

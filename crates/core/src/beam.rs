@@ -26,9 +26,10 @@ use parking_lot::Mutex;
 use crate::context::MorenaContext;
 use crate::convert::TagDataConverter;
 use crate::eventloop::{
-    EventLoop, LoopConfig, ObsScope, OpExecutor, OpFailure, OpRequest, OpResponse, OpStats,
+    EventLoop, ObsScope, OpExecutor, OpFailure, OpRequest, OpResponse, OpStats,
 };
 use crate::future::UnitFuture;
+use crate::policy::Policy;
 use crate::router::RouteGuard;
 
 struct BeamExecutor {
@@ -112,19 +113,19 @@ impl<C: TagDataConverter> std::fmt::Debug for Beamer<C> {
 }
 
 impl<C: TagDataConverter> Beamer<C> {
-    /// Creates a beamer with default tuning.
+    /// Creates a beamer inheriting the context's default [`Policy`].
     pub fn new(ctx: &MorenaContext, converter: Arc<C>) -> Beamer<C> {
-        Beamer::with_config(ctx, converter, LoopConfig::default())
+        Beamer::with_policy(ctx, converter, ctx.default_policy())
     }
 
-    /// Creates a beamer with explicit event-loop tuning.
-    pub fn with_config(ctx: &MorenaContext, converter: Arc<C>, config: LoopConfig) -> Beamer<C> {
+    /// Creates a beamer pinned to an explicit distribution [`Policy`].
+    pub fn with_policy(ctx: &MorenaContext, converter: Arc<C>, policy: Policy) -> Beamer<C> {
         let event_loop = EventLoop::spawn(
             "beamer",
             ctx.execution(),
             Arc::clone(ctx.clock()),
             ctx.handler(),
-            config,
+            policy,
             BeamExecutor { nfc: ctx.nfc().clone() },
             // Beaming is undirected; `*` tells the correlator to count
             // *any* peer in range as reachability for these ops.

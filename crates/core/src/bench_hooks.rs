@@ -15,10 +15,9 @@ use morena_android_sim::looper::MainThread;
 use morena_nfc_sim::clock::{Clock, SystemClock};
 use morena_nfc_sim::error::NfcOpError;
 
-use crate::eventloop::{
-    EventLoop, LoopConfig, ObsScope, OpExecutor, OpRequest, OpResponse, OpStatsSnapshot,
-};
+use crate::eventloop::{EventLoop, ObsScope, OpExecutor, OpRequest, OpResponse, OpStatsSnapshot};
 use crate::future::block_on;
+use crate::policy::Policy;
 use crate::sched::{Execution, ExecutionPolicy};
 
 /// Completes every attempt immediately: reads return an empty payload
@@ -63,7 +62,7 @@ impl HotLoop {
             &exec,
             clock,
             main.handler(),
-            LoopConfig::default(),
+            Policy::default(),
             NullExecutor,
             obs,
         );

@@ -24,6 +24,9 @@ use morena_obs::expose::ExpositionServer;
 use morena_obs::timeseries::{Sampler, SamplerConfig};
 use morena_obs::WatchdogConfig;
 
+use parking_lot::Mutex;
+
+use crate::policy::Policy;
 use crate::router::EventRouter;
 use crate::sched::{Execution, ExecutionPolicy};
 
@@ -40,6 +43,11 @@ pub struct MorenaContext {
     clock: Arc<dyn Clock>,
     exec: Arc<Execution>,
     router: Arc<EventRouter>,
+    /// The context-level distribution policy: the default every
+    /// reference, discoverer, and beamer created from this context
+    /// inherits (shared across clones; see
+    /// [`set_default_policy`](MorenaContext::set_default_policy)).
+    policy: Arc<Mutex<Policy>>,
     // Keeps a headless main thread alive for as long as any clone lives.
     _own_main: Option<Arc<MainThread>>,
 }
@@ -54,11 +62,29 @@ impl MorenaContext {
     /// [`from_activity`](MorenaContext::from_activity) with an explicit
     /// [`ExecutionPolicy`] for this context's event loops.
     pub fn from_activity_with(ctx: &ActivityContext, policy: ExecutionPolicy) -> MorenaContext {
+        MorenaContext::from_activity_with_policy(ctx, policy, Policy::default())
+    }
+
+    /// [`from_activity_with`](MorenaContext::from_activity_with) with an
+    /// explicit context-level distribution [`Policy`] as well.
+    pub fn from_activity_with_policy(
+        ctx: &ActivityContext,
+        exec_policy: ExecutionPolicy,
+        policy: Policy,
+    ) -> MorenaContext {
         let nfc = ctx.nfc().clone();
         let clock = Arc::clone(nfc.world().clock());
-        let exec = Arc::new(Execution::new(policy, Arc::clone(&clock), nfc.world().obs()));
+        let exec = Arc::new(Execution::new(exec_policy, Arc::clone(&clock), nfc.world().obs()));
         let router = Arc::new(EventRouter::spawn(&nfc));
-        MorenaContext { nfc, handler: ctx.handler(), clock, exec, router, _own_main: None }
+        MorenaContext {
+            nfc,
+            handler: ctx.handler(),
+            clock,
+            exec,
+            router,
+            policy: Arc::new(Mutex::new(policy)),
+            _own_main: None,
+        }
     }
 
     /// Runs MORENA without any activity (e.g. a background service) with
@@ -71,12 +97,31 @@ impl MorenaContext {
     /// [`headless`](MorenaContext::headless) with an explicit
     /// [`ExecutionPolicy`] for this context's event loops.
     pub fn headless_with(world: &World, phone: PhoneId, policy: ExecutionPolicy) -> MorenaContext {
+        MorenaContext::headless_with_policy(world, phone, policy, Policy::default())
+    }
+
+    /// [`headless_with`](MorenaContext::headless_with) with an explicit
+    /// context-level distribution [`Policy`] as well.
+    pub fn headless_with_policy(
+        world: &World,
+        phone: PhoneId,
+        exec_policy: ExecutionPolicy,
+        policy: Policy,
+    ) -> MorenaContext {
         let main = Arc::new(MainThread::spawn());
         let nfc = NfcHandle::new(world.clone(), phone);
         let clock = Arc::clone(world.clock());
-        let exec = Arc::new(Execution::new(policy, Arc::clone(&clock), world.obs()));
+        let exec = Arc::new(Execution::new(exec_policy, Arc::clone(&clock), world.obs()));
         let router = Arc::new(EventRouter::spawn(&nfc));
-        MorenaContext { nfc, handler: main.handler(), clock, exec, router, _own_main: Some(main) }
+        MorenaContext {
+            nfc,
+            handler: main.handler(),
+            clock,
+            exec,
+            router,
+            policy: Arc::new(Mutex::new(policy)),
+            _own_main: Some(main),
+        }
     }
 
     /// The phone's NFC controller.
@@ -102,6 +147,22 @@ impl MorenaContext {
     /// The execution policy this context's event loops run under.
     pub fn execution_policy(&self) -> ExecutionPolicy {
         self.exec.policy()
+    }
+
+    /// The context-level distribution [`Policy`]: what references,
+    /// discoverers, and beamers created *without* an explicit policy
+    /// inherit (a snapshot — later
+    /// [`set_default_policy`](MorenaContext::set_default_policy) calls
+    /// do not retune already-created components).
+    pub fn default_policy(&self) -> Policy {
+        self.policy.lock().clone()
+    }
+
+    /// Replaces the context-level distribution [`Policy`] at runtime.
+    /// Affects components created afterwards, on every clone of this
+    /// context; components pin their policy at creation.
+    pub fn set_default_policy(&self, policy: Policy) {
+        *self.policy.lock() = policy;
     }
 
     /// Start the continuous telemetry sampler over this context's

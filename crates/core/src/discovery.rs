@@ -19,9 +19,8 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
-use crossbeam::channel::RecvTimeoutError;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
 use morena_ndef::NdefMessage;
 use morena_nfc_sim::tag::{TagTech, TagUid};
 use morena_nfc_sim::world::NfcEvent;
@@ -31,7 +30,7 @@ use parking_lot::Mutex;
 
 use crate::context::MorenaContext;
 use crate::convert::TagDataConverter;
-use crate::eventloop::LoopConfig;
+use crate::policy::Policy;
 use crate::tagref::TagReference;
 
 /// How many times discovery retries the initial content read while the
@@ -65,7 +64,7 @@ struct DiscovererInner<C: TagDataConverter> {
     ctx: MorenaContext,
     converter: Arc<C>,
     listener: Arc<dyn DiscoveryListener<C>>,
-    config: LoopConfig,
+    policy: Policy,
     references: Mutex<HashMap<TagUid, TagReference<C>>>,
     stop: AtomicBool,
 }
@@ -130,29 +129,31 @@ impl<C: TagDataConverter> std::fmt::Debug for TagDiscoverer<C> {
 }
 
 impl<C: TagDataConverter> TagDiscoverer<C> {
-    /// Starts discovery with default event-loop tuning for the references
-    /// it creates.
+    /// Starts discovery inheriting the context's default [`Policy`] for
+    /// its own cadence and for the references it creates.
     pub fn new(
         ctx: &MorenaContext,
         converter: Arc<C>,
         listener: Arc<dyn DiscoveryListener<C>>,
     ) -> TagDiscoverer<C> {
-        TagDiscoverer::with_config(ctx, converter, listener, LoopConfig::default())
+        TagDiscoverer::with_policy(ctx, converter, listener, ctx.default_policy())
     }
 
-    /// Starts discovery with explicit [`LoopConfig`] for created
-    /// references.
-    pub fn with_config(
+    /// Starts discovery pinned to an explicit [`Policy`]: its
+    /// [`discovery_cadence`](Policy::discovery_cadence) drives how often
+    /// the discovery thread wakes when no events arrive, and created
+    /// references inherit the whole policy.
+    pub fn with_policy(
         ctx: &MorenaContext,
         converter: Arc<C>,
         listener: Arc<dyn DiscoveryListener<C>>,
-        config: LoopConfig,
+        policy: Policy,
     ) -> TagDiscoverer<C> {
         let inner = Arc::new(DiscovererInner {
             ctx: ctx.clone(),
             converter,
             listener,
-            config,
+            policy,
             references: Mutex::new(HashMap::new()),
             stop: AtomicBool::new(false),
         });
@@ -160,7 +161,15 @@ impl<C: TagDataConverter> TagDiscoverer<C> {
             format!("discovery-{}-{}", inner.ctx.phone().as_u64(), inner.converter.mime_type()),
             Arc::downgrade(&inner) as std::sync::Weak<dyn SnapshotProvider>,
         );
-        spawn_discovery_thread(Arc::clone(&inner));
+        // A private subscription created *here* — so the discoverer can
+        // never observe a sighting from before it existed. Routing
+        // discovery through the context's shared router would replay any
+        // event buffered in the router's (older) subscription to this
+        // freshly registered consumer; references tolerate that (their
+        // connectivity routes are idempotent), discovery callbacks do
+        // not.
+        let events = ctx.nfc().events();
+        spawn_discovery_thread(Arc::clone(&inner), events);
         TagDiscoverer { inner }
     }
 
@@ -192,24 +201,40 @@ impl<C: TagDataConverter> TagDiscoverer<C> {
         }
     }
 
-    /// Stops the discovery thread (references stay alive).
+    /// Stops discovery (references stay alive). No callback is delivered
+    /// for any sighting after this returns: the discovery thread checks
+    /// the flag before handling each event. The idle thread itself parks
+    /// until its next event or cadence heartbeat before exiting, which
+    /// is harmless — it delivers nothing once stopped.
     pub fn stop(&self) {
         self.inner.stop.store(true, Ordering::Release);
     }
 }
 
-fn spawn_discovery_thread<C: TagDataConverter>(inner: Arc<DiscovererInner<C>>) {
-    let events = inner.ctx.nfc().events();
+fn spawn_discovery_thread<C: TagDataConverter>(
+    inner: Arc<DiscovererInner<C>>,
+    events: Receiver<NfcEvent>,
+) {
     std::thread::Builder::new()
         .name(format!("morena-discovery-{}", inner.converter.mime_type()))
         .spawn(move || {
+            // Event-driven with a policy-tuned idle heartbeat: the old
+            // hardcoded 20 ms `recv_timeout` woke this thread 50×/s per
+            // discoverer even in a completely idle field. Now a wake
+            // with no sighting happens only on the cadence heartbeat
+            // (re-checking the stop flag against torn shutdown paths),
+            // and the policy decides how often that is.
+            let wakeups = inner.ctx.nfc().world().obs().metrics().counter("discovery.idle_wakeups");
             while !inner.stop.load(Ordering::Acquire) {
-                match events.recv_timeout(Duration::from_millis(20)) {
+                match events.recv_timeout(inner.policy.discovery_cadence) {
+                    // Re-check the flag per event so a stop issued while
+                    // the thread slept suppresses every later sighting.
+                    Ok(_) if inner.stop.load(Ordering::Acquire) => break,
                     Ok(NfcEvent::TagEntered { uid, tech }) => handle_entered(&inner, uid, tech),
                     // Tag loss is handled by each reference's own
-                    // connectivity router; discovery has nothing to do.
+                    // connectivity route; discovery only acts on entries.
                     Ok(_) => {}
-                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Timeout) => wakeups.inc(),
                     Err(RecvTimeoutError::Disconnected) => break,
                 }
             }
@@ -271,12 +296,12 @@ fn handle_entered<C: TagDataConverter>(
         match references.get(&uid) {
             Some(existing) => (existing.clone(), true),
             None => {
-                let created = TagReference::with_config(
+                let created = TagReference::with_policy(
                     &inner.ctx,
                     uid,
                     tech,
                     Arc::clone(&inner.converter),
-                    inner.config.clone(),
+                    inner.policy.clone(),
                 );
                 references.insert(uid, created.clone());
                 (created, false)
@@ -342,6 +367,7 @@ mod tests {
     use morena_nfc_sim::link::LinkModel;
     use morena_nfc_sim::tag::Type2Tag;
     use morena_nfc_sim::world::World;
+    use std::time::Duration;
 
     enum Event {
         Detected(TagUid, Option<String>),
@@ -546,6 +572,34 @@ mod tests {
             Event::Empty(u) if u == uid
         ));
         assert!(!disco.reference_for(uid).unwrap().is_closed());
+    }
+
+    #[test]
+    fn stop_is_prompt_even_under_a_long_cadence() {
+        let (world, ctx) = setup();
+        let uid = tag_with(&world, &ctx, 20, Some("x"));
+        let (tx, rx) = unbounded();
+        let disco = TagDiscoverer::with_policy(
+            &ctx,
+            Arc::new(StringConverter::plain_text()),
+            Arc::new(Recording { tx, condition: Box::new(|_| true) }),
+            Policy::new().with_discovery_cadence(Duration::from_secs(3600)),
+        );
+        // Events still arrive instantly — the cadence only paces idle
+        // wakeups, not event handling.
+        world.tap_tag(uid, ctx.phone());
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+            Event::Detected(u, _) if u == uid
+        ));
+        // And stop does not have to wait out the hour-long heartbeat.
+        let started = std::time::Instant::now();
+        disco.stop();
+        std::thread::sleep(Duration::from_millis(60));
+        world.remove_tag_from_field(uid);
+        world.tap_tag(uid, ctx.phone());
+        assert!(rx.recv_timeout(Duration::from_millis(200)).is_err());
+        assert!(started.elapsed() < Duration::from_secs(30));
     }
 
     #[test]

@@ -12,8 +12,12 @@
 //!
 //! * strict FIFO processing — the head operation blocks the queue;
 //! * automatic retry of transiently failed operations (decoupling in
-//!   time) with a short backoff, re-armed immediately on connectivity
-//!   changes;
+//!   time) on the loop's [`Policy`] backoff curve (jittered exponential
+//!   by default — see [`crate::policy`]), re-armed immediately on
+//!   connectivity changes;
+//! * optional write coalescing ([`Policy::coalesce_writes`]): a front
+//!   run of queued writes collapses into one exchange at flush time,
+//!   completing every member exactly once in FIFO order;
 //! * per-operation deadlines — an expired head operation is dropped and
 //!   its failure listener fired;
 //! * cancelled operations are swept from the whole queue (not just the
@@ -45,6 +49,7 @@ use parking_lot::Mutex;
 use crate::context::MorenaContext;
 use crate::convert::ConvertError;
 use crate::future::{CoreHandle, OpFuture, OpPool};
+use crate::policy::{BackoffState, JitterRng, Policy};
 use crate::sched::{Execution, LoopPoll, PollTask, Shard};
 
 /// Why an asynchronous MORENA operation did not succeed, delivered to the
@@ -189,6 +194,13 @@ struct LoopMetrics {
     cancelled: Counter,
     attempt_ns: Arc<Histogram>,
     completion_ns: Arc<Histogram>,
+    /// Chosen retry delays — the policy layer's observable behavior
+    /// (jitter shows up as spread, curve depth as the upper tail).
+    backoff_ns: Arc<Histogram>,
+    /// Flushes that collapsed ≥2 queued writes into one exchange.
+    coalesced_batches: Counter,
+    /// Radio exchanges avoided by coalescing (batch size − 1 each).
+    saved_exchanges: Counter,
 }
 
 impl LoopMetrics {
@@ -204,6 +216,9 @@ impl LoopMetrics {
             cancelled: m.counter("ops.cancelled"),
             attempt_ns: m.histogram("op.attempt_ns"),
             completion_ns: m.histogram("op.completion_ns"),
+            backoff_ns: m.histogram("policy.backoff_ns"),
+            coalesced_batches: m.counter("coalesce.batches"),
+            saved_exchanges: m.counter("coalesce.saved_exchanges"),
         }
     }
 }
@@ -275,25 +290,6 @@ impl OpTicket {
     }
 }
 
-/// Tuning knobs of an event loop.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LoopConfig {
-    /// Deadline applied when the caller does not specify one.
-    pub default_timeout: Duration,
-    /// Pause between retry attempts while the party stays reachable but
-    /// exchanges keep failing (a connectivity change re-arms instantly).
-    pub retry_backoff: Duration,
-}
-
-impl Default for LoopConfig {
-    fn default() -> LoopConfig {
-        LoopConfig {
-            default_timeout: Duration::from_secs(10),
-            retry_backoff: Duration::from_millis(25),
-        }
-    }
-}
-
 /// How a completed operation reaches its consumer.
 pub(crate) enum Completion {
     /// The paper's surface: success/failure listener pair, posted to the
@@ -339,7 +335,10 @@ pub(crate) struct Shared {
     clock: Arc<dyn Clock>,
     handler: Handler,
     stats: Arc<OpStats>,
-    config: LoopConfig,
+    policy: Policy,
+    /// Retry-streak state and the loop's private jitter RNG; touched
+    /// only by the polling thread (the mutex is a formality for `Sync`).
+    backoff: Mutex<BackoffState>,
     executor: Box<dyn OpExecutor>,
     obs: ObsScope,
     metrics: LoopMetrics,
@@ -349,6 +348,12 @@ pub(crate) struct Shared {
     /// by inspector snapshots.
     head_op_id: AtomicU64,
     head_attempts: AtomicU64,
+    /// One-shot coalescing suppression, set when a *coalesced* exchange
+    /// fails permanently: the failing exchange carried the run's last
+    /// payload, so no individual op can be indicted by it. The next
+    /// attempt runs the head alone (own bytes, own verdict), after
+    /// which batching resumes. Only the polling thread touches it.
+    suppress_coalesce: AtomicBool,
 }
 
 impl Shared {
@@ -498,6 +503,23 @@ impl Shared {
         }
     }
 
+    /// Pops the front run of ops whose ids match `head` then `rest` in
+    /// order, skipping any id no longer at the front (a concurrent drain
+    /// removed it and already fired its Cancelled listener). The ids were
+    /// gathered from the queue front under this same lock earlier in the
+    /// poll, so whatever survives is still a contiguous prefix in the
+    /// same order.
+    fn pop_matching(&self, head: u64, rest: &[u64]) -> Vec<PendingOp> {
+        let mut queue = self.queue.lock();
+        let mut out = Vec::with_capacity(rest.len() + 1);
+        for &id in std::iter::once(&head).chain(rest) {
+            if queue.front().is_some_and(|op| op.op_id == id) {
+                out.push(queue.pop_front().expect("checked front"));
+            }
+        }
+        out
+    }
+
     /// One unit of loop work; see [`LoopPoll`] for the resume contract.
     fn poll_loop(&self) -> LoopPoll {
         if self.stopped.load(Ordering::Acquire) {
@@ -511,7 +533,17 @@ impl Shared {
             Empty,
             Timeout(PendingOp),
             Blocked(SimInstant),
-            Attempt(u64, OpRequest, SimInstant),
+            /// Attempt one exchange covering the head op plus `rest` —
+            /// the queued writes behind it that coalescing collapsed
+            /// into this exchange. `rest` stays empty (never allocated)
+            /// on the common single-op path, keeping the steady-state
+            /// attempt allocation-free.
+            Attempt {
+                op_id: u64,
+                rest: Vec<u64>,
+                request: OpRequest,
+                deadline: SimInstant,
+            },
         }
 
         let step = {
@@ -523,7 +555,40 @@ impl Shared {
                 }
                 Some(op) => {
                     if self.executor.connected() {
-                        Step::Attempt(op.op_id, op.request.clone(), op.deadline)
+                        let mut rest = Vec::new();
+                        let mut request = op.request.clone();
+                        // Write coalescing (policy knob): extend the
+                        // exchange over the contiguous run of queued
+                        // writes behind the head. Every write in this
+                        // codec replaces the whole NDEF message — one
+                        // region per tag — so the run's net effect is
+                        // the *last* write's bytes; one exchange
+                        // carrying those bytes completes every op in
+                        // the run. The run stops at the first non-write
+                        // (a read must observe its predecessor's bytes
+                        // on the tag), cancelled op, or expired op, so
+                        // FIFO-observable semantics are untouched.
+                        if self.policy.coalesce_writes
+                            && matches!(op.request, OpRequest::Write(_))
+                            && !self.suppress_coalesce.swap(false, Ordering::Relaxed)
+                        {
+                            let mut last: Option<&Arc<[u8]>> = None;
+                            for next in queue.iter().skip(1) {
+                                match &next.request {
+                                    OpRequest::Write(bytes)
+                                        if !next.core.cancel_requested() && now < next.deadline =>
+                                    {
+                                        rest.push(next.op_id);
+                                        last = Some(bytes);
+                                    }
+                                    _ => break,
+                                }
+                            }
+                            if let Some(bytes) = last {
+                                request = OpRequest::Write(Arc::clone(bytes));
+                            }
+                        }
+                        Step::Attempt { op_id: op.op_id, rest, request, deadline: op.deadline }
                     } else {
                         Step::Blocked(op.deadline)
                     }
@@ -537,7 +602,7 @@ impl Shared {
                 LoopPoll::Runnable
             }
             Step::Blocked(deadline) => LoopPoll::RunnableAt(deadline),
-            Step::Attempt(op_id, request, deadline) => {
+            Step::Attempt { op_id, rest, request, deadline } => {
                 let attempt_started = self.clock.now();
                 // The head was selected with `now` from the top of the
                 // poll; the connectivity probe (or a concurrent clock
@@ -576,22 +641,48 @@ impl Shared {
                 });
                 match outcome {
                     Ok(response) => {
-                        if let Some(op) = self.pop_if_head(op_id) {
+                        if !rest.is_empty() {
+                            // One exchange landed the whole coalesced
+                            // run: complete every surviving op Ok, in
+                            // FIFO order (writes yield `Done`, so no
+                            // per-op response needs fabricating).
+                            let batch = self.pop_matching(op_id, &rest);
+                            let completed = batch.len();
+                            for op in batch {
+                                self.complete(op, finished, Ok(OpResponse::Done));
+                            }
+                            if completed > 1 {
+                                self.metrics.coalesced_batches.inc();
+                                self.metrics.saved_exchanges.add(completed as u64 - 1);
+                            }
+                        } else if let Some(op) = self.pop_if_head(op_id) {
                             self.complete(op, finished, Ok(response));
                         }
                         LoopPoll::Runnable
                     }
                     Err(e) if e.is_transient() => {
-                        // Decoupling in time: the operation stays queued.
-                        // Back off briefly; a connectivity notification
-                        // re-arms the attempt immediately.
+                        // Decoupling in time: the operation stays queued
+                        // (a failed coalesced exchange keeps the whole
+                        // run queued — nothing was popped). Back off on
+                        // the policy's curve; a connectivity
+                        // notification re-arms the attempt immediately.
                         self.stats.record_transient_failure();
                         self.metrics.retries.inc();
-                        let backoff = self.clock.now() + self.config.retry_backoff;
+                        let delay = self.backoff.lock().next_delay(&self.policy.backoff, op_id);
+                        self.metrics.backoff_ns.observe(delay.as_nanos() as u64);
+                        let backoff = self.clock.now() + delay;
                         LoopPoll::RunnableAt(backoff.min(deadline))
                     }
                     Err(e) => {
-                        if let Some(op) = self.pop_if_head(op_id) {
+                        if !rest.is_empty() {
+                            // The failed exchange carried the *last*
+                            // write's payload — blaming the head for it
+                            // would misattribute (e.g. a follower's
+                            // too-large message). Keep everything
+                            // queued and re-attempt the head alone; it
+                            // earns its own verdict next poll.
+                            self.suppress_coalesce.store(true, Ordering::Relaxed);
+                        } else if let Some(op) = self.pop_if_head(op_id) {
                             self.complete(op, finished, Err(OpFailure::Failed(e)));
                         }
                         LoopPoll::Runnable
@@ -667,6 +758,7 @@ impl SnapshotProvider for Shared {
             connected: self.executor.connected(),
             head,
             mem_bytes: self.mem_bytes(),
+            policy: self.policy.info(),
         })
     }
 }
@@ -708,7 +800,7 @@ impl EventLoop {
         exec: &Execution,
         clock: Arc<dyn Clock>,
         handler: Handler,
-        config: LoopConfig,
+        policy: Policy,
         executor: impl OpExecutor,
         obs: ObsScope,
     ) -> EventLoop {
@@ -734,12 +826,17 @@ impl EventLoop {
             clock,
             handler,
             stats: Arc::new(OpStats::default()),
-            config,
+            policy,
+            // Seeded from the loop's name: jitter is reproducible per
+            // loop across runs, distinct across loops (the anti-lock-
+            // step property).
+            backoff: Mutex::new(BackoffState::new(JitterRng::from_name(name))),
             executor: Box::new(executor),
             obs,
             metrics,
             head_op_id: AtomicU64::new(u64::MAX),
             head_attempts: AtomicU64::new(0),
+            suppress_coalesce: AtomicBool::new(false),
         });
         shared
             .obs
@@ -784,7 +881,7 @@ impl EventLoop {
             shared.resolve_unqueued(&core, completion, OpFailure::Cancelled);
             return handle;
         }
-        let timeout = timeout.unwrap_or(shared.config.default_timeout);
+        let timeout = timeout.unwrap_or_else(|| shared.policy.timeout_for(op_kind(&request)));
         let now = shared.clock.now();
         let deadline = now + timeout;
         let op_id = shared.obs.recorder.next_op_id();
@@ -914,6 +1011,7 @@ fn drive(shared: &Arc<Shared>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::policy::Backoff;
     use crate::sched::ExecutionPolicy;
     use crossbeam::channel::{unbounded, Receiver, Sender};
     use morena_android_sim::looper::MainThread;
@@ -955,26 +1053,22 @@ mod tests {
     }
 
     impl Fixture {
-        fn new(clock: Arc<dyn Clock>, config: LoopConfig) -> Fixture {
+        fn new(clock: Arc<dyn Clock>, config: Policy) -> Fixture {
             Fixture::build(ExecutionPolicy::default(), clock, config, ObsScope::detached("test"))
         }
 
-        fn with_policy(
-            policy: ExecutionPolicy,
-            clock: Arc<dyn Clock>,
-            config: LoopConfig,
-        ) -> Fixture {
+        fn with_policy(policy: ExecutionPolicy, clock: Arc<dyn Clock>, config: Policy) -> Fixture {
             Fixture::build(policy, clock, config, ObsScope::detached("test"))
         }
 
-        fn with_scope(clock: Arc<dyn Clock>, config: LoopConfig, scope: ObsScope) -> Fixture {
+        fn with_scope(clock: Arc<dyn Clock>, config: Policy, scope: ObsScope) -> Fixture {
             Fixture::build(ExecutionPolicy::default(), clock, config, scope)
         }
 
         fn build(
             policy: ExecutionPolicy,
             clock: Arc<dyn Clock>,
-            config: LoopConfig,
+            config: Policy,
             scope: ObsScope,
         ) -> Fixture {
             let main = MainThread::spawn();
@@ -1031,8 +1125,7 @@ mod tests {
     #[test]
     fn ops_complete_in_fifo_order() {
         both_policies(|policy| {
-            let f =
-                Fixture::with_policy(policy, Arc::new(SystemClock::new()), LoopConfig::default());
+            let f = Fixture::with_policy(policy, Arc::new(SystemClock::new()), Policy::default());
             for i in 0..5u8 {
                 f.results.lock().push_back(Ok(OpResponse::Bytes(vec![i])));
                 f.submit(OpRequest::Read, None);
@@ -1055,7 +1148,7 @@ mod tests {
             let f = Fixture::with_policy(
                 policy,
                 Arc::new(SystemClock::new()),
-                LoopConfig { retry_backoff: Duration::from_millis(1), ..LoopConfig::default() },
+                Policy::new().with_backoff(Backoff::constant(Duration::from_millis(1))),
             );
             {
                 let mut results = f.results.lock();
@@ -1074,7 +1167,7 @@ mod tests {
 
     #[test]
     fn permanent_failures_fire_failure_listener_immediately() {
-        let f = Fixture::new(Arc::new(SystemClock::new()), LoopConfig::default());
+        let f = Fixture::new(Arc::new(SystemClock::new()), Policy::default());
         f.results.lock().push_back(Err(NfcOpError::ReadOnly));
         f.submit(OpRequest::Write(vec![1].into()), None);
         assert_eq!(f.next_outcome().unwrap_err(), OpFailure::Failed(NfcOpError::ReadOnly));
@@ -1086,8 +1179,7 @@ mod tests {
     #[test]
     fn disconnected_ops_wait_and_flush_on_reconnect() {
         both_policies(|policy| {
-            let f =
-                Fixture::with_policy(policy, Arc::new(SystemClock::new()), LoopConfig::default());
+            let f = Fixture::with_policy(policy, Arc::new(SystemClock::new()), Policy::default());
             f.connected.store(false, Ordering::SeqCst);
             for _ in 0..3 {
                 f.submit(OpRequest::Write(vec![7].into()), None);
@@ -1109,11 +1201,8 @@ mod tests {
     fn head_op_times_out_while_disconnected_then_next_proceeds() {
         both_policies(|policy| {
             let clock = Arc::new(VirtualClock::with_auto_advance(false));
-            let f = Fixture::with_policy(
-                policy,
-                clock.clone() as Arc<dyn Clock>,
-                LoopConfig::default(),
-            );
+            let f =
+                Fixture::with_policy(policy, clock.clone() as Arc<dyn Clock>, Policy::default());
             f.connected.store(false, Ordering::SeqCst);
             f.submit(OpRequest::Read, Some(Duration::from_secs(1)));
             f.submit(OpRequest::Read, Some(Duration::from_secs(60)));
@@ -1172,7 +1261,7 @@ mod tests {
                 &exec,
                 clock.clone() as Arc<dyn Clock>,
                 main.handler(),
-                LoopConfig::default(),
+                Policy::default(),
                 DeadlineCrosser { clock: Arc::clone(&clock), executes: Arc::clone(&executes) },
                 ObsScope::detached("deadline"),
             );
@@ -1193,8 +1282,7 @@ mod tests {
     #[test]
     fn stop_cancels_queued_ops() {
         both_policies(|policy| {
-            let f =
-                Fixture::with_policy(policy, Arc::new(SystemClock::new()), LoopConfig::default());
+            let f = Fixture::with_policy(policy, Arc::new(SystemClock::new()), Policy::default());
             f.connected.store(false, Ordering::SeqCst);
             f.submit(OpRequest::Read, None);
             f.submit(OpRequest::Read, None);
@@ -1225,7 +1313,7 @@ mod tests {
                     &exec,
                     Arc::clone(&clock),
                     main.handler(),
-                    LoopConfig::default(),
+                    Policy::default(),
                     Scripted {
                         connected: Arc::new(AtomicBool::new(false)),
                         results: Arc::new(Mutex::new(VecDeque::new())),
@@ -1265,8 +1353,7 @@ mod tests {
         // its slot (and delay its Cancelled callback) until everything
         // ahead of it completed.
         both_policies(|policy| {
-            let f =
-                Fixture::with_policy(policy, Arc::new(SystemClock::new()), LoopConfig::default());
+            let f = Fixture::with_policy(policy, Arc::new(SystemClock::new()), Policy::default());
             f.connected.store(false, Ordering::SeqCst);
             f.submit(OpRequest::Read, None);
             let middle = f.submit(OpRequest::Write(vec![1].into()), None);
@@ -1287,6 +1374,169 @@ mod tests {
         });
     }
 
+    fn scoped_fixture(policy: Policy, name: &str) -> (Arc<Recorder>, Fixture) {
+        let recorder = Arc::new(Recorder::new());
+        let scope = ObsScope {
+            recorder: Arc::clone(&recorder),
+            loop_name: name.to_owned(),
+            kind: "test",
+            phone: 0,
+            target: name.to_owned(),
+        };
+        let f = Fixture::with_scope(Arc::new(SystemClock::new()), policy, scope);
+        (recorder, f)
+    }
+
+    #[test]
+    fn coalesced_writes_flush_in_one_exchange() {
+        both_policies(|exec_policy| {
+            let recorder = Arc::new(Recorder::new());
+            let scope = ObsScope {
+                recorder: Arc::clone(&recorder),
+                loop_name: "co".into(),
+                kind: "test",
+                phone: 0,
+                target: "co".into(),
+            };
+            let f = Fixture::build(
+                exec_policy,
+                Arc::new(SystemClock::new()),
+                Policy::new().with_coalesce_writes(true),
+                scope,
+            );
+            f.connected.store(false, Ordering::SeqCst);
+            for i in 1..=3u8 {
+                f.submit(OpRequest::Write(vec![i].into()), None);
+            }
+            f.connected.store(true, Ordering::SeqCst);
+            f.event_loop.wake();
+            for _ in 0..3 {
+                assert_eq!(f.next_outcome().unwrap(), OpResponse::Done);
+            }
+            // The whole run flushed as ONE exchange carrying the last
+            // write's bytes.
+            assert_eq!(
+                f.executed.recv_timeout(Duration::from_secs(5)).unwrap(),
+                OpRequest::Write(vec![3].into())
+            );
+            assert!(f.executed.try_recv().is_err(), "no further exchanges");
+            let metrics = recorder.metrics().snapshot();
+            assert_eq!(metrics.counter("coalesce.batches"), 1);
+            assert_eq!(metrics.counter("coalesce.saved_exchanges"), 2);
+            assert_eq!(f.event_loop.stats().snapshot().succeeded, 3);
+        });
+    }
+
+    #[test]
+    fn coalescing_stops_at_a_non_write_boundary() {
+        // A read between writes must observe its predecessor's bytes on
+        // the tag, so the run may not coalesce across it.
+        let (recorder, f) = scoped_fixture(Policy::new().with_coalesce_writes(true), "boundary");
+        f.connected.store(false, Ordering::SeqCst);
+        {
+            let mut results = f.results.lock();
+            results.push_back(Ok(OpResponse::Done)); // write batch [1,2]
+            results.push_back(Ok(OpResponse::Bytes(vec![9]))); // read
+            results.push_back(Ok(OpResponse::Done)); // trailing write
+        }
+        f.submit(OpRequest::Write(vec![1].into()), None);
+        f.submit(OpRequest::Write(vec![2].into()), None);
+        f.submit(OpRequest::Read, None);
+        f.submit(OpRequest::Write(vec![3].into()), None);
+        f.connected.store(true, Ordering::SeqCst);
+        f.event_loop.wake();
+        // FIFO outcomes: two coalesced writes, the read's bytes, the
+        // trailing write.
+        assert_eq!(f.next_outcome().unwrap(), OpResponse::Done);
+        assert_eq!(f.next_outcome().unwrap(), OpResponse::Done);
+        assert_eq!(f.next_outcome().unwrap(), OpResponse::Bytes(vec![9]));
+        assert_eq!(f.next_outcome().unwrap(), OpResponse::Done);
+        let exchanges: Vec<OpRequest> = f.executed.try_iter().collect();
+        assert_eq!(
+            exchanges,
+            vec![
+                OpRequest::Write(vec![2].into()),
+                OpRequest::Read,
+                OpRequest::Write(vec![3].into()),
+            ]
+        );
+        assert_eq!(recorder.metrics().snapshot().counter("coalesce.saved_exchanges"), 1);
+    }
+
+    #[test]
+    fn failed_coalesced_batch_falls_back_to_per_op_verdicts() {
+        // A permanently failed batch exchange carried the *last* payload
+        // — the head must not inherit that verdict. The loop retries the
+        // head alone; here the solo attempt succeeds, proving no op was
+        // misattributed.
+        let (_recorder, f) = scoped_fixture(Policy::new().with_coalesce_writes(true), "fallback");
+        f.connected.store(false, Ordering::SeqCst);
+        {
+            let mut results = f.results.lock();
+            results.push_back(Err(NfcOpError::ReadOnly)); // batch [1,2] fails
+            results.push_back(Ok(OpResponse::Done)); // head solo succeeds
+            results.push_back(Ok(OpResponse::Done)); // follower succeeds
+        }
+        f.submit(OpRequest::Write(vec![1].into()), None);
+        f.submit(OpRequest::Write(vec![2].into()), None);
+        f.connected.store(true, Ordering::SeqCst);
+        f.event_loop.wake();
+        assert_eq!(f.next_outcome().unwrap(), OpResponse::Done);
+        assert_eq!(f.next_outcome().unwrap(), OpResponse::Done);
+        let exchanges: Vec<OpRequest> = f.executed.try_iter().collect();
+        assert_eq!(
+            exchanges,
+            vec![
+                OpRequest::Write(vec![2].into()), // the failed batch
+                OpRequest::Write(vec![1].into()), // head alone
+                OpRequest::Write(vec![2].into()), // follower alone
+            ]
+        );
+        assert_eq!(f.event_loop.stats().snapshot().failed, 0, "nobody inherited the batch verdict");
+    }
+
+    #[test]
+    fn backoff_delays_land_in_the_policy_histogram() {
+        let (recorder, f) = scoped_fixture(
+            Policy::new().with_backoff(Backoff::exponential(
+                Duration::from_micros(100),
+                Duration::from_millis(2),
+            )),
+            "hist",
+        );
+        {
+            let mut results = f.results.lock();
+            results.push_back(Err(NfcOpError::Link(LinkError::TransmissionError)));
+            results.push_back(Err(NfcOpError::Link(LinkError::TransmissionError)));
+            results.push_back(Ok(OpResponse::Done));
+        }
+        f.submit(OpRequest::Write(vec![1].into()), None);
+        assert!(f.next_outcome().is_ok());
+        let metrics = recorder.metrics().snapshot();
+        let hist = metrics.histogram("policy.backoff_ns").expect("backoff histogram");
+        assert_eq!(hist.count(), 2, "one delay recorded per transient failure");
+    }
+
+    #[test]
+    fn per_op_timeout_overrides_drive_the_deadline() {
+        both_policies(|exec_policy| {
+            let clock = Arc::new(VirtualClock::with_auto_advance(false));
+            let f = Fixture::with_policy(
+                exec_policy,
+                clock.clone() as Arc<dyn Clock>,
+                Policy::new()
+                    .with_timeout(Duration::from_secs(60))
+                    .with_write_timeout(Duration::from_secs(1)),
+            );
+            f.connected.store(false, Ordering::SeqCst);
+            // No explicit timeout: the write-specific budget applies.
+            f.submit(OpRequest::Write(vec![1].into()), None);
+            clock.await_waiters(1);
+            clock.advance(Duration::from_secs(2));
+            assert_eq!(f.next_outcome().unwrap_err(), OpFailure::TimedOut);
+        });
+    }
+
     #[test]
     fn listeners_run_on_the_main_thread() {
         let main = MainThread::spawn();
@@ -1300,7 +1550,7 @@ mod tests {
             &exec,
             clock,
             main.handler(),
-            LoopConfig::default(),
+            Policy::default(),
             Scripted {
                 connected: Arc::new(AtomicBool::new(true)),
                 results: Arc::new(Mutex::new(VecDeque::new())),
@@ -1322,7 +1572,7 @@ mod tests {
 
     #[test]
     fn latency_aggregates_accumulate() {
-        let f = Fixture::new(Arc::new(SystemClock::new()), LoopConfig::default());
+        let f = Fixture::new(Arc::new(SystemClock::new()), Policy::default());
         for _ in 0..3 {
             f.results.lock().push_back(Ok(OpResponse::Done));
             f.submit(OpRequest::Read, None);
@@ -1359,7 +1609,7 @@ mod tests {
         };
         let f = Fixture::with_scope(
             Arc::new(SystemClock::new()),
-            LoopConfig { retry_backoff: Duration::from_millis(1), ..LoopConfig::default() },
+            Policy::new().with_backoff(Backoff::constant(Duration::from_millis(1))),
             scope,
         );
         {
@@ -1418,7 +1668,7 @@ mod tests {
         let f = Fixture::build(
             ExecutionPolicy::Sharded { workers: 2 },
             Arc::new(SystemClock::new()),
-            LoopConfig::default(),
+            Policy::default(),
             scope,
         );
         f.results.lock().push_back(Ok(OpResponse::Done));
@@ -1433,7 +1683,7 @@ mod tests {
 
     #[test]
     fn mem_footprint_grows_with_queued_payloads() {
-        let f = Fixture::new(Arc::new(SystemClock::new()), LoopConfig::default());
+        let f = Fixture::new(Arc::new(SystemClock::new()), Policy::default());
         f.connected.store(false, Ordering::SeqCst);
         let empty = f.event_loop.shared.mem_bytes();
         assert!(empty >= std::mem::size_of::<Shared>() as u64);

@@ -183,6 +183,10 @@ pub struct LeaseManager {
     clock: Arc<dyn Clock>,
     device: DeviceId,
     ledger: Arc<LeaseLedger>,
+    /// The TTL used when the caller does not pick one — snapshotted from
+    /// the context's [`Policy::lease_ttl`](crate::policy::Policy) at
+    /// construction.
+    default_ttl: Duration,
 }
 
 /// This device's view of the leases it believes it holds — kept for the
@@ -220,7 +224,9 @@ impl SnapshotProvider for LeaseLedger {
 }
 
 impl LeaseManager {
-    /// Creates a manager identified by the context's phone id.
+    /// Creates a manager identified by the context's phone id. The
+    /// context's default [`Policy::lease_ttl`](crate::policy::Policy)
+    /// becomes this manager's default duration.
     pub fn new(ctx: &MorenaContext) -> LeaseManager {
         let device = DeviceId(ctx.phone().as_u64());
         let ledger = Arc::new(LeaseLedger { device, held: Mutex::new(HashMap::new()) });
@@ -228,12 +234,34 @@ impl LeaseManager {
             format!("leases-{device}"),
             Arc::downgrade(&ledger) as std::sync::Weak<dyn SnapshotProvider>,
         );
-        LeaseManager { nfc: ctx.nfc().clone(), clock: Arc::clone(ctx.clock()), device, ledger }
+        LeaseManager {
+            nfc: ctx.nfc().clone(),
+            clock: Arc::clone(ctx.clock()),
+            device,
+            ledger,
+            default_ttl: ctx.default_policy().lease_ttl,
+        }
     }
 
     /// This manager's device identity.
     pub fn device(&self) -> DeviceId {
         self.device
+    }
+
+    /// The TTL [`acquire_default`](LeaseManager::acquire_default) uses,
+    /// as inherited from the context policy at construction.
+    pub fn default_ttl(&self) -> Duration {
+        self.default_ttl
+    }
+
+    /// [`acquire`](LeaseManager::acquire) with the policy-provided
+    /// default TTL.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`acquire`](LeaseManager::acquire).
+    pub fn acquire_default(&self, uid: TagUid) -> Result<Lease, LeaseError> {
+        self.acquire(uid, self.default_ttl)
     }
 
     fn read_message(&self, uid: TagUid) -> Result<NdefMessage, LeaseError> {

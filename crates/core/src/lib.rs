@@ -31,6 +31,10 @@
 //!   conversion strategy.
 //! * [`lease`] — §6 (future work, implemented): time-bounded exclusive
 //!   access via a lock record on the tag.
+//! * [`policy`] — the declarative distribution [`Policy`]: retry curves
+//!   (jittered by default), deadline budgets, cache TTL, lease duration,
+//!   discovery cadence, and write coalescing, settable per context, per
+//!   discoverer, and per reference.
 //!
 //! # Examples
 //!
@@ -78,6 +82,7 @@ pub mod future;
 pub mod keyed;
 pub mod lease;
 pub mod peer;
+pub mod policy;
 mod router;
 pub mod sched;
 pub mod tagref;
@@ -87,11 +92,12 @@ pub use beam::{BeamListener, BeamReceiver, Beamer};
 pub use context::MorenaContext;
 pub use convert::{BytesConverter, ConvertError, JsonConverter, StringConverter, TagDataConverter};
 pub use discovery::{DiscoveryListener, TagDiscoverer};
-pub use eventloop::{LoopConfig, OpFailure, OpStats, OpStatsSnapshot, OpTicket};
+pub use eventloop::{OpFailure, OpStats, OpStatsSnapshot, OpTicket};
 pub use future::{block_on, UnitFuture};
 pub use keyed::{KeyedConverter, MemoryStore, ObjectKey, ObjectStore};
 pub use lease::{DeviceId, Lease, LeaseError, LeaseFuture, LeaseManager, LeaseRecord};
 pub use peer::{PeerInbox, PeerListener, PeerReference};
+pub use policy::{Backoff, Policy};
 pub use sched::ExecutionPolicy;
 pub use tagref::{ReadFuture, TagReference, WriteFuture};
 pub use thing::{BoundThing, EmptyThingSlot, Thing, ThingObserver, ThingSpace};

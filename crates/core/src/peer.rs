@@ -28,9 +28,10 @@ use parking_lot::Mutex;
 use crate::context::MorenaContext;
 use crate::convert::TagDataConverter;
 use crate::eventloop::{
-    EventLoop, LoopConfig, ObsScope, OpExecutor, OpFailure, OpRequest, OpResponse, OpStats,
+    EventLoop, ObsScope, OpExecutor, OpFailure, OpRequest, OpResponse, OpStats,
 };
 use crate::future::UnitFuture;
+use crate::policy::Policy;
 use crate::router::RouteGuard;
 
 struct PeerExecutor {
@@ -119,24 +120,26 @@ impl<C: TagDataConverter> std::fmt::Debug for PeerReference<C> {
 }
 
 impl<C: TagDataConverter> PeerReference<C> {
-    /// Creates a reference to `peer` with default tuning.
+    /// Creates a reference to `peer` inheriting the context's default
+    /// [`Policy`].
     pub fn new(ctx: &MorenaContext, peer: PhoneId, converter: Arc<C>) -> PeerReference<C> {
-        PeerReference::with_config(ctx, peer, converter, LoopConfig::default())
+        PeerReference::with_policy(ctx, peer, converter, ctx.default_policy())
     }
 
-    /// Creates a reference to `peer` with explicit event-loop tuning.
-    pub fn with_config(
+    /// Creates a reference to `peer` pinned to an explicit distribution
+    /// [`Policy`].
+    pub fn with_policy(
         ctx: &MorenaContext,
         peer: PhoneId,
         converter: Arc<C>,
-        config: LoopConfig,
+        policy: Policy,
     ) -> PeerReference<C> {
         let event_loop = EventLoop::spawn(
             &format!("peer-{peer}"),
             ctx.execution(),
             Arc::clone(ctx.clock()),
             ctx.handler(),
-            config,
+            policy,
             PeerExecutor { nfc: ctx.nfc().clone(), peer },
             // Target keyed like the simulator's peer-presence events
             // ("phone-N") so the correlator can join the two streams.

@@ -27,6 +27,7 @@ use std::task::{Context, Poll};
 use std::time::Duration;
 
 use morena_ndef::NdefMessage;
+use morena_nfc_sim::clock::SimInstant;
 use morena_nfc_sim::controller::NfcHandle;
 use morena_nfc_sim::error::NfcOpError;
 use morena_nfc_sim::tag::{TagTech, TagUid};
@@ -37,10 +38,10 @@ use parking_lot::Mutex;
 use crate::context::MorenaContext;
 use crate::convert::TagDataConverter;
 use crate::eventloop::{
-    EventLoop, LoopConfig, ObsScope, OpExecutor, OpFailure, OpRequest, OpResponse, OpStats,
-    OpTicket,
+    EventLoop, ObsScope, OpExecutor, OpFailure, OpRequest, OpResponse, OpStats, OpTicket,
 };
 use crate::future::{block_on, OpFuture, UnitFuture};
+use crate::policy::Policy;
 use crate::router::RouteGuard;
 
 /// The physical executor behind a tag reference: blocking NDEF operations
@@ -114,7 +115,12 @@ struct RefInner<C: TagDataConverter> {
     ctx: MorenaContext,
     converter: Arc<C>,
     event_loop: EventLoop,
-    cache: Mutex<Option<C::Value>>,
+    /// The reference's pinned distribution policy (the loop holds its
+    /// own copy; this one answers cache-TTL checks).
+    policy: Policy,
+    /// The cached value and when it was last confirmed on the tag —
+    /// [`Policy::cache_ttl`] ages it from that instant.
+    cache: Mutex<Option<(C::Value, SimInstant)>>,
     /// The raw tag bytes whose decoded value sits in `cache`. A read
     /// returning byte-identical content skips NDEF parsing and
     /// conversion entirely (the zero-copy cached-read fast path);
@@ -181,7 +187,7 @@ impl<C: TagDataConverter> MemFootprint for TagReference<C> {
         // Cached values and observer closures are attributed shallowly
         // (slot sizes only) — best-effort, per the trait contract.
         let cache = if self.inner.cache.lock().is_some() {
-            std::mem::size_of::<C::Value>() as u64
+            std::mem::size_of::<(C::Value, SimInstant)>() as u64
         } else {
             0
         };
@@ -206,30 +212,33 @@ impl<C: TagDataConverter> std::fmt::Debug for TagReference<C> {
 }
 
 impl<C: TagDataConverter> TagReference<C> {
-    /// Creates a reference with the default [`LoopConfig`].
+    /// Creates a reference inheriting the context's default [`Policy`]
+    /// (see [`MorenaContext::set_default_policy`]).
     pub fn new(
         ctx: &MorenaContext,
         uid: TagUid,
         tech: TagTech,
         converter: Arc<C>,
     ) -> TagReference<C> {
-        TagReference::with_config(ctx, uid, tech, converter, LoopConfig::default())
+        TagReference::with_policy(ctx, uid, tech, converter, ctx.default_policy())
     }
 
-    /// Creates a reference with explicit event-loop tuning.
-    pub fn with_config(
+    /// Creates a reference pinned to an explicit distribution
+    /// [`Policy`] (retry curve, deadline budgets, cache TTL, write
+    /// coalescing), overriding the context's default.
+    pub fn with_policy(
         ctx: &MorenaContext,
         uid: TagUid,
         tech: TagTech,
         converter: Arc<C>,
-        config: LoopConfig,
+        policy: Policy,
     ) -> TagReference<C> {
         let event_loop = EventLoop::spawn(
             &format!("tag-{uid}"),
             ctx.execution(),
             Arc::clone(ctx.clock()),
             ctx.handler(),
-            config,
+            policy.clone(),
             TagExecutor { nfc: ctx.nfc().clone(), uid },
             // Target keyed by uid rendering so op events join the
             // simulator's physical tag events in `morena_obs::correlate`.
@@ -242,6 +251,7 @@ impl<C: TagDataConverter> TagReference<C> {
                 ctx: ctx.clone(),
                 converter,
                 event_loop: event_loop.clone(),
+                policy,
                 cache: Mutex::new(None),
                 last_raw: Mutex::new(None),
                 route: Mutex::new(None),
@@ -312,9 +322,19 @@ impl<C: TagDataConverter> TagReference<C> {
     ///
     /// Synchronous and instant — but possibly stale: *"if a tag is not
     /// seen for some time, its contents might have changed and an
-    /// asynchronous read is a better option"* (§3.2).
+    /// asynchronous read is a better option"* (§3.2). With
+    /// [`Policy::cache_ttl`] set, a value older than the TTL is treated
+    /// as absent (forcing callers onto the asynchronous read path); the
+    /// default policy keeps the paper's never-expires semantics.
     pub fn cached(&self) -> Option<C::Value> {
-        self.inner.cache.lock().clone()
+        let guard = self.inner.cache.lock();
+        let (value, at) = guard.as_ref()?;
+        if let Some(ttl) = self.inner.policy.cache_ttl {
+            if self.inner.ctx.clock().now().saturating_since(*at) > ttl {
+                return None;
+            }
+        }
+        Some(value.clone())
     }
 
     /// Replaces the cached value locally (no tag I/O). Used by discovery
@@ -323,14 +343,16 @@ impl<C: TagDataConverter> TagReference<C> {
     pub fn set_cached(&self, value: Option<C::Value>) {
         // A hand-set value no longer corresponds to any raw bytes seen
         // on the tag, so the identical-read fast path must re-decode.
+        let now = self.inner.ctx.clock().now();
         *self.inner.last_raw.lock() = None;
-        *self.inner.cache.lock() = value;
+        *self.inner.cache.lock() = value.map(|v| (v, now));
     }
 
     /// Stores a value together with the raw tag bytes it was decoded
     /// from (or encoded to), arming the identical-read fast path.
     fn store_cache(&self, value: C::Value, raw: Arc<[u8]>) {
-        *self.inner.cache.lock() = Some(value);
+        let now = self.inner.ctx.clock().now();
+        *self.inner.cache.lock() = Some((value, now));
         *self.inner.last_raw.lock() = Some(raw);
     }
 
@@ -351,7 +373,14 @@ impl<C: TagDataConverter> TagReference<C> {
             // Identical to the bytes behind the current cache entry:
             // the decoded value is already there. This is the
             // steady-state read path — no parse, no conversion, no
-            // allocation.
+            // allocation. The read did re-confirm the content on the
+            // tag, so refresh the staleness stamp when a TTL cares.
+            if self.inner.policy.cache_ttl.is_some() {
+                let now = self.inner.ctx.clock().now();
+                if let Some((_, at)) = self.inner.cache.lock().as_mut() {
+                    *at = now;
+                }
+            }
             return Ok(());
         }
         let message = NdefMessage::parse(bytes).map_err(crate::convert::ConvertError::from)?;
@@ -860,6 +889,48 @@ mod tests {
         ));
         // The failure is surfaced, but the last-known-good value stays.
         assert_eq!(reference.cached().as_deref(), Some("v1"));
+    }
+
+    #[test]
+    fn cache_ttl_ages_the_synchronous_value_out() {
+        let clock = Arc::new(VirtualClock::with_auto_advance(false));
+        let world = World::with_link(clock.clone(), LinkModel::instant(), 5);
+        let phone = world.add_phone("alice");
+        let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
+        let ctx = MorenaContext::headless(&world, phone);
+        let reference = TagReference::with_policy(
+            &ctx,
+            uid,
+            TagTech::Type2,
+            Arc::new(StringConverter::plain_text()),
+            Policy::new().with_cache_ttl(Some(Duration::from_secs(1))),
+        );
+        world.tap_tag(uid, ctx.phone());
+        reference.write_sync("fresh".into(), Duration::from_secs(10)).unwrap();
+        assert_eq!(reference.cached().as_deref(), Some("fresh"));
+
+        // Past the TTL the synchronous accessor reports nothing…
+        clock.advance(Duration::from_secs(2));
+        assert_eq!(reference.cached(), None, "stale value must not be served");
+
+        // …and an over-the-air read re-confirms the content, restarting
+        // the TTL window even though the bytes were identical.
+        assert_eq!(reference.read_sync(Duration::from_secs(10)).unwrap().as_deref(), Some("fresh"));
+        assert_eq!(reference.cached().as_deref(), Some("fresh"));
+    }
+
+    #[test]
+    fn default_policy_cache_never_expires() {
+        let clock = Arc::new(VirtualClock::with_auto_advance(false));
+        let world = World::with_link(clock.clone(), LinkModel::instant(), 5);
+        let phone = world.add_phone("alice");
+        let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
+        let ctx = MorenaContext::headless(&world, phone);
+        let reference = string_ref(&ctx, uid);
+        world.tap_tag(uid, ctx.phone());
+        reference.write_sync("keep".into(), Duration::from_secs(10)).unwrap();
+        clock.advance(Duration::from_secs(3600));
+        assert_eq!(reference.cached().as_deref(), Some("keep"));
     }
 
     #[test]

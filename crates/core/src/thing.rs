@@ -33,7 +33,8 @@ use crate::beam::{BeamListener, BeamReceiver, Beamer};
 use crate::context::MorenaContext;
 use crate::convert::{ConvertError, JsonConverter};
 use crate::discovery::{DiscoveryListener, TagDiscoverer};
-use crate::eventloop::{LoopConfig, OpFailure};
+use crate::eventloop::OpFailure;
+use crate::policy::Policy;
 use crate::tagref::TagReference;
 
 /// A value that can live on RFID tags and travel over Beam.
@@ -417,25 +418,27 @@ impl<T: Thing> std::fmt::Debug for ThingSpace<T> {
 }
 
 impl<T: Thing> ThingSpace<T> {
-    /// Starts the things runtime with default tuning.
+    /// Starts the things runtime inheriting the context's default
+    /// [`Policy`].
     pub fn new(ctx: &MorenaContext, observer: Arc<dyn ThingObserver<T>>) -> ThingSpace<T> {
-        ThingSpace::with_config(ctx, observer, LoopConfig::default())
+        ThingSpace::with_policy(ctx, observer, ctx.default_policy())
     }
 
-    /// Starts the things runtime with explicit event-loop tuning.
-    pub fn with_config(
+    /// Starts the things runtime pinned to an explicit distribution
+    /// [`Policy`], shared by its discoverer, references, and beamer.
+    pub fn with_policy(
         ctx: &MorenaContext,
         observer: Arc<dyn ThingObserver<T>>,
-        config: LoopConfig,
+        policy: Policy,
     ) -> ThingSpace<T> {
         let converter = Arc::new(T::converter());
-        let discoverer = TagDiscoverer::with_config(
+        let discoverer = TagDiscoverer::with_policy(
             ctx,
             Arc::clone(&converter),
             Arc::new(DiscoveryAdapter { observer: Arc::clone(&observer) }),
-            config.clone(),
+            policy.clone(),
         );
-        let beamer = Beamer::with_config(ctx, Arc::clone(&converter), config);
+        let beamer = Beamer::with_policy(ctx, Arc::clone(&converter), policy);
         let receiver = BeamReceiver::new(ctx, converter, Arc::new(BeamAdapter { observer }));
         ThingSpace { discoverer, beamer, receiver }
     }

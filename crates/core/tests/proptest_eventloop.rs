@@ -10,7 +10,7 @@ use std::time::Duration;
 use crossbeam::channel::unbounded;
 use morena_core::context::MorenaContext;
 use morena_core::convert::StringConverter;
-use morena_core::eventloop::LoopConfig;
+use morena_core::policy::{Backoff, Policy};
 use morena_core::tagref::TagReference;
 use morena_nfc_sim::clock::SystemClock;
 use morena_nfc_sim::link::LinkModel;
@@ -60,15 +60,12 @@ proptest! {
         let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
         world.tap_tag(uid, phone);
         let ctx = MorenaContext::headless(&world, phone);
-        let reference = TagReference::with_config(
+        let reference = TagReference::with_policy(
             &ctx,
             uid,
             TagTech::Type2,
             Arc::new(StringConverter::plain_text()),
-            LoopConfig {
-                default_timeout: Duration::from_secs(60),
-                retry_backoff: Duration::from_micros(200),
-            },
+            Policy::new().with_timeout(Duration::from_secs(60)).with_backoff(Backoff::constant(Duration::from_micros(200))),
         );
 
         let (tx, rx) = unbounded();

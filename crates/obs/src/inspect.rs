@@ -49,6 +49,7 @@
 //!             connected: true,
 //!             head: None,
 //!             mem_bytes: 256,
+//!             policy: Default::default(),
 //!         })
 //!     }
 //! }
@@ -104,6 +105,27 @@ pub struct HeadOp {
     pub attempts: u64,
 }
 
+/// The effective distribution policy of an event loop, as surfaced in
+/// inspector snapshots: enough to tell *which* retry curve, deadline
+/// budget, and coalescing mode a live loop is actually running under
+/// (the core's `Policy` object is the source of truth; this is its
+/// observable projection).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyInfo {
+    /// Human label of the retry curve (e.g. `exp-jitter(10ms..320ms)`).
+    pub backoff: String,
+    /// Default deadline budget, in nanoseconds.
+    pub timeout_nanos: u64,
+    /// Whether queued same-region writes coalesce into one exchange.
+    pub coalesce_writes: bool,
+}
+
+impl Default for PolicyInfo {
+    fn default() -> PolicyInfo {
+        PolicyInfo { backoff: "-".into(), timeout_nanos: 0, coalesce_writes: false }
+    }
+}
+
 /// One event loop's live state.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoopSnapshot {
@@ -124,6 +146,8 @@ pub struct LoopSnapshot {
     /// Best-effort deep bytes held by the loop (struct, queue,
     /// payloads). See [`MemFootprint`](crate::profile::MemFootprint).
     pub mem_bytes: u64,
+    /// The distribution policy the loop is running under.
+    pub policy: PolicyInfo,
 }
 
 /// One scheduler shard's live state.
@@ -739,8 +763,17 @@ fn render_top_inner(
 
     let loops: Vec<&LoopSnapshot> = snapshot.loops().collect();
     if !loops.is_empty() {
-        let mut header =
-            vec!["LOOP", "KIND", "CONN", "QUEUE", "MEM", "HEAD OP", "AGE/BUDGET", "TRIES"];
+        let mut header = vec![
+            "LOOP",
+            "KIND",
+            "CONN",
+            "QUEUE",
+            "MEM",
+            "HEAD OP",
+            "AGE/BUDGET",
+            "TRIES",
+            "POLICY",
+        ];
         if series.is_some() {
             header.push("TREND");
         }
@@ -763,6 +796,11 @@ fn render_top_inner(
                 head_op,
                 age,
                 tries,
+                if l.policy.coalesce_writes {
+                    format!("{} +coalesce", l.policy.backoff)
+                } else {
+                    l.policy.backoff.clone()
+                },
             ];
             if let Some(series) = series {
                 row.push(series.sparkline(&format!("loop.{}.queue", l.name), SPARK_WIDTH));
@@ -900,6 +938,11 @@ mod tests {
             connected: true,
             head: None,
             mem_bytes: 512,
+            policy: PolicyInfo {
+                backoff: "exp-jitter(10ms..320ms)".into(),
+                timeout_nanos: 10_000_000_000,
+                coalesce_writes: false,
+            },
         }
     }
 

@@ -29,15 +29,14 @@ fn main() {
         let phone = world.add_phone(&format!("swarm-{i}"));
         let ctx = MorenaContext::headless(&world, phone);
         let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(100 + i as u32))));
-        let tag = TagReference::with_config(
+        let tag = TagReference::with_policy(
             &ctx,
             uid,
             TagTech::Type2,
             Arc::new(StringConverter::plain_text()),
-            LoopConfig {
-                default_timeout: Duration::from_secs(5),
-                retry_backoff: Duration::from_millis(1),
-            },
+            Policy::new()
+                .with_timeout(Duration::from_secs(5))
+                .with_backoff(Backoff::constant(Duration::from_millis(1))),
         );
         // A backlog queued before the tag is anywhere near the phone:
         // the table shows it draining as presence flickers.

@@ -55,15 +55,14 @@ fn main() {
         }
         let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(100 + i as u32))));
         world.tap_tag(uid, phone);
-        let tag = TagReference::with_config(
+        let tag = TagReference::with_policy(
             &ctx,
             uid,
             TagTech::Type2,
             Arc::new(StringConverter::plain_text()),
-            LoopConfig {
-                default_timeout: Duration::from_secs(5),
-                retry_backoff: Duration::from_millis(1),
-            },
+            Policy::new()
+                .with_timeout(Duration::from_secs(5))
+                .with_backoff(Backoff::constant(Duration::from_millis(1))),
         );
         for n in 0..6 {
             tag.write(format!("payload-{i}-{n}"), |_| {}, |_, _| {});

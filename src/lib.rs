@@ -70,11 +70,12 @@ pub mod prelude {
         BytesConverter, JsonConverter, StringConverter, TagDataConverter,
     };
     pub use morena_core::discovery::{DiscoveryListener, TagDiscoverer};
-    pub use morena_core::eventloop::{LoopConfig, OpFailure, OpTicket};
+    pub use morena_core::eventloop::{OpFailure, OpTicket};
     pub use morena_core::future::{block_on, UnitFuture};
     pub use morena_core::keyed::{KeyedConverter, MemoryStore, ObjectStore};
     pub use morena_core::lease::{Lease, LeaseFuture, LeaseManager};
     pub use morena_core::peer::{PeerInbox, PeerListener, PeerReference};
+    pub use morena_core::policy::{Backoff, Policy};
     pub use morena_core::sched::ExecutionPolicy;
     pub use morena_core::tagref::{ReadFuture, TagReference, WriteFuture};
     pub use morena_core::thing::{BoundThing, EmptyThingSlot, Thing, ThingObserver, ThingSpace};

@@ -17,7 +17,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::unbounded;
-use morena::core::eventloop::{LoopConfig, OpFailure};
+use morena::core::eventloop::OpFailure;
+use morena::core::policy::{Backoff, Policy};
 use morena::prelude::*;
 use morena::sim::faults::{FaultKind, FaultPlan, FaultRates};
 
@@ -26,8 +27,10 @@ fn policies() -> [ExecutionPolicy; 2] {
     [ExecutionPolicy::ThreadPerLoop, ExecutionPolicy::Sharded { workers: 2 }]
 }
 
-fn fast_config() -> LoopConfig {
-    LoopConfig { default_timeout: Duration::from_secs(30), retry_backoff: Duration::from_millis(1) }
+fn fast_config() -> Policy {
+    Policy::new()
+        .with_timeout(Duration::from_secs(30))
+        .with_backoff(Backoff::exponential(Duration::from_millis(1), Duration::from_millis(8)))
 }
 
 /// The injection rate per fault class. Torn writes only fire on write
@@ -73,7 +76,7 @@ fn run_cell(kind: FaultKind, policy: ExecutionPolicy, seed: u64) -> CellOutcome 
     let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(3))));
     world.tap_tag(uid, phone);
     let ctx = MorenaContext::headless_with(&world, phone, policy);
-    let tag = TagReference::with_config(
+    let tag = TagReference::with_policy(
         &ctx,
         uid,
         TagTech::Type2,
@@ -223,7 +226,7 @@ fn every_injected_fault_is_observable() {
     let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(9))));
     world.tap_tag(uid, phone);
     let ctx = MorenaContext::headless(&world, phone);
-    let tag = TagReference::with_config(
+    let tag = TagReference::with_policy(
         &ctx,
         uid,
         TagTech::Type2,

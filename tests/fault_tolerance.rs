@@ -10,7 +10,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::unbounded;
-use morena::core::eventloop::{LoopConfig, OpFailure};
+use morena::core::eventloop::OpFailure;
+use morena::core::policy::{Backoff, Policy};
 use morena::prelude::*;
 
 /// Both execution policies, exercised by every scenario in this file.
@@ -29,8 +30,10 @@ fn flaky_world(noise: f64, seed: u64) -> World {
     World::with_link(SystemClock::shared(), link, seed)
 }
 
-fn fast_config() -> LoopConfig {
-    LoopConfig { default_timeout: Duration::from_secs(30), retry_backoff: Duration::from_millis(1) }
+fn fast_config() -> Policy {
+    Policy::new()
+        .with_timeout(Duration::from_secs(30))
+        .with_backoff(Backoff::exponential(Duration::from_millis(1), Duration::from_millis(8)))
 }
 
 #[test]
@@ -41,7 +44,7 @@ fn writes_eventually_succeed_through_heavy_noise() {
         let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
         world.tap_tag(uid, phone);
         let ctx = MorenaContext::headless_with(&world, phone, policy);
-        let tag = TagReference::with_config(
+        let tag = TagReference::with_policy(
             &ctx,
             uid,
             TagTech::Type2,
@@ -84,7 +87,7 @@ fn torn_write_is_repaired_by_automatic_retry() {
         let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(2))));
         world.tap_tag(uid, phone);
         let ctx = MorenaContext::headless_with(&world, phone, policy);
-        let tag = TagReference::with_config(
+        let tag = TagReference::with_policy(
             &ctx,
             uid,
             TagTech::Type2,
@@ -146,7 +149,7 @@ fn queued_ops_survive_many_disconnection_cycles_in_order() {
         let phone = world.add_phone("user");
         let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(4))));
         let ctx = MorenaContext::headless_with(&world, phone, policy);
-        let tag = TagReference::with_config(
+        let tag = TagReference::with_policy(
             &ctx,
             uid,
             TagTech::Type2,
@@ -181,7 +184,7 @@ fn a_sweep_gesture_is_enough_to_deliver_a_queued_write() {
         let phone = world.add_phone("swiper");
         let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(7))));
         let ctx = MorenaContext::headless_with(&world, phone, policy);
-        let tag = TagReference::with_config(
+        let tag = TagReference::with_policy(
             &ctx,
             uid,
             TagTech::Type2,

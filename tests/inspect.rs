@@ -17,15 +17,14 @@ fn swarm(world: &World, phones: u64) -> Vec<(TagReference<StringConverter>, TagU
             let ctx = MorenaContext::headless(world, phone);
             let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(50 + i as u32))));
             world.tap_tag(uid, phone);
-            let tag = TagReference::with_config(
+            let tag = TagReference::with_policy(
                 &ctx,
                 uid,
                 TagTech::Type2,
                 Arc::new(StringConverter::plain_text()),
-                LoopConfig {
-                    default_timeout: Duration::from_secs(30),
-                    retry_backoff: Duration::from_micros(500),
-                },
+                Policy::new()
+                    .with_timeout(Duration::from_secs(30))
+                    .with_backoff(Backoff::constant(Duration::from_micros(500))),
             );
             (tag, uid)
         })

@@ -8,7 +8,8 @@ use std::time::Duration;
 
 use crossbeam::channel::unbounded;
 use morena::core::discovery::DiscoveryListener;
-use morena::core::eventloop::{LoopConfig, OpFailure};
+use morena::core::eventloop::OpFailure;
+use morena::core::policy::{Backoff, Policy};
 use morena::prelude::*;
 use parking_lot::Mutex;
 
@@ -417,12 +418,12 @@ fn s1_1_permanent_failures_are_not_retried() {
         tag
     }));
     world.tap_tag(uid, phone);
-    let reference = TagReference::with_config(
+    let reference = TagReference::with_policy(
         &ctx,
         uid,
         TagTech::Type2,
         Arc::new(StringConverter::plain_text()),
-        LoopConfig { retry_backoff: Duration::from_millis(1), ..LoopConfig::default() },
+        Policy::new().with_backoff(Backoff::constant(Duration::from_millis(1))),
     );
     let (tx, rx) = unbounded();
     reference.write("nope".into(), |_| panic!("read-only"), move |_, f| tx.send(f).unwrap());

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::unbounded;
-use morena::core::eventloop::LoopConfig;
+use morena::core::policy::{Backoff, Policy};
 use morena::prelude::*;
 
 /// Names of all live threads in this process that belong to the
@@ -42,15 +42,14 @@ fn sharded_pool_bounds_middleware_threads_at_scale() {
         .map(|i| {
             let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(i as u32))));
             world.tap_tag(uid, phone);
-            let reference = TagReference::with_config(
+            let reference = TagReference::with_policy(
                 &ctx,
                 uid,
                 TagTech::Type2,
                 Arc::new(StringConverter::plain_text()),
-                LoopConfig {
-                    default_timeout: Duration::from_secs(60),
-                    retry_backoff: Duration::from_micros(200),
-                },
+                Policy::new()
+                    .with_timeout(Duration::from_secs(60))
+                    .with_backoff(Backoff::constant(Duration::from_micros(200))),
             );
             let done_tx = done_tx.clone();
             reference.write(

@@ -13,15 +13,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::unbounded;
-use morena::core::eventloop::LoopConfig;
+use morena::core::policy::{Backoff, Policy};
 use morena::obs::{FlightRecorder, Health, Sampler, SamplerConfig};
 use morena::prelude::*;
 
-fn swarm_config() -> LoopConfig {
-    LoopConfig {
-        default_timeout: Duration::from_secs(60),
-        retry_backoff: Duration::from_micros(300),
-    }
+fn swarm_config() -> Policy {
+    Policy::new()
+        .with_timeout(Duration::from_secs(60))
+        .with_backoff(Backoff::exponential(Duration::from_micros(300), Duration::from_millis(4)))
 }
 
 /// Black-box the heavyweight scenarios: a flight recorder tees into the
@@ -80,7 +79,7 @@ fn many_phones_many_tags(policy: ExecutionPolicy, seed: u64) {
             // Each phone keeps its tags at distinct offsets so fields do
             // not overlap between phones.
             world.tap_tag(uid, phone);
-            let reference = TagReference::with_config(
+            let reference = TagReference::with_policy(
                 &ctx,
                 uid,
                 TagTech::Type2,
@@ -169,7 +168,7 @@ fn roaming_tags_converge(policy: ExecutionPolicy, seed: u64) {
     let references: Vec<_> = (0..TAGS)
         .map(|t| {
             let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(500 + t as u32))));
-            let reference = TagReference::with_config(
+            let reference = TagReference::with_policy(
                 &ctx,
                 uid,
                 TagTech::Type2,

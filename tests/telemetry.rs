@@ -23,12 +23,14 @@ fn tagged_phone(
     let ctx = MorenaContext::headless(world, phone);
     let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(seed))));
     world.tap_tag(uid, phone);
-    let tag = TagReference::with_config(
+    let tag = TagReference::with_policy(
         &ctx,
         uid,
         TagTech::Type2,
         Arc::new(StringConverter::plain_text()),
-        LoopConfig { default_timeout: timeout, retry_backoff: Duration::from_micros(500) },
+        Policy::new()
+            .with_timeout(timeout)
+            .with_backoff(Backoff::constant(Duration::from_micros(500))),
     );
     (ctx, tag, uid)
 }
