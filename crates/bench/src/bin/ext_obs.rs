@@ -204,6 +204,7 @@ fn main() -> std::process::ExitCode {
     probe.record(&ObsEvent {
         seq: 0,
         at_nanos: 0,
+        trace: None,
         kind: EventKind::OpEnqueued {
             op_id: 1,
             loop_name: "tag-probe".to_string(),
@@ -217,6 +218,7 @@ fn main() -> std::process::ExitCode {
     let attempt = ObsEvent {
         seq: 1,
         at_nanos: 0,
+        trace: None,
         kind: EventKind::OpAttempt {
             op_id: 1,
             started_nanos: 0,

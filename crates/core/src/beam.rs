@@ -20,7 +20,7 @@ use morena_ndef::NdefMessage;
 use morena_nfc_sim::controller::NfcHandle;
 use morena_nfc_sim::error::NfcOpError;
 use morena_nfc_sim::world::NfcEvent;
-use morena_obs::{EventKind, MemFootprint};
+use morena_obs::{trace, EventKind, MemFootprint};
 use parking_lot::Mutex;
 
 use crate::context::MorenaContext;
@@ -31,6 +31,7 @@ use crate::eventloop::{
 use crate::future::UnitFuture;
 use crate::policy::Policy;
 use crate::router::RouteGuard;
+use crate::tracewire;
 
 struct BeamExecutor {
     nfc: NfcHandle,
@@ -44,7 +45,12 @@ impl OpExecutor for BeamExecutor {
     fn execute(&self, request: &OpRequest) -> Result<OpResponse, NfcOpError> {
         match request {
             OpRequest::Push(bytes) => {
-                self.nfc.beam(bytes).map(|_| OpResponse::Done).map_err(NfcOpError::Link)
+                // The poll loop runs this under the op's ambient trace
+                // scope; a sampled context rides the payload in-band so
+                // the receiving phone's handler joins the trace.
+                let stamped = tracewire::stamp_outgoing(bytes);
+                let payload = stamped.as_deref().unwrap_or(bytes);
+                self.nfc.beam(payload).map(|_| OpResponse::Done).map_err(NfcOpError::Link)
             }
             _ => Err(NfcOpError::Protocol("beamer only pushes")),
         }
@@ -305,6 +311,16 @@ impl<C: TagDataConverter> BeamReceiver<C> {
         let route = ctx.router().register(move |event| {
             let NfcEvent::BeamReceived { from, bytes } = event else { return };
             let Ok(message) = NdefMessage::parse(bytes) else { return };
+            // Strip the in-band trace record *before* the converter or
+            // the condition sees the message (applications never observe
+            // it), minting this phone's hop as a child of the sender's
+            // span — same trace_id across both devices.
+            let wire_ctx = tracewire::find_trace(&message);
+            let message = match wire_ctx {
+                Some(_) => tracewire::strip_trace(&message),
+                None => message,
+            };
+            let ctx = wire_ctx.map(|sender| sender.child(recorder.next_span_id()));
             if !route_converter.accepts(&message) {
                 return;
             }
@@ -316,8 +332,9 @@ impl<C: TagDataConverter> BeamReceiver<C> {
             }
             received_ctr.inc();
             if recorder.is_enabled() {
-                recorder.emit(
+                recorder.emit_traced(
                     clock.now().as_nanos(),
+                    ctx,
                     EventKind::BeamReceived {
                         phone,
                         from: from.as_u64(),
@@ -326,7 +343,10 @@ impl<C: TagDataConverter> BeamReceiver<C> {
                 );
             }
             let listener = Arc::clone(&listener);
-            handler.post(move || listener.on_beam_received(value));
+            // The handler callback runs under the received context, so
+            // anything the app does in response — a tag write, a reply
+            // beam — continues the sender's trace as a further hop.
+            handler.post(move || trace::with(ctx, move || listener.on_beam_received(value)));
         });
         BeamReceiver {
             inner: Arc::new(ReceiverInner {

@@ -25,7 +25,7 @@ use morena_ndef::NdefMessage;
 use morena_nfc_sim::tag::{TagTech, TagUid};
 use morena_nfc_sim::world::NfcEvent;
 use morena_obs::inspect::{ComponentSnapshot, DiscoverySnapshot, SnapshotProvider};
-use morena_obs::{EventKind, MemFootprint};
+use morena_obs::{trace, EventKind, MemFootprint, TraceContext};
 use parking_lot::Mutex;
 
 use crate::context::MorenaContext;
@@ -247,6 +247,24 @@ fn handle_entered<C: TagDataConverter>(
     uid: TagUid,
     tech: TagTech,
 ) {
+    // Every sighting roots a fresh causal trace: the pre-read below, the
+    // detection event, and — because the listener callback runs under
+    // this scope — any operation the application submits on the minted
+    // reference all share one trace_id ("discovery-minted references").
+    let world_recorder = Arc::clone(inner.ctx.nfc().world().obs());
+    let trace_ctx = if world_recorder.is_enabled() {
+        let trace_id = world_recorder.next_trace_id();
+        let span_id = world_recorder.next_span_id();
+        Some(if inner.policy.trace_sample.admits(trace_id) {
+            TraceContext::root(trace_id, span_id)
+        } else {
+            TraceContext::unsampled_root(trace_id, span_id)
+        })
+    } else {
+        None
+    };
+    let _scope = trace::enter(trace_ctx);
+
     // Discovery pre-read: learn what is on the tag (with a couple of
     // retries — arrival is the moment the link is weakest).
     let nfc = inner.ctx.nfc();
@@ -329,7 +347,10 @@ fn handle_entered<C: TagDataConverter>(
                 return;
             }
             let listener = Arc::clone(&inner.listener);
-            inner.ctx.handler().post(move || listener.on_empty_tag(reference));
+            inner
+                .ctx
+                .handler()
+                .post(move || trace::with(trace_ctx, move || listener.on_empty_tag(reference)));
         }
         Sighting::Value(value) => {
             recorder
@@ -348,11 +369,13 @@ fn handle_entered<C: TagDataConverter>(
             }
             let listener = Arc::clone(&inner.listener);
             inner.ctx.handler().post(move || {
-                if known {
-                    listener.on_tag_redetected(reference);
-                } else {
-                    listener.on_tag_detected(reference);
-                }
+                trace::with(trace_ctx, move || {
+                    if known {
+                        listener.on_tag_redetected(reference);
+                    } else {
+                        listener.on_tag_detected(reference);
+                    }
+                })
             });
         }
     }

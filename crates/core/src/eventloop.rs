@@ -42,7 +42,8 @@ use morena_nfc_sim::clock::{Clock, SimInstant, WaitSignal};
 use morena_nfc_sim::error::NfcOpError;
 use morena_obs::inspect::{ComponentSnapshot, HeadOp, LoopSnapshot, SnapshotProvider};
 use morena_obs::{
-    AttemptOutcome, Counter, EventKind, Histogram, MemFootprint, OpKind, OpOutcome, Recorder,
+    trace, AttemptOutcome, Counter, EventKind, Histogram, MemFootprint, OpKind, OpOutcome,
+    Recorder, TraceContext,
 };
 use parking_lot::Mutex;
 
@@ -172,12 +173,20 @@ impl ObsScope {
         }
     }
 
-    /// Emits an event, constructing it only when recording is enabled
-    /// (the disabled path is one relaxed atomic load).
+    /// Emits an event with an explicit trace context (overriding the
+    /// thread's ambient one — the causal owner of a loop event is a
+    /// queued op, not whatever the polling thread happens to be doing),
+    /// constructing it only when recording is enabled (the disabled
+    /// path is one relaxed atomic load).
     #[inline]
-    fn emit(&self, at: SimInstant, make: impl FnOnce() -> EventKind) {
+    fn emit_traced(
+        &self,
+        at: SimInstant,
+        trace: Option<TraceContext>,
+        make: impl FnOnce() -> EventKind,
+    ) {
         if self.recorder.is_enabled() {
-            self.recorder.emit(at.as_nanos(), make());
+            self.recorder.emit_traced(at.as_nanos(), trace, make());
         }
     }
 }
@@ -312,6 +321,11 @@ struct PendingOp {
     /// The pooled completion state shared with tickets and futures.
     core: CoreHandle,
     completion: Completion,
+    /// The op's causal identity: minted at submit (a child of the
+    /// submitter's ambient context, or a fresh sampled-or-not root) and
+    /// stamped on every event this op causes — attempts, completion,
+    /// the simulator's physical ground truth, and listener callbacks.
+    trace: Option<TraceContext>,
 }
 
 /// The complete state of one event loop — the `LoopState` the scheduler
@@ -367,6 +381,33 @@ impl Shared {
         }
     }
 
+    /// Mints the causal identity of a newly submitted op.
+    ///
+    /// * Submitted under an ambient context (a listener callback, a
+    ///   beam/peer handler, a lease acquire): the op is a *child* hop of
+    ///   that context — same trace, new span, parent edge to the cause.
+    /// * Submitted cold with recording enabled: a fresh *root*, sampled
+    ///   per the policy's [`Policy::trace_sample`] rate (exact on the
+    ///   recorder's monotonic trace ids).
+    /// * Recording disabled and no ambient context: `None` — the only
+    ///   cost was one TLS read and one relaxed load.
+    fn mint_trace(&self) -> Option<TraceContext> {
+        let recorder = &self.obs.recorder;
+        if let Some(parent) = trace::current() {
+            return Some(parent.child(recorder.next_span_id()));
+        }
+        if !recorder.is_enabled() {
+            return None;
+        }
+        let trace_id = recorder.next_trace_id();
+        let span_id = recorder.next_span_id();
+        Some(if self.policy.trace_sample.admits(trace_id) {
+            TraceContext::root(trace_id, span_id)
+        } else {
+            TraceContext::unsampled_root(trace_id, span_id)
+        })
+    }
+
     /// The single resolution path for a queued operation: claims the
     /// op's completion core (exactly one resolver wins — a listener can
     /// never fire *and* the op be swept as cancelled), records
@@ -376,13 +417,17 @@ impl Shared {
         if !op.core.try_claim() {
             return;
         }
+        // Every lifecycle event of this op carries *its* context, not
+        // whatever happens to be ambient on the completing thread (a
+        // coalesced follower completes during the head's attempt scope).
+        let trace = op.trace;
         match &outcome {
             Ok(_) => {
                 let completion_nanos = at.saturating_since(op.enqueued_at).as_nanos() as u64;
                 self.stats.record_succeeded(completion_nanos);
                 self.metrics.succeeded.inc();
                 self.metrics.completion_ns.observe(completion_nanos);
-                self.obs.emit(at, || EventKind::OpCompleted {
+                self.obs.emit_traced(at, trace, || EventKind::OpCompleted {
                     op_id: op.op_id,
                     outcome: OpOutcome::Succeeded,
                 });
@@ -390,7 +435,7 @@ impl Shared {
             Err(OpFailure::TimedOut) => {
                 self.stats.record_timed_out();
                 self.metrics.timed_out.inc();
-                self.obs.emit(at, || EventKind::OpCompleted {
+                self.obs.emit_traced(at, trace, || EventKind::OpCompleted {
                     op_id: op.op_id,
                     outcome: OpOutcome::TimedOut,
                 });
@@ -398,7 +443,7 @@ impl Shared {
             Err(OpFailure::Cancelled) => {
                 self.stats.record_cancelled();
                 self.metrics.cancelled.inc();
-                self.obs.emit(at, || EventKind::OpCompleted {
+                self.obs.emit_traced(at, trace, || EventKind::OpCompleted {
                     op_id: op.op_id,
                     outcome: OpOutcome::Cancelled,
                 });
@@ -406,21 +451,24 @@ impl Shared {
             Err(_) => {
                 self.stats.record_failed();
                 self.metrics.failed.inc();
-                self.obs.emit(at, || EventKind::OpCompleted {
+                self.obs.emit_traced(at, trace, || EventKind::OpCompleted {
                     op_id: op.op_id,
                     outcome: OpOutcome::Failed,
                 });
             }
         }
+        // Listeners run under the op's context so any operation the
+        // application submits from inside the callback joins the trace
+        // as a child hop — the read-then-write chain stays one story.
         match op.completion {
             Completion::Listeners { on_success, on_failure } => match outcome {
                 Ok(response) => {
                     drop(on_failure);
-                    self.post_listener(move || on_success(response));
+                    self.post_listener(move || trace::with(trace, move || on_success(response)));
                 }
                 Err(failure) => {
                     drop(on_success);
-                    self.post_listener(move || on_failure(failure));
+                    self.post_listener(move || trace::with(trace, move || on_failure(failure)));
                 }
             },
             Completion::Future => op.core.resolve(outcome),
@@ -543,6 +591,11 @@ impl Shared {
                 rest: Vec<u64>,
                 request: OpRequest,
                 deadline: SimInstant,
+                /// The head op's causal context: installed as the
+                /// polling thread's ambient scope around the exchange so
+                /// the attempt — and every physical event the simulator
+                /// emits synchronously inside it — joins the op's trace.
+                trace: Option<TraceContext>,
             },
         }
 
@@ -588,7 +641,13 @@ impl Shared {
                                 request = OpRequest::Write(Arc::clone(bytes));
                             }
                         }
-                        Step::Attempt { op_id: op.op_id, rest, request, deadline: op.deadline }
+                        Step::Attempt {
+                            op_id: op.op_id,
+                            rest,
+                            request,
+                            deadline: op.deadline,
+                            trace: op.trace,
+                        }
                     } else {
                         Step::Blocked(op.deadline)
                     }
@@ -602,7 +661,7 @@ impl Shared {
                 LoopPoll::Runnable
             }
             Step::Blocked(deadline) => LoopPoll::RunnableAt(deadline),
-            Step::Attempt { op_id, rest, request, deadline } => {
+            Step::Attempt { op_id, rest, request, deadline, trace } => {
                 let attempt_started = self.clock.now();
                 // The head was selected with `now` from the top of the
                 // poll; the connectivity probe (or a concurrent clock
@@ -622,7 +681,12 @@ impl Shared {
                 } else {
                     self.head_attempts.store(1, Ordering::Relaxed);
                 }
-                let outcome = self.executor.execute(&request);
+                // Ambient scope for the exchange: the executor runs the
+                // radio synchronously on this thread, so the simulator's
+                // PhysExchange/PhysBeam ground truth — and anything a
+                // sender-side executor does (e.g. appending the trace
+                // record to a beam payload) — inherits the op's context.
+                let outcome = trace::with(trace, || self.executor.execute(&request));
                 let finished = self.clock.now();
                 let attempt_nanos = finished.saturating_since(attempt_started).as_nanos() as u64;
                 self.stats.record_attempt(attempt_nanos);
@@ -633,7 +697,7 @@ impl Shared {
                     Err(e) if e.is_transient() => AttemptOutcome::Transient,
                     Err(_) => AttemptOutcome::Permanent,
                 };
-                self.obs.emit(finished, || EventKind::OpAttempt {
+                self.obs.emit_traced(finished, trace, || EventKind::OpAttempt {
                     op_id,
                     started_nanos: attempt_started.as_nanos(),
                     duration_nanos: attempt_nanos,
@@ -885,9 +949,10 @@ impl EventLoop {
         let now = shared.clock.now();
         let deadline = now + timeout;
         let op_id = shared.obs.recorder.next_op_id();
+        let trace = shared.mint_trace();
         shared.stats.record_submitted();
         shared.metrics.submitted.inc();
-        shared.obs.emit(now, || EventKind::OpEnqueued {
+        shared.obs.emit_traced(now, trace, || EventKind::OpEnqueued {
             op_id,
             loop_name: shared.obs.loop_name.clone(),
             phone: shared.obs.phone,
@@ -896,7 +961,7 @@ impl EventLoop {
             deadline_nanos: deadline.as_nanos(),
         });
         let mut op =
-            Some(PendingOp { op_id, request, deadline, enqueued_at: now, core, completion });
+            Some(PendingOp { op_id, request, deadline, enqueued_at: now, core, completion, trace });
         {
             // Re-check `stopped` under the queue lock: the stop-side drain
             // also takes this lock, so either our push lands before the

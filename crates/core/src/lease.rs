@@ -26,7 +26,7 @@ use morena_nfc_sim::controller::NfcHandle;
 use morena_nfc_sim::error::NfcOpError;
 use morena_nfc_sim::tag::TagUid;
 use morena_obs::inspect::{ComponentSnapshot, LeaseSnapshot, SnapshotProvider};
-use morena_obs::{EventKind, LeaseAction, MemFootprint};
+use morena_obs::{trace, EventKind, LeaseAction, MemFootprint, Recorder, SampleRate, TraceContext};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -187,6 +187,9 @@ pub struct LeaseManager {
     /// the context's [`Policy::lease_ttl`](crate::policy::Policy) at
     /// construction.
     default_ttl: Duration,
+    /// Head-based trace sampling for acquire roots — snapshotted from
+    /// the context's [`Policy::trace_sample`](crate::policy::Policy).
+    trace_sample: SampleRate,
 }
 
 /// This device's view of the leases it believes it holds — kept for the
@@ -234,12 +237,14 @@ impl LeaseManager {
             format!("leases-{device}"),
             Arc::downgrade(&ledger) as std::sync::Weak<dyn SnapshotProvider>,
         );
+        let policy = ctx.default_policy();
         LeaseManager {
             nfc: ctx.nfc().clone(),
             clock: Arc::clone(ctx.clock()),
             device,
             ledger,
-            default_ttl: ctx.default_policy().lease_ttl,
+            default_ttl: policy.lease_ttl,
+            trace_sample: policy.trace_sample,
         }
     }
 
@@ -336,6 +341,13 @@ impl LeaseManager {
     /// * [`LeaseError::Nfc`] — the tag could not be read or written.
     pub fn acquire(&self, uid: TagUid, ttl: Duration) -> Result<Lease, LeaseError> {
         let recorder = Arc::clone(self.nfc.world().obs());
+        // Acquisition is an application-visible op: inherit the caller's
+        // ambient context (a listener chaining lease-after-read) or mint
+        // a fresh sampled-or-not root, and hold it as the ambient scope
+        // so the whole read→write→verify round — including the Phys*
+        // ground truth and the Lease outcome event — is one traced hop.
+        let ctx = self.mint_trace(&recorder);
+        let _scope = trace::enter(ctx);
         let span = recorder.span("lease.acquire", self.device.0, self.clock.now().as_nanos());
         let result = self.acquire_inner(uid, ttl);
         span.end(self.clock.now().as_nanos());
@@ -348,6 +360,25 @@ impl LeaseManager {
             Err(_) => {}
         }
         result
+    }
+
+    /// Mints the causal identity of one acquire call — the same rules as
+    /// the event loop's submit path (child of ambient, else a fresh root
+    /// sampled by policy, else nothing while recording is off).
+    fn mint_trace(&self, recorder: &Recorder) -> Option<TraceContext> {
+        if let Some(parent) = trace::current() {
+            return Some(parent.child(recorder.next_span_id()));
+        }
+        if !recorder.is_enabled() {
+            return None;
+        }
+        let trace_id = recorder.next_trace_id();
+        let span_id = recorder.next_span_id();
+        Some(if self.trace_sample.admits(trace_id) {
+            TraceContext::root(trace_id, span_id)
+        } else {
+            TraceContext::unsampled_root(trace_id, span_id)
+        })
     }
 
     fn acquire_inner(&self, uid: TagUid, ttl: Duration) -> Result<Lease, LeaseError> {

@@ -87,6 +87,7 @@ mod router;
 pub mod sched;
 pub mod tagref;
 pub mod thing;
+pub mod tracewire;
 
 pub use beam::{BeamListener, BeamReceiver, Beamer};
 pub use context::MorenaContext;
@@ -97,7 +98,7 @@ pub use future::{block_on, UnitFuture};
 pub use keyed::{KeyedConverter, MemoryStore, ObjectKey, ObjectStore};
 pub use lease::{DeviceId, Lease, LeaseError, LeaseFuture, LeaseManager, LeaseRecord};
 pub use peer::{PeerInbox, PeerListener, PeerReference};
-pub use policy::{Backoff, Policy};
+pub use policy::{Backoff, Policy, SampleRate};
 pub use sched::ExecutionPolicy;
 pub use tagref::{ReadFuture, TagReference, WriteFuture};
 pub use thing::{BoundThing, EmptyThingSlot, Thing, ThingObserver, ThingSpace};

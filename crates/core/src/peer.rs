@@ -22,7 +22,7 @@ use morena_ndef::NdefMessage;
 use morena_nfc_sim::controller::NfcHandle;
 use morena_nfc_sim::error::NfcOpError;
 use morena_nfc_sim::world::{obs_peer_target, NfcEvent, PhoneId};
-use morena_obs::{EventKind, MemFootprint};
+use morena_obs::{trace, EventKind, MemFootprint};
 use parking_lot::Mutex;
 
 use crate::context::MorenaContext;
@@ -33,6 +33,7 @@ use crate::eventloop::{
 use crate::future::UnitFuture;
 use crate::policy::Policy;
 use crate::router::RouteGuard;
+use crate::tracewire;
 
 struct PeerExecutor {
     nfc: NfcHandle,
@@ -46,11 +47,16 @@ impl OpExecutor for PeerExecutor {
 
     fn execute(&self, request: &OpRequest) -> Result<OpResponse, NfcOpError> {
         match request {
-            OpRequest::Push(bytes) => self
-                .nfc
-                .beam_to(self.peer, bytes)
-                .map(|()| OpResponse::Done)
-                .map_err(NfcOpError::Link),
+            OpRequest::Push(bytes) => {
+                // Runs under the op's ambient trace scope (see the poll
+                // loop): a sampled context rides the payload in-band.
+                let stamped = tracewire::stamp_outgoing(bytes);
+                let payload = stamped.as_deref().unwrap_or(bytes);
+                self.nfc
+                    .beam_to(self.peer, payload)
+                    .map(|()| OpResponse::Done)
+                    .map_err(NfcOpError::Link)
+            }
             _ => Err(NfcOpError::Protocol("peer references only push")),
         }
     }
@@ -323,6 +329,15 @@ impl<C: TagDataConverter> PeerInbox<C> {
             let NfcEvent::BeamReceived { from, bytes } = event else { return };
             let from = *from;
             let Ok(message) = NdefMessage::parse(bytes) else { return };
+            // Strip the in-band trace record before converters or the
+            // condition see the message, minting this phone's hop as a
+            // child of the sender's span (see `crate::tracewire`).
+            let wire_ctx = tracewire::find_trace(&message);
+            let message = match wire_ctx {
+                Some(_) => tracewire::strip_trace(&message),
+                None => message,
+            };
+            let ctx = wire_ctx.map(|sender| sender.child(recorder.next_span_id()));
             if !converter.accepts(&message) {
                 return;
             }
@@ -334,8 +349,9 @@ impl<C: TagDataConverter> PeerInbox<C> {
             }
             received_ctr.inc();
             if recorder.is_enabled() {
-                recorder.emit(
+                recorder.emit_traced(
                     clock.now().as_nanos(),
+                    ctx,
                     EventKind::PeerReceived {
                         phone,
                         from: from.as_u64(),
@@ -344,7 +360,9 @@ impl<C: TagDataConverter> PeerInbox<C> {
                 );
             }
             let listener = Arc::clone(&listener);
-            handler.post(move || listener.on_message(from, value));
+            // Handler runs under the received context so the app's
+            // response continues the sender's trace.
+            handler.post(move || trace::with(ctx, move || listener.on_message(from, value)));
         });
         PeerInbox {
             inner: Arc::new(InboxInner { route: Mutex::new(Some(route)), _ctx: ctx.clone() }),

@@ -51,6 +51,8 @@ use std::time::Duration;
 use morena_obs::inspect::PolicyInfo;
 use morena_obs::OpKind;
 
+pub use morena_obs::SampleRate;
+
 /// How long a loop waits before re-attempting a transiently failed
 /// operation (the party is reachable but exchanges keep failing — a
 /// connectivity change always re-arms the attempt immediately,
@@ -306,6 +308,12 @@ pub struct Policy {
     /// Off by default: per-write exchanges are the paper's observable
     /// behavior and some applications count them.
     pub coalesce_writes: bool,
+    /// Head-based sampling rate for causal traces: applied once when a
+    /// *root* context is minted; every hop it causes (retries, verify
+    /// probes, cross-device handlers) inherits the decision. Defaults to
+    /// always-on — right for tests and debugging; swarms dial it down
+    /// with [`SampleRate::one_in`] to keep tracing affordable at scale.
+    pub trace_sample: SampleRate,
 }
 
 impl Default for Policy {
@@ -325,6 +333,7 @@ impl Default for Policy {
             lease_ttl: Duration::from_secs(30),
             discovery_cadence: Duration::from_millis(200),
             coalesce_writes: false,
+            trace_sample: SampleRate::always(),
         }
     }
 }
@@ -381,6 +390,12 @@ impl Policy {
     /// Enables or disables write coalescing.
     pub fn with_coalesce_writes(mut self, coalesce: bool) -> Policy {
         self.coalesce_writes = coalesce;
+        self
+    }
+
+    /// Sets the head-based trace sampling rate.
+    pub fn with_trace_sample(mut self, rate: SampleRate) -> Policy {
+        self.trace_sample = rate;
         self
     }
 

@@ -116,7 +116,26 @@ impl std::fmt::Debug for RouteGuard {
 impl Drop for RouteGuard {
     fn drop(&mut self) {
         if let Some(router) = self.router.upgrade() {
-            router.routes.lock().retain(|(id, _)| *id != self.id);
+            // Take the route out under the lock but drop its closure
+            // after releasing it: the closure may own references whose
+            // teardown unregisters *their* routes on this same router
+            // (e.g. an inbox listener holding a `PeerReference`), and
+            // the mutex is not reentrant.
+            let removed: Vec<_> = {
+                let mut routes = router.routes.lock();
+                let mut kept = Vec::with_capacity(routes.len().saturating_sub(1));
+                let mut removed = Vec::new();
+                for entry in routes.drain(..) {
+                    if entry.0 == self.id {
+                        removed.push(entry);
+                    } else {
+                        kept.push(entry);
+                    }
+                }
+                *routes = kept;
+                removed
+            };
+            drop(removed);
         }
     }
 }
@@ -150,6 +169,35 @@ mod tests {
         drop(guard);
         world.tap_tag(uid, phone);
         assert!(rx.recv_timeout(Duration::from_millis(120)).is_err(), "route unregistered");
+    }
+
+    /// A route closure may own the guard of *another* route on the same
+    /// router (an inbox listener holding a peer reference does exactly
+    /// this). Unregistering the outer route then unregisters the inner
+    /// one mid-drop — which must not re-enter the routes lock.
+    #[test]
+    fn dropping_a_route_that_owns_another_route_does_not_deadlock() {
+        let world = World::with_link(VirtualClock::shared(), LinkModel::instant(), 0);
+        let phone = world.add_phone("alice");
+        let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(3))));
+        let nfc = NfcHandle::new(world.clone(), phone);
+        let router = EventRouter::spawn(&nfc);
+
+        let inner = router.register(|_| {});
+        let outer = router.register(move |_| {
+            let _keepalive = &inner;
+        });
+        drop(outer); // cascades into dropping `inner` under the same router
+
+        // Both routes are gone and the router still dispatches.
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let _live = router.register(move |event| {
+            if matches!(event, NfcEvent::TagEntered { .. }) {
+                tx.send(()).unwrap();
+            }
+        });
+        world.tap_tag(uid, phone);
+        rx.recv_timeout(Duration::from_secs(5)).expect("router must keep dispatching");
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! In-band cross-device trace propagation: the NDEF glue between
+//! `morena-obs`' [`TraceContext`] and beam/peer payloads.
+//!
+//! A causal trace must survive the hop between phones, and the only
+//! channel the middleware owns there is the NDEF message itself. So the
+//! sender's executor appends one reserved external record
+//! ([`morena_ndef::TRACE_RECORD_TYPE`], payload =
+//! [`TraceContext::to_wire`]) to the outgoing message, and the receiving
+//! side strips it *before* converters or `check_condition` predicates
+//! see the message — applications never observe the record, but the
+//! receiving phone's handler span carries the sender's `trace_id`.
+//!
+//! The record rides the same mechanism as the lease lock
+//! ([`crate::lease`]): tagged content stays well-formed NDEF, and peers
+//! that predate tracing (or the `baseline` tech stack) carry the record
+//! through untouched as an unknown external type.
+
+use morena_ndef::{NdefMessage, NdefRecord, Tnf, TRACE_RECORD_TYPE};
+use morena_obs::{trace, TraceContext};
+
+/// Encodes `ctx` as the reserved trace-context record.
+pub fn trace_record(ctx: TraceContext) -> NdefRecord {
+    NdefRecord::external(TRACE_RECORD_TYPE, ctx.to_wire().to_vec())
+        .expect("trace record within limits")
+}
+
+/// Decodes a trace context from `record`, if it is a trace record with
+/// a payload this version understands.
+pub fn trace_from_record(record: &NdefRecord) -> Option<TraceContext> {
+    if record.tnf() != Tnf::External || record.record_type() != TRACE_RECORD_TYPE.as_bytes() {
+        return None;
+    }
+    TraceContext::from_wire(record.payload())
+}
+
+/// Whether `record` carries the reserved trace type (any payload — an
+/// unknown wire version is still ours to strip, just not to decode).
+fn is_trace_record(record: &NdefRecord) -> bool {
+    record.tnf() == Tnf::External && record.record_type() == TRACE_RECORD_TYPE.as_bytes()
+}
+
+/// Finds the sender's trace context in `message`, if present.
+pub fn find_trace(message: &NdefMessage) -> Option<TraceContext> {
+    message.iter().find_map(trace_from_record)
+}
+
+/// Removes any trace-context record from `message`, returning the bare
+/// application content.
+pub fn strip_trace(message: &NdefMessage) -> NdefMessage {
+    let records: Vec<NdefRecord> =
+        message.iter().filter(|r| !is_trace_record(r)).cloned().collect();
+    NdefMessage::new(records)
+}
+
+/// Appends `ctx`'s record to the application content of `message`
+/// (replacing any previous trace record, dropping empty placeholder
+/// records the real content makes redundant).
+pub fn with_trace(message: &NdefMessage, ctx: TraceContext) -> NdefMessage {
+    let mut records: Vec<NdefRecord> =
+        message.iter().filter(|r| !is_trace_record(r) && !r.is_empty_record()).cloned().collect();
+    records.push(trace_record(ctx));
+    NdefMessage::new(records)
+}
+
+/// Stamps an encoded outgoing beam/peer payload with the calling
+/// thread's ambient trace context, if there is a *sampled* one (an
+/// unsampled trace propagates locally but is not worth the extra wire
+/// bytes — the receiver would drop every event anyway).
+///
+/// Returns `None` when the payload should go out unchanged: no ambient
+/// context, unsampled, or bytes that do not parse as NDEF (nothing the
+/// middleware should rewrite).
+pub fn stamp_outgoing(bytes: &[u8]) -> Option<Vec<u8>> {
+    let ctx = trace::current().filter(|c| c.sampled)?;
+    let message = NdefMessage::parse(bytes).ok()?;
+    Some(with_trace(&message, ctx).to_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morena_ndef::rtd::TextRecord;
+
+    fn content() -> NdefMessage {
+        NdefMessage::new(vec![TextRecord::new("en", "payload").to_record()])
+    }
+
+    #[test]
+    fn with_trace_appends_and_strip_restores_content() {
+        let message = content();
+        let ctx = TraceContext::root(42, 7);
+        let tagged = with_trace(&message, ctx);
+        assert_eq!(tagged.records().len(), 2);
+        let found = find_trace(&tagged).expect("trace present");
+        assert_eq!(found.trace_id, 42);
+        assert_eq!(found.span_id, 7);
+        assert_eq!(strip_trace(&tagged), message);
+        assert_eq!(find_trace(&message), None);
+    }
+
+    #[test]
+    fn with_trace_replaces_a_previous_context() {
+        let tagged = with_trace(&content(), TraceContext::root(1, 1));
+        let retagged = with_trace(&tagged, TraceContext::root(2, 9));
+        assert_eq!(retagged.records().len(), 2, "old record replaced, not stacked");
+        assert_eq!(find_trace(&retagged).expect("trace").trace_id, 2);
+    }
+
+    #[test]
+    fn tagged_message_round_trips_through_wire_bytes() {
+        let tagged = with_trace(&content(), TraceContext::root(99, 3));
+        let parsed = NdefMessage::parse(&tagged.to_bytes()).expect("well-formed NDEF");
+        assert_eq!(find_trace(&parsed).expect("trace").trace_id, 99);
+    }
+
+    #[test]
+    fn unknown_wire_version_is_stripped_but_not_decoded() {
+        let mut wire = TraceContext::root(5, 5).to_wire().to_vec();
+        wire[0] = 0xFF;
+        let alien = NdefRecord::external(TRACE_RECORD_TYPE, wire).unwrap();
+        let message = NdefMessage::new(vec![TextRecord::new("en", "x").to_record(), alien]);
+        assert_eq!(find_trace(&message), None);
+        assert_eq!(strip_trace(&message).records().len(), 1);
+    }
+
+    #[test]
+    fn stamp_outgoing_requires_a_sampled_ambient_context() {
+        let bytes = content().to_bytes();
+        assert_eq!(stamp_outgoing(&bytes), None, "no ambient context");
+        let sampled = trace::with(Some(TraceContext::root(8, 2)), || stamp_outgoing(&bytes))
+            .expect("stamped");
+        let parsed = NdefMessage::parse(&sampled).unwrap();
+        assert_eq!(find_trace(&parsed).expect("trace").trace_id, 8);
+        let dark = trace::with(Some(TraceContext::unsampled_root(9, 3)), || stamp_outgoing(&bytes));
+        assert_eq!(dark, None, "unsampled traces stay off the wire");
+    }
+}

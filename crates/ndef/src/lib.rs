@@ -58,3 +58,15 @@ pub use record::{NdefRecord, NdefRecordBuilder, Tnf};
 /// resistant to hostile length fields while remaining far above anything a
 /// tag can store.
 pub const MAX_PAYLOAD_LEN: usize = 1 << 20;
+
+/// Reserved external record type carrying a MORENA causal trace context
+/// on beam/peer payloads (see `morena-obs`' trace module for the payload
+/// layout: version byte + trace id + sender span id, big-endian).
+///
+/// The record is middleware-internal: the sender's executor appends it
+/// and the receiver strips it before application delivery, so converters
+/// and `check_condition` predicates never observe it. Decoders that do
+/// not understand the type (pre-trace peers, the `baseline` tech stack)
+/// carry it through untouched — it is a well-formed NFC Forum external
+/// record, nothing more.
+pub const TRACE_RECORD_TYPE: &str = "morena.example:trace";

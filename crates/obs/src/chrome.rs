@@ -18,6 +18,19 @@
 //!   carrying instants for the physical ground truth — tag enter/leave,
 //!   exchanges, beams, peer presence, and injected faults.
 //!
+//! Events that carry a [`TraceContext`](crate::TraceContext) are also
+//! linked by Perfetto **flow events**: for every trace id that touched
+//! two or more spans the exporter emits an `s` → `t`… → `f` chain
+//! (category `trace`, id = the trace id) through the first event of
+//! each span in causal (sequence) order, so an arrow follows a beam
+//! from the sender's op track through the simulator's radio track to
+//! the receiving phone's handler — across process and thread tracks.
+//!
+//! Track ordering is pinned with `process_sort_index` /
+//! `thread_sort_index` metadata: the middleware always renders above
+//! the simulator, and radio tracks sort by phone number rather than
+//! first-seen order, so repeated exports of the same workload line up.
+//!
 //! Timestamps convert from clock nanoseconds to the spec's fractional
 //! microseconds, preserving sub-microsecond precision.
 //!
@@ -48,7 +61,7 @@
 //! assert!(json.contains("\"ph\":\"b\""));
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Mutex;
 
 use crate::event::{EventKind, ObsEvent};
@@ -71,6 +84,14 @@ fn ts_micros(nanos: u64) -> String {
     format!("{}.{:03}", nanos / 1_000, nanos % 1_000)
 }
 
+/// Where a traced span first rendered — the anchor of one flow-event
+/// step.
+struct FlowSite {
+    pid: u64,
+    tid: u64,
+    at_nanos: u64,
+}
+
 struct TraceWriter {
     out: String,
     first: bool,
@@ -83,6 +104,10 @@ struct TraceWriter {
     /// simulator phones seen (for radio tracks).
     sim_phones: Vec<u64>,
     orphan_used: bool,
+    /// trace_id → flow anchors in causal (sequence) order.
+    flows: HashMap<u64, Vec<FlowSite>>,
+    /// (trace_id, span_id) pairs that already anchored a flow step.
+    seen_spans: HashSet<(u64, u64)>,
 }
 
 impl TraceWriter {
@@ -95,6 +120,8 @@ impl TraceWriter {
             mid_phones: Vec::new(),
             sim_phones: Vec::new(),
             orphan_used: false,
+            flows: HashMap::new(),
+            seen_spans: HashSet::new(),
         }
     }
 
@@ -143,6 +170,22 @@ impl TraceWriter {
     }
 
     fn event(&mut self, event: &ObsEvent) {
+        let site = self.render(event);
+        let (Some(trace), Some((pid, tid))) = (event.trace, site) else { return };
+        // Anchor one flow step at the first rendered event of each span
+        // so the chain follows causal hops, not every intra-span event.
+        if self.seen_spans.insert((trace.trace_id, trace.span_id)) {
+            self.flows.entry(trace.trace_id).or_default().push(FlowSite {
+                pid,
+                tid,
+                at_nanos: event.at_nanos,
+            });
+        }
+    }
+
+    /// Render one event and return the `(pid, tid)` track it landed on,
+    /// or `None` when the kind has no track mapping.
+    fn render(&mut self, event: &ObsEvent) -> Option<(u64, u64)> {
         let at = event.at_nanos;
         match &event.kind {
             EventKind::OpEnqueued { op_id, loop_name, phone, target, op, deadline_nanos } => {
@@ -157,6 +200,7 @@ impl TraceWriter {
                 let mut w = Self::base(&name, "b", PID_MIDDLEWARE, tid, at);
                 w.str("cat", "op").u64("id", *op_id).raw("args", &args.finish());
                 self.push(w.finish());
+                Some((PID_MIDDLEWARE, tid))
             }
             EventKind::OpCompleted { op_id, outcome } => {
                 let (tid, name) = match self.ops.get(op_id) {
@@ -171,6 +215,7 @@ impl TraceWriter {
                 let mut w = Self::base(&name, "e", PID_MIDDLEWARE, tid, at);
                 w.str("cat", "op").u64("id", *op_id).raw("args", &args.finish());
                 self.push(w.finish());
+                Some((PID_MIDDLEWARE, tid))
             }
             EventKind::OpAttempt { op_id, started_nanos, duration_nanos, outcome } => {
                 let tid = match self.ops.get(op_id) {
@@ -191,6 +236,7 @@ impl TraceWriter {
                 );
                 w.raw("dur", &ts_micros(*duration_nanos)).raw("args", &args.finish());
                 self.push(w.finish());
+                Some((PID_MIDDLEWARE, tid))
             }
             EventKind::SpanClosed { name, phone, started_nanos, duration_nanos } => {
                 let tid = self.mid_phone_tid(*phone);
@@ -199,18 +245,21 @@ impl TraceWriter {
                 let mut w = Self::base(name, "X", PID_MIDDLEWARE, tid, *started_nanos);
                 w.raw("dur", &ts_micros(*duration_nanos)).raw("args", &args.finish());
                 self.push(w.finish());
+                Some((PID_MIDDLEWARE, tid))
             }
             EventKind::TagDetected { phone, target, redetection } => {
                 let tid = self.mid_phone_tid(*phone);
                 let mut args = ObjectWriter::new();
                 args.str("target", target).bool("redetection", *redetection);
                 self.instant("tag_detected", PID_MIDDLEWARE, tid, at, &args.finish());
+                Some((PID_MIDDLEWARE, tid))
             }
             EventKind::EmptyTagDetected { phone, target } => {
                 let tid = self.mid_phone_tid(*phone);
                 let mut args = ObjectWriter::new();
                 args.str("target", target);
                 self.instant("empty_tag_detected", PID_MIDDLEWARE, tid, at, &args.finish());
+                Some((PID_MIDDLEWARE, tid))
             }
             EventKind::BeamReceived { phone, from, bytes }
             | EventKind::PeerReceived { phone, from, bytes } => {
@@ -218,6 +267,7 @@ impl TraceWriter {
                 let mut args = ObjectWriter::new();
                 args.u64("from", *from).u64("bytes", *bytes);
                 self.instant(event.kind.type_label(), PID_MIDDLEWARE, tid, at, &args.finish());
+                Some((PID_MIDDLEWARE, tid))
             }
             EventKind::Lease { phone, target, action, expires_nanos } => {
                 let tid = self.mid_phone_tid(*phone);
@@ -230,6 +280,7 @@ impl TraceWriter {
                     at,
                     &args.finish(),
                 );
+                Some((PID_MIDDLEWARE, tid))
             }
             EventKind::PhysTagEntered { phone, target }
             | EventKind::PhysTagLeft { phone, target }
@@ -239,29 +290,33 @@ impl TraceWriter {
                 let mut args = ObjectWriter::new();
                 args.str("target", target);
                 self.instant(event.kind.type_label(), PID_SIM, tid, at, &args.finish());
+                Some((PID_SIM, tid))
             }
             EventKind::PhysExchange { phone, target, opcode, ok } => {
                 let tid = self.sim_phone_tid(*phone);
                 let mut args = ObjectWriter::new();
                 args.str("target", target).u64("opcode", *opcode).bool("ok", *ok);
                 self.instant("phys_exchange", PID_SIM, tid, at, &args.finish());
+                Some((PID_SIM, tid))
             }
             EventKind::PhysBeam { phone, bytes, delivered } => {
                 let tid = self.sim_phone_tid(*phone);
                 let mut args = ObjectWriter::new();
                 args.u64("bytes", *bytes).u64("delivered", *delivered);
                 self.instant("phys_beam", PID_SIM, tid, at, &args.finish());
+                Some((PID_SIM, tid))
             }
             EventKind::FaultInjected { phone, target, fault } => {
                 let tid = self.sim_phone_tid(*phone);
                 let mut args = ObjectWriter::new();
                 args.str("target", target).str("fault", fault);
                 self.instant(&format!("fault:{fault}"), PID_SIM, tid, at, &args.finish());
+                Some((PID_SIM, tid))
             }
             // `EventKind` is non_exhaustive; future kinds simply don't
             // get a track until the exporter learns them.
             #[allow(unreachable_patterns)]
-            _ => {}
+            _ => None,
         }
     }
 
@@ -277,35 +332,94 @@ impl TraceWriter {
         self.push(w.finish());
     }
 
+    /// `process_sort_index` / `thread_sort_index` metadata pinning the
+    /// on-screen order of a track regardless of first-seen order.
+    fn sort_index(&mut self, name: &str, pid: u64, tid: Option<u64>, index: u64) {
+        let mut args = ObjectWriter::new();
+        args.u64("sort_index", index);
+        let mut w = ObjectWriter::new();
+        w.str("name", name).str("ph", "M").u64("pid", pid);
+        if let Some(tid) = tid {
+            w.u64("tid", tid);
+        }
+        w.raw("args", &args.finish());
+        self.push(w.finish());
+    }
+
+    /// Emit the `s` → `t`… → `f` flow chain of every trace that touched
+    /// at least two spans, in trace-id order.
+    fn flow_events(&mut self) {
+        let mut flows: Vec<(u64, Vec<FlowSite>)> = self.flows.drain().collect();
+        flows.sort_by_key(|(trace_id, _)| *trace_id);
+        for (trace_id, sites) in flows {
+            if sites.len() < 2 {
+                continue;
+            }
+            let name = format!("trace-{trace_id}");
+            let last = sites.len() - 1;
+            for (i, site) in sites.iter().enumerate() {
+                let ph = if i == 0 {
+                    "s"
+                } else if i == last {
+                    "f"
+                } else {
+                    "t"
+                };
+                let mut w = Self::base(&name, ph, site.pid, site.tid, site.at_nanos);
+                w.str("cat", "trace").u64("id", trace_id);
+                if ph == "f" {
+                    // Bind the arrow head to the enclosing slice.
+                    w.str("bp", "e");
+                }
+                self.push(w.finish());
+            }
+        }
+    }
+
     fn finish(mut self) -> String {
+        self.flow_events();
         self.metadata("process_name", PID_MIDDLEWARE, None, "morena middleware");
+        self.sort_index("process_sort_index", PID_MIDDLEWARE, None, PID_MIDDLEWARE);
+        // One thread_name per (pid, tid): a loop tid that grew into the
+        // phone-track range (1000+ loops) must not rename those tracks.
+        let mut named: HashSet<(u64, u64)> = HashSet::new();
         let mut loops: Vec<(String, u64)> = self.loop_tids.drain().collect();
         loops.sort_by_key(|(_, tid)| *tid);
         for (name, tid) in loops {
-            self.metadata("thread_name", PID_MIDDLEWARE, Some(tid), &name);
+            if named.insert((PID_MIDDLEWARE, tid)) {
+                self.metadata("thread_name", PID_MIDDLEWARE, Some(tid), &name);
+            }
         }
-        if self.orphan_used {
+        if self.orphan_used && named.insert((PID_MIDDLEWARE, TID_ORPHAN)) {
             self.metadata("thread_name", PID_MIDDLEWARE, Some(TID_ORPHAN), "(orphan ops)");
         }
         let mid_phones = std::mem::take(&mut self.mid_phones);
         for phone in mid_phones {
-            self.metadata(
-                "thread_name",
-                PID_MIDDLEWARE,
-                Some(TID_PHONE_BASE + phone),
-                &format!("phone-{phone} events"),
-            );
-        }
-        let sim_phones = std::mem::take(&mut self.sim_phones);
-        if !sim_phones.is_empty() {
-            self.metadata("process_name", PID_SIM, None, "nfc-sim");
-            for phone in sim_phones {
+            if named.insert((PID_MIDDLEWARE, TID_PHONE_BASE + phone)) {
                 self.metadata(
                     "thread_name",
-                    PID_SIM,
-                    Some(phone + 1),
-                    &format!("phone-{phone} radio"),
+                    PID_MIDDLEWARE,
+                    Some(TID_PHONE_BASE + phone),
+                    &format!("phone-{phone} events"),
                 );
+            }
+        }
+        let mut sim_phones = std::mem::take(&mut self.sim_phones);
+        sim_phones.sort_unstable();
+        if !sim_phones.is_empty() {
+            self.metadata("process_name", PID_SIM, None, "nfc-sim");
+            self.sort_index("process_sort_index", PID_SIM, None, PID_SIM);
+            for phone in sim_phones {
+                if named.insert((PID_SIM, phone + 1)) {
+                    self.metadata(
+                        "thread_name",
+                        PID_SIM,
+                        Some(phone + 1),
+                        &format!("phone-{phone} radio"),
+                    );
+                }
+                // Radio tracks sort by phone number, not first-seen order.
+                self.sort_index("thread_sort_index", PID_SIM, Some(phone + 1), phone);
             }
         }
         self.out.push_str("],\"displayTimeUnit\":\"ms\"}");
@@ -377,7 +491,7 @@ mod tests {
     use crate::event::{AttemptOutcome, OpKind, OpOutcome};
 
     fn ev(seq: u64, at: u64, kind: EventKind) -> ObsEvent {
-        ObsEvent { seq, at_nanos: at, kind }
+        ObsEvent { seq, at_nanos: at, trace: None, kind }
     }
 
     fn op_lifecycle() -> Vec<ObsEvent> {
@@ -464,6 +578,76 @@ mod tests {
         let json = export_chrome_trace(&[mk(0, "tag-a"), mk(1, "tag-b"), mk(2, "tag-a")]);
         // tag-a seen first → tid 1 (twice), tag-b → tid 2.
         assert_eq!(json.matches("\"tid\":1,").count() + json.matches("\"tid\":1}").count(), 3);
+    }
+
+    #[test]
+    fn traced_spans_link_into_one_flow_chain() {
+        use crate::trace::TraceContext;
+        let root = TraceContext::root(7, 1);
+        let mut events = op_lifecycle();
+        events[0].trace = Some(root); // op span on its loop track
+        events[1].trace = Some(root.child(2)); // sim ground truth
+        events[2].trace = Some(root); // same span: no extra anchor
+        events[3].trace = Some(root.child(3)); // completion-side span
+        let json = export_chrome_trace(&events);
+        assert_eq!(json.matches("\"ph\":\"s\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"t\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"f\"").count(), 1);
+        assert_eq!(json.matches("\"cat\":\"trace\"").count(), 3);
+        assert_eq!(json.matches("\"name\":\"trace-7\"").count(), 3);
+        // The arrow head binds to the enclosing slice.
+        assert!(json.contains("\"bp\":\"e\""));
+    }
+
+    #[test]
+    fn single_span_traces_emit_no_flow_events() {
+        use crate::trace::TraceContext;
+        let mut events = op_lifecycle();
+        events[0].trace = Some(TraceContext::root(9, 1));
+        let json = export_chrome_trace(&events);
+        assert!(!json.contains("\"cat\":\"trace\""));
+        assert!(!json.contains("\"ph\":\"s\""));
+    }
+
+    #[test]
+    fn exports_pin_track_order_with_sort_indices() {
+        let json = export_chrome_trace(&op_lifecycle());
+        assert_eq!(json.matches("\"name\":\"process_sort_index\"").count(), 2);
+        assert!(json.contains("\"name\":\"thread_sort_index\""));
+        assert!(json.contains("{\"sort_index\":0}")); // phone-0 radio
+    }
+
+    #[test]
+    fn thread_names_are_emitted_once_per_track() {
+        // 1001 loops push loop tids into the phone-track range; the
+        // colliding track must keep its first (loop) name only.
+        let mut events: Vec<ObsEvent> = (0..=1000u64)
+            .map(|i| {
+                ev(
+                    i,
+                    i * 10,
+                    EventKind::OpEnqueued {
+                        op_id: i,
+                        loop_name: format!("loop-{i}"),
+                        phone: 0,
+                        target: "t".into(),
+                        op: OpKind::Read,
+                        deadline_nanos: 1_000,
+                    },
+                )
+            })
+            .collect();
+        events.push(ev(
+            1001,
+            10_100,
+            EventKind::TagDetected { phone: 0, target: "t".into(), redetection: false },
+        ));
+        let json = export_chrome_trace(&events);
+        let renames = json
+            .match_indices("\"tid\":1001")
+            .filter(|(i, _)| json[..*i].ends_with("\"ph\":\"M\",\"pid\":1,"))
+            .count();
+        assert_eq!(renames, 1, "colliding tid 1001 must be named exactly once");
     }
 
     #[test]

@@ -290,7 +290,7 @@ mod tests {
     use super::*;
 
     fn ev(seq: u64, at: u64, kind: EventKind) -> ObsEvent {
-        ObsEvent { seq, at_nanos: at, kind }
+        ObsEvent { seq, at_nanos: at, trace: None, kind }
     }
 
     fn enqueue(seq: u64, at: u64, op_id: u64, target: &str) -> ObsEvent {

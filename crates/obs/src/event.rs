@@ -18,6 +18,7 @@
 //! `(phone, target)` to attribute operation latency.
 
 use crate::json::ObjectWriter;
+use crate::trace::TraceContext;
 
 /// Sentinel for [`EventKind::PhysExchange::opcode`] when the exchanged
 /// command carried no opcode byte (outside the `u8` range on purpose).
@@ -332,6 +333,9 @@ pub struct ObsEvent {
     pub seq: u64,
     /// Timestamp in clock nanoseconds.
     pub at_nanos: u64,
+    /// The causal trace context this event belongs to, when the emitting
+    /// site was traced and the trace is sampled (see [`crate::trace`]).
+    pub trace: Option<TraceContext>,
     /// The event payload.
     pub kind: EventKind,
 }
@@ -398,6 +402,12 @@ impl ObsEvent {
                 w.u64("phone", *phone).str("target", target).str("fault", fault);
             }
         }
+        if let Some(trace) = &self.trace {
+            w.u64("trace_id", trace.trace_id).u64("span_id", trace.span_id);
+            if trace.parent_span_id != 0 {
+                w.u64("parent_span_id", trace.parent_span_id);
+            }
+        }
         w.finish()
     }
 }
@@ -411,6 +421,7 @@ mod tests {
         let ev = ObsEvent {
             seq: 3,
             at_nanos: 1_500,
+            trace: None,
             kind: EventKind::OpEnqueued {
                 op_id: 9,
                 loop_name: "tag-1".into(),
@@ -424,6 +435,25 @@ mod tests {
         assert!(json.starts_with("{\"seq\":3,\"at_ns\":1500,\"type\":\"op_enqueued\""));
         assert!(json.contains("\"op\":\"read\""));
         assert!(json.ends_with('}'));
+    }
+
+    #[test]
+    fn trace_fields_render_only_when_present() {
+        let mut ev = ObsEvent {
+            seq: 1,
+            at_nanos: 10,
+            trace: None,
+            kind: EventKind::OpCompleted { op_id: 4, outcome: OpOutcome::Succeeded },
+        };
+        assert!(!ev.to_json().contains("trace_id"));
+        ev.trace = Some(TraceContext::root(6, 2));
+        let json = ev.to_json();
+        assert!(json.contains("\"trace_id\":6"));
+        assert!(json.contains("\"span_id\":2"));
+        // A root span has no parent edge to render.
+        assert!(!json.contains("parent_span_id"));
+        ev.trace = Some(TraceContext::root(6, 2).child(3));
+        assert!(ev.to_json().contains("\"parent_span_id\":2"));
     }
 
     #[test]

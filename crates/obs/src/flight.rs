@@ -163,6 +163,46 @@ impl FlightRecorder {
         state.components.values().map(|r| r.events.len()).sum()
     }
 
+    /// Every retained event stamped with `trace_id`, across all
+    /// component rings, in causal order (`at_nanos`, then `seq`).
+    ///
+    /// The rings are bounded, so this is the *recent* tail of a trace,
+    /// not a guaranteed-complete record — old spans of a long trace may
+    /// already have been evicted. Rings are keyed by component, so one
+    /// trace's events typically come back from several rings (the
+    /// sender's loop, the radio, the receiver's phone ring).
+    pub fn events_for_trace(&self, trace_id: u64) -> Vec<ObsEvent> {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut events: Vec<ObsEvent> = state
+            .components
+            .values()
+            .flat_map(|ring| ring.events.iter())
+            .filter(|event| event.trace.is_some_and(|t| t.trace_id == trace_id))
+            .cloned()
+            .collect();
+        events.sort_by_key(|event| (event.at_nanos, event.seq));
+        events
+    }
+
+    /// Render one trace's retained events as a JSON document:
+    /// `{"trace_id":…,"events":[…]}`, events in causal order. Empty
+    /// `events` means the trace was never sampled or already evicted.
+    pub fn dump_trace_json(&self, trace_id: u64) -> String {
+        let events = self.events_for_trace(trace_id);
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"trace_id\":");
+        out.push_str(&trace_id.to_string());
+        out.push_str(",\"events\":[");
+        for (i, event) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&event.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// Render everything held as one JSON document:
     /// `{"at_ns":…,"reason":…,"health_history":[…],"report":…|null,
     /// "components":{"<name>":{"dropped":…,"events":[…]},…}}`.
@@ -325,6 +365,7 @@ mod tests {
         ObsEvent {
             seq,
             at_nanos: seq * 100,
+            trace: None,
             kind: EventKind::OpEnqueued {
                 op_id,
                 loop_name: loop_name.into(),
@@ -340,6 +381,7 @@ mod tests {
         ObsEvent {
             seq,
             at_nanos: seq * 100,
+            trace: None,
             kind: EventKind::OpAttempt {
                 op_id,
                 started_nanos: 0,
@@ -357,6 +399,7 @@ mod tests {
         flight.record(&ObsEvent {
             seq: 2,
             at_nanos: 200,
+            trace: None,
             kind: EventKind::OpCompleted { op_id: 7, outcome: OpOutcome::Succeeded },
         });
         // Unknown op id after completion removed the mapping.
@@ -372,11 +415,13 @@ mod tests {
         flight.record(&ObsEvent {
             seq: 1,
             at_nanos: 100,
+            trace: None,
             kind: EventKind::PhysTagLeft { phone: 0, target: "A".into() },
         });
         flight.record(&ObsEvent {
             seq: 2,
             at_nanos: 200,
+            trace: None,
             kind: EventKind::PhysBeam { phone: 3, bytes: 10, delivered: 1 },
         });
         assert_eq!(flight.component_events("tag-A").len(), 2);
@@ -411,6 +456,46 @@ mod tests {
         assert!(!names.iter().any(|n| n == "tag-C"), "got {names:?}");
         assert_eq!(names, vec![OVERFLOW.to_string(), "tag-A".to_string(), "tag-B".to_string()]);
         assert_eq!(flight.component_events(OVERFLOW).len(), 1);
+    }
+
+    #[test]
+    fn trace_lookup_spans_rings_in_causal_order() {
+        use crate::trace::TraceContext;
+        let flight = FlightRecorder::default();
+        let root = TraceContext::root(5, 1);
+        let mut sender = enqueue(0, 1, "tag-A");
+        sender.trace = Some(root);
+        let mut radio = ObsEvent {
+            seq: 1,
+            at_nanos: 150,
+            trace: Some(root.child(2)),
+            kind: EventKind::PhysBeam { phone: 0, bytes: 10, delivered: 1 },
+        };
+        let mut receiver = ObsEvent {
+            seq: 2,
+            at_nanos: 120,
+            trace: Some(root.child(3)),
+            kind: EventKind::BeamReceived { phone: 1, from: 0, bytes: 10 },
+        };
+        // A different trace and an untraced event must not leak in.
+        flight.record(&sender);
+        flight.record(&radio);
+        flight.record(&receiver);
+        radio.trace = Some(TraceContext::root(6, 9));
+        radio.seq = 3;
+        flight.record(&radio);
+        receiver.trace = None;
+        receiver.seq = 4;
+        flight.record(&receiver);
+
+        let events = flight.events_for_trace(5);
+        assert_eq!(events.len(), 3);
+        // Sorted by (at_nanos, seq), not ring or arrival order.
+        assert_eq!(events.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![0, 2, 1]);
+        let json = flight.dump_trace_json(5);
+        assert!(json.starts_with("{\"trace_id\":5,\"events\":["));
+        assert_eq!(json.matches("\"trace_id\":5").count(), 4); // header + 3 events
+        assert!(flight.dump_trace_json(99).ends_with("\"events\":[]}"));
     }
 
     #[test]

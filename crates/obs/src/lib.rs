@@ -28,6 +28,13 @@
 //! * [`correlate`] — joins op events with physical events to attribute
 //!   each operation's latency into *out-of-range wait* vs *exchange
 //!   time* vs *queue delay*, summing exactly to the op's total.
+//! * [`trace`] — causal [`TraceContext`]s minted at application-visible
+//!   operations and propagated through retries, coalesced batches, and
+//!   (in-band, as a reserved NDEF record) across devices; head-based
+//!   sampling via [`SampleRate`].
+//! * [`critical`] — per-trace critical-path analysis joining a trace's
+//!   hops with their [`OpBreakdown`]s: which hop, and which latency
+//!   component, dominated the end-to-end time.
 //! * [`OpStats`] / [`OpStatsSnapshot`] — the per-event-loop lifetime
 //!   counters (previously private to `morena-core`), so there is one
 //!   stats path, not two.
@@ -90,6 +97,7 @@
 
 pub mod chrome;
 pub mod correlate;
+pub mod critical;
 pub mod event;
 pub mod expose;
 pub mod flight;
@@ -101,9 +109,11 @@ pub mod profile;
 pub mod recorder;
 pub mod sink;
 pub mod timeseries;
+pub mod trace;
 
 pub use chrome::{export_chrome_trace, ChromeTraceSink};
 pub use correlate::{correlate, OpBreakdown};
+pub use critical::{analyze_trace, analyze_traces, CostComponent, TraceAnalysis, TraceHop};
 pub use event::{AttemptOutcome, EventKind, LeaseAction, ObsEvent, OpKind, OpOutcome, NO_OPCODE};
 pub use expose::{render_openmetrics, ExpositionServer, OPENMETRICS_CONTENT_TYPE};
 pub use flight::{install_panic_hook, FlightConfig, FlightRecorder};
@@ -117,3 +127,4 @@ pub use profile::{AllocScope, AllocStats, MemFootprint};
 pub use recorder::{Recorder, Span};
 pub use sink::{JsonlSink, NullSink, ObsSink, RingSink, TeeSink};
 pub use timeseries::{sparkline, Sampler, SamplerConfig, SeriesRing, SeriesStore};
+pub use trace::{SampleRate, TraceContext, TRACE_WIRE_LEN, TRACE_WIRE_VERSION};

@@ -19,6 +19,7 @@ use crate::event::{EventKind, ObsEvent};
 use crate::inspect::Inspector;
 use crate::metrics::MetricsRegistry;
 use crate::sink::ObsSink;
+use crate::trace::{self, TraceContext};
 
 /// Hub that stamps events with sequence numbers and forwards them to
 /// the installed sink. See the [module docs](self).
@@ -26,6 +27,10 @@ pub struct Recorder {
     enabled: AtomicBool,
     seq: AtomicU64,
     next_op_id: AtomicU64,
+    // Trace/span ids start at 1: 0 is the "no parent" sentinel in
+    // `TraceContext::parent_span_id` and must never name a real span.
+    next_trace_id: AtomicU64,
+    next_span_id: AtomicU64,
     sink: RwLock<Option<Arc<dyn ObsSink>>>,
     metrics: MetricsRegistry,
     inspector: Inspector,
@@ -44,6 +49,8 @@ impl Recorder {
             enabled: AtomicBool::new(false),
             seq: AtomicU64::new(0),
             next_op_id: AtomicU64::new(0),
+            next_trace_id: AtomicU64::new(1),
+            next_span_id: AtomicU64::new(1),
             sink: RwLock::new(None),
             metrics: MetricsRegistry::new(),
             inspector: Inspector::new(),
@@ -104,16 +111,42 @@ impl Recorder {
         self.next_op_id.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Allocate a fresh trace id. Like op ids: unique per recorder,
+    /// monotonic from 1, and live even while recording is disabled.
+    #[inline]
+    pub fn next_trace_id(&self) -> u64 {
+        self.next_trace_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Allocate a fresh span id (same contract as trace ids).
+    #[inline]
+    pub fn next_span_id(&self) -> u64 {
+        self.next_span_id.fetch_add(1, Ordering::Relaxed)
+    }
+
     /// Stamp `kind` with the next sequence number and the given
     /// timestamp and forward it to the sink. No-op while disabled.
+    ///
+    /// The event inherits the calling thread's ambient
+    /// [`trace::current`] context (if sampled) — this is how the
+    /// simulator's `Phys*` ground truth joins the trace of the op whose
+    /// attempt triggered it, with no signature change anywhere.
     pub fn emit(&self, at_nanos: u64, kind: EventKind) {
+        self.emit_traced(at_nanos, trace::current(), kind);
+    }
+
+    /// [`Recorder::emit`] with an explicit trace context (overriding the
+    /// ambient one). Unsampled contexts are stripped: they exist to keep
+    /// causality flowing, not to appear in the stream.
+    pub fn emit_traced(&self, at_nanos: u64, trace: Option<TraceContext>, kind: EventKind) {
         if !self.is_enabled() {
             return;
         }
         let sink = self.sink.read().expect("recorder sink lock");
         let Some(sink) = sink.as_ref() else { return };
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        sink.record(&ObsEvent { seq, at_nanos, kind });
+        let trace = trace.filter(|t| t.sampled);
+        sink.record(&ObsEvent { seq, at_nanos, trace, kind });
     }
 
     /// The recorder's metrics registry (always live).

@@ -205,6 +205,7 @@ mod tests {
         ObsEvent {
             seq,
             at_nanos: seq * 10,
+            trace: None,
             kind: EventKind::PhysTagEntered { phone: 0, target: "tag-1".into() },
         }
     }

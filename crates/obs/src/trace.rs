@@ -1,0 +1,287 @@
+//! Causal trace contexts: one `trace_id` per application-visible
+//! operation, propagated through everything that operation *causes* —
+//! retry attempts, verify-after-write probes, coalesced batch members,
+//! listener callbacks, and (in-band, via a reserved NDEF record the core
+//! layer owns) across devices on beam and peer payloads.
+//!
+//! The model is deliberately minimal — three ids and a sampling bit:
+//!
+//! * [`TraceContext::trace_id`] names the whole causal tree. Every event
+//!   stamped with the same `trace_id` is part of one end-to-end story,
+//!   even when its spans ran on different phones.
+//! * [`TraceContext::span_id`] names one hop of that story (one queued
+//!   op, one received beam, one lease acquire).
+//! * [`TraceContext::parent_span_id`] is the edge: the span that caused
+//!   this one (`0` for a root).
+//!
+//! Contexts travel two ways:
+//!
+//! * **In-process** via an ambient thread-local scope ([`current`],
+//!   [`with`], [`enter`]): the event loop installs the head op's
+//!   context around executor attempts, so even the simulator's
+//!   `Phys*` ground-truth events — emitted synchronously inside the
+//!   attempt — join the op's trace without any signature change.
+//! * **Cross-device** as a 17-byte wire payload ([`TraceContext::to_wire`]
+//!   / [`TraceContext::from_wire`]): version byte, `trace_id`, and the
+//!   sender's `span_id`, big-endian. The core layer wraps these bytes in
+//!   an NFC Forum external record appended to beam/peer messages and
+//!   stripped before application delivery.
+//!
+//! Sampling is head-based: the decision is made once when a **root**
+//! context is minted ([`SampleRate::admits`]) and inherited by every
+//! child, local or remote. An unsampled context still carries ids (so
+//! causality keeps flowing to any downstream hop) but is never attached
+//! to emitted events.
+
+use std::cell::Cell;
+
+/// Wire format version of the cross-device context payload.
+pub const TRACE_WIRE_VERSION: u8 = 1;
+
+/// Size in bytes of the encoded cross-device context payload:
+/// version byte + `trace_id` + sender `span_id`.
+pub const TRACE_WIRE_LEN: usize = 17;
+
+/// A causal trace context: the identity of one end-to-end story and of
+/// the hop currently being worked on.
+///
+/// `Copy` and allocation-free on purpose: contexts ride the submit hot
+/// path and must not disturb the zero-allocation cached-read gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Identity of the whole causal tree, shared across devices.
+    pub trace_id: u64,
+    /// Identity of this hop (unique per recorder).
+    pub span_id: u64,
+    /// The span that caused this one; `0` for a root span.
+    pub parent_span_id: u64,
+    /// Head-based sampling decision, inherited from the root. Unsampled
+    /// contexts propagate causality but are never stamped onto events.
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// Mints a sampled root context (no parent).
+    pub fn root(trace_id: u64, span_id: u64) -> TraceContext {
+        TraceContext { trace_id, span_id, parent_span_id: 0, sampled: true }
+    }
+
+    /// Mints an unsampled root context: causality still flows to
+    /// children, but no event carries it.
+    pub fn unsampled_root(trace_id: u64, span_id: u64) -> TraceContext {
+        TraceContext { trace_id, span_id, parent_span_id: 0, sampled: false }
+    }
+
+    /// Derives a child context: same trace, same sampling decision, this
+    /// context's span as the parent edge.
+    pub fn child(self, span_id: u64) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id,
+            parent_span_id: self.span_id,
+            sampled: self.sampled,
+        }
+    }
+
+    /// Whether this context is a root (has no parent edge).
+    pub fn is_root(&self) -> bool {
+        self.parent_span_id == 0
+    }
+
+    /// Encodes the cross-device payload: `[version, trace_id BE,
+    /// span_id BE]`. The sampling bit is *not* carried — a context on
+    /// the wire was emitted by a sampled sender by construction, and the
+    /// receiver re-applies its own stamping rules.
+    pub fn to_wire(&self) -> [u8; TRACE_WIRE_LEN] {
+        let mut bytes = [0u8; TRACE_WIRE_LEN];
+        bytes[0] = TRACE_WIRE_VERSION;
+        bytes[1..9].copy_from_slice(&self.trace_id.to_be_bytes());
+        bytes[9..17].copy_from_slice(&self.span_id.to_be_bytes());
+        bytes
+    }
+
+    /// Decodes a cross-device payload. The returned context carries the
+    /// *sender's* span as `span_id`; the receiver should derive its own
+    /// hop with [`TraceContext::child`]. Returns `None` for payloads of
+    /// the wrong length or an unknown version (forward compatibility:
+    /// unknown versions are ignored, not errors).
+    pub fn from_wire(bytes: &[u8]) -> Option<TraceContext> {
+        if bytes.len() != TRACE_WIRE_LEN || bytes[0] != TRACE_WIRE_VERSION {
+            return None;
+        }
+        let trace_id = u64::from_be_bytes(bytes[1..9].try_into().expect("8 bytes"));
+        let span_id = u64::from_be_bytes(bytes[9..17].try_into().expect("8 bytes"));
+        Some(TraceContext { trace_id, span_id, parent_span_id: 0, sampled: true })
+    }
+}
+
+/// Head-based sampling rate for newly minted root traces.
+///
+/// The decision applies at the **root** only; children (including
+/// remote ones) inherit it. With monotonically assigned trace ids,
+/// [`SampleRate::one_in`] is exact — every n-th root is sampled — not
+/// probabilistic, which keeps tests and benches deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SampleRate(u32);
+
+impl SampleRate {
+    /// Sample every trace (the default; right for tests and debugging).
+    pub fn always() -> SampleRate {
+        SampleRate(1)
+    }
+
+    /// Sample no traces (ids are still minted so causality is intact).
+    pub fn never() -> SampleRate {
+        SampleRate(0)
+    }
+
+    /// Sample one in `n` root traces. `one_in(0)` is [`SampleRate::never`],
+    /// `one_in(1)` is [`SampleRate::always`].
+    pub fn one_in(n: u32) -> SampleRate {
+        SampleRate(n)
+    }
+
+    /// Whether the root trace numbered `trace_id` is sampled.
+    pub fn admits(&self, trace_id: u64) -> bool {
+        match self.0 {
+            0 => false,
+            n => trace_id.is_multiple_of(u64::from(n)),
+        }
+    }
+
+    /// The denominator: 0 = never, 1 = always, n = one in n.
+    pub fn denominator(&self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for SampleRate {
+    fn default() -> SampleRate {
+        SampleRate::always()
+    }
+}
+
+impl std::fmt::Display for SampleRate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0 {
+            0 => write!(f, "never"),
+            n => write!(f, "1/{n}"),
+        }
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceContext>> = const { Cell::new(None) };
+}
+
+/// The ambient trace context of the calling thread, if any.
+pub fn current() -> Option<TraceContext> {
+    CURRENT.with(Cell::get)
+}
+
+/// RAII guard restoring the previous ambient context on drop.
+///
+/// Returned by [`enter`]; hold it for the duration of the causally
+/// scoped work.
+#[derive(Debug)]
+pub struct ScopeGuard {
+    prev: Option<TraceContext>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+/// Installs `ctx` as the calling thread's ambient context until the
+/// returned guard drops (`None` clears the scope — useful to keep an
+/// untraced callback from inheriting a stale context).
+#[must_use = "dropping the guard immediately restores the previous scope"]
+pub fn enter(ctx: Option<TraceContext>) -> ScopeGuard {
+    ScopeGuard { prev: CURRENT.with(|c| c.replace(ctx)) }
+}
+
+/// Runs `f` with `ctx` as the ambient context, restoring the previous
+/// scope afterwards (also on panic — the guard is RAII).
+pub fn with<R>(ctx: Option<TraceContext>, f: impl FnOnce() -> R) -> R {
+    let _guard = enter(ctx);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn child_inherits_trace_and_links_parent() {
+        let root = TraceContext::root(7, 10);
+        assert!(root.is_root());
+        assert!(root.sampled);
+        let child = root.child(11);
+        assert_eq!(child.trace_id, 7);
+        assert_eq!(child.span_id, 11);
+        assert_eq!(child.parent_span_id, 10);
+        assert!(child.sampled);
+        assert!(!child.is_root());
+        // Unsampled roots breed unsampled children.
+        let dark = TraceContext::unsampled_root(8, 20).child(21);
+        assert!(!dark.sampled);
+    }
+
+    #[test]
+    fn wire_round_trips_and_rejects_garbage() {
+        let ctx = TraceContext::root(0xDEAD_BEEF_0123_4567, 42);
+        let wire = ctx.to_wire();
+        assert_eq!(wire.len(), TRACE_WIRE_LEN);
+        assert_eq!(wire[0], TRACE_WIRE_VERSION);
+        let back = TraceContext::from_wire(&wire).expect("round trip");
+        assert_eq!(back.trace_id, ctx.trace_id);
+        assert_eq!(back.span_id, ctx.span_id);
+        assert!(back.is_root(), "wire context is a fresh parent edge");
+        // Wrong length, wrong version: ignored, not an error.
+        assert_eq!(TraceContext::from_wire(&wire[..16]), None);
+        let mut bad = wire;
+        bad[0] = 99;
+        assert_eq!(TraceContext::from_wire(&bad), None);
+    }
+
+    #[test]
+    fn sample_rates_are_exact_on_monotonic_ids() {
+        let always = SampleRate::always();
+        let never = SampleRate::never();
+        let tenth = SampleRate::one_in(10);
+        assert!((1..=100).all(|n| always.admits(n)));
+        assert!(!(1..=100).any(|n| never.admits(n)));
+        assert_eq!((1..=100).filter(|&n| tenth.admits(n)).count(), 10);
+        assert_eq!(SampleRate::default(), SampleRate::always());
+        assert_eq!(SampleRate::one_in(0), SampleRate::never());
+        assert_eq!(always.to_string(), "1/1");
+        assert_eq!(never.to_string(), "never");
+        assert_eq!(tenth.denominator(), 10);
+    }
+
+    #[test]
+    fn ambient_scope_nests_and_restores() {
+        assert_eq!(current(), None);
+        let a = TraceContext::root(1, 1);
+        let b = a.child(2);
+        with(Some(a), || {
+            assert_eq!(current(), Some(a));
+            with(Some(b), || assert_eq!(current(), Some(b)));
+            assert_eq!(current(), Some(a));
+            with(None, || assert_eq!(current(), None));
+            assert_eq!(current(), Some(a));
+        });
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn enter_guard_restores_on_drop() {
+        let ctx = TraceContext::root(3, 9);
+        let guard = enter(Some(ctx));
+        assert_eq!(current(), Some(ctx));
+        drop(guard);
+        assert_eq!(current(), None);
+    }
+}

@@ -1,79 +1,152 @@
-//! Observability: watching the middleware work through the world trace.
+//! Causal tracing: following one interaction across two phones.
 //!
-//! Enables physical-event tracing, runs one fault-ridden write (the tag
-//! leaves mid-operation and comes back), and then prints the ground
-//! truth — every proximity change and radio exchange — next to the
-//! middleware's own statistics. This is the debugging workflow for "why
-//! did my write take three attempts?".
+//! A courier phone beams a payload to a kiosk phone; the kiosk's beam
+//! handler writes what it received to an inventory tag. Three
+//! application-visible steps on two devices — and one trace. The
+//! middleware mints a `TraceContext` at the courier's beam op, ships it
+//! in-band as a reserved NDEF record, and the kiosk's handler (and the
+//! write it issues) inherit it, so the whole causal chain shares a
+//! trace id with parent/child span edges.
+//!
+//! The example prints the raw traced events, the per-trace critical
+//! path (which hop, and which latency component, dominated), and writes
+//! a flow-linked Chrome trace to `trace_debugging_chrome.json` — load
+//! it in <https://ui.perfetto.dev> and the spans are connected by flow
+//! arrows. It asserts the trace is **connected**: exactly one root and
+//! every span's parent observed.
 //!
 //! Run with: `cargo run --example trace_debugging`
 
 use std::sync::Arc;
 use std::time::Duration;
 
+use morena::core::beam::{BeamListener, BeamReceiver, Beamer};
+use morena::obs::{analyze_traces, export_chrome_trace};
 use morena::prelude::*;
+
+/// The kiosk's handler: persist whatever arrives onto the local tag.
+struct PersistToTag {
+    tag: Arc<TagReference<StringConverter>>,
+    written: crossbeam::channel::Sender<()>,
+}
+
+impl BeamListener<StringConverter> for PersistToTag {
+    fn on_beam_received(&self, value: String) {
+        println!("kiosk: received {value:?}, writing it to the inventory tag…");
+        let done = self.written.clone();
+        self.tag.write(value, move |_| done.send(()).unwrap(), |_, f| panic!("write failed: {f}"));
+    }
+}
 
 fn main() {
     let link = LinkModel {
         setup_latency: Duration::from_millis(2),
         per_byte_latency: Duration::from_micros(20),
-        base_failure_prob: 0.10,
-        edge_failure_prob: 0.10,
+        base_failure_prob: 0.0,
+        edge_failure_prob: 0.0,
         ..LinkModel::realistic()
     };
-    let world = World::with_link(SystemClock::shared(), link, 99);
-    world.enable_trace(256);
+    let world = World::with_link(Arc::new(SystemClock::new()), link, 99);
+    let ring = Arc::new(RingSink::new(16_384));
+    world.obs().install(ring.clone());
 
-    let phone = world.add_phone("debugger");
+    let courier = world.add_phone("courier");
+    let kiosk = world.add_phone("kiosk");
+    let courier_ctx = MorenaContext::headless(&world, courier);
+    let kiosk_ctx = MorenaContext::headless(&world, kiosk);
     let uid = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(1))));
-    let ctx = MorenaContext::headless(&world, phone);
-    let tag = TagReference::new(&ctx, uid, TagTech::Type2, Arc::new(StringConverter::plain_text()));
 
-    println!("submitting one write; the tag will be yanked away mid-operation…\n");
-    let (tx, rx) = crossbeam::channel::unbounded();
-    tag.write(
-        "x".repeat(200),
-        move |_| tx.send(()).unwrap(),
-        |_, failure| println!("write failed: {failure}"),
+    let tag = Arc::new(TagReference::new(
+        &kiosk_ctx,
+        uid,
+        TagTech::Type2,
+        Arc::new(StringConverter::plain_text()),
+    ));
+    let (written_tx, written_rx) = crossbeam::channel::unbounded();
+    let _receiver = BeamReceiver::new(
+        &kiosk_ctx,
+        Arc::new(StringConverter::plain_text()),
+        Arc::new(PersistToTag { tag: Arc::clone(&tag), written: written_tx }),
     );
 
-    // A shaky hand: in, out, in again.
-    world.tap_tag(uid, phone);
-    std::thread::sleep(Duration::from_millis(12));
-    world.remove_tag_from_field(uid);
-    std::thread::sleep(Duration::from_millis(25));
-    world.tap_tag(uid, phone);
-    rx.recv_timeout(Duration::from_secs(30)).expect("write completes");
+    println!("courier: beaming the manifest to the kiosk…");
+    let beamer = Beamer::new(&courier_ctx, Arc::new(StringConverter::plain_text()));
+    world.bring_phones_together(courier, kiosk);
+    beamer.beam_ok("manifest: 3 crates of part #17".to_string());
 
-    // Ground truth: what physically happened on the radio.
-    let (entries, dropped) = world.trace_snapshot();
-    println!("world trace ({} events, {} dropped):", entries.len(), dropped);
-    for entry in entries.iter().take(30) {
-        println!("  {entry}");
-    }
-    if entries.len() > 30 {
-        println!("  … {} more", entries.len() - 30);
-    }
-
-    // The middleware's accounting of the same story.
-    let stats = tag.stats().snapshot();
-    println!("\nmiddleware stats:");
-    println!("  submitted            {}", stats.submitted);
-    println!("  physical attempts    {}", stats.attempts);
-    println!("  transient failures   {}", stats.transient_failures);
-    println!("  succeeded            {}", stats.succeeded);
-    if let Some(mean) = stats.mean_attempt() {
-        println!("  mean attempt         {mean:?}");
-    }
-    if let Some(mean) = stats.mean_completion() {
-        println!("  submit-to-success    {mean:?}");
-    }
-
-    let radio = world.radio_stats();
-    println!("\nradio ground truth:");
-    println!("  exchanges            {}", radio.exchanges);
-    println!("  failed exchanges     {}", radio.failed);
-    println!("  bytes over the air   {}", radio.bytes);
-    println!("  air time             {:?}", Duration::from_nanos(radio.air_time_nanos));
+    // Give the kiosk the tag once the handler has had a chance to queue
+    // its write — the op waits out of range, then lands.
+    std::thread::sleep(Duration::from_millis(30));
+    world.tap_tag(uid, kiosk);
+    written_rx.recv_timeout(Duration::from_secs(30)).expect("handler write completes");
     tag.close();
+    world.obs().flush();
+    let events = ring.snapshot();
+
+    // The raw story: the traced events, with their span edges.
+    let traced: Vec<_> = events.iter().filter(|e| e.trace.is_some()).collect();
+    println!("\ntraced events (trace_id / span <- parent):");
+    for event in traced.iter().take(25) {
+        let t = event.trace.unwrap();
+        println!(
+            "  trace {} / span {} <- {}  {}",
+            t.trace_id,
+            t.span_id,
+            t.parent_span_id,
+            event.kind.type_label(),
+        );
+    }
+    if traced.len() > 25 {
+        println!("  … {} more", traced.len() - 25);
+    }
+
+    // The analyzed story: one connected trace spanning both phones,
+    // with per-hop latency attribution.
+    let analysis = analyze_traces(&events);
+    let trace = analysis
+        .iter()
+        .max_by_key(|t| (t.phones, t.spans))
+        .expect("the beam chain must have minted a trace");
+    assert!(
+        trace.connected,
+        "the trace must be connected (one root, every parent observed): {trace:?}"
+    );
+    assert!(trace.phones >= 2, "the trace must span both phones");
+    println!(
+        "\ntrace {}: {} spans on {} phones over {:.3}ms — connected",
+        trace.trace_id,
+        trace.spans,
+        trace.phones,
+        trace.total_nanos as f64 / 1e6,
+    );
+    for hop in &trace.hops {
+        let b = &hop.breakdown;
+        println!(
+            "  hop span {} <- {}: {} on phone-{} | total {:.3}ms = out-of-range {:.3}ms \
+             + exchange {:.3}ms + queue {:.3}ms",
+            hop.span_id,
+            hop.parent_span_id,
+            b.op.label(),
+            b.phone,
+            b.total_nanos as f64 / 1e6,
+            b.out_of_range_nanos as f64 / 1e6,
+            b.exchange_nanos as f64 / 1e6,
+            b.queue_nanos as f64 / 1e6,
+        );
+    }
+    if let (Some(i), Some(component)) = (trace.dominant_hop, trace.dominant_component) {
+        println!(
+            "  critical path: hop {} dominated, mostly {}",
+            trace.hops[i].span_id,
+            component.label(),
+        );
+    }
+
+    // The visual story: flow-linked Chrome trace for Perfetto.
+    let path = "trace_debugging_chrome.json";
+    std::fs::write(path, export_chrome_trace(&events)).expect("write chrome export");
+    println!("\nwrote {path} — open in https://ui.perfetto.dev and follow the flow arrows");
+
+    assert_eq!(tag.cached().as_deref(), Some("manifest: 3 crates of part #17"));
+    println!("tag now holds the beamed manifest: causality verified end-to-end.");
 }

@@ -75,7 +75,7 @@ pub mod prelude {
     pub use morena_core::keyed::{KeyedConverter, MemoryStore, ObjectStore};
     pub use morena_core::lease::{Lease, LeaseFuture, LeaseManager};
     pub use morena_core::peer::{PeerInbox, PeerListener, PeerReference};
-    pub use morena_core::policy::{Backoff, Policy};
+    pub use morena_core::policy::{Backoff, Policy, SampleRate};
     pub use morena_core::sched::ExecutionPolicy;
     pub use morena_core::tagref::{ReadFuture, TagReference, WriteFuture};
     pub use morena_core::thing::{BoundThing, EmptyThingSlot, Thing, ThingObserver, ThingSpace};

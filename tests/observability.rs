@@ -158,6 +158,61 @@ fn head_of_line_blocking_shows_up_as_queue_delay() {
     assert_eq!(completion.count(), 2);
 }
 
+/// An op still in flight when the stream ends gets a partial breakdown
+/// windowed to the stream horizon — and the sum invariant holds for it
+/// under the `Sharded` execution policy too (previously only pinned
+/// for `ThreadPerLoop`).
+#[test]
+fn pending_ops_keep_the_sum_invariant_under_sharded_loops() {
+    let (world, ring, phone, uid) = observed_world(noisy_free_link(Duration::from_micros(200)));
+    let ctx = MorenaContext::headless_with(&world, phone, ExecutionPolicy::Sharded { workers: 2 });
+
+    // Teach the stream where the stuck op's tag is: a brief visit that
+    // ends before the op is submitted, so its whole window is absence.
+    world.tap_tag(uid, phone);
+    std::thread::sleep(Duration::from_millis(20));
+    world.remove_tag_from_field(uid);
+    std::thread::sleep(Duration::from_millis(5));
+
+    let stuck =
+        TagReference::new(&ctx, uid, TagTech::Type2, Arc::new(StringConverter::plain_text()));
+    stuck.write("never lands".to_string(), |_| {}, |_, _| {});
+    std::thread::sleep(Duration::from_millis(40));
+
+    // A second tag completes a write, pushing the stream horizon well
+    // past the pending op's enqueue.
+    let uid2 = world.add_tag(Box::new(Type2Tag::ntag215(TagUid::from_seed(10))));
+    let done =
+        TagReference::new(&ctx, uid2, TagTech::Type2, Arc::new(StringConverter::plain_text()));
+    world.tap_tag(uid2, phone);
+    write_and_wait(&done, "lands", Duration::from_secs(10));
+    done.close();
+    world.obs().flush();
+
+    let breakdowns = correlate(&ring.snapshot());
+    let pending = breakdowns
+        .iter()
+        .find(|b| b.outcome == OpOutcome::Pending)
+        .expect("the stuck write must appear as a pending breakdown");
+    assert_eq!(pending.target, uid.to_string());
+    assert!(pending.total_nanos > 0, "window must close at the horizon, not the enqueue");
+    assert!(
+        pending.out_of_range_nanos > 0,
+        "the tag was away for the whole pending window: {pending:?}"
+    );
+    assert!(breakdowns.iter().any(|b| b.outcome == OpOutcome::Succeeded));
+    for b in &breakdowns {
+        assert_eq!(
+            b.out_of_range_nanos + b.exchange_nanos + b.queue_nanos,
+            b.total_nanos,
+            "sum invariant must hold at the horizon for op {} ({})",
+            b.op_id,
+            b.outcome.label(),
+        );
+    }
+    stuck.close();
+}
+
 /// A `Write`-backed JSONL sink receives one flat, parseable object per
 /// event, carrying both middleware and physical event types.
 #[test]

@@ -42,6 +42,7 @@ fn arb_event() -> impl Strategy<Value = ObsEvent> {
     (any::<u64>(), any::<u64>(), kind).prop_map(|(seq, at_nanos, kind)| ObsEvent {
         seq,
         at_nanos,
+        trace: None,
         kind,
     })
 }

@@ -117,6 +117,29 @@ proptest! {
         prop_assert_eq!(converter.from_message(&parsed).unwrap(), text);
     }
 
+    /// Wire compat with pre-trace peers: the middleware's reserved
+    /// trace record — with payloads of any length, including unknown
+    /// future wire versions — rides a message byte-identically through
+    /// parse → encode and through real tag memory. A peer that does not
+    /// know the record type sees it as one more external record and
+    /// must neither corrupt nor reorder it.
+    #[test]
+    fn reserved_trace_record_round_trips_byte_identically(
+        payload in proptest::collection::vec(any::<u8>(), 0..32),
+        text in "[ -~]{0,40}",
+    ) {
+        let app = StringConverter::plain_text().to_message(&text).unwrap();
+        let mut records = app.records().to_vec();
+        records.push(NdefRecord::external(morena::ndef::TRACE_RECORD_TYPE, payload).unwrap());
+        let message = NdefMessage::new(records);
+        let bytes = message.to_bytes();
+        prop_assert_eq!(NdefMessage::parse(&bytes).unwrap().to_bytes(), bytes.clone());
+        let mut tag = Type2Tag::ntag216(TagUid::from_seed(5));
+        proto::write_ndef(&mut DirectLink::new(&mut tag), TagTech::Type2, &bytes).unwrap();
+        let back = proto::read_ndef(&mut DirectLink::new(&mut tag), TagTech::Type2).unwrap();
+        prop_assert_eq!(back, bytes);
+    }
+
     /// The converter MIME namespace is injective enough: two different
     /// thing types never accept each other's messages.
     #[test]
